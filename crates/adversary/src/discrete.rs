@@ -1,0 +1,238 @@
+//! The deterministic lower-bound adversary for the discrete setting
+//! (Theorem 4): no deterministic online algorithm beats 3.
+//!
+//! Construction: one server (`m = 1`), `beta = 2` (so a single state change
+//! costs `beta/2 = 1` under the symmetric convention), cost functions
+//! `phi_0(x) = eps*|x|` and `phi_1(x) = eps*|1 - x|` with `eps -> 0` and
+//! horizon `T >= 1/eps^2`. The adversary always charges the algorithm: it
+//! sends `phi_1` whenever the algorithm sits at 0 and `phi_0` whenever it
+//! sits at 1.
+//!
+//! The offline comparator of the proof is `min(T eps / 2 + 2, S + 2)` where
+//! `S` is the number of state changes of the algorithm; we additionally
+//! compute the exact offline optimum by DP.
+
+use rsdc_core::prelude::*;
+use rsdc_online::traits::OnlineAlgorithm;
+
+/// Outcome of playing an adversary against an online algorithm.
+#[derive(Debug, Clone)]
+pub struct Duel {
+    /// The instance the adversary constructed.
+    pub instance: Instance,
+    /// The schedule the algorithm produced on it.
+    pub schedule: Schedule,
+}
+
+impl Duel {
+    /// Algorithm cost, exact offline optimum, and their ratio.
+    pub fn ratio(&self) -> (f64, f64, f64) {
+        rsdc_online::traits::competitive_ratio(&self.instance, &self.schedule)
+    }
+}
+
+/// Parameters of the Theorem 4 construction.
+#[derive(Debug, Clone, Copy)]
+pub struct DiscreteAdversary {
+    /// Slope of the `phi` functions; the bound tightens as `eps -> 0`.
+    pub eps: f64,
+    /// Horizon; the proof uses `T >= 1/eps^2`.
+    pub t_len: usize,
+}
+
+impl DiscreteAdversary {
+    /// Adversary with the proof's canonical horizon `T = ceil(1/eps^2)`.
+    pub fn with_canonical_horizon(eps: f64) -> Self {
+        Self {
+            eps,
+            t_len: (1.0 / (eps * eps)).ceil() as usize,
+        }
+    }
+
+    /// Play against a deterministic online algorithm. The adversary inspects
+    /// the algorithm's committed state after each step and chooses the next
+    /// function to always charge it.
+    pub fn run<A: OnlineAlgorithm + ?Sized>(&self, algo: &mut A) -> Duel {
+        let beta = 2.0;
+        let mut inst = Instance::empty(1, beta).expect("valid parameters");
+        let mut xs = Vec::with_capacity(self.t_len);
+        let mut state = 0u32;
+        for _ in 0..self.t_len {
+            let f = if state == 0 {
+                Cost::phi1(self.eps)
+            } else {
+                Cost::phi0(self.eps)
+            };
+            inst.push(f.clone());
+            state = algo.step(&f);
+            assert!(state <= 1, "adversary instance has m = 1");
+            xs.push(state);
+        }
+        Duel {
+            instance: inst,
+            schedule: Schedule(xs),
+        }
+    }
+
+    /// The proof's upper bound on the offline cost: `min(T eps/2 + 2,
+    /// S + 2)` where `S` counts the algorithm's state changes (switching
+    /// cost at `beta/2 = 1` per change).
+    pub fn proof_offline_bound(&self, duel: &Duel) -> f64 {
+        let t = duel.schedule.len() as f64;
+        let mut s = 0.0;
+        let mut prev = 0u32;
+        for &x in &duel.schedule.0 {
+            if x != prev {
+                s += 1.0;
+            }
+            prev = x;
+        }
+        (t * self.eps / 2.0 + 2.0).min(s + 2.0)
+    }
+
+    /// The asymptotic lower bound on any deterministic algorithm's ratio for
+    /// these parameters, `3 - O(eps) - O(1/(T eps))` (from the two cases of
+    /// the Theorem 4 proof).
+    pub fn theoretical_ratio_floor(&self) -> f64 {
+        let te = self.t_len as f64 * self.eps;
+        3.0 - self.eps - (2.0 * (1.0 - self.eps) + 4.0) / (te / 2.0 + 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsdc_online::lcp::Lcp;
+
+    /// A bad algorithm that flips state every step regardless of cost.
+    struct Flipper(u32);
+    impl OnlineAlgorithm for Flipper {
+        fn step(&mut self, _f: &Cost) -> u32 {
+            self.0 = 1 - self.0;
+            self.0
+        }
+        fn name(&self) -> String {
+            "flipper".into()
+        }
+    }
+
+    /// An algorithm that never budges.
+    struct Sleeper;
+    impl OnlineAlgorithm for Sleeper {
+        fn step(&mut self, _f: &Cost) -> u32 {
+            0
+        }
+        fn name(&self) -> String {
+            "sleeper".into()
+        }
+    }
+
+    #[test]
+    fn adversary_always_charges() {
+        let adv = DiscreteAdversary {
+            eps: 0.1,
+            t_len: 50,
+        };
+        let mut lcp = Lcp::new(1, 2.0);
+        let duel = adv.run(&mut lcp);
+        // Every slot the algorithm pays eps (it is always at the wrong
+        // state when the function arrives) unless it moved during the slot.
+        let op = operating_cost(&duel.instance, &duel.schedule);
+        let moves = duel
+            .schedule
+            .0
+            .iter()
+            .scan(0u32, |p, &x| {
+                let moved = x != *p;
+                *p = x;
+                Some(moved as usize)
+            })
+            .sum::<usize>();
+        let expected = 0.1 * (50 - moves) as f64;
+        assert!(
+            (op - expected).abs() < 1e-9,
+            "operating {op} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn lcp_ratio_approaches_three() {
+        // eps = 0.02, T = 1/eps^2 = 2500: ratio must be close to 3.
+        let adv = DiscreteAdversary::with_canonical_horizon(0.02);
+        let mut lcp = Lcp::new(1, 2.0);
+        let duel = adv.run(&mut lcp);
+        let (_, _, ratio) = duel.ratio();
+        assert!(ratio <= 3.0 + 1e-9, "Theorem 2: ratio {ratio} <= 3");
+        assert!(
+            ratio >= adv.theoretical_ratio_floor() - 1e-9,
+            "ratio {ratio} below floor {}",
+            adv.theoretical_ratio_floor()
+        );
+        assert!(ratio > 2.7, "should be close to 3, got {ratio}");
+    }
+
+    #[test]
+    fn sleeper_pays_operating_forever() {
+        let adv = DiscreteAdversary {
+            eps: 0.1,
+            t_len: 400,
+        };
+        let duel = adv.run(&mut Sleeper);
+        let (alg, opt, ratio) = duel.ratio();
+        // Sleeper pays 400 * 0.1 = 40; OPT parks at 1 paying ~2.
+        assert!((alg - 40.0).abs() < 1e-9);
+        assert!(opt <= 2.0 + 1e-9);
+        assert!(ratio >= 3.0, "lazy-forever is worse than 3: {ratio}");
+    }
+
+    #[test]
+    fn flipper_pays_switching_forever() {
+        let adv = DiscreteAdversary {
+            eps: 0.1,
+            t_len: 400,
+        };
+        let duel = adv.run(&mut Flipper(0));
+        let (alg, _, ratio) = duel.ratio();
+        // Flipper switches every step: cost ~= 400 (beta/2 = 1 per flip).
+        assert!(alg >= 399.0);
+        assert!(ratio >= 3.0, "flip-forever is worse than 3: {ratio}");
+    }
+
+    #[test]
+    fn proof_bound_dominates_exact_optimum() {
+        let adv = DiscreteAdversary {
+            eps: 0.05,
+            t_len: 800,
+        };
+        let mut lcp = Lcp::new(1, 2.0);
+        let duel = adv.run(&mut lcp);
+        let (_, opt, _) = duel.ratio();
+        let bound = adv.proof_offline_bound(&duel);
+        assert!(
+            opt <= bound + 1e-9,
+            "exact OPT {opt} must not exceed the proof's bound {bound}"
+        );
+    }
+
+    #[test]
+    fn ratio_exceeds_theoretical_floor_across_eps() {
+        // Finite-T ratios are not monotone in eps (boundary effects), but
+        // each must respect the Theorem 4 finite-parameter floor, and the
+        // smallest eps must be close to 3.
+        let mut last = 0.0;
+        for eps in [0.1, 0.05, 0.02] {
+            let adv = DiscreteAdversary::with_canonical_horizon(eps);
+            let mut lcp = Lcp::new(1, 2.0);
+            let duel = adv.run(&mut lcp);
+            let (_, _, ratio) = duel.ratio();
+            assert!(ratio <= 3.0 + 1e-9, "Theorem 2 cap: {ratio}");
+            assert!(
+                ratio >= adv.theoretical_ratio_floor() - 1e-9,
+                "eps={eps}: ratio {ratio} below floor {}",
+                adv.theoretical_ratio_floor()
+            );
+            last = ratio;
+        }
+        assert!(last > 2.8, "eps = 0.02 should be close to 3, got {last}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # rsdc-adversary — lower-bound constructions (Section 5)
+//!
+//! Interactive adversaries and reductions establishing the paper's lower
+//! bounds:
+//!
+//! * [`discrete`] — Theorem 4: no deterministic online algorithm beats 3 in
+//!   the discrete setting (so LCP is optimal);
+//! * [`continuous`] — Theorem 6 / Lemmas 21–23: no deterministic online
+//!   algorithm beats 2 in the continuous setting, via the reference
+//!   algorithm `B`;
+//! * [`randomized`] — Theorem 8 / Lemma 24: no randomized algorithm beats 2
+//!   against an oblivious adversary (so the Section 4 algorithm is
+//!   optimal);
+//! * [`restricted`] — Theorems 5, 7, 9: all bounds survive in the
+//!   restricted model of Lin et al. (eq. 2);
+//! * [`dilation`] — Theorem 10: all bounds survive a finite prediction
+//!   window.
+//!
+//! Each module exposes the construction as a reusable object so the
+//! experiment harness can sweep `eps` and `T` and report convergence to the
+//! theoretical constants.
+
+#![warn(missing_docs)]
+
+pub mod continuous;
+pub mod dilation;
+pub mod discrete;
+pub mod randomized;
+pub mod restricted;
+
+pub use continuous::{AlgorithmB, ContinuousAdversary, ContinuousDuel};
+pub use discrete::{DiscreteAdversary, Duel};
+pub use randomized::{MarginalOracle, RandomizedAdversary};

@@ -1,0 +1,164 @@
+//! Lower bound for randomized algorithms in the discrete setting
+//! (Theorem 8): no randomized online algorithm beats 2 against an oblivious
+//! adversary.
+//!
+//! The construction converts a randomized algorithm's *marginal*
+//! probability of being in state 1 into a deterministic fractional schedule
+//! `\bar X^A` (Lemma 24 shows `E[C(X^A)] >= C(\bar X^A)`), then plays the
+//! continuous adversary of Section 5.2.1 against that schedule.
+//!
+//! To drive the construction the adversary needs the algorithm's marginals,
+//! which an oblivious adversary may compute offline: the
+//! [`MarginalOracle`] trait exposes them. For the paper's own randomized
+//! algorithm (Section 4) the marginal is exactly the fractional schedule
+//! being rounded (Lemma 18), so the oracle is the fractional algorithm
+//! itself.
+
+use crate::continuous::{ContinuousAdversary, ContinuousDuel};
+use rsdc_core::prelude::*;
+use rsdc_online::traits::FractionalAlgorithm;
+
+/// The per-step marginal `Pr[x_t = 1]` of a randomized algorithm on a
+/// single-server instance.
+pub trait MarginalOracle {
+    /// Feed the next cost function; return the updated marginal.
+    fn marginal_step(&mut self, f: &Cost) -> f64;
+
+    /// Name for reports.
+    fn name(&self) -> String;
+}
+
+/// Every fractional algorithm is a marginal oracle for the randomized
+/// algorithm that rounds it (Lemma 18: `Pr[x_t = ceil*] = frac(\bar x_t)`,
+/// which on `m = 1` equals `\bar x_t`).
+impl<F: FractionalAlgorithm> MarginalOracle for F {
+    fn marginal_step(&mut self, f: &Cost) -> f64 {
+        self.step(f)
+    }
+    fn name(&self) -> String {
+        FractionalAlgorithm::name(self)
+    }
+}
+
+/// Wrapper turning a marginal oracle into a fractional algorithm so the
+/// continuous adversary can drive it.
+struct OracleAsFractional<'a, O: MarginalOracle + ?Sized>(&'a mut O);
+
+impl<O: MarginalOracle + ?Sized> FractionalAlgorithm for OracleAsFractional<'_, O> {
+    fn step(&mut self, f: &Cost) -> f64 {
+        self.0.marginal_step(f)
+    }
+    fn name(&self) -> String {
+        self.0.name()
+    }
+}
+
+/// The Theorem 8 adversary: drive the marginals with the continuous
+/// construction. The returned duel's `schedule` is the marginal schedule
+/// `\bar X^A`; by Lemma 24 the randomized algorithm's expected cost is at
+/// least `C(\bar X^A)` which is at least `C(\bar X^B)` (Lemma 23), which is
+/// at least `(2 - delta) * OPT` (Lemma 22).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomizedAdversary {
+    /// Slope of the `phi` functions.
+    pub eps: f64,
+    /// Number of rounds.
+    pub t_len: usize,
+}
+
+impl RandomizedAdversary {
+    /// Play against the marginals of a randomized algorithm.
+    pub fn run<O: MarginalOracle + ?Sized>(&self, oracle: &mut O) -> ContinuousDuel {
+        let adv = ContinuousAdversary {
+            eps: self.eps,
+            t_len: self.t_len,
+        };
+        let mut wrapped = OracleAsFractional(oracle);
+        adv.run(&mut wrapped)
+    }
+}
+
+/// Monte-Carlo estimate of a randomized discrete algorithm's expected cost
+/// on a fixed instance (used to verify Lemma 24 empirically).
+pub fn expected_cost<A, B>(make_algo: B, inst: &Instance, trials: usize) -> f64
+where
+    A: rsdc_online::traits::OnlineAlgorithm,
+    B: Fn(u64) -> A,
+{
+    let mut acc = 0.0;
+    for s in 0..trials {
+        let mut algo = make_algo(s as u64);
+        let xs = rsdc_online::traits::run(&mut algo, inst);
+        acc += cost(inst, &xs);
+    }
+    acc / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsdc_online::fractional::{EvalMode, HalfStep};
+    use rsdc_online::randomized::RandomizedOnline;
+
+    #[test]
+    fn marginal_duel_ratio_approaches_two() {
+        let eps = 0.0625;
+        let adv = RandomizedAdversary { eps, t_len: 4000 };
+        let mut frac = HalfStep::new(1, 2.0, EvalMode::Analytic);
+        let duel = adv.run(&mut frac);
+        let marginal_cost = duel.algorithm_cost();
+        let opt = duel.grid_opt(64);
+        let ratio = marginal_cost / opt;
+        assert!(
+            ratio >= 2.0 - eps,
+            "marginal schedule ratio {ratio} must approach 2"
+        );
+    }
+
+    #[test]
+    fn lemma24_expected_cost_dominates_marginal_cost() {
+        // Build the adversarial instance against HalfStep's marginals, then
+        // Monte-Carlo the actual randomized algorithm on it.
+        let eps = 0.125;
+        let adv = RandomizedAdversary { eps, t_len: 300 };
+        let mut frac = HalfStep::new(1, 2.0, EvalMode::Analytic);
+        let duel = adv.run(&mut frac);
+
+        let marginal_cost = frac_cost(&duel.instance, &duel.schedule, FracMode::Analytic);
+        let exp = expected_cost(
+            |seed| {
+                RandomizedOnline::new(HalfStep::new(1, 2.0, EvalMode::Analytic), 1, seed)
+            },
+            &duel.instance,
+            3000,
+        );
+        assert!(
+            exp >= marginal_cost - 0.05 * (1.0 + marginal_cost),
+            "Lemma 24: E[C] = {exp} must dominate C(marginals) = {marginal_cost}"
+        );
+    }
+
+    #[test]
+    fn randomized_expected_ratio_stays_near_two() {
+        // Theorem 3 upper bound meets the Theorem 8 lower bound: on the
+        // adversarial instance the randomized algorithm's expected ratio
+        // should hover around 2 (finite-T/finite-eps slack allowed).
+        let eps = 0.125;
+        let adv = RandomizedAdversary { eps, t_len: 800 };
+        let mut frac = HalfStep::new(1, 2.0, EvalMode::Analytic);
+        let duel = adv.run(&mut frac);
+        let exp = expected_cost(
+            |seed| {
+                RandomizedOnline::new(HalfStep::new(1, 2.0, EvalMode::Analytic), 1, seed)
+            },
+            &duel.instance,
+            1000,
+        );
+        let opt = duel.grid_opt(32);
+        let ratio = exp / opt;
+        assert!(
+            (1.5..=2.6).contains(&ratio),
+            "expected ratio {ratio} should be near 2"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Lower bounds for the restricted (Lin et al.) model — Theorems 5, 7
+//! and 9: the general-model constructions carry over to eq. (2) instances.
+//!
+//! The reductions, exactly as in the proofs:
+//!
+//! * **Discrete** (Theorem 5): two servers, `f(z) = eps*|1 - 2z|`,
+//!   `beta = 2`. The general-model function `phi_0` maps to load
+//!   `lambda = 1/2` and `phi_1` to `lambda = 1`; states shift by one
+//!   (`x^L_t = x^G_t + 1`), so per-slot operating costs coincide:
+//!   `x^L f(l_0/x^L) = eps|x^G|` and `x^L f(l_1/x^L) = eps|1 - x^G|`.
+//! * **Continuous** (Theorem 7): one server, `f(z) = eps*|1 - k z|` with
+//!   `k -> inf`; `phi_0` maps to `lambda = 0`, `phi_1` to `lambda = 1/k`.
+//!
+//! [`to_restricted_discrete`] and [`to_restricted_continuous`] transform a
+//! `phi`-sequence instance into the corresponding restricted instance;
+//! tests verify the cost identities the proofs claim.
+
+use rsdc_core::prelude::*;
+
+/// Classify a general-model adversary function as `phi_0` or `phi_1`.
+/// Returns `None` for any other shape.
+pub fn classify_phi(f: &Cost) -> Option<(bool, f64)> {
+    match f {
+        Cost::Abs { slope, center } if *center == 0.0 => Some((false, *slope)),
+        Cost::Abs { slope, center } if *center == 1.0 => Some((true, *slope)),
+        _ => None,
+    }
+}
+
+/// Theorem 5 reduction: map a `phi`-sequence over `m = 1` to a restricted
+/// instance over `m = 2` with `f(z) = eps*|1 - 2z|`. General state `x`
+/// corresponds to restricted state `x + 1`.
+///
+/// Panics if the instance contains non-`phi` functions or mixed slopes.
+pub fn to_restricted_discrete(inst: &Instance) -> RestrictedInstance {
+    let mut eps = None;
+    let lambdas = inst
+        .cost_fns()
+        .iter()
+        .map(|f| {
+            let (is_phi1, slope) =
+                classify_phi(f).expect("restricted reduction needs phi functions");
+            match eps {
+                None => eps = Some(slope),
+                Some(e) => assert!(
+                    (e - slope).abs() < 1e-12,
+                    "mixed slopes {e} vs {slope} not supported"
+                ),
+            }
+            if is_phi1 {
+                1.0
+            } else {
+                0.5
+            }
+        })
+        .collect();
+    let eps = eps.unwrap_or(1.0);
+    RestrictedInstance::new(
+        2,
+        inst.beta(),
+        Unit::AbsAffine {
+            scale: eps,
+            c0: 1.0,
+            c1: 2.0,
+        },
+        lambdas,
+    )
+    .expect("valid restricted instance")
+}
+
+/// Map a general-model schedule (`x^G in {0, 1}`) to the corresponding
+/// restricted schedule (`x^L = x^G + 1`).
+pub fn lift_schedule(xs: &Schedule) -> Schedule {
+    Schedule(xs.0.iter().map(|&x| x + 1).collect())
+}
+
+/// Theorem 7 reduction: map a `phi`-sequence to a continuous restricted
+/// instance with `f(z) = eps*|1 - k z|`; `phi_0 -> lambda = 0`,
+/// `phi_1 -> lambda = 1/k`. States are unchanged.
+pub fn to_restricted_continuous(inst: &Instance, k: f64) -> RestrictedInstance {
+    let mut eps = None;
+    let lambdas = inst
+        .cost_fns()
+        .iter()
+        .map(|f| {
+            let (is_phi1, slope) =
+                classify_phi(f).expect("restricted reduction needs phi functions");
+            match eps {
+                None => eps = Some(slope),
+                Some(e) => assert!((e - slope).abs() < 1e-12),
+            }
+            if is_phi1 {
+                1.0 / k
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let eps = eps.unwrap_or(1.0);
+    RestrictedInstance::new(
+        1,
+        inst.beta(),
+        Unit::AbsAffine {
+            scale: eps,
+            c0: 1.0,
+            c1: k,
+        },
+        lambdas,
+    )
+    .expect("valid restricted instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::DiscreteAdversary;
+    use rsdc_online::lcp::Lcp;
+
+    fn phi_sequence(flags: &[bool], eps: f64) -> Instance {
+        let costs = flags
+            .iter()
+            .map(|&p1| if p1 { Cost::phi1(eps) } else { Cost::phi0(eps) })
+            .collect();
+        Instance::new(1, 2.0, costs).unwrap()
+    }
+
+    #[test]
+    fn discrete_reduction_preserves_operating_cost() {
+        let eps = 0.25;
+        let g = phi_sequence(&[true, false, true, true, false], eps);
+        let l = to_restricted_discrete(&g).to_general();
+        for xg in 0..=1u32 {
+            let xl = xg + 1;
+            for t in 1..=g.horizon() {
+                let a = g.cost_fn(t).eval(xg);
+                let b = l.cost_fn(t).eval(xl);
+                assert!((a - b).abs() < 1e-12, "t={t}, xg={xg}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_reduction_preserves_total_cost_up_to_entry_fee() {
+        // Shifting a whole schedule up by one changes switching cost by
+        // exactly one extra power-up at the start (beta) and leaves
+        // operating cost identical (previous test). For closed schedules
+        // the proofs absorb this O(1) into the limit.
+        let eps = 0.25;
+        let g = phi_sequence(&[true, false, true, false, false, true], eps);
+        let l = to_restricted_discrete(&g).to_general();
+        let xs_g = Schedule(vec![1, 0, 1, 0, 0, 1]);
+        let xs_l = lift_schedule(&xs_g);
+        let cg = cost(&g, &xs_g);
+        let cl = cost(&l, &xs_l);
+        assert!(
+            (cl - (cg + l.beta())).abs() < 1e-9,
+            "restricted cost {cl} = general {cg} + one power-up {}",
+            l.beta()
+        );
+    }
+
+    #[test]
+    fn restricted_feasibility_forces_one_server() {
+        let eps = 0.25;
+        let g = phi_sequence(&[true, false], eps);
+        let l = to_restricted_discrete(&g).to_general();
+        // State 0 is infeasible at every slot (lambda >= 0.5 > 0).
+        for t in 1..=l.horizon() {
+            assert!(l.cost_fn(t).eval(0).is_infinite());
+            assert!(l.cost_fn(t).eval(1).is_finite());
+        }
+    }
+
+    #[test]
+    fn lower_bound_carries_to_restricted_model() {
+        // Run the Theorem 4 adversary against LCP on the general model,
+        // map the instance across the reduction, and verify LCP's ratio on
+        // the restricted instance is also close to 3.
+        let adv = DiscreteAdversary {
+            eps: 0.02,
+            t_len: 2500,
+        };
+        let mut lcp_g = Lcp::new(1, 2.0);
+        let duel = adv.run(&mut lcp_g);
+        let l = to_restricted_discrete(&duel.instance).to_general();
+
+        let mut lcp_l = Lcp::new(2, 2.0);
+        let xs_l = rsdc_online::traits::run(&mut lcp_l, &l);
+        let (_, _, ratio) = rsdc_online::traits::competitive_ratio(&l, &xs_l);
+        assert!(ratio <= 3.0 + 1e-9, "Theorem 2 still applies: {ratio}");
+        // The mapped instance shifts LCP's dynamics slightly (state 0 is
+        // infeasible, one extra entry power-up), so allow a bit more
+        // finite-T slack than in the general model.
+        assert!(
+            ratio > 2.5,
+            "Theorem 5: adversary survives the reduction, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn continuous_reduction_matches_phi_costs() {
+        let eps = 0.5;
+        let g = phi_sequence(&[true, false, true], eps);
+        let k = 64.0;
+        let l = to_restricted_continuous(&g, k);
+        let lg = l.to_general();
+        // At fractional states x >= lambda the analytic costs coincide with
+        // the phi functions.
+        for &x in &[0.25f64, 0.5, 0.75, 1.0] {
+            for t in 1..=g.horizon() {
+                let a = g.cost_fn(t).eval_analytic(x);
+                let b = lg.cost_fn(t).eval_analytic(x);
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "t={t}, x={x}: phi {a} vs restricted {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classify_rejects_non_phi() {
+        assert!(classify_phi(&Cost::quadratic(1.0, 0.0, 0.0)).is_none());
+        assert!(classify_phi(&Cost::abs(1.0, 2.0)).is_none());
+        assert_eq!(classify_phi(&Cost::phi0(0.3)), Some((false, 0.3)));
+        assert_eq!(classify_phi(&Cost::phi1(0.3)), Some((true, 0.3)));
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion bench: offline solver scaling (experiment E3's microscope).
+//!
+//! Series: `dp` (O(T m)) and `binsearch` (O(T log m)) across `m` at fixed
+//! `T`, plus a `T` sweep at fixed `m`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsdc_core::prelude::*;
+use rsdc_offline::{binsearch, dp};
+use std::hint::black_box;
+
+fn workload(m: u32, t_len: usize) -> Instance {
+    let costs = (0..t_len)
+        .map(|t| {
+            let target = (m as f64 / 2.0) * (1.0 + ((t as f64) * 0.05).sin());
+            Cost::abs(1.0, target)
+        })
+        .collect();
+    Instance::new(m, 2.0, costs).expect("valid instance")
+}
+
+fn bench_m_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline/m_sweep_T512");
+    for m in [64u32, 256, 1024, 4096] {
+        let inst = workload(m, 512);
+        group.bench_with_input(BenchmarkId::new("dp", m), &inst, |b, inst| {
+            b.iter(|| black_box(dp::solve_cost_only(black_box(inst))))
+        });
+        group.bench_with_input(BenchmarkId::new("binsearch", m), &inst, |b, inst| {
+            b.iter(|| black_box(binsearch::solve(black_box(inst)).cost))
+        });
+    }
+    group.finish();
+}
+
+fn bench_t_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline/T_sweep_m512");
+    for t_len in [256usize, 1024, 4096] {
+        let inst = workload(512, t_len);
+        group.bench_with_input(BenchmarkId::new("binsearch", t_len), &inst, |b, inst| {
+            b.iter(|| black_box(binsearch::solve(black_box(inst)).cost))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_m_sweep, bench_t_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: randomized rounding throughput (supports E6) and the
+//! fractional HalfStep stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsdc_core::prelude::*;
+use rsdc_online::fractional::{EvalMode, HalfStep};
+use rsdc_online::randomized::round_schedule;
+use rsdc_online::traits::run_frac;
+use std::hint::black_box;
+
+fn frac_schedule(t_len: usize) -> FracSchedule {
+    FracSchedule(
+        (0..t_len)
+            .map(|t| 4.0 + 3.5 * ((t as f64) * 0.1).sin())
+            .collect(),
+    )
+}
+
+fn bench_rounding(c: &mut Criterion) {
+    let xs = frac_schedule(4096);
+    c.bench_function("rounding/round_schedule_T4096", |b| {
+        b.iter(|| {
+            let rng = StdRng::seed_from_u64(7);
+            black_box(round_schedule(rng, black_box(&xs)))
+        })
+    });
+}
+
+fn bench_halfstep(c: &mut Criterion) {
+    let inst = Instance::new(
+        16,
+        2.0,
+        (0..1024)
+            .map(|t| Cost::abs(1.0, 8.0 + 6.0 * ((t as f64) * 0.2).sin()))
+            .collect::<Vec<_>>(),
+    )
+    .expect("params");
+    c.bench_function("rounding/halfstep_T1024", |b| {
+        b.iter(|| {
+            let mut alg = HalfStep::new(16, 2.0, EvalMode::Interpolate);
+            black_box(run_frac(&mut alg, black_box(&inst)))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rounding, bench_halfstep
+);
+criterion_main!(benches);

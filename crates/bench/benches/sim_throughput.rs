@@ -1,0 +1,38 @@
+//! Criterion bench: simulator throughput (supports E11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsdc_online::lcp::Lcp;
+use rsdc_sim::{simulate_online, SimConfig};
+use rsdc_workloads::traces::Diurnal;
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/lcp_diurnal_T960");
+    for m in [16u32, 64, 256] {
+        let trace = Diurnal {
+            period: 48,
+            base: 2.0,
+            peak: m as f64 * 0.7,
+            noise: 0.1,
+        }
+        .generate(960, 3);
+        let cfg = SimConfig {
+            m,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("m", m), &(cfg, trace), |b, (cfg, trace)| {
+            b.iter(|| {
+                let mut lcp = Lcp::new(cfg.m, cfg.cost_model.beta);
+                black_box(simulate_online(cfg, trace, &mut lcp).model_cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim
+);
+criterion_main!(benches);

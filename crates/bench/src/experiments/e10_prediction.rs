@@ -1,0 +1,97 @@
+//! E10 — Theorem 10: a finite prediction window does not help.
+//!
+//! Compares a receding-horizon controller with window `w` on a hard
+//! sequence `F` versus the dilated sequence `F' = dilate(F, n, w)`: as `n`
+//! grows, the lookahead advantage (ratio improvement over `w = 0`) must
+//! shrink toward zero.
+
+use crate::report::{fmt, Report};
+use rayon::prelude::*;
+use rsdc_adversary::dilation::dilate;
+use rsdc_core::prelude::*;
+use rsdc_online::prediction::RecedingHorizon;
+use rsdc_online::traits::{competitive_ratio, run_lookahead};
+
+fn hard_sequence(eps: f64, cycles: usize) -> Instance {
+    let period = (2.0 / eps).ceil() as usize;
+    let costs = (0..cycles * 2 * period)
+        .map(|t| {
+            if (t / period) % 2 == 0 {
+                Cost::phi1(eps)
+            } else {
+                Cost::phi0(eps)
+            }
+        })
+        .collect();
+    Instance::new(1, 2.0, costs).expect("params")
+}
+
+/// Run the experiment.
+pub fn run() -> Report {
+    let mut rep = Report::new(
+        "E10",
+        "prediction windows under dilation",
+        "Theorem 10: dilating each function into n*w scaled copies makes a w-window's advantage \
+         vanish as n grows",
+        &["w", "n", "T'", "ratio(w)", "ratio(0)", "advantage"],
+    );
+
+    let eps = 0.5;
+    let base = hard_sequence(eps, 4);
+    let w = 3usize;
+
+    let settings: Vec<usize> = vec![1, 2, 6];
+    let rows: Vec<_> = settings
+        .par_iter()
+        .map(|&n| {
+            let d = dilate(&base, n, w);
+            let mut rh = RecedingHorizon::new(1, 2.0);
+            let xs_w = run_lookahead(&mut rh, &d, w);
+            let (_, _, ratio_w) = competitive_ratio(&d, &xs_w);
+            let mut rh0 = RecedingHorizon::new(1, 2.0);
+            let xs_0 = run_lookahead(&mut rh0, &d, 0);
+            let (_, _, ratio_0) = competitive_ratio(&d, &xs_0);
+            (n, d.horizon(), ratio_w, ratio_0)
+        })
+        .collect();
+
+    let mut advantages = Vec::new();
+    for (n, t_len, ratio_w, ratio_0) in rows {
+        let adv = (ratio_0 - ratio_w).max(0.0) / ratio_0;
+        advantages.push((n, adv));
+        rep.row(vec![
+            w.to_string(),
+            n.to_string(),
+            t_len.to_string(),
+            fmt(ratio_w),
+            fmt(ratio_0),
+            fmt(adv),
+        ]);
+    }
+
+    advantages.sort_by_key(|&(n, _)| n);
+    let first = advantages.first().map(|&(_, a)| a).unwrap_or(0.0);
+    let last = advantages.last().map(|&(_, a)| a).unwrap_or(0.0);
+    rep.check(
+        last <= first + 0.02,
+        format!(
+            "lookahead advantage does not grow with dilation (n=min: {}, n=max: {})",
+            fmt(first),
+            fmt(last)
+        ),
+    );
+    rep.check(
+        last < 0.25,
+        format!("advantage at max dilation is small ({})", fmt(last)),
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e10_passes() {
+        let r = super::run();
+        assert!(r.pass, "{}", r.to_markdown());
+    }
+}

@@ -1,0 +1,71 @@
+//! E12 — Lemma 4: fractional optima round to integral optima.
+//!
+//! Certifies, over random instances, that (1) refining the state grid never
+//! beats the integral optimum of the continuous extension, and (2) flooring
+//! or ceiling the (lifted) fractional optimum preserves optimality.
+
+use crate::report::{fmt, Report};
+use rayon::prelude::*;
+use rsdc_offline::{dp, rounding};
+use rsdc_workloads::random::{random_instance, RandomInstanceCfg};
+
+/// Run the experiment.
+pub fn run() -> Report {
+    let mut rep = Report::new(
+        "E12",
+        "Lemma 4 rounding",
+        "Lemma 4: floor/ceil of an optimal fractional schedule remain optimal; hence the \
+         continuous extension's optimum equals the discrete optimum",
+        &["grid k", "instances", "max (discrete - grid)/|opt|", "max rounding gap"],
+    );
+
+    let cfg = RandomInstanceCfg {
+        m: 6,
+        t_len: 10,
+        ..Default::default()
+    };
+    let n = 60usize;
+
+    let mut all_ok = true;
+    for k in [2u32, 3, 5, 8] {
+        let gaps: Vec<(f64, f64)> = (0..n)
+            .into_par_iter()
+            .map(|seed| {
+                let inst = random_instance(&cfg, 500 + seed as u64);
+                let discrete = dp::solve_cost_only(&inst);
+                let fine = rounding::refined_grid_optimum(&inst, k);
+                // Grid refinement may only *equal* the discrete optimum.
+                let grid_gap = (discrete - fine) / (1.0 + discrete.abs());
+
+                let (frac, val) = rounding::fractional_optimum(&inst);
+                let (lo, hi, fc) = rounding::floor_ceil_costs(&inst, &frac);
+                let rounding_gap = (lo - val).abs().max((hi - val).abs()).max((fc - val).abs())
+                    / (1.0 + val.abs());
+                (grid_gap, rounding_gap)
+            })
+            .collect();
+        let max_grid = gaps.iter().map(|g| g.0).fold(f64::NEG_INFINITY, f64::max);
+        let max_round = gaps.iter().map(|g| g.1).fold(0.0, f64::max);
+        all_ok &= max_grid < 1e-7 && max_round < 1e-9;
+        rep.row(vec![
+            k.to_string(),
+            n.to_string(),
+            fmt(max_grid),
+            fmt(max_round),
+        ]);
+    }
+    rep.check(
+        all_ok,
+        "no grid refinement beats the integral optimum; rounding is lossless",
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e12_passes() {
+        let r = super::run();
+        assert!(r.pass, "{}", r.to_markdown());
+    }
+}

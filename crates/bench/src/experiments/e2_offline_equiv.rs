@@ -1,0 +1,87 @@
+//! E2 — Theorem 1: the binary-search algorithm is exact.
+//!
+//! Sweeps instance shapes and certifies `cost(binsearch) = cost(DP)` (and
+//! `= cost(brute force)` where enumeration is feasible) over random convex
+//! instances.
+
+use crate::report::{fmt, Report};
+use rayon::prelude::*;
+use rsdc_offline::{binsearch, brute, dp};
+use rsdc_workloads::random::{random_instance, RandomInstanceCfg};
+
+/// Run the experiment.
+pub fn run() -> Report {
+    let mut rep = Report::new(
+        "E2",
+        "offline optimality cross-check",
+        "Theorem 1: the O(T log m) binary-search algorithm computes optimal schedules",
+        &[
+            "m",
+            "T",
+            "instances",
+            "max |binsearch - DP|",
+            "max |DP - brute|",
+        ],
+    );
+
+    let shapes: &[(u32, usize, usize, bool)] = &[
+        // (m, T, instances, check_brute)
+        (2, 6, 80, true),
+        (3, 7, 60, true),
+        (5, 5, 40, true),
+        (8, 16, 60, false),
+        (13, 24, 40, false),
+        (64, 32, 20, false),
+        (257, 20, 10, false),
+    ];
+
+    let mut all_ok = true;
+    for &(m, t_len, n, check_brute) in shapes {
+        let cfg = RandomInstanceCfg {
+            m,
+            t_len,
+            ..Default::default()
+        };
+        let results: Vec<(f64, f64)> = (0..n)
+            .into_par_iter()
+            .map(|seed| {
+                let inst = random_instance(&cfg, 1000 + seed as u64);
+                let a = dp::solve(&inst);
+                let b = binsearch::solve(&inst);
+                let gap_fast = (a.cost - b.cost).abs() / (1.0 + a.cost.abs());
+                let gap_brute = if check_brute {
+                    let c = brute::solve(&inst);
+                    (a.cost - c.cost).abs() / (1.0 + a.cost.abs())
+                } else {
+                    0.0
+                };
+                (gap_fast, gap_brute)
+            })
+            .collect();
+        let max_fast = results.iter().map(|r| r.0).fold(0.0, f64::max);
+        let max_brute = results.iter().map(|r| r.1).fold(0.0, f64::max);
+        all_ok &= max_fast < 1e-9 && max_brute < 1e-9;
+        rep.row(vec![
+            m.to_string(),
+            t_len.to_string(),
+            n.to_string(),
+            fmt(max_fast),
+            if check_brute {
+                fmt(max_brute)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    rep.check(all_ok, "all solvers agree to 1e-9 relative tolerance");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e2_passes() {
+        let r = super::run();
+        assert!(r.pass, "{}", r.to_markdown());
+    }
+}

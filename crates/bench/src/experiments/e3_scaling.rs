@@ -1,0 +1,137 @@
+//! E3 — the O(T log m) runtime claim (Section 2.2).
+//!
+//! Wall-clock series: solve time versus `m` at fixed `T` for the full DP
+//! (expected ~linear in `m`) versus the binary-search algorithm (expected
+//! ~logarithmic in `m`), plus a `T` sweep at fixed `m` (both linear).
+//! Shape checks assert the growth *ratios*, not absolute times.
+
+use crate::report::{fmt, Report};
+use rsdc_core::prelude::*;
+use rsdc_offline::{binsearch, dp};
+use std::time::Instant;
+
+fn workload(m: u32, t_len: usize) -> Instance {
+    // Smooth sinusoidal targets; Abs costs are O(1) to evaluate so timing
+    // reflects the solvers, not cost-function evaluation.
+    let costs = (0..t_len)
+        .map(|t| {
+            let target = (m as f64 / 2.0) * (1.0 + ((t as f64) * 0.05).sin());
+            Cost::abs(1.0, target)
+        })
+        .collect();
+    Instance::new(m, 2.0, costs).expect("valid instance")
+}
+
+fn time_once<F: FnMut() -> f64>(mut f: F) -> (f64, f64) {
+    // Returns (seconds, result checksum) over the best of 3 runs.
+    let mut best = f64::INFINITY;
+    let mut out = 0.0;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+/// Run the experiment. `quick` shrinks sizes for CI-style runs.
+pub fn run_sized(quick: bool) -> Report {
+    let mut rep = Report::new(
+        "E3",
+        "offline solver scaling",
+        "Section 2.2: binary-search solves in O(T log m) versus O(T m) for the DP",
+        &["T", "m", "DP (ms)", "binsearch (ms)", "speedup"],
+    );
+
+    let t_fixed = if quick { 512 } else { 2048 };
+    let ms: Vec<u32> = if quick {
+        vec![64, 256, 1024, 4096]
+    } else {
+        vec![64, 256, 1024, 4096, 16384]
+    };
+
+    let mut dp_times = Vec::new();
+    let mut bs_times = Vec::new();
+    for &m in &ms {
+        let inst = workload(m, t_fixed);
+        let (t_dp, c_dp) = time_once(|| dp::solve_cost_only(&inst));
+        let (t_bs, c_bs) = time_once(|| binsearch::solve(&inst).cost);
+        assert!(
+            (c_dp - c_bs).abs() < 1e-6 * (1.0 + c_dp.abs()),
+            "solvers disagree at m={m}"
+        );
+        dp_times.push(t_dp);
+        bs_times.push(t_bs);
+        rep.row(vec![
+            t_fixed.to_string(),
+            m.to_string(),
+            fmt(t_dp * 1e3),
+            fmt(t_bs * 1e3),
+            fmt(t_dp / t_bs),
+        ]);
+    }
+
+    // Shape checks over the widest span: DP should grow roughly with m
+    // (factor >= a decent fraction of the m ratio); binary search only with
+    // log m (grows far slower than m).
+    let span = ms[ms.len() - 1] as f64 / ms[0] as f64;
+    let dp_growth = dp_times[dp_times.len() - 1] / dp_times[0].max(1e-9);
+    let bs_growth = bs_times[bs_times.len() - 1] / bs_times[0].max(1e-9);
+    rep.note(format!(
+        "m span x{span:.0}: DP grew x{dp_growth:.1}, binsearch grew x{bs_growth:.1}"
+    ));
+    rep.check(
+        dp_growth > span / 8.0,
+        "DP time grows on the order of m (within noise)",
+    );
+    rep.check(
+        bs_growth < span / 8.0,
+        "binary-search time grows far slower than m",
+    );
+    rep.check(
+        bs_times[bs_times.len() - 1] < dp_times[dp_times.len() - 1],
+        "binary search faster than DP at the largest m",
+    );
+
+    // T sweep at fixed m: both should be ~linear in T.
+    let m_fixed = if quick { 512 } else { 1024 };
+    let ts: Vec<usize> = if quick {
+        vec![256, 1024, 4096]
+    } else {
+        vec![512, 2048, 8192]
+    };
+    let mut bs_t = Vec::new();
+    for &t_len in &ts {
+        let inst = workload(m_fixed, t_len);
+        let (t_bs, _) = time_once(|| binsearch::solve(&inst).cost);
+        bs_t.push(t_bs);
+        rep.row(vec![
+            t_len.to_string(),
+            m_fixed.to_string(),
+            "-".into(),
+            fmt(t_bs * 1e3),
+            "-".into(),
+        ]);
+    }
+    let t_span = ts[ts.len() - 1] as f64 / ts[0] as f64;
+    let t_growth = bs_t[bs_t.len() - 1] / bs_t[0].max(1e-9);
+    rep.check(
+        t_growth < t_span * 4.0,
+        format!("binsearch ~linear in T (span x{t_span:.0}, grew x{t_growth:.1})"),
+    );
+    rep
+}
+
+/// Run with full sizes.
+pub fn run() -> Report {
+    run_sized(false)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e3_quick_passes() {
+        let r = super::run_sized(true);
+        assert!(r.pass, "{}", r.to_markdown());
+    }
+}

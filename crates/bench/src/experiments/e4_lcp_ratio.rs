@@ -1,0 +1,90 @@
+//! E4 — Theorem 2: LCP is 3-competitive on every workload.
+//!
+//! Runs discrete LCP over the synthetic trace corpus and a beta sweep,
+//! reporting the worst observed cost ratio against the exact offline
+//! optimum. Every ratio must be <= 3; typical workloads land far below.
+
+use crate::report::{fmt, Report};
+use rayon::prelude::*;
+use rsdc_online::lcp::Lcp;
+use rsdc_online::traits::{competitive_ratio, run as run_online};
+use rsdc_workloads::builder::CostModel;
+use rsdc_workloads::traces::standard_corpus;
+use rsdc_workloads::{fleet_size, random::*};
+
+/// Run the experiment.
+pub fn run() -> Report {
+    let mut rep = Report::new(
+        "E4",
+        "LCP competitiveness across workloads",
+        "Theorem 2: discrete Lazy Capacity Provisioning is 3-competitive",
+        &["workload", "beta", "LCP cost", "OPT cost", "ratio"],
+    );
+
+    let mut worst: f64 = 0.0;
+
+    // Trace-driven workloads under three switching-cost regimes.
+    for beta in [1.0, 6.0, 24.0] {
+        for trace in standard_corpus(600, 42) {
+            let model = CostModel {
+                beta,
+                ..Default::default()
+            };
+            let m = fleet_size(&trace, 0.8);
+            let inst = model.instance(m, &trace);
+            let mut lcp = Lcp::new(m, beta);
+            let xs = run_online(&mut lcp, &inst);
+            let (alg, opt, ratio) = competitive_ratio(&inst, &xs);
+            worst = worst.max(ratio);
+            rep.row(vec![
+                trace.label.clone(),
+                fmt(beta),
+                fmt(alg),
+                fmt(opt),
+                fmt(ratio),
+            ]);
+        }
+    }
+
+    // Random convex instances (harsher than trace-derived shapes).
+    let cfg = RandomInstanceCfg {
+        m: 10,
+        t_len: 80,
+        beta_range: (0.2, 20.0),
+        slope_scale: 3.0,
+    };
+    let random_worst = (0..200u64)
+        .into_par_iter()
+        .map(|seed| {
+            let inst = random_instance(&cfg, 7000 + seed);
+            let mut lcp = Lcp::new(inst.m(), inst.beta());
+            let xs = run_online(&mut lcp, &inst);
+            competitive_ratio(&inst, &xs).2
+        })
+        .reduce(|| 0.0, f64::max);
+    rep.row(vec![
+        "200 random convex instances (worst)".into(),
+        "0.2-20".into(),
+        "-".into(),
+        "-".into(),
+        fmt(random_worst),
+    ]);
+    worst = worst.max(random_worst);
+
+    rep.note(format!("worst observed ratio: {}", fmt(worst)));
+    rep.check(worst <= 3.0 + 1e-9, "all ratios <= 3 (Theorem 2)");
+    rep.check(
+        worst > 1.05,
+        "some workload actually stresses LCP (sanity of the harness)",
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e4_passes() {
+        let r = super::run();
+        assert!(r.pass, "{}", r.to_markdown());
+    }
+}

@@ -1,0 +1,64 @@
+//! E5 — Theorem 4: the deterministic lower bound of 3.
+//!
+//! Sweeps `eps` (with the canonical horizon `T = 1/eps^2`) and reports the
+//! adversary's achieved ratio against LCP, which must converge to 3 from
+//! below while respecting the finite-parameter floor.
+
+use crate::report::{fmt, Report};
+use rayon::prelude::*;
+use rsdc_adversary::discrete::DiscreteAdversary;
+use rsdc_online::lcp::Lcp;
+
+/// Run the experiment.
+pub fn run() -> Report {
+    let mut rep = Report::new(
+        "E5",
+        "deterministic lower bound (discrete)",
+        "Theorem 4: no deterministic online algorithm beats 3; the adversary forces LCP toward 3 \
+         as eps -> 0",
+        &["eps", "T", "LCP cost", "OPT cost", "ratio", "floor"],
+    );
+
+    let epss = [0.1, 0.05, 0.02, 0.01, 0.005];
+    let results: Vec<_> = epss
+        .par_iter()
+        .map(|&eps| {
+            let adv = DiscreteAdversary::with_canonical_horizon(eps);
+            let mut lcp = Lcp::new(1, 2.0);
+            let duel = adv.run(&mut lcp);
+            let (alg, opt, ratio) = duel.ratio();
+            (eps, adv.t_len, alg, opt, ratio, adv.theoretical_ratio_floor())
+        })
+        .collect();
+
+    let mut final_ratio = 0.0;
+    let mut all_ok = true;
+    for (eps, t, alg, opt, ratio, floor) in results {
+        all_ok &= ratio <= 3.0 + 1e-9 && ratio >= floor - 1e-9;
+        final_ratio = ratio;
+        rep.row(vec![
+            fmt(eps),
+            t.to_string(),
+            fmt(alg),
+            fmt(opt),
+            fmt(ratio),
+            fmt(floor),
+        ]);
+    }
+
+    rep.check(all_ok, "every ratio in [floor, 3]");
+    rep.check(
+        final_ratio > 2.93,
+        format!("smallest eps pushes the ratio to {} (-> 3)", fmt(final_ratio)),
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e5_passes() {
+        let r = super::run();
+        assert!(r.pass, "{}", r.to_markdown());
+    }
+}

@@ -1,0 +1,63 @@
+//! E7 — Theorem 8: the randomized lower bound of 2.
+//!
+//! Sweeps `eps` and drives the marginal schedule of the randomized
+//! algorithm (= its fractional stage, by Lemma 18) with the continuous
+//! adversary; the marginal-cost-to-OPT ratio must approach 2.
+
+use crate::report::{fmt, Report};
+use rayon::prelude::*;
+use rsdc_adversary::randomized::RandomizedAdversary;
+use rsdc_online::fractional::{EvalMode, HalfStep};
+
+/// Run the experiment.
+pub fn run() -> Report {
+    let mut rep = Report::new(
+        "E7",
+        "randomized lower bound (discrete)",
+        "Theorem 8: no randomized algorithm beats 2 against an oblivious adversary; \
+         the marginal-schedule construction forces the ratio toward 2",
+        &["eps", "T", "C(marginals)", "OPT", "ratio"],
+    );
+
+    let sweeps = [(0.25, 2000usize), (0.125, 4000), (0.0625, 8000), (0.03125, 16000)];
+    let results: Vec<_> = sweeps
+        .par_iter()
+        .map(|&(eps, t_len)| {
+            let adv = RandomizedAdversary { eps, t_len };
+            let mut frac = HalfStep::new(1, 2.0, EvalMode::Analytic);
+            let duel = adv.run(&mut frac);
+            let c = duel.algorithm_cost();
+            let opt = duel.grid_opt(128);
+            (eps, t_len, c, opt, c / opt)
+        })
+        .collect();
+
+    let mut last_ratio = 0.0;
+    let mut all_lb = true;
+    for (eps, t, c, opt, ratio) in results {
+        all_lb &= ratio >= 2.0 - eps;
+        last_ratio = ratio;
+        rep.row(vec![
+            fmt(eps),
+            t.to_string(),
+            fmt(c),
+            fmt(opt),
+            fmt(ratio),
+        ]);
+    }
+    rep.check(all_lb, "every ratio >= 2 - eps (Lemma 21/22 accounting)");
+    rep.check(
+        last_ratio > 1.95,
+        format!("smallest eps reaches {} (-> 2)", fmt(last_ratio)),
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e7_passes() {
+        let r = super::run();
+        assert!(r.pass, "{}", r.to_markdown());
+    }
+}

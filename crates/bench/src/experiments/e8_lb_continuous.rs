@@ -1,0 +1,116 @@
+//! E8 — Theorem 6 / Lemmas 21–23: the continuous lower bound of 2.
+//!
+//! Three series:
+//! 1. algorithm B against its own adversary: ratio -> 2 - eps/2;
+//! 2. Lemma 23: every other tested algorithm pays at least C(B);
+//! 3. the Lemma 21 case-1 workload (absorption at 0): a deterministic
+//!    sequence driving B back to 0 realises the 2 - eps/2 accounting
+//!    exactly.
+
+use crate::report::{fmt, Report};
+use rsdc_adversary::continuous::{AlgorithmB, ContinuousAdversary};
+use rsdc_core::prelude::*;
+use rsdc_online::fractional::{EvalMode, HalfStep, MemorylessBalance, Obd};
+use rsdc_online::traits::FractionalAlgorithm;
+
+/// Run the experiment.
+pub fn run() -> Report {
+    let mut rep = Report::new(
+        "E8",
+        "continuous lower bound via algorithm B",
+        "Theorem 6: no deterministic online algorithm for the continuous setting beats 2 \
+         (C(A) >= C(B) >= (2 - eps/2) OPT)",
+        &["series", "eps", "C(alg)", "C(B)", "OPT", "C(B)/OPT"],
+    );
+
+    let mut all_ok = true;
+    let mut best_ratio = 0.0f64;
+
+    // Series 1+2: the interactive adversary against several algorithms.
+    // T scales as 1/eps^2 so the Lemma 21 finite-horizon slack term
+    // O(1/(T eps)) vanishes along the sweep.
+    for eps in [0.25, 0.125, 0.0625, 0.03125] {
+        let t_len = (128.0 / (eps * eps)) as usize;
+        let algorithms: Vec<Box<dyn FractionalAlgorithm>> = vec![
+            Box::new(HalfStep::new(1, 2.0, EvalMode::Analytic)),
+            Box::new(MemorylessBalance::new(1, 2.0, EvalMode::Analytic)),
+            Box::new(Obd::new(1, 2.0, 2.0, EvalMode::Analytic)),
+        ];
+        for mut alg in algorithms {
+            let adv = ContinuousAdversary { eps, t_len };
+            let duel = adv.run(alg.as_mut());
+            let c_a = duel.algorithm_cost();
+            let c_b = duel.b_cost();
+            let opt = duel.grid_opt(128);
+            let ratio_b = c_b / opt;
+            all_ok &= c_a >= c_b - 1e-6; // Lemma 23
+            all_ok &= ratio_b >= 2.0 - eps; // Lemma 21 accounting
+            best_ratio = best_ratio.max(ratio_b);
+            rep.row(vec![
+                alg.name(),
+                fmt(eps),
+                fmt(c_a),
+                fmt(c_b),
+                fmt(opt),
+                fmt(ratio_b),
+            ]);
+        }
+    }
+
+    // Series 3: Lemma 21 case 1 — a fixed alternating sequence absorbing B
+    // at 0 (send phi_0 until B hits 0, repeatedly).
+    let eps = 0.0625;
+    let mut b = AlgorithmB::new(eps);
+    let mut inst = Instance::empty(1, 2.0).expect("params");
+    let mut xs = Vec::new();
+    let half_period = (2.0 / eps) as usize / 2; // up 16, down 16
+    for cycle in 0..40 {
+        for _ in 0..half_period {
+            let f = if cycle % 2 == 0 {
+                Cost::phi1(eps)
+            } else {
+                Cost::phi0(eps)
+            };
+            inst.push(f.clone());
+            xs.push(b.step(&f));
+        }
+    }
+    let sched = FracSchedule(xs);
+    let c_b = frac_symmetric_cost(&inst, &sched, FracMode::Analytic);
+    let fine = {
+        let costs: Vec<Cost> = inst
+            .cost_fns()
+            .iter()
+            .map(|f| Cost::table((0..=64).map(|i| f.eval_analytic(i as f64 / 64.0)).collect()))
+            .collect();
+        Instance::new(64, 2.0 / 64.0, costs).expect("grid instance")
+    };
+    let opt = rsdc_offline::dp::solve_cost_only(&fine);
+    let ratio = c_b / opt;
+    rep.row(vec![
+        "case-1 absorption workload".into(),
+        fmt(eps),
+        fmt(c_b),
+        fmt(c_b),
+        fmt(opt),
+        fmt(ratio),
+    ]);
+    all_ok &= ratio >= 2.0 - eps;
+    best_ratio = best_ratio.max(ratio);
+
+    rep.check(all_ok, "C(A) >= C(B) and C(B)/OPT >= 2 - eps everywhere");
+    rep.check(
+        best_ratio > 1.95,
+        format!("the bound is tight: best ratio {}", fmt(best_ratio)),
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e8_passes() {
+        let r = super::run();
+        assert!(r.pass, "{}", r.to_markdown());
+    }
+}

@@ -1,0 +1,400 @@
+//! The `rsdc` subcommands. Each returns its output as a string so the
+//! logic is unit-testable without capturing stdout.
+
+use crate::args::{ArgError, Args};
+use rsdc_core::prelude::*;
+use rsdc_online::fractional::{EvalMode, HalfStep};
+use rsdc_online::lcp::Lcp;
+use rsdc_online::randomized::RandomizedOnline;
+use rsdc_online::traits::run as run_online;
+use rsdc_sim::{simulate_best_static, simulate_offline_optimum, simulate_online, SimConfig};
+use rsdc_workloads::builder::CostModel;
+use rsdc_workloads::traces::{Bursty, Diurnal, Spiky, Stationary, Trace};
+use rsdc_workloads::{fleet_size, io};
+
+/// Any error a command can produce.
+#[derive(Debug)]
+pub enum CmdError {
+    /// Bad command line.
+    Args(ArgError),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Anything else, with a message.
+    Other(String),
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmdError::Args(e) => write!(f, "{e}"),
+            CmdError::Io(e) => write!(f, "{e}"),
+            CmdError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<ArgError> for CmdError {
+    fn from(e: ArgError) -> Self {
+        CmdError::Args(e)
+    }
+}
+impl From<std::io::Error> for CmdError {
+    fn from(e: std::io::Error) -> Self {
+        CmdError::Io(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rsdc — discrete data-center right-sizing (Albers & Quedenfeld, SPAA 2018)
+
+USAGE: rsdc <command> [options]
+
+COMMANDS
+  generate   synthesize a workload trace
+             --kind diurnal|bursty|spiky|stationary  --slots N [--seed S]
+             [--out FILE(.json|.csv)]
+  solve      optimal offline schedule for a trace
+             --trace FILE [--m M] [--beta B]
+             [--algorithm binsearch|dp|backward] [--out FILE]
+  online     run an online policy over a trace
+             --trace FILE [--m M] [--beta B]
+             [--algorithm lcp|randomized] [--seed S] [--out FILE]
+  simulate   cluster simulation with energy/SLA metrics
+             --trace FILE [--m M] [--beta B] [--policy lcp|opt|static]
+  analyze    trace statistics and the optimal schedule's structure
+             --trace FILE [--m M] [--beta B]
+  help       this text
+";
+
+/// Dispatch a parsed command line.
+pub fn dispatch(args: &Args) -> Result<String, CmdError> {
+    match args.command.as_deref() {
+        Some("generate") => cmd_generate(args),
+        Some("solve") => cmd_solve(args),
+        Some("online") => cmd_online(args),
+        Some("simulate") => cmd_simulate(args),
+        Some("analyze") => cmd_analyze(args),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(CmdError::Other(format!(
+            "unknown command {other:?}; try `rsdc help`"
+        ))),
+    }
+}
+
+fn load_trace(args: &Args) -> Result<Trace, CmdError> {
+    let path: String = args.require("trace")?;
+    let data = std::fs::read(&path)?;
+    if path.ends_with(".csv") {
+        Ok(io::read_csv(&data[..], path.clone())?)
+    } else {
+        io::from_json(
+            std::str::from_utf8(&data)
+                .map_err(|e| CmdError::Other(format!("{path}: not UTF-8: {e}")))?,
+        )
+        .map_err(|e| CmdError::Other(format!("{path}: bad JSON trace: {e}")))
+    }
+}
+
+fn write_output(args: &Args, default_desc: &str, body: String) -> Result<String, CmdError> {
+    if let Some(path) = args.get_str("out") {
+        std::fs::write(path, &body)?;
+        Ok(format!("wrote {default_desc} to {path}\n"))
+    } else {
+        Ok(body)
+    }
+}
+
+fn model_of(args: &Args) -> Result<(u32, CostModel, Trace), CmdError> {
+    let trace = load_trace(args)?;
+    let beta: f64 = args.get_or("beta", 6.0)?;
+    if !(beta.is_finite() && beta > 0.0) {
+        return Err(CmdError::Other(format!("--beta must be positive, got {beta}")));
+    }
+    let m: u32 = match args.get_str("m") {
+        Some(_) => args.require("m")?,
+        None => fleet_size(&trace, 0.8),
+    };
+    let model = CostModel {
+        beta,
+        ..Default::default()
+    };
+    Ok((m, model, trace))
+}
+
+fn cmd_generate(args: &Args) -> Result<String, CmdError> {
+    let kind: String = args.require("kind")?;
+    let slots: usize = args.require("slots")?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let trace = match kind.as_str() {
+        "diurnal" => Diurnal::default().generate(slots, seed),
+        "bursty" => Bursty::default().generate(slots, seed),
+        "spiky" => Spiky::default().generate(slots, seed),
+        "stationary" => Stationary::default().generate(slots, seed),
+        other => {
+            return Err(CmdError::Other(format!(
+                "unknown trace kind {other:?} (diurnal|bursty|spiky|stationary)"
+            )))
+        }
+    };
+    let body = if args.get_str("out").map(|p| p.ends_with(".csv")) == Some(true) {
+        let mut buf = Vec::new();
+        io::write_csv(&mut buf, &trace)?;
+        String::from_utf8(buf).expect("csv is ascii")
+    } else {
+        io::to_json(&trace).map_err(|e| CmdError::Other(e.to_string()))?
+    };
+    write_output(args, &format!("{} slots of {kind}", trace.len()), body)
+}
+
+fn cmd_solve(args: &Args) -> Result<String, CmdError> {
+    let (m, model, trace) = model_of(args)?;
+    let inst = model.instance(m, &trace);
+    let algorithm: String = args.get_or("algorithm", "binsearch".to_string())?;
+    let sol = match algorithm.as_str() {
+        "binsearch" => rsdc_offline::binsearch::solve(&inst),
+        "dp" => rsdc_offline::dp::solve(&inst),
+        "backward" => rsdc_offline::backward::solve(&inst),
+        other => {
+            return Err(CmdError::Other(format!(
+                "unknown offline algorithm {other:?} (binsearch|dp|backward)"
+            )))
+        }
+    };
+    let body = serde_json::json!({
+        "trace": trace.label,
+        "m": m,
+        "beta": model.beta,
+        "algorithm": algorithm,
+        "cost": sol.cost,
+        "schedule": sol.schedule.0,
+    });
+    write_output(
+        args,
+        "offline schedule",
+        serde_json::to_string_pretty(&body).expect("serializable") + "\n",
+    )
+}
+
+fn cmd_online(args: &Args) -> Result<String, CmdError> {
+    let (m, model, trace) = model_of(args)?;
+    let inst = model.instance(m, &trace);
+    let algorithm: String = args.get_or("algorithm", "lcp".to_string())?;
+    let xs = match algorithm.as_str() {
+        "lcp" => {
+            let mut a = Lcp::new(m, model.beta);
+            run_online(&mut a, &inst)
+        }
+        "randomized" => {
+            let seed: u64 = args.get_or("seed", 0)?;
+            let mut a = RandomizedOnline::new(
+                HalfStep::new(m, model.beta, EvalMode::Interpolate),
+                m,
+                seed,
+            );
+            run_online(&mut a, &inst)
+        }
+        other => {
+            return Err(CmdError::Other(format!(
+                "unknown online algorithm {other:?} (lcp|randomized)"
+            )))
+        }
+    };
+    let alg_cost = cost(&inst, &xs);
+    let opt = rsdc_offline::dp::solve_cost_only(&inst);
+    let body = serde_json::json!({
+        "trace": trace.label,
+        "m": m,
+        "beta": model.beta,
+        "algorithm": algorithm,
+        "cost": alg_cost,
+        "offline_optimum": opt,
+        "ratio": if opt > 0.0 { alg_cost / opt } else { 1.0 },
+        "schedule": xs.0,
+    });
+    write_output(
+        args,
+        "online schedule",
+        serde_json::to_string_pretty(&body).expect("serializable") + "\n",
+    )
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, CmdError> {
+    let (m, model, trace) = model_of(args)?;
+    let cfg = SimConfig {
+        m,
+        cost_model: model,
+        ..Default::default()
+    };
+    let policy: String = args.get_or("policy", "lcp".to_string())?;
+    let report = match policy.as_str() {
+        "lcp" => {
+            let mut a = Lcp::new(m, model.beta);
+            simulate_online(&cfg, &trace, &mut a)
+        }
+        "opt" => simulate_offline_optimum(&cfg, &trace),
+        "static" => simulate_best_static(&cfg, &trace),
+        other => {
+            return Err(CmdError::Other(format!(
+                "unknown policy {other:?} (lcp|opt|static)"
+            )))
+        }
+    };
+    let body = serde_json::json!({
+        "trace": trace.label,
+        "m": m,
+        "beta": model.beta,
+        "policy": report.policy,
+        "model_cost": report.model_cost,
+        "total_energy": report.metrics.total_energy(),
+        "drop_rate": report.metrics.drop_rate(),
+        "mean_committed": report.metrics.mean_committed(),
+        "total_wakes": report.metrics.total_wakes(),
+        "slots": report.metrics.slots(),
+    });
+    Ok(serde_json::to_string_pretty(&body).expect("serializable") + "\n")
+}
+
+fn cmd_analyze(args: &Args) -> Result<String, CmdError> {
+    let (m, model, trace) = model_of(args)?;
+    let stats = rsdc_workloads::stats::trace_stats(&trace);
+    let inst = model.instance(m, &trace);
+    let sol = rsdc_offline::binsearch::solve(&inst);
+    let breakdown = rsdc_core::analysis::breakdown(&inst, &sol.schedule);
+    let sched_stats = rsdc_core::analysis::stats(&sol.schedule);
+    let (_, static_cost) = model.best_static_cost(m, &trace);
+    let body = serde_json::json!({
+        "trace": {
+            "label": trace.label,
+            "slots": stats.len,
+            "mean_load": stats.mean,
+            "peak_load": stats.max,
+            "peak_to_mean": stats.peak_to_mean,
+            "cv": stats.cv,
+            "autocorr_lag1": stats.autocorr1,
+            "burstiness": stats.burstiness,
+        },
+        "optimal_schedule": {
+            "m": m,
+            "beta": model.beta,
+            "cost": sol.cost,
+            "operating_cost": breakdown.operating,
+            "switching_cost": breakdown.switching,
+            "switching_share": breakdown.switching_share(),
+            "power_ups": sched_stats.total_power_ups,
+            "phases": sched_stats.phase_count,
+            "peak_servers": sched_stats.peak,
+            "mean_servers": sched_stats.mean,
+        },
+        "right_sizing_savings_pct":
+            if static_cost > 0.0 { 100.0 * (1.0 - sol.cost / static_cost) } else { 0.0 },
+    });
+    Ok(serde_json::to_string_pretty(&body).expect("serializable") + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("rsdc-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_is_returned_by_default() {
+        let out = dispatch(&args(&[])).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn generate_then_solve_then_online_then_simulate() {
+        let trace_path = tmp("pipe.json");
+        let out = dispatch(&args(&[
+            "generate", "--kind", "diurnal", "--slots", "96", "--seed", "3", "--out", &trace_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("96 slots"));
+
+        let solved = dispatch(&args(&["solve", "--trace", &trace_path, "--beta", "4.0"])).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&solved).unwrap();
+        assert!(v["cost"].as_f64().unwrap() > 0.0);
+        assert_eq!(v["schedule"].as_array().unwrap().len(), 96);
+
+        let online = dispatch(&args(&["online", "--trace", &trace_path])).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&online).unwrap();
+        let ratio = v["ratio"].as_f64().unwrap();
+        assert!((1.0..=3.0 + 1e-9).contains(&ratio), "ratio {ratio}");
+
+        let sim = dispatch(&args(&["simulate", "--trace", &trace_path, "--policy", "opt"])).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&sim).unwrap();
+        assert!(v["total_energy"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn generate_csv_roundtrip() {
+        let p = tmp("t.csv");
+        dispatch(&args(&[
+            "generate", "--kind", "bursty", "--slots", "50", "--out", &p,
+        ]))
+        .unwrap();
+        let solved = dispatch(&args(&["solve", "--trace", &p, "--m", "20"])).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&solved).unwrap();
+        assert_eq!(v["m"], 20);
+    }
+
+    #[test]
+    fn solver_choices_agree() {
+        let p = tmp("agree.json");
+        dispatch(&args(&[
+            "generate", "--kind", "spiky", "--slots", "60", "--out", &p,
+        ]))
+        .unwrap();
+        let mut costs = Vec::new();
+        for alg in ["binsearch", "dp", "backward"] {
+            let out =
+                dispatch(&args(&["solve", "--trace", &p, "--algorithm", alg])).unwrap();
+            let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+            costs.push(v["cost"].as_f64().unwrap());
+        }
+        assert!((costs[0] - costs[1]).abs() < 1e-6 * (1.0 + costs[1]));
+        assert!((costs[1] - costs[2]).abs() < 1e-6 * (1.0 + costs[1]));
+    }
+
+    #[test]
+    fn analyze_reports_structure() {
+        let p = tmp("analyze.json");
+        dispatch(&args(&[
+            "generate", "--kind", "diurnal", "--slots", "96", "--out", &p,
+        ]))
+        .unwrap();
+        let out = dispatch(&args(&["analyze", "--trace", &p])).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["trace"]["slots"], 96);
+        assert!(v["trace"]["peak_to_mean"].as_f64().unwrap() > 1.0);
+        assert!(v["optimal_schedule"]["cost"].as_f64().unwrap() > 0.0);
+        let op = v["optimal_schedule"]["operating_cost"].as_f64().unwrap();
+        let sw = v["optimal_schedule"]["switching_cost"].as_f64().unwrap();
+        let total = v["optimal_schedule"]["cost"].as_f64().unwrap();
+        assert!((op + sw - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(dispatch(&args(&["solve"])).is_err()); // missing --trace
+        assert!(dispatch(&args(&["generate", "--kind", "nope", "--slots", "5"])).is_err());
+        let p = tmp("beta.json");
+        dispatch(&args(&["generate", "--kind", "diurnal", "--slots", "5", "--out", &p])).unwrap();
+        assert!(dispatch(&args(&["solve", "--trace", &p, "--beta", "-1"])).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! # rsdc-cli — the `rsdc` command-line tool
+//!
+//! A thin, testable CLI over the workspace:
+//!
+//! ```text
+//! rsdc generate --kind diurnal --slots 336 --out day.json
+//! rsdc solve    --trace day.json --beta 6
+//! rsdc online   --trace day.json --algorithm lcp
+//! rsdc simulate --trace day.json --policy opt
+//! ```
+//!
+//! All logic lives in [`commands`] (string-in/string-out, unit-tested);
+//! `main.rs` only wires stdin/stdout/exit codes.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{dispatch, CmdError, USAGE};

@@ -1,0 +1,25 @@
+//! `rsdc` binary entry point: parse, dispatch, print, exit.
+
+use rsdc_cli::{dispatch, Args};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rsdc: {e}");
+            eprintln!("try `rsdc help`");
+            return ExitCode::from(2);
+        }
+    };
+    match dispatch(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rsdc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Schedule analysis: cost breakdowns and structural statistics.
+//!
+//! Reporting utilities shared by the experiment harness, the CLI and the
+//! examples: where a schedule's cost comes from (operating vs switching),
+//! how often it switches, and its phase structure (maximal monotone runs —
+//! the `T^+`/`T^-` intervals of the paper's Section 3.3 analysis).
+
+use crate::instance::Instance;
+use crate::schedule::{operating_cost, switching_cost_up, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// Cost decomposition of a schedule on an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// `sum_t f_t(x_t)`.
+    pub operating: f64,
+    /// `beta * sum_t (x_t - x_{t-1})^+`.
+    pub switching: f64,
+}
+
+impl CostBreakdown {
+    /// Total cost (eq. 1).
+    pub fn total(&self) -> f64 {
+        self.operating + self.switching
+    }
+
+    /// Fraction of the total that is switching cost (0 when total is 0).
+    pub fn switching_share(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.switching / t
+        }
+    }
+}
+
+/// Compute the cost breakdown.
+pub fn breakdown(inst: &Instance, xs: &Schedule) -> CostBreakdown {
+    CostBreakdown {
+        operating: operating_cost(inst, xs),
+        switching: switching_cost_up(inst.beta(), &xs.0),
+    }
+}
+
+/// Structural statistics of a schedule (independent of costs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Total servers powered up over the horizon (`sum (x_t - x_{t-1})^+`,
+    /// `x_0 = 0`).
+    pub total_power_ups: u64,
+    /// Total servers powered down within the horizon.
+    pub total_power_downs: u64,
+    /// Number of slots where the state changed.
+    pub change_slots: usize,
+    /// Largest state used.
+    pub peak: u32,
+    /// Mean state.
+    pub mean: f64,
+    /// Number of maximal monotone phases (see [`phases`]).
+    pub phase_count: usize,
+}
+
+/// Compute schedule statistics.
+pub fn stats(xs: &Schedule) -> ScheduleStats {
+    let mut ups = 0u64;
+    let mut downs = 0u64;
+    let mut changes = 0usize;
+    let mut prev = 0u32;
+    for &x in &xs.0 {
+        ups += x.saturating_sub(prev) as u64;
+        downs += prev.saturating_sub(x) as u64;
+        if x != prev {
+            changes += 1;
+        }
+        prev = x;
+    }
+    let peak = xs.0.iter().copied().max().unwrap_or(0);
+    let mean = if xs.0.is_empty() {
+        0.0
+    } else {
+        xs.0.iter().map(|&x| x as f64).sum::<f64>() / xs.0.len() as f64
+    };
+    ScheduleStats {
+        total_power_ups: ups,
+        total_power_downs: downs,
+        change_slots: changes,
+        peak,
+        mean,
+        phase_count: phases(xs).len(),
+    }
+}
+
+/// Direction of a monotone phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// States weakly increase and at least one strict increase occurs.
+    Up,
+    /// States weakly decrease and at least one strict decrease occurs.
+    Down,
+    /// The state never changes in this phase.
+    Flat,
+}
+
+/// Decompose a schedule into maximal monotone phases: consecutive slots
+/// where the state moves weakly in one direction. A fully constant schedule
+/// is a single `Flat` phase. Phase ranges are half-open slot-index ranges
+/// into `xs.0` and cover the schedule exactly.
+pub fn phases(xs: &Schedule) -> Vec<(std::ops::Range<usize>, Direction)> {
+    let n = xs.0.len();
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    let mut start = 0usize;
+    let mut dir = Direction::Flat;
+    for t in 1..n {
+        let step = xs.0[t].cmp(&xs.0[t - 1]);
+        let step_dir = match step {
+            std::cmp::Ordering::Greater => Direction::Up,
+            std::cmp::Ordering::Less => Direction::Down,
+            std::cmp::Ordering::Equal => Direction::Flat,
+        };
+        match (dir, step_dir) {
+            (_, Direction::Flat) => {}
+            (Direction::Flat, d) => dir = d,
+            (d, e) if d == e => {}
+            _ => {
+                // Direction flips: close the phase at t-1..t boundary.
+                out.push((start..t, dir));
+                start = t;
+                dir = step_dir;
+            }
+        }
+    }
+    out.push((start..n, dir));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Cost;
+
+    fn inst() -> Instance {
+        Instance::new(
+            8,
+            2.0,
+            vec![Cost::abs(1.0, 3.0), Cost::abs(1.0, 1.0), Cost::abs(1.0, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn breakdown_sums_to_cost() {
+        let i = inst();
+        let xs = Schedule(vec![3, 1, 5]);
+        let b = breakdown(&i, &xs);
+        assert!((b.total() - crate::schedule::cost(&i, &xs)).abs() < 1e-12);
+        // operating 0; switching beta*(3 + 4) = 14.
+        assert_eq!(b.operating, 0.0);
+        assert_eq!(b.switching, 14.0);
+        assert!((b.switching_share() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_counts_movement() {
+        let xs = Schedule(vec![2, 5, 5, 1, 3]);
+        let s = stats(&xs);
+        assert_eq!(s.total_power_ups, 2 + 3 + 2);
+        assert_eq!(s.total_power_downs, 4);
+        assert_eq!(s.change_slots, 4);
+        assert_eq!(s.peak, 5);
+        assert!((s.mean - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phases_decompose_monotone_runs() {
+        let xs = Schedule(vec![1, 2, 2, 3, 2, 1, 1, 4]);
+        let ps = phases(&xs);
+        assert_eq!(
+            ps,
+            vec![
+                (0..4, Direction::Up),
+                (4..7, Direction::Down),
+                (7..8, Direction::Up),
+            ]
+        );
+        // Ranges tile the schedule.
+        let covered: usize = ps.iter().map(|(r, _)| r.len()).sum();
+        assert_eq!(covered, xs.len());
+    }
+
+    #[test]
+    fn flat_schedule_single_phase() {
+        let xs = Schedule(vec![3, 3, 3]);
+        assert_eq!(phases(&xs), vec![(0..3, Direction::Flat)]);
+        assert_eq!(stats(&xs).phase_count, 1);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let xs = Schedule(vec![]);
+        assert!(phases(&xs).is_empty());
+        let s = stats(&xs);
+        assert_eq!(s.total_power_ups, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn ups_equal_downs_plus_final_state() {
+        // Conservation: ups - downs = final state (from x_0 = 0).
+        let xs = Schedule(vec![4, 2, 7, 3]);
+        let s = stats(&xs);
+        assert_eq!(s.total_power_ups - s.total_power_downs, 3);
+    }
+}

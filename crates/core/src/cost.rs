@@ -1,0 +1,546 @@
+//! Convex operating-cost functions.
+//!
+//! The paper models the operating cost at time `t` by a non-negative convex
+//! function `f_t : [m]_0 -> R_{>=0}` (general model, eq. 1) or by
+//! `x * f(lambda/x)` subject to `x >= lambda` (restricted model, eq. 2).
+//!
+//! [`Cost`] is a closed enum of cost-function shapes. Using an enum rather
+//! than a trait object keeps instances `Clone + Serialize` and lets the
+//! optimizers stay monomorphic and fast. Every variant supports
+//!
+//! * [`Cost::eval`] — exact evaluation at an **integer** state,
+//! * [`Cost::eval_analytic`] — evaluation at a **real** state using the
+//!   variant's natural analytic formula (used by natively-continuous
+//!   instances such as the Section 5 lower-bound constructions),
+//! * [`Cost::interpolate`] — the paper's continuous extension (eq. 3):
+//!   linear interpolation between adjacent integer states.
+//!
+//! States outside a variant's feasible region (e.g. `x < lambda` in the
+//! restricted model) evaluate to `f64::INFINITY`, which the dynamic programs
+//! treat as "forbidden".
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Parameters of the Lin et al. style per-server cost used by the data-center
+/// workload builders: energy plus a queueing-delay penalty.
+///
+/// A server running at utilisation `rho = lambda/x in [0, 1]` costs
+///
+/// ```text
+/// energy(rho) = e_idle + (e_peak - e_idle) * rho
+/// delay(rho)  = delay_weight * rho / (1 - rho + delay_eps)
+/// ```
+///
+/// and the slot cost is `x * (energy + delay)`, which is convex in `x` for
+/// fixed `lambda` (decreasing marginal utilisation). `delay_eps > 0` keeps
+/// the delay finite at full utilisation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerParams {
+    /// Idle power draw of one active server (cost units per slot).
+    pub e_idle: f64,
+    /// Peak power draw of one fully utilised server.
+    pub e_peak: f64,
+    /// Weight of the queueing-delay term.
+    pub delay_weight: f64,
+    /// Regulariser that keeps the delay finite at `rho = 1`.
+    pub delay_eps: f64,
+}
+
+impl Default for ServerParams {
+    fn default() -> Self {
+        Self {
+            e_idle: 1.0,
+            e_peak: 2.0,
+            delay_weight: 1.0,
+            delay_eps: 0.05,
+        }
+    }
+}
+
+impl ServerParams {
+    /// Cost of a single server running at utilisation `rho` (clamped to
+    /// `[0, 1]`).
+    #[inline]
+    pub fn unit_cost(&self, rho: f64) -> f64 {
+        let rho = rho.clamp(0.0, 1.0);
+        let energy = self.e_idle + (self.e_peak - self.e_idle) * rho;
+        let delay = self.delay_weight * rho / (1.0 - rho + self.delay_eps);
+        energy + delay
+    }
+}
+
+/// A single-server load-cost function `f(z)` for the restricted model
+/// (eq. 2), where `z in [0, 1]` is the per-server utilisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant docs explain each field's role
+pub enum Unit {
+    /// `scale * |c0 - c1 * z|` — the shape used by every lower-bound proof
+    /// in Section 5 (`f(z) = eps*|1 - 2z|`, `f(z) = eps*|1 - k z|`).
+    AbsAffine { scale: f64, c0: f64, c1: f64 },
+    /// `base + slope * z` (affine, convex).
+    Affine { base: f64, slope: f64 },
+    /// Energy + delay per [`ServerParams`].
+    Server(ServerParams),
+}
+
+impl Unit {
+    /// Evaluate the unit cost at utilisation `z`.
+    #[inline]
+    pub fn eval(&self, z: f64) -> f64 {
+        match self {
+            Unit::AbsAffine { scale, c0, c1 } => scale * (c0 - c1 * z).abs(),
+            Unit::Affine { base, slope } => base + slope * z,
+            Unit::Server(p) => p.unit_cost(z),
+        }
+    }
+}
+
+/// A non-negative convex operating-cost function over server counts.
+///
+/// See the module docs for the evaluation modes. Construct instances via the
+/// provided constructors ([`Cost::abs`], [`Cost::quadratic`], ...) or the
+/// enum literals directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant docs explain each field's role
+pub enum Cost {
+    /// Identically zero. Used for padding slots (e.g. `f_0` in the paper).
+    Zero,
+    /// Constant `c >= 0`.
+    Const(f64),
+    /// `slope * |x - center|`. The adversarial building block
+    /// (`phi_0(x) = eps*|x|`, `phi_1(x) = eps*|1 - x|`, Section 5).
+    Abs { slope: f64, center: f64 },
+    /// `a * (x - center)^2 + offset`, `a >= 0`, `offset >= 0`.
+    Quadratic { a: f64, center: f64, offset: f64 },
+    /// `intercept + slope * x`; requires non-negativity over `[0, m]`, which
+    /// [`Cost::check_convex`] verifies.
+    Linear { intercept: f64, slope: f64 },
+    /// Hinge `slope * max(0, x - knee)` plus `drop * max(0, knee - x)`:
+    /// a general piecewise-linear "V" with independent arms.
+    Hinge {
+        knee: f64,
+        left_slope: f64,
+        right_slope: f64,
+    },
+    /// Explicit table of values for `x = 0..=m`. Shared so clones are cheap.
+    Table(Arc<Vec<f64>>),
+    /// Restricted-model cost `x * f(lambda/x)` subject to `x >= lambda`
+    /// (eq. 2). Evaluates to `+inf` for `x < lambda`.
+    Load { lambda: f64, unit: Unit },
+    /// Data-center slot cost `x * unit_cost(lambda/x)` with **soft**
+    /// capacity: for `x >= ceil(lambda)` the perspective-function cost
+    /// applies; below, the cost extends linearly backwards with per-missing-
+    /// server slope `max(overload, drop)` where `drop` is whatever slope is
+    /// needed to keep the function convex at the junction. Convex in `x`.
+    Server {
+        lambda: f64,
+        params: ServerParams,
+        overload: f64,
+    },
+    /// `factor * inner(x)` — used by the Section 5.4 dilation (`f'_{t,u} =
+    /// f_t / (n w)`).
+    Scaled { factor: f64, inner: Box<Cost> },
+    /// Power-of-two padding (Section 2.2): `inner(x)` for `x <= m_orig` and
+    /// a linear extension `inner(m_orig) + (x - m_orig) * (inner(m_orig) +
+    /// eps)` above.
+    ///
+    /// Note: the paper writes the extension as `x * (f_t(m) + eps)`, which
+    /// taken literally jumps discontinuously at `m` and is *not* convex at
+    /// `m + 1`. Its stated justification ("the greatest slope of `f_t` is
+    /// `f_t(m) - f_t(m-1) <= f_t(m)`") is exactly the convexity condition
+    /// for the slope-based extension used here, which also preserves the
+    /// only property the algorithm needs: states above `m` are never
+    /// optimal because the extension increases strictly.
+    Padded {
+        m_orig: u32,
+        eps: f64,
+        inner: Box<Cost>,
+    },
+}
+
+impl Cost {
+    /// `slope * |x - center|`.
+    pub fn abs(slope: f64, center: f64) -> Self {
+        Cost::Abs { slope, center }
+    }
+
+    /// The adversary function `phi_0(x) = slope * |x|`.
+    pub fn phi0(slope: f64) -> Self {
+        Cost::Abs {
+            slope,
+            center: 0.0,
+        }
+    }
+
+    /// The adversary function `phi_1(x) = slope * |1 - x|`.
+    pub fn phi1(slope: f64) -> Self {
+        Cost::Abs {
+            slope,
+            center: 1.0,
+        }
+    }
+
+    /// `a (x - center)^2 + offset`.
+    pub fn quadratic(a: f64, center: f64, offset: f64) -> Self {
+        Cost::Quadratic { a, center, offset }
+    }
+
+    /// Table cost from explicit per-state values.
+    pub fn table(values: Vec<f64>) -> Self {
+        Cost::Table(Arc::new(values))
+    }
+
+    /// Restricted-model cost `x * unit(lambda / x)`, `x >= lambda` enforced.
+    pub fn load(lambda: f64, unit: Unit) -> Self {
+        Cost::Load { lambda, unit }
+    }
+
+    /// Scale this cost by `factor`.
+    pub fn scaled(self, factor: f64) -> Self {
+        Cost::Scaled {
+            factor,
+            inner: Box::new(self),
+        }
+    }
+
+    /// Evaluate at an integer state.
+    #[inline]
+    pub fn eval(&self, x: u32) -> f64 {
+        self.eval_analytic(x as f64)
+    }
+
+    /// Evaluate at a real state using the variant's analytic formula.
+    ///
+    /// For [`Cost::Table`] this falls back to linear interpolation, which is
+    /// the only sensible continuous reading of tabulated data (and matches
+    /// eq. 3 exactly there).
+    pub fn eval_analytic(&self, x: f64) -> f64 {
+        match self {
+            Cost::Zero => 0.0,
+            Cost::Const(c) => *c,
+            Cost::Abs { slope, center } => slope * (x - center).abs(),
+            Cost::Quadratic { a, center, offset } => {
+                let d = x - center;
+                a * d * d + offset
+            }
+            Cost::Linear { intercept, slope } => intercept + slope * x,
+            Cost::Hinge {
+                knee,
+                left_slope,
+                right_slope,
+            } => {
+                if x >= *knee {
+                    right_slope * (x - knee)
+                } else {
+                    left_slope * (knee - x)
+                }
+            }
+            Cost::Table(v) => interpolate_table(v, x),
+            Cost::Load { lambda, unit } => {
+                if x + 1e-12 < *lambda {
+                    f64::INFINITY
+                } else if x <= 0.0 {
+                    // lambda <= 0 here; zero servers serving zero load.
+                    0.0
+                } else {
+                    x * unit.eval((lambda / x).clamp(0.0, 1.0))
+                }
+            }
+            Cost::Server {
+                lambda,
+                params,
+                overload,
+            } => {
+                // Perspective function g(x) = x * unit(lambda/x), convex on
+                // x >= lambda when unit is convex.
+                let g = |x: f64| {
+                    if x <= 0.0 {
+                        0.0
+                    } else {
+                        x * params.unit_cost((lambda / x).clamp(0.0, 1.0))
+                    }
+                };
+                // Smallest integer state that can serve the load without
+                // overload (0 when there is no load: idle fleet costs 0).
+                let x0 = lambda.max(0.0).ceil();
+                if x >= x0 {
+                    g(x)
+                } else {
+                    // Backward linear extension with a slope steep enough to
+                    // dominate the junction slope of g, keeping convexity.
+                    let junction_drop = (g(x0) - g(x0 + 1.0)).max(0.0);
+                    let pen = overload.max(junction_drop);
+                    g(x0) + (x0 - x) * pen
+                }
+            }
+            Cost::Scaled { factor, inner } => factor * inner.eval_analytic(x),
+            Cost::Padded { m_orig, eps, inner } => {
+                let m = *m_orig as f64;
+                if x <= m {
+                    inner.eval_analytic(x)
+                } else {
+                    let fm = inner.eval(*m_orig);
+                    fm + (x - m) * (fm + eps)
+                }
+            }
+        }
+    }
+
+    /// The paper's continuous extension (eq. 3): linear interpolation of the
+    /// integer values. For `x` outside `[0, m]` the nearest endpoint value
+    /// is extended linearly using the boundary slope of zero (clamped).
+    pub fn interpolate(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return self.eval(0);
+        }
+        let lo = x.floor();
+        let hi = lo + 1.0;
+        let frac = x - lo;
+        if frac == 0.0 {
+            return self.eval(lo as u32);
+        }
+        let f_lo = self.eval(lo as u32);
+        let f_hi = self.eval(hi as u32);
+        (1.0 - frac) * f_lo + frac * f_hi
+    }
+
+    /// Verify convexity and non-negativity of the integer restriction over
+    /// `0..=m`, allowing an infinite prefix (infeasible low states in the
+    /// restricted model). Returns `Err` with a human-readable reason.
+    pub fn check_convex(&self, m: u32) -> Result<(), String> {
+        let vals: Vec<f64> = (0..=m).map(|x| self.eval(x)).collect();
+        // Infinite values must form a prefix.
+        let first_finite = vals.iter().position(|v| v.is_finite());
+        let Some(first_finite) = first_finite else {
+            return Err("cost is infinite at every state".into());
+        };
+        for (x, v) in vals.iter().enumerate().skip(first_finite) {
+            if !v.is_finite() {
+                return Err(format!(
+                    "infinite cost at state {x} after finite state {first_finite}",
+                ));
+            }
+            if *v < -1e-12 {
+                return Err(format!("negative cost {v} at state {x}"));
+            }
+        }
+        let fin = &vals[first_finite..];
+        for w in fin.windows(3) {
+            let (a, b, c) = (w[0], w[1], w[2]);
+            let tol = 1e-9 * (1.0 + a.abs().max(b.abs()).max(c.abs()));
+            if (b - a) > (c - b) + tol {
+                return Err(format!(
+                    "not convex: slopes {} then {} (values {a}, {b}, {c})",
+                    b - a,
+                    c - b,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Smallest integer minimizer over `0..=m` (the paper's `x_t^{min-}`).
+    pub fn argmin_low(&self, m: u32) -> u32 {
+        let mut best = 0u32;
+        let mut best_v = f64::INFINITY;
+        for x in 0..=m {
+            let v = self.eval(x);
+            if v < best_v {
+                best_v = v;
+                best = x;
+            }
+        }
+        best
+    }
+
+    /// Greatest integer minimizer over `0..=m` (the paper's `x_t^{min+}`).
+    pub fn argmin_high(&self, m: u32) -> u32 {
+        let mut best = 0u32;
+        let mut best_v = f64::INFINITY;
+        for x in 0..=m {
+            let v = self.eval(x);
+            if v <= best_v {
+                best_v = v;
+                best = x;
+            }
+        }
+        best
+    }
+}
+
+fn interpolate_table(v: &[f64], x: f64) -> f64 {
+    debug_assert!(!v.is_empty());
+    let last = (v.len() - 1) as f64;
+    let x = x.clamp(0.0, last);
+    let lo = x.floor() as usize;
+    let frac = x - lo as f64;
+    if frac == 0.0 {
+        v[lo]
+    } else {
+        (1.0 - frac) * v[lo] + frac * v[lo + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_matches_phi_functions() {
+        let phi0 = Cost::phi0(0.5);
+        let phi1 = Cost::phi1(0.5);
+        assert_eq!(phi0.eval(0), 0.0);
+        assert_eq!(phi0.eval(3), 1.5);
+        assert_eq!(phi1.eval(1), 0.0);
+        assert_eq!(phi1.eval(0), 0.5);
+        assert_eq!(phi1.eval(4), 1.5);
+    }
+
+    #[test]
+    fn quadratic_eval_and_convexity() {
+        let q = Cost::quadratic(2.0, 3.0, 1.0);
+        assert_eq!(q.eval(3), 1.0);
+        assert_eq!(q.eval(0), 19.0);
+        q.check_convex(10).unwrap();
+    }
+
+    #[test]
+    fn table_interpolation_matches_eq3() {
+        let t = Cost::table(vec![4.0, 1.0, 0.0, 5.0]);
+        assert_eq!(t.eval(2), 0.0);
+        // eq. 3 at x = 1.25: 0.75*f(1) + 0.25*f(2)
+        assert!((t.interpolate(1.25) - 0.75).abs() < 1e-12);
+        // analytic == interpolation for tables
+        assert_eq!(t.eval_analytic(1.25), t.interpolate(1.25));
+    }
+
+    #[test]
+    fn load_infeasible_below_lambda() {
+        let f = Cost::load(
+            1.0,
+            Unit::AbsAffine {
+                scale: 0.1,
+                c0: 1.0,
+                c1: 2.0,
+            },
+        );
+        assert!(f.eval(0).is_infinite());
+        // x = 1: 1 * 0.1*|1-2| = 0.1
+        assert!((f.eval(1) - 0.1).abs() < 1e-12);
+        // x = 2: 2 * 0.1*|1-1| = 0
+        assert!((f.eval(2) - 0.0).abs() < 1e-12);
+        f.check_convex(8).unwrap();
+    }
+
+    #[test]
+    fn restricted_model_theorem5_identity() {
+        // Proof of Theorem 5: with f(z) = eps|1-2z| and two servers,
+        // lambda = 0.5 gives cost eps*|x^L - 1| = eps*|x^G| and lambda = 1
+        // gives eps*|x^L - 2| = eps*|1 - x^G| where x^L = x^G + 1.
+        let eps = 0.25;
+        let unit = Unit::AbsAffine {
+            scale: eps,
+            c0: 1.0,
+            c1: 2.0,
+        };
+        let l0 = Cost::load(0.5, unit.clone());
+        let l1 = Cost::load(1.0, unit);
+        let phi0 = Cost::phi0(eps);
+        let phi1 = Cost::phi1(eps);
+        for xg in 0u32..=1 {
+            let xl = xg + 1;
+            assert!((l0.eval(xl) - phi0.eval(xg)).abs() < 1e-12, "l0 at {xl}");
+            assert!((l1.eval(xl) - phi1.eval(xg)).abs() < 1e-12, "l1 at {xl}");
+        }
+    }
+
+    #[test]
+    fn server_cost_is_convex_and_nonneg() {
+        let c = Cost::Server {
+            lambda: 3.7,
+            params: ServerParams::default(),
+            overload: 50.0,
+        };
+        c.check_convex(32).unwrap();
+        assert!(c.eval(0) > 0.0);
+    }
+
+    #[test]
+    fn padded_cost_matches_section_2_2() {
+        let inner = Cost::quadratic(1.0, 2.0, 0.0);
+        let padded = Cost::Padded {
+            m_orig: 3,
+            eps: 0.5,
+            inner: Box::new(inner.clone()),
+        };
+        for x in 0..=3 {
+            assert_eq!(padded.eval(x), inner.eval(x));
+        }
+        // above m: f(3) + (x - 3) * (f(3) + eps) = 1 + (x - 3) * 1.5
+        assert_eq!(padded.eval(4), 1.0 + 1.5);
+        assert_eq!(padded.eval(6), 1.0 + 3.0 * 1.5);
+        padded.check_convex(8).unwrap();
+    }
+
+    #[test]
+    fn scaled_cost() {
+        let c = Cost::phi1(1.0).scaled(0.25);
+        assert_eq!(c.eval(0), 0.25);
+        assert_eq!(c.eval(1), 0.0);
+    }
+
+    #[test]
+    fn argmin_low_high() {
+        let t = Cost::table(vec![3.0, 1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(t.argmin_low(4), 1);
+        assert_eq!(t.argmin_high(4), 3);
+    }
+
+    #[test]
+    fn convexity_rejects_concave() {
+        let t = Cost::table(vec![0.0, 2.0, 3.0]);
+        assert!(t.check_convex(2).is_err());
+    }
+
+    #[test]
+    fn convexity_rejects_negative() {
+        let t = Cost::table(vec![0.0, -1.0, 0.0]);
+        assert!(t.check_convex(2).is_err());
+    }
+
+    #[test]
+    fn convexity_rejects_infinite_interior() {
+        let t = Cost::table(vec![0.0, f64::INFINITY, 0.0]);
+        assert!(t.check_convex(2).is_err());
+    }
+
+    #[test]
+    fn convexity_allows_infinite_prefix() {
+        let t = Cost::table(vec![f64::INFINITY, f64::INFINITY, 1.0, 2.0]);
+        t.check_convex(3).unwrap();
+    }
+
+    #[test]
+    fn interpolate_at_integers_is_exact() {
+        let q = Cost::quadratic(1.0, 1.5, 0.0);
+        for x in 0..5u32 {
+            assert_eq!(q.interpolate(x as f64), q.eval(x));
+        }
+        // Between integers, interpolation of a strictly convex function lies
+        // above the analytic value.
+        assert!(q.interpolate(1.5) > q.eval_analytic(1.5));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Cost::Padded {
+            m_orig: 3,
+            eps: 0.5,
+            inner: Box::new(Cost::quadratic(1.0, 2.0, 0.0)),
+        };
+        let s = serde_json::to_string(&c).unwrap();
+        let back: Cost = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

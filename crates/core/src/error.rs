@@ -1,0 +1,49 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating problem data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A scalar parameter was out of range (message explains which).
+    InvalidParameter(String),
+    /// Cost function of slot `t` (1-based) failed the convexity check.
+    NotConvex {
+        /// Offending slot.
+        t: usize,
+        /// Reason reported by the checker.
+        msg: String,
+    },
+    /// A schedule was inconsistent with its instance.
+    InfeasibleSchedule(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::NotConvex { t, msg } => {
+                write!(f, "cost function at slot {t} is not convex: {msg}")
+            }
+            Error::InfeasibleSchedule(msg) => write!(f, "infeasible schedule: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::NotConvex {
+            t: 3,
+            msg: "boom".into(),
+        };
+        assert!(e.to_string().contains("slot 3"));
+        assert!(Error::InvalidParameter("x".into()).to_string().contains("x"));
+        assert!(Error::InfeasibleSchedule("y".into()).to_string().contains("y"));
+    }
+}

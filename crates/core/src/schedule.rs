@@ -1,0 +1,323 @@
+//! Schedules and cost evaluation.
+//!
+//! A *schedule* `X = (x_1, ..., x_T)` assigns a number of active servers to
+//! each slot, with the boundary convention `x_0 = x_{T+1} = 0`. Costs follow
+//! the paper's eq. (1): operating cost plus `beta * (x_t - x_{t-1})^+`
+//! (power-up only). Section 5 instead charges `beta/2` per unit in **both**
+//! directions and forces a final power-down; [`symmetric_cost`] implements
+//! that convention, and `cost == symmetric_cost` for every schedule — a fact
+//! unit-tested below and relied on throughout the lower-bound machinery.
+
+use crate::instance::Instance;
+use serde::{Deserialize, Serialize};
+
+/// An integral schedule. Thin wrapper over `Vec<u32>` so that helper methods
+/// and serde formats have a stable home.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule(pub Vec<u32>);
+
+impl Schedule {
+    /// The all-zero schedule of length `t_len`.
+    pub fn zeros(t_len: usize) -> Self {
+        Schedule(vec![0; t_len])
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the schedule covers no slots.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// State at slot `t` (1-based); `t = 0` returns the boundary state 0.
+    #[inline]
+    pub fn at(&self, t: usize) -> u32 {
+        if t == 0 {
+            0
+        } else {
+            self.0[t - 1]
+        }
+    }
+
+    /// Validates that every state is within `0..=m` and the length matches
+    /// the instance horizon.
+    pub fn is_feasible(&self, inst: &Instance) -> bool {
+        self.len() == inst.horizon() && self.0.iter().all(|&x| x <= inst.m())
+    }
+
+    /// View as a fractional schedule.
+    pub fn to_frac(&self) -> FracSchedule {
+        FracSchedule(self.0.iter().map(|&x| x as f64).collect())
+    }
+}
+
+impl From<Vec<u32>> for Schedule {
+    fn from(v: Vec<u32>) -> Self {
+        Schedule(v)
+    }
+}
+
+/// A fractional schedule (continuous setting), `x_t in [0, m]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FracSchedule(pub Vec<f64>);
+
+impl FracSchedule {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the schedule covers no slots.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// State at slot `t` (1-based); `t = 0` returns the boundary state 0.
+    #[inline]
+    pub fn at(&self, t: usize) -> f64 {
+        if t == 0 {
+            0.0
+        } else {
+            self.0[t - 1]
+        }
+    }
+
+    /// Floor every state (Lemma 4's `\lfloor X \rfloor`).
+    pub fn floor(&self) -> Schedule {
+        Schedule(self.0.iter().map(|&x| x.max(0.0).floor() as u32).collect())
+    }
+
+    /// Ceil every state (Lemma 4's `\lceil X \rceil`).
+    pub fn ceil(&self) -> Schedule {
+        Schedule(self.0.iter().map(|&x| x.max(0.0).ceil() as u32).collect())
+    }
+}
+
+/// How fractional states are costed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FracMode {
+    /// The paper's continuous extension (eq. 3): linear interpolation of the
+    /// integer values. This is the right mode when a discrete instance is
+    /// extended to the continuous setting (Sections 2.3 and 4).
+    Interpolate,
+    /// Each cost variant's natural analytic formula. This is the right mode
+    /// for natively-continuous instances (the Section 5 lower bounds).
+    Analytic,
+}
+
+/// Total cost per eq. (1): `sum_t f_t(x_t) + beta * sum_t (x_t - x_{t-1})^+`
+/// with `x_0 = 0`.
+pub fn cost(inst: &Instance, xs: &Schedule) -> f64 {
+    assert_eq!(
+        xs.len(),
+        inst.horizon(),
+        "schedule length must match instance horizon"
+    );
+    operating_cost(inst, xs) + switching_cost_up(inst.beta(), &xs.0)
+}
+
+/// Operating cost `sum_t f_t(x_t)`.
+pub fn operating_cost(inst: &Instance, xs: &Schedule) -> f64 {
+    xs.0.iter()
+        .enumerate()
+        .map(|(i, &x)| inst.cost_fn(i + 1).eval(x))
+        .sum()
+}
+
+/// Power-up switching cost `beta * sum_t (x_t - x_{t-1})^+`, `x_0 = 0`.
+pub fn switching_cost_up(beta: f64, xs: &[u32]) -> f64 {
+    let mut prev = 0u32;
+    let mut total = 0.0;
+    for &x in xs {
+        total += beta * x.saturating_sub(prev) as f64;
+        prev = x;
+    }
+    total
+}
+
+/// Power-down switching cost `beta * sum_t (x_{t-1} - x_t)^+` including the
+/// forced final power-down to `x_{T+1} = 0` (the `C^U` convention of
+/// Section 3.1 charges only within `1..=tau`; this helper charges the full
+/// horizon plus shutdown).
+pub fn switching_cost_down_with_shutdown(beta: f64, xs: &[u32]) -> f64 {
+    let mut prev = 0u32;
+    let mut total = 0.0;
+    for &x in xs {
+        total += beta * prev.saturating_sub(x) as f64;
+        prev = x;
+    }
+    total + beta * prev as f64
+}
+
+/// Section 5 cost convention: `sum_t f_t(x_t) + (beta/2) * sum_{t=1}^{T+1}
+/// |x_t - x_{t-1}|` with `x_0 = x_{T+1} = 0`. Equal to [`cost`] for every
+/// schedule (the number of power-ups equals the number of power-downs).
+pub fn symmetric_cost(inst: &Instance, xs: &Schedule) -> f64 {
+    assert_eq!(xs.len(), inst.horizon());
+    let half = inst.beta() / 2.0;
+    let mut total = operating_cost(inst, xs);
+    let mut prev = 0u32;
+    for &x in &xs.0 {
+        total += half * (x as f64 - prev as f64).abs();
+        prev = x;
+    }
+    total + half * prev as f64
+}
+
+/// Fractional total cost in the chosen [`FracMode`].
+pub fn frac_cost(inst: &Instance, xs: &FracSchedule, mode: FracMode) -> f64 {
+    assert_eq!(xs.len(), inst.horizon());
+    frac_operating_cost(inst, xs, mode) + frac_switching_cost_up(inst.beta(), &xs.0)
+}
+
+/// Fractional operating cost.
+pub fn frac_operating_cost(inst: &Instance, xs: &FracSchedule, mode: FracMode) -> f64 {
+    xs.0.iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let f = inst.cost_fn(i + 1);
+            match mode {
+                FracMode::Interpolate => f.interpolate(x),
+                FracMode::Analytic => f.eval_analytic(x),
+            }
+        })
+        .sum()
+}
+
+/// Fractional power-up switching cost.
+pub fn frac_switching_cost_up(beta: f64, xs: &[f64]) -> f64 {
+    let mut prev = 0.0f64;
+    let mut total = 0.0;
+    for &x in xs {
+        total += beta * (x - prev).max(0.0);
+        prev = x;
+    }
+    total
+}
+
+/// Fractional Section 5 symmetric cost (both directions at `beta/2`, forced
+/// shutdown).
+pub fn frac_symmetric_cost(inst: &Instance, xs: &FracSchedule, mode: FracMode) -> f64 {
+    assert_eq!(xs.len(), inst.horizon());
+    let half = inst.beta() / 2.0;
+    let mut total = frac_operating_cost(inst, xs, mode);
+    let mut prev = 0.0f64;
+    for &x in &xs.0 {
+        total += half * (x - prev).abs();
+        prev = x;
+    }
+    total + half * prev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Cost;
+
+    fn inst() -> Instance {
+        Instance::new(
+            4,
+            2.0,
+            vec![
+                Cost::table(vec![5.0, 3.0, 2.0, 2.5, 4.0]),
+                Cost::table(vec![1.0, 1.5, 2.0, 2.5, 3.0]),
+                Cost::table(vec![4.0, 2.0, 1.0, 3.0, 6.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cost_matches_hand_computation() {
+        let i = inst();
+        let xs = Schedule(vec![2, 1, 3]);
+        // operating: 2.0 + 1.5 + 3.0 = 6.5
+        // switching: beta * ((2-0)+ + (1-2)+ + (3-1)+) = 2 * (2 + 0 + 2) = 8
+        assert!((cost(&i, &xs) - 14.5).abs() < 1e-12);
+        assert!((operating_cost(&i, &xs) - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_equals_powerup_convention() {
+        let i = inst();
+        for xs in [
+            Schedule(vec![0, 0, 0]),
+            Schedule(vec![4, 0, 4]),
+            Schedule(vec![1, 2, 3]),
+            Schedule(vec![3, 2, 1]),
+            Schedule(vec![2, 2, 2]),
+        ] {
+            let a = cost(&i, &xs);
+            let b = symmetric_cost(&i, &xs);
+            assert!((a - b).abs() < 1e-12, "{xs:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn up_plus_down_identity_eq14() {
+        // Eq. (14): S^L_tau(X) = S^U_tau(X) + beta * x_tau, where S^U does
+        // not include the final shutdown.
+        let beta = 2.0;
+        let xs = [3u32, 1, 4, 2];
+        let s_l = switching_cost_up(beta, &xs); // beta * (3 + 0 + 3 + 0) = 12
+        let s_u_no_shutdown = switching_cost_down_with_shutdown(beta, &xs) - beta * xs[3] as f64;
+        assert!((s_u_no_shutdown - 8.0).abs() < 1e-12);
+        assert!((s_l - (s_u_no_shutdown + beta * xs[3] as f64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frac_cost_interpolation_vs_analytic() {
+        let i = Instance::new(4, 1.0, vec![Cost::quadratic(1.0, 2.0, 0.0)]).unwrap();
+        let xs = FracSchedule(vec![1.5]);
+        let interp = frac_cost(&i, &xs, FracMode::Interpolate);
+        let exact = frac_cost(&i, &xs, FracMode::Analytic);
+        // interpolation of strictly convex >= analytic
+        assert!(interp > exact);
+        // interp operating: 0.5*f(1) + 0.5*f(2) = 0.5; switching: 1.5 * beta
+        assert!((interp - (0.5 * 1.0 + 0.5 * 0.0 + 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_frac_schedule_costs_agree() {
+        let i = inst();
+        let xs = Schedule(vec![2, 1, 3]);
+        let f = xs.to_frac();
+        assert!((cost(&i, &xs) - frac_cost(&i, &f, FracMode::Interpolate)).abs() < 1e-12);
+        let sym_i = symmetric_cost(&i, &xs);
+        let sym_f = frac_symmetric_cost(&i, &f, FracMode::Interpolate);
+        assert!((sym_i - sym_f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        let f = FracSchedule(vec![0.2, 1.0, 2.7]);
+        assert_eq!(f.floor(), Schedule(vec![0, 1, 2]));
+        assert_eq!(f.ceil(), Schedule(vec![1, 1, 3]));
+    }
+
+    #[test]
+    fn feasibility() {
+        let i = inst();
+        assert!(Schedule(vec![0, 4, 2]).is_feasible(&i));
+        assert!(!Schedule(vec![0, 5, 2]).is_feasible(&i));
+        assert!(!Schedule(vec![0, 1]).is_feasible(&i));
+    }
+
+    #[test]
+    fn boundary_state_access() {
+        let s = Schedule(vec![7, 8]);
+        assert_eq!(s.at(0), 0);
+        assert_eq!(s.at(1), 7);
+        let f = FracSchedule(vec![0.5]);
+        assert_eq!(f.at(0), 0.0);
+    }
+
+    #[test]
+    fn empty_schedule_zero_cost() {
+        let i = Instance::new(4, 1.0, vec![]).unwrap();
+        assert_eq!(cost(&i, &Schedule::zeros(0)), 0.0);
+    }
+}

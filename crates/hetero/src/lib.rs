@@ -1,0 +1,27 @@
+//! # rsdc-hetero — heterogeneous data-center right-sizing
+//!
+//! The extension the paper frames as convex function chasing (Section 1):
+//! multiple server types with per-type fleet sizes and power-up costs, and
+//! jointly convex per-slot operating costs over the configuration lattice.
+//!
+//! * [`model`] — types, configurations, cost shapes (separable and
+//!   aggregate-capacity), schedule cost;
+//! * [`offline`] — exact DP over the lattice (small dimension), the ground
+//!   truth for heuristics;
+//! * [`online`] — coordinate-wise LCP and greedy coordinate descent.
+//!
+//! No competitive guarantee is claimed here — the heterogeneous lower
+//! bounds are strictly harder (best known upper bounds for chasing convex
+//! functions grow with dimension; see Sellke and Argue et al., cited in
+//! the paper). The crate exists so the homogeneous theory can be compared
+//! against its natural generalization (experiment E16).
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod offline;
+pub mod online;
+
+pub use model::{Config, HCost, HInstance, ServerType};
+pub use offline::{solve, HSolution};
+pub use online::{CoordinateLcp, GreedyConfig};

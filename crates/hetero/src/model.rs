@@ -1,0 +1,282 @@
+//! The heterogeneous problem model.
+//!
+//! A data center with `D` server *types*: type `d` has `m_d` machines,
+//! power-up cost `beta_d`, per-slot energy cost and serving capacity. A
+//! configuration is a vector `x = (x_1, ..., x_D)`; the objective is
+//!
+//! ```text
+//! sum_t f_t(x_t) + sum_d beta_d * sum_t (x_{t,d} - x_{t-1,d})^+
+//! ```
+//!
+//! with convex `f_t` over the product lattice. The paper treats this as a
+//! special case of convex function chasing (Section 1, related work); this
+//! crate provides the exact offline optimum for small dimensions and
+//! online heuristics, so the homogeneous theory can be compared against
+//! its natural generalization.
+
+use serde::{Deserialize, Serialize};
+
+/// One server type's static parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerType {
+    /// Number of machines of this type.
+    pub count: u32,
+    /// Power-up cost for one machine.
+    pub beta: f64,
+    /// Energy cost per active machine per slot.
+    pub energy: f64,
+    /// Serving capacity of one machine (load units per slot).
+    pub capacity: f64,
+}
+
+/// A configuration: active machines per type.
+pub type Config = Vec<u32>;
+
+/// Convex per-slot cost over configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HCost {
+    /// Separable: independent 1-D convex costs per type (`V` shapes).
+    /// Useful as a decomposition oracle in tests.
+    SeparableAbs {
+        /// Per-type target.
+        targets: Vec<f64>,
+        /// Per-type slope.
+        slopes: Vec<f64>,
+    },
+    /// Aggregate-capacity cost: energy plus an M/M/1-flavoured delay on the
+    /// pooled capacity, plus a linear overload penalty when capacity does
+    /// not cover the load. Convex in `x` (composition of a convex
+    /// decreasing function with a linear map).
+    Aggregate {
+        /// Offered load this slot.
+        lambda: f64,
+        /// Delay weight.
+        delay_weight: f64,
+        /// Regulariser keeping the delay finite near saturation.
+        delay_eps: f64,
+        /// Overload penalty per unserved load unit.
+        overload: f64,
+    },
+}
+
+/// A heterogeneous problem instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HInstance {
+    /// Server types (dimension `D = types.len()`).
+    pub types: Vec<ServerType>,
+    /// One cost per slot.
+    pub costs: Vec<HCost>,
+}
+
+impl HInstance {
+    /// Dimension `D`.
+    pub fn dims(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Horizon `T`.
+    pub fn horizon(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of lattice points `prod (m_d + 1)`.
+    pub fn state_count(&self) -> usize {
+        self.types
+            .iter()
+            .map(|t| t.count as usize + 1)
+            .product::<usize>()
+            .max(1)
+    }
+
+    /// Evaluate the slot-`t` (1-based) cost at a configuration.
+    pub fn eval(&self, t: usize, x: &[u32]) -> f64 {
+        assert_eq!(x.len(), self.dims());
+        match &self.costs[t - 1] {
+            HCost::SeparableAbs { targets, slopes } => x
+                .iter()
+                .zip(targets.iter().zip(slopes))
+                .map(|(&xd, (&c, &s))| s * (xd as f64 - c).abs())
+                .sum(),
+            HCost::Aggregate {
+                lambda,
+                delay_weight,
+                delay_eps,
+                overload,
+            } => {
+                let energy: f64 = x
+                    .iter()
+                    .zip(&self.types)
+                    .map(|(&xd, ty)| xd as f64 * ty.energy)
+                    .sum();
+                let cap: f64 = x
+                    .iter()
+                    .zip(&self.types)
+                    .map(|(&xd, ty)| xd as f64 * ty.capacity)
+                    .sum();
+                if cap > *lambda {
+                    energy + delay_weight * lambda / (cap - lambda + delay_eps)
+                } else {
+                    // Saturated: linear extension of the delay curve. The
+                    // per-capacity slope must dominate the delay derivative
+                    // at the junction (dw * lambda / eps^2), otherwise the
+                    // two branches meet non-convexly.
+                    let pen =
+                        overload.max(delay_weight * lambda / (delay_eps * delay_eps));
+                    energy + delay_weight * lambda / delay_eps + pen * (lambda - cap)
+                }
+            }
+        }
+    }
+
+    /// Switching cost between consecutive configurations.
+    pub fn switch_cost(&self, from: &[u32], to: &[u32]) -> f64 {
+        from.iter()
+            .zip(to)
+            .zip(&self.types)
+            .map(|((&a, &b), ty)| ty.beta * b.saturating_sub(a) as f64)
+            .sum()
+    }
+
+    /// Total cost of a configuration schedule (`x_0 = 0`).
+    pub fn cost(&self, xs: &[Config]) -> f64 {
+        assert_eq!(xs.len(), self.horizon());
+        let zero = vec![0u32; self.dims()];
+        let mut prev: &[u32] = &zero;
+        let mut total = 0.0;
+        for (t, x) in xs.iter().enumerate() {
+            total += self.switch_cost(prev, x) + self.eval(t + 1, x);
+            prev = x;
+        }
+        total
+    }
+
+    /// Enumerate every lattice configuration (row-major).
+    pub fn all_configs(&self) -> Vec<Config> {
+        let mut out = vec![vec![]];
+        for ty in &self.types {
+            let mut next = Vec::with_capacity(out.len() * (ty.count as usize + 1));
+            for prefix in &out {
+                for v in 0..=ty.count {
+                    let mut p = prefix.clone();
+                    p.push(v);
+                    next.push(p);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_types() -> Vec<ServerType> {
+        vec![
+            ServerType {
+                count: 2,
+                beta: 1.0,
+                energy: 1.0,
+                capacity: 1.0,
+            },
+            ServerType {
+                count: 3,
+                beta: 2.0,
+                energy: 1.6,
+                capacity: 2.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn state_enumeration() {
+        let inst = HInstance {
+            types: two_types(),
+            costs: vec![],
+        };
+        assert_eq!(inst.state_count(), 3 * 4);
+        let all = inst.all_configs();
+        assert_eq!(all.len(), 12);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[11], vec![2, 3]);
+    }
+
+    #[test]
+    fn separable_cost_adds_up() {
+        let inst = HInstance {
+            types: two_types(),
+            costs: vec![HCost::SeparableAbs {
+                targets: vec![1.0, 2.0],
+                slopes: vec![3.0, 0.5],
+            }],
+        };
+        // |2-1|*3 + |0-2|*0.5 = 4
+        assert!((inst.eval(1, &[2, 0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_cost_prefers_capacity() {
+        let inst = HInstance {
+            types: two_types(),
+            costs: vec![HCost::Aggregate {
+                lambda: 3.0,
+                delay_weight: 2.0,
+                delay_eps: 0.2,
+                overload: 50.0,
+            }],
+        };
+        // Zero capacity: overload-dominated.
+        let c0 = inst.eval(1, &[0, 0]);
+        // Ample capacity: energy + small delay.
+        let c_full = inst.eval(1, &[2, 3]);
+        assert!(c0 > c_full);
+        // Convex along each axis (finite differences non-decreasing).
+        for d in 0..2 {
+            let mut prev_slope = f64::NEG_INFINITY;
+            let maxd = inst.types[d].count;
+            for v in 0..maxd {
+                let mut a = vec![1, 1];
+                let mut b = vec![1, 1];
+                a[d] = v;
+                b[d] = v + 1;
+                let slope = inst.eval(1, &b) - inst.eval(1, &a);
+                assert!(
+                    slope >= prev_slope - 1e-9,
+                    "axis {d}: slope {slope} < {prev_slope}"
+                );
+                prev_slope = slope;
+            }
+        }
+    }
+
+    #[test]
+    fn switching_charges_ups_per_type() {
+        let inst = HInstance {
+            types: two_types(),
+            costs: vec![],
+        };
+        // Type 0: +2 at beta 1; type 1: down (free).
+        assert!((inst.switch_cost(&[0, 3], &[2, 1]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_cost_matches_manual() {
+        let inst = HInstance {
+            types: two_types(),
+            costs: vec![
+                HCost::SeparableAbs {
+                    targets: vec![1.0, 0.0],
+                    slopes: vec![1.0, 1.0],
+                },
+                HCost::SeparableAbs {
+                    targets: vec![1.0, 1.0],
+                    slopes: vec![1.0, 1.0],
+                },
+            ],
+        };
+        let xs = vec![vec![1, 0], vec![1, 1]];
+        // switching: up 1 of type0 (1) + up 1 of type1 (2) = 3; op: 0 + 0.
+        assert!((inst.cost(&xs) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,235 @@
+//! Online heuristics for the heterogeneous problem.
+//!
+//! No algorithm here carries the paper's guarantees — the heterogeneous
+//! lower bounds are strictly harder (the paper cites convex function
+//! chasing, where the best known ratios grow with dimension). Provided:
+//!
+//! * [`CoordinateLcp`] — run one discrete LCP per type on the *marginal*
+//!   cost function (vary type `d`, freeze the other coordinates at their
+//!   current values). Inherits LCP's laziness; no global guarantee.
+//! * [`GreedyConfig`] — jump to the minimizing configuration each slot
+//!   (coordinate descent); the thrash-prone baseline.
+
+use crate::model::{Config, HInstance};
+use rsdc_core::cost::Cost;
+use rsdc_online::lcp::Lcp;
+use rsdc_online::traits::OnlineAlgorithm;
+
+/// Per-type LCP on marginal costs.
+#[derive(Debug)]
+pub struct CoordinateLcp {
+    trackers: Vec<Lcp>,
+    state: Config,
+}
+
+impl CoordinateLcp {
+    /// Build from the instance's type parameters.
+    pub fn new(inst: &HInstance) -> Self {
+        let trackers = inst
+            .types
+            .iter()
+            .map(|ty| Lcp::new(ty.count, ty.beta))
+            .collect();
+        Self {
+            trackers,
+            state: vec![0; inst.dims()],
+        }
+    }
+
+    /// Consume slot `t`'s cost (1-based, must match the instance) and
+    /// commit a configuration.
+    pub fn step(&mut self, inst: &HInstance, t: usize) -> Config {
+        // One pass of coordinate updates, each against the marginal cost
+        // with the *latest* values of the other coordinates.
+        for d in 0..inst.dims() {
+            let mut probe = self.state.clone();
+            let vals: Vec<f64> = (0..=inst.types[d].count)
+                .map(|v| {
+                    probe[d] = v;
+                    inst.eval(t, &probe)
+                })
+                .collect();
+            let marginal = convex_upper_envelope(vals);
+            let x = self.trackers[d].step(&marginal);
+            self.state[d] = x;
+        }
+        self.state.clone()
+    }
+}
+
+/// Jump to a minimizing configuration of each slot's cost (exhaustive over
+/// the lattice — coordinate descent can stall at non-global lattice points
+/// even for jointly convex costs, so we pay the `O(S)` scan; the lattices
+/// this crate targets are small).
+#[derive(Debug)]
+pub struct GreedyConfig {
+    state: Config,
+    lattice: Option<Vec<Config>>,
+}
+
+impl GreedyConfig {
+    /// Start from the all-zero configuration.
+    pub fn new(dims: usize) -> Self {
+        Self {
+            state: vec![0; dims],
+            lattice: None,
+        }
+    }
+
+    /// Commit a configuration for slot `t`.
+    pub fn step(&mut self, inst: &HInstance, t: usize) -> Config {
+        let lattice = self
+            .lattice
+            .get_or_insert_with(|| inst.all_configs());
+        let mut best_c = f64::INFINITY;
+        let mut best = self.state.clone();
+        for cfg in lattice.iter() {
+            let c = inst.eval(t, cfg);
+            if c < best_c {
+                best_c = c;
+                best = cfg.clone();
+            }
+        }
+        self.state = best;
+        self.state.clone()
+    }
+}
+
+/// Convexify a sampled marginal: marginal costs of a jointly-convex
+/// function along one axis are convex already; numerical noise or the
+/// saturated overload branch can leave tiny violations, so take the convex
+/// lower envelope defensively (monotone-slope repair).
+fn convex_upper_envelope(vals: Vec<f64>) -> Cost {
+    let mut v = vals;
+    // Repair: enforce non-decreasing slopes by a single pass of slope
+    // averaging (Pool Adjacent Violators on the derivative).
+    let n = v.len();
+    if n >= 3 {
+        let slopes: Vec<f64> = v.windows(2).map(|w| w[1] - w[0]).collect();
+        // Pool Adjacent Violators on the slope sequence: blocks store
+        // (slope sum, count); merge while the previous block's average
+        // exceeds the current block's average.
+        let mut blocks: Vec<(f64, usize)> = Vec::new();
+        for s in slopes {
+            let mut cur = (s, 1usize);
+            while let Some(&(psum, pcnt)) = blocks.last() {
+                let prev_avg = psum / pcnt as f64;
+                let cur_avg = cur.0 / cur.1 as f64;
+                if prev_avg > cur_avg + 1e-15 {
+                    blocks.pop();
+                    cur = (psum + cur.0, pcnt + cur.1);
+                } else {
+                    break;
+                }
+            }
+            blocks.push(cur);
+        }
+        let mut acc = v[0];
+        let mut i = 0usize;
+        for (sum, cnt) in blocks {
+            let avg = sum / cnt as f64;
+            for _ in 0..cnt {
+                acc += avg;
+                i += 1;
+                v[i] = acc;
+            }
+        }
+    }
+    Cost::table(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{HCost, ServerType};
+    use crate::offline;
+
+    fn instance(loads: &[f64]) -> HInstance {
+        HInstance {
+            types: vec![
+                ServerType {
+                    count: 3,
+                    beta: 1.0,
+                    energy: 1.0,
+                    capacity: 1.0,
+                },
+                ServerType {
+                    count: 3,
+                    beta: 2.5,
+                    energy: 1.4,
+                    capacity: 2.0,
+                },
+            ],
+            costs: loads
+                .iter()
+                .map(|&lambda| HCost::Aggregate {
+                    lambda,
+                    delay_weight: 1.0,
+                    delay_eps: 0.3,
+                    overload: 25.0,
+                })
+                .collect(),
+        }
+    }
+
+    fn run_coordinate_lcp(inst: &HInstance) -> Vec<Config> {
+        let mut a = CoordinateLcp::new(inst);
+        (1..=inst.horizon()).map(|t| a.step(inst, t)).collect()
+    }
+
+    fn run_greedy(inst: &HInstance) -> Vec<Config> {
+        let mut a = GreedyConfig::new(inst.dims());
+        (1..=inst.horizon()).map(|t| a.step(inst, t)).collect()
+    }
+
+    #[test]
+    fn coordinate_lcp_is_feasible_and_reasonable() {
+        let loads: Vec<f64> = (0..40).map(|t| 2.5 + 2.0 * ((t as f64) * 0.4).sin()).collect();
+        let inst = instance(&loads);
+        let xs = run_coordinate_lcp(&inst);
+        for (x, ty) in xs.iter().flat_map(|c| c.iter().zip(&inst.types)) {
+            assert!(*x <= ty.count);
+        }
+        let opt = offline::solve(&inst);
+        let ratio = inst.cost(&xs) / opt.cost;
+        assert!(
+            (1.0..=4.0).contains(&ratio),
+            "coordinate LCP ratio {ratio} out of expected band"
+        );
+    }
+
+    #[test]
+    fn greedy_finds_slotwise_minima() {
+        let inst = instance(&[3.0]);
+        let xs = run_greedy(&inst);
+        // Exhaustive check: no configuration has lower slot cost.
+        let c = inst.eval(1, &xs[0]);
+        for cfg in inst.all_configs() {
+            assert!(inst.eval(1, &cfg) >= c - 1e-9, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn lcp_no_worse_than_greedy_on_oscillation() {
+        // Alternating load: greedy re-buys capacity every other slot.
+        let loads: Vec<f64> = (0..60).map(|t| if t % 2 == 0 { 5.0 } else { 0.5 }).collect();
+        let inst = instance(&loads);
+        let c_lcp = inst.cost(&run_coordinate_lcp(&inst));
+        let c_greedy = inst.cost(&run_greedy(&inst));
+        assert!(
+            c_lcp <= c_greedy * 1.05,
+            "coordinate LCP {c_lcp} vs greedy {c_greedy}"
+        );
+    }
+
+    #[test]
+    fn envelope_repair_is_convex_and_below_input() {
+        let raw = vec![5.0, 1.0, 2.0, 1.5, 4.0];
+        let c = convex_upper_envelope(raw.clone());
+        let vals: Vec<f64> = (0..5).map(|x| c.eval(x)).collect();
+        for w in vals.windows(3) {
+            assert!(w[1] - w[0] <= w[2] - w[1] + 1e-9, "{vals:?}");
+        }
+        assert_eq!(vals[0], raw[0], "anchored at the left end");
+    }
+}

@@ -1,0 +1,202 @@
+//! The paper's polynomial-time offline algorithm (Section 2.2).
+//!
+//! The pseudo-polynomial DP touches all `m + 1` states per column. The
+//! binary-search algorithm instead performs `log m - 1` refinement
+//! iterations. Iteration `k` (counting down from `K = log m - 2`) only uses
+//! states that are multiples of `2^k`:
+//!
+//! * the first iteration uses the five rows `{0, m/4, m/2, 3m/4, m}`;
+//! * given the optimal schedule `\hat X^k` of iteration `k`, iteration
+//!   `k - 1` uses, per column, `{\hat x^k_t + xi * 2^{k-1} | xi in -2..=2}`
+//!   clipped to `[0, m]` — five states again.
+//!
+//! Lemma 5 guarantees an optimal schedule of `P_{k-1}` exists within
+//! `2^k` of *any* optimal schedule of `P_k`, so each pass stays exact and
+//! the final pass (`k = 0`) is optimal for the original instance
+//! (Theorem 1). Total running time `O(T log m)`.
+
+use crate::dp::Solution;
+use crate::restricted_dp::solve_restricted;
+use rsdc_core::prelude::*;
+
+/// Default padding epsilon for non-power-of-two `m` (see
+/// [`Instance::pad_to_pow2`]); any positive value is correct.
+pub const DEFAULT_PAD_EPS: f64 = 1e-6;
+
+/// Solve the instance optimally in `O(T log m)` time.
+pub fn solve(inst: &Instance) -> Solution {
+    solve_with_eps(inst, DEFAULT_PAD_EPS)
+}
+
+/// [`solve`] with an explicit padding epsilon.
+pub fn solve_with_eps(inst: &Instance, pad_eps: f64) -> Solution {
+    solve_with_radius(inst, pad_eps, 2)
+}
+
+/// The refinement pass with a configurable neighbourhood radius: iteration
+/// `k - 1` considers `{x^k_t + xi * 2^{k-1} | xi in -radius..=radius}`.
+///
+/// The paper's algorithm (and Lemma 5's guarantee `|x^k_t - x^{k-1}_t| <=
+/// 2^k`) corresponds to `radius = 2`. Smaller radii are *heuristics*: they
+/// run faster but may return suboptimal schedules — exactly the ablation
+/// experiment E13 quantifies. Larger radii waste work.
+pub fn solve_with_radius(inst: &Instance, pad_eps: f64, radius: u32) -> Solution {
+    assert!(radius >= 1, "radius must be at least 1");
+    let t_len = inst.horizon();
+    if t_len == 0 {
+        return Solution {
+            schedule: Schedule::zeros(0),
+            cost: 0.0,
+        };
+    }
+
+    let padded = inst.pad_to_pow2(pad_eps);
+    let m = padded.m();
+
+    // For tiny m the first "iteration" already contains every state.
+    if m <= 4 {
+        let allowed: Vec<Vec<u32>> = (0..t_len).map(|_| (0..=m).collect()).collect();
+        let sol = solve_restricted(&padded, &allowed);
+        return finish(inst, sol);
+    }
+
+    let log_m = m.trailing_zeros(); // m = 2^log_m, log_m >= 3 here
+    let big_k = log_m - 2;
+
+    // Iteration K: multiples of 2^K, i.e. {0, m/4, m/2, 3m/4, m}.
+    let quarter = m >> 2;
+    let first: Vec<u32> = (0..=4).map(|xi| xi * quarter).collect();
+    let allowed: Vec<Vec<u32>> = (0..t_len).map(|_| first.clone()).collect();
+    let mut sol = solve_restricted(&padded, &allowed);
+
+    // Iterations K-1 down to 0: insert the intermediate multiples of
+    // 2^{k} around the previous schedule.
+    for k in (0..big_k).rev() {
+        let step = 1u32 << k;
+        let allowed: Vec<Vec<u32>> = sol
+            .schedule
+            .0
+            .iter()
+            .map(|&x| {
+                let r = radius as i64;
+                let mut states = Vec::with_capacity(2 * radius as usize + 1);
+                for xi in -r..=r {
+                    let s = x as i64 + xi * step as i64;
+                    if (0..=m as i64).contains(&s) {
+                        states.push(s as u32);
+                    }
+                }
+                states
+            })
+            .collect();
+        sol = solve_restricted(&padded, &allowed);
+    }
+
+    finish(inst, sol)
+}
+
+/// Clamp a padded-instance solution back to the original instance and
+/// re-evaluate its cost there. For the exact algorithm (radius >= 2) states
+/// above the original `m` are never optimal because the padding extension
+/// increases strictly, so the clamp is a no-op; heuristic radii may stray
+/// and are clamped (which never increases the cost of our extension).
+fn finish(inst: &Instance, sol: Solution) -> Solution {
+    let schedule = Schedule(sol.schedule.0.iter().map(|&x| x.min(inst.m())).collect());
+    let cost = rsdc_core::schedule::cost(inst, &schedule);
+    Solution { schedule, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp;
+    use rsdc_core::cost::Cost;
+
+    fn assert_optimal(inst: &Instance) {
+        let fast = solve(inst);
+        let exact = dp::solve(inst);
+        assert!(
+            (fast.cost - exact.cost).abs() < 1e-9 * (1.0 + exact.cost.abs()),
+            "binsearch {} vs dp {}",
+            fast.cost,
+            exact.cost
+        );
+        assert!(fast.schedule.is_feasible(inst));
+        assert!(
+            (rsdc_core::schedule::cost(inst, &fast.schedule) - fast.cost).abs() < 1e-9,
+            "reported cost must match schedule cost"
+        );
+    }
+
+    #[test]
+    fn power_of_two_m() {
+        let costs: Vec<Cost> = (0..12)
+            .map(|t| Cost::quadratic(0.5, (t * 3 % 16) as f64, 0.0))
+            .collect();
+        let inst = Instance::new(16, 2.0, costs).unwrap();
+        assert_optimal(&inst);
+    }
+
+    #[test]
+    fn non_power_of_two_m() {
+        let costs: Vec<Cost> = (0..10)
+            .map(|t| Cost::abs(1.5, (t * 5 % 13) as f64))
+            .collect();
+        let inst = Instance::new(13, 1.0, costs).unwrap();
+        assert_optimal(&inst);
+    }
+
+    #[test]
+    fn tiny_m_values() {
+        for m in 1..=6u32 {
+            let costs: Vec<Cost> = (0..8)
+                .map(|t| Cost::quadratic(1.0, (t % (m + 1)) as f64, 0.0))
+                .collect();
+            let inst = Instance::new(m, 0.7, costs).unwrap();
+            assert_optimal(&inst);
+        }
+    }
+
+    #[test]
+    fn single_slot() {
+        let inst = Instance::new(100, 1.0, vec![Cost::abs(3.0, 77.0)]).unwrap();
+        let sol = solve(&inst);
+        assert_eq!(sol.schedule, Schedule(vec![77]));
+    }
+
+    #[test]
+    fn empty_horizon() {
+        let inst = Instance::new(32, 1.0, vec![]).unwrap();
+        assert_eq!(solve(&inst).cost, 0.0);
+    }
+
+    #[test]
+    fn large_m_spiky_workload() {
+        let costs: Vec<Cost> = (0..20)
+            .map(|t| {
+                let target = if t % 7 == 0 { 200.0 } else { 10.0 + t as f64 };
+                Cost::abs(2.0, target)
+            })
+            .collect();
+        let inst = Instance::new(256, 5.0, costs).unwrap();
+        assert_optimal(&inst);
+    }
+
+    #[test]
+    fn restricted_model_instances() {
+        let unit = Unit::Server(ServerParams::default());
+        let lambdas: Vec<f64> = (0..15).map(|t| 1.0 + (t % 5) as f64 * 1.7).collect();
+        let r = RestrictedInstance::new(12, 3.0, unit, lambdas).unwrap();
+        let g = r.to_general();
+        assert_optimal(&g);
+    }
+
+    #[test]
+    fn beta_extremes() {
+        let costs: Vec<Cost> = (0..8).map(|t| Cost::abs(1.0, (t % 4) as f64)).collect();
+        for beta in [1e-6, 1.0, 1e6] {
+            let inst = Instance::new(8, beta, costs.clone()).unwrap();
+            assert_optimal(&inst);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Exhaustive search over all `(m + 1)^T` schedules.
+//!
+//! A deliberately simple oracle used to certify the cleverer solvers in
+//! tests. Only usable for tiny instances; [`solve`] panics if the search
+//! space exceeds [`MAX_SPACE`].
+
+use crate::dp::Solution;
+use rsdc_core::prelude::*;
+
+/// Refuse to enumerate more than this many schedules.
+pub const MAX_SPACE: u128 = 20_000_000;
+
+/// Enumerate every schedule and return the best (first in lexicographic
+/// order among ties).
+pub fn solve(inst: &Instance) -> Solution {
+    let t_len = inst.horizon();
+    let m1 = inst.m() as u128 + 1;
+    let space = m1.pow(t_len as u32);
+    assert!(
+        space <= MAX_SPACE,
+        "brute force space {space} exceeds MAX_SPACE"
+    );
+
+    let mut best_cost = f64::INFINITY;
+    let mut best = vec![0u32; t_len];
+    let mut xs = vec![0u32; t_len];
+    loop {
+        let c = cost(inst, &Schedule(xs.clone()));
+        if c < best_cost {
+            best_cost = c;
+            best.copy_from_slice(&xs);
+        }
+        // Odometer increment.
+        let mut i = t_len;
+        loop {
+            if i == 0 {
+                return Solution {
+                    schedule: Schedule(best),
+                    cost: best_cost,
+                };
+            }
+            i -= 1;
+            if xs[i] < inst.m() {
+                xs[i] += 1;
+                break;
+            }
+            xs[i] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{binsearch, dp};
+    use rsdc_core::cost::Cost;
+
+    #[test]
+    fn agrees_with_dp_and_binsearch() {
+        let costs = vec![
+            Cost::table(vec![2.0, 0.5, 1.0, 4.0]),
+            Cost::table(vec![0.0, 1.0, 2.0, 3.0]),
+            Cost::table(vec![6.0, 3.0, 1.0, 0.0]),
+            Cost::table(vec![1.0, 1.0, 1.0, 1.0]),
+        ];
+        let inst = Instance::new(3, 1.2, costs).unwrap();
+        let b = solve(&inst);
+        let d = dp::solve(&inst);
+        let f = binsearch::solve(&inst);
+        assert!((b.cost - d.cost).abs() < 1e-12);
+        assert!((b.cost - f.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(3, 1.0, vec![]).unwrap();
+        assert_eq!(solve(&inst).cost, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_SPACE")]
+    fn refuses_huge_spaces() {
+        let costs: Vec<Cost> = (0..30).map(|_| Cost::Zero).collect();
+        let inst = Instance::new(9, 1.0, costs).unwrap();
+        let _ = solve(&inst);
+    }
+}

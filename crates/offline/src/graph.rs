@@ -1,0 +1,276 @@
+//! Explicit layered-graph model of the problem (Section 2.1, Figure 1).
+//!
+//! Vertices `v_{t,j}` for `t in [T]`, `j in [m]_0`, plus source `v_{0,0}`
+//! and sink `v_{T+1,0}`. An edge `v_{t-1,j} -> v_{t,j'}` has weight
+//! `beta (j' - j)^+ + f_t(j')`; edges `v_{T,j} -> v_{T+1,0}` have weight 0.
+//! Source-to-sink paths correspond one-to-one with schedules, and path
+//! length equals schedule cost.
+//!
+//! This module exists as the executable specification of the model: the
+//! shortest path here must equal the DP/binary-search optimum (tested), and
+//! [`Graph::to_dot`] renders Figure 1 for small instances.
+
+use crate::dp::Solution;
+use rsdc_core::prelude::*;
+
+/// Identifier of a vertex in the layered graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vertex {
+    /// The source `v_{0,0}`.
+    Source,
+    /// `v_{t,j}`: `j` active servers at slot `t` (1-based `t`).
+    State {
+        /// Time slot, `1..=T`.
+        t: u32,
+        /// Active servers, `0..=m`.
+        j: u32,
+    },
+    /// The sink `v_{T+1,0}`.
+    Sink,
+}
+
+/// The explicit layered graph of an instance.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    m: u32,
+    t_len: usize,
+    beta: f64,
+    /// `weights[t-1][j][j']` = edge weight `v_{t-1,j} -> v_{t,j'}`; layer 0
+    /// collapses `j` to the single source state.
+    layers: Vec<Vec<Vec<f64>>>,
+}
+
+impl Graph {
+    /// Materialise the layered graph (`O(T m^2)` memory — intended for
+    /// small/medium instances, tests and visualisation).
+    pub fn build(inst: &Instance) -> Self {
+        let m1 = inst.m() as usize + 1;
+        let t_len = inst.horizon();
+        let beta = inst.beta();
+        let mut layers = Vec::with_capacity(t_len);
+        for t in 1..=t_len {
+            let f = inst.cost_fn(t);
+            let from_states = if t == 1 { 1 } else { m1 };
+            let mut layer = Vec::with_capacity(from_states);
+            for j in 0..from_states {
+                let mut row = Vec::with_capacity(m1);
+                for jp in 0..m1 {
+                    let up = (jp as i64 - j as i64).max(0) as f64;
+                    row.push(beta * up + f.eval(jp as u32));
+                }
+                layer.push(row);
+            }
+            layers.push(layer);
+        }
+        Graph {
+            m: inst.m(),
+            t_len,
+            beta,
+            layers,
+        }
+    }
+
+    /// Number of vertices (including source and sink).
+    pub fn vertex_count(&self) -> usize {
+        if self.t_len == 0 {
+            2
+        } else {
+            2 + self.t_len * (self.m as usize + 1)
+        }
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        let m1 = self.m as usize + 1;
+        match self.t_len {
+            0 => 1,
+            1 => 2 * m1,
+            t => m1 + (t - 1) * m1 * m1 + m1,
+        }
+    }
+
+    /// Edge weight `v_{t-1,j} -> v_{t,j'}` (with `t = 1` requiring `j = 0`).
+    pub fn weight(&self, t: u32, j: u32, jp: u32) -> f64 {
+        let layer = &self.layers[(t - 1) as usize];
+        let j_idx = if t == 1 {
+            assert_eq!(j, 0, "layer 1 edges start at the source");
+            0
+        } else {
+            j as usize
+        };
+        layer[j_idx][jp as usize]
+    }
+
+    /// Shortest source-to-sink path, i.e. an optimal schedule. Runs the
+    /// natural forward DAG relaxation (`O(T m^2)`).
+    pub fn shortest_path(&self) -> Solution {
+        let m1 = self.m as usize + 1;
+        if self.t_len == 0 {
+            return Solution {
+                schedule: Schedule::zeros(0),
+                cost: 0.0,
+            };
+        }
+        let mut dist = vec![f64::INFINITY; m1];
+        let mut parents: Vec<Vec<u32>> = Vec::with_capacity(self.t_len);
+
+        // Layer 1 from the source.
+        for jp in 0..m1 {
+            dist[jp] = self.layers[0][0][jp];
+        }
+        parents.push(vec![0; m1]);
+
+        for t in 2..=self.t_len {
+            let layer = &self.layers[t - 1];
+            let mut next = vec![f64::INFINITY; m1];
+            let mut parent = vec![0u32; m1];
+            for (j, row) in layer.iter().enumerate() {
+                if dist[j].is_infinite() {
+                    continue;
+                }
+                for (jp, w) in row.iter().enumerate() {
+                    let cand = dist[j] + w;
+                    if cand < next[jp] {
+                        next[jp] = cand;
+                        parent[jp] = j as u32;
+                    }
+                }
+            }
+            dist = next;
+            parents.push(parent);
+        }
+
+        let (mut j, cost) = dist
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .map(|(j, &c)| (j as u32, c))
+            .expect("non-empty layer");
+
+        let mut xs = vec![0u32; self.t_len];
+        for t in (1..=self.t_len).rev() {
+            xs[t - 1] = j;
+            j = parents[t - 1][j as usize];
+        }
+        Solution {
+            schedule: Schedule(xs),
+            cost,
+        }
+    }
+
+    /// Render the graph in Graphviz DOT format (Figure 1). Intended for
+    /// small instances; edges carry their weights as labels.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph G {{");
+        let _ = writeln!(s, "  rankdir=LR;");
+        let _ = writeln!(s, "  v0_0 [label=\"v(0,0)\"];");
+        for t in 1..=self.t_len {
+            for j in 0..=self.m {
+                let _ = writeln!(s, "  v{t}_{j} [label=\"v({t},{j})\"];");
+            }
+        }
+        let _ = writeln!(s, "  vT_0 [label=\"v({},0)\"];", self.t_len + 1);
+        if self.t_len > 0 {
+            for jp in 0..=self.m {
+                let w = self.weight(1, 0, jp);
+                let _ = writeln!(s, "  v0_0 -> v1_{jp} [label=\"{w:.3}\"];");
+            }
+            for t in 2..=self.t_len as u32 {
+                for j in 0..=self.m {
+                    for jp in 0..=self.m {
+                        let w = self.weight(t, j, jp);
+                        let _ = writeln!(s, "  v{}_{j} -> v{t}_{jp} [label=\"{w:.3}\"];", t - 1);
+                    }
+                }
+            }
+            for j in 0..=self.m {
+                let _ = writeln!(s, "  v{}_{j} -> vT_0 [label=\"0\"];", self.t_len);
+            }
+        } else {
+            let _ = writeln!(s, "  v0_0 -> vT_0 [label=\"0\"];");
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// The switching-cost parameter the graph was built with.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{binsearch, dp};
+    use rsdc_core::cost::Cost;
+
+    fn toy() -> Instance {
+        Instance::new(
+            3,
+            2.0,
+            vec![
+                Cost::abs(1.0, 2.0),
+                Cost::abs(1.0, 0.0),
+                Cost::abs(1.0, 3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_match_figure1_structure() {
+        let g = Graph::build(&toy());
+        // 2 + T*(m+1) vertices = 2 + 3*4 = 14
+        assert_eq!(g.vertex_count(), 14);
+        // (m+1) from source + (T-1)(m+1)^2 between layers + (m+1) to sink
+        assert_eq!(g.edge_count(), 4 + 2 * 16 + 4);
+    }
+
+    #[test]
+    fn edge_weights_match_definition() {
+        let inst = toy();
+        let g = Graph::build(&inst);
+        // v_{1,1} -> v_{2,3}: beta*(3-1)+ + f_2(3) = 4 + 3 = 7
+        assert!((g.weight(2, 1, 3) - 7.0).abs() < 1e-12);
+        // Powering down is free: v_{1,3} -> v_{2,0} = f_2(0) = 0
+        assert!((g.weight(2, 3, 0) - 0.0).abs() < 1e-12);
+        // Source edge: beta*j' + f_1(j')
+        assert!((g.weight(1, 0, 2) - (4.0 + 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortest_path_equals_dp_and_binsearch() {
+        let inst = toy();
+        let g = Graph::build(&inst);
+        let sp = g.shortest_path();
+        let exact = dp::solve(&inst);
+        let fast = binsearch::solve(&inst);
+        assert!((sp.cost - exact.cost).abs() < 1e-12);
+        assert!((sp.cost - fast.cost).abs() < 1e-9);
+        assert!(
+            (rsdc_core::schedule::cost(&inst, &sp.schedule) - sp.cost).abs() < 1e-12,
+            "path length equals schedule cost"
+        );
+    }
+
+    #[test]
+    fn dot_output_structure() {
+        let g = Graph::build(&toy());
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph G {"));
+        assert!(dot.contains("v0_0 -> v1_0"));
+        assert!(dot.contains("v3_3 -> vT_0"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_instance_graph() {
+        let inst = Instance::new(2, 1.0, vec![]).unwrap();
+        let g = Graph::build(&inst);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.shortest_path().cost, 0.0);
+    }
+}

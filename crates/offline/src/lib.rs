@@ -1,0 +1,45 @@
+//! # rsdc-offline — optimal offline algorithms
+//!
+//! Solvers for the discrete data-center optimization problem of Albers &
+//! Quedenfeld (SPAA 2018), Section 2:
+//!
+//! * [`dp`] — exact dynamic program, `O(T m)` (the pseudo-polynomial
+//!   shortest-path computation, accelerated with prefix/suffix scans);
+//! * [`backward`] — the Lemma 11 backward-greedy optimal solver (the
+//!   comparison schedule of the LCP analysis);
+//! * [`binsearch`] — the paper's polynomial algorithm, `O(T log m)`,
+//!   refining a coarse schedule through `log m - 1` five-state passes
+//!   (Theorem 1);
+//! * [`graph`] — the explicit layered graph of Figure 1 (executable
+//!   specification, DOT export);
+//! * [`restricted_dp`] — DP over explicit per-column state sets (the
+//!   engine behind `binsearch`);
+//! * [`brute`] — exhaustive oracle for tests;
+//! * [`rounding`] — fractional optima and Lemma 4 floor/ceil rounding.
+//!
+//! ## Example
+//!
+//! ```
+//! use rsdc_core::prelude::*;
+//! use rsdc_offline::{binsearch, dp};
+//!
+//! let inst = Instance::new(64, 2.0, (0..24).map(|t| {
+//!     Cost::quadratic(0.5, 8.0 + 6.0 * ((t as f64) * 0.7).sin(), 0.0)
+//! }).collect()).unwrap();
+//!
+//! let fast = binsearch::solve(&inst);   // O(T log m)
+//! let exact = dp::solve(&inst);         // O(T m)
+//! assert!((fast.cost - exact.cost).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backward;
+pub mod binsearch;
+pub mod brute;
+pub mod dp;
+pub mod graph;
+pub mod restricted_dp;
+pub mod rounding;
+
+pub use dp::Solution;

@@ -1,0 +1,134 @@
+//! Dynamic program restricted to explicit per-column state sets.
+//!
+//! The binary-search algorithm of Section 2.2 repeatedly solves the problem
+//! on a graph whose columns contain at most five states each. This module
+//! provides that solver for arbitrary per-column allowed sets; with sets of
+//! constant size each step costs `O(1)`, so a whole pass is `O(T)`.
+
+use crate::dp::Solution;
+use rsdc_core::prelude::*;
+
+/// Solve the instance where column `t` (1-based) may only use the states in
+/// `allowed[t - 1]` (each list must be non-empty; values `<= m`).
+///
+/// Runs in `O(sum_t |allowed_t| * |allowed_{t-1}|)` time. Ties are broken
+/// toward smaller predecessor states.
+pub fn solve_restricted(inst: &Instance, allowed: &[Vec<u32>]) -> Solution {
+    assert_eq!(
+        allowed.len(),
+        inst.horizon(),
+        "one allowed-state set per slot"
+    );
+    let t_len = inst.horizon();
+    if t_len == 0 {
+        return Solution {
+            schedule: Schedule::zeros(0),
+            cost: 0.0,
+        };
+    }
+    let beta = inst.beta();
+
+    // dp[i] = best cost ending at allowed[t][i]; parent[t][i] = index into
+    // allowed[t - 1]. The virtual column t = 0 is the single state 0.
+    let mut prev_states: Vec<u32> = vec![0];
+    let mut prev_cost: Vec<f64> = vec![0.0];
+    let mut parents: Vec<Vec<u32>> = Vec::with_capacity(t_len);
+
+    for t in 1..=t_len {
+        let states = &allowed[t - 1];
+        assert!(!states.is_empty(), "allowed set for slot {t} is empty");
+        let f = inst.cost_fn(t);
+        let mut cost_col = Vec::with_capacity(states.len());
+        let mut parent_col = Vec::with_capacity(states.len());
+        for &j in states {
+            debug_assert!(j <= inst.m());
+            let mut best = f64::INFINITY;
+            let mut best_i = 0u32;
+            for (i, &jp) in prev_states.iter().enumerate() {
+                let switch = beta * (j.saturating_sub(jp)) as f64;
+                let c = prev_cost[i] + switch;
+                if c < best {
+                    best = c;
+                    best_i = i as u32;
+                }
+            }
+            cost_col.push(best + f.eval(j));
+            parent_col.push(best_i);
+        }
+        parents.push(parent_col);
+        prev_states = states.clone();
+        prev_cost = cost_col;
+    }
+    let _ = prev_states.len();
+
+    let (mut idx, cost) = prev_cost
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in DP"))
+        .map(|(i, &c)| (i, c))
+        .expect("non-empty column");
+
+    let mut xs = vec![0u32; t_len];
+    for t in (1..=t_len).rev() {
+        xs[t - 1] = allowed[t - 1][idx];
+        idx = parents[t - 1][idx] as usize;
+    }
+
+    Solution {
+        schedule: Schedule(xs),
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp;
+    use rsdc_core::cost::Cost;
+
+    #[test]
+    fn full_state_sets_match_dp() {
+        let costs = vec![
+            Cost::quadratic(1.0, 2.0, 0.0),
+            Cost::abs(3.0, 1.0),
+            Cost::quadratic(0.5, 4.0, 0.0),
+        ];
+        let inst = Instance::new(4, 1.5, costs).unwrap();
+        let all: Vec<Vec<u32>> = (0..3).map(|_| (0..=4).collect()).collect();
+        let a = solve_restricted(&inst, &all);
+        let b = dp::solve(&inst);
+        assert!((a.cost - b.cost).abs() < 1e-12);
+        assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn restriction_can_only_increase_cost() {
+        let costs = vec![Cost::abs(2.0, 3.0), Cost::abs(2.0, 3.0)];
+        let inst = Instance::new(6, 1.0, costs).unwrap();
+        let restricted: Vec<Vec<u32>> = vec![vec![0, 2, 4, 6], vec![0, 2, 4, 6]];
+        let a = solve_restricted(&inst, &restricted);
+        let b = dp::solve(&inst);
+        assert!(a.cost >= b.cost - 1e-12);
+        // Optimal unrestricted parks at 3; restricted must use 2 or 4.
+        assert!(a.cost > b.cost);
+        assert!(a.schedule.0.iter().all(|x| x % 2 == 0));
+    }
+
+    #[test]
+    fn singleton_columns_force_schedule() {
+        let costs = vec![Cost::Zero, Cost::Zero, Cost::Zero];
+        let inst = Instance::new(4, 2.0, costs).unwrap();
+        let allowed = vec![vec![3], vec![1], vec![4]];
+        let s = solve_restricted(&inst, &allowed);
+        assert_eq!(s.schedule, Schedule(vec![3, 1, 4]));
+        // switching: 3 + 0 + 3 powered up = 6 * beta
+        assert!((s.cost - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_horizon() {
+        let inst = Instance::new(4, 1.0, vec![]).unwrap();
+        let s = solve_restricted(&inst, &[]);
+        assert_eq!(s.cost, 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Fractional optima and Lemma 4 rounding.
+//!
+//! For the continuous extension `\bar P` of a discrete instance (eq. 3,
+//! piecewise-linear interpolation), Lemma 4 states that flooring or ceiling
+//! an optimal fractional schedule yields another optimal schedule. An
+//! immediate corollary: the fractional optimum *value* equals the discrete
+//! optimum value, so the discrete DP already solves `\bar P`.
+//!
+//! This module exposes that corollary ([`fractional_optimum`]) plus an
+//! independent check ([`refined_grid_optimum`]) that solves `\bar P` on a
+//! grid of states with resolution `1/k` — the value must not drop below the
+//! discrete optimum, which is how tests certify Lemma 4 without trusting it.
+
+use crate::dp;
+use rsdc_core::prelude::*;
+
+/// An optimal schedule for the continuous extension `\bar P`, as a
+/// fractional schedule, with its cost. By Lemma 4 an integral optimum
+/// exists, so this simply lifts the discrete DP solution.
+pub fn fractional_optimum(inst: &Instance) -> (FracSchedule, f64) {
+    let sol = dp::solve(inst);
+    let frac = sol.schedule.to_frac();
+    (frac, sol.cost)
+}
+
+/// Solve the continuous extension restricted to states `{i / k | i in
+/// 0..=k*m}` by running the DP on a scaled instance whose cost functions
+/// are the eq. 3 interpolations. Used to certify that refining the grid
+/// does not beat the integral optimum (Lemma 4 corollary).
+pub fn refined_grid_optimum(inst: &Instance, k: u32) -> f64 {
+    assert!(k >= 1);
+    let m_fine = inst
+        .m()
+        .checked_mul(k)
+        .expect("refined grid too large for u32");
+    let costs = inst
+        .cost_fns()
+        .iter()
+        .map(|f| {
+            let vals: Vec<f64> = (0..=m_fine)
+                .map(|i| f.interpolate(i as f64 / k as f64))
+                .collect();
+            Cost::table(vals)
+        })
+        .collect();
+    // State i of the fine instance is i/k servers; one unit of powering up
+    // there is 1/k servers, so beta scales down by k.
+    let fine = Instance::new(m_fine, inst.beta() / k as f64, costs)
+        .expect("valid scaled instance");
+    dp::solve_cost_only(&fine)
+}
+
+/// Check that a fractional schedule's floor and ceil cost no more than the
+/// schedule itself under the continuous extension (the Lemma 4 guarantee
+/// applied to an *optimal* input; for arbitrary inputs the floor/ceil may
+/// be worse, so callers pass optima). Returns `(floor_cost, ceil_cost,
+/// frac_cost)`.
+pub fn floor_ceil_costs(inst: &Instance, frac: &FracSchedule) -> (f64, f64, f64) {
+    let fc = frac_cost(inst, frac, FracMode::Interpolate);
+    let lo = cost(inst, &frac.floor());
+    let hi = cost(inst, &frac.ceil());
+    (lo, hi, fc)
+}
+
+/// A deterministic "sawtooth" fractional schedule used by tests: the
+/// midpoint between the integral optimum and its shift by one, clipped to
+/// `[0, m]`. Exercises rounding paths on genuinely fractional inputs.
+pub fn midpoint_perturbation(inst: &Instance) -> FracSchedule {
+    let sol = dp::solve(inst);
+    FracSchedule(
+        sol.schedule
+            .0
+            .iter()
+            .map(|&x| (x as f64 + 0.5).min(inst.m() as f64))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsdc_core::cost::Cost;
+
+    fn inst() -> Instance {
+        Instance::new(
+            6,
+            1.3,
+            vec![
+                Cost::quadratic(1.0, 2.5, 0.0),
+                Cost::quadratic(0.7, 4.0, 0.2),
+                Cost::abs(2.0, 1.0),
+                Cost::quadratic(0.4, 5.5, 0.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fractional_value_equals_discrete() {
+        let i = inst();
+        let (frac, val) = fractional_optimum(&i);
+        assert!((frac_cost(&i, &frac, FracMode::Interpolate) - val).abs() < 1e-9);
+        assert!((val - dp::solve(&i).cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_refinement_does_not_improve() {
+        let i = inst();
+        let discrete = dp::solve_cost_only(&i);
+        for k in [2, 3, 4, 8] {
+            let fine = refined_grid_optimum(&i, k);
+            assert!(
+                fine >= discrete - 1e-7,
+                "grid 1/{k} gave {fine} < discrete {discrete}"
+            );
+            // The integral optimum is also feasible on the grid.
+            assert!(fine <= discrete + 1e-7);
+        }
+    }
+
+    #[test]
+    fn floor_ceil_of_optimum_are_optimal() {
+        let i = inst();
+        let (frac, val) = fractional_optimum(&i);
+        let (lo, hi, fc) = floor_ceil_costs(&i, &frac);
+        assert!((fc - val).abs() < 1e-9);
+        // The lifted optimum is integral, so floor and ceil reproduce it.
+        assert!((lo - val).abs() < 1e-9);
+        assert!((hi - val).abs() < 1e-9);
+    }
+
+    #[test]
+    fn midpoint_rounding_brackets_cost() {
+        let i = inst();
+        let mid = midpoint_perturbation(&i);
+        let (lo, hi, fc) = floor_ceil_costs(&i, &mid);
+        // The interpolated cost of the midpoint is a convex combination of
+        // integer evaluations, so min(floor-op, ceil-op) cannot exceed it by
+        // much; we only assert the computation runs and is finite here —
+        // the strong statement (Lemma 4) applies to optima, covered above.
+        assert!(lo.is_finite() && hi.is_finite() && fc.is_finite());
+    }
+}

@@ -1,0 +1,262 @@
+//! Baseline online policies.
+//!
+//! None of these carry the paper's guarantees; they exist to calibrate the
+//! experiments (how much do laziness and the bound structure actually buy?)
+//! and as sanity baselines a practitioner would try first:
+//!
+//! * [`FollowTheMinimizer`] — jump to the cheapest state every slot. Pays
+//!   unbounded switching on oscillating workloads (the E14 ablation
+//!   quantifies the blow-up).
+//! * [`Hysteresis`] — follow the minimizer only when it strays more than a
+//!   dead-band from the current state; a common ad-hoc industrial policy.
+//! * [`WorkFunction`] — the classic metrical-task-system Work Function
+//!   Algorithm with symmetric movement metric `beta/2 * |x - y|`, included
+//!   as the textbook competitor to LCP.
+
+use crate::traits::OnlineAlgorithm;
+use rsdc_core::prelude::*;
+
+/// Jump to the (smallest) minimizer of every arriving cost function.
+#[derive(Debug, Clone)]
+pub struct FollowTheMinimizer {
+    m: u32,
+}
+
+impl FollowTheMinimizer {
+    /// Baseline over `0..=m`.
+    pub fn new(m: u32) -> Self {
+        Self { m }
+    }
+}
+
+impl OnlineAlgorithm for FollowTheMinimizer {
+    fn step(&mut self, f: &Cost) -> u32 {
+        f.argmin_low(self.m)
+    }
+    fn name(&self) -> String {
+        "FollowTheMinimizer".into()
+    }
+}
+
+/// Follow the minimizer only when it is more than `band` away from the
+/// current state; then jump all the way.
+#[derive(Debug, Clone)]
+pub struct Hysteresis {
+    m: u32,
+    band: u32,
+    state: u32,
+}
+
+impl Hysteresis {
+    /// Baseline with dead-band `band`.
+    pub fn new(m: u32, band: u32) -> Self {
+        Self { m, band, state: 0 }
+    }
+}
+
+impl OnlineAlgorithm for Hysteresis {
+    fn step(&mut self, f: &Cost) -> u32 {
+        let target = f.argmin_low(self.m);
+        if target.abs_diff(self.state) > self.band {
+            self.state = target;
+        }
+        self.state
+    }
+    fn name(&self) -> String {
+        format!("Hysteresis(band={})", self.band)
+    }
+}
+
+/// The Work Function Algorithm: maintain the symmetric-movement work
+/// function
+///
+/// ```text
+/// W_t(x) = min_{x'} ( W_{t-1}(x') + (beta/2) |x - x'| ) + f_t(x)
+/// ```
+///
+/// and move to `x_t = argmin_x ( W_t(x) + (beta/2) |x - x_{t-1}| )`, ties
+/// broken toward the previous state then toward smaller states.
+#[derive(Debug, Clone)]
+pub struct WorkFunction {
+    half_beta: f64,
+    w: Vec<f64>,
+    scratch: Vec<f64>,
+    state: u32,
+}
+
+impl WorkFunction {
+    /// WFA over `0..=m` with power-up cost `beta` (movement metric
+    /// `beta/2` per unit per direction).
+    pub fn new(m: u32, beta: f64) -> Self {
+        let m1 = m as usize + 1;
+        let mut w = vec![f64::INFINITY; m1];
+        w[0] = 0.0;
+        Self {
+            half_beta: beta / 2.0,
+            w,
+            scratch: vec![0.0; m1],
+            state: 0,
+        }
+    }
+
+    /// Current work-function vector (diagnostics).
+    pub fn values(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Symmetric in-place relaxation: `out[x] = min_{x'} (w[x'] + r|x-x'|)`.
+    fn relax_symmetric(w: &[f64], r: f64, out: &mut [f64]) {
+        let n = w.len();
+        // Left-to-right pass.
+        let mut best = f64::INFINITY;
+        for x in 0..n {
+            best = best.min(w[x] - r * x as f64);
+            out[x] = best + r * x as f64;
+        }
+        // Right-to-left pass.
+        let mut best = f64::INFINITY;
+        for x in (0..n).rev() {
+            best = best.min(w[x] + r * x as f64);
+            let v = best - r * x as f64;
+            if v < out[x] {
+                out[x] = v;
+            }
+        }
+    }
+}
+
+impl OnlineAlgorithm for WorkFunction {
+    fn step(&mut self, f: &Cost) -> u32 {
+        Self::relax_symmetric(&self.w, self.half_beta, &mut self.scratch);
+        for (x, v) in self.scratch.iter_mut().enumerate() {
+            *v += f.eval(x as u32);
+        }
+        std::mem::swap(&mut self.w, &mut self.scratch);
+
+        // WFA move rule.
+        let mut best = f64::INFINITY;
+        let mut best_x = self.state;
+        for (x, &wx) in self.w.iter().enumerate() {
+            let v = wx + self.half_beta * (x as f64 - self.state as f64).abs();
+            let better = v < best - 1e-15
+                || (v <= best + 1e-15 && x as u32 == self.state && best_x != self.state);
+            if better {
+                best = v.min(best);
+                best_x = x as u32;
+            }
+        }
+        self.state = best_x;
+        self.state
+    }
+
+    fn name(&self) -> String {
+        "WorkFunction".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcp::Lcp;
+    use crate::traits::{competitive_ratio, run};
+
+    fn oscillating(eps: f64, t_len: usize) -> Instance {
+        // The adversarial flavour: alternate targets 0 and 1 every slot.
+        let costs = (0..t_len)
+            .map(|t| {
+                if t % 2 == 0 {
+                    Cost::phi1(eps)
+                } else {
+                    Cost::phi0(eps)
+                }
+            })
+            .collect();
+        Instance::new(1, 2.0, costs).unwrap()
+    }
+
+    #[test]
+    fn follow_minimizer_thrashes() {
+        let inst = oscillating(0.01, 400);
+        let mut ftm = FollowTheMinimizer::new(1);
+        let xs = run(&mut ftm, &inst);
+        let (_, _, ratio) = competitive_ratio(&inst, &xs);
+        // It flips every slot: ~200 power-ups at beta = 2 vs OPT ~ 4eps*T/2.
+        assert!(ratio > 20.0, "greedy should blow up, got {ratio}");
+    }
+
+    #[test]
+    fn lcp_beats_greedy_on_oscillation() {
+        let inst = oscillating(0.01, 400);
+        let mut ftm = FollowTheMinimizer::new(1);
+        let greedy_cost = cost(&inst, &run(&mut ftm, &inst));
+        let mut lcp = Lcp::new(1, 2.0);
+        let lcp_cost = cost(&inst, &run(&mut lcp, &inst));
+        assert!(lcp_cost < greedy_cost / 10.0);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_small_oscillation() {
+        let inst = oscillating(0.01, 400);
+        let mut h = Hysteresis::new(1, 1);
+        let xs = run(&mut h, &inst);
+        // Band 1 on a 0/1 problem: never moves.
+        assert!(xs.0.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn hysteresis_follows_large_shifts() {
+        let costs = vec![Cost::abs(5.0, 6.0), Cost::abs(5.0, 6.0), Cost::abs(5.0, 0.0)];
+        let inst = Instance::new(8, 1.0, costs).unwrap();
+        let mut h = Hysteresis::new(8, 2);
+        let xs = run(&mut h, &inst);
+        assert_eq!(xs.0[0], 6);
+        assert_eq!(xs.0[2], 0);
+    }
+
+    #[test]
+    fn work_function_is_finite_and_feasible() {
+        let costs: Vec<Cost> = (0..60)
+            .map(|t| Cost::abs(1.0, 2.0 + 2.0 * ((t as f64) * 0.5).sin()))
+            .collect();
+        let inst = Instance::new(5, 2.0, costs).unwrap();
+        let mut wfa = WorkFunction::new(5, 2.0);
+        let xs = run(&mut wfa, &inst);
+        assert!(xs.is_feasible(&inst));
+        let (_, _, ratio) = competitive_ratio(&inst, &xs);
+        assert!(ratio.is_finite());
+        // WFA is a serious algorithm: it should not blow up here.
+        assert!(ratio < 4.0, "WFA ratio {ratio}");
+    }
+
+    #[test]
+    fn work_function_minimum_tracks_offline_prefix_cost() {
+        // min_x W_t(x) <= prefix optimum under eq. 1 conventions plus the
+        // at-most-beta/2-per-unit discrepancy; sanity: it is finite and
+        // non-decreasing over time.
+        let costs: Vec<Cost> = (0..20).map(|t| Cost::abs(1.0, (t % 4) as f64)).collect();
+        let inst = Instance::new(4, 2.0, costs).unwrap();
+        let mut wfa = WorkFunction::new(4, 2.0);
+        let mut prev_min = 0.0f64;
+        for t in 1..=inst.horizon() {
+            rsdc_core::cost::Cost::eval(inst.cost_fn(t), 0); // touch
+            let _ = OnlineAlgorithm::step(&mut wfa, inst.cost_fn(t));
+            let min_w = wfa.values().iter().copied().fold(f64::INFINITY, f64::min);
+            assert!(min_w.is_finite());
+            assert!(min_w >= prev_min - 1e-9, "work function must grow");
+            prev_min = min_w;
+        }
+    }
+
+    #[test]
+    fn relax_symmetric_matches_naive() {
+        let w = vec![3.0, 0.5, 7.0, 2.0];
+        let mut out = vec![0.0; 4];
+        WorkFunction::relax_symmetric(&w, 1.5, &mut out);
+        for x in 0..4 {
+            let naive = (0..4)
+                .map(|xp| w[xp] + 1.5 * (x as f64 - xp as f64).abs())
+                .fold(f64::INFINITY, f64::min);
+            assert!((out[x] - naive).abs() < 1e-12, "x={x}");
+        }
+    }
+}

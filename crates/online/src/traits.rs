@@ -1,0 +1,175 @@
+//! Online algorithm interfaces and runners.
+//!
+//! In the online problem the convex functions `f_t` arrive one at a time; an
+//! algorithm must commit to `x_t` knowing only `f_1..=f_t` (plus, for
+//! lookahead variants, a finite window of future functions).
+
+use rsdc_core::prelude::*;
+
+/// A deterministic or randomized online algorithm producing **integral**
+/// states.
+pub trait OnlineAlgorithm {
+    /// Consume the next cost function and commit to the number of active
+    /// servers for this slot.
+    fn step(&mut self, f: &Cost) -> u32;
+
+    /// Human-readable algorithm name (for reports).
+    fn name(&self) -> String;
+}
+
+/// An online algorithm producing **fractional** states (continuous setting).
+pub trait FractionalAlgorithm {
+    /// Consume the next cost function and commit to a fractional state.
+    fn step(&mut self, f: &Cost) -> f64;
+
+    /// Human-readable algorithm name (for reports).
+    fn name(&self) -> String;
+}
+
+/// An online algorithm with a prediction window: at each step it sees the
+/// current function together with up to `w` future functions.
+pub trait LookaheadAlgorithm {
+    /// `window[0]` is the current slot's function; `window[1..]` are the
+    /// next (up to `w`) functions, possibly fewer near the end of the
+    /// horizon.
+    fn step(&mut self, window: &[Cost]) -> u32;
+
+    /// Human-readable algorithm name (for reports).
+    fn name(&self) -> String;
+}
+
+/// Feed an entire instance to an online algorithm and collect its schedule.
+pub fn run<A: OnlineAlgorithm + ?Sized>(algo: &mut A, inst: &Instance) -> Schedule {
+    let mut xs = Vec::with_capacity(inst.horizon());
+    for t in 1..=inst.horizon() {
+        let x = algo.step(inst.cost_fn(t));
+        assert!(
+            x <= inst.m(),
+            "{} emitted infeasible state {x} > m = {}",
+            algo.name(),
+            inst.m()
+        );
+        xs.push(x);
+    }
+    Schedule(xs)
+}
+
+/// Feed an entire instance to a fractional algorithm.
+pub fn run_frac<A: FractionalAlgorithm + ?Sized>(algo: &mut A, inst: &Instance) -> FracSchedule {
+    let mut xs = Vec::with_capacity(inst.horizon());
+    for t in 1..=inst.horizon() {
+        let x = algo.step(inst.cost_fn(t));
+        assert!(
+            (0.0..=inst.m() as f64).contains(&x),
+            "{} emitted infeasible fractional state {x}",
+            algo.name()
+        );
+        xs.push(x);
+    }
+    FracSchedule(xs)
+}
+
+/// Feed an instance to a lookahead algorithm with window length `w`.
+pub fn run_lookahead<A: LookaheadAlgorithm + ?Sized>(
+    algo: &mut A,
+    inst: &Instance,
+    w: usize,
+) -> Schedule {
+    let t_len = inst.horizon();
+    let mut xs = Vec::with_capacity(t_len);
+    for t in 1..=t_len {
+        let hi = (t + w).min(t_len);
+        let window: Vec<Cost> = (t..=hi).map(|s| inst.cost_fn(s).clone()).collect();
+        let x = algo.step(&window);
+        assert!(x <= inst.m(), "{} emitted infeasible state", algo.name());
+        xs.push(x);
+    }
+    Schedule(xs)
+}
+
+/// Competitive ratio of a discrete schedule against the offline optimum of
+/// the same instance. Returns `(alg_cost, opt_cost, ratio)`; the ratio is
+/// `1.0` when both costs are (near) zero.
+pub fn competitive_ratio(inst: &Instance, xs: &Schedule) -> (f64, f64, f64) {
+    let alg = cost(inst, xs);
+    let opt = rsdc_offline::dp::solve_cost_only(inst);
+    let ratio = if opt.abs() < 1e-300 {
+        if alg.abs() < 1e-300 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        alg / opt
+    };
+    (alg, opt, ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trivial algorithm staying at a constant state.
+    struct Constant(u32);
+    impl OnlineAlgorithm for Constant {
+        fn step(&mut self, _f: &Cost) -> u32 {
+            self.0
+        }
+        fn name(&self) -> String {
+            format!("constant({})", self.0)
+        }
+    }
+
+    #[test]
+    fn run_collects_schedule() {
+        let inst = Instance::new(4, 1.0, vec![Cost::Zero, Cost::Zero]).unwrap();
+        let mut a = Constant(3);
+        let xs = run(&mut a, &inst);
+        assert_eq!(xs, Schedule(vec![3, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn run_rejects_out_of_range() {
+        let inst = Instance::new(2, 1.0, vec![Cost::Zero]).unwrap();
+        let mut a = Constant(3);
+        let _ = run(&mut a, &inst);
+    }
+
+    #[test]
+    fn ratio_against_optimum() {
+        // One slot wanting 2 servers with slope 10: OPT moves (cost 2*1),
+        // constant-0 pays 20.
+        let inst = Instance::new(4, 1.0, vec![Cost::abs(10.0, 2.0)]).unwrap();
+        let xs = Schedule(vec![0]);
+        let (alg, opt, ratio) = competitive_ratio(&inst, &xs);
+        assert!((alg - 20.0).abs() < 1e-12);
+        assert!((opt - 2.0).abs() < 1e-12);
+        assert!((ratio - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_ratio_is_one() {
+        let inst = Instance::new(4, 1.0, vec![Cost::Zero]).unwrap();
+        let (_, _, r) = competitive_ratio(&inst, &Schedule(vec![0]));
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn lookahead_window_clips_at_horizon() {
+        struct CountWindow(Vec<usize>);
+        impl LookaheadAlgorithm for CountWindow {
+            fn step(&mut self, window: &[Cost]) -> u32 {
+                self.0.push(window.len());
+                0
+            }
+            fn name(&self) -> String {
+                "count".into()
+            }
+        }
+        let inst = Instance::new(1, 1.0, vec![Cost::Zero; 4]).unwrap();
+        let mut a = CountWindow(Vec::new());
+        let _ = run_lookahead(&mut a, &inst, 2);
+        assert_eq!(a.0, vec![3, 3, 2, 1]);
+    }
+}

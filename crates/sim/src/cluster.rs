@@ -1,0 +1,196 @@
+//! Cluster of servers driven by a target active count per slot.
+
+use crate::metrics::{Metrics, SlotRecord};
+use crate::server::{Server, ServerConfig, ServerState, SlotRole};
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    servers: Vec<Server>,
+    config: ServerConfig,
+}
+
+impl Cluster {
+    /// A cluster of `m` sleeping servers.
+    pub fn new(m: u32, config: ServerConfig) -> Self {
+        Self {
+            servers: (0..m).map(|_| Server::new(config)).collect(),
+            config,
+        }
+    }
+
+    /// Fleet size.
+    pub fn size(&self) -> u32 {
+        self.servers.len() as u32
+    }
+
+    /// Number of servers currently serving.
+    pub fn active_count(&self) -> u32 {
+        self.servers
+            .iter()
+            .filter(|s| s.state == ServerState::Active)
+            .count() as u32
+    }
+
+    /// Number of servers awake or waking (the optimizer's `x_t`).
+    pub fn committed_count(&self) -> u32 {
+        self.servers
+            .iter()
+            .filter(|s| s.state != ServerState::Sleeping)
+            .count() as u32
+    }
+
+    /// Run one slot: set the target committed count, advance boot timers,
+    /// spread `load` over the serving servers and account power/SLA.
+    pub fn step(&mut self, target: u32, load: f64) -> SlotRecord {
+        let target = target.min(self.size());
+        let mut wake_energy = 0.0;
+        let mut woken = 0u32;
+        let mut slept = 0u32;
+
+        // Power up or down to reach the target committed count. Sleeping
+        // the most-recently-woken first keeps the policy simple.
+        let committed = self.committed_count();
+        if committed < target {
+            let mut need = target - committed;
+            for s in &mut self.servers {
+                if need == 0 {
+                    break;
+                }
+                if s.state == ServerState::Sleeping {
+                    wake_energy += s.wake();
+                    woken += 1;
+                    need -= 1;
+                }
+            }
+        } else if committed > target {
+            let mut excess = committed - target;
+            for s in self.servers.iter_mut().rev() {
+                if excess == 0 {
+                    break;
+                }
+                if s.state != ServerState::Sleeping {
+                    s.sleep();
+                    slept += 1;
+                    excess -= 1;
+                }
+            }
+        }
+
+        // Advance all servers one slot, recording what each did.
+        let roles: Vec<SlotRole> = self.servers.iter_mut().map(|s| s.tick()).collect();
+        let serving = roles.iter().filter(|&&r| r == SlotRole::Serving).count() as u32;
+
+        // Dispatch load evenly; capacity of one server is 1 load unit.
+        let capacity = serving as f64;
+        let served = load.min(capacity);
+        let dropped = (load - capacity).max(0.0);
+        let rho = if serving > 0 { served / capacity } else { 0.0 };
+
+        let mut power = 0.0;
+        for (s, &role) in self.servers.iter().zip(&roles) {
+            power += s.power_for(role, rho);
+        }
+
+        SlotRecord {
+            target,
+            committed: self.committed_count(),
+            serving,
+            load,
+            served,
+            dropped,
+            utilisation: rho,
+            power,
+            wake_energy,
+            woken,
+            slept,
+        }
+    }
+
+    /// Run a whole schedule of targets against a load trace.
+    pub fn run(&mut self, targets: &[u32], loads: &[f64]) -> Metrics {
+        assert_eq!(targets.len(), loads.len());
+        let mut metrics = Metrics::default();
+        for (&x, &l) in targets.iter().zip(loads) {
+            metrics.push(self.step(x, l));
+        }
+        metrics
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ServerConfig {
+        ServerConfig {
+            power_idle: 1.0,
+            power_peak: 2.0,
+            power_sleep: 0.0,
+            wake_slots: 1,
+            wake_energy: 2.0,
+        }
+    }
+
+    #[test]
+    fn servers_boot_before_serving() {
+        let mut c = Cluster::new(4, cfg());
+        let r1 = c.step(2, 1.0);
+        // Slot 1: both targeted servers are booting, nothing serves.
+        assert_eq!(r1.committed, 2);
+        assert_eq!(r1.serving, 0);
+        assert_eq!(r1.dropped, 1.0);
+        assert_eq!(r1.woken, 2);
+        assert_eq!(r1.wake_energy, 4.0);
+        // Slot 2: both serve.
+        let r2 = c.step(2, 1.0);
+        assert_eq!(r2.serving, 2);
+        assert_eq!(r2.dropped, 0.0);
+        assert!((r2.utilisation - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_accounting() {
+        let mut c = Cluster::new(2, cfg());
+        let r1 = c.step(1, 0.0);
+        // One waking at peak power, one asleep at 0.
+        assert!((r1.power - 2.0).abs() < 1e-12);
+        let r2 = c.step(1, 0.5);
+        // One active at rho = 0.5: 1 + 0.5 = 1.5.
+        assert!((r2.power - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_down_is_instant() {
+        let mut c = Cluster::new(4, cfg());
+        c.step(4, 0.0);
+        c.step(4, 0.0);
+        assert_eq!(c.active_count(), 4);
+        let r = c.step(1, 0.0);
+        assert_eq!(r.committed, 1);
+        assert_eq!(r.slept, 3);
+    }
+
+    #[test]
+    fn target_clamped_to_fleet() {
+        let mut c = Cluster::new(2, cfg());
+        let r = c.step(10, 0.0);
+        assert_eq!(r.target, 2);
+        assert_eq!(r.committed, 2);
+    }
+
+    #[test]
+    fn run_aggregates_metrics() {
+        let mut c = Cluster::new(3, cfg());
+        let m = c.run(&[2, 2, 0, 1], &[1.0, 1.5, 0.0, 0.5]);
+        assert_eq!(m.slots(), 4);
+        assert!(m.total_energy() > 0.0);
+        assert!(m.total_dropped() >= 1.0, "boot slot drops its load");
+    }
+}

@@ -1,0 +1,178 @@
+//! Response-time estimation via the M/M/c queue (Erlang C).
+//!
+//! The operating-cost functions price delay through a convex surrogate
+//! (`rho/(1 - rho + eps)`); the simulator can report the *queueing-theory*
+//! response time for the realized schedule, so experiments can check that
+//! optimizing the surrogate actually controls the real metric.
+//!
+//! Model: each slot is an M/M/c system with `c = serving` servers, arrival
+//! rate `lambda` (load units per slot) and per-server service rate `mu = 1`
+//! (one load unit per slot). For `lambda >= c` the queue is unstable and
+//! the response time is reported as `f64::INFINITY`.
+
+use crate::metrics::Metrics;
+
+/// Erlang-C probability that an arriving job must wait, for an M/M/c queue
+/// with offered load `a = lambda/mu` and `c` servers. Computed with the
+/// standard stable recurrence on the Erlang-B values.
+pub fn erlang_c(c: u32, a: f64) -> f64 {
+    assert!(a >= 0.0, "offered load must be non-negative");
+    if c == 0 {
+        return 1.0;
+    }
+    if a == 0.0 {
+        return 0.0;
+    }
+    if a >= c as f64 {
+        return 1.0; // unstable: everyone waits
+    }
+    // Erlang-B recurrence: B(0) = 1; B(k) = a*B(k-1) / (k + a*B(k-1)).
+    let mut b = 1.0f64;
+    for k in 1..=c {
+        b = a * b / (k as f64 + a * b);
+    }
+    let rho = a / c as f64;
+    // Erlang-C from Erlang-B.
+    b / (1.0 - rho + rho * b)
+}
+
+/// Mean response time (sojourn) of an M/M/c queue with `mu = 1`:
+/// `W = C(c, a) / (c - a) + 1`. `INFINITY` when unstable or `c = 0` with
+/// positive load; `1.0` (pure service time) when idle capacity abounds.
+pub fn mm_c_response_time(c: u32, lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return if c == 0 { 0.0 } else { 1.0 };
+    }
+    if c == 0 || lambda >= c as f64 {
+        return f64::INFINITY;
+    }
+    let pc = erlang_c(c, lambda);
+    pc / (c as f64 - lambda) + 1.0
+}
+
+/// Latency summary over a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Load-weighted mean response time over stable slots.
+    pub mean_response: f64,
+    /// Worst stable-slot response time.
+    pub worst_response: f64,
+    /// Fraction of offered load arriving in unstable (overloaded) slots.
+    pub unstable_load_fraction: f64,
+}
+
+/// Compute the latency summary for a run's per-slot records.
+pub fn latency_summary(metrics: &Metrics) -> LatencySummary {
+    let mut weighted = 0.0;
+    let mut stable_load = 0.0;
+    let mut unstable_load = 0.0;
+    let mut worst = 0.0f64;
+    for r in metrics.records() {
+        if r.load <= 0.0 {
+            continue;
+        }
+        let w = mm_c_response_time(r.serving, r.load);
+        if w.is_finite() {
+            weighted += w * r.load;
+            stable_load += r.load;
+            worst = worst.max(w);
+        } else {
+            unstable_load += r.load;
+        }
+    }
+    let total = stable_load + unstable_load;
+    LatencySummary {
+        mean_response: if stable_load > 0.0 {
+            weighted / stable_load
+        } else {
+            0.0
+        },
+        worst_response: worst,
+        unstable_load_fraction: if total > 0.0 {
+            unstable_load / total
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::server::ServerConfig;
+
+    #[test]
+    fn erlang_c_known_values() {
+        // Single server: C(1, a) = a (the M/M/1 waiting probability = rho).
+        for a in [0.1, 0.5, 0.9] {
+            assert!((erlang_c(1, a) - a).abs() < 1e-12, "a={a}");
+        }
+        // Deep under-load: almost nobody waits.
+        assert!(erlang_c(100, 1.0) < 1e-10);
+        // Saturation: everyone waits.
+        assert_eq!(erlang_c(4, 4.0), 1.0);
+        assert_eq!(erlang_c(0, 1.0), 1.0);
+        assert_eq!(erlang_c(4, 0.0), 0.0);
+    }
+
+    #[test]
+    fn erlang_c_monotone_in_load() {
+        let mut prev = 0.0;
+        for i in 1..10 {
+            let a = i as f64 * 0.4;
+            let c = erlang_c(4, a);
+            assert!(c >= prev - 1e-12, "a={a}: {c} < {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn response_time_limits() {
+        // M/M/1: W = 1/(1 - rho) for mu = 1.
+        let w = mm_c_response_time(1, 0.5);
+        assert!((w - 2.0).abs() < 1e-9, "W = {w}");
+        assert_eq!(mm_c_response_time(2, 2.5), f64::INFINITY);
+        assert_eq!(mm_c_response_time(0, 1.0), f64::INFINITY);
+        assert_eq!(mm_c_response_time(4, 0.0), 1.0);
+        assert_eq!(mm_c_response_time(0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn more_servers_reduce_latency() {
+        let lambda = 3.0;
+        let mut prev = f64::INFINITY;
+        for c in 4..10 {
+            let w = mm_c_response_time(c, lambda);
+            assert!(w <= prev + 1e-12, "c={c}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn summary_over_simulated_run() {
+        let mut cluster = Cluster::new(
+            4,
+            ServerConfig {
+                wake_slots: 0,
+                ..Default::default()
+            },
+        );
+        let metrics = cluster.run(&[4, 4, 1, 4], &[2.0, 3.0, 3.0, 0.0]);
+        let s = latency_summary(&metrics);
+        // Slot 3 is overloaded (1 server, load 3): its load is unstable.
+        assert!(s.unstable_load_fraction > 0.0);
+        assert!((s.unstable_load_fraction - 3.0 / 8.0).abs() < 1e-9);
+        assert!(s.mean_response >= 1.0);
+        assert!(s.worst_response >= s.mean_response);
+    }
+
+    #[test]
+    fn summary_of_idle_run() {
+        let mut cluster = Cluster::new(2, ServerConfig::default());
+        let metrics = cluster.run(&[0, 0], &[0.0, 0.0]);
+        let s = latency_summary(&metrics);
+        assert_eq!(s.mean_response, 0.0);
+        assert_eq!(s.unstable_load_fraction, 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # rsdc-sim — data-center simulator substrate
+//!
+//! Grounds the abstract optimization problem in a physical model:
+//!
+//! * [`server`] — per-server sleep/wake state machine with boot latency and
+//!   wake energy (the phenomena `beta` prices);
+//! * [`cluster`] — a fleet driven by per-slot target counts, with load
+//!   dispatch and power accounting;
+//! * [`metrics`] — energy, drop-rate and utilisation aggregation;
+//! * [`runner`] — run online policies or replay offline schedules over
+//!   workload traces (experiment E11's engine).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod latency;
+pub mod metrics;
+pub mod runner;
+pub mod server;
+
+pub use cluster::Cluster;
+pub use latency::{latency_summary, mm_c_response_time, LatencySummary};
+pub use metrics::{Metrics, SlotRecord};
+pub use runner::{
+    simulate_best_static, simulate_offline_optimum, simulate_online, simulate_schedule, SimConfig,
+    SimReport,
+};
+pub use server::{Server, ServerConfig, ServerState, SlotRole};

@@ -1,0 +1,189 @@
+//! Drive right-sizing policies through the simulator.
+//!
+//! The loop per slot `t`: derive the convex cost `f_t` from the observed
+//! load (the same modelling as [`rsdc_workloads::builder::CostModel`]),
+//! ask the policy for `x_t`, apply it to the cluster, account power/SLA.
+//! Offline schedules (e.g. the DP optimum) can be replayed through the same
+//! cluster for apples-to-apples comparisons.
+
+use crate::cluster::Cluster;
+use crate::metrics::Metrics;
+use crate::server::ServerConfig;
+use rsdc_core::prelude::*;
+use rsdc_online::traits::OnlineAlgorithm;
+use rsdc_workloads::builder::CostModel;
+use rsdc_workloads::traces::Trace;
+
+/// Simulation configuration: fleet, physical server model and the cost
+/// model shown to the optimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Fleet size.
+    pub m: u32,
+    /// Physical server parameters.
+    pub server: ServerConfig,
+    /// Cost model used to derive `f_t` for the policy.
+    pub cost_model: CostModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            server: ServerConfig::default(),
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// Result of simulating one policy on one trace.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Name of the policy.
+    pub policy: String,
+    /// The schedule the policy produced.
+    pub schedule: Schedule,
+    /// Simulator metrics (energy, drops, wakes).
+    pub metrics: Metrics,
+    /// Abstract model cost of the schedule (eq. 1 with the cost model).
+    pub model_cost: f64,
+}
+
+/// Simulate an online policy on a trace.
+pub fn simulate_online<A: OnlineAlgorithm + ?Sized>(
+    cfg: &SimConfig,
+    trace: &Trace,
+    policy: &mut A,
+) -> SimReport {
+    let inst = cfg.cost_model.instance(cfg.m, trace);
+    let mut cluster = Cluster::new(cfg.m, cfg.server);
+    let mut metrics = Metrics::default();
+    let mut xs = Vec::with_capacity(trace.len());
+    for (t, &load) in trace.loads.iter().enumerate() {
+        let x = policy.step(inst.cost_fn(t + 1)).min(cfg.m);
+        metrics.push(cluster.step(x, load));
+        xs.push(x);
+    }
+    let schedule = Schedule(xs);
+    let model_cost = cost(&inst, &schedule);
+    SimReport {
+        policy: policy.name(),
+        schedule,
+        metrics,
+        model_cost,
+    }
+}
+
+/// Replay a precomputed schedule (offline optimum, static baseline, ...).
+pub fn simulate_schedule(
+    cfg: &SimConfig,
+    trace: &Trace,
+    name: impl Into<String>,
+    xs: &Schedule,
+) -> SimReport {
+    assert_eq!(xs.len(), trace.len());
+    let inst = cfg.cost_model.instance(cfg.m, trace);
+    let mut cluster = Cluster::new(cfg.m, cfg.server);
+    let metrics = cluster.run(&xs.0, &trace.loads);
+    SimReport {
+        policy: name.into(),
+        schedule: xs.clone(),
+        metrics,
+        model_cost: cost(&inst, xs),
+    }
+}
+
+/// Simulate the offline optimum (binary-search solver) on a trace.
+pub fn simulate_offline_optimum(cfg: &SimConfig, trace: &Trace) -> SimReport {
+    let inst = cfg.cost_model.instance(cfg.m, trace);
+    let sol = rsdc_offline::binsearch::solve(&inst);
+    simulate_schedule(cfg, trace, "OfflineOptimal", &sol.schedule)
+}
+
+/// Simulate the best static provisioning level.
+pub fn simulate_best_static(cfg: &SimConfig, trace: &Trace) -> SimReport {
+    let (x, _) = cfg.cost_model.best_static_cost(cfg.m, trace);
+    let xs = Schedule(vec![x; trace.len()]);
+    simulate_schedule(cfg, trace, format!("Static({x})"), &xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsdc_online::lcp::Lcp;
+    use rsdc_workloads::traces::Diurnal;
+
+    fn trace() -> Trace {
+        Diurnal {
+            period: 24,
+            base: 2.0,
+            peak: 10.0,
+            noise: 0.05,
+        }
+        .generate(96, 13)
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            m: 14,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn lcp_tracks_load_in_simulation() {
+        let cfg = cfg();
+        let tr = trace();
+        let mut lcp = Lcp::new(cfg.m, cfg.cost_model.beta);
+        let report = simulate_online(&cfg, &tr, &mut lcp);
+        assert_eq!(report.schedule.len(), tr.len());
+        // LCP should commit meaningful capacity on average.
+        assert!(report.metrics.mean_committed() > 1.0);
+        // And keep the drop rate modest on a smooth diurnal trace.
+        assert!(
+            report.metrics.drop_rate() < 0.2,
+            "drop rate {}",
+            report.metrics.drop_rate()
+        );
+    }
+
+    #[test]
+    fn offline_optimum_has_lowest_model_cost() {
+        let cfg = cfg();
+        let tr = trace();
+        let opt = simulate_offline_optimum(&cfg, &tr);
+        let mut lcp = Lcp::new(cfg.m, cfg.cost_model.beta);
+        let online = simulate_online(&cfg, &tr, &mut lcp);
+        let stat = simulate_best_static(&cfg, &tr);
+        assert!(opt.model_cost <= online.model_cost + 1e-9);
+        assert!(opt.model_cost <= stat.model_cost + 1e-9);
+        // Theorem 2 in the simulator: LCP within 3x of optimal model cost.
+        assert!(online.model_cost <= 3.0 * opt.model_cost + 1e-9);
+    }
+
+    #[test]
+    fn right_sizing_saves_energy_vs_static() {
+        let cfg = cfg();
+        let tr = trace();
+        let opt = simulate_offline_optimum(&cfg, &tr);
+        let stat = simulate_best_static(&cfg, &tr);
+        assert!(
+            opt.metrics.total_energy() < stat.metrics.total_energy(),
+            "dynamic {} vs static {}",
+            opt.metrics.total_energy(),
+            stat.metrics.total_energy()
+        );
+    }
+
+    #[test]
+    fn replay_matches_length_and_cost() {
+        let cfg = cfg();
+        let tr = trace();
+        let xs = Schedule(vec![3; tr.len()]);
+        let rep = simulate_schedule(&cfg, &tr, "const3", &xs);
+        assert_eq!(rep.policy, "const3");
+        assert_eq!(rep.metrics.slots(), tr.len());
+        let inst = cfg.cost_model.instance(cfg.m, &tr);
+        assert!((rep.model_cost - cost(&inst, &xs)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! Individual server model: sleep/active states with wake latency.
+//!
+//! The optimization problem abstracts a server into "active or asleep with
+//! a power-up cost `beta`". The simulator grounds that abstraction: a
+//! waking server burns peak power for `wake_slots` slots *without serving
+//! traffic*, which is exactly the phenomenon `beta` prices in the paper's
+//! model (energy plus migration delays).
+
+use serde::{Deserialize, Serialize};
+
+/// Physical configuration of one server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Power draw when idle-active (per slot).
+    pub power_idle: f64,
+    /// Power draw at full utilisation (per slot).
+    pub power_peak: f64,
+    /// Power draw while asleep.
+    pub power_sleep: f64,
+    /// Slots needed to transition sleep -> active.
+    pub wake_slots: u32,
+    /// Extra one-off energy burned by a wake-up (state save/restore etc.).
+    pub wake_energy: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            power_idle: 1.0,
+            power_peak: 2.0,
+            power_sleep: 0.05,
+            wake_slots: 1,
+            wake_energy: 2.0,
+        }
+    }
+}
+
+/// Server lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerState {
+    /// Powered down.
+    Sleeping,
+    /// Booting; serves nothing for the stored number of remaining slots.
+    Waking {
+        /// Slots until the server becomes active.
+        remaining: u32,
+    },
+    /// Serving traffic.
+    Active,
+}
+
+/// One simulated server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Server {
+    /// Current lifecycle state.
+    pub state: ServerState,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// A sleeping server with the given configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        Self {
+            state: ServerState::Sleeping,
+            config,
+        }
+    }
+
+    /// Begin powering up (no-op unless sleeping). Returns the one-off wake
+    /// energy if a wake actually started.
+    pub fn wake(&mut self) -> f64 {
+        if self.state == ServerState::Sleeping {
+            self.state = if self.config.wake_slots == 0 {
+                ServerState::Active
+            } else {
+                ServerState::Waking {
+                    remaining: self.config.wake_slots,
+                }
+            };
+            self.config.wake_energy
+        } else {
+            0.0
+        }
+    }
+
+    /// Power down immediately (transitions from any state).
+    pub fn sleep(&mut self) {
+        self.state = ServerState::Sleeping;
+    }
+
+    /// Advance one slot: progress boot timers. Returns what the server did
+    /// *during* this slot (a server finishing its boot this slot reports
+    /// [`SlotRole::Booting`] and starts serving next slot).
+    pub fn tick(&mut self) -> SlotRole {
+        match self.state {
+            ServerState::Sleeping => SlotRole::Sleeping,
+            ServerState::Waking { remaining } => {
+                if remaining <= 1 {
+                    self.state = ServerState::Active;
+                } else {
+                    self.state = ServerState::Waking {
+                        remaining: remaining - 1,
+                    };
+                }
+                SlotRole::Booting // boot slot: burns power, serves nothing
+            }
+            ServerState::Active => SlotRole::Serving,
+        }
+    }
+
+    /// Power drawn during a slot in which the server played `role` with
+    /// assigned utilisation `rho in [0, 1]` (ignored unless serving).
+    pub fn power_for(&self, role: SlotRole, rho: f64) -> f64 {
+        match role {
+            SlotRole::Sleeping => self.config.power_sleep,
+            SlotRole::Booting => self.config.power_peak,
+            SlotRole::Serving => {
+                let rho = rho.clamp(0.0, 1.0);
+                self.config.power_idle + (self.config.power_peak - self.config.power_idle) * rho
+            }
+        }
+    }
+}
+
+/// What a server did during one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotRole {
+    /// Asleep the whole slot.
+    Sleeping,
+    /// Booting: burns peak power, serves nothing.
+    Booting,
+    /// Active and serving traffic.
+    Serving,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_cycle() {
+        let mut s = Server::new(ServerConfig {
+            wake_slots: 2,
+            ..Default::default()
+        });
+        assert_eq!(s.state, ServerState::Sleeping);
+        let e = s.wake();
+        assert_eq!(e, 2.0);
+        assert_eq!(s.state, ServerState::Waking { remaining: 2 });
+        assert_eq!(s.tick(), SlotRole::Booting); // boot slot 1
+        assert_eq!(s.tick(), SlotRole::Booting); // boot slot 2 -> active at end
+        assert_eq!(s.tick(), SlotRole::Serving);
+    }
+
+    #[test]
+    fn wake_is_idempotent() {
+        let mut s = Server::new(ServerConfig::default());
+        assert!(s.wake() > 0.0);
+        assert_eq!(s.wake(), 0.0, "second wake is a no-op");
+    }
+
+    #[test]
+    fn instant_wake_when_zero_latency() {
+        let mut s = Server::new(ServerConfig {
+            wake_slots: 0,
+            ..Default::default()
+        });
+        s.wake();
+        assert_eq!(s.state, ServerState::Active);
+        assert_eq!(s.tick(), SlotRole::Serving);
+    }
+
+    #[test]
+    fn power_draw_by_role() {
+        let cfg = ServerConfig::default();
+        let s = Server::new(cfg);
+        assert_eq!(s.power_for(SlotRole::Sleeping, 0.5), cfg.power_sleep);
+        assert_eq!(s.power_for(SlotRole::Booting, 0.5), cfg.power_peak);
+        assert_eq!(s.power_for(SlotRole::Serving, 0.0), cfg.power_idle);
+        assert_eq!(s.power_for(SlotRole::Serving, 1.0), cfg.power_peak);
+        assert_eq!(s.power_for(SlotRole::Serving, 0.5), 1.5);
+    }
+
+    #[test]
+    fn sleep_from_any_state() {
+        let mut s = Server::new(ServerConfig::default());
+        s.wake();
+        s.sleep();
+        assert_eq!(s.state, ServerState::Sleeping);
+    }
+}

@@ -1,0 +1,154 @@
+//! Build optimization instances from workload traces.
+//!
+//! The bridge between the simulator world (loads, energy, delay) and the
+//! abstract problem (convex `f_t`, `beta`): exactly the modelling step of
+//! Lin et al. [22, 24] that this paper inherits.
+
+use crate::traces::Trace;
+use rsdc_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Cost-model configuration for turning a trace into an [`Instance`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Per-server energy/delay parameters.
+    pub server: ServerParams,
+    /// Penalty per unit of unserved load when `x < lambda` (soft capacity).
+    pub overload: f64,
+    /// Power-up cost `beta`.
+    pub beta: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            server: ServerParams::default(),
+            overload: 20.0,
+            beta: 6.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Build a general-model instance over `m` servers from a trace.
+    pub fn instance(&self, m: u32, trace: &Trace) -> Instance {
+        let costs = trace
+            .loads
+            .iter()
+            .map(|&lambda| Cost::Server {
+                lambda,
+                params: self.server,
+                overload: self.overload,
+            })
+            .collect();
+        Instance::new(m, self.beta, costs).expect("valid cost model")
+    }
+
+    /// Build a restricted-model instance (hard constraint `x_t >= lambda_t`)
+    /// from a trace; loads are clamped to `m`.
+    pub fn restricted(&self, m: u32, trace: &Trace) -> RestrictedInstance {
+        let lambdas = trace.loads.iter().map(|&l| l.clamp(0.0, m as f64)).collect();
+        RestrictedInstance::new(m, self.beta, Unit::Server(self.server), lambdas)
+            .expect("valid restricted model")
+    }
+
+    /// Cost of static provisioning: keep `x` servers active for the whole
+    /// trace (the "no right-sizing" baseline of the Lin et al. case study).
+    pub fn static_cost(&self, m: u32, trace: &Trace, x: u32) -> f64 {
+        let inst = self.instance(m, trace);
+        let xs = Schedule(vec![x; trace.len()]);
+        cost(&inst, &xs)
+    }
+
+    /// Cost of the best static provisioning level (grid search over
+    /// `0..=m`).
+    pub fn best_static_cost(&self, m: u32, trace: &Trace) -> (u32, f64) {
+        let inst = self.instance(m, trace);
+        let mut best = (0u32, f64::INFINITY);
+        for x in 0..=m {
+            let xs = Schedule(vec![x; trace.len()]);
+            let c = cost(&inst, &xs);
+            if c < best.1 {
+                best = (x, c);
+            }
+        }
+        best
+    }
+}
+
+/// Suggested fleet size for a trace: enough servers to hold the peak at
+/// the given utilisation target, at least 1.
+pub fn fleet_size(trace: &Trace, target_utilisation: f64) -> u32 {
+    assert!(target_utilisation > 0.0 && target_utilisation <= 1.0);
+    ((trace.peak() / target_utilisation).ceil() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::Diurnal;
+
+    fn trace() -> Trace {
+        Diurnal {
+            period: 12,
+            base: 1.0,
+            peak: 6.0,
+            noise: 0.0,
+        }
+        .generate(36, 1)
+    }
+
+    #[test]
+    fn instance_has_one_cost_per_slot() {
+        let tr = trace();
+        let inst = CostModel::default().instance(8, &tr);
+        assert_eq!(inst.horizon(), tr.len());
+        assert_eq!(inst.m(), 8);
+        // All costs convex.
+        for t in 1..=inst.horizon() {
+            inst.cost_fn(t).check_convex(8).unwrap();
+        }
+    }
+
+    #[test]
+    fn restricted_clamps_loads() {
+        let tr = Trace::new("t", vec![2.0, 9.0]);
+        let r = CostModel::default().restricted(4, &tr);
+        assert_eq!(r.lambdas, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn fleet_size_covers_peak() {
+        let tr = trace();
+        let m = fleet_size(&tr, 0.8);
+        assert!(m as f64 * 0.8 >= tr.peak());
+        assert!(fleet_size(&Trace::new("z", vec![0.0]), 0.5) >= 1);
+    }
+
+    #[test]
+    fn right_sizing_beats_static_on_diurnal() {
+        // The Lin et al. headline: dynamic right-sizing saves versus the
+        // best static provisioning on strongly diurnal load.
+        let tr = trace();
+        let model = CostModel::default();
+        let m = fleet_size(&tr, 0.8);
+        let inst = model.instance(m, &tr);
+        let opt = rsdc_offline::dp::solve_cost_only(&inst);
+        let (_, static_cost) = model.best_static_cost(m, &tr);
+        assert!(
+            opt < static_cost,
+            "OPT {opt} should beat best static {static_cost}"
+        );
+    }
+
+    #[test]
+    fn static_cost_monotone_in_obvious_cases() {
+        let tr = Trace::new("t", vec![0.0; 10]);
+        let model = CostModel::default();
+        // With zero load, fewer servers is always cheaper.
+        let c0 = model.static_cost(4, &tr, 0);
+        let c4 = model.static_cost(4, &tr, 4);
+        assert!(c0 < c4);
+        assert_eq!(c0, 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Trace import/export: JSON (via serde) and a minimal CSV dialect
+//! (`slot,load` with a header line), so externally recorded data-center
+//! traces can be dropped into the harness.
+
+use crate::traces::Trace;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Write a trace as CSV (`slot,load`).
+pub fn write_csv<W: Write>(w: &mut W, trace: &Trace) -> std::io::Result<()> {
+    writeln!(w, "slot,load")?;
+    for (t, l) in trace.loads.iter().enumerate() {
+        writeln!(w, "{t},{l}")?;
+    }
+    Ok(())
+}
+
+/// Read a trace from CSV. Accepts an optional `slot,load` header; the slot
+/// column is ignored (rows are taken in order). Blank lines are skipped.
+pub fn read_csv<R: Read>(r: R, label: impl Into<String>) -> std::io::Result<Trace> {
+    let reader = BufReader::new(r);
+    let mut loads = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let first = fields.next().unwrap_or("");
+        let second = fields.next();
+        if lineno == 0 && first.eq_ignore_ascii_case("slot") {
+            continue;
+        }
+        let raw = second.unwrap_or(first);
+        let v: f64 = raw.trim().parse().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: bad load {raw:?}: {e}", lineno + 1),
+            )
+        })?;
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: load must be finite and >= 0, got {v}", lineno + 1),
+            ));
+        }
+        loads.push(v);
+    }
+    Ok(Trace::new(label, loads))
+}
+
+/// Serialize a trace to JSON.
+pub fn to_json(trace: &Trace) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(trace)
+}
+
+/// Deserialize a trace from JSON.
+pub fn from_json(s: &str) -> serde_json::Result<Trace> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let tr = Trace::new("t", vec![1.5, 0.0, 3.25]);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &tr).unwrap();
+        let back = read_csv(&buf[..], "t").unwrap();
+        assert_eq!(back.loads, tr.loads);
+    }
+
+    #[test]
+    fn csv_without_header_and_single_column() {
+        let data = "1.0\n2.5\n\n0.5\n";
+        let tr = read_csv(data.as_bytes(), "x").unwrap();
+        assert_eq!(tr.loads, vec![1.0, 2.5, 0.5]);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(read_csv("slot,load\n0,abc\n".as_bytes(), "x").is_err());
+        assert!(read_csv("0,-1.0\n".as_bytes(), "x").is_err());
+        assert!(read_csv("0,inf\n".as_bytes(), "x").is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let tr = Trace::new("label", vec![1.0, 2.0]);
+        let s = to_json(&tr).unwrap();
+        let back = from_json(&s).unwrap();
+        assert_eq!(back, tr);
+    }
+}

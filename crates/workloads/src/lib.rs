@@ -1,0 +1,23 @@
+//! # rsdc-workloads — traces, cost models and random instances
+//!
+//! The workload substrate for the right-sizing experiments:
+//!
+//! * [`traces`] — synthetic workload generators (diurnal, bursty, spiky,
+//!   stationary) substituting for the proprietary traces of Lin et al.;
+//! * [`builder`] — trace → instance conversion (energy + delay cost model,
+//!   static-provisioning baselines);
+//! * [`random`] — arbitrary random convex instances for property tests and
+//!   benchmarks;
+//! * [`io`] — CSV/JSON trace import/export.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod io;
+pub mod random;
+pub mod stats;
+pub mod traces;
+
+pub use builder::{fleet_size, CostModel};
+pub use stats::{trace_stats, TraceStats};
+pub use traces::{standard_corpus, Bursty, Diurnal, Spiky, Stationary, Trace, Weekly};

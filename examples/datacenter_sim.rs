@@ -1,0 +1,75 @@
+//! Simulate a week of diurnal load on a data center and compare
+//! right-sizing policies: offline optimum, online LCP, the randomized
+//! 2-competitive algorithm, and the best static provisioning.
+//!
+//! ```text
+//! cargo run -p rsdc-examples --example datacenter_sim --release
+//! ```
+
+use rsdc_examples::{f, print_table};
+use rsdc_online::fractional::{EvalMode, HalfStep};
+use rsdc_online::lcp::Lcp;
+use rsdc_online::randomized::RandomizedOnline;
+use rsdc_sim::{simulate_best_static, simulate_offline_optimum, simulate_online, SimConfig, SimReport};
+use rsdc_workloads::traces::Diurnal;
+use rsdc_workloads::{builder::CostModel, fleet_size};
+
+fn row(r: &SimReport) -> Vec<String> {
+    vec![
+        r.policy.clone(),
+        f(r.model_cost),
+        f(r.metrics.total_energy()),
+        format!("{:.2}%", 100.0 * r.metrics.drop_rate()),
+        f(r.metrics.mean_committed()),
+        r.metrics.total_wakes().to_string(),
+    ]
+}
+
+fn main() {
+    // One week at 30-minute slots.
+    let trace = Diurnal {
+        period: 48,
+        base: 1.0,
+        peak: 12.0,
+        noise: 0.1,
+    }
+    .generate(48 * 7, 7);
+
+    let m = fleet_size(&trace, 0.7);
+    let cfg = SimConfig {
+        m,
+        cost_model: CostModel {
+            beta: 6.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    println!(
+        "simulating {} slots, fleet of {m} servers, peak load {:.1}, beta = {}\n",
+        trace.len(),
+        trace.peak(),
+        cfg.cost_model.beta
+    );
+
+    let opt = simulate_offline_optimum(&cfg, &trace);
+    let mut lcp = Lcp::new(m, cfg.cost_model.beta);
+    let online = simulate_online(&cfg, &trace, &mut lcp);
+    let mut rnd = RandomizedOnline::new(
+        HalfStep::new(m, cfg.cost_model.beta, EvalMode::Interpolate),
+        m,
+        7,
+    );
+    let randomized = simulate_online(&cfg, &trace, &mut rnd);
+    let stat = simulate_best_static(&cfg, &trace);
+
+    let rows = vec![row(&opt), row(&online), row(&randomized), row(&stat)];
+    print_table(
+        &["policy", "model cost", "energy", "drop rate", "mean x", "wakes"],
+        &rows,
+    );
+
+    let save = 100.0 * (1.0 - opt.metrics.total_energy() / stat.metrics.total_energy());
+    println!("\nright-sizing saves {save:.1}% energy versus the best static fleet");
+    assert!(online.model_cost <= 3.0 * opt.model_cost + 1e-9, "Theorem 2");
+}

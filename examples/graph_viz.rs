@@ -1,0 +1,32 @@
+//! Emit the Figure 1 layered graph in Graphviz DOT format, plus the
+//! shortest path (= optimal schedule) as a comment trailer.
+//!
+//! ```text
+//! cargo run -p rsdc-examples --example graph_viz > figure1.dot
+//! dot -Tsvg figure1.dot -o figure1.svg
+//! ```
+
+use rsdc_core::prelude::*;
+use rsdc_offline::graph::Graph;
+
+fn main() {
+    // A small instance so the rendering stays readable: T = 4, m = 3.
+    let costs = vec![
+        Cost::abs(1.0, 2.0),
+        Cost::abs(1.0, 0.0),
+        Cost::abs(1.0, 3.0),
+        Cost::abs(1.0, 1.0),
+    ];
+    let inst = Instance::new(3, 1.5, costs).expect("valid instance");
+    let g = Graph::build(&inst);
+    print!("{}", g.to_dot());
+
+    let sp = g.shortest_path();
+    eprintln!(
+        "// optimal schedule {:?} with cost {:.3} ({} vertices, {} edges)",
+        sp.schedule.0,
+        sp.cost,
+        g.vertex_count(),
+        g.edge_count()
+    );
+}

@@ -1,0 +1,89 @@
+//! Right-size a data center with two server generations: old machines
+//! (cheap to wake, power-hungry per unit of capacity) and new machines
+//! (expensive to wake, efficient). Compares the exact lattice optimum with
+//! the coordinate-wise LCP heuristic over a diurnal day.
+//!
+//! ```text
+//! cargo run -p rsdc-examples --example heterogeneous --release
+//! ```
+
+use rsdc_examples::{f, print_table};
+use rsdc_hetero::{CoordinateLcp, GreedyConfig, HCost, HInstance, ServerType};
+use rsdc_workloads::traces::Diurnal;
+
+fn main() {
+    let types = vec![
+        ServerType {
+            count: 6,
+            beta: 1.5,
+            energy: 1.2,
+            capacity: 1.0,
+        },
+        ServerType {
+            count: 4,
+            beta: 8.0,
+            energy: 1.5,
+            capacity: 2.5,
+        },
+    ];
+    let loads = Diurnal {
+        period: 24,
+        base: 1.0,
+        peak: 11.0,
+        noise: 0.05,
+    }
+    .generate(72, 7)
+    .loads;
+
+    let inst = HInstance {
+        types,
+        costs: loads
+            .iter()
+            .map(|&lambda| HCost::Aggregate {
+                lambda,
+                delay_weight: 1.0,
+                delay_eps: 0.3,
+                overload: 30.0,
+            })
+            .collect(),
+    };
+
+    let opt = rsdc_hetero::solve(&inst);
+    let mut clcp = CoordinateLcp::new(&inst);
+    let xs_lcp: Vec<_> = (1..=inst.horizon()).map(|t| clcp.step(&inst, t)).collect();
+    let mut greedy = GreedyConfig::new(inst.dims());
+    let xs_greedy: Vec<_> = (1..=inst.horizon()).map(|t| greedy.step(&inst, t)).collect();
+
+    println!(
+        "heterogeneous fleet: {} old + {} new machines, 3 simulated days\n",
+        6, 4
+    );
+    let summarize = |name: &str, xs: &[Vec<u32>]| -> Vec<String> {
+        let c = inst.cost(xs);
+        let mean_old =
+            xs.iter().map(|x| x[0] as f64).sum::<f64>() / xs.len() as f64;
+        let mean_new =
+            xs.iter().map(|x| x[1] as f64).sum::<f64>() / xs.len() as f64;
+        vec![
+            name.to_string(),
+            f(c),
+            f(c / opt.cost),
+            f(mean_old),
+            f(mean_new),
+        ]
+    };
+    let rows = vec![
+        summarize("OfflineOptimal", &opt.schedule),
+        summarize("CoordinateLCP", &xs_lcp),
+        summarize("Greedy", &xs_greedy),
+    ];
+    print_table(&["policy", "cost", "ratio", "mean old", "mean new"], &rows);
+
+    println!("\nmidday configurations (slots 10-14):");
+    for t in 10..14 {
+        println!(
+            "  slot {t}: load {:.1}, OPT {:?}, LCP {:?}",
+            loads[t], opt.schedule[t], xs_lcp[t]
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: define a small right-sizing problem, solve it offline
+//! optimally, and run the online LCP algorithm on the same sequence.
+//!
+//! ```text
+//! cargo run -p rsdc-examples --example quickstart
+//! ```
+
+use rsdc_core::prelude::*;
+use rsdc_examples::{f, print_table};
+use rsdc_offline::binsearch;
+use rsdc_online::lcp::Lcp;
+use rsdc_online::traits::{competitive_ratio, run};
+
+fn main() {
+    // A data center with 8 servers and power-up cost 3. Over six slots the
+    // desired capacity ramps up, dips, and spikes: each slot's operating
+    // cost is a convex "V" around the ideal server count.
+    let targets = [2.0, 4.0, 5.0, 1.0, 7.0, 3.0];
+    let costs: Vec<Cost> = targets.iter().map(|&c| Cost::abs(2.0, c)).collect();
+    let inst = Instance::new(8, 3.0, costs).expect("valid instance");
+
+    // Offline optimum in O(T log m).
+    let offline = binsearch::solve(&inst);
+
+    // Online: LCP sees one cost function at a time.
+    let mut lcp = Lcp::new(inst.m(), inst.beta());
+    let online = run(&mut lcp, &inst);
+    let (alg_cost, opt_cost, ratio) = competitive_ratio(&inst, &online);
+
+    println!("discrete data-center right-sizing — quickstart\n");
+    let rows: Vec<Vec<String>> = (0..inst.horizon())
+        .map(|t| {
+            vec![
+                (t + 1).to_string(),
+                f(targets[t]),
+                offline.schedule.0[t].to_string(),
+                online.0[t].to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["slot", "ideal x", "OPT x", "LCP x"], &rows);
+
+    println!();
+    println!("offline optimal cost : {}", f(offline.cost));
+    println!("online LCP cost      : {}", f(alg_cost));
+    println!("competitive ratio    : {} (Theorem 2 guarantees <= 3)", f(ratio));
+    assert!((opt_cost - offline.cost).abs() < 1e-9);
+    assert!(ratio <= 3.0 + 1e-9);
+}

@@ -1,0 +1,146 @@
+//! End-to-end integration: workloads -> instances -> algorithms ->
+//! simulator, plus the adversary pipeline against library algorithms.
+
+use rsdc_adversary::dilation::dilate;
+use rsdc_adversary::discrete::DiscreteAdversary;
+use rsdc_adversary::restricted::to_restricted_discrete;
+use rsdc_core::prelude::*;
+use rsdc_online::lcp::Lcp;
+use rsdc_online::prediction::RecedingHorizon;
+use rsdc_online::traits::{competitive_ratio, run, run_lookahead};
+use rsdc_sim::{simulate_best_static, simulate_offline_optimum, simulate_online, SimConfig};
+use rsdc_workloads::builder::CostModel;
+use rsdc_workloads::traces::{standard_corpus, Bursty, Trace};
+use rsdc_workloads::fleet_size;
+
+#[test]
+fn full_pipeline_on_corpus() {
+    for trace in standard_corpus(300, 17) {
+        let model = CostModel::default();
+        let m = fleet_size(&trace, 0.8);
+        let cfg = SimConfig {
+            m,
+            cost_model: model,
+            ..Default::default()
+        };
+
+        let opt = simulate_offline_optimum(&cfg, &trace);
+        let mut lcp = Lcp::new(m, model.beta);
+        let online = simulate_online(&cfg, &trace, &mut lcp);
+        let stat = simulate_best_static(&cfg, &trace);
+
+        // Model-cost ordering: OPT <= LCP <= 3 OPT; OPT <= static.
+        assert!(opt.model_cost <= online.model_cost + 1e-9, "{}", trace.label);
+        assert!(
+            online.model_cost <= 3.0 * opt.model_cost + 1e-9,
+            "{}: LCP {} vs OPT {}",
+            trace.label,
+            online.model_cost,
+            opt.model_cost
+        );
+        assert!(opt.model_cost <= stat.model_cost + 1e-9);
+
+        // Simulator invariants.
+        assert_eq!(online.metrics.slots(), trace.len());
+        assert!(online.metrics.total_energy() > 0.0);
+        assert!(online.metrics.drop_rate() <= 1.0);
+    }
+}
+
+#[test]
+fn trace_serialization_pipeline() {
+    let trace = Bursty::default().generate(200, 23);
+    // JSON round trip.
+    let json = rsdc_workloads::io::to_json(&trace).unwrap();
+    let back = rsdc_workloads::io::from_json(&json).unwrap();
+    assert_eq!(trace, back);
+    // CSV round trip.
+    let mut buf = Vec::new();
+    rsdc_workloads::io::write_csv(&mut buf, &trace).unwrap();
+    let back = rsdc_workloads::io::read_csv(&buf[..], trace.label.clone()).unwrap();
+    assert_eq!(trace.loads, back.loads);
+    // The round-tripped trace produces an identical instance.
+    let model = CostModel::default();
+    let a = model.instance(8, &trace);
+    let b = model.instance(8, &back);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn adversary_to_restricted_to_lcp_pipeline() {
+    // Theorem 4 -> Theorem 5 pipeline: interactive duel, map through the
+    // reduction, run LCP on the restricted instance, cost stays coherent.
+    let adv = DiscreteAdversary {
+        eps: 0.05,
+        t_len: 800,
+    };
+    let mut lcp = Lcp::new(1, 2.0);
+    let duel = adv.run(&mut lcp);
+    let restricted = to_restricted_discrete(&duel.instance);
+    let mapped = restricted.to_general();
+    assert_eq!(mapped.horizon(), duel.instance.horizon());
+
+    let mut lcp2 = Lcp::new(2, 2.0);
+    let xs = run(&mut lcp2, &mapped);
+    // Feasibility: x >= lambda at every slot.
+    for (t, &x) in xs.0.iter().enumerate() {
+        assert!(x as f64 >= restricted.lambdas[t], "slot {t}");
+    }
+    let (alg, opt, ratio) = competitive_ratio(&mapped, &xs);
+    assert!(alg.is_finite() && opt.is_finite());
+    assert!(ratio <= 3.0 + 1e-9);
+}
+
+#[test]
+fn dilation_pipeline_with_lookahead() {
+    // Theorem 10 pipeline: dilate a workload, give the controller a window,
+    // verify feasibility and that the dilated optimum is not larger.
+    let costs: Vec<Cost> = (0..12)
+        .map(|t| Cost::abs(1.0, (t % 3) as f64))
+        .collect();
+    let inst = Instance::new(2, 2.0, costs).unwrap();
+    let d = dilate(&inst, 2, 3);
+    assert_eq!(d.horizon(), 12 * 6);
+
+    let opt_orig = rsdc_offline::dp::solve_cost_only(&inst);
+    let opt_dilated = rsdc_offline::dp::solve_cost_only(&d);
+    assert!(opt_dilated <= opt_orig + 1e-9);
+
+    let mut rh = RecedingHorizon::new(2, 2.0);
+    let xs = run_lookahead(&mut rh, &d, 3);
+    assert!(xs.is_feasible(&d));
+}
+
+#[test]
+fn empty_and_degenerate_traces() {
+    let model = CostModel::default();
+    // Empty trace.
+    let empty = Trace::new("empty", vec![]);
+    let inst = model.instance(4, &empty);
+    assert_eq!(rsdc_offline::dp::solve_cost_only(&inst), 0.0);
+    // All-zero load: optimal is to keep everything asleep.
+    let zeros = Trace::new("zeros", vec![0.0; 20]);
+    let inst = model.instance(4, &zeros);
+    let sol = rsdc_offline::dp::solve(&inst);
+    assert_eq!(sol.schedule, Schedule(vec![0; 20]));
+    assert_eq!(sol.cost, 0.0);
+    // Constant max load: optimal powers everything once.
+    let full = Trace::new("full", vec![4.0; 20]);
+    let inst = model.instance(4, &full);
+    let sol = rsdc_offline::dp::solve(&inst);
+    assert!(sol.schedule.0.iter().all(|&x| x >= 1));
+}
+
+#[test]
+fn lcp_matches_across_equivalent_formulations() {
+    // Running LCP on a restricted instance's general form is identical to
+    // running it on a manually-assembled instance with the same costs.
+    let trace = Trace::new("t", vec![1.0, 3.0, 2.0, 0.5, 3.5]);
+    let model = CostModel::default();
+    let r = model.restricted(4, &trace);
+    let g1 = r.to_general();
+    let g2 = Instance::new(4, model.beta, g1.cost_fns().to_vec()).unwrap();
+    let mut a = Lcp::new(4, model.beta);
+    let mut b = Lcp::new(4, model.beta);
+    assert_eq!(run(&mut a, &g1), run(&mut b, &g2));
+}

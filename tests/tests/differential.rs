@@ -1,0 +1,127 @@
+//! Differential fuzzing: every offline solver, both cost conventions, and
+//! the online sandwich (OPT <= LCP <= 3 OPT) on a large batch of seeded
+//! random instances. Complements the proptest suites with sheer volume and
+//! with instance shapes from the workload generator rather than proptest
+//! strategies.
+
+use rsdc_core::prelude::*;
+use rsdc_offline::{backward, binsearch, dp, graph::Graph};
+use rsdc_online::lcp::Lcp;
+use rsdc_online::traits::run;
+use rsdc_workloads::random::{random_instance, RandomInstanceCfg};
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-8 * (1.0 + a.abs().max(b.abs()))
+}
+
+#[test]
+fn solver_cross_check_bulk() {
+    let shapes = [
+        RandomInstanceCfg {
+            m: 3,
+            t_len: 6,
+            beta_range: (0.05, 10.0),
+            slope_scale: 2.0,
+        },
+        RandomInstanceCfg {
+            m: 9,
+            t_len: 15,
+            beta_range: (0.5, 4.0),
+            slope_scale: 5.0,
+        },
+        RandomInstanceCfg {
+            m: 17,
+            t_len: 9,
+            beta_range: (0.1, 1.0),
+            slope_scale: 0.5,
+        },
+    ];
+    for (si, cfg) in shapes.iter().enumerate() {
+        for seed in 0..250u64 {
+            let inst = random_instance(cfg, 90_000 + seed + 1000 * si as u64);
+            let a = dp::solve(&inst);
+            let b = binsearch::solve(&inst);
+            let c = backward::solve(&inst);
+            assert!(close(a.cost, b.cost), "shape {si} seed {seed}: dp vs binsearch");
+            assert!(close(a.cost, c.cost), "shape {si} seed {seed}: dp vs backward");
+            // All returned schedules must evaluate to their claimed costs.
+            for sol in [&a, &b, &c] {
+                assert!(close(cost(&inst, &sol.schedule), sol.cost));
+                assert!(sol.schedule.is_feasible(&inst));
+            }
+            // Symmetric-convention cost agrees with eq. 1 for each schedule.
+            for sol in [&a, &b, &c] {
+                assert!(close(
+                    symmetric_cost(&inst, &sol.schedule),
+                    cost(&inst, &sol.schedule)
+                ));
+            }
+        }
+    }
+}
+
+#[test]
+fn graph_cross_check_small() {
+    let cfg = RandomInstanceCfg {
+        m: 5,
+        t_len: 7,
+        beta_range: (0.2, 3.0),
+        slope_scale: 2.0,
+    };
+    for seed in 0..80u64 {
+        let inst = random_instance(&cfg, 95_000 + seed);
+        let g = Graph::build(&inst);
+        let sp = g.shortest_path();
+        let a = dp::solve_cost_only(&inst);
+        assert!(close(sp.cost, a), "seed {seed}: graph {} vs dp {a}", sp.cost);
+    }
+}
+
+#[test]
+fn online_sandwich_bulk() {
+    let cfg = RandomInstanceCfg {
+        m: 7,
+        t_len: 40,
+        beta_range: (0.1, 12.0),
+        slope_scale: 3.0,
+    };
+    for seed in 0..200u64 {
+        let inst = random_instance(&cfg, 97_000 + seed);
+        let opt = dp::solve_cost_only(&inst);
+        let mut lcp = Lcp::new(inst.m(), inst.beta());
+        let xs = run(&mut lcp, &inst);
+        let c = cost(&inst, &xs);
+        assert!(
+            c >= opt - 1e-9 * (1.0 + opt) && c <= 3.0 * opt + 1e-9 * (1.0 + opt),
+            "seed {seed}: LCP {c} not in [OPT, 3*OPT] = [{opt}, {}]",
+            3.0 * opt
+        );
+    }
+}
+
+#[test]
+fn bounds_sandwich_optimal_schedules_bulk() {
+    // Lemma 6 in bulk: for any optimal schedule, x^L_t <= x*_t <= x^U_t.
+    let cfg = RandomInstanceCfg {
+        m: 6,
+        t_len: 12,
+        beta_range: (0.2, 6.0),
+        slope_scale: 2.0,
+    };
+    for seed in 0..150u64 {
+        let inst = random_instance(&cfg, 98_000 + seed);
+        let opt = dp::solve(&inst);
+        let (lows, ups) = backward::bound_trajectories(&inst);
+        // Lemma 6 is stated for the bounds at each tau against *some*
+        // optimal schedule; the DP one must respect them.
+        for t in 0..inst.horizon() {
+            assert!(
+                lows[t] <= opt.schedule.0[t] && opt.schedule.0[t] <= ups[t],
+                "seed {seed} slot {t}: {} not in [{}, {}]",
+                opt.schedule.0[t],
+                lows[t],
+                ups[t]
+            );
+        }
+    }
+}

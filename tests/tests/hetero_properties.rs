@@ -1,0 +1,131 @@
+//! Property tests for the heterogeneous extension.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsdc_core::prelude::*;
+use rsdc_hetero::{CoordinateLcp, HCost, HInstance, ServerType};
+
+fn types_strategy() -> impl Strategy<Value = Vec<ServerType>> {
+    vec(
+        (1u32..4, 0.2f64..4.0, 0.2f64..2.0, 0.5f64..3.0).prop_map(
+            |(count, beta, energy, capacity)| ServerType {
+                count,
+                beta,
+                energy,
+                capacity,
+            },
+        ),
+        1..3,
+    )
+}
+
+fn separable_instance() -> impl Strategy<Value = HInstance> {
+    (types_strategy(), 0usize..6).prop_flat_map(|(types, t_len)| {
+        let d = types.len();
+        (
+            Just(types),
+            vec(
+                (vec(0.0f64..4.0, d), vec(0.1f64..3.0, d))
+                    .prop_map(|(targets, slopes)| HCost::SeparableAbs { targets, slopes }),
+                t_len..=t_len,
+            ),
+        )
+            .prop_map(|(types, costs)| HInstance { types, costs })
+    })
+}
+
+fn aggregate_instance() -> impl Strategy<Value = HInstance> {
+    (types_strategy(), vec(0.0f64..6.0, 0..8)).prop_map(|(types, loads)| HInstance {
+        types: types.clone(),
+        costs: loads
+            .iter()
+            .map(|&lambda| HCost::Aggregate {
+                lambda,
+                delay_weight: 1.0,
+                delay_eps: 0.3,
+                overload: 20.0,
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The lattice DP is a lower bound for every explicit schedule.
+    #[test]
+    fn dp_lower_bounds_all_schedules(inst in aggregate_instance()) {
+        let opt = rsdc_hetero::solve(&inst);
+        // Probe a handful of deterministic schedules.
+        let all = inst.all_configs();
+        for pick in 0..all.len().min(4) {
+            let xs = vec![all[pick].clone(); inst.horizon()];
+            prop_assert!(inst.cost(&xs) >= opt.cost - 1e-9 * (1.0 + opt.cost.abs()));
+        }
+        // And the DP's own schedule re-evaluates to its cost.
+        prop_assert!((inst.cost(&opt.schedule) - opt.cost).abs() < 1e-9 * (1.0 + opt.cost.abs()));
+    }
+
+    /// Separable instances decompose into per-type 1-D problems.
+    #[test]
+    fn separable_decomposition(inst in separable_instance()) {
+        let h = rsdc_hetero::solve(&inst);
+        let mut sum = 0.0;
+        for d in 0..inst.dims() {
+            let ty = inst.types[d];
+            let costs: Vec<Cost> = inst
+                .costs
+                .iter()
+                .map(|c| match c {
+                    HCost::SeparableAbs { targets, slopes } => Cost::abs(slopes[d], targets[d]),
+                    _ => unreachable!("separable strategy"),
+                })
+                .collect();
+            let one = Instance::new(ty.count, ty.beta, costs).unwrap();
+            sum += rsdc_offline::dp::solve_cost_only(&one);
+        }
+        prop_assert!(
+            (h.cost - sum).abs() < 1e-8 * (1.0 + sum.abs()),
+            "hetero {} vs decomposed {sum}",
+            h.cost
+        );
+    }
+
+    /// Coordinate LCP emits feasible configurations and never beats OPT.
+    #[test]
+    fn coordinate_lcp_feasible(inst in aggregate_instance()) {
+        let mut a = CoordinateLcp::new(&inst);
+        let xs: Vec<_> = (1..=inst.horizon()).map(|t| a.step(&inst, t)).collect();
+        for cfg in &xs {
+            for (x, ty) in cfg.iter().zip(&inst.types) {
+                prop_assert!(*x <= ty.count);
+            }
+        }
+        if inst.horizon() > 0 {
+            let opt = rsdc_hetero::solve(&inst);
+            prop_assert!(inst.cost(&xs) >= opt.cost - 1e-9 * (1.0 + opt.cost.abs()));
+        }
+    }
+
+    /// Aggregate costs are convex along every axis at every base point.
+    #[test]
+    fn aggregate_axis_convexity(inst in aggregate_instance()) {
+        for t in 1..=inst.horizon() {
+            for d in 0..inst.dims() {
+                let maxd = inst.types[d].count;
+                if maxd < 2 { continue; }
+                let base: Vec<u32> = inst.types.iter().map(|ty| ty.count / 2).collect();
+                let mut prev_slope = f64::NEG_INFINITY;
+                for v in 0..maxd {
+                    let mut a = base.clone();
+                    let mut b = base.clone();
+                    a[d] = v;
+                    b[d] = v + 1;
+                    let slope = inst.eval(t, &b) - inst.eval(t, &a);
+                    prop_assert!(slope >= prev_slope - 1e-9);
+                    prev_slope = slope;
+                }
+            }
+        }
+    }
+}

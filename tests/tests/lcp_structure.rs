@@ -1,0 +1,103 @@
+//! Structural facts from the LCP analysis (Section 3.3), tested against the
+//! Lemma 11 backward-optimal schedule:
+//!
+//! * Lemma 11: the backward schedule is optimal;
+//! * Lemma 12: LCP and the backward optimum never cross without meeting;
+//! * Lemma 13: between meetings, both move weakly in the same direction;
+//! * Lemma 14: LCP's power-up switching cost never exceeds the optimum's.
+
+use proptest::prelude::*;
+use rsdc_core::prelude::*;
+use rsdc_offline::backward::{self, crossing_structure};
+use rsdc_offline::dp;
+use rsdc_online::lcp::Lcp;
+use rsdc_online::traits::run;
+use rsdc_tests::{close, instance};
+
+fn lcp_schedule(inst: &Instance) -> Schedule {
+    let mut lcp = Lcp::new(inst.m(), inst.beta());
+    run(&mut lcp, inst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 11: the backward-greedy schedule is optimal.
+    #[test]
+    fn backward_is_optimal(inst in instance(1..=8, 0..=16)) {
+        let a = backward::solve(&inst);
+        let b = dp::solve_cost_only(&inst);
+        prop_assert!(close(a.cost, b), "backward {} vs dp {b}", a.cost);
+    }
+
+    /// Lemma 12 (no silent crossings): within every maximal interval where
+    /// LCP and the backward optimum differ, the sign of the difference is
+    /// constant — `crossing_structure` would have split the interval
+    /// otherwise, so we just assert the invariant it computes.
+    #[test]
+    fn lemma12_no_silent_crossings(inst in instance(1..=8, 1..=20)) {
+        let x_star = backward::solve(&inst).schedule;
+        let x_lcp = lcp_schedule(&inst);
+        for (range, above) in crossing_structure(&x_lcp, &x_star) {
+            for t in range {
+                if above {
+                    prop_assert!(x_lcp.0[t] > x_star.0[t]);
+                } else {
+                    prop_assert!(x_lcp.0[t] < x_star.0[t]);
+                }
+            }
+        }
+    }
+
+    /// Lemma 13: while LCP is above the optimum both are non-increasing;
+    /// while below, both are non-decreasing.
+    #[test]
+    fn lemma13_monotone_between_meetings(inst in instance(1..=8, 1..=20)) {
+        let x_star = backward::solve(&inst).schedule;
+        let x_lcp = lcp_schedule(&inst);
+        for (range, above) in crossing_structure(&x_lcp, &x_star) {
+            // Interior steps of the interval (t -> t+1 with both inside).
+            let ts: Vec<usize> = range.clone().collect();
+            for w in ts.windows(2) {
+                let (t0, t1) = (w[0], w[1]);
+                if above {
+                    prop_assert!(
+                        x_lcp.0[t1] <= x_lcp.0[t0] && x_star.0[t1] <= x_star.0[t0],
+                        "decreasing interval violated at {t0}->{t1}: lcp {:?} opt {:?}",
+                        (x_lcp.0[t0], x_lcp.0[t1]),
+                        (x_star.0[t0], x_star.0[t1]),
+                    );
+                } else {
+                    prop_assert!(
+                        x_lcp.0[t1] >= x_lcp.0[t0] && x_star.0[t1] >= x_star.0[t0],
+                        "increasing interval violated at {t0}->{t1}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Lemma 14: S^L(LCP) <= S^L(X*) for the Lemma 11 optimum.
+    #[test]
+    fn lemma14_switching_cost(inst in instance(1..=8, 1..=20)) {
+        let x_star = backward::solve(&inst).schedule;
+        let x_lcp = lcp_schedule(&inst);
+        let s_lcp = switching_cost_up(inst.beta(), &x_lcp.0);
+        let s_star = switching_cost_up(inst.beta(), &x_star.0);
+        prop_assert!(
+            s_lcp <= s_star + 1e-9 * (1.0 + s_star),
+            "S(LCP) = {s_lcp} > S(X*) = {s_star}"
+        );
+    }
+
+    /// LCP sandwiched: with the full-horizon bound trajectories,
+    /// x^L_t <= x^LCP_t <= x^U_t for all t (definition + Lemma 6).
+    #[test]
+    fn lcp_within_bound_trajectories(inst in instance(1..=8, 1..=20)) {
+        let (lows, ups) = backward::bound_trajectories(&inst);
+        let x_lcp = lcp_schedule(&inst);
+        for t in 0..inst.horizon() {
+            prop_assert!(lows[t] <= x_lcp.0[t] && x_lcp.0[t] <= ups[t]);
+        }
+    }
+}

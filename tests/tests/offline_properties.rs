@@ -1,0 +1,121 @@
+//! Property tests for the offline solvers (Theorem 1, Section 2).
+
+use proptest::prelude::*;
+use rsdc_core::prelude::*;
+use rsdc_offline::{binsearch, brute, dp, graph::Graph, restricted_dp};
+use rsdc_tests::{close, instance, schedule};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline: binary search == DP on arbitrary convex instances.
+    #[test]
+    fn binsearch_equals_dp(inst in instance(1..=24, 0..=14)) {
+        let a = dp::solve(&inst);
+        let b = binsearch::solve(&inst);
+        prop_assert!(close(a.cost, b.cost), "dp {} vs binsearch {}", a.cost, b.cost);
+        prop_assert!(b.schedule.is_feasible(&inst));
+        prop_assert!(close(cost(&inst, &b.schedule), b.cost));
+    }
+
+    /// DP == exhaustive enumeration on tiny instances.
+    #[test]
+    fn dp_equals_brute(inst in instance(1..=4, 0..=5)) {
+        let a = dp::solve(&inst);
+        let c = brute::solve(&inst);
+        prop_assert!(close(a.cost, c.cost), "dp {} vs brute {}", a.cost, c.cost);
+    }
+
+    /// The explicit Figure-1 graph's shortest path equals the DP.
+    #[test]
+    fn graph_equals_dp(inst in instance(1..=6, 0..=6)) {
+        let g = Graph::build(&inst);
+        let sp = g.shortest_path();
+        let a = dp::solve(&inst);
+        prop_assert!(close(sp.cost, a.cost));
+    }
+
+    /// No schedule costs less than the DP optimum (certificate check).
+    #[test]
+    fn dp_is_a_lower_bound(
+        (inst, xs) in instance(1..=6, 1..=8).prop_flat_map(|i| {
+            let m = i.m();
+            let t = i.horizon();
+            (Just(i), schedule(m, t))
+        })
+    ) {
+        let opt = dp::solve_cost_only(&inst);
+        prop_assert!(cost(&inst, &xs) >= opt - 1e-9 * (1.0 + opt.abs()));
+    }
+
+    /// Restricting the state sets can only increase the optimal cost, and
+    /// the unrestricted restricted-DP equals the full DP.
+    #[test]
+    fn restricted_dp_monotone(inst in instance(2..=8, 1..=8)) {
+        let full: Vec<Vec<u32>> = (0..inst.horizon()).map(|_| (0..=inst.m()).collect()).collect();
+        let all = restricted_dp::solve_restricted(&inst, &full);
+        let a = dp::solve(&inst);
+        prop_assert!(close(all.cost, a.cost));
+
+        let evens: Vec<Vec<u32>> =
+            (0..inst.horizon()).map(|_| (0..=inst.m()).step_by(2).collect()).collect();
+        let even_sol = restricted_dp::solve_restricted(&inst, &evens);
+        prop_assert!(even_sol.cost >= a.cost - 1e-9 * (1.0 + a.cost.abs()));
+    }
+
+    /// Padding to a power of two never changes the optimum.
+    #[test]
+    fn padding_preserves_optimum(inst in instance(2..=21, 1..=8)) {
+        let padded = inst.pad_to_pow2(1e-6);
+        let a = dp::solve_cost_only(&inst);
+        let b = dp::solve_cost_only(&padded);
+        prop_assert!(close(a, b), "orig {a} vs padded {b}");
+    }
+
+    /// Scaling a problem by `Psi` (reduce with stride 1) is the identity;
+    /// reduce(2) on an even-m instance bounds the optimum from above.
+    #[test]
+    fn reduce_upper_bounds(inst in instance(2..=16, 1..=8)) {
+        if inst.m() % 2 == 0 {
+            let red = inst.reduce(2).unwrap();
+            let a = dp::solve_cost_only(&inst);
+            let b = dp::solve_cost_only(&red);
+            // The reduced problem is the original restricted to even states.
+            prop_assert!(b >= a - 1e-9 * (1.0 + a.abs()), "reduced {b} < full {a}");
+        }
+    }
+
+    /// Lemma 4 corollary: refining the grid never beats the integral
+    /// optimum of the continuous extension.
+    #[test]
+    fn grid_refinement_never_helps(inst in instance(1..=6, 1..=6)) {
+        let d = dp::solve_cost_only(&inst);
+        for k in [2u32, 3] {
+            let fine = rsdc_offline::rounding::refined_grid_optimum(&inst, k);
+            prop_assert!(fine >= d - 1e-7 * (1.0 + d.abs()),
+                "grid 1/{k} gave {fine} < discrete {d}");
+            prop_assert!(fine <= d + 1e-7 * (1.0 + d.abs()));
+        }
+    }
+}
+
+/// Deterministic regression cases distilled from development.
+#[test]
+fn regression_padding_nonconvex_formula() {
+    // The literal paper formula x*(f(m)+eps) breaks convexity; our slope
+    // extension must not.
+    let inst = Instance::new(5, 1.0, vec![Cost::quadratic(2.0, 1.0, 0.0)]).unwrap();
+    let padded = inst.pad_to_pow2(0.5);
+    for t in 1..=padded.horizon() {
+        padded.cost_fn(t).check_convex(padded.m()).unwrap();
+    }
+}
+
+#[test]
+fn regression_tie_breaking_consistency() {
+    // Flat costs: any constant schedule minimizing switching is optimal;
+    // all solvers must report cost 0 with the all-zero schedule.
+    let inst = Instance::new(4, 1.0, vec![Cost::Zero; 5]).unwrap();
+    assert_eq!(dp::solve(&inst).schedule, Schedule(vec![0; 5]));
+    assert_eq!(binsearch::solve(&inst).cost, 0.0);
+}

@@ -1,0 +1,112 @@
+//! Property tests for the simulator substrate: conservation laws and
+//! physical sanity that must hold for every schedule and trace.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsdc_sim::{latency_summary, Cluster, ServerConfig};
+
+fn config_strategy() -> impl Strategy<Value = ServerConfig> {
+    (
+        0.1f64..2.0,  // idle
+        0.0f64..2.0,  // peak delta
+        0.0f64..0.2,  // sleep
+        0u32..3,      // wake slots
+        0.0f64..5.0,  // wake energy
+    )
+        .prop_map(|(idle, delta, sleep, wake_slots, wake_energy)| ServerConfig {
+            power_idle: idle,
+            power_peak: idle + delta,
+            power_sleep: sleep,
+            wake_slots,
+            wake_energy,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// served + dropped == offered load, every slot.
+    #[test]
+    fn load_conservation(
+        cfg in config_strategy(),
+        targets in vec(0u32..6, 1..30),
+        loads in vec(0.0f64..8.0, 1..30),
+    ) {
+        let n = targets.len().min(loads.len());
+        let mut cluster = Cluster::new(5, cfg);
+        let metrics = cluster.run(&targets[..n], &loads[..n]);
+        for r in metrics.records() {
+            prop_assert!((r.served + r.dropped - r.load).abs() < 1e-9);
+            prop_assert!(r.served <= r.serving as f64 + 1e-9, "capacity respected");
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&r.utilisation));
+        }
+    }
+
+    /// Committed servers always equal the clamped target after the step,
+    /// and serving <= committed.
+    #[test]
+    fn commitment_tracks_target(
+        cfg in config_strategy(),
+        targets in vec(0u32..9, 1..30),
+    ) {
+        let mut cluster = Cluster::new(6, cfg);
+        for &t in &targets {
+            let r = cluster.step(t, 1.0);
+            prop_assert_eq!(r.committed, t.min(6));
+            prop_assert!(r.serving <= r.committed);
+        }
+    }
+
+    /// Energy is bounded below by the all-sleep floor and above by
+    /// peak-power-everywhere plus wake energies.
+    #[test]
+    fn energy_bounds(
+        cfg in config_strategy(),
+        targets in vec(0u32..6, 1..25),
+        loads in vec(0.0f64..6.0, 1..25),
+    ) {
+        let n = targets.len().min(loads.len());
+        let m = 5u32;
+        let mut cluster = Cluster::new(m, cfg);
+        let metrics = cluster.run(&targets[..n], &loads[..n]);
+        let e = metrics.total_energy();
+        let floor = cfg.power_sleep * m as f64 * n as f64;
+        let ceil = (cfg.power_peak * m as f64 + cfg.wake_energy * m as f64) * n as f64;
+        prop_assert!(e >= floor - 1e-9, "energy {e} below sleep floor {floor}");
+        prop_assert!(e <= ceil + 1e-9, "energy {e} above ceiling {ceil}");
+    }
+
+    /// Wake events never exceed the requested increases.
+    #[test]
+    fn wake_accounting(
+        cfg in config_strategy(),
+        targets in vec(0u32..6, 1..25),
+    ) {
+        let mut cluster = Cluster::new(5, cfg);
+        let mut prev = 0u32;
+        let mut requested_ups = 0u64;
+        let mut woken = 0u64;
+        for &t in &targets {
+            let t_clamped = t.min(5);
+            requested_ups += t_clamped.saturating_sub(prev) as u64;
+            let r = cluster.step(t, 0.0);
+            woken += r.woken as u64;
+            prev = t_clamped;
+        }
+        prop_assert_eq!(woken, requested_ups);
+    }
+
+    /// Latency summary is well-defined: mean <= worst, fraction in [0, 1].
+    #[test]
+    fn latency_summary_sanity(
+        targets in vec(0u32..6, 1..25),
+        loads in vec(0.0f64..6.0, 1..25),
+    ) {
+        let n = targets.len().min(loads.len());
+        let mut cluster = Cluster::new(5, ServerConfig { wake_slots: 0, ..Default::default() });
+        let metrics = cluster.run(&targets[..n], &loads[..n]);
+        let s = latency_summary(&metrics);
+        prop_assert!((0.0..=1.0).contains(&s.unstable_load_fraction));
+        prop_assert!(s.worst_response >= s.mean_response || s.mean_response == 0.0);
+    }
+}

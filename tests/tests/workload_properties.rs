@@ -1,0 +1,118 @@
+//! Property tests for the workload substrate: generators, statistics,
+//! serialization and cost-model construction.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsdc_core::analysis;
+use rsdc_workloads::builder::CostModel;
+use rsdc_workloads::stats::{autocorrelation, burstiness, quantile, trace_stats};
+use rsdc_workloads::traces::{Bursty, Diurnal, Spiky, Stationary, Trace};
+use rsdc_workloads::{fleet_size, io};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generator produces non-negative loads of the requested length,
+    /// deterministically in the seed.
+    #[test]
+    fn generators_are_sane(t_len in 0usize..300, seed in 0u64..1000) {
+        let traces = vec![
+            Diurnal::default().generate(t_len, seed),
+            Bursty::default().generate(t_len, seed),
+            Spiky::default().generate(t_len, seed),
+            Stationary::default().generate(t_len, seed),
+        ];
+        for tr in &traces {
+            prop_assert_eq!(tr.len(), t_len);
+            prop_assert!(tr.loads.iter().all(|&l| l >= 0.0 && l.is_finite()));
+        }
+        // Determinism.
+        let again = Diurnal::default().generate(t_len, seed);
+        prop_assert_eq!(&again.loads, &traces[0].loads);
+    }
+
+    /// CSV and JSON round trips are lossless for arbitrary loads.
+    #[test]
+    fn io_round_trips(loads in vec(0.0f64..1e6, 0..80)) {
+        let tr = Trace::new("prop", loads);
+        let mut buf = Vec::new();
+        io::write_csv(&mut buf, &tr).unwrap();
+        let back = io::read_csv(&buf[..], "prop").unwrap();
+        prop_assert_eq!(&back.loads, &tr.loads);
+        let s = io::to_json(&tr).unwrap();
+        let back = io::from_json(&s).unwrap();
+        prop_assert_eq!(back.loads, tr.loads);
+    }
+
+    /// Statistics are internally consistent.
+    #[test]
+    fn stats_consistency(loads in vec(0.0f64..100.0, 1..100)) {
+        let tr = Trace::new("prop", loads.clone());
+        let s = trace_stats(&tr);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.peak_to_mean >= 1.0 - 1e-9 || s.mean == 0.0);
+        prop_assert!((-1.0 - 1e-6..=1.0 + 1e-6).contains(&s.autocorr1));
+        // Quantiles bracket the extremes.
+        prop_assert!((quantile(&loads, 0.0) - s.min).abs() < 1e-9);
+        prop_assert!((quantile(&loads, 1.0) - s.max).abs() < 1e-9);
+        prop_assert!(quantile(&loads, 0.25) <= quantile(&loads, 0.75) + 1e-9);
+    }
+
+    /// Burstiness and autocorrelation are invariant under positive scaling.
+    #[test]
+    fn scale_invariance(loads in vec(0.1f64..50.0, 3..60), k in 0.1f64..10.0) {
+        let scaled: Vec<f64> = loads.iter().map(|l| l * k).collect();
+        let b0 = burstiness(&loads);
+        let b1 = burstiness(&scaled);
+        prop_assert!((b0 - b1).abs() < 1e-9 * (1.0 + b0));
+        let a0 = autocorrelation(&loads, 1);
+        let a1 = autocorrelation(&scaled, 1);
+        prop_assert!((a0 - a1).abs() < 1e-9 * (1.0 + a0.abs()));
+    }
+
+    /// Cost-model instances are convex, and fleet sizing covers the peak.
+    #[test]
+    fn cost_model_builds_valid_instances(loads in vec(0.0f64..20.0, 1..40)) {
+        let tr = Trace::new("prop", loads);
+        let m = fleet_size(&tr, 0.8);
+        prop_assert!(m as f64 * 0.8 >= tr.peak() - 1e-9);
+        let inst = CostModel::default().instance(m, &tr);
+        for t in 1..=inst.horizon() {
+            prop_assert!(inst.cost_fn(t).check_convex(m).is_ok());
+        }
+    }
+
+    /// Trace combinators preserve totals where they should.
+    #[test]
+    fn combinator_laws(a in vec(0.0f64..10.0, 1..30), b in vec(0.0f64..10.0, 1..30)) {
+        let ta = Trace::new("a", a.clone());
+        let tb = Trace::new("b", b.clone());
+        // concat preserves total load.
+        let cat = ta.concat(&tb);
+        let sum = |v: &[f64]| v.iter().sum::<f64>();
+        prop_assert!((sum(&cat.loads) - (sum(&a) + sum(&b))).abs() < 1e-6);
+        // overlay of equal-length traces preserves total load.
+        if a.len() == b.len() {
+            let ov = ta.overlay(&tb);
+            prop_assert!((sum(&ov.loads) - (sum(&a) + sum(&b))).abs() < 1e-6);
+        }
+        // downsample preserves the mean (up to the partial trailing block).
+        let ds = ta.downsample(2);
+        prop_assert!(ds.len() == a.len().div_ceil(2));
+    }
+
+    /// Schedule phase decomposition tiles the schedule exactly.
+    #[test]
+    fn phases_tile(xs in vec(0u32..6, 0..60)) {
+        let sched = rsdc_core::Schedule(xs);
+        let ps = analysis::phases(&sched);
+        let covered: usize = ps.iter().map(|(r, _)| r.len()).sum();
+        prop_assert_eq!(covered, sched.len());
+        // Consecutive phases abut.
+        for w in ps.windows(2) {
+            prop_assert_eq!(w[0].0.end, w[1].0.start);
+        }
+    }
+}
