@@ -104,12 +104,14 @@ impl ContinuousDuel {
             .cost_fns()
             .iter()
             .map(|f| {
-                let vals: Vec<f64> = (0..=k).map(|i| f.eval_analytic(i as f64 / k as f64)).collect();
+                let vals: Vec<f64> = (0..=k)
+                    .map(|i| f.eval_analytic(i as f64 / k as f64))
+                    .collect();
                 Cost::table(vals)
             })
             .collect();
-        let fine = Instance::new(k, self.instance.beta() / k as f64, costs)
-            .expect("valid grid instance");
+        let fine =
+            Instance::new(k, self.instance.beta() / k as f64, costs).expect("valid grid instance");
         rsdc_offline::dp::solve_cost_only(&fine)
     }
 }
@@ -182,13 +184,7 @@ mod tests {
         };
         let mut hs = HalfStep::new(1, 2.0, EvalMode::Analytic);
         let duel = adv.run(&mut hs);
-        for (t, (&a, &b)) in duel
-            .schedule
-            .0
-            .iter()
-            .zip(&duel.schedule_b.0)
-            .enumerate()
-        {
+        for (t, (&a, &b)) in duel.schedule.0.iter().zip(&duel.schedule_b.0).enumerate() {
             assert!((a - b).abs() < 1e-9, "diverged at t={t}: {a} vs {b}");
         }
     }

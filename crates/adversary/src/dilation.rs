@@ -52,7 +52,7 @@ mod tests {
         let period = (2.0 / eps).ceil() as usize;
         let costs = (0..t_len)
             .map(|t| {
-                if (t / period) % 2 == 0 {
+                if (t / period).is_multiple_of(2) {
                     Cost::phi1(eps)
                 } else {
                     Cost::phi0(eps)
@@ -70,9 +70,7 @@ mod tests {
         // Sum of a block's costs equals the original function.
         for x in 0..=1u32 {
             for t in 1..=inst.horizon() {
-                let sum: f64 = (0..6)
-                    .map(|u| d.cost_fn((t - 1) * 6 + u + 1).eval(x))
-                    .sum();
+                let sum: f64 = (0..6).map(|u| d.cost_fn((t - 1) * 6 + u + 1).eval(x)).sum();
                 assert!((sum - inst.cost_fn(t).eval(x)).abs() < 1e-9);
             }
         }

@@ -126,9 +126,7 @@ mod tests {
 
         let marginal_cost = frac_cost(&duel.instance, &duel.schedule, FracMode::Analytic);
         let exp = expected_cost(
-            |seed| {
-                RandomizedOnline::new(HalfStep::new(1, 2.0, EvalMode::Analytic), 1, seed)
-            },
+            |seed| RandomizedOnline::new(HalfStep::new(1, 2.0, EvalMode::Analytic), 1, seed),
             &duel.instance,
             3000,
         );
@@ -148,9 +146,7 @@ mod tests {
         let mut frac = HalfStep::new(1, 2.0, EvalMode::Analytic);
         let duel = adv.run(&mut frac);
         let exp = expected_cost(
-            |seed| {
-                RandomizedOnline::new(HalfStep::new(1, 2.0, EvalMode::Analytic), 1, seed)
-            },
+            |seed| RandomizedOnline::new(HalfStep::new(1, 2.0, EvalMode::Analytic), 1, seed),
             &duel.instance,
             1000,
         );

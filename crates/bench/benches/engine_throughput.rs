@@ -1,0 +1,79 @@
+//! Criterion bench: engine policy-steps/second versus shard count on a
+//! synthetic 10k-tenant workload.
+//!
+//! Each sample streams one full slot — a batch of 10 000 `(tenant, cost)`
+//! events, one per tenant — through the engine; throughput is reported in
+//! policy-steps (elements) per second for shard counts 1, 2, 4 and 8.
+//!
+//! Note: shard scaling is wall-clock parallelism, so the curve is flat on
+//! single-core runners; on an N-core machine the batch work fans out to
+//! min(N, shards) threads.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use rsdc_core::Cost;
+use rsdc_engine::{Engine, EngineConfig, PolicySpec, TenantConfig};
+
+const TENANTS: usize = 10_000;
+const M: u32 = 128;
+const BETA: f64 = 4.0;
+
+fn setup(shards: usize) -> Engine {
+    let engine = Engine::new(EngineConfig::with_shards(shards));
+    for i in 0..TENANTS {
+        let policy = if i % 2 == 0 {
+            PolicySpec::Lcp
+        } else {
+            PolicySpec::HalfStepRounded { seed: i as u64 }
+        };
+        engine
+            .admit(TenantConfig::new(format!("t{i}"), M, BETA, policy))
+            .expect("admit");
+    }
+    engine
+}
+
+/// Pre-built slot batches so sampling measures engine dispatch + policy
+/// stepping, not string formatting.
+fn slot_batches(n: usize) -> Vec<Vec<(String, Cost)>> {
+    (0..n)
+        .map(|t| {
+            (0..TENANTS)
+                .map(|i| {
+                    let center = ((t * 5 + i) % (M as usize + 1)) as f64;
+                    (format!("t{i}"), Cost::abs(1.0, center))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/steps_10k_tenants");
+    group.throughput(Throughput::Elements(TENANTS as u64));
+    let batches = slot_batches(16);
+    for shards in [1usize, 2, 4, 8] {
+        let engine = setup(shards);
+        let mut t = 0usize;
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            // The clone is setup, not workload: keep it out of the timing.
+            b.iter_batched(
+                || {
+                    let batch = batches[t % batches.len()].clone();
+                    t += 1;
+                    batch
+                },
+                |batch| engine.step_batch(batch).expect("step"),
+                BatchSize::PerIteration,
+            )
+        });
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_throughput
+);
+criterion_main!(benches);

@@ -20,12 +20,16 @@ fn bench_sim(c: &mut Criterion) {
             m,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::new("m", m), &(cfg, trace), |b, (cfg, trace)| {
-            b.iter(|| {
-                let mut lcp = Lcp::new(cfg.m, cfg.cost_model.beta);
-                black_box(simulate_online(cfg, trace, &mut lcp).model_cost)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("m", m),
+            &(cfg, trace),
+            |b, (cfg, trace)| {
+                b.iter(|| {
+                    let mut lcp = Lcp::new(cfg.m, cfg.cost_model.beta);
+                    black_box(simulate_online(cfg, trace, &mut lcp).model_cost)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -16,7 +16,7 @@ fn hard_sequence(eps: f64, cycles: usize) -> Instance {
     let period = (2.0 / eps).ceil() as usize;
     let costs = (0..cycles * 2 * period)
         .map(|t| {
-            if (t / period) % 2 == 0 {
+            if (t / period).is_multiple_of(2) {
                 Cost::phi1(eps)
             } else {
                 Cost::phi0(eps)

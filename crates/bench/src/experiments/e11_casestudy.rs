@@ -17,8 +17,8 @@ use rsdc_online::lcp::Lcp;
 use rsdc_online::randomized::RandomizedOnline;
 use rsdc_online::traits::run as run_online;
 use rsdc_workloads::builder::CostModel;
-use rsdc_workloads::traces::{Diurnal, Trace};
 use rsdc_workloads::fleet_size;
+use rsdc_workloads::traces::{Diurnal, Trace};
 
 struct Row {
     label: String,
@@ -54,11 +54,8 @@ fn savings(model: &CostModel, trace: &Trace) -> Row {
     let mut lcp = Lcp::new(m, model.beta);
     let lcp_cost = rsdc_core::schedule::cost(&inst, &run_online(&mut lcp, &inst));
 
-    let mut rnd = RandomizedOnline::new(
-        HalfStep::new(m, model.beta, EvalMode::Interpolate),
-        m,
-        2024,
-    );
+    let mut rnd =
+        RandomizedOnline::new(HalfStep::new(m, model.beta, EvalMode::Interpolate), m, 2024);
     let rnd_cost = rsdc_core::schedule::cost(&inst, &run_online(&mut rnd, &inst));
 
     let pct = |c: f64| 100.0 * (1.0 - c / static_cost);
@@ -78,7 +75,14 @@ pub fn run() -> Report {
         "right-sizing savings vs static provisioning (Lin et al. case study)",
         "Right-sizing saves significantly on diurnal load; savings shrink with larger beta and \
          with peak-to-mean -> 1",
-        &["trace", "PMR", "beta", "save OPT %", "save LCP %", "save RND %"],
+        &[
+            "trace",
+            "PMR",
+            "beta",
+            "save OPT %",
+            "save LCP %",
+            "save RND %",
+        ],
     );
 
     // Beta sweep on a strongly diurnal trace.
@@ -93,9 +97,7 @@ pub fn run() -> Report {
     let betas = [1.0, 6.0, 24.0, 96.0];
     let beta_rows: Vec<Row> = betas
         .par_iter()
-        .map(|&beta| {
-            savings(&case_model(beta), &diurnal)
-        })
+        .map(|&beta| savings(&case_model(beta), &diurnal))
         .collect();
     for r in &beta_rows {
         rep.row(vec![
@@ -142,7 +144,9 @@ pub fn run() -> Report {
         ),
     );
     rep.check(
-        beta_rows.windows(2).all(|w| w[1].save_opt <= w[0].save_opt + 1.0),
+        beta_rows
+            .windows(2)
+            .all(|w| w[1].save_opt <= w[0].save_opt + 1.0),
         "savings shrink (weakly) as beta grows",
     );
     let pmr_saves: Vec<f64> = pmr_rows.iter().map(|(_, r)| r.save_opt).collect();
@@ -155,9 +159,7 @@ pub fn run() -> Report {
         ),
     );
     rep.check(
-        beta_rows
-            .iter()
-            .all(|r| r.save_lcp <= r.save_opt + 1e-9),
+        beta_rows.iter().all(|r| r.save_lcp <= r.save_opt + 1e-9),
         "online never beats offline",
     );
     rep

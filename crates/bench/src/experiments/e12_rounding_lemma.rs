@@ -16,7 +16,12 @@ pub fn run() -> Report {
         "Lemma 4 rounding",
         "Lemma 4: floor/ceil of an optimal fractional schedule remain optimal; hence the \
          continuous extension's optimum equals the discrete optimum",
-        &["grid k", "instances", "max (discrete - grid)/|opt|", "max rounding gap"],
+        &[
+            "grid k",
+            "instances",
+            "max (discrete - grid)/|opt|",
+            "max rounding gap",
+        ],
     );
 
     let cfg = RandomInstanceCfg {

@@ -27,7 +27,13 @@ pub fn run() -> Report {
         "ablations: refinement radius, padding eps, grid resolution",
         "Design-choice evidence: radius 2 is necessary and sufficient (Lemma 5); padding eps is \
          irrelevant; fractional LCP converges with grid refinement",
-        &["ablation", "setting", "instances", "suboptimal", "max rel. gap"],
+        &[
+            "ablation",
+            "setting",
+            "instances",
+            "suboptimal",
+            "max rel. gap",
+        ],
     );
 
     let cfg = RandomInstanceCfg {
@@ -76,10 +82,7 @@ pub fn run() -> Report {
     }
 
     // 2. Padding epsilon sweep (non-power-of-two m so padding is active).
-    let cfg_pad = RandomInstanceCfg {
-        m: 21,
-        ..cfg
-    };
+    let cfg_pad = RandomInstanceCfg { m: 21, ..cfg };
     let mut eps_ok = true;
     for eps in [1e-12, 1e-6, 1e-2, 1.0] {
         let max_gap = (0..n)
@@ -130,7 +133,10 @@ pub fn run() -> Report {
         / last;
     rep.check(
         spread < 0.25,
-        format!("grid-LCP cost stable under refinement (spread {})", fmt(spread)),
+        format!(
+            "grid-LCP cost stable under refinement (spread {})",
+            fmt(spread)
+        ),
     );
     rep
 }

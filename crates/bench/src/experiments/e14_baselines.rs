@@ -12,8 +12,8 @@ use rsdc_online::baselines::{FollowTheMinimizer, Hysteresis, WorkFunction};
 use rsdc_online::lcp::Lcp;
 use rsdc_online::traits::{competitive_ratio, run as run_online, OnlineAlgorithm};
 use rsdc_workloads::builder::CostModel;
-use rsdc_workloads::traces::standard_corpus;
 use rsdc_workloads::fleet_size;
+use rsdc_workloads::traces::standard_corpus;
 
 fn oscillating(eps: f64, t_len: usize) -> Instance {
     let costs = (0..t_len)
@@ -65,7 +65,10 @@ pub fn run() -> Report {
     }
     rep.check(
         greedy_grows && greedy_prev > 100.0,
-        format!("greedy ratio grows unboundedly (reached {})", fmt(greedy_prev)),
+        format!(
+            "greedy ratio grows unboundedly (reached {})",
+            fmt(greedy_prev)
+        ),
     );
 
     // Realistic corpus: everyone behaves, LCP should be at or near the top.

@@ -20,9 +20,9 @@ use rsdc_online::fractional::{EvalMode, HalfStep};
 use rsdc_online::randomized::{round_schedule, round_schedule_independent};
 use rsdc_online::traits::run_frac;
 use rsdc_workloads::builder::CostModel;
+use rsdc_workloads::fleet_size;
 use rsdc_workloads::stats::quantile;
 use rsdc_workloads::traces::standard_corpus;
-use rsdc_workloads::fleet_size;
 
 /// Run the experiment.
 pub fn run() -> Report {

@@ -51,7 +51,14 @@ pub fn run() -> Report {
         "Section 1 related work: the heterogeneous problem is convex function chasing; the \
          homogeneous machinery extends per-coordinate without a guarantee but with good \
          empirical behaviour",
-        &["workload", "OPT", "CoordLCP", "Greedy", "LCP/OPT", "Greedy/OPT"],
+        &[
+            "workload",
+            "OPT",
+            "CoordLCP",
+            "Greedy",
+            "LCP/OPT",
+            "Greedy/OPT",
+        ],
     );
 
     let mut all_ok = true;
@@ -86,12 +93,14 @@ pub fn run() -> Report {
         let c_lcp = inst.cost(&xs_lcp);
 
         let mut greedy = GreedyConfig::new(inst.dims());
-        let xs_g: Vec<_> = (1..=inst.horizon()).map(|t| greedy.step(&inst, t)).collect();
+        let xs_g: Vec<_> = (1..=inst.horizon())
+            .map(|t| greedy.step(&inst, t))
+            .collect();
         let c_g = inst.cost(&xs_g);
 
         let r_lcp = c_lcp / opt.cost;
         let r_g = c_g / opt.cost;
-        all_ok &= r_lcp >= 1.0 - 1e-9 && r_lcp < 4.0;
+        all_ok &= (1.0 - 1e-9..4.0).contains(&r_lcp);
         rep.row(vec![
             label.into(),
             fmt(opt.cost),

@@ -27,7 +27,14 @@ pub fn run() -> Report {
             let mut lcp = Lcp::new(1, 2.0);
             let duel = adv.run(&mut lcp);
             let (alg, opt, ratio) = duel.ratio();
-            (eps, adv.t_len, alg, opt, ratio, adv.theoretical_ratio_floor())
+            (
+                eps,
+                adv.t_len,
+                alg,
+                opt,
+                ratio,
+                adv.theoretical_ratio_floor(),
+            )
         })
         .collect();
 
@@ -49,7 +56,10 @@ pub fn run() -> Report {
     rep.check(all_ok, "every ratio in [floor, 3]");
     rep.check(
         final_ratio > 2.93,
-        format!("smallest eps pushes the ratio to {} (-> 3)", fmt(final_ratio)),
+        format!(
+            "smallest eps pushes the ratio to {} (-> 3)",
+            fmt(final_ratio)
+        ),
     );
     rep
 }

@@ -10,16 +10,16 @@
 //!    `E[C(X)] = C(\bar X)`).
 
 use crate::report::{fmt, Report};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rayon::prelude::*;
 use rsdc_core::prelude::*;
 use rsdc_online::fractional::{EvalMode, HalfStep};
 use rsdc_online::randomized::round_schedule;
 use rsdc_online::traits::run_frac;
 use rsdc_workloads::builder::CostModel;
-use rsdc_workloads::traces::standard_corpus;
 use rsdc_workloads::fleet_size;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rsdc_workloads::traces::standard_corpus;
 
 /// Run the experiment.
 pub fn run() -> Report {
@@ -33,12 +33,7 @@ pub fn run_sized(trials: usize) -> Report {
         "randomized rounding preserves cost; randomized algorithm near 2-competitive",
         "Theorem 3 via Lemmas 18-20: E[C(X)] = C(fractional); with a 2-competitive fractional \
          schedule the rounded algorithm is 2-competitive",
-        &[
-            "workload",
-            "frac/OPT",
-            "E[C]/frac",
-            "E[C]/OPT",
-        ],
+        &["workload", "frac/OPT", "E[C]/frac", "E[C]/OPT"],
     );
 
     let mut worst_preservation_err: f64 = 0.0;

@@ -19,7 +19,12 @@ pub fn run() -> Report {
         &["eps", "T", "C(marginals)", "OPT", "ratio"],
     );
 
-    let sweeps = [(0.25, 2000usize), (0.125, 4000), (0.0625, 8000), (0.03125, 16000)];
+    let sweeps = [
+        (0.25, 2000usize),
+        (0.125, 4000),
+        (0.0625, 8000),
+        (0.03125, 16000),
+    ];
     let results: Vec<_> = sweeps
         .par_iter()
         .map(|&(eps, t_len)| {
@@ -37,13 +42,7 @@ pub fn run() -> Report {
     for (eps, t, c, opt, ratio) in results {
         all_lb &= ratio >= 2.0 - eps;
         last_ratio = ratio;
-        rep.row(vec![
-            fmt(eps),
-            t.to_string(),
-            fmt(c),
-            fmt(opt),
-            fmt(ratio),
-        ]);
+        rep.row(vec![fmt(eps), t.to_string(), fmt(c), fmt(opt), fmt(ratio)]);
     }
     rep.check(all_lb, "every ratio >= 2 - eps (Lemma 21/22 accounting)");
     rep.check(

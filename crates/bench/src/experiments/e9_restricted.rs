@@ -89,7 +89,11 @@ pub fn run() -> Report {
         ]);
         rep.check(
             ratio_l <= 3.0 + 1e-9 && ratio_l > ratio_g - 0.35,
-            format!("eps={eps}: restricted ratio {} tracks general {}", fmt(ratio_l), fmt(ratio_g)),
+            format!(
+                "eps={eps}: restricted ratio {} tracks general {}",
+                fmt(ratio_l),
+                fmt(ratio_g)
+            ),
         );
     }
     rep

@@ -1,7 +1,6 @@
 //! The experiment suite: one module per row of the DESIGN.md experiment
 //! index (E1–E12) plus the ablation/calibration suite (E13–E16). Each module exposes `run() -> Report`.
 
-pub mod e1_graph;
 pub mod e10_prediction;
 pub mod e11_casestudy;
 pub mod e12_rounding_lemma;
@@ -9,6 +8,7 @@ pub mod e13_ablations;
 pub mod e14_baselines;
 pub mod e15_rounding_ablation;
 pub mod e16_hetero;
+pub mod e1_graph;
 pub mod e2_offline_equiv;
 pub mod e3_scaling;
 pub mod e4_lcp_ratio;
@@ -22,7 +22,8 @@ use crate::report::Report;
 
 /// All experiment ids in run order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Run one experiment by id (`"e1"`..`"e12"`). `quick` shrinks the sizes of

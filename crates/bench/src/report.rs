@@ -73,7 +73,11 @@ impl Report {
         let _ = writeln!(
             s,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(s, "| {} |", row.join(" | "));

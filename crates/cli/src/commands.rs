@@ -64,6 +64,12 @@ COMMANDS
              --trace FILE [--m M] [--beta B] [--policy lcp|opt|static]
   analyze    trace statistics and the optimal schedule's structure
              --trace FILE [--m M] [--beta B]
+  engine     sharded multi-tenant streaming engine (JSONL wire format)
+             --events FILE [--shards N] [--out FILE]
+         or  --trace FILE [--tenants K] [--policy P] [--shards N]
+             [--m M] [--beta B] [--out FILE]
+             P: lcp | halfstep[:seed] | flcp[:k[,seed]] | memoryless[:seed]
+                | lookahead[:w] | followmin | hysteresis[:band]
   help       this text
 ";
 
@@ -75,6 +81,7 @@ pub fn dispatch(args: &Args) -> Result<String, CmdError> {
         Some("online") => cmd_online(args),
         Some("simulate") => cmd_simulate(args),
         Some("analyze") => cmd_analyze(args),
+        Some("engine") => cmd_engine(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(CmdError::Other(format!(
             "unknown command {other:?}; try `rsdc help`"
@@ -109,7 +116,9 @@ fn model_of(args: &Args) -> Result<(u32, CostModel, Trace), CmdError> {
     let trace = load_trace(args)?;
     let beta: f64 = args.get_or("beta", 6.0)?;
     if !(beta.is_finite() && beta > 0.0) {
-        return Err(CmdError::Other(format!("--beta must be positive, got {beta}")));
+        return Err(CmdError::Other(format!(
+            "--beta must be positive, got {beta}"
+        )));
     }
     let m: u32 = match args.get_str("m") {
         Some(_) => args.require("m")?,
@@ -187,11 +196,8 @@ fn cmd_online(args: &Args) -> Result<String, CmdError> {
         }
         "randomized" => {
             let seed: u64 = args.get_or("seed", 0)?;
-            let mut a = RandomizedOnline::new(
-                HalfStep::new(m, model.beta, EvalMode::Interpolate),
-                m,
-                seed,
-            );
+            let mut a =
+                RandomizedOnline::new(HalfStep::new(m, model.beta, EvalMode::Interpolate), m, seed);
             run_online(&mut a, &inst)
         }
         other => {
@@ -292,6 +298,70 @@ fn cmd_analyze(args: &Args) -> Result<String, CmdError> {
     Ok(serde_json::to_string_pretty(&body).expect("serializable") + "\n")
 }
 
+/// Run the streaming engine over a JSONL event file, or over a synthetic
+/// multi-tenant fleet derived from a trace.
+fn cmd_engine(args: &Args) -> Result<String, CmdError> {
+    use rsdc_engine::{wire, Engine, EngineConfig, PolicySpec, TenantConfig};
+
+    let shards: usize = args.get_or("shards", 0)?;
+    let engine = if shards == 0 {
+        Engine::new(EngineConfig::default())
+    } else {
+        Engine::new(EngineConfig::with_shards(shards))
+    };
+    let mut session = wire::Session::new(engine);
+
+    let responses = if let Some(path) = args.get_str("events") {
+        let data = std::fs::read_to_string(path)?;
+        session.handle_lines(data.lines())
+    } else {
+        // Fleet mode: K tenants, all fed the trace's loads in batched slots.
+        let (m, model, trace) = model_of(args)?;
+        let tenants: usize = args.get_or("tenants", 4)?;
+        if tenants == 0 {
+            return Err(CmdError::Other("--tenants must be >= 1".into()));
+        }
+        let policy_arg: String = args.get_or("policy", "lcp".to_string())?;
+        let mut lines: Vec<String> = Vec::new();
+        for i in 0..tenants {
+            // Per-tenant seeds so randomized tenants decorrelate.
+            let spec = PolicySpec::parse_short(&policy_arg).map_err(CmdError::Other)?;
+            let spec = match spec {
+                PolicySpec::HalfStepRounded { seed } => PolicySpec::HalfStepRounded {
+                    seed: seed.wrapping_add(i as u64),
+                },
+                PolicySpec::FlcpRounded { k, seed } => PolicySpec::FlcpRounded {
+                    k,
+                    seed: seed.wrapping_add(i as u64),
+                },
+                PolicySpec::MemorylessRounded { seed } => PolicySpec::MemorylessRounded {
+                    seed: seed.wrapping_add(i as u64),
+                },
+                other => other,
+            };
+            let mut cfg = TenantConfig::new(format!("tenant-{i}"), m, model.beta, spec);
+            cfg.track_opt = true;
+            lines.push(wire::admit_line(&cfg));
+        }
+        // Slot-major order: every tenant sees slot t before any sees t+1,
+        // exercising cross-tenant batching on each slot.
+        for &load in &trace.loads {
+            for i in 0..tenants {
+                lines.push(wire::step_load_line(&format!("tenant-{i}"), load));
+            }
+        }
+        for i in 0..tenants {
+            lines.push(format!("{{\"op\":\"finish\",\"id\":\"tenant-{i}\"}}"));
+        }
+        lines.push("{\"op\":\"report\"}".to_string());
+        lines.push("{\"op\":\"stats\"}".to_string());
+        session.handle_lines(lines.iter().map(|s| s.as_str()))
+    };
+
+    let body = responses.join("\n") + "\n";
+    write_output(args, "engine responses", body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,7 +391,15 @@ mod tests {
     fn generate_then_solve_then_online_then_simulate() {
         let trace_path = tmp("pipe.json");
         let out = dispatch(&args(&[
-            "generate", "--kind", "diurnal", "--slots", "96", "--seed", "3", "--out", &trace_path,
+            "generate",
+            "--kind",
+            "diurnal",
+            "--slots",
+            "96",
+            "--seed",
+            "3",
+            "--out",
+            &trace_path,
         ]))
         .unwrap();
         assert!(out.contains("96 slots"));
@@ -336,7 +414,14 @@ mod tests {
         let ratio = v["ratio"].as_f64().unwrap();
         assert!((1.0..=3.0 + 1e-9).contains(&ratio), "ratio {ratio}");
 
-        let sim = dispatch(&args(&["simulate", "--trace", &trace_path, "--policy", "opt"])).unwrap();
+        let sim = dispatch(&args(&[
+            "simulate",
+            "--trace",
+            &trace_path,
+            "--policy",
+            "opt",
+        ]))
+        .unwrap();
         let v: serde_json::Value = serde_json::from_str(&sim).unwrap();
         assert!(v["total_energy"].as_f64().unwrap() > 0.0);
     }
@@ -362,8 +447,7 @@ mod tests {
         .unwrap();
         let mut costs = Vec::new();
         for alg in ["binsearch", "dp", "backward"] {
-            let out =
-                dispatch(&args(&["solve", "--trace", &p, "--algorithm", alg])).unwrap();
+            let out = dispatch(&args(&["solve", "--trace", &p, "--algorithm", alg])).unwrap();
             let v: serde_json::Value = serde_json::from_str(&out).unwrap();
             costs.push(v["cost"].as_f64().unwrap());
         }
@@ -390,11 +474,74 @@ mod tests {
     }
 
     #[test]
+    fn engine_fleet_mode_reports_every_tenant() {
+        let p = tmp("engine.json");
+        dispatch(&args(&[
+            "generate", "--kind", "diurnal", "--slots", "48", "--seed", "4", "--out", &p,
+        ]))
+        .unwrap();
+        let out = dispatch(&args(&[
+            "engine",
+            "--trace",
+            &p,
+            "--tenants",
+            "3",
+            "--policy",
+            "lcp",
+            "--shards",
+            "2",
+        ]))
+        .unwrap();
+        let reports: Vec<serde_json::Value> = out
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .filter(|v: &serde_json::Value| v["op"] == "report")
+            .collect();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert_eq!(r["report"]["committed"], 48);
+            let ratio = r["report"]["ratio"].as_f64().unwrap();
+            assert!((1.0 - 1e-9..=3.0 + 1e-9).contains(&ratio), "ratio {ratio}");
+        }
+        let stats: Vec<serde_json::Value> = out
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .filter(|v: &serde_json::Value| v["op"] == "stats")
+            .collect();
+        assert_eq!(stats.len(), 1);
+        let shards = stats[0]["shards"].as_array().unwrap();
+        assert_eq!(shards.len(), 2);
+        let events: u64 = shards.iter().map(|s| s["events"].as_u64().unwrap()).sum();
+        assert_eq!(events, 3 * 48);
+    }
+
+    #[test]
+    fn engine_events_mode_round_trips_wire_records() {
+        let p = tmp("events.jsonl");
+        let events = "\
+{\"op\":\"admit\",\"id\":\"a\",\"m\":6,\"beta\":4.0,\"policy\":\"flcp:2,9\"}\n\
+{\"op\":\"step\",\"id\":\"a\",\"load\":2.0}\n\
+{\"op\":\"step\",\"id\":\"a\",\"load\":4.5}\n\
+{\"op\":\"step\",\"id\":\"a\",\"cost\":{\"Abs\":{\"slope\":1.0,\"center\":3.0}}}\n\
+{\"op\":\"report\",\"id\":\"a\"}\n";
+        std::fs::write(&p, events).unwrap();
+        let out = dispatch(&args(&["engine", "--events", &p, "--shards", "1"])).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let report: serde_json::Value = serde_json::from_str(lines[4]).unwrap();
+        assert_eq!(report["report"]["events"], 3);
+        assert_eq!(report["report"]["committed"], 3);
+    }
+
+    #[test]
     fn bad_inputs_are_reported() {
         assert!(dispatch(&args(&["solve"])).is_err()); // missing --trace
         assert!(dispatch(&args(&["generate", "--kind", "nope", "--slots", "5"])).is_err());
         let p = tmp("beta.json");
-        dispatch(&args(&["generate", "--kind", "diurnal", "--slots", "5", "--out", &p])).unwrap();
+        dispatch(&args(&[
+            "generate", "--kind", "diurnal", "--slots", "5", "--out", &p,
+        ]))
+        .unwrap();
         assert!(dispatch(&args(&["solve", "--trace", &p, "--beta", "-1"])).is_err());
     }
 }

@@ -146,7 +146,11 @@ mod tests {
         Instance::new(
             8,
             2.0,
-            vec![Cost::abs(1.0, 3.0), Cost::abs(1.0, 1.0), Cost::abs(1.0, 5.0)],
+            vec![
+                Cost::abs(1.0, 3.0),
+                Cost::abs(1.0, 1.0),
+                Cost::abs(1.0, 5.0),
+            ],
         )
         .unwrap()
     }

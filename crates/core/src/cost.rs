@@ -167,18 +167,12 @@ impl Cost {
 
     /// The adversary function `phi_0(x) = slope * |x|`.
     pub fn phi0(slope: f64) -> Self {
-        Cost::Abs {
-            slope,
-            center: 0.0,
-        }
+        Cost::Abs { slope, center: 0.0 }
     }
 
     /// The adversary function `phi_1(x) = slope * |1 - x|`.
     pub fn phi1(slope: f64) -> Self {
-        Cost::Abs {
-            slope,
-            center: 1.0,
-        }
+        Cost::Abs { slope, center: 1.0 }
     }
 
     /// `a (x - center)^2 + offset`.

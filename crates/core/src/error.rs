@@ -43,7 +43,11 @@ mod tests {
             msg: "boom".into(),
         };
         assert!(e.to_string().contains("slot 3"));
-        assert!(Error::InvalidParameter("x".into()).to_string().contains("x"));
-        assert!(Error::InfeasibleSchedule("y".into()).to_string().contains("y"));
+        assert!(Error::InvalidParameter("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(Error::InfeasibleSchedule("y".into())
+            .to_string()
+            .contains("y"));
     }
 }

@@ -124,7 +124,7 @@ impl Instance {
     ///
     /// Requires `stride >= 1` and `stride | m`.
     pub fn reduce(&self, stride: u32) -> Result<Instance, Error> {
-        if stride == 0 || self.m % stride != 0 {
+        if stride == 0 || !self.m.is_multiple_of(stride) {
             return Err(Error::InvalidParameter(format!(
                 "stride {stride} must divide m = {}",
                 self.m
@@ -217,7 +217,11 @@ mod tests {
         Instance::new(
             4,
             2.0,
-            vec![Cost::phi1(1.0), Cost::phi0(1.0), Cost::quadratic(1.0, 2.0, 0.0)],
+            vec![
+                Cost::phi1(1.0),
+                Cost::phi0(1.0),
+                Cost::quadratic(1.0, 2.0, 0.0),
+            ],
         )
         .unwrap()
     }

@@ -40,14 +40,16 @@
 
 #![warn(missing_docs)]
 
-pub mod cost;
 pub mod analysis;
+pub mod cost;
 pub mod error;
 pub mod instance;
 pub mod schedule;
 
+pub use analysis::{
+    breakdown, phases, stats as schedule_stats, CostBreakdown, Direction, ScheduleStats,
+};
 pub use cost::{Cost, ServerParams, Unit};
-pub use analysis::{breakdown, phases, stats as schedule_stats, CostBreakdown, Direction, ScheduleStats};
 pub use error::Error;
 pub use instance::{Instance, RestrictedInstance};
 pub use schedule::{FracMode, FracSchedule, Schedule};

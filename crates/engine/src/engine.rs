@@ -1,0 +1,245 @@
+//! The engine handle: tenant routing, batched dispatch, lifecycle.
+
+use crate::shard::{Event, Request, Shard, ShardStats, StepOutcome};
+use crate::tenant::{TenantConfig, TenantReport, TenantSnapshot};
+use crate::EngineError;
+use rsdc_core::Cost;
+use std::sync::mpsc::{channel, Sender};
+use std::thread::JoinHandle;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of shard worker threads (tenants are hash-partitioned).
+    pub shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with an explicit shard count (`>= 1`).
+    pub fn with_shards(shards: usize) -> Self {
+        EngineConfig {
+            shards: shards.max(1),
+        }
+    }
+}
+
+/// A sharded multi-tenant streaming engine.
+///
+/// Tenants are hash-partitioned across `shards` worker threads; every
+/// operation routes by tenant id, and batched ingestion
+/// ([`Engine::step_batch`]) fans a mixed batch out to all shards in one
+/// message per shard. See the crate docs for the full lifecycle.
+pub struct Engine {
+    senders: Vec<Sender<Request>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Engine {
+    /// Start the shard workers.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        let n = cfg.shards.max(1);
+        let mut senders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for index in 0..n {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rsdc-shard-{index}"))
+                    .spawn(move || Shard::run(index, rx))
+                    .expect("spawn shard worker"),
+            );
+        }
+        Engine { senders, handles }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn shard_of(&self, id: &str) -> usize {
+        (fnv1a(id.as_bytes()) % self.senders.len() as u64) as usize
+    }
+
+    fn send<T>(
+        &self,
+        shard: usize,
+        make: impl FnOnce(Sender<Result<T, EngineError>>) -> Request,
+    ) -> Result<T, EngineError> {
+        let (tx, rx) = channel();
+        self.senders[shard]
+            .send(make(tx))
+            .map_err(|_| EngineError::ShardDown(shard))?;
+        rx.recv().map_err(|_| EngineError::ShardDown(shard))?
+    }
+
+    /// Admit a new tenant.
+    pub fn admit(&self, cfg: TenantConfig) -> Result<(), EngineError> {
+        let shard = self.shard_of(&cfg.id);
+        self.send(shard, |tx| Request::Admit(cfg, tx))
+    }
+
+    /// Feed one cost function to one tenant; returns the states committed
+    /// by this event (empty while a lookahead window fills).
+    pub fn step(&self, id: &str, cost: Cost) -> Result<Vec<u32>, EngineError> {
+        let outcomes = self.step_batch(vec![(id.to_string(), cost)])?;
+        match outcomes.into_iter().next() {
+            Some(o) if o.error.is_none() => Ok(o.states),
+            _ => Err(EngineError::UnknownTenant(id.to_string())),
+        }
+    }
+
+    /// Feed a batch of `(tenant, cost)` events. Events are fanned out to
+    /// the owning shards in one message per shard; per-tenant order is
+    /// preserved, and outcomes come back in submission order.
+    pub fn step_batch(&self, events: Vec<(String, Cost)>) -> Result<Vec<StepOutcome>, EngineError> {
+        self.step_batch_loads(events.into_iter().map(|(id, c)| (id, c, None)).collect())
+    }
+
+    /// [`Engine::step_batch`] with per-event offered load, which also feeds
+    /// the shard-level metrics.
+    pub fn step_batch_loads(
+        &self,
+        events: Vec<(String, Cost, Option<f64>)>,
+    ) -> Result<Vec<StepOutcome>, EngineError> {
+        let n = events.len();
+        let mut per_shard: Vec<Vec<Event>> = (0..self.senders.len()).map(|_| Vec::new()).collect();
+        for (index, (id, cost, load)) in events.into_iter().enumerate() {
+            let shard = self.shard_of(&id);
+            per_shard[shard].push(Event {
+                index,
+                id,
+                cost,
+                load,
+            });
+        }
+        let mut replies = Vec::new();
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let (tx, rx) = channel();
+            self.senders[shard]
+                .send(Request::Batch(batch, tx))
+                .map_err(|_| EngineError::ShardDown(shard))?;
+            replies.push((shard, rx));
+        }
+        let mut indexed: Vec<(usize, StepOutcome)> = Vec::with_capacity(n);
+        for (shard, rx) in replies {
+            indexed.extend(rx.recv().map_err(|_| EngineError::ShardDown(shard))??);
+        }
+        indexed.sort_by_key(|(index, _)| *index);
+        Ok(indexed.into_iter().map(|(_, o)| o).collect())
+    }
+
+    /// End-of-stream for one tenant: flush pending lookahead states.
+    pub fn finish(&self, id: &str) -> Result<Vec<u32>, EngineError> {
+        let shard = self.shard_of(id);
+        self.send(shard, |tx| Request::Finish(id.to_string(), tx))
+            .map(|o| o.states)
+    }
+
+    /// Capture a tenant's full state.
+    pub fn snapshot(&self, id: &str) -> Result<TenantSnapshot, EngineError> {
+        let shard = self.shard_of(id);
+        self.send(shard, |tx| Request::Snapshot(id.to_string(), tx))
+    }
+
+    /// Re-install a tenant from a snapshot (replaces any existing tenant
+    /// with the same id).
+    pub fn restore(&self, snapshot: TenantSnapshot) -> Result<(), EngineError> {
+        let shard = self.shard_of(&snapshot.config.id);
+        self.send(shard, |tx| Request::Restore(Box::new(snapshot), tx))
+    }
+
+    /// Remove a tenant, returning its final report.
+    pub fn evict(&self, id: &str) -> Result<TenantReport, EngineError> {
+        let shard = self.shard_of(id);
+        self.send(shard, |tx| Request::Evict(id.to_string(), tx))
+    }
+
+    /// Report for one tenant.
+    pub fn report(&self, id: &str) -> Result<TenantReport, EngineError> {
+        let shard = self.shard_of(id);
+        let mut reports = self.send(shard, |tx| Request::Report(Some(id.to_string()), tx))?;
+        reports
+            .pop()
+            .ok_or_else(|| EngineError::UnknownTenant(id.to_string()))
+    }
+
+    /// Reports for every tenant, sorted by id.
+    pub fn report_all(&self) -> Result<Vec<TenantReport>, EngineError> {
+        let mut replies = Vec::new();
+        for (shard, tx_req) in self.senders.iter().enumerate() {
+            let (tx, rx) = channel();
+            tx_req
+                .send(Request::Report(None, tx))
+                .map_err(|_| EngineError::ShardDown(shard))?;
+            replies.push((shard, rx));
+        }
+        let mut all = Vec::new();
+        for (shard, rx) in replies {
+            all.extend(rx.recv().map_err(|_| EngineError::ShardDown(shard))??);
+        }
+        all.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(all)
+    }
+
+    /// Aggregate per-shard statistics.
+    pub fn shard_stats(&self) -> Result<Vec<ShardStats>, EngineError> {
+        let mut replies = Vec::new();
+        for (shard, tx_req) in self.senders.iter().enumerate() {
+            let (tx, rx) = channel();
+            tx_req
+                .send(Request::Stats(tx))
+                .map_err(|_| EngineError::ShardDown(shard))?;
+            replies.push((shard, rx));
+        }
+        let mut all = Vec::new();
+        for (shard, rx) in replies {
+            all.push(rx.recv().map_err(|_| EngineError::ShardDown(shard))?);
+        }
+        Ok(all)
+    }
+
+    /// Stop all shard workers and join their threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Request::Shutdown);
+        }
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

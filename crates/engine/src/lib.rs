@@ -1,0 +1,303 @@
+//! # rsdc-engine — sharded multi-tenant streaming autoscaler engine
+//!
+//! Every other entry point in this workspace is batch-shaped: it consumes a
+//! complete [`rsdc_core::Instance`] and returns a schedule. This crate is
+//! the *service* shape the paper's algorithms are meant for: a persistent
+//! engine hosting thousands of independent online-policy instances
+//! ("tenants"), each reacting to an unbounded stream of per-slot cost
+//! events.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                 admit / step / snapshot / report
+//!   caller ──────────────► Engine handle
+//!                            │ hash(tenant id) % N
+//!              ┌─────────────┼─────────────┐
+//!              ▼             ▼             ▼
+//!          shard 0       shard 1  ...  shard N-1     (one thread each)
+//!          tenants:      tenants:      tenants:
+//!          policy +      policy +      policy +
+//!          accounting    accounting    accounting
+//! ```
+//!
+//! * **Tenants** ([`TenantConfig`], [`tenant::Tenant`]) pair one
+//!   `m`/`beta` configuration with one policy ([`PolicySpec`]): LCP,
+//!   FLCP-rounded, half-step-rounded, memoryless-rounded, lookahead LCP,
+//!   or a baseline. Policies are the object-safe, resumable
+//!   [`rsdc_online::streaming::StreamingPolicy`] wrappers.
+//! * **Shards** ([`shard`]) are plain `std::thread` workers fed batched
+//!   events over channels; tenants are hash-partitioned so all per-tenant
+//!   operations are single-threaded and deterministic.
+//! * **Accounting** reuses [`rsdc_core::analysis`] (cost breakdowns,
+//!   schedule statistics with identical phase semantics) and
+//!   [`rsdc_sim::metrics`] (shard-level load/energy aggregation), all
+//!   maintained incrementally in O(1) per event.
+//! * **Snapshots** ([`tenant::TenantSnapshot`]) capture the *complete*
+//!   tenant state — policy value functions, fractional states, rounder RNG
+//!   words, lookahead buffers and the running accounting — so a tenant
+//!   restored on a fresh engine continues **bit-identically**, a property
+//!   the cross-crate differential tests enforce.
+//! * **Wire format** ([`wire`]) is JSON-lines: `admit`/`step`/`finish`/
+//!   `snapshot`/`restore`/`report`/`stats` records, with ingestion helpers
+//!   from [`rsdc_workloads`] traces. The `rsdc engine` CLI subcommand and
+//!   the `engine_stream` example speak it end to end.
+//!
+//! ## Example
+//!
+//! ```
+//! use rsdc_core::Cost;
+//! use rsdc_engine::{Engine, EngineConfig, PolicySpec, TenantConfig};
+//!
+//! let engine = Engine::new(EngineConfig::with_shards(2));
+//! engine.admit(TenantConfig::new("web", 8, 6.0, PolicySpec::Lcp)).unwrap();
+//! for t in 0..48 {
+//!     let load = 4.0 + 3.0 * ((t as f64) * 0.3).sin();
+//!     let states = engine
+//!         .step("web", Cost::abs(1.0, load))
+//!         .unwrap();
+//!     assert_eq!(states.len(), 1);
+//! }
+//! let report = engine.report("web").unwrap();
+//! assert_eq!(report.committed, 48);
+//! assert!(report.breakdown.total() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod shard;
+pub mod tenant;
+pub mod wire;
+
+pub use engine::{Engine, EngineConfig};
+pub use shard::{ShardStats, StepOutcome};
+pub use tenant::{PolicySpec, TenantConfig, TenantReport, TenantSnapshot};
+
+/// Errors surfaced by [`Engine`] operations.
+#[derive(Debug)]
+pub enum EngineError {
+    /// No tenant with this id on its shard.
+    UnknownTenant(String),
+    /// A tenant with this id already exists.
+    DuplicateTenant(String),
+    /// The shard worker thread is gone.
+    ShardDown(usize),
+    /// Policy-level failure (invalid snapshot, bad parameters).
+    Policy(rsdc_core::Error),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
+            EngineError::DuplicateTenant(id) => write!(f, "tenant {id:?} already admitted"),
+            EngineError::ShardDown(i) => write!(f, "shard {i} is down"),
+            EngineError::Policy(e) => write!(f, "policy error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<rsdc_core::Error> for EngineError {
+    fn from(e: rsdc_core::Error) -> Self {
+        EngineError::Policy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsdc_core::Cost;
+
+    fn costs(n: usize) -> Vec<Cost> {
+        (0..n)
+            .map(|t| Cost::abs(0.5 + (t % 3) as f64, ((t * 5 + 1) % 8) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn admit_step_report_evict() {
+        let engine = Engine::new(EngineConfig::with_shards(2));
+        engine
+            .admit(TenantConfig::new("a", 8, 2.0, PolicySpec::Lcp))
+            .unwrap();
+        assert!(matches!(
+            engine.admit(TenantConfig::new("a", 8, 2.0, PolicySpec::Lcp)),
+            Err(EngineError::DuplicateTenant(_))
+        ));
+        for f in costs(20) {
+            engine.step("a", f).unwrap();
+        }
+        let report = engine.report("a").unwrap();
+        assert_eq!(report.events, 20);
+        assert_eq!(report.committed, 20);
+        let final_report = engine.evict("a").unwrap();
+        assert_eq!(final_report.committed, 20);
+        assert!(matches!(
+            engine.report("a"),
+            Err(EngineError::UnknownTenant(_))
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn results_are_shard_count_invariant() {
+        let fs = costs(40);
+        let mut per_shards = Vec::new();
+        for shards in [1usize, 3] {
+            let engine = Engine::new(EngineConfig::with_shards(shards));
+            for i in 0..10 {
+                engine
+                    .admit(TenantConfig::new(
+                        format!("t{i}"),
+                        6,
+                        1.5,
+                        PolicySpec::FlcpRounded { k: 2, seed: i },
+                    ))
+                    .unwrap();
+            }
+            for f in &fs {
+                let batch: Vec<(String, Cost)> =
+                    (0..10).map(|i| (format!("t{i}"), f.clone())).collect();
+                engine.step_batch(batch).unwrap();
+            }
+            let reports = engine.report_all().unwrap();
+            per_shards.push(
+                reports
+                    .into_iter()
+                    .map(|r| {
+                        (
+                            r.id,
+                            r.breakdown.operating,
+                            r.breakdown.switching,
+                            r.last_state,
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(per_shards[0], per_shards[1]);
+    }
+
+    #[test]
+    fn batch_outcomes_preserve_submission_order() {
+        let engine = Engine::new(EngineConfig::with_shards(4));
+        for i in 0..12 {
+            engine
+                .admit(TenantConfig::new(format!("t{i}"), 4, 1.0, PolicySpec::Lcp))
+                .unwrap();
+        }
+        let batch: Vec<(String, Cost)> = (0..12)
+            .map(|i| (format!("t{i}"), Cost::abs(1.0, (i % 5) as f64)))
+            .collect();
+        let outcomes = engine.step_batch(batch).unwrap();
+        let ids: Vec<String> = outcomes.iter().map(|o| o.id.clone()).collect();
+        let expected: Vec<String> = (0..12).map(|i| format!("t{i}")).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn unknown_tenant_in_batch_does_not_poison_other_events() {
+        let engine = Engine::new(EngineConfig::with_shards(2));
+        engine
+            .admit(TenantConfig::new("real", 4, 1.0, PolicySpec::Lcp))
+            .unwrap();
+        let outcomes = engine
+            .step_batch(vec![
+                ("real".to_string(), Cost::abs(10.0, 2.0)),
+                ("ghost".to_string(), Cost::abs(10.0, 2.0)),
+                ("real".to_string(), Cost::abs(10.0, 3.0)),
+            ])
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].error.is_none());
+        assert_eq!(outcomes[0].states, vec![2]);
+        assert!(outcomes[1].error.as_deref().unwrap().contains("ghost"));
+        assert!(outcomes[2].error.is_none());
+        assert_eq!(outcomes[2].states, vec![3]);
+        // The single-event path still surfaces the error as Err.
+        assert!(matches!(
+            engine.step("ghost", Cost::Zero),
+            Err(EngineError::UnknownTenant(_))
+        ));
+        assert_eq!(engine.report("real").unwrap().committed, 2);
+    }
+
+    #[test]
+    fn shard_stats_aggregate_load_metrics() {
+        let engine = Engine::new(EngineConfig::with_shards(2));
+        engine
+            .admit(TenantConfig::new("a", 8, 2.0, PolicySpec::Lcp))
+            .unwrap();
+        for t in 0..30 {
+            let load = 2.0 + (t % 4) as f64;
+            engine
+                .step_batch_loads(vec![("a".to_string(), Cost::abs(2.0, load), Some(load))])
+                .unwrap();
+        }
+        let stats = engine.shard_stats().unwrap();
+        assert_eq!(stats.len(), 2);
+        let total_events: u64 = stats.iter().map(|s| s.events).sum();
+        assert_eq!(total_events, 30);
+        let slots: usize = stats.iter().map(|s| s.metric_slots).sum();
+        assert_eq!(slots, 30);
+        assert!(stats.iter().map(|s| s.total_energy).sum::<f64>() > 0.0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn snapshot_restore_across_engines() {
+        let fs = costs(36);
+        // Uninterrupted reference run.
+        let reference = Engine::new(EngineConfig::with_shards(2));
+        reference
+            .admit(TenantConfig::new(
+                "t",
+                6,
+                2.0,
+                PolicySpec::HalfStepRounded { seed: 17 },
+            ))
+            .unwrap();
+        let mut want = Vec::new();
+        for f in &fs {
+            want.extend(reference.step("t", f.clone()).unwrap());
+        }
+        let want_report = reference.report("t").unwrap();
+
+        // Interrupted run: kill the engine mid-stream, restore elsewhere.
+        let first = Engine::new(EngineConfig::with_shards(2));
+        first
+            .admit(TenantConfig::new(
+                "t",
+                6,
+                2.0,
+                PolicySpec::HalfStepRounded { seed: 17 },
+            ))
+            .unwrap();
+        let mut got = Vec::new();
+        for f in &fs[..15] {
+            got.extend(first.step("t", f.clone()).unwrap());
+        }
+        let snapshot = first.snapshot("t").unwrap();
+        first.shutdown();
+
+        let second = Engine::new(EngineConfig::with_shards(3));
+        second.restore(snapshot).unwrap();
+        for f in &fs[15..] {
+            got.extend(second.step("t", f.clone()).unwrap());
+        }
+        assert_eq!(got, want);
+        let got_report = second.report("t").unwrap();
+        assert_eq!(
+            got_report.breakdown.operating,
+            want_report.breakdown.operating
+        );
+        assert_eq!(
+            got_report.breakdown.switching,
+            want_report.breakdown.switching
+        );
+        assert_eq!(got_report.stats, want_report.stats);
+    }
+}

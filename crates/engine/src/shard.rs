@@ -1,0 +1,259 @@
+//! Shard workers: each shard is one OS thread owning a disjoint set of
+//! tenants, driven by batched requests over an MPSC channel.
+
+use crate::tenant::{Tenant, TenantConfig, TenantReport, TenantSnapshot};
+use crate::EngineError;
+use rsdc_sim::metrics::{Metrics, SlotRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// One streamed event: a tenant id, its next cost function, and (when the
+/// event was derived from a load) the offered load — which feeds the
+/// shard-level [`Metrics`].
+pub struct Event {
+    /// Original position in the caller's batch (used to reassemble replies
+    /// in submission order).
+    pub index: usize,
+    /// Tenant id.
+    pub id: String,
+    /// Cost function for this slot.
+    pub cost: rsdc_core::Cost,
+    /// Offered load, when known.
+    pub load: Option<f64>,
+}
+
+/// States committed in response to one [`Event`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// Tenant id.
+    pub id: String,
+    /// Newly committed states in slot order (empty while a lookahead
+    /// window fills).
+    pub states: Vec<u32>,
+    /// Per-event failure (e.g. unknown tenant). A failed event never
+    /// poisons the other events of its batch.
+    pub error: Option<String>,
+}
+
+/// Aggregate statistics for one shard.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Live tenants.
+    pub tenants: usize,
+    /// Events processed.
+    pub events: u64,
+    /// States committed.
+    pub states: u64,
+    /// Slots recorded in the load-aware metrics.
+    pub metric_slots: usize,
+    /// Total energy proxy (1 unit per committed server per slot).
+    pub total_energy: f64,
+    /// Fraction of offered load dropped (capacity shortfall).
+    pub drop_rate: f64,
+    /// Mean committed servers per load-aware slot.
+    pub mean_committed: f64,
+    /// Total power-up events.
+    pub total_wakes: u32,
+}
+
+/// Requests a shard worker serves.
+pub enum Request {
+    /// Admit a new tenant.
+    Admit(TenantConfig, Sender<Result<(), EngineError>>),
+    /// Process a batch of events (already routed to this shard).
+    Batch(
+        Vec<Event>,
+        Sender<Result<Vec<(usize, StepOutcome)>, EngineError>>,
+    ),
+    /// End-of-stream for one tenant: flush lookahead states.
+    Finish(String, Sender<Result<StepOutcome, EngineError>>),
+    /// Capture one tenant's full state.
+    Snapshot(String, Sender<Result<TenantSnapshot, EngineError>>),
+    /// Re-install a tenant from a snapshot (admits it if absent).
+    Restore(Box<TenantSnapshot>, Sender<Result<(), EngineError>>),
+    /// Remove a tenant, returning its final report.
+    Evict(String, Sender<Result<TenantReport, EngineError>>),
+    /// Report one tenant (`Some(id)`) or all tenants on this shard.
+    Report(
+        Option<String>,
+        Sender<Result<Vec<TenantReport>, EngineError>>,
+    ),
+    /// Shard-level aggregate statistics.
+    Stats(Sender<ShardStats>),
+    /// Stop the worker.
+    Shutdown,
+}
+
+/// State owned by one shard thread.
+pub struct Shard {
+    index: usize,
+    tenants: HashMap<String, Tenant>,
+    metrics: Metrics,
+    events: u64,
+    states: u64,
+}
+
+impl Shard {
+    /// Worker entry point: serve requests until `Shutdown` or hangup.
+    pub fn run(index: usize, rx: Receiver<Request>) {
+        let mut shard = Shard {
+            index,
+            tenants: HashMap::new(),
+            metrics: Metrics::default(),
+            events: 0,
+            states: 0,
+        };
+        while let Ok(req) = rx.recv() {
+            match req {
+                Request::Admit(cfg, reply) => {
+                    let _ = reply.send(shard.admit(cfg));
+                }
+                Request::Batch(events, reply) => {
+                    let _ = reply.send(shard.batch(events));
+                }
+                Request::Finish(id, reply) => {
+                    let _ = reply.send(shard.finish(&id));
+                }
+                Request::Snapshot(id, reply) => {
+                    let _ = reply.send(shard.tenant(&id).map(|t| t.snapshot()));
+                }
+                Request::Restore(snapshot, reply) => {
+                    let _ = reply.send(shard.restore(*snapshot));
+                }
+                Request::Evict(id, reply) => {
+                    let _ = reply.send(
+                        shard
+                            .tenants
+                            .remove(&id)
+                            .map(|t| t.report())
+                            .ok_or(EngineError::UnknownTenant(id)),
+                    );
+                }
+                Request::Report(Some(id), reply) => {
+                    let _ = reply.send(shard.tenant(&id).map(|t| vec![t.report()]));
+                }
+                Request::Report(None, reply) => {
+                    let mut reports: Vec<TenantReport> =
+                        shard.tenants.values().map(|t| t.report()).collect();
+                    reports.sort_by(|a, b| a.id.cmp(&b.id));
+                    let _ = reply.send(Ok(reports));
+                }
+                Request::Stats(reply) => {
+                    let _ = reply.send(shard.stats());
+                }
+                Request::Shutdown => break,
+            }
+        }
+    }
+
+    fn tenant(&self, id: &str) -> Result<&Tenant, EngineError> {
+        self.tenants
+            .get(id)
+            .ok_or_else(|| EngineError::UnknownTenant(id.to_string()))
+    }
+
+    fn admit(&mut self, cfg: TenantConfig) -> Result<(), EngineError> {
+        if self.tenants.contains_key(&cfg.id) {
+            return Err(EngineError::DuplicateTenant(cfg.id));
+        }
+        self.tenants.insert(cfg.id.clone(), Tenant::new(cfg));
+        Ok(())
+    }
+
+    fn batch(&mut self, events: Vec<Event>) -> Result<Vec<(usize, StepOutcome)>, EngineError> {
+        let mut out = Vec::with_capacity(events.len());
+        for ev in events {
+            let Some(tenant) = self.tenants.get_mut(&ev.id) else {
+                out.push((
+                    ev.index,
+                    StepOutcome {
+                        error: Some(EngineError::UnknownTenant(ev.id.clone()).to_string()),
+                        id: ev.id,
+                        states: Vec::new(),
+                    },
+                ));
+                continue;
+            };
+            let effect = tenant.step(&ev.cost, ev.load);
+            self.events += 1;
+            self.states += effect.commits.len() as u64;
+            self.meter(&effect);
+            out.push((
+                ev.index,
+                StepOutcome {
+                    id: ev.id,
+                    states: effect.states(),
+                    error: None,
+                },
+            ));
+        }
+        Ok(out)
+    }
+
+    fn finish(&mut self, id: &str) -> Result<StepOutcome, EngineError> {
+        let tenant = self
+            .tenants
+            .get_mut(id)
+            .ok_or_else(|| EngineError::UnknownTenant(id.to_string()))?;
+        let effect = tenant.finish();
+        self.states += effect.commits.len() as u64;
+        self.meter(&effect);
+        Ok(StepOutcome {
+            id: id.to_string(),
+            states: effect.states(),
+            error: None,
+        })
+    }
+
+    /// Feed committed slots into the load-aware metrics. Each commit pairs
+    /// a state with *its own* slot's load (they differ under lookahead
+    /// lag), using a logical-fleet model: 1 power unit per committed server
+    /// per slot, "serving" equal to the committed state.
+    fn meter(&mut self, effect: &crate::tenant::StepEffect) {
+        for c in &effect.commits {
+            let Some(load) = c.load else { continue };
+            let x = c.state;
+            self.metrics.push(SlotRecord {
+                target: x,
+                committed: x,
+                serving: x,
+                load,
+                served: load.min(x as f64),
+                dropped: (load - x as f64).max(0.0),
+                utilisation: if x > 0 {
+                    (load / x as f64).min(1.0)
+                } else {
+                    0.0
+                },
+                power: x as f64,
+                wake_energy: 0.0,
+                woken: c.ups as u32,
+                slept: c.downs as u32,
+            });
+        }
+    }
+
+    fn restore(&mut self, snapshot: TenantSnapshot) -> Result<(), EngineError> {
+        let id = snapshot.config.id.clone();
+        let tenant = Tenant::from_snapshot(snapshot).map_err(EngineError::Policy)?;
+        self.tenants.insert(id, tenant);
+        Ok(())
+    }
+
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            shard: self.index,
+            tenants: self.tenants.len(),
+            events: self.events,
+            states: self.states,
+            metric_slots: self.metrics.slots(),
+            total_energy: self.metrics.total_energy(),
+            drop_rate: self.metrics.drop_rate(),
+            mean_committed: self.metrics.mean_committed(),
+            total_wakes: self.metrics.total_wakes(),
+        }
+    }
+}

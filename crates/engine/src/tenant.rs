@@ -1,0 +1,599 @@
+//! Tenants: one streaming policy instance plus its running accounting.
+
+use rsdc_core::analysis::{CostBreakdown, Direction, ScheduleStats};
+use rsdc_core::prelude::*;
+use rsdc_online::bounds::{BoundTracker, TrackerSnapshot};
+use rsdc_online::streaming::{
+    StreamFollowMin, StreamHysteresis, StreamLcp, StreamLookahead, StreamRounded, StreamingPolicy,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which online policy a tenant runs. Serializable so admit records and
+/// snapshots can carry it over the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// Discrete Lazy Capacity Provisioning (3-competitive, Theorem 2).
+    Lcp,
+    /// Half-subgradient fractional algorithm + Section 4 rounding
+    /// (the CLI's `randomized` policy).
+    HalfStepRounded {
+        /// Rounder RNG seed.
+        seed: u64,
+    },
+    /// Fractional LCP on a `1/k` grid + Section 4 rounding.
+    FlcpRounded {
+        /// Grid resolution (`k >= 1`).
+        k: u32,
+        /// Rounder RNG seed.
+        seed: u64,
+    },
+    /// Memoryless balance + Section 4 rounding.
+    MemorylessRounded {
+        /// Rounder RNG seed.
+        seed: u64,
+    },
+    /// LCP with a prediction window (states lag the stream by `window`).
+    Lookahead {
+        /// Window length `w`.
+        window: usize,
+    },
+    /// Follow-the-minimizer baseline.
+    FollowTheMinimizer,
+    /// Hysteresis baseline with a dead-band.
+    Hysteresis {
+        /// Dead-band width.
+        band: u32,
+    },
+}
+
+impl PolicySpec {
+    /// Instantiate the policy for a tenant with `m` servers and power-up
+    /// cost `beta`.
+    pub fn build(&self, m: u32, beta: f64) -> Box<dyn StreamingPolicy> {
+        match *self {
+            PolicySpec::Lcp => Box::new(StreamLcp::new(m, beta)),
+            PolicySpec::HalfStepRounded { seed } => {
+                Box::new(StreamRounded::halfstep(m, beta, seed))
+            }
+            PolicySpec::FlcpRounded { k, seed } => Box::new(StreamRounded::flcp(m, beta, k, seed)),
+            PolicySpec::MemorylessRounded { seed } => {
+                Box::new(StreamRounded::memoryless(m, beta, seed))
+            }
+            PolicySpec::Lookahead { window } => Box::new(StreamLookahead::new(m, beta, window)),
+            PolicySpec::FollowTheMinimizer => Box::new(StreamFollowMin::new(m)),
+            PolicySpec::Hysteresis { band } => Box::new(StreamHysteresis::new(m, band)),
+        }
+    }
+
+    /// Parse the CLI short syntax: `lcp`, `halfstep[:seed]`,
+    /// `flcp[:k[,seed]]`, `memoryless[:seed]`, `lookahead[:w]`, `followmin`,
+    /// `hysteresis[:band]`.
+    pub fn parse_short(s: &str) -> Result<PolicySpec, String> {
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        let num = |a: Option<&str>, default: u64| -> Result<u64, String> {
+            match a {
+                None => Ok(default),
+                Some(x) => x.parse().map_err(|e| format!("bad number {x:?}: {e}")),
+            }
+        };
+        match name {
+            "lcp" => Ok(PolicySpec::Lcp),
+            "halfstep" | "randomized" => Ok(PolicySpec::HalfStepRounded {
+                seed: num(arg, 0)?,
+            }),
+            "flcp" => {
+                let (k, seed) = match arg {
+                    None => (4, 0),
+                    Some(a) => match a.split_once(',') {
+                        None => (num(Some(a), 4)?, 0),
+                        Some((k, s)) => (num(Some(k), 4)?, num(Some(s), 0)?),
+                    },
+                };
+                Ok(PolicySpec::FlcpRounded { k: k as u32, seed })
+            }
+            "memoryless" => Ok(PolicySpec::MemorylessRounded {
+                seed: num(arg, 0)?,
+            }),
+            "lookahead" => Ok(PolicySpec::Lookahead {
+                window: num(arg, 1)? as usize,
+            }),
+            "followmin" => Ok(PolicySpec::FollowTheMinimizer),
+            "hysteresis" => Ok(PolicySpec::Hysteresis {
+                band: num(arg, 1)? as u32,
+            }),
+            other => Err(format!(
+                "unknown policy {other:?} (lcp|halfstep|flcp|memoryless|lookahead|followmin|hysteresis)"
+            )),
+        }
+    }
+}
+
+/// Static configuration of one tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantConfig {
+    /// Unique tenant id (the sharding key).
+    pub id: String,
+    /// Fleet size `m`.
+    pub m: u32,
+    /// Power-up cost `beta`.
+    pub beta: f64,
+    /// The online policy to run.
+    pub policy: PolicySpec,
+    /// Maintain a prefix-optimum tracker (one extra `O(m)` pass per event)
+    /// so reports include the competitive ratio.
+    pub track_opt: bool,
+}
+
+impl TenantConfig {
+    /// Tenant with the given id/model and policy; `track_opt` off.
+    pub fn new(id: impl Into<String>, m: u32, beta: f64, policy: PolicySpec) -> Self {
+        Self {
+            id: id.into(),
+            m,
+            beta,
+            policy,
+            track_opt: false,
+        }
+    }
+
+    /// Enable competitive-ratio tracking.
+    pub fn with_opt_tracking(mut self) -> Self {
+        self.track_opt = true;
+        self
+    }
+}
+
+/// Point-in-time report for one tenant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant id.
+    pub id: String,
+    /// Policy display name.
+    pub policy: String,
+    /// Cost functions ingested.
+    pub events: u64,
+    /// States committed (lags `events` for lookahead tenants).
+    pub committed: u64,
+    /// Most recently committed state.
+    pub last_state: u32,
+    /// Running cost decomposition (operating + power-up switching), the
+    /// eq. 1 objective over the committed prefix.
+    pub breakdown: CostBreakdown,
+    /// Structural statistics of the committed schedule, maintained
+    /// incrementally with the same phase semantics as
+    /// [`rsdc_core::analysis::stats`].
+    pub stats: ScheduleStats,
+    /// Prefix offline optimum (min over `x` of `\hat C^L`), when tracked.
+    pub opt_cost: Option<f64>,
+    /// `breakdown.total() / opt_cost`, when tracked and meaningful.
+    pub ratio: Option<f64>,
+}
+
+/// Serializable full state of a tenant (policy + accounting).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// Tenant configuration (used to rebuild the policy before restore).
+    pub config: TenantConfig,
+    /// Events ingested.
+    pub events: u64,
+    /// States committed.
+    pub committed: u64,
+    /// Previous committed state.
+    pub prev_state: u32,
+    /// Running operating cost.
+    pub operating: f64,
+    /// Running switching cost.
+    pub switching: f64,
+    /// Total power-ups.
+    pub ups: u64,
+    /// Total power-downs.
+    pub downs: u64,
+    /// Slots where the state changed.
+    pub change_slots: u64,
+    /// Peak state.
+    pub peak: u32,
+    /// Sum of committed states (for the mean).
+    pub sum_states: f64,
+    /// Phases closed so far (monotone-run decomposition).
+    pub phases_closed: u64,
+    /// Direction of the open phase.
+    pub dir: Direction,
+    /// Policy-specific snapshot payload.
+    pub policy: serde::Value,
+    /// Slots ingested but not yet matched to a committed state
+    /// (lookahead lag).
+    pub pending: Vec<PendingSlot>,
+    /// Prefix-optimum tracker state, when tracked.
+    pub opt: Option<TrackerSnapshot>,
+}
+
+/// A slot that has been ingested but whose state is not yet committed
+/// (lookahead lag): the cost function plus the offered load, when known.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PendingSlot {
+    /// The slot's cost function.
+    pub cost: Cost,
+    /// The slot's offered load, when the event carried one.
+    pub load: Option<f64>,
+}
+
+/// A live tenant: policy instance plus incrementally maintained accounting.
+pub struct Tenant {
+    cfg: TenantConfig,
+    policy: Box<dyn StreamingPolicy>,
+    events: u64,
+    committed: u64,
+    prev_state: u32,
+    operating: f64,
+    switching: f64,
+    ups: u64,
+    downs: u64,
+    change_slots: u64,
+    peak: u32,
+    sum_states: f64,
+    phases_closed: u64,
+    dir: Direction,
+    pending: VecDeque<PendingSlot>,
+    opt: Option<BoundTracker>,
+}
+
+/// One committed slot, paired with its own slot's load and movement (for
+/// shard-level metrics).
+#[derive(Debug, Clone)]
+pub struct Commit {
+    /// The committed state.
+    pub state: u32,
+    /// The offered load of the slot this state serves (not the load of the
+    /// event that triggered the commit — they differ under lookahead lag).
+    pub load: Option<f64>,
+    /// Servers powered up entering this slot.
+    pub ups: u64,
+    /// Servers powered down entering this slot.
+    pub downs: u64,
+}
+
+/// What one ingest produced.
+#[derive(Debug, Clone, Default)]
+pub struct StepEffect {
+    /// Slots committed by this event, in slot order.
+    pub commits: Vec<Commit>,
+}
+
+impl StepEffect {
+    /// The committed states in slot order.
+    pub fn states(&self) -> Vec<u32> {
+        self.commits.iter().map(|c| c.state).collect()
+    }
+}
+
+impl Tenant {
+    /// Build a fresh tenant from its configuration.
+    pub fn new(cfg: TenantConfig) -> Self {
+        let policy = cfg.policy.build(cfg.m, cfg.beta);
+        let opt = cfg.track_opt.then(|| BoundTracker::new(cfg.m, cfg.beta));
+        Self {
+            policy,
+            opt,
+            cfg,
+            events: 0,
+            committed: 0,
+            prev_state: 0,
+            operating: 0.0,
+            switching: 0.0,
+            ups: 0,
+            downs: 0,
+            change_slots: 0,
+            peak: 0,
+            sum_states: 0.0,
+            phases_closed: 0,
+            dir: Direction::Flat,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The tenant's configuration.
+    pub fn config(&self) -> &TenantConfig {
+        &self.cfg
+    }
+
+    fn account(&mut self, x: u32, effect: &mut StepEffect) {
+        let slot = self
+            .pending
+            .pop_front()
+            .expect("policy committed more states than costs ingested");
+        self.operating += slot.cost.eval(x);
+        // The prefix optimum advances per *committed* slot, so mid-stream
+        // ratios always compare cost and optimum over the same prefix even
+        // under lookahead lag.
+        if let Some(opt) = &mut self.opt {
+            opt.step(&slot.cost);
+        }
+        let up = x.saturating_sub(self.prev_state) as u64;
+        let down = self.prev_state.saturating_sub(x) as u64;
+        self.switching += self.cfg.beta * up as f64;
+        self.ups += up;
+        self.downs += down;
+        if x != self.prev_state {
+            self.change_slots += 1;
+        }
+        // Monotone-phase state machine, mirroring rsdc_core::analysis::phases.
+        if self.committed > 0 {
+            let step_dir = match x.cmp(&self.prev_state) {
+                std::cmp::Ordering::Greater => Direction::Up,
+                std::cmp::Ordering::Less => Direction::Down,
+                std::cmp::Ordering::Equal => Direction::Flat,
+            };
+            match (self.dir, step_dir) {
+                (_, Direction::Flat) => {}
+                (Direction::Flat, d) => self.dir = d,
+                (d, e) if d == e => {}
+                (_, e) => {
+                    self.phases_closed += 1;
+                    self.dir = e;
+                }
+            }
+        }
+        self.peak = self.peak.max(x);
+        self.sum_states += x as f64;
+        self.committed += 1;
+        self.prev_state = x;
+        effect.commits.push(Commit {
+            state: x,
+            load: slot.load,
+            ups: up,
+            downs: down,
+        });
+    }
+
+    /// Ingest one cost function (with the slot's offered load, when known).
+    pub fn step(&mut self, f: &Cost, load: Option<f64>) -> StepEffect {
+        self.events += 1;
+        self.pending.push_back(PendingSlot {
+            cost: f.clone(),
+            load,
+        });
+        let mut out = Vec::new();
+        self.policy.ingest(f, &mut out);
+        let mut effect = StepEffect::default();
+        for x in out {
+            self.account(x, &mut effect);
+        }
+        effect
+    }
+
+    /// End-of-stream: flush lookahead states.
+    pub fn finish(&mut self) -> StepEffect {
+        let mut out = Vec::new();
+        self.policy.finish(&mut out);
+        let mut effect = StepEffect::default();
+        for x in out {
+            self.account(x, &mut effect);
+        }
+        effect
+    }
+
+    /// Current report.
+    pub fn report(&self) -> TenantReport {
+        let opt_cost = self.opt.as_ref().and_then(|t| {
+            (t.tau() > 0).then(|| {
+                (0..=self.cfg.m)
+                    .map(|x| t.c_low(x))
+                    .fold(f64::INFINITY, f64::min)
+            })
+        });
+        let total = self.operating + self.switching;
+        let ratio = opt_cost.map(|opt| {
+            if opt.abs() < 1e-300 {
+                if total.abs() < 1e-300 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                total / opt
+            }
+        });
+        let phase_count = if self.committed == 0 {
+            0
+        } else {
+            (self.phases_closed + 1) as usize
+        };
+        TenantReport {
+            id: self.cfg.id.clone(),
+            policy: self.policy.name(),
+            events: self.events,
+            committed: self.committed,
+            last_state: self.prev_state,
+            breakdown: CostBreakdown {
+                operating: self.operating,
+                switching: self.switching,
+            },
+            stats: ScheduleStats {
+                total_power_ups: self.ups,
+                total_power_downs: self.downs,
+                change_slots: self.change_slots as usize,
+                peak: self.peak,
+                mean: if self.committed == 0 {
+                    0.0
+                } else {
+                    self.sum_states / self.committed as f64
+                },
+                phase_count,
+            },
+            opt_cost,
+            ratio,
+        }
+    }
+
+    /// Capture the full tenant state.
+    pub fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            config: self.cfg.clone(),
+            events: self.events,
+            committed: self.committed,
+            prev_state: self.prev_state,
+            operating: self.operating,
+            switching: self.switching,
+            ups: self.ups,
+            downs: self.downs,
+            change_slots: self.change_slots,
+            peak: self.peak,
+            sum_states: self.sum_states,
+            phases_closed: self.phases_closed,
+            dir: self.dir,
+            policy: self.policy.snapshot(),
+            pending: self.pending.iter().cloned().collect(),
+            opt: self.opt.as_ref().map(|t| t.snapshot()),
+        }
+    }
+
+    /// Rebuild a tenant from a snapshot.
+    pub fn from_snapshot(s: TenantSnapshot) -> Result<Self, rsdc_core::Error> {
+        let mut tenant = Tenant::new(s.config);
+        tenant.policy.restore(&s.policy)?;
+        tenant.events = s.events;
+        tenant.committed = s.committed;
+        tenant.prev_state = s.prev_state;
+        tenant.operating = s.operating;
+        tenant.switching = s.switching;
+        tenant.ups = s.ups;
+        tenant.downs = s.downs;
+        tenant.change_slots = s.change_slots;
+        tenant.peak = s.peak;
+        tenant.sum_states = s.sum_states;
+        tenant.phases_closed = s.phases_closed;
+        tenant.dir = s.dir;
+        tenant.pending = s.pending.into_iter().collect();
+        tenant.opt = match s.opt {
+            Some(t) => Some(BoundTracker::from_snapshot(&t)?),
+            None => {
+                if tenant.cfg.track_opt {
+                    return Err(rsdc_core::Error::InvalidParameter(
+                        "snapshot lacks the opt tracker its config requires".into(),
+                    ));
+                }
+                None
+            }
+        };
+        Ok(tenant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsdc_core::analysis;
+    use rsdc_online::traits::run;
+
+    fn costs(n: usize) -> Vec<Cost> {
+        (0..n)
+            .map(|t| Cost::abs(1.0 + (t % 2) as f64, ((t * 3 + 1) % 7) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn accounting_matches_batch_analysis() {
+        let fs = costs(48);
+        let inst = Instance::new(6, 2.0, fs.clone()).unwrap();
+        let mut tenant =
+            Tenant::new(TenantConfig::new("t", 6, 2.0, PolicySpec::Lcp).with_opt_tracking());
+        let mut xs = Vec::new();
+        for f in &fs {
+            xs.extend(tenant.step(f, None).states());
+        }
+        xs.extend(tenant.finish().states());
+        let schedule = Schedule(xs);
+        // Same schedule as batch LCP.
+        let batch = run(&mut rsdc_online::Lcp::new(6, 2.0), &inst);
+        assert_eq!(schedule, batch);
+        // Incremental accounting equals the batch analysis exactly.
+        let report = tenant.report();
+        let breakdown = analysis::breakdown(&inst, &schedule);
+        assert_eq!(report.breakdown.operating, breakdown.operating);
+        assert_eq!(report.breakdown.switching, breakdown.switching);
+        let stats = analysis::stats(&schedule);
+        assert_eq!(report.stats, stats);
+        // Ratio against the true prefix optimum.
+        let opt = rsdc_offline::dp::solve_cost_only(&inst);
+        let got = report.opt_cost.unwrap();
+        assert!((got - opt).abs() < 1e-9 * (1.0 + opt), "{got} vs {opt}");
+        assert!(report.ratio.unwrap() <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn lookahead_accounting_pairs_lagged_states_with_their_costs() {
+        let fs = costs(20);
+        let inst = Instance::new(6, 2.0, fs.clone()).unwrap();
+        let mut tenant = Tenant::new(TenantConfig::new(
+            "t",
+            6,
+            2.0,
+            PolicySpec::Lookahead { window: 3 },
+        ));
+        let mut xs = Vec::new();
+        for f in &fs {
+            xs.extend(tenant.step(f, None).states());
+        }
+        assert_eq!(tenant.report().committed, 17);
+        xs.extend(tenant.finish().states());
+        let schedule = Schedule(xs);
+        let report = tenant.report();
+        assert_eq!(report.committed, 20);
+        let breakdown = analysis::breakdown(&inst, &schedule);
+        assert_eq!(report.breakdown.operating, breakdown.operating);
+        assert_eq!(report.breakdown.switching, breakdown.switching);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_everything() {
+        let fs = costs(30);
+        let mut a = Tenant::new(
+            TenantConfig::new("t", 5, 1.5, PolicySpec::FlcpRounded { k: 2, seed: 3 })
+                .with_opt_tracking(),
+        );
+        let mut xs_a = Vec::new();
+        for f in &fs[..13] {
+            xs_a.extend(a.step(f, None).states());
+        }
+        let snap = a.snapshot();
+        // Round-trip the snapshot through JSON text.
+        let text = serde_json::to_string_pretty(&snap.to_value()).unwrap();
+        let value: serde::Value = serde_json::from_str(&text).unwrap();
+        let snap2 = TenantSnapshot::from_value(&value).unwrap();
+        let mut b = Tenant::from_snapshot(snap2).unwrap();
+        let mut xs_b = Vec::new();
+        for f in &fs[13..] {
+            xs_a.extend(a.step(f, None).states());
+            xs_b.extend(b.step(f, None).states());
+        }
+        assert_eq!(
+            &xs_a[13..],
+            &xs_b[..],
+            "restored tenant must continue the identical stream"
+        );
+        let ra = a.report();
+        let rb = b.report();
+        assert_eq!(ra.breakdown.operating, rb.breakdown.operating);
+        assert_eq!(ra.breakdown.switching, rb.breakdown.switching);
+        assert_eq!(ra.stats, rb.stats);
+        assert_eq!(ra.opt_cost, rb.opt_cost);
+    }
+
+    #[test]
+    fn policy_short_syntax() {
+        assert_eq!(PolicySpec::parse_short("lcp").unwrap(), PolicySpec::Lcp);
+        assert_eq!(
+            PolicySpec::parse_short("flcp:8,42").unwrap(),
+            PolicySpec::FlcpRounded { k: 8, seed: 42 }
+        );
+        assert_eq!(
+            PolicySpec::parse_short("lookahead:5").unwrap(),
+            PolicySpec::Lookahead { window: 5 }
+        );
+        assert!(PolicySpec::parse_short("nope").is_err());
+    }
+}

@@ -1,0 +1,603 @@
+//! JSON-lines wire format: the engine's ingestion/response protocol.
+//!
+//! One JSON object per line. Request records (`op` field selects):
+//!
+//! ```text
+//! {"op":"admit","id":"t1","m":8,"beta":6.0,"policy":"Lcp","track_opt":true}
+//! {"op":"admit","id":"t2","m":8,"beta":6.0,"policy":{"FlcpRounded":{"k":4,"seed":7}}}
+//! {"op":"step","id":"t1","load":3.2}
+//! {"op":"step","id":"t1","cost":{"Abs":{"slope":1.0,"center":3.0}}}
+//! {"op":"finish","id":"t1"}
+//! {"op":"snapshot","id":"t1"}
+//! {"op":"restore","snapshot":{...}}
+//! {"op":"report"}            // all tenants
+//! {"op":"report","id":"t1"}
+//! {"op":"stats"}
+//! ```
+//!
+//! `step` events carry either an explicit serialized [`Cost`] or a raw
+//! `load`, which the engine prices through the tenant's
+//! [`rsdc_workloads::builder::CostModel`] (the admit record may override
+//! the default model with a `"cost_model"` object). Response records mirror
+//! the request: `admitted`, `stepped` (with committed `states`),
+//! `finished`, `snapshot`, `restored`, `report`, `stats`, or
+//! `{"op":"error","message":...}`.
+
+use crate::shard::StepOutcome;
+use crate::tenant::{PolicySpec, TenantConfig, TenantSnapshot};
+use rsdc_core::Cost;
+use rsdc_workloads::builder::CostModel;
+use rsdc_workloads::traces::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A parsed request record.
+#[derive(Debug, Clone)]
+pub enum Record {
+    /// Admit a tenant; optional cost model for pricing `load` events.
+    Admit {
+        /// Tenant configuration.
+        config: TenantConfig,
+        /// Cost model for `load`-carrying step events.
+        cost_model: CostModel,
+    },
+    /// One streamed slot for one tenant.
+    Step {
+        /// Tenant id.
+        id: String,
+        /// Explicit cost function, if given.
+        cost: Option<Cost>,
+        /// Raw offered load, if given (priced via the admit cost model).
+        load: Option<f64>,
+    },
+    /// Flush lookahead states for a tenant.
+    Finish {
+        /// Tenant id.
+        id: String,
+    },
+    /// Capture a tenant snapshot.
+    Snapshot {
+        /// Tenant id.
+        id: String,
+    },
+    /// Re-install a tenant from a snapshot, with the cost model used to
+    /// price its `load` events (defaults to the admit-time default).
+    Restore {
+        /// The tenant snapshot.
+        snapshot: Box<TenantSnapshot>,
+        /// Cost model for `load`-carrying step events, if carried.
+        cost_model: Option<CostModel>,
+    },
+    /// Report one tenant (`Some`) or all (`None`).
+    Report(Option<String>),
+    /// Per-shard statistics.
+    Stats,
+}
+
+/// A wire-format error with the offending context.
+#[derive(Debug, Clone)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn field<'v>(v: &'v serde::Value, key: &str) -> Result<&'v serde::Value, WireError> {
+    v.get(key)
+        .filter(|x| !x.is_null())
+        .ok_or_else(|| WireError(format!("missing field {key:?}")))
+}
+
+fn string_field(v: &serde::Value, key: &str) -> Result<String, WireError> {
+    field(v, key)?
+        .as_str()
+        .map(|s| s.to_string())
+        .ok_or_else(|| WireError(format!("field {key:?} must be a string")))
+}
+
+/// Parse one JSONL request line.
+pub fn parse_record(line: &str) -> Result<Record, WireError> {
+    let v: serde::Value =
+        serde_json::from_str(line).map_err(|e| WireError(format!("bad JSON: {e}")))?;
+    let op = string_field(&v, "op")?;
+    match op.as_str() {
+        "admit" => {
+            let id = string_field(&v, "id")?;
+            let m = field(&v, "m")?
+                .as_u64()
+                .and_then(|m| u32::try_from(m).ok())
+                .ok_or_else(|| WireError("field \"m\" must be a u32".into()))?;
+            let beta = field(&v, "beta")?
+                .as_f64()
+                .ok_or_else(|| WireError("field \"beta\" must be a number".into()))?;
+            let policy_value = field(&v, "policy")?;
+            let policy = match policy_value.as_str() {
+                // Accept both the CLI short syntax ("lcp", "flcp:4,7") and
+                // the canonical serde encoding ("Lcp", {"FlcpRounded":...}).
+                Some(s) => PolicySpec::parse_short(&s.to_lowercase())
+                    .or_else(|short_err| {
+                        // Fall back to the canonical serde encoding, but
+                        // keep the short-syntax message (it lists the
+                        // valid policies) when both fail.
+                        PolicySpec::from_value(policy_value).map_err(|_| short_err)
+                    })
+                    .map_err(|e| WireError(format!("bad policy: {e}")))?,
+                None => PolicySpec::from_value(policy_value)
+                    .map_err(|e| WireError(format!("bad policy: {e}")))?,
+            };
+            let track_opt = v
+                .get("track_opt")
+                .and_then(|x| x.as_bool())
+                .unwrap_or(false);
+            let cost_model = match v.get("cost_model") {
+                Some(cm) if !cm.is_null() => CostModel::from_value(cm)
+                    .map_err(|e| WireError(format!("bad cost_model: {e}")))?,
+                _ => CostModel {
+                    beta,
+                    ..CostModel::default()
+                },
+            };
+            let mut config = TenantConfig::new(id, m, beta, policy);
+            config.track_opt = track_opt;
+            Ok(Record::Admit { config, cost_model })
+        }
+        "step" => {
+            let id = string_field(&v, "id")?;
+            let cost = match v.get("cost") {
+                Some(c) if !c.is_null() => {
+                    Some(Cost::from_value(c).map_err(|e| WireError(format!("bad cost: {e}")))?)
+                }
+                _ => None,
+            };
+            let load = v.get("load").and_then(|x| x.as_f64());
+            if let Some(l) = load {
+                if !(l.is_finite() && l >= 0.0) {
+                    return Err(WireError(format!(
+                        "field \"load\" must be finite and >= 0, got {l}"
+                    )));
+                }
+            }
+            if cost.is_none() && load.is_none() {
+                return Err(WireError("step needs \"cost\" or \"load\"".into()));
+            }
+            Ok(Record::Step { id, cost, load })
+        }
+        "finish" => Ok(Record::Finish {
+            id: string_field(&v, "id")?,
+        }),
+        "snapshot" => Ok(Record::Snapshot {
+            id: string_field(&v, "id")?,
+        }),
+        "restore" => {
+            let snapshot = TenantSnapshot::from_value(field(&v, "snapshot")?)
+                .map_err(|e| WireError(format!("bad snapshot: {e}")))?;
+            let cost_model = match v.get("cost_model") {
+                Some(cm) if !cm.is_null() => Some(
+                    CostModel::from_value(cm)
+                        .map_err(|e| WireError(format!("bad cost_model: {e}")))?,
+                ),
+                _ => None,
+            };
+            Ok(Record::Restore {
+                snapshot: Box::new(snapshot),
+                cost_model,
+            })
+        }
+        "report" => Ok(Record::Report(
+            v.get("id").and_then(|x| x.as_str()).map(|s| s.to_string()),
+        )),
+        "stats" => Ok(Record::Stats),
+        other => Err(WireError(format!("unknown op {other:?}"))),
+    }
+}
+
+/// Render an admit record for a tenant.
+pub fn admit_line(config: &TenantConfig) -> String {
+    let v = serde_json::json!({
+        "op": "admit",
+        "id": config.id,
+        "m": config.m,
+        "beta": config.beta,
+        "policy": config.policy.to_value(),
+        "track_opt": config.track_opt,
+    });
+    serde_json::to_string(&v).expect("serializable")
+}
+
+/// Render a load-carrying step record.
+pub fn step_load_line(id: &str, load: f64) -> String {
+    let v = serde_json::json!({"op": "step", "id": id, "load": load});
+    serde_json::to_string(&v).expect("serializable")
+}
+
+/// Render an explicit-cost step record.
+pub fn step_cost_line(id: &str, cost: &Cost) -> String {
+    let v = serde_json::json!({"op": "step", "id": id, "cost": cost.to_value()});
+    serde_json::to_string(&v).expect("serializable")
+}
+
+/// Render the `stepped` response for a batch of outcomes.
+pub fn stepped_line(outcome: &StepOutcome) -> String {
+    let v = match &outcome.error {
+        None => serde_json::json!({
+            "op": "stepped",
+            "id": outcome.id,
+            "states": outcome.states,
+        }),
+        Some(message) => serde_json::json!({
+            "op": "error",
+            "id": outcome.id,
+            "message": message,
+        }),
+    };
+    serde_json::to_string(&v).expect("serializable")
+}
+
+/// Convert a workload trace into step records for one tenant — the bridge
+/// from `rsdc-workloads` traces to the streaming wire format.
+pub fn trace_records(id: &str, trace: &Trace) -> Vec<String> {
+    trace
+        .loads
+        .iter()
+        .map(|&load| step_load_line(id, load))
+        .collect()
+}
+
+/// A stateful JSONL server: an [`Engine`](crate::Engine) plus the per-tenant
+/// cost models used to price `load` events. Consecutive `step` records are
+/// ingested as one batched [`Engine::step_batch_loads`](crate::Engine) call.
+pub struct Session {
+    engine: crate::Engine,
+    models: std::collections::HashMap<String, CostModel>,
+}
+
+impl Session {
+    /// Serve over the given engine.
+    pub fn new(engine: crate::Engine) -> Self {
+        Session {
+            engine,
+            models: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &crate::Engine {
+        &self.engine
+    }
+
+    fn cost_of(&self, id: &str, cost: Option<Cost>, load: Option<f64>) -> (Cost, Option<f64>) {
+        match cost {
+            Some(c) => (c, load),
+            None => {
+                let load = load.expect("parse_record guarantees cost or load");
+                let model = self.models.get(id).cloned().unwrap_or_default();
+                (
+                    Cost::Server {
+                        lambda: load,
+                        params: model.server,
+                        overload: model.overload,
+                    },
+                    Some(load),
+                )
+            }
+        }
+    }
+
+    fn flush_steps(
+        &mut self,
+        pending: &mut Vec<(String, Cost, Option<f64>)>,
+        out: &mut Vec<String>,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        match self.engine.step_batch_loads(std::mem::take(pending)) {
+            Ok(outcomes) => out.extend(outcomes.iter().map(stepped_line)),
+            Err(e) => out.push(error_line(&e.to_string())),
+        }
+    }
+
+    fn handle_control(&mut self, record: Record, out: &mut Vec<String>) {
+        match record {
+            Record::Step { .. } => unreachable!("steps are batched by the caller"),
+            Record::Admit { config, cost_model } => {
+                let id = config.id.clone();
+                match self.engine.admit(config) {
+                    Ok(()) => {
+                        self.models.insert(id.clone(), cost_model);
+                        out.push(
+                            serde_json::to_string(&serde_json::json!({
+                                "op": "admitted", "id": id,
+                            }))
+                            .expect("serializable"),
+                        );
+                    }
+                    Err(e) => out.push(error_line(&e.to_string())),
+                }
+            }
+            Record::Finish { id } => match self.engine.finish(&id) {
+                Ok(states) => out.push(
+                    serde_json::to_string(&serde_json::json!({
+                        "op": "finished", "id": id, "states": states,
+                    }))
+                    .expect("serializable"),
+                ),
+                Err(e) => out.push(error_line(&e.to_string())),
+            },
+            Record::Snapshot { id } => match self.engine.snapshot(&id) {
+                // The response carries the tenant's cost model alongside the
+                // snapshot so a `restore` built from this line re-prices
+                // `load` events identically after a restart.
+                Ok(snapshot) => {
+                    let model = self.models.get(&id).cloned().unwrap_or_default();
+                    out.push(
+                        serde_json::to_string(&serde_json::json!({
+                            "op": "snapshot",
+                            "id": id,
+                            "snapshot": snapshot.to_value(),
+                            "cost_model": model.to_value(),
+                        }))
+                        .expect("serializable"),
+                    );
+                }
+                Err(e) => out.push(error_line(&e.to_string())),
+            },
+            Record::Restore {
+                snapshot,
+                cost_model,
+            } => {
+                let id = snapshot.config.id.clone();
+                let model = cost_model.unwrap_or(CostModel {
+                    beta: snapshot.config.beta,
+                    ..CostModel::default()
+                });
+                match self.engine.restore(*snapshot) {
+                    Ok(()) => {
+                        self.models.insert(id.clone(), model);
+                        out.push(
+                            serde_json::to_string(&serde_json::json!({
+                                "op": "restored", "id": id,
+                            }))
+                            .expect("serializable"),
+                        );
+                    }
+                    Err(e) => out.push(error_line(&e.to_string())),
+                }
+            }
+            Record::Report(id) => {
+                let reports = match id {
+                    Some(id) => self.engine.report(&id).map(|r| vec![r]),
+                    None => self.engine.report_all(),
+                };
+                match reports {
+                    Ok(reports) => {
+                        for r in reports {
+                            out.push(
+                                serde_json::to_string(&serde_json::json!({
+                                    "op": "report", "report": r.to_value(),
+                                }))
+                                .expect("serializable"),
+                            );
+                        }
+                    }
+                    Err(e) => out.push(error_line(&e.to_string())),
+                }
+            }
+            Record::Stats => match self.engine.shard_stats() {
+                Ok(stats) => out.push(
+                    serde_json::to_string(&serde_json::json!({
+                        "op": "stats", "shards": stats.to_value(),
+                    }))
+                    .expect("serializable"),
+                ),
+                Err(e) => out.push(error_line(&e.to_string())),
+            },
+        }
+    }
+
+    /// Process a block of JSONL request lines (blank lines and `#` comments
+    /// skipped), returning the response lines. Runs of consecutive `step`
+    /// records become single batched engine calls.
+    pub fn handle_lines<'a>(&mut self, lines: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut pending: Vec<(String, Cost, Option<f64>)> = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_record(line) {
+                Err(e) => {
+                    self.flush_steps(&mut pending, &mut out);
+                    out.push(error_line(&e.to_string()));
+                }
+                Ok(Record::Step { id, cost, load }) => {
+                    let (cost, load) = self.cost_of(&id, cost, load);
+                    pending.push((id, cost, load));
+                }
+                Ok(control) => {
+                    self.flush_steps(&mut pending, &mut out);
+                    self.handle_control(control, &mut out);
+                }
+            }
+        }
+        self.flush_steps(&mut pending, &mut out);
+        out
+    }
+}
+
+fn error_line(message: &str) -> String {
+    serde_json::to_string(&serde_json::json!({"op": "error", "message": message}))
+        .expect("serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_round_trip() {
+        let cfg = TenantConfig::new("a", 8, 2.5, PolicySpec::FlcpRounded { k: 4, seed: 9 })
+            .with_opt_tracking();
+        let line = admit_line(&cfg);
+        match parse_record(&line).unwrap() {
+            Record::Admit { config, cost_model } => {
+                assert_eq!(config, cfg);
+                assert_eq!(cost_model.beta, 2.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_policy_syntax_accepted() {
+        let r = parse_record(
+            "{\"op\":\"admit\",\"id\":\"x\",\"m\":4,\"beta\":1.0,\"policy\":\"flcp:2,7\"}",
+        )
+        .unwrap();
+        match r {
+            Record::Admit { config, .. } => {
+                assert_eq!(config.policy, PolicySpec::FlcpRounded { k: 2, seed: 7 });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_records() {
+        let line = step_load_line("t", 2.25);
+        match parse_record(&line).unwrap() {
+            Record::Step { id, cost, load } => {
+                assert_eq!(id, "t");
+                assert!(cost.is_none());
+                assert_eq!(load, Some(2.25));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let line = step_cost_line("t", &Cost::abs(1.5, 3.0));
+        match parse_record(&line).unwrap() {
+            Record::Step { cost, .. } => {
+                assert_eq!(cost.unwrap(), Cost::abs(1.5, 3.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_records_are_rejected() {
+        assert!(parse_record("not json").is_err());
+        assert!(parse_record("{\"op\":\"warp\"}").is_err());
+        assert!(parse_record("{\"op\":\"step\",\"id\":\"t\"}").is_err());
+        assert!(parse_record(
+            "{\"op\":\"admit\",\"id\":\"t\",\"m\":4,\"beta\":1.0,\"policy\":\"zzz\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trace_ingestion() {
+        let tr = Trace::new("t", vec![1.0, 2.5]);
+        let lines = trace_records("a", &tr);
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(matches!(parse_record(line).unwrap(), Record::Step { .. }));
+        }
+    }
+
+    #[test]
+    fn restore_preserves_custom_cost_model_for_load_events() {
+        // Admit with a non-default cost model, stream, snapshot; then build
+        // a restore record from the snapshot *response* and continue in a
+        // fresh session — load pricing must match the uninterrupted run.
+        let admit = "{\"op\":\"admit\",\"id\":\"a\",\"m\":8,\"beta\":2.0,\"policy\":\"lcp\",\
+                     \"cost_model\":{\"server\":{\"e_idle\":0.5,\"e_peak\":9.0,\
+                     \"delay_weight\":4.0,\"delay_eps\":0.01},\"overload\":99.0,\"beta\":2.0}}";
+        let loads = [2.0, 5.5, 3.0, 1.0];
+        let steps: Vec<String> = loads.iter().map(|&l| step_load_line("a", l)).collect();
+
+        // Uninterrupted reference.
+        let mut full = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(1)));
+        let mut lines = vec![admit.to_string()];
+        lines.extend(steps.iter().cloned());
+        lines.push("{\"op\":\"report\",\"id\":\"a\"}".to_string());
+        let full_out = full.handle_lines(lines.iter().map(|s| s.as_str()));
+        let want: serde::Value = serde_json::from_str(full_out.last().unwrap()).unwrap();
+
+        // Interrupted after two steps.
+        let mut first = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(1)));
+        let mut lines = vec![admit.to_string()];
+        lines.extend(steps[..2].iter().cloned());
+        lines.push("{\"op\":\"snapshot\",\"id\":\"a\"}".to_string());
+        let out = first.handle_lines(lines.iter().map(|s| s.as_str()));
+        let snap_line: serde::Value = serde_json::from_str(out.last().unwrap()).unwrap();
+        let restore = serde_json::to_string(&serde_json::json!({
+            "op": "restore",
+            "snapshot": snap_line["snapshot"].clone(),
+            "cost_model": snap_line["cost_model"].clone(),
+        }))
+        .unwrap();
+
+        let mut second = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(2)));
+        let mut lines = vec![restore];
+        lines.extend(steps[2..].iter().cloned());
+        lines.push("{\"op\":\"report\",\"id\":\"a\"}".to_string());
+        let out = second.handle_lines(lines.iter().map(|s| s.as_str()));
+        let got: serde::Value = serde_json::from_str(out.last().unwrap()).unwrap();
+
+        assert_eq!(
+            got["report"]["breakdown"], want["report"]["breakdown"],
+            "restored session must price load events with the admit-time cost model"
+        );
+    }
+
+    #[test]
+    fn session_serves_full_lifecycle() {
+        let engine = crate::Engine::new(crate::EngineConfig::with_shards(2));
+        let mut session = Session::new(engine);
+        let mut lines = vec![
+            "# demo".to_string(),
+            "{\"op\":\"admit\",\"id\":\"a\",\"m\":8,\"beta\":6.0,\"policy\":\"lcp\",\"track_opt\":true}"
+                .to_string(),
+        ];
+        lines.extend(trace_records(
+            "a",
+            &Trace::new("t", vec![2.0, 5.0, 3.0, 1.0]),
+        ));
+        lines.push("{\"op\":\"finish\",\"id\":\"a\"}".to_string());
+        lines.push("{\"op\":\"report\",\"id\":\"a\"}".to_string());
+        lines.push("{\"op\":\"snapshot\",\"id\":\"a\"}".to_string());
+        lines.push("{\"op\":\"stats\"}".to_string());
+        let out = session.handle_lines(lines.iter().map(|s| s.as_str()));
+        let kinds: Vec<String> = out
+            .iter()
+            .map(|l| {
+                let v: serde::Value = serde_json::from_str(l).unwrap();
+                v["op"].as_str().unwrap().to_string()
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "admitted", "stepped", "stepped", "stepped", "stepped", "finished", "report",
+                "snapshot", "stats"
+            ]
+        );
+        // The report is well-formed and the ratio was tracked.
+        let report: serde::Value = serde_json::from_str(&out[6]).unwrap();
+        assert_eq!(report["report"]["committed"], 4);
+        assert!(report["report"]["ratio"].as_f64().unwrap() >= 1.0 - 1e-9);
+        // The emitted snapshot restores into a fresh session.
+        let snap_line: serde::Value = serde_json::from_str(&out[7]).unwrap();
+        let restore = serde_json::to_string(&serde_json::json!({
+            "op": "restore", "snapshot": snap_line["snapshot"].clone(),
+        }))
+        .unwrap();
+        let mut session2 = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(1)));
+        let out2 = session2.handle_lines([restore.as_str()]);
+        assert!(out2[0].contains("restored"), "{}", out2[0]);
+        assert_eq!(session2.engine().report("a").unwrap().committed, 4);
+    }
+}

@@ -120,8 +120,7 @@ impl HInstance {
                     // per-capacity slope must dominate the delay derivative
                     // at the junction (dw * lambda / eps^2), otherwise the
                     // two branches meet non-convexly.
-                    let pen =
-                        overload.max(delay_weight * lambda / (delay_eps * delay_eps));
+                    let pen = overload.max(delay_weight * lambda / (delay_eps * delay_eps));
                     energy + delay_weight * lambda / delay_eps + pen * (lambda - cap)
                 }
             }

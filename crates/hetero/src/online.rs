@@ -78,9 +78,7 @@ impl GreedyConfig {
 
     /// Commit a configuration for slot `t`.
     pub fn step(&mut self, inst: &HInstance, t: usize) -> Config {
-        let lattice = self
-            .lattice
-            .get_or_insert_with(|| inst.all_configs());
+        let lattice = self.lattice.get_or_insert_with(|| inst.all_configs());
         let mut best_c = f64::INFINITY;
         let mut best = self.state.clone();
         for cfg in lattice.iter() {
@@ -184,7 +182,9 @@ mod tests {
 
     #[test]
     fn coordinate_lcp_is_feasible_and_reasonable() {
-        let loads: Vec<f64> = (0..40).map(|t| 2.5 + 2.0 * ((t as f64) * 0.4).sin()).collect();
+        let loads: Vec<f64> = (0..40)
+            .map(|t| 2.5 + 2.0 * ((t as f64) * 0.4).sin())
+            .collect();
         let inst = instance(&loads);
         let xs = run_coordinate_lcp(&inst);
         for (x, ty) in xs.iter().flat_map(|c| c.iter().zip(&inst.types)) {
@@ -212,7 +212,9 @@ mod tests {
     #[test]
     fn lcp_no_worse_than_greedy_on_oscillation() {
         // Alternating load: greedy re-buys capacity every other slot.
-        let loads: Vec<f64> = (0..60).map(|t| if t % 2 == 0 { 5.0 } else { 0.5 }).collect();
+        let loads: Vec<f64> = (0..60)
+            .map(|t| if t % 2 == 0 { 5.0 } else { 0.5 })
+            .collect();
         let inst = instance(&loads);
         let c_lcp = inst.cost(&run_coordinate_lcp(&inst));
         let c_greedy = inst.cost(&run_greedy(&inst));

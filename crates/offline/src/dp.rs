@@ -262,7 +262,11 @@ mod tests {
                 }
             }
         }
-        assert!((s.cost - best).abs() < 1e-9, "dp {} vs brute {best}", s.cost);
+        assert!(
+            (s.cost - best).abs() < 1e-9,
+            "dp {} vs brute {best}",
+            s.cost
+        );
         assert!((cost(&i, &s.schedule) - s.cost).abs() < 1e-9);
     }
 

@@ -115,9 +115,7 @@ impl Graph {
         let mut parents: Vec<Vec<u32>> = Vec::with_capacity(self.t_len);
 
         // Layer 1 from the source.
-        for jp in 0..m1 {
-            dist[jp] = self.layers[0][0][jp];
-        }
+        dist[..m1].copy_from_slice(&self.layers[0][0][..m1]);
         parents.push(vec![0; m1]);
 
         for t in 2..=self.t_len {

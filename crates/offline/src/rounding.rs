@@ -45,8 +45,7 @@ pub fn refined_grid_optimum(inst: &Instance, k: u32) -> f64 {
         .collect();
     // State i of the fine instance is i/k servers; one unit of powering up
     // there is 1/k servers, so beta scales down by k.
-    let fine = Instance::new(m_fine, inst.beta() / k as f64, costs)
-        .expect("valid scaled instance");
+    let fine = Instance::new(m_fine, inst.beta() / k as f64, costs).expect("valid scaled instance");
     dp::solve_cost_only(&fine)
 }
 

@@ -52,6 +52,16 @@ impl Hysteresis {
     pub fn new(m: u32, band: u32) -> Self {
         Self { m, band, state: 0 }
     }
+
+    /// Current state (streaming snapshot support).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Overwrite the current state (snapshot restore).
+    pub fn set_state(&mut self, state: u32) {
+        self.state = state.min(self.m);
+    }
 }
 
 impl OnlineAlgorithm for Hysteresis {
@@ -205,7 +215,11 @@ mod tests {
 
     #[test]
     fn hysteresis_follows_large_shifts() {
-        let costs = vec![Cost::abs(5.0, 6.0), Cost::abs(5.0, 6.0), Cost::abs(5.0, 0.0)];
+        let costs = vec![
+            Cost::abs(5.0, 6.0),
+            Cost::abs(5.0, 6.0),
+            Cost::abs(5.0, 0.0),
+        ];
         let inst = Instance::new(8, 1.0, costs).unwrap();
         let mut h = Hysteresis::new(8, 2);
         let xs = run(&mut h, &inst);
@@ -252,11 +266,11 @@ mod tests {
         let w = vec![3.0, 0.5, 7.0, 2.0];
         let mut out = vec![0.0; 4];
         WorkFunction::relax_symmetric(&w, 1.5, &mut out);
-        for x in 0..4 {
+        for (x, &got) in out.iter().enumerate() {
             let naive = (0..4)
                 .map(|xp| w[xp] + 1.5 * (x as f64 - xp as f64).abs())
                 .fold(f64::INFINITY, f64::min);
-            assert!((out[x] - naive).abs() < 1e-12, "x={x}");
+            assert!((got - naive).abs() < 1e-12, "x={x}");
         }
     }
 }

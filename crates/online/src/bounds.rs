@@ -24,6 +24,7 @@
 
 use rsdc_core::prelude::*;
 use rsdc_offline::dp::{relax, relax_down};
+use serde::{Deserialize, Serialize};
 
 /// Incrementally maintained `\hat C^L`, `\hat C^U` and the derived bounds.
 #[derive(Debug, Clone)]
@@ -172,6 +173,95 @@ impl BoundTracker {
     }
 }
 
+/// Serializable full state of a [`BoundTracker`], used by the streaming
+/// layer (`crate::streaming`) so tenants survive engine restarts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackerSnapshot {
+    /// Fleet size.
+    pub m: u32,
+    /// Power-up cost.
+    pub beta: f64,
+    /// Steps consumed.
+    pub tau: u64,
+    /// `\hat C^L` vector (non-finite entries encode unreachable states).
+    pub c_low: Vec<f64>,
+    /// `\hat C^U` vector.
+    pub c_up: Vec<f64>,
+    /// Current `x^L`.
+    pub x_low: u32,
+    /// Current `x^U`.
+    pub x_up: u32,
+}
+
+impl BoundTracker {
+    /// Capture the full tracker state.
+    ///
+    /// Unreachable states hold `+inf`, which plain JSON cannot carry;
+    /// snapshots encode them as `f64::MAX` (no legitimate cost comes
+    /// within a factor of 2 of it) so the vectors survive any JSON
+    /// implementation, and [`BoundTracker::from_snapshot`] maps them back.
+    pub fn snapshot(&self) -> TrackerSnapshot {
+        let encode = |v: &[f64]| -> Vec<f64> {
+            v.iter()
+                .map(|&x| if x.is_finite() { x } else { f64::MAX })
+                .collect()
+        };
+        TrackerSnapshot {
+            m: self.m,
+            beta: self.beta,
+            tau: self.tau as u64,
+            c_low: encode(&self.c_low),
+            c_up: encode(&self.c_up),
+            x_low: self.x_low,
+            x_up: self.x_up,
+        }
+    }
+
+    /// Rebuild a tracker from a [`TrackerSnapshot`].
+    ///
+    /// The `f64::MAX` sentinel (and any non-finite residue from a JSON
+    /// round trip) is normalised back to `+inf` — the only non-finite
+    /// value the tracker ever produces.
+    pub fn from_snapshot(s: &TrackerSnapshot) -> Result<Self, Error> {
+        let m1 = s.m as usize + 1;
+        if s.c_low.len() != m1 || s.c_up.len() != m1 {
+            return Err(Error::InvalidParameter(format!(
+                "tracker snapshot has {} / {} states, expected {m1}",
+                s.c_low.len(),
+                s.c_up.len()
+            )));
+        }
+        if !(s.beta.is_finite() && s.beta > 0.0) {
+            return Err(Error::InvalidParameter(format!(
+                "tracker snapshot beta {} invalid",
+                s.beta
+            )));
+        }
+        let sanitize = |v: &[f64]| -> Vec<f64> {
+            v.iter()
+                .map(|&x| {
+                    if x.is_finite() && x < f64::MAX / 2.0 {
+                        x
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect()
+        };
+        Ok(Self {
+            m: s.m,
+            beta: s.beta,
+            tau: s.tau as usize,
+            c_low: sanitize(&s.c_low),
+            c_up: sanitize(&s.c_up),
+            scratch: vec![0.0; m1],
+            parent: vec![0; m1],
+            x_low: s.x_low.min(s.m),
+            x_up: s.x_up.min(s.m),
+        })
+    }
+}
+
 fn smallest_argmin(v: &[f64]) -> u32 {
     let mut best = f64::INFINITY;
     let mut best_i = 0u32;
@@ -248,8 +338,7 @@ mod tests {
                 Cost::abs(slope, center)
             };
             b.step(&f);
-            b.check_lemmas()
-                .unwrap_or_else(|e| panic!("step {t}: {e}"));
+            b.check_lemmas().unwrap_or_else(|e| panic!("step {t}: {e}"));
             assert!(b.x_low() <= b.x_up(), "Lemma 6 ordering via Lemma 7/9");
         }
     }

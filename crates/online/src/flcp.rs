@@ -49,6 +49,40 @@ impl GridLcp {
     pub fn k(&self) -> u32 {
         self.k
     }
+
+    /// Fleet size in server units.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Capture full state (tracker + grid-unit state) for streaming
+    /// snapshots.
+    pub fn snapshot(&self) -> (crate::bounds::TrackerSnapshot, u32) {
+        (self.tracker.snapshot(), self.state)
+    }
+
+    /// Rebuild from a [`GridLcp::snapshot`]; `m` and `k` must match the
+    /// original configuration (the tracker snapshot records `m * k`).
+    pub fn from_snapshot(
+        m: u32,
+        k: u32,
+        tracker: &crate::bounds::TrackerSnapshot,
+        state: u32,
+    ) -> Result<Self, rsdc_core::Error> {
+        if tracker.m != m.checked_mul(k).unwrap_or(0) {
+            return Err(rsdc_core::Error::InvalidParameter(format!(
+                "GridLcp snapshot tracker covers {} states, expected m*k = {}",
+                tracker.m,
+                m as u64 * k as u64
+            )));
+        }
+        Ok(Self {
+            m,
+            k,
+            tracker: crate::bounds::BoundTracker::from_snapshot(tracker)?,
+            state,
+        })
+    }
 }
 
 impl FractionalAlgorithm for GridLcp {
@@ -133,6 +167,10 @@ mod tests {
         let frac = run_frac(&mut grid, &inst);
         let alg = frac_cost(&inst, &frac, FracMode::Interpolate);
         let opt = rsdc_offline::rounding::refined_grid_optimum(&inst, k);
-        assert!(alg <= 3.0 * opt + 1e-9, "grid LCP {alg} vs 3*OPT {}", 3.0 * opt);
+        assert!(
+            alg <= 3.0 * opt + 1e-9,
+            "grid LCP {alg} vs 3*OPT {}",
+            3.0 * opt
+        );
     }
 }

@@ -88,6 +88,11 @@ impl HalfStep {
     pub fn state(&self) -> f64 {
         self.state
     }
+
+    /// Overwrite the current state (snapshot restore); clamped to `[0, m]`.
+    pub fn set_state(&mut self, state: f64) {
+        self.state = state.clamp(0.0, self.m);
+    }
 }
 
 impl FractionalAlgorithm for HalfStep {
@@ -136,6 +141,16 @@ impl MemorylessBalance {
             state: 0.0,
         }
     }
+
+    /// Current fractional state.
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+
+    /// Overwrite the current state (snapshot restore); clamped to `[0, m]`.
+    pub fn set_state(&mut self, state: f64) {
+        self.state = state.clamp(0.0, self.m);
+    }
 }
 
 impl FractionalAlgorithm for MemorylessBalance {
@@ -177,7 +192,14 @@ impl Obd {
 
 impl FractionalAlgorithm for Obd {
     fn step(&mut self, f: &Cost) -> f64 {
-        self.state = balance_point(self.mode, f, self.state, self.m, self.beta / 2.0, self.gamma);
+        self.state = balance_point(
+            self.mode,
+            f,
+            self.state,
+            self.m,
+            self.beta / 2.0,
+            self.gamma,
+        );
         self.state
     }
 

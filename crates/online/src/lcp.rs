@@ -40,6 +40,23 @@ impl Lcp {
     pub fn tracker(&self) -> &BoundTracker {
         &self.tracker
     }
+
+    /// Capture the full algorithm state (tracker + current state) for the
+    /// streaming layer's snapshot/restore protocol.
+    pub fn snapshot(&self) -> (crate::bounds::TrackerSnapshot, u32) {
+        (self.tracker.snapshot(), self.state)
+    }
+
+    /// Rebuild from a [`Lcp::snapshot`].
+    pub fn from_snapshot(
+        tracker: &crate::bounds::TrackerSnapshot,
+        state: u32,
+    ) -> Result<Self, rsdc_core::Error> {
+        Ok(Self {
+            tracker: BoundTracker::from_snapshot(tracker)?,
+            state,
+        })
+    }
 }
 
 impl OnlineAlgorithm for Lcp {
@@ -136,8 +153,8 @@ mod tests {
                     Cost::abs(0.2 + (z % 4) as f64, (z % 7) as f64)
                 })
                 .collect();
-            let inst = Instance::new(6, beta as f64, costs).unwrap();
-            let mut lcp = Lcp::new(6, beta as f64);
+            let inst = Instance::new(6, beta, costs).unwrap();
+            let mut lcp = Lcp::new(6, beta);
             let xs = run(&mut lcp, &inst);
             let (alg, opt, ratio) = competitive_ratio(&inst, &xs);
             assert!(

@@ -17,6 +17,8 @@
 //!   integral algorithm (Theorem 3, optimal by Theorem 8);
 //! * [`prediction`] — lookahead algorithms for the prediction-window model
 //!   of Section 5.4;
+//! * [`streaming`] — object-safe, resumable streaming wrappers with
+//!   snapshot/restore, the substrate of the `rsdc-engine` service layer;
 //! * [`traits`] — the algorithm interfaces and runners.
 //!
 //! ## Example
@@ -45,7 +47,9 @@ pub mod fractional;
 pub mod lcp;
 pub mod prediction;
 pub mod randomized;
+pub mod streaming;
 pub mod traits;
 
 pub use lcp::Lcp;
+pub use streaming::StreamingPolicy;
 pub use traits::{FractionalAlgorithm, LookaheadAlgorithm, OnlineAlgorithm};

@@ -73,6 +73,22 @@ impl LookaheadLcp {
             state: 0,
         }
     }
+
+    /// Capture full state (tracker + current state) for streaming snapshots.
+    pub fn snapshot(&self) -> (crate::bounds::TrackerSnapshot, u32) {
+        (self.tracker.snapshot(), self.state)
+    }
+
+    /// Rebuild from a [`LookaheadLcp::snapshot`].
+    pub fn from_snapshot(
+        tracker: &crate::bounds::TrackerSnapshot,
+        state: u32,
+    ) -> Result<Self, rsdc_core::Error> {
+        Ok(Self {
+            tracker: BoundTracker::from_snapshot(tracker)?,
+            state,
+        })
+    }
 }
 
 impl LookaheadAlgorithm for LookaheadLcp {

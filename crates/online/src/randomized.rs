@@ -44,6 +44,43 @@ impl Rounder<StdRng> {
             prev_int: 0,
         }
     }
+
+    /// Capture the full rounder state — previous fractional/integral states
+    /// plus the raw RNG state — so a restored rounder continues the exact
+    /// random stream (streaming snapshot/restore).
+    pub fn snapshot(&self) -> RounderSnapshot {
+        RounderSnapshot {
+            prev_frac: self.prev_frac,
+            prev_int: self.prev_int,
+            rng_state: self.rng.state().to_vec(),
+        }
+    }
+
+    /// Rebuild from a [`Rounder::snapshot`].
+    pub fn from_snapshot(s: &RounderSnapshot) -> Result<Self, rsdc_core::Error> {
+        let state: [u64; 4] = s.rng_state.as_slice().try_into().map_err(|_| {
+            rsdc_core::Error::InvalidParameter(format!(
+                "rounder snapshot has {} RNG words, expected 4",
+                s.rng_state.len()
+            ))
+        })?;
+        Ok(Rounder {
+            rng: StdRng::from_state(state),
+            prev_frac: s.prev_frac,
+            prev_int: s.prev_int,
+        })
+    }
+}
+
+/// Serializable state of a seeded [`Rounder`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RounderSnapshot {
+    /// Previous fractional input.
+    pub prev_frac: f64,
+    /// Previous integral output.
+    pub prev_int: u32,
+    /// Raw xoshiro state words (always 4).
+    pub rng_state: Vec<u64>,
 }
 
 impl<R: Rng> Rounder<R> {
@@ -67,7 +104,7 @@ impl<R: Rng> Rounder<R> {
             lo as u32
         } else {
             let hi = lo + 1.0; // ceil*(xbar_t)
-            // Project the previous fractional state into [lo, hi].
+                               // Project the previous fractional state into [lo, hi].
             let xbar_prev_proj = self.prev_frac.clamp(lo, hi);
             let prev = self.prev_int as f64;
             if self.prev_frac <= xbar_t {

@@ -83,7 +83,9 @@ pub fn latency_summary(metrics: &Metrics) -> LatencySummary {
     let total = stable_load + unstable_load;
     LatencySummary {
         mean_response: if stable_load > 0.0 {
-            weighted / stable_load
+            // The weighted mean is mathematically <= worst; guard against
+            // the one-ulp rounding the division can introduce.
+            (weighted / stable_load).min(worst)
         } else {
             0.0
         },

@@ -53,10 +53,7 @@ impl Metrics {
 
     /// Total energy: power plus wake energy.
     pub fn total_energy(&self) -> f64 {
-        self.records
-            .iter()
-            .map(|r| r.power + r.wake_energy)
-            .sum()
+        self.records.iter().map(|r| r.power + r.wake_energy).sum()
     }
 
     /// Total dropped load.

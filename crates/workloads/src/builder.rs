@@ -47,7 +47,11 @@ impl CostModel {
     /// Build a restricted-model instance (hard constraint `x_t >= lambda_t`)
     /// from a trace; loads are clamped to `m`.
     pub fn restricted(&self, m: u32, trace: &Trace) -> RestrictedInstance {
-        let lambdas = trace.loads.iter().map(|&l| l.clamp(0.0, m as f64)).collect();
+        let lambdas = trace
+            .loads
+            .iter()
+            .map(|&l| l.clamp(0.0, m as f64))
+            .collect();
         RestrictedInstance::new(m, self.beta, Unit::Server(self.server), lambdas)
             .expect("valid restricted model")
     }

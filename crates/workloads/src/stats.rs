@@ -82,8 +82,7 @@ pub fn burstiness(xs: &[f64]) -> f64 {
     if mean == 0.0 {
         return 0.0;
     }
-    let step: f64 =
-        xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (xs.len() - 1) as f64;
+    let step: f64 = xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (xs.len() - 1) as f64;
     step / mean
 }
 
@@ -164,7 +163,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_signal() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1) < -0.9);
         assert!(autocorrelation(&xs, 2) > 0.9);
     }

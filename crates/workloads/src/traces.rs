@@ -226,8 +226,9 @@ impl Spiky {
         let mut loads = vec![self.floor; t_len];
         for t in 0..t_len {
             if rng.gen::<f64>() < self.p_spike {
-                for u in t..(t + self.width).min(t_len) {
-                    loads[u] = loads[u].max(self.height);
+                let end = (t + self.width).min(t_len);
+                for load in &mut loads[t..end] {
+                    *load = load.max(self.height);
                 }
             }
         }

@@ -28,11 +28,8 @@ fn main() {
         // Discrete algorithms.
         let mut lcp = Lcp::new(m, model.beta);
         let lcp_cost = cost(&inst, &run(&mut lcp, &inst));
-        let mut rnd = RandomizedOnline::new(
-            HalfStep::new(m, model.beta, EvalMode::Interpolate),
-            m,
-            11,
-        );
+        let mut rnd =
+            RandomizedOnline::new(HalfStep::new(m, model.beta, EvalMode::Interpolate), m, 11);
         let rnd_cost = cost(&inst, &run(&mut rnd, &inst));
 
         // Fractional algorithms on the continuous extension.
@@ -40,13 +37,22 @@ fn main() {
             let xs = run_frac(a.as_mut(), &inst);
             frac_cost(&inst, &xs, FracMode::Interpolate) / opt
         };
-        let hs = frac_ratio(Box::new(HalfStep::new(m, model.beta, EvalMode::Interpolate)));
+        let hs = frac_ratio(Box::new(HalfStep::new(
+            m,
+            model.beta,
+            EvalMode::Interpolate,
+        )));
         let mb = frac_ratio(Box::new(MemorylessBalance::new(
             m,
             model.beta,
             EvalMode::Interpolate,
         )));
-        let obd = frac_ratio(Box::new(Obd::new(m, model.beta, 2.0, EvalMode::Interpolate)));
+        let obd = frac_ratio(Box::new(Obd::new(
+            m,
+            model.beta,
+            2.0,
+            EvalMode::Interpolate,
+        )));
 
         rows.push(vec![
             trace.label.clone(),
@@ -60,7 +66,14 @@ fn main() {
 
     println!("cost ratios against the offline optimum (lower is better)\n");
     print_table(
-        &["workload", "LCP", "Randomized", "HalfStep", "Balance", "OBD(2)"],
+        &[
+            "workload",
+            "LCP",
+            "Randomized",
+            "HalfStep",
+            "Balance",
+            "OBD(2)",
+        ],
         &rows,
     );
     println!("\nLCP is guaranteed <= 3 (Theorem 2); Randomized <= 2 in expectation (Theorem 3).");

@@ -10,7 +10,9 @@ use rsdc_examples::{f, print_table};
 use rsdc_online::fractional::{EvalMode, HalfStep};
 use rsdc_online::lcp::Lcp;
 use rsdc_online::randomized::RandomizedOnline;
-use rsdc_sim::{simulate_best_static, simulate_offline_optimum, simulate_online, SimConfig, SimReport};
+use rsdc_sim::{
+    simulate_best_static, simulate_offline_optimum, simulate_online, SimConfig, SimReport,
+};
 use rsdc_workloads::traces::Diurnal;
 use rsdc_workloads::{builder::CostModel, fleet_size};
 
@@ -65,11 +67,21 @@ fn main() {
 
     let rows = vec![row(&opt), row(&online), row(&randomized), row(&stat)];
     print_table(
-        &["policy", "model cost", "energy", "drop rate", "mean x", "wakes"],
+        &[
+            "policy",
+            "model cost",
+            "energy",
+            "drop rate",
+            "mean x",
+            "wakes",
+        ],
         &rows,
     );
 
     let save = 100.0 * (1.0 - opt.metrics.total_energy() / stat.metrics.total_energy());
     println!("\nright-sizing saves {save:.1}% energy versus the best static fleet");
-    assert!(online.model_cost <= 3.0 * opt.model_cost + 1e-9, "Theorem 2");
+    assert!(
+        online.model_cost <= 3.0 * opt.model_cost + 1e-9,
+        "Theorem 2"
+    );
 }

@@ -52,7 +52,9 @@ fn main() {
     let mut clcp = CoordinateLcp::new(&inst);
     let xs_lcp: Vec<_> = (1..=inst.horizon()).map(|t| clcp.step(&inst, t)).collect();
     let mut greedy = GreedyConfig::new(inst.dims());
-    let xs_greedy: Vec<_> = (1..=inst.horizon()).map(|t| greedy.step(&inst, t)).collect();
+    let xs_greedy: Vec<_> = (1..=inst.horizon())
+        .map(|t| greedy.step(&inst, t))
+        .collect();
 
     println!(
         "heterogeneous fleet: {} old + {} new machines, 3 simulated days\n",
@@ -60,10 +62,8 @@ fn main() {
     );
     let summarize = |name: &str, xs: &[Vec<u32>]| -> Vec<String> {
         let c = inst.cost(xs);
-        let mean_old =
-            xs.iter().map(|x| x[0] as f64).sum::<f64>() / xs.len() as f64;
-        let mean_new =
-            xs.iter().map(|x| x[1] as f64).sum::<f64>() / xs.len() as f64;
+        let mean_old = xs.iter().map(|x| x[0] as f64).sum::<f64>() / xs.len() as f64;
+        let mean_new = xs.iter().map(|x| x[1] as f64).sum::<f64>() / xs.len() as f64;
         vec![
             name.to_string(),
             f(c),

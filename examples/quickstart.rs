@@ -43,7 +43,10 @@ fn main() {
     println!();
     println!("offline optimal cost : {}", f(offline.cost));
     println!("online LCP cost      : {}", f(alg_cost));
-    println!("competitive ratio    : {} (Theorem 2 guarantees <= 3)", f(ratio));
+    println!(
+        "competitive ratio    : {} (Theorem 2 guarantees <= 3)",
+        f(ratio)
+    );
     assert!((opt_cost - offline.cost).abs() < 1e-9);
     assert!(ratio <= 3.0 + 1e-9);
 }

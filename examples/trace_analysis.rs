@@ -9,9 +9,9 @@
 use rsdc_core::analysis;
 use rsdc_examples::{f, print_table};
 use rsdc_workloads::builder::CostModel;
+use rsdc_workloads::fleet_size;
 use rsdc_workloads::stats::trace_stats;
 use rsdc_workloads::traces::{standard_corpus, Weekly};
-use rsdc_workloads::fleet_size;
 
 fn main() {
     let model = CostModel::default();
@@ -59,7 +59,14 @@ fn main() {
         })
         .collect();
     print_table(
-        &["trace", "OPT cost", "switch share", "power-ups", "phases", "mean x"],
+        &[
+            "trace",
+            "OPT cost",
+            "switch share",
+            "power-ups",
+            "phases",
+            "mean x",
+        ],
         &rows,
     );
 

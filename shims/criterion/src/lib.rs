@@ -1,0 +1,318 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock micro-benchmark harness exposing the subset of
+//! criterion's API the workspace's benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, `Bencher::iter`, [`Throughput`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. Timing methodology
+//! is simple (auto-calibrated batch size, median of `sample_size` samples)
+//! but stable enough for relative comparisons like steps/sec vs shards.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration and sink.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (builder-style, like criterion).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Rough total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target_time = d;
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(self, name, &mut f, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Identifier for one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation: turns ns/iter into elements- or bytes-per-second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.text);
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(self.criterion, &full, &mut g, self.throughput);
+        self
+    }
+
+    /// Benchmark without an input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchOrStr>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion, &full, &mut f, self.throughput);
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Either a string or a [`BenchmarkId`], for `bench_function` in groups.
+pub struct BenchOrStr(String);
+
+impl From<&str> for BenchOrStr {
+    fn from(s: &str) -> Self {
+        BenchOrStr(s.to_string())
+    }
+}
+
+impl From<String> for BenchOrStr {
+    fn from(s: String) -> Self {
+        BenchOrStr(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchOrStr {
+    fn from(id: BenchmarkId) -> Self {
+        BenchOrStr(id.text)
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the shim always sets up per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// One setup per measured iteration.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// Passed to the closure; call [`Bencher::iter`] with the code under test.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure a closure: auto-calibrate a batch size, then time it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find a batch that takes >= ~1ms.
+        let mut batch: u64 = 1;
+        let batch_time = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = start.elapsed();
+            if el >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break el;
+            }
+            batch *= 4;
+        };
+        let _ = batch_time;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / batch as f64;
+    }
+
+    /// Measure a closure whose input is built by an untimed setup closure:
+    /// only `routine` is inside the timed section.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate the iteration count so total measured time >= ~1ms.
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters *= 4;
+        }
+    }
+}
+
+fn run_one(
+    criterion: &Criterion,
+    name: &str,
+    f: &mut dyn FnMut(&mut Bencher),
+    throughput: Option<Throughput>,
+) {
+    let mut samples = Vec::with_capacity(criterion.sample_size);
+    let deadline = Instant::now() + criterion.target_time;
+    for i in 0..criterion.sample_size {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        samples.push(b.ns_per_iter);
+        if i >= 1 && Instant::now() > deadline {
+            break; // keep total runtime bounded
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = samples[samples.len() / 2];
+    let line = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 * 1e9 / median;
+            format!(
+                "{name:<50} {:>12} ns/iter {:>15} elem/s",
+                fmt_num(median),
+                fmt_num(per_sec)
+            )
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 * 1e9 / median;
+            format!(
+                "{name:<50} {:>12} ns/iter {:>15} B/s",
+                fmt_num(median),
+                fmt_num(per_sec)
+            )
+        }
+        None => format!("{name:<50} {:>12} ns/iter", fmt_num(median)),
+    };
+    println!("{line}");
+}
+
+fn fmt_num(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3}e9", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Declare a benchmark group, mirroring criterion's two syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+    }
+}

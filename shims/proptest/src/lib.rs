@@ -1,0 +1,407 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros the workspace's property
+//! tests use — `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_oneof!`, `Just`, ranges, tuples, `collection::vec`, `prop_map`,
+//! `prop_flat_map`, `ProptestConfig::with_cases` — with two deliberate
+//! simplifications:
+//!
+//! * sampling is **deterministic** per test (seeded from the test's
+//!   file/line), so failures reproduce without a persistence file;
+//! * there is **no shrinking** — a failing case reports the panic directly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each `proptest!` test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Test-runner plumbing.
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+    use super::*;
+
+    /// The RNG driving strategy sampling.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Deterministic RNG for one test, seeded from its location.
+        pub fn for_test(file: &str, line: u32) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in file.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h ^= line as u64;
+            TestRng(StdRng::seed_from_u64(h))
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            self.0.gen()
+        }
+
+        /// Uniform `u64`.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The value type generated.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy derived from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// [`Strategy::prop_flat_map`] adapter.
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Object-safe strategy view, used by `prop_oneof!`.
+    pub trait StrategyObj<V> {
+        /// Draw one value.
+        fn generate_obj(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> StrategyObj<S::Value> for S {
+        fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn StrategyObj<V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Union over the given arms (must be non-empty).
+        pub fn new(arms: Vec<Box<dyn StrategyObj<V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[i].generate_obj(rng)
+        }
+    }
+
+    /// Numbers drawable from ranges.
+    pub trait RangeValue: Copy + PartialOrd {
+        /// Uniform draw from `[lo, hi)` (`hi` inclusive iff `inclusive`).
+        fn draw(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+    }
+
+    macro_rules! range_int {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn draw(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    let span = if inclusive {
+                        hi as i128 - lo as i128 + 1
+                    } else {
+                        assert!(hi > lo, "empty range strategy");
+                        hi as i128 - lo as i128
+                    } as u128;
+                    let draw = (rng.next_u64() as u128 % span) as i128;
+                    (lo as i128 + draw) as $t
+                }
+            }
+        )*};
+    }
+    range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! range_float {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn draw(rng: &mut TestRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                    (lo as f64 + rng.unit() * (hi as f64 - lo as f64)) as $t
+                }
+            }
+        )*};
+    }
+    range_float!(f32, f64);
+
+    impl<T: RangeValue> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::draw(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: RangeValue> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::draw(rng, *self.start(), *self.end(), true)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+)),+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!(
+        (0 A),
+        (0 A, 1 B),
+        (0 A, 1 B, 2 C),
+        (0 A, 1 B, 2 C, 3 D),
+        (0 A, 1 B, 2 C, 3 D, 4 E),
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F6),
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F6, 6 G)
+    );
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::{RangeValue, Strategy};
+    use super::TestRng;
+
+    /// Lengths accepted by [`vec`]: an exact `usize` or a `usize` range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// Uniform in `[lo, hi)`.
+        Range(usize, usize),
+        /// Uniform in `[lo, hi]`.
+        RangeInclusive(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange::Range(r.start, r.end)
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange::RangeInclusive(*r.start(), *r.end())
+        }
+    }
+
+    /// Strategy for `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec` equivalent.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Range(lo, hi) => usize::draw(rng, lo, hi, false),
+                SizeRange::RangeInclusive(lo, hi) => usize::draw(rng, lo, hi, true),
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use super::collection::vec as prop_vec;
+    pub use super::strategy::{Just, Strategy, StrategyObj, Union};
+    pub use super::test_runner::TestRng;
+    pub use super::ProptestConfig;
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert inside a property test (panics; no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when an assumption fails. The shim simply returns
+/// from the case (it counts toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($arm) as Box<dyn $crate::strategy::StrategyObj<_>>),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    (@tests ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($p:pat in $s:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_test(file!(), line!());
+                for __case in 0..__cfg.cases {
+                    let ($($p,)+) = ($($crate::strategy::Strategy::generate(&($s), &mut __rng),)+);
+                    { $body }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 1u32..5, y in -2.0f64..2.0, z in 0usize..=3) {
+            prop_assert!((1..5).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(z <= 3);
+        }
+
+        #[test]
+        fn combinators_compose(
+            (n, v) in (1usize..4).prop_flat_map(|n| {
+                (Just(n), crate::collection::vec(0u32..10, n))
+            })
+        ) {
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn oneof_picks_arms(x in prop_oneof![Just(1u32), Just(2u32), 5u32..7]) {
+            prop_assert!([1u32, 2, 5, 6].contains(&x));
+        }
+    }
+}

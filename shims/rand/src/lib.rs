@@ -1,0 +1,342 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the (small) slice of the `rand` API the workspace uses over a
+//! xoshiro256++ generator:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_bool`, `gen_range`;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`];
+//! * [`distributions::Distribution`] / [`distributions::Standard`].
+//!
+//! Everything is deterministic given a seed. The streams do **not** match
+//! upstream `rand` bit-for-bit (upstream StdRng is ChaCha12); within this
+//! workspace only self-consistency matters, and every test seeds its RNGs.
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level sampling interface, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value from the [`distributions::Standard`] distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over their range).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Bernoulli sample with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.gen::<f64>() < p
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R2>(&mut self, range: R2) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R2: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Construct from a `u64` seed (SplitMix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 — used to expand small seeds into full generator state.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Raw generator state (for snapshot/restore support).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild from a previously captured [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions.
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution that can be sampled with any RNG.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution: uniform `[0, 1)` for floats, uniform over
+    /// the full range for integers.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Uniform range sampling.
+    pub mod uniform {
+        use super::super::RngCore;
+
+        /// Types that can be drawn uniformly from a range.
+        pub trait SampleUniform: Sized {
+            /// Uniform sample from `[lo, hi)`; `hi` is exclusive iff
+            /// `inclusive` is false.
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self;
+        }
+
+        macro_rules! uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_between<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        let span = if inclusive {
+                            (hi as i128 - lo as i128 + 1) as u128
+                        } else {
+                            assert!(hi > lo, "gen_range: empty range");
+                            (hi as i128 - lo as i128) as u128
+                        };
+                        if span == 0 {
+                            // Inclusive full-width range: any value works.
+                            return rng.next_u64() as $t;
+                        }
+                        // Modulo bias is negligible for the spans used here.
+                        let draw = ((rng.next_u64() as u128) % span) as i128;
+                        (lo as i128 + draw) as $t
+                    }
+                }
+            )*};
+        }
+        uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_between<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                        _inclusive: bool,
+                    ) -> Self {
+                        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                        (lo as f64 + unit * (hi as f64 - lo as f64)) as $t
+                    }
+                }
+            )*};
+        }
+        uniform_float!(f32, f64);
+
+        /// Ranges accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Draw one uniform sample from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_between(rng, self.start, self.end, false)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_between(rng, *self.start(), *self.end(), true)
+            }
+        }
+    }
+}
+
+/// `rand::prelude` equivalent.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval_and_uniform_ish() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..7);
+            assert!((3..7).contains(&v));
+            let w = rng.gen_range(-2i64..=2);
+            assert!((-2..=2).contains(&w));
+            let f = rng.gen_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        let _ = a.next_u64();
+        let snap = a.state();
+        let tail: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let mut b = StdRng::from_state(snap);
+        let tail2: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_eq!(tail, tail2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Implements a genuine ChaCha8 block function behind the `rand` shim's
+//! [`RngCore`]/[`SeedableRng`] traits. Streams are deterministic given a
+//! seed but are not bit-compatible with upstream `rand_chacha` (the
+//! seed-expansion differs); the workspace only relies on determinism.
+
+use rand::{RngCore, SeedableRng};
+
+/// Re-export point mirroring `rand_chacha::rand_core`.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+/// A ChaCha generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key/nonce state words 4..=15 of the initial block.
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next unread word in `block`.
+    word: usize,
+    /// Block counter.
+    counter: u64,
+}
+
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Construct from a 32-byte key.
+    pub fn from_key(key: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        state[0] = 0x61707865; // "expa"
+        state[1] = 0x3320646e; // "nd 3"
+        state[2] = 0x79622d32; // "2-by"
+        state[3] = 0x6b206574; // "te k"
+        for i in 0..8 {
+            state[4 + i] =
+                u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        // Words 12..=15 (counter + nonce) start at zero.
+        let mut rng = ChaCha8Rng {
+            state,
+            block: [0; 16],
+            word: 16,
+            counter: 0,
+        };
+        rng.refill();
+        rng
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        working[12] = self.counter as u32;
+        working[13] = (self.counter >> 32) as u32;
+        let input = working;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.block[i] = working[i].wrapping_add(input[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.word = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.word >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word];
+        self.word += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed into a key with SplitMix64, like upstream.
+        let mut sm = seed;
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_mut(8) {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        ChaCha8Rng::from_key(key)
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_interval_sampling() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+}

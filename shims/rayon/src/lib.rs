@@ -1,0 +1,140 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides `par_iter()` / `into_par_iter()` entry points and the iterator
+//! adapters the workspace uses (`map`, `filter`, `collect`, `sum`,
+//! rayon-style `reduce(identity, op)`, ...), executed **sequentially**.
+//! Results are identical to rayon's; only wall-clock parallelism is lost,
+//! which keeps the offline build dependency-free. Swap back to real rayon
+//! by flipping the path dependency once a registry is available.
+
+/// A "parallel" iterator: a thin sequential wrapper with rayon's method
+/// surface.
+pub struct ParSeq<I>(pub I);
+
+impl<I: Iterator> ParSeq<I> {
+    /// Map each item.
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParSeq<std::iter::Map<I, F>> {
+        ParSeq(self.0.map(f))
+    }
+
+    /// Keep items satisfying the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParSeq<std::iter::Filter<I, F>> {
+        ParSeq(self.0.filter(f))
+    }
+
+    /// Flat-map each item.
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParSeq<std::iter::FlatMap<I, U, F>> {
+        ParSeq(self.0.flat_map(f))
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Run a side effect per item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Rayon-style reduce: fold from an identity with an associative op.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Maximum item (totally ordered items).
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Minimum item (totally ordered items).
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+}
+
+/// Owning conversion, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert into a "parallel" iterator.
+    fn into_par_iter(self) -> ParSeq<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+    fn into_par_iter(self) -> ParSeq<T::IntoIter> {
+        ParSeq(self.into_iter())
+    }
+}
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate by reference.
+    fn par_iter(&'data self) -> ParSeq<Self::Iter>;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> ParSeq<Self::Iter> {
+        ParSeq(self.into_iter())
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParSeq};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_sum_reduce() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let s: u32 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 10);
+        let m = (0..5u64)
+            .into_par_iter()
+            .map(|x| x as f64)
+            .reduce(|| 0.0, f64::max);
+        assert!((m - 4.0).abs() < 1e-12);
+    }
+}

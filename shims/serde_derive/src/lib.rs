@@ -1,0 +1,350 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal serde data model (`serde::Value`) and this
+//! crate derives `serde::Serialize` / `serde::Deserialize` for it without
+//! `syn`/`quote`: the item is parsed directly from the `proc_macro` token
+//! stream and the impl is emitted as a string.
+//!
+//! Supported shapes (everything the workspace uses):
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently),
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally tagged, like real serde's default representation).
+//!
+//! Generic types are intentionally unsupported and fail with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Skip one attribute (`#` or `#!` followed by a bracket group) starting at
+/// `i`; returns the index just past it, or `i` if not at an attribute.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Punct(p)) = toks.get(i) {
+                    if p.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                i += 1; // the [...] group
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type (or any token run) until a `,` at angle-bracket
+/// depth 0; returns the index just past the comma (or `toks.len()`).
+fn skip_until_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        i = skip_vis(&toks, i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        out.push(name.to_string());
+        i += 1; // name
+        i += 1; // ':'
+        i = skip_until_comma(&toks, i);
+    }
+    out
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        n += 1;
+        i = skip_attrs(&toks, i);
+        i = skip_vis(&toks, i);
+        i = skip_until_comma(&toks, i);
+    }
+    n
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let kind = loop {
+        i = skip_attrs(&toks, i);
+        i = skip_vis(&toks, i);
+        match toks.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // e.g. `unsafe`? just skip unknown idents
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive shim: could not find `struct` or `enum`"),
+        }
+    };
+    let Some(TokenTree::Ident(name)) = toks.get(i) else {
+        panic!("serde_derive shim: missing item name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    if kind == "struct" {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+        }
+    } else {
+        let Some(TokenTree::Group(body)) = toks.get(i) else {
+            panic!("serde_derive shim: missing enum body");
+        };
+        let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+        let mut variants = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            i = skip_attrs(&toks, i);
+            let Some(TokenTree::Ident(vname)) = toks.get(i) else {
+                break;
+            };
+            let vname = vname.to_string();
+            i += 1;
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let f = Fields::Named(parse_named_fields(g.stream()));
+                    i += 1;
+                    f
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                    i += 1;
+                    f
+                }
+                _ => Fields::Unit,
+            };
+            variants.push((vname, fields));
+            i = skip_until_comma(&toks, i);
+        }
+        Item::Enum { name, variants }
+    }
+}
+
+fn ser_named_fields(expr_prefix: &str, fields: &[String]) -> String {
+    let mut s = String::from(
+        "{ let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();",
+    );
+    for f in fields {
+        s.push_str(&format!(
+            "__obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value({expr_prefix}{f})));"
+        ));
+    }
+    s.push_str("::serde::Value::Object(__obj) }");
+    s
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let out = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(fs) => ser_named_fields("&self.", fs),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(","))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(",");
+                        let inner = ser_named_fields("", fs);
+                        arms.push_str(&format!(
+                            "{name}::{v}{{{binds}}} => ::serde::Value::Object(vec![(\"{v}\".to_string(), {inner})]),"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+fn de_named_fields(type_path: &str, src_expr: &str, fields: &[String]) -> String {
+    let mut s = format!("{type_path} {{");
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value({src_expr}.get_field(\"{f}\").ok_or_else(|| ::serde::DeError::missing_field(\"{type_path}\", \"{f}\"))?)?,"
+        ));
+    }
+    s.push('}');
+    s
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let out = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Named(fs) => format!("Ok({})", de_named_fields(name, "__v", fs)),
+                Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for tuple struct {name}\"))?;\
+                         if __arr.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\
+                         Ok({name}({})) }}",
+                        items.join(",")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => return Ok({name}::{v}),"));
+                        // Also accept {"V": null} for robustness.
+                        tagged_arms.push_str(&format!("\"{v}\" => return Ok({name}::{v}),"));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => return Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{ let __arr = __inner.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for variant {v}\"))?;\
+                             if __arr.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong arity for variant {v}\")); }}\
+                             return Ok({name}::{v}({})); }}",
+                            items.join(",")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let ctor = de_named_fields(&format!("{name}::{v}"), "__inner", fs);
+                        tagged_arms.push_str(&format!("\"{v}\" => return Ok({ctor}),"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                 if let ::serde::Value::String(__s) = __v {{ match __s.as_str() {{ {unit_arms} _ => {{}} }} }}\
+                 if let Some((__tag, __inner)) = __v.as_single_entry() {{ match __tag {{ {tagged_arms} _ => {{}} }} }}\
+                 Err(::serde::DeError::custom(\"unknown variant for enum {name}\")) }} }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}

@@ -39,7 +39,7 @@ pub fn parametric_cost(m: u32) -> impl Strategy<Value = Cost> {
         (0.01f64..5.0, 0.0f64..(m as f64)).prop_map(|(s, c)| Cost::abs(s, c)),
         (0.01f64..2.0, 0.0f64..(m as f64), 0.0f64..2.0)
             .prop_map(|(a, c, o)| Cost::quadratic(a, c, o)),
-        (0.0f64..1.0).prop_map(|c| Cost::Const(c)),
+        (0.0f64..1.0).prop_map(Cost::Const),
     ]
 }
 
@@ -55,13 +55,7 @@ pub fn instance(
     t_range: std::ops::RangeInclusive<usize>,
 ) -> impl Strategy<Value = Instance> {
     (m_range, t_range)
-        .prop_flat_map(|(m, t_len)| {
-            (
-                Just(m),
-                0.05f64..16.0,
-                vec(any_cost(m), t_len),
-            )
-        })
+        .prop_flat_map(|(m, t_len)| (Just(m), 0.05f64..16.0, vec(any_cost(m), t_len)))
         .prop_map(|(m, beta, costs)| {
             Instance::new_checked(m, beta, costs).expect("strategy must emit convex costs")
         })

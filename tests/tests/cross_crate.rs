@@ -10,8 +10,8 @@ use rsdc_online::prediction::RecedingHorizon;
 use rsdc_online::traits::{competitive_ratio, run, run_lookahead};
 use rsdc_sim::{simulate_best_static, simulate_offline_optimum, simulate_online, SimConfig};
 use rsdc_workloads::builder::CostModel;
-use rsdc_workloads::traces::{standard_corpus, Bursty, Trace};
 use rsdc_workloads::fleet_size;
+use rsdc_workloads::traces::{standard_corpus, Bursty, Trace};
 
 #[test]
 fn full_pipeline_on_corpus() {
@@ -30,7 +30,11 @@ fn full_pipeline_on_corpus() {
         let stat = simulate_best_static(&cfg, &trace);
 
         // Model-cost ordering: OPT <= LCP <= 3 OPT; OPT <= static.
-        assert!(opt.model_cost <= online.model_cost + 1e-9, "{}", trace.label);
+        assert!(
+            opt.model_cost <= online.model_cost + 1e-9,
+            "{}",
+            trace.label
+        );
         assert!(
             online.model_cost <= 3.0 * opt.model_cost + 1e-9,
             "{}: LCP {} vs OPT {}",
@@ -95,9 +99,7 @@ fn adversary_to_restricted_to_lcp_pipeline() {
 fn dilation_pipeline_with_lookahead() {
     // Theorem 10 pipeline: dilate a workload, give the controller a window,
     // verify feasibility and that the dilated optimum is not larger.
-    let costs: Vec<Cost> = (0..12)
-        .map(|t| Cost::abs(1.0, (t % 3) as f64))
-        .collect();
+    let costs: Vec<Cost> = (0..12).map(|t| Cost::abs(1.0, (t % 3) as f64)).collect();
     let inst = Instance::new(2, 2.0, costs).unwrap();
     let d = dilate(&inst, 2, 3);
     assert_eq!(d.horizon(), 12 * 6);

@@ -42,8 +42,14 @@ fn solver_cross_check_bulk() {
             let a = dp::solve(&inst);
             let b = binsearch::solve(&inst);
             let c = backward::solve(&inst);
-            assert!(close(a.cost, b.cost), "shape {si} seed {seed}: dp vs binsearch");
-            assert!(close(a.cost, c.cost), "shape {si} seed {seed}: dp vs backward");
+            assert!(
+                close(a.cost, b.cost),
+                "shape {si} seed {seed}: dp vs binsearch"
+            );
+            assert!(
+                close(a.cost, c.cost),
+                "shape {si} seed {seed}: dp vs backward"
+            );
             // All returned schedules must evaluate to their claimed costs.
             for sol in [&a, &b, &c] {
                 assert!(close(cost(&inst, &sol.schedule), sol.cost));
@@ -73,7 +79,11 @@ fn graph_cross_check_small() {
         let g = Graph::build(&inst);
         let sp = g.shortest_path();
         let a = dp::solve_cost_only(&inst);
-        assert!(close(sp.cost, a), "seed {seed}: graph {} vs dp {a}", sp.cost);
+        assert!(
+            close(sp.cost, a),
+            "seed {seed}: graph {} vs dp {a}",
+            sp.cost
+        );
     }
 }
 

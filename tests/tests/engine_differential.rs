@@ -1,0 +1,161 @@
+//! Engine-vs-batch differential tests (the rsdc-engine acceptance bar):
+//!
+//! * streaming a trace through the engine one event at a time produces
+//!   **bit-identical** schedules and costs to the batch runners in
+//!   `rsdc_online::traits` on the equivalent `Instance` — for LCP and for
+//!   the randomized (fractional + rounding) policies;
+//! * the same holds when the run is interrupted mid-trace, snapshotted
+//!   through JSON text, and resumed on a different engine with a different
+//!   shard count.
+
+use rsdc_core::prelude::*;
+use rsdc_engine::{Engine, EngineConfig, PolicySpec, TenantConfig, TenantSnapshot};
+use rsdc_online::flcp::GridLcp;
+use rsdc_online::fractional::{EvalMode, HalfStep};
+use rsdc_online::randomized::RandomizedOnline;
+use rsdc_online::traits::run;
+use rsdc_online::Lcp;
+use rsdc_workloads::builder::CostModel;
+use rsdc_workloads::random::{random_instance, RandomInstanceCfg};
+use rsdc_workloads::traces::Diurnal;
+use serde::{Deserialize, Serialize};
+
+/// Stream every cost of `inst` through a fresh engine tenant; returns the
+/// committed schedule.
+fn stream_schedule(inst: &Instance, policy: PolicySpec, shards: usize) -> Schedule {
+    let engine = Engine::new(EngineConfig::with_shards(shards));
+    engine
+        .admit(TenantConfig::new("t", inst.m(), inst.beta(), policy))
+        .unwrap();
+    let mut xs = Vec::new();
+    for t in 1..=inst.horizon() {
+        xs.extend(engine.step("t", inst.cost_fn(t).clone()).unwrap());
+    }
+    xs.extend(engine.finish("t").unwrap());
+    Schedule(xs)
+}
+
+fn workload_instance(seed: u64) -> Instance {
+    let trace = Diurnal::default().generate(96, seed);
+    CostModel::default().instance(16, &trace)
+}
+
+#[test]
+fn lcp_stream_equals_batch_on_workloads_and_random_instances() {
+    for seed in 0..4u64 {
+        let inst = workload_instance(seed);
+        let batch = run(&mut Lcp::new(inst.m(), inst.beta()), &inst);
+        let streamed = stream_schedule(&inst, PolicySpec::Lcp, 3);
+        assert_eq!(streamed, batch, "workload seed {seed}");
+        assert_eq!(cost(&inst, &streamed), cost(&inst, &batch));
+    }
+    let cfg = RandomInstanceCfg::default();
+    for seed in 100..106u64 {
+        let inst = random_instance(&cfg, seed);
+        let batch = run(&mut Lcp::new(inst.m(), inst.beta()), &inst);
+        let streamed = stream_schedule(&inst, PolicySpec::Lcp, 2);
+        assert_eq!(streamed, batch, "random seed {seed}");
+    }
+}
+
+#[test]
+fn halfstep_rounded_stream_equals_batch_randomized() {
+    for seed in 0..4u64 {
+        let inst = workload_instance(seed);
+        let mut batch_alg = RandomizedOnline::new(
+            HalfStep::new(inst.m(), inst.beta(), EvalMode::Interpolate),
+            inst.m(),
+            seed,
+        );
+        let batch = run(&mut batch_alg, &inst);
+        let streamed = stream_schedule(&inst, PolicySpec::HalfStepRounded { seed }, 2);
+        assert_eq!(streamed, batch, "seed {seed}");
+        assert_eq!(cost(&inst, &streamed), cost(&inst, &batch));
+    }
+}
+
+#[test]
+fn flcp_rounded_stream_equals_batch_randomized() {
+    for (seed, k) in [(1u64, 2u32), (2, 4), (3, 3)] {
+        let inst = workload_instance(seed);
+        let mut batch_alg =
+            RandomizedOnline::new(GridLcp::new(inst.m(), inst.beta(), k), inst.m(), seed);
+        let batch = run(&mut batch_alg, &inst);
+        let streamed = stream_schedule(&inst, PolicySpec::FlcpRounded { k, seed }, 4);
+        assert_eq!(streamed, batch, "seed {seed} k {k}");
+        assert_eq!(cost(&inst, &streamed), cost(&inst, &batch));
+    }
+}
+
+/// Kill a tenant mid-trace, push its snapshot through JSON text, restore on
+/// an engine with a different shard count, finish the trace: the schedule
+/// must match an uninterrupted batch run bit for bit. Covers LCP and both
+/// randomized policies (whose RNG state must survive the round trip).
+#[test]
+fn snapshot_interruption_preserves_differential_equality() {
+    let policies = [
+        PolicySpec::Lcp,
+        PolicySpec::HalfStepRounded { seed: 7 },
+        PolicySpec::FlcpRounded { k: 3, seed: 7 },
+    ];
+    for policy in policies {
+        let inst = workload_instance(11);
+        let cut = inst.horizon() / 2;
+
+        // Uninterrupted engine reference.
+        let want = stream_schedule(&inst, policy.clone(), 1);
+
+        // Interrupted run.
+        let first = Engine::new(EngineConfig::with_shards(2));
+        first
+            .admit(TenantConfig::new(
+                "t",
+                inst.m(),
+                inst.beta(),
+                policy.clone(),
+            ))
+            .unwrap();
+        let mut xs = Vec::new();
+        for t in 1..=cut {
+            xs.extend(first.step("t", inst.cost_fn(t).clone()).unwrap());
+        }
+        let snapshot = first.snapshot("t").unwrap();
+        first.shutdown();
+
+        // Through JSON text, as the wire format would carry it.
+        let text = serde_json::to_string_pretty(&snapshot.to_value()).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let snapshot = TenantSnapshot::from_value(&value).unwrap();
+
+        let second = Engine::new(EngineConfig::with_shards(4));
+        second.restore(snapshot).unwrap();
+        for t in cut + 1..=inst.horizon() {
+            xs.extend(second.step("t", inst.cost_fn(t).clone()).unwrap());
+        }
+        xs.extend(second.finish("t").unwrap());
+        let got = Schedule(xs);
+
+        assert_eq!(got, want, "policy {policy:?}");
+        assert_eq!(cost(&inst, &got), cost(&inst, &want), "policy {policy:?}");
+        // The restored tenant's own accounting agrees with the batch
+        // analysis of the full schedule.
+        let report = second.report("t").unwrap();
+        let breakdown = rsdc_core::analysis::breakdown(&inst, &got);
+        assert_eq!(report.breakdown.operating, breakdown.operating);
+        assert_eq!(report.breakdown.switching, breakdown.switching);
+    }
+}
+
+/// Lookahead tenants must match `run_lookahead` once finished, and their
+/// committed counts lag the stream by the window size until then.
+#[test]
+fn lookahead_stream_equals_batch_lookahead() {
+    use rsdc_online::prediction::LookaheadLcp;
+    use rsdc_online::traits::run_lookahead;
+    let inst = workload_instance(5);
+    for w in [0usize, 2, 5] {
+        let batch = run_lookahead(&mut LookaheadLcp::new(inst.m(), inst.beta()), &inst, w);
+        let streamed = stream_schedule(&inst, PolicySpec::Lookahead { window: w }, 2);
+        assert_eq!(streamed, batch, "window {w}");
+    }
+}

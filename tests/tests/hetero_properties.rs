@@ -58,8 +58,8 @@ proptest! {
         let opt = rsdc_hetero::solve(&inst);
         // Probe a handful of deterministic schedules.
         let all = inst.all_configs();
-        for pick in 0..all.len().min(4) {
-            let xs = vec![all[pick].clone(); inst.horizon()];
+        for config in all.iter().take(4) {
+            let xs = vec![config.clone(); inst.horizon()];
             prop_assert!(inst.cost(&xs) >= opt.cost - 1e-9 * (1.0 + opt.cost.abs()));
         }
         // And the DP's own schedule re-evaluates to its cost.

@@ -1,6 +1,8 @@
 //! Property tests for the online algorithms (Sections 3 and 4).
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rsdc_core::prelude::*;
 use rsdc_online::bounds::BoundTracker;
 use rsdc_online::fractional::{EvalMode, HalfStep, MemorylessBalance};
@@ -8,8 +10,6 @@ use rsdc_online::lcp::Lcp;
 use rsdc_online::randomized::{ceil_star, round_schedule, RandomizedOnline};
 use rsdc_online::traits::{competitive_ratio, run, run_frac};
 use rsdc_tests::instance;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -7,19 +7,21 @@ use rsdc_sim::{latency_summary, Cluster, ServerConfig};
 
 fn config_strategy() -> impl Strategy<Value = ServerConfig> {
     (
-        0.1f64..2.0,  // idle
-        0.0f64..2.0,  // peak delta
-        0.0f64..0.2,  // sleep
-        0u32..3,      // wake slots
-        0.0f64..5.0,  // wake energy
+        0.1f64..2.0, // idle
+        0.0f64..2.0, // peak delta
+        0.0f64..0.2, // sleep
+        0u32..3,     // wake slots
+        0.0f64..5.0, // wake energy
     )
-        .prop_map(|(idle, delta, sleep, wake_slots, wake_energy)| ServerConfig {
-            power_idle: idle,
-            power_peak: idle + delta,
-            power_sleep: sleep,
-            wake_slots,
-            wake_energy,
-        })
+        .prop_map(
+            |(idle, delta, sleep, wake_slots, wake_energy)| ServerConfig {
+                power_idle: idle,
+                power_peak: idle + delta,
+                power_sleep: sleep,
+                wake_slots,
+                wake_energy,
+            },
+        )
 }
 
 proptest! {
