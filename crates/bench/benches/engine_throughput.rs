@@ -1,9 +1,13 @@
 //! Criterion bench: engine policy-steps/second versus shard count on a
-//! synthetic 10k-tenant workload.
+//! synthetic 10k-tenant workload, plus the durability overhead of
+//! journaling every batch through `rsdc-store`.
 //!
-//! Each sample streams one full slot — a batch of 10 000 `(tenant, cost)`
-//! events, one per tenant — through the engine; throughput is reported in
-//! policy-steps (elements) per second for shard counts 1, 2, 4 and 8.
+//! Each sample streams one full slot — a batch of `(tenant, cost)` events,
+//! one per tenant — through the engine; throughput is reported in
+//! policy-steps (elements) per second for shard counts 1, 2, 4 and 8
+//! (`steps_10k_tenants`) and for `NullStore` vs `FileStore` backends at a
+//! fixed shard count (`store_overhead`), which prices the WAL's
+//! serialize + write(+ batched fsync) cost per event.
 //!
 //! Note: shard scaling is wall-clock parallelism, so the curve is flat on
 //! single-core runners; on an N-core machine the batch work fans out to
@@ -12,6 +16,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use rsdc_core::Cost;
 use rsdc_engine::{Engine, EngineConfig, PolicySpec, TenantConfig};
+use rsdc_store::{Durability, FileStore, FileStoreConfig, NullStore};
+use std::sync::Arc;
 
 const TENANTS: usize = 10_000;
 const M: u32 = 128;
@@ -71,9 +77,69 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+const OVERHEAD_TENANTS: usize = 500;
+
+/// `NullStore` vs `FileStore`: the engine is identical, only the shard
+/// journaling hook changes, so the gap is the pure durability overhead
+/// (per-batch JSON serialization + WAL write + fsync every 64 records).
+fn bench_store_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/store_overhead_500_tenants");
+    group.throughput(Throughput::Elements(OVERHEAD_TENANTS as u64));
+    let batches: Vec<Vec<(String, Cost)>> = (0..16)
+        .map(|t| {
+            (0..OVERHEAD_TENANTS)
+                .map(|i| {
+                    let center = ((t * 5 + i) % (M as usize + 1)) as f64;
+                    (format!("t{i}"), Cost::abs(1.0, center))
+                })
+                .collect()
+        })
+        .collect();
+    let dir = std::env::temp_dir()
+        .join("rsdc-bench-store")
+        .join(format!("wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for backend in ["null", "file"] {
+        let store: Arc<dyn Durability> = match backend {
+            "null" => Arc::new(NullStore),
+            _ => Arc::new(
+                FileStore::open(&dir, FileStoreConfig { sync_every: 64 }).expect("open store"),
+            ),
+        };
+        let engine =
+            Engine::with_store(EngineConfig::with_shards(2), store).expect("durable engine");
+        for i in 0..OVERHEAD_TENANTS {
+            engine
+                .admit(TenantConfig::new(format!("t{i}"), M, BETA, PolicySpec::Lcp))
+                .expect("admit");
+        }
+        let mut t = 0usize;
+        group.bench_with_input(BenchmarkId::new("backend", backend), &backend, |b, _| {
+            b.iter_batched(
+                || {
+                    // Setup (untimed): pick the slot batch; checkpoint
+                    // periodically so the WAL stays truncated, as a real
+                    // deployment would run it.
+                    if t > 0 && t.is_multiple_of(256) {
+                        engine.checkpoint().expect("checkpoint");
+                    }
+                    let batch = batches[t % batches.len()].clone();
+                    t += 1;
+                    batch
+                },
+                |batch| engine.step_batch(batch).expect("step"),
+                BatchSize::PerIteration,
+            )
+        });
+        engine.shutdown();
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engine_throughput
+    targets = bench_engine_throughput, bench_store_overhead
 );
 criterion_main!(benches);

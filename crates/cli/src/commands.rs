@@ -70,6 +70,9 @@ COMMANDS
              [--m M] [--beta B] [--out FILE]
              P: lcp | halfstep[:seed] | flcp[:k[,seed]] | memoryless[:seed]
                 | lookahead[:w] | followmin | hysteresis[:band]
+             durability: [--data-dir DIR] [--checkpoint-every N]
+             [--fsync-every N]  (a non-empty DIR is recovered: checkpoint +
+             WAL replay rebuild the pre-crash engine, then the run resumes)
   help       this text
 ";
 
@@ -299,19 +302,48 @@ fn cmd_analyze(args: &Args) -> Result<String, CmdError> {
 }
 
 /// Run the streaming engine over a JSONL event file, or over a synthetic
-/// multi-tenant fleet derived from a trace.
+/// multi-tenant fleet derived from a trace. With `--data-dir` the engine
+/// journals every applied event to a write-ahead log and checkpoints
+/// periodically; restarting over a non-empty directory recovers the exact
+/// pre-crash engine (checkpoint + WAL replay) before processing new input.
 fn cmd_engine(args: &Args) -> Result<String, CmdError> {
     use rsdc_engine::{wire, Engine, EngineConfig, PolicySpec, TenantConfig};
+    use rsdc_store::{Durability, FileStore, FileStoreConfig};
+    use std::sync::Arc;
 
     let shards: usize = args.get_or("shards", 0)?;
-    let engine = if shards == 0 {
-        Engine::new(EngineConfig::default())
-    } else {
-        Engine::new(EngineConfig::with_shards(shards))
+    let checkpoint_every: u64 = args.get_or("checkpoint-every", 0)?;
+    let mut responses: Vec<String> = Vec::new();
+    let mut session = match args.get_str("data-dir") {
+        Some(dir) => {
+            let sync_every: u64 = args.get_or("fsync-every", 32)?;
+            let store: Arc<dyn Durability> = Arc::new(
+                FileStore::open(dir, FileStoreConfig { sync_every })
+                    .map_err(|e| CmdError::Other(e.to_string()))?,
+            );
+            let (session, recovered) = wire::Session::open_durable(shards, store)
+                .map_err(|e| CmdError::Other(e.to_string()))?;
+            if let Some(report) = recovered {
+                responses.push(wire::recovered_line(&report));
+            }
+            session.with_auto_checkpoint(checkpoint_every)
+        }
+        None => {
+            if checkpoint_every > 0 {
+                return Err(CmdError::Other(
+                    "--checkpoint-every requires --data-dir".into(),
+                ));
+            }
+            let engine = if shards == 0 {
+                Engine::new(EngineConfig::default())
+            } else {
+                Engine::new(EngineConfig::with_shards(shards))
+            };
+            wire::Session::new(engine)
+        }
     };
-    let mut session = wire::Session::new(engine);
 
-    let responses = if let Some(path) = args.get_str("events") {
+    let body_lines = if let Some(path) = args.get_str("events") {
         let data = std::fs::read_to_string(path)?;
         session.handle_lines(data.lines())
     } else {
@@ -357,6 +389,13 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
         lines.push("{\"op\":\"stats\"}".to_string());
         session.handle_lines(lines.iter().map(|s| s.as_str()))
     };
+    responses.extend(body_lines);
+
+    // A durable run ends on a checkpoint, so the next start over the same
+    // data directory replays nothing.
+    if session.engine().store().is_durable() {
+        responses.extend(session.handle_lines(["{\"op\":\"checkpoint\"}"]));
+    }
 
     let body = responses.join("\n") + "\n";
     write_output(args, "engine responses", body)
@@ -531,6 +570,64 @@ mod tests {
         let report: serde_json::Value = serde_json::from_str(lines[4]).unwrap();
         assert_eq!(report["report"]["events"], 3);
         assert_eq!(report["report"]["committed"], 3);
+    }
+
+    #[test]
+    fn engine_data_dir_resumes_across_invocations() {
+        let dir = tmp(&format!("engine-data-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let admit = "{\"op\":\"admit\",\"id\":\"a\",\"m\":6,\"beta\":4.0,\"policy\":\"flcp:2,9\"}";
+        let steps: Vec<String> = [2.0, 4.5, 3.0, 1.0, 5.0, 2.5]
+            .iter()
+            .map(|l| format!("{{\"op\":\"step\",\"id\":\"a\",\"load\":{l}}}"))
+            .collect();
+        let report = "{\"op\":\"report\",\"id\":\"a\"}";
+
+        // Uninterrupted reference (no durability).
+        let all = tmp("engine-all.jsonl");
+        std::fs::write(&all, format!("{admit}\n{}\n{report}\n", steps.join("\n"))).unwrap();
+        let out = dispatch(&args(&["engine", "--events", &all, "--shards", "1"])).unwrap();
+        let want = out.lines().last().unwrap().to_string();
+
+        // Same stream split across two engine processes sharing a data dir.
+        let part1 = tmp("engine-part1.jsonl");
+        std::fs::write(&part1, format!("{admit}\n{}\n", steps[..3].join("\n"))).unwrap();
+        let part2 = tmp("engine-part2.jsonl");
+        std::fs::write(&part2, format!("{}\n{report}\n", steps[3..].join("\n"))).unwrap();
+        let out1 = dispatch(&args(&[
+            "engine",
+            "--events",
+            &part1,
+            "--shards",
+            "1",
+            "--data-dir",
+            &dir,
+            "--checkpoint-every",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out1.contains("checkpointed"), "{out1}");
+        assert!(!out1.contains("\"recovered\""), "first run starts cold");
+        let out2 = dispatch(&args(&[
+            "engine",
+            "--events",
+            &part2,
+            "--shards",
+            "2",
+            "--data-dir",
+            &dir,
+        ]))
+        .unwrap();
+        let first: serde_json::Value = serde_json::from_str(out2.lines().next().unwrap()).unwrap();
+        assert_eq!(first["op"], "recovered");
+        assert_eq!(first["report"]["tenants_restored"], 1);
+        let got = out2
+            .lines()
+            .find(|l| l.contains("\"op\":\"report\""))
+            .unwrap()
+            .to_string();
+        assert_eq!(got, want, "resumed run must report byte-identically");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

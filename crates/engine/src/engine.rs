@@ -1,10 +1,15 @@
-//! The engine handle: tenant routing, batched dispatch, lifecycle.
+//! The engine handle: tenant routing, batched dispatch, lifecycle,
+//! checkpointing and crash recovery.
 
+use crate::journal::{CheckpointDoc, JournalRecord};
 use crate::shard::{Event, Request, Shard, ShardStats, StepOutcome};
 use crate::tenant::{TenantConfig, TenantReport, TenantSnapshot};
 use crate::EngineError;
 use rsdc_core::Cost;
+use rsdc_store::{Durability, NullStore};
+use serde::{Deserialize, Serialize};
 use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Engine configuration.
@@ -42,6 +47,48 @@ impl EngineConfig {
 pub struct Engine {
     senders: Vec<Sender<Request>>,
     handles: Vec<JoinHandle<()>>,
+    store: Arc<dyn Durability>,
+}
+
+/// What [`Engine::checkpoint`] produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointReport {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// Tenants captured.
+    pub tenants: usize,
+    /// False when the engine runs on a [`NullStore`] (nothing persisted).
+    pub durable: bool,
+}
+
+/// What [`Engine::recover`] reconstructed from disk.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Sequence of the checkpoint the engine was rebuilt from (0 = none,
+    /// the WAL alone carried the state).
+    pub checkpoint_seq: u64,
+    /// Tenants restored from the checkpoint.
+    pub tenants_restored: usize,
+    /// Whether shard-level aggregates (stats, load metrics) were restored;
+    /// false when the recovering engine's shard count differs from the
+    /// checkpoint's (tenant state is still exact either way).
+    pub shard_meta_restored: bool,
+    /// WAL segments replayed.
+    pub segments: usize,
+    /// WAL records replayed.
+    pub records_replayed: usize,
+    /// Stream events re-applied from replayed batch records.
+    pub events_replayed: usize,
+    /// Records that failed to decode or re-apply (deterministic failures
+    /// such as a journaled duplicate admit count here too).
+    pub replay_errors: usize,
+    /// Segments whose torn/corrupt tail was truncated back to the last
+    /// valid record.
+    pub corrupt_segments: usize,
+    /// Newer-but-invalid checkpoint files skipped by the store scan.
+    pub checkpoints_skipped: usize,
+    /// Sequence of the fresh checkpoint written right after recovery.
+    pub post_checkpoint_seq: u64,
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -54,8 +101,29 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 impl Engine {
-    /// Start the shard workers.
+    /// Start the shard workers with no durability (a [`NullStore`]).
     pub fn new(cfg: EngineConfig) -> Engine {
+        Engine::spawn(cfg, Arc::new(NullStore))
+    }
+
+    /// Start a durable engine journaling through `store`. Fails when the
+    /// store already holds state — recover with [`Engine::recover`]
+    /// instead of silently appending a second, inconsistent history.
+    pub fn with_store(
+        cfg: EngineConfig,
+        store: Arc<dyn Durability>,
+    ) -> Result<Engine, EngineError> {
+        if store.has_state().map_err(EngineError::from_store)? {
+            return Err(EngineError::Store(
+                "store already holds a checkpoint or WAL data; use Engine::recover".into(),
+            ));
+        }
+        let engine = Engine::spawn(cfg, store);
+        engine.attach_store()?;
+        Ok(engine)
+    }
+
+    fn spawn(cfg: EngineConfig, store: Arc<dyn Durability>) -> Engine {
         let n = cfg.shards.max(1);
         let mut senders = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
@@ -69,7 +137,26 @@ impl Engine {
                     .expect("spawn shard worker"),
             );
         }
-        Engine { senders, handles }
+        Engine {
+            senders,
+            handles,
+            store,
+        }
+    }
+
+    /// Hand every shard its journaling handle. Mutations before this point
+    /// are not journaled, which is exactly what recovery replay needs.
+    fn attach_store(&self) -> Result<(), EngineError> {
+        for shard in 0..self.senders.len() {
+            let store = self.store.clone();
+            self.send_plain(shard, move |tx| Request::AttachStore(store, tx))?;
+        }
+        Ok(())
+    }
+
+    /// The durability backend this engine journals through.
+    pub fn store(&self) -> &Arc<dyn Durability> {
+        &self.store
     }
 
     /// Number of shards.
@@ -86,11 +173,19 @@ impl Engine {
         shard: usize,
         make: impl FnOnce(Sender<Result<T, EngineError>>) -> Request,
     ) -> Result<T, EngineError> {
+        self.send_plain(shard, make)?
+    }
+
+    fn send_plain<T>(
+        &self,
+        shard: usize,
+        make: impl FnOnce(Sender<T>) -> Request,
+    ) -> Result<T, EngineError> {
         let (tx, rx) = channel();
         self.senders[shard]
             .send(make(tx))
             .map_err(|_| EngineError::ShardDown(shard))?;
-        rx.recv().map_err(|_| EngineError::ShardDown(shard))?
+        rx.recv().map_err(|_| EngineError::ShardDown(shard))
     }
 
     /// Admit a new tenant.
@@ -220,6 +315,150 @@ impl Engine {
             all.push(rx.recv().map_err(|_| EngineError::ShardDown(shard))?);
         }
         Ok(all)
+    }
+
+    /// Ids of every tenant across all shards, sorted.
+    pub fn tenant_ids(&self) -> Result<Vec<String>, EngineError> {
+        let mut replies = Vec::new();
+        for (shard, tx_req) in self.senders.iter().enumerate() {
+            let (tx, rx) = channel();
+            tx_req
+                .send(Request::TenantIds(tx))
+                .map_err(|_| EngineError::ShardDown(shard))?;
+            replies.push((shard, rx));
+        }
+        let mut all = Vec::new();
+        for (shard, rx) in replies {
+            all.extend(rx.recv().map_err(|_| EngineError::ShardDown(shard))?);
+        }
+        all.sort_unstable();
+        Ok(all)
+    }
+
+    /// Capture a full-state checkpoint and truncate the write-ahead log.
+    ///
+    /// Each shard rotates its WAL at the exact request-stream position of
+    /// its snapshot, so the published document plus the (now empty) new
+    /// segments are equivalent to the old checkpoint plus the old WAL —
+    /// committing the document then deletes the superseded files. On a
+    /// [`NullStore`] engine this is a consistent no-op dump
+    /// (`durable: false`).
+    pub fn checkpoint(&self) -> Result<CheckpointReport, EngineError> {
+        let durable = self.store.is_durable();
+        let seq = self
+            .store
+            .begin_checkpoint()
+            .map_err(EngineError::from_store)?;
+        let mut replies = Vec::new();
+        for (shard, tx_req) in self.senders.iter().enumerate() {
+            let (tx, rx) = channel();
+            tx_req
+                .send(Request::Checkpoint(seq, tx))
+                .map_err(|_| EngineError::ShardDown(shard))?;
+            replies.push((shard, rx));
+        }
+        let mut tenants = Vec::new();
+        let mut shard_meta = Vec::new();
+        for (shard, rx) in replies {
+            let dump = rx.recv().map_err(|_| EngineError::ShardDown(shard))??;
+            tenants.extend(dump.snapshots);
+            shard_meta.push(dump.meta);
+        }
+        tenants.sort_by(|a, b| a.config.id.cmp(&b.config.id));
+        let count = tenants.len();
+        if durable {
+            let doc = CheckpointDoc {
+                seq,
+                shards: self.shards(),
+                tenants,
+                shard_meta,
+            };
+            self.store
+                .commit_checkpoint(seq, &doc.encode())
+                .map_err(EngineError::from_store)?;
+        }
+        Ok(CheckpointReport {
+            seq,
+            tenants: count,
+            durable,
+        })
+    }
+
+    /// Rebuild the pre-crash engine from a store: load the newest valid
+    /// checkpoint, replay the WAL tail on top of it, then write a fresh
+    /// checkpoint so the next restart starts from a compact log.
+    ///
+    /// Replay happens before the store is attached to the shards, so
+    /// replayed operations are not re-journaled. Per-tenant state is exact
+    /// for any shard count; shard-level aggregates are only carried over
+    /// when the shard count matches the checkpoint's.
+    pub fn recover(
+        cfg: EngineConfig,
+        store: Arc<dyn Durability>,
+    ) -> Result<(Engine, RecoveryReport), EngineError> {
+        let recovery = store.recover().map_err(EngineError::from_store)?;
+        let engine = Engine::spawn(cfg, store);
+        let mut report = RecoveryReport {
+            checkpoints_skipped: recovery.checkpoints_skipped,
+            ..RecoveryReport::default()
+        };
+        if let Some(blob) = &recovery.checkpoint {
+            let doc = CheckpointDoc::decode(&blob.payload).map_err(EngineError::Store)?;
+            report.checkpoint_seq = doc.seq;
+            for snapshot in doc.tenants {
+                engine.restore(snapshot)?;
+                report.tenants_restored += 1;
+            }
+            if doc.shards == engine.shards() {
+                for meta in doc.shard_meta {
+                    let shard = meta.shard;
+                    engine.send_plain(shard, move |tx| Request::InstallMeta(Box::new(meta), tx))?;
+                }
+                report.shard_meta_restored = true;
+            }
+        }
+        for segment in &recovery.segments {
+            report.segments += 1;
+            if segment.dropped_bytes > 0 {
+                report.corrupt_segments += 1;
+            }
+            for bytes in &segment.records {
+                report.records_replayed += 1;
+                match JournalRecord::decode(bytes) {
+                    Err(_) => report.replay_errors += 1,
+                    Ok(record) => engine.replay(record, &mut report),
+                }
+            }
+        }
+        engine.attach_store()?;
+        report.post_checkpoint_seq = engine.checkpoint()?.seq;
+        Ok((engine, report))
+    }
+
+    /// Re-apply one journaled operation during recovery. Failures are
+    /// counted, not fatal: a journaled operation that failed originally
+    /// (e.g. an evict raced with an admit) fails identically here.
+    fn replay(&self, record: JournalRecord, report: &mut RecoveryReport) {
+        let outcome = match record {
+            JournalRecord::Admit(cfg) => self.admit(cfg),
+            JournalRecord::Batch(events) => {
+                match self
+                    .step_batch_loads(events.into_iter().map(|e| (e.id, e.cost, e.load)).collect())
+                {
+                    Ok(outcomes) => {
+                        report.events_replayed += outcomes.len();
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            JournalRecord::Finish(id) => self.finish(&id).map(|_| ()),
+            JournalRecord::Evict(id) => self.evict(&id).map(|_| ()),
+            JournalRecord::Restore(snapshot) => self.restore(*snapshot),
+        };
+        if outcome.is_err() {
+            report.replay_errors += 1;
+        }
     }
 
     /// Stop all shard workers and join their threads.

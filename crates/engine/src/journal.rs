@@ -1,0 +1,143 @@
+//! What the engine writes into the durability layer: WAL record payloads
+//! (one per state-mutating shard operation, journaled *before* the
+//! operation is applied) and the full-state checkpoint document.
+//!
+//! The `rsdc-store` backends treat both as opaque bytes; this module owns
+//! their JSON encoding. Replay is exact because batch records carry the
+//! already-priced [`Cost`] of every event — recovery never re-prices loads,
+//! so it is independent of per-tenant cost models.
+
+use crate::shard::ShardMeta;
+use crate::tenant::{TenantConfig, TenantSnapshot};
+use rsdc_core::Cost;
+use serde::{Deserialize, Serialize};
+
+/// One event inside a journaled batch: the priced cost plus the offered
+/// load that feeds shard metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JournalEvent {
+    /// Tenant id.
+    pub id: String,
+    /// Priced cost function for the slot.
+    pub cost: Cost,
+    /// Offered load, when the event carried one.
+    pub load: Option<f64>,
+}
+
+/// One WAL record: a state-mutating engine operation, journaled by the
+/// owning shard before it applies the operation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A tenant was admitted.
+    Admit(TenantConfig),
+    /// A batch of events was applied (including events that failed with a
+    /// per-event error — replay reproduces those outcomes identically).
+    Batch(Vec<JournalEvent>),
+    /// End-of-stream flush for a tenant.
+    Finish(String),
+    /// A tenant was removed.
+    Evict(String),
+    /// A tenant was installed from a snapshot.
+    Restore(Box<TenantSnapshot>),
+}
+
+impl JournalRecord {
+    /// Encode for the WAL.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("journal records are serializable")
+            .into_bytes()
+    }
+
+    /// Decode a WAL record payload.
+    pub fn decode(bytes: &[u8]) -> Result<JournalRecord, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("journal not UTF-8: {e}"))?;
+        serde_json::from_str(text).map_err(|e| format!("bad journal record: {e}"))
+    }
+}
+
+/// The checkpoint document: complete engine state at one WAL boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointDoc {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// Shard count of the engine that wrote the checkpoint. Shard-level
+    /// aggregates are only restored when the recovering engine's shard
+    /// count matches (tenant state is shard-count independent).
+    pub shards: usize,
+    /// Every tenant's full snapshot, sorted by id for deterministic bytes.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Per-shard aggregate state, indexed by shard.
+    pub shard_meta: Vec<ShardMeta>,
+}
+
+impl CheckpointDoc {
+    /// Encode for the store.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("checkpoint documents are serializable")
+            .into_bytes()
+    }
+
+    /// Decode a checkpoint payload.
+    pub fn decode(bytes: &[u8]) -> Result<CheckpointDoc, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("checkpoint not UTF-8: {e}"))?;
+        serde_json::from_str(text).map_err(|e| format!("bad checkpoint: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::{PolicySpec, Tenant};
+
+    #[test]
+    fn journal_record_round_trip() {
+        let records = vec![
+            JournalRecord::Admit(TenantConfig::new("a", 4, 2.0, PolicySpec::Lcp)),
+            JournalRecord::Batch(vec![
+                JournalEvent {
+                    id: "a".into(),
+                    cost: Cost::abs(1.5, 2.0),
+                    load: Some(2.0),
+                },
+                JournalEvent {
+                    id: "b".into(),
+                    cost: Cost::Zero,
+                    load: None,
+                },
+            ]),
+            JournalRecord::Finish("a".into()),
+            JournalRecord::Evict("a".into()),
+        ];
+        for rec in records {
+            let bytes = rec.encode();
+            let back = JournalRecord::decode(&bytes).unwrap();
+            assert_eq!(bytes, back.encode(), "{rec:?}");
+        }
+        assert!(JournalRecord::decode(b"{\"nope\":1}").is_err());
+        assert!(JournalRecord::decode(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_doc_round_trip() {
+        let mut tenant = Tenant::new(
+            TenantConfig::new("t", 5, 1.5, PolicySpec::FlcpRounded { k: 2, seed: 3 })
+                .with_opt_tracking(),
+        );
+        for i in 0..7 {
+            tenant.step(&Cost::abs(1.0, i as f64), Some(i as f64));
+        }
+        let doc = CheckpointDoc {
+            seq: 9,
+            shards: 2,
+            tenants: vec![tenant.snapshot()],
+            shard_meta: Vec::new(),
+        };
+        let back = CheckpointDoc::decode(&doc.encode()).unwrap();
+        assert_eq!(back.seq, 9);
+        assert_eq!(back.shards, 2);
+        assert_eq!(back.tenants.len(), 1);
+        assert_eq!(back.encode(), doc.encode());
+    }
+}

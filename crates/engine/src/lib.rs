@@ -38,10 +38,17 @@
 //!   words, lookahead buffers and the running accounting — so a tenant
 //!   restored on a fresh engine continues **bit-identically**, a property
 //!   the cross-crate differential tests enforce.
+//! * **Durability** ([`journal`], `rsdc-store`): shards journal every
+//!   state-mutating operation to a per-shard write-ahead log *before*
+//!   applying it, [`Engine::checkpoint`] captures full engine state and
+//!   truncates the log, and [`Engine::recover`] rebuilds the exact
+//!   pre-crash engine from the newest checkpoint plus the WAL tail —
+//!   byte-identical reports, enforced by randomized kill-point tests.
 //! * **Wire format** ([`wire`]) is JSON-lines: `admit`/`step`/`finish`/
-//!   `snapshot`/`restore`/`report`/`stats` records, with ingestion helpers
-//!   from [`rsdc_workloads`] traces. The `rsdc engine` CLI subcommand and
-//!   the `engine_stream` example speak it end to end.
+//!   `snapshot`/`restore`/`report`/`stats`/`checkpoint`/`recover`/
+//!   `wal_stats` records, with ingestion helpers from [`rsdc_workloads`]
+//!   traces and per-line error attribution. The `rsdc engine` CLI
+//!   subcommand and the `engine_stream` example speak it end to end.
 //!
 //! ## Example
 //!
@@ -66,12 +73,13 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod journal;
 pub mod shard;
 pub mod tenant;
 pub mod wire;
 
-pub use engine::{Engine, EngineConfig};
-pub use shard::{ShardStats, StepOutcome};
+pub use engine::{CheckpointReport, Engine, EngineConfig, RecoveryReport};
+pub use shard::{ShardMeta, ShardStats, StepOutcome};
 pub use tenant::{PolicySpec, TenantConfig, TenantReport, TenantSnapshot};
 
 /// Errors surfaced by [`Engine`] operations.
@@ -85,6 +93,15 @@ pub enum EngineError {
     ShardDown(usize),
     /// Policy-level failure (invalid snapshot, bad parameters).
     Policy(rsdc_core::Error),
+    /// Durability-layer failure (WAL append, checkpoint, recovery scan).
+    Store(String),
+}
+
+impl EngineError {
+    /// Wrap a store error.
+    pub fn from_store(e: rsdc_store::StoreError) -> EngineError {
+        EngineError::Store(e.to_string())
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -94,6 +111,7 @@ impl std::fmt::Display for EngineError {
             EngineError::DuplicateTenant(id) => write!(f, "tenant {id:?} already admitted"),
             EngineError::ShardDown(i) => write!(f, "shard {i} is down"),
             EngineError::Policy(e) => write!(f, "policy error: {e}"),
+            EngineError::Store(m) => write!(f, "store error: {m}"),
         }
     }
 }
@@ -245,6 +263,106 @@ mod tests {
         assert_eq!(slots, 30);
         assert!(stats.iter().map(|s| s.total_energy).sum::<f64>() > 0.0);
         engine.shutdown();
+    }
+
+    #[test]
+    fn crash_recovery_matches_uninterrupted_run() {
+        use rsdc_store::{FileStore, FileStoreConfig};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir()
+            .join("rsdc-engine-tests")
+            .join(format!("recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = costs(40);
+        let policies = || {
+            [
+                PolicySpec::Lcp,
+                PolicySpec::FlcpRounded { k: 2, seed: 5 },
+                PolicySpec::Lookahead { window: 3 },
+            ]
+        };
+        let feed = |engine: &Engine, slice: &[Cost]| {
+            for f in slice {
+                let batch = (0..3)
+                    .map(|i| (format!("t{i}"), f.clone(), Some(1.5 + i as f64)))
+                    .collect();
+                engine.step_batch_loads(batch).unwrap();
+            }
+        };
+
+        // Uninterrupted reference (no store).
+        let reference = Engine::new(EngineConfig::with_shards(2));
+        for (i, policy) in policies().into_iter().enumerate() {
+            reference
+                .admit(TenantConfig::new(format!("t{i}"), 6, 2.0, policy).with_opt_tracking())
+                .unwrap();
+        }
+        feed(&reference, &fs);
+        let want = reference.report_all().unwrap();
+
+        // Durable run, killed mid-stream (dropped without a checkpoint
+        // covering the last 12 slots).
+        let store: Arc<dyn rsdc_store::Durability> =
+            Arc::new(FileStore::open(&dir, FileStoreConfig { sync_every: 8 }).unwrap());
+        let durable = Engine::with_store(EngineConfig::with_shards(2), store.clone()).unwrap();
+        for (i, policy) in policies().into_iter().enumerate() {
+            durable
+                .admit(TenantConfig::new(format!("t{i}"), 6, 2.0, policy).with_opt_tracking())
+                .unwrap();
+        }
+        feed(&durable, &fs[..17]);
+        durable.checkpoint().unwrap();
+        feed(&durable, &fs[17..29]);
+        drop(durable);
+
+        let (recovered, report) =
+            Engine::recover(EngineConfig::with_shards(2), store.clone()).unwrap();
+        assert_eq!(report.tenants_restored, 3);
+        // 12 post-checkpoint slots, one WAL record per (slot, shard touched).
+        assert!((12..=24).contains(&report.records_replayed));
+        assert_eq!(report.events_replayed, 36);
+        assert_eq!(report.replay_errors, 0);
+        assert!(report.shard_meta_restored);
+        feed(&recovered, &fs[29..]);
+        let got = recovered.report_all().unwrap();
+        let to_text = |rs: &[TenantReport]| -> Vec<String> {
+            rs.iter()
+                .map(|r| serde_json::to_string(r).unwrap())
+                .collect()
+        };
+        assert_eq!(to_text(&got), to_text(&want), "per-tenant reports");
+        // Shard-level stats survived the crash exactly too.
+        assert_eq!(
+            serde_json::to_string(&recovered.shard_stats().unwrap()).unwrap(),
+            serde_json::to_string(&reference.shard_stats().unwrap()).unwrap(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn with_store_refuses_dirty_store() {
+        use rsdc_store::{FileStore, FileStoreConfig};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir()
+            .join("rsdc-engine-tests")
+            .join(format!("dirty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store: Arc<dyn rsdc_store::Durability> =
+            Arc::new(FileStore::open(&dir, FileStoreConfig::default()).unwrap());
+        let engine = Engine::with_store(EngineConfig::with_shards(1), store.clone()).unwrap();
+        engine
+            .admit(TenantConfig::new("a", 4, 1.0, PolicySpec::Lcp))
+            .unwrap();
+        drop(engine);
+        assert!(matches!(
+            Engine::with_store(EngineConfig::with_shards(1), store.clone()),
+            Err(EngineError::Store(_))
+        ));
+        // Recovery is the sanctioned path onto existing state.
+        let (engine, report) = Engine::recover(EngineConfig::with_shards(1), store).unwrap();
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(engine.tenant_ids().unwrap(), vec!["a".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

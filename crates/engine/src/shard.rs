@@ -1,12 +1,21 @@
 //! Shard workers: each shard is one OS thread owning a disjoint set of
 //! tenants, driven by batched requests over an MPSC channel.
+//!
+//! When a durable store is attached, every state-mutating request is
+//! journaled to the shard's write-ahead log *before* it is applied
+//! (write-ahead discipline), and checkpoint captures rotate the WAL at the
+//! exact request-stream position of the snapshot — the shard thread is the
+//! serialization point, so the snapshot/WAL boundary is always consistent.
 
+use crate::journal::{JournalEvent, JournalRecord};
 use crate::tenant::{Tenant, TenantConfig, TenantReport, TenantSnapshot};
 use crate::EngineError;
 use rsdc_sim::metrics::{Metrics, SlotRecord};
+use rsdc_store::Durability;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 
 /// One streamed event: a tenant id, its next cost function, and (when the
 /// event was derived from a load) the offered load — which feeds the
@@ -59,6 +68,31 @@ pub struct ShardStats {
     pub total_wakes: u32,
 }
 
+/// Aggregate shard state that lives outside any tenant: the counters and
+/// load metrics a checkpoint must carry for the recovered engine to be
+/// bit-identical to the pre-crash one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardMeta {
+    /// Shard index.
+    pub shard: usize,
+    /// Events processed.
+    pub events: u64,
+    /// States committed.
+    pub states: u64,
+    /// Load-aware metrics accumulated by this shard.
+    pub metrics: Metrics,
+}
+
+/// What one shard contributes to a checkpoint: every tenant snapshot plus
+/// the shard-level aggregates, captured atomically with the WAL rotation.
+#[derive(Debug, Clone)]
+pub struct ShardDump {
+    /// Tenant snapshots, sorted by id.
+    pub snapshots: Vec<TenantSnapshot>,
+    /// Shard-level aggregate state.
+    pub meta: ShardMeta,
+}
+
 /// Requests a shard worker serves.
 pub enum Request {
     /// Admit a new tenant.
@@ -83,6 +117,15 @@ pub enum Request {
     ),
     /// Shard-level aggregate statistics.
     Stats(Sender<ShardStats>),
+    /// Ids of the tenants living on this shard (sorted).
+    TenantIds(Sender<Vec<String>>),
+    /// Attach a durability backend: subsequent mutations are journaled.
+    AttachStore(Arc<dyn Durability>, Sender<()>),
+    /// Capture this shard's checkpoint contribution, rotating its WAL to
+    /// the segment for the given checkpoint sequence at the capture point.
+    Checkpoint(u64, Sender<Result<ShardDump, EngineError>>),
+    /// Install shard-level aggregates from a checkpoint (recovery only).
+    InstallMeta(Box<ShardMeta>, Sender<()>),
     /// Stop the worker.
     Shutdown,
 }
@@ -94,6 +137,7 @@ pub struct Shard {
     metrics: Metrics,
     events: u64,
     states: u64,
+    store: Option<Arc<dyn Durability>>,
 }
 
 impl Shard {
@@ -105,6 +149,7 @@ impl Shard {
             metrics: Metrics::default(),
             events: 0,
             states: 0,
+            store: None,
         };
         while let Ok(req) = rx.recv() {
             match req {
@@ -124,13 +169,7 @@ impl Shard {
                     let _ = reply.send(shard.restore(*snapshot));
                 }
                 Request::Evict(id, reply) => {
-                    let _ = reply.send(
-                        shard
-                            .tenants
-                            .remove(&id)
-                            .map(|t| t.report())
-                            .ok_or(EngineError::UnknownTenant(id)),
-                    );
+                    let _ = reply.send(shard.evict(&id));
                 }
                 Request::Report(Some(id), reply) => {
                     let _ = reply.send(shard.tenant(&id).map(|t| vec![t.report()]));
@@ -144,9 +183,69 @@ impl Shard {
                 Request::Stats(reply) => {
                     let _ = reply.send(shard.stats());
                 }
+                Request::TenantIds(reply) => {
+                    let mut ids: Vec<String> = shard.tenants.keys().cloned().collect();
+                    ids.sort_unstable();
+                    let _ = reply.send(ids);
+                }
+                Request::AttachStore(store, reply) => {
+                    shard.store = Some(store);
+                    let _ = reply.send(());
+                }
+                Request::Checkpoint(seq, reply) => {
+                    let _ = reply.send(shard.checkpoint(seq));
+                }
+                Request::InstallMeta(meta, reply) => {
+                    shard.events = meta.events;
+                    shard.states = meta.states;
+                    shard.metrics = meta.metrics;
+                    let _ = reply.send(());
+                }
                 Request::Shutdown => break,
             }
         }
+        // Whatever the store buffered reaches disk before the thread dies.
+        if let Some(store) = &shard.store {
+            let _ = store.sync();
+        }
+    }
+
+    fn durable(&self) -> bool {
+        self.store.as_ref().is_some_and(|s| s.is_durable())
+    }
+
+    /// Write-ahead hook: persist `record` to this shard's WAL. Callers
+    /// journal *before* mutating, so a crash between the two replays the
+    /// mutation instead of losing it.
+    fn journal(&self, record: &JournalRecord) -> Result<(), EngineError> {
+        if self.durable() {
+            let store = self.store.as_ref().expect("durable implies store");
+            store
+                .append(self.index, &record.encode())
+                .map_err(|e| EngineError::Store(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, seq: u64) -> Result<ShardDump, EngineError> {
+        if self.durable() {
+            let store = self.store.as_ref().expect("durable implies store");
+            store
+                .rotate(self.index, seq)
+                .map_err(|e| EngineError::Store(e.to_string()))?;
+        }
+        let mut snapshots: Vec<TenantSnapshot> =
+            self.tenants.values().map(|t| t.snapshot()).collect();
+        snapshots.sort_by(|a, b| a.config.id.cmp(&b.config.id));
+        Ok(ShardDump {
+            snapshots,
+            meta: ShardMeta {
+                shard: self.index,
+                events: self.events,
+                states: self.states,
+                metrics: self.metrics.clone(),
+            },
+        })
     }
 
     fn tenant(&self, id: &str) -> Result<&Tenant, EngineError> {
@@ -159,11 +258,37 @@ impl Shard {
         if self.tenants.contains_key(&cfg.id) {
             return Err(EngineError::DuplicateTenant(cfg.id));
         }
+        self.journal(&JournalRecord::Admit(cfg.clone()))?;
         self.tenants.insert(cfg.id.clone(), Tenant::new(cfg));
         Ok(())
     }
 
+    fn evict(&mut self, id: &str) -> Result<TenantReport, EngineError> {
+        if !self.tenants.contains_key(id) {
+            return Err(EngineError::UnknownTenant(id.to_string()));
+        }
+        self.journal(&JournalRecord::Evict(id.to_string()))?;
+        Ok(self.tenants.remove(id).expect("checked above").report())
+    }
+
     fn batch(&mut self, events: Vec<Event>) -> Result<Vec<(usize, StepOutcome)>, EngineError> {
+        if self.durable() {
+            // The whole batch is one WAL record, including events that will
+            // fail with a per-event error: replay reproduces the outcomes
+            // identically either way, and one record per batch is what
+            // keeps journaling off the per-event hot path.
+            let record = JournalRecord::Batch(
+                events
+                    .iter()
+                    .map(|ev| JournalEvent {
+                        id: ev.id.clone(),
+                        cost: ev.cost.clone(),
+                        load: ev.load,
+                    })
+                    .collect(),
+            );
+            self.journal(&record)?;
+        }
         let mut out = Vec::with_capacity(events.len());
         for ev in events {
             let Some(tenant) = self.tenants.get_mut(&ev.id) else {
@@ -194,10 +319,11 @@ impl Shard {
     }
 
     fn finish(&mut self, id: &str) -> Result<StepOutcome, EngineError> {
-        let tenant = self
-            .tenants
-            .get_mut(id)
-            .ok_or_else(|| EngineError::UnknownTenant(id.to_string()))?;
+        if !self.tenants.contains_key(id) {
+            return Err(EngineError::UnknownTenant(id.to_string()));
+        }
+        self.journal(&JournalRecord::Finish(id.to_string()))?;
+        let tenant = self.tenants.get_mut(id).expect("checked above");
         let effect = tenant.finish();
         self.states += effect.commits.len() as u64;
         self.meter(&effect);
@@ -238,6 +364,9 @@ impl Shard {
 
     fn restore(&mut self, snapshot: TenantSnapshot) -> Result<(), EngineError> {
         let id = snapshot.config.id.clone();
+        if self.durable() {
+            self.journal(&JournalRecord::Restore(Box::new(snapshot.clone())))?;
+        }
         let tenant = Tenant::from_snapshot(snapshot).map_err(EngineError::Policy)?;
         self.tenants.insert(id, tenant);
         Ok(())

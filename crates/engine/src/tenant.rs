@@ -6,6 +6,7 @@ use rsdc_online::bounds::{BoundTracker, TrackerSnapshot};
 use rsdc_online::streaming::{
     StreamFollowMin, StreamHysteresis, StreamLcp, StreamLookahead, StreamRounded, StreamingPolicy,
 };
+use rsdc_workloads::builder::CostModel;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -126,6 +127,11 @@ pub struct TenantConfig {
     /// Maintain a prefix-optimum tracker (one extra `O(m)` pass per event)
     /// so reports include the competitive ratio.
     pub track_opt: bool,
+    /// Cost model used to price raw `load` events for this tenant, when it
+    /// differs from the beta-derived default. Carried in the config (and
+    /// therefore in snapshots and journaled admits) so load pricing
+    /// survives crash recovery.
+    pub cost_model: Option<CostModel>,
 }
 
 impl TenantConfig {
@@ -137,6 +143,7 @@ impl TenantConfig {
             beta,
             policy,
             track_opt: false,
+            cost_model: None,
         }
     }
 
@@ -144,6 +151,21 @@ impl TenantConfig {
     pub fn with_opt_tracking(mut self) -> Self {
         self.track_opt = true;
         self
+    }
+
+    /// Attach an explicit cost model for `load`-carrying events.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
+    /// The cost model that prices this tenant's `load` events: the
+    /// explicit one, or the beta-derived default.
+    pub fn load_cost_model(&self) -> CostModel {
+        self.cost_model.unwrap_or(CostModel {
+            beta: self.beta,
+            ..CostModel::default()
+        })
     }
 }
 

@@ -13,6 +13,9 @@
 //! {"op":"report"}            // all tenants
 //! {"op":"report","id":"t1"}
 //! {"op":"stats"}
+//! {"op":"checkpoint"}        // durable full-state checkpoint + WAL truncation
+//! {"op":"recover"}           // rebuild the engine from the durable store
+//! {"op":"wal_stats"}         // store + tenant-distribution statistics
 //! ```
 //!
 //! `step` events carry either an explicit serialized [`Cost`] or a raw
@@ -20,8 +23,10 @@
 //! [`rsdc_workloads::builder::CostModel`] (the admit record may override
 //! the default model with a `"cost_model"` object). Response records mirror
 //! the request: `admitted`, `stepped` (with committed `states`),
-//! `finished`, `snapshot`, `restored`, `report`, `stats`, or
-//! `{"op":"error","message":...}`.
+//! `finished`, `snapshot`, `restored`, `report`, `stats`, `checkpointed`,
+//! `recovered`, `wal_stats`, or `{"op":"error","line":N,"message":...}` —
+//! error responses carry the 1-based input line number of the offending
+//! record, so a failing line inside a large JSONL batch is locatable.
 
 use crate::shard::StepOutcome;
 use crate::tenant::{PolicySpec, TenantConfig, TenantSnapshot};
@@ -71,6 +76,12 @@ pub enum Record {
     Report(Option<String>),
     /// Per-shard statistics.
     Stats,
+    /// Durable full-state checkpoint (truncates the WAL).
+    Checkpoint,
+    /// Rebuild the engine from its durable store.
+    Recover,
+    /// Durability-layer statistics.
+    WalStats,
 }
 
 /// A wire-format error with the offending context.
@@ -132,16 +143,20 @@ pub fn parse_record(line: &str) -> Result<Record, WireError> {
                 .get("track_opt")
                 .and_then(|x| x.as_bool())
                 .unwrap_or(false);
-            let cost_model = match v.get("cost_model") {
-                Some(cm) if !cm.is_null() => CostModel::from_value(cm)
-                    .map_err(|e| WireError(format!("bad cost_model: {e}")))?,
-                _ => CostModel {
-                    beta,
-                    ..CostModel::default()
-                },
+            let explicit_model = match v.get("cost_model") {
+                Some(cm) if !cm.is_null() => Some(
+                    CostModel::from_value(cm)
+                        .map_err(|e| WireError(format!("bad cost_model: {e}")))?,
+                ),
+                _ => None,
             };
             let mut config = TenantConfig::new(id, m, beta, policy);
             config.track_opt = track_opt;
+            // An explicit model rides in the config so it lands in
+            // snapshots and journaled admits — load pricing then survives
+            // crash recovery.
+            config.cost_model = explicit_model;
+            let cost_model = config.load_cost_model();
             Ok(Record::Admit { config, cost_model })
         }
         "step" => {
@@ -190,6 +205,9 @@ pub fn parse_record(line: &str) -> Result<Record, WireError> {
             v.get("id").and_then(|x| x.as_str()).map(|s| s.to_string()),
         )),
         "stats" => Ok(Record::Stats),
+        "checkpoint" => Ok(Record::Checkpoint),
+        "recover" => Ok(Record::Recover),
+        "wal_stats" => Ok(Record::WalStats),
         other => Err(WireError(format!("unknown op {other:?}"))),
     }
 }
@@ -203,6 +221,7 @@ pub fn admit_line(config: &TenantConfig) -> String {
         "beta": config.beta,
         "policy": config.policy.to_value(),
         "track_opt": config.track_opt,
+        "cost_model": config.cost_model.to_value(),
     });
     serde_json::to_string(&v).expect("serializable")
 }
@@ -249,9 +268,16 @@ pub fn trace_records(id: &str, trace: &Trace) -> Vec<String> {
 /// A stateful JSONL server: an [`Engine`](crate::Engine) plus the per-tenant
 /// cost models used to price `load` events. Consecutive `step` records are
 /// ingested as one batched [`Engine::step_batch_loads`](crate::Engine) call.
+///
+/// When the engine journals through a durable store, the session also
+/// serves the `checkpoint`/`recover`/`wal_stats` ops and can checkpoint
+/// automatically every N applied step events
+/// ([`with_auto_checkpoint`](Session::with_auto_checkpoint)).
 pub struct Session {
     engine: crate::Engine,
     models: std::collections::HashMap<String, CostModel>,
+    auto_checkpoint: u64,
+    since_checkpoint: u64,
 }
 
 impl Session {
@@ -260,7 +286,52 @@ impl Session {
         Session {
             engine,
             models: std::collections::HashMap::new(),
+            auto_checkpoint: 0,
+            since_checkpoint: 0,
         }
+    }
+
+    /// Open a durable session over `store`: recovers the pre-crash engine
+    /// when the store holds state (returning the recovery report),
+    /// otherwise starts a fresh journaling engine. `shards == 0` picks the
+    /// default shard count.
+    pub fn open_durable(
+        shards: usize,
+        store: std::sync::Arc<dyn rsdc_store::Durability>,
+    ) -> Result<(Session, Option<crate::RecoveryReport>), crate::EngineError> {
+        let cfg = if shards == 0 {
+            crate::EngineConfig::default()
+        } else {
+            crate::EngineConfig::with_shards(shards)
+        };
+        if store.has_state().map_err(crate::EngineError::from_store)? {
+            let (engine, report) = crate::Engine::recover(cfg, store)?;
+            let mut session = Session::new(engine);
+            session.reload_models()?;
+            Ok((session, Some(report)))
+        } else {
+            let engine = crate::Engine::with_store(cfg, store)?;
+            Ok((Session::new(engine), None))
+        }
+    }
+
+    /// Checkpoint automatically after every `every` applied step events
+    /// (0 disables). Auto-checkpoints emit their own `checkpointed`
+    /// response lines.
+    pub fn with_auto_checkpoint(mut self, every: u64) -> Self {
+        self.auto_checkpoint = every;
+        self
+    }
+
+    /// Rebuild the per-tenant cost models from engine state (each tenant's
+    /// config carries its explicit model, when one was given at admit).
+    fn reload_models(&mut self) -> Result<(), crate::EngineError> {
+        self.models.clear();
+        for id in self.engine.tenant_ids()? {
+            let snapshot = self.engine.snapshot(&id)?;
+            self.models.insert(id, snapshot.config.load_cost_model());
+        }
+        Ok(())
     }
 
     /// The underlying engine.
@@ -286,21 +357,59 @@ impl Session {
         }
     }
 
-    fn flush_steps(
-        &mut self,
-        pending: &mut Vec<(String, Cost, Option<f64>)>,
-        out: &mut Vec<String>,
-    ) {
+    fn flush_steps(&mut self, pending: &mut Vec<PendingStep>, out: &mut Vec<String>) {
         if pending.is_empty() {
             return;
         }
-        match self.engine.step_batch_loads(std::mem::take(pending)) {
-            Ok(outcomes) => out.extend(outcomes.iter().map(stepped_line)),
-            Err(e) => out.push(error_line(&e.to_string())),
+        let lines: Vec<usize> = pending.iter().map(|p| p.line).collect();
+        let batch = std::mem::take(pending)
+            .into_iter()
+            .map(|p| (p.id, p.cost, p.load))
+            .collect();
+        match self.engine.step_batch_loads(batch) {
+            Ok(outcomes) => {
+                self.since_checkpoint += outcomes.len() as u64;
+                out.extend(
+                    outcomes
+                        .iter()
+                        .zip(&lines)
+                        .map(|(o, &line)| stepped_line_at(o, line)),
+                );
+                if self.auto_checkpoint > 0 && self.since_checkpoint >= self.auto_checkpoint {
+                    self.since_checkpoint = 0;
+                    match self.engine.checkpoint() {
+                        Ok(report) => out.push(checkpointed_line(&report)),
+                        Err(e) => out.push(error_line_at(lines[0], &e.to_string())),
+                    }
+                }
+            }
+            Err(e) => out.push(error_line_at(lines[0], &e.to_string())),
         }
     }
 
-    fn handle_control(&mut self, record: Record, out: &mut Vec<String>) {
+    fn recover_in_place(&mut self) -> Result<crate::RecoveryReport, crate::EngineError> {
+        let store = self.engine.store().clone();
+        if !store.is_durable() {
+            return Err(crate::EngineError::Store(
+                "engine has no durable store to recover from".into(),
+            ));
+        }
+        let shards = self.engine.shards();
+        // Recover first and swap only on success: a failed recovery must
+        // leave the session on its old, still-durable engine instead of
+        // silently downgrading it. The old engine is idle while we do this
+        // (the session serializes all requests), so nothing appends while
+        // the scan repairs the WAL.
+        let (engine, report) =
+            crate::Engine::recover(crate::EngineConfig::with_shards(shards), store)?;
+        std::mem::replace(&mut self.engine, engine).shutdown();
+        self.since_checkpoint = 0;
+        self.reload_models()?;
+        Ok(report)
+    }
+
+    fn handle_control(&mut self, record: Record, line: usize, out: &mut Vec<String>) {
+        let error_line = |message: &str| error_line_at(line, message);
         match record {
             Record::Step { .. } => unreachable!("steps are batched by the caller"),
             Record::Admit { config, cost_model } => {
@@ -346,14 +455,16 @@ impl Session {
                 Err(e) => out.push(error_line(&e.to_string())),
             },
             Record::Restore {
-                snapshot,
+                mut snapshot,
                 cost_model,
             } => {
                 let id = snapshot.config.id.clone();
-                let model = cost_model.unwrap_or(CostModel {
-                    beta: snapshot.config.beta,
-                    ..CostModel::default()
-                });
+                // An explicit model overrides; either way the effective
+                // model rides in the config so it survives re-journaling.
+                if cost_model.is_some() {
+                    snapshot.config.cost_model = cost_model;
+                }
+                let model = snapshot.config.load_cost_model();
                 match self.engine.restore(*snapshot) {
                     Ok(()) => {
                         self.models.insert(id.clone(), model);
@@ -395,16 +506,55 @@ impl Session {
                 ),
                 Err(e) => out.push(error_line(&e.to_string())),
             },
+            Record::Checkpoint => match self.engine.checkpoint() {
+                Ok(report) => {
+                    self.since_checkpoint = 0;
+                    out.push(checkpointed_line(&report));
+                }
+                Err(e) => out.push(error_line(&e.to_string())),
+            },
+            Record::Recover => match self.recover_in_place() {
+                Ok(report) => out.push(recovered_line(&report)),
+                Err(e) => out.push(error_line(&e.to_string())),
+            },
+            Record::WalStats => {
+                let gathered = self
+                    .engine
+                    .store()
+                    .wal_stats()
+                    .map_err(|e| e.to_string())
+                    .and_then(|store| {
+                        let ids = self.engine.tenant_ids().map_err(|e| e.to_string())?;
+                        let shards = self.engine.shard_stats().map_err(|e| e.to_string())?;
+                        Ok((store, ids, shards))
+                    });
+                match gathered {
+                    Ok((store, ids, shards)) => out.push(
+                        serde_json::to_string(&serde_json::json!({
+                            "op": "wal_stats",
+                            "store": store.to_value(),
+                            "tenants": ids.len(),
+                            "tenant_ids": ids,
+                            "tenants_per_shard":
+                                shards.iter().map(|s| s.tenants).collect::<Vec<_>>(),
+                        }))
+                        .expect("serializable"),
+                    ),
+                    Err(message) => out.push(error_line(&message)),
+                }
+            }
         }
     }
 
     /// Process a block of JSONL request lines (blank lines and `#` comments
     /// skipped), returning the response lines. Runs of consecutive `step`
-    /// records become single batched engine calls.
+    /// records become single batched engine calls. Error responses carry
+    /// the 1-based input line number of the record that caused them.
     pub fn handle_lines<'a>(&mut self, lines: impl IntoIterator<Item = &'a str>) -> Vec<String> {
         let mut out = Vec::new();
-        let mut pending: Vec<(String, Cost, Option<f64>)> = Vec::new();
-        for line in lines {
+        let mut pending: Vec<PendingStep> = Vec::new();
+        for (index, line) in lines.into_iter().enumerate() {
+            let number = index + 1;
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
@@ -412,15 +562,27 @@ impl Session {
             match parse_record(line) {
                 Err(e) => {
                     self.flush_steps(&mut pending, &mut out);
-                    out.push(error_line(&e.to_string()));
+                    out.push(error_line_at(number, &e.to_string()));
                 }
                 Ok(Record::Step { id, cost, load }) => {
                     let (cost, load) = self.cost_of(&id, cost, load);
-                    pending.push((id, cost, load));
+                    pending.push(PendingStep {
+                        line: number,
+                        id,
+                        cost,
+                        load,
+                    });
+                    // Cap the batch: an unbounded run of consecutive steps
+                    // would otherwise become one giant engine call (and one
+                    // giant WAL record), starving the checkpoint cadence
+                    // and losing everything on a mid-file crash.
+                    if pending.len() >= MAX_STEP_BATCH {
+                        self.flush_steps(&mut pending, &mut out);
+                    }
                 }
                 Ok(control) => {
                     self.flush_steps(&mut pending, &mut out);
-                    self.handle_control(control, &mut out);
+                    self.handle_control(control, number, &mut out);
                 }
             }
         }
@@ -429,9 +591,58 @@ impl Session {
     }
 }
 
-fn error_line(message: &str) -> String {
-    serde_json::to_string(&serde_json::json!({"op": "error", "message": message}))
-        .expect("serializable")
+/// Most step events a [`Session`] batches into one engine call: large
+/// enough to amortize dispatch, small enough that journaling and
+/// auto-checkpointing stay fine-grained under an unbounded step stream.
+const MAX_STEP_BATCH: usize = 1024;
+
+/// A parsed `step` record waiting in the session's batch, remembering the
+/// input line it came from so a per-event failure is locatable.
+struct PendingStep {
+    line: usize,
+    id: String,
+    cost: Cost,
+    load: Option<f64>,
+}
+
+fn error_line_at(line: usize, message: &str) -> String {
+    serde_json::to_string(&serde_json::json!({
+        "op": "error", "line": line, "message": message,
+    }))
+    .expect("serializable")
+}
+
+/// [`stepped_line`] plus the input line number on the error arm.
+fn stepped_line_at(outcome: &StepOutcome, line: usize) -> String {
+    match &outcome.error {
+        None => stepped_line(outcome),
+        Some(message) => serde_json::to_string(&serde_json::json!({
+            "op": "error",
+            "line": line,
+            "id": outcome.id,
+            "message": message,
+        }))
+        .expect("serializable"),
+    }
+}
+
+fn checkpointed_line(report: &crate::CheckpointReport) -> String {
+    serde_json::to_string(&serde_json::json!({
+        "op": "checkpointed",
+        "seq": report.seq,
+        "tenants": report.tenants,
+        "durable": report.durable,
+    }))
+    .expect("serializable")
+}
+
+/// Render the `recovered` response for a recovery report (shared by the
+/// `recover` wire op and the CLI's startup auto-recovery).
+pub fn recovered_line(report: &crate::RecoveryReport) -> String {
+    serde_json::to_string(&serde_json::json!({
+        "op": "recovered", "report": report.to_value(),
+    }))
+    .expect("serializable")
 }
 
 #[cfg(test)]
@@ -551,6 +762,107 @@ mod tests {
             got["report"]["breakdown"], want["report"]["breakdown"],
             "restored session must price load events with the admit-time cost model"
         );
+    }
+
+    #[test]
+    fn errors_carry_the_input_line_number() {
+        let mut session = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(1)));
+        let lines = [
+            "# comment lines still count toward numbering",
+            "{\"op\":\"admit\",\"id\":\"a\",\"m\":4,\"beta\":1.0,\"policy\":\"lcp\"}",
+            "",
+            "not json at all",
+            "{\"op\":\"step\",\"id\":\"a\",\"load\":1.0}",
+            "{\"op\":\"step\",\"id\":\"ghost\",\"load\":1.0}",
+            "{\"op\":\"finish\",\"id\":\"ghost\"}",
+        ];
+        let out = session.handle_lines(lines);
+        let parsed: Vec<serde::Value> = out
+            .iter()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        // Parse error on line 4.
+        assert_eq!(parsed[1]["op"], "error");
+        assert_eq!(parsed[1]["line"], 4);
+        // Per-event failure names line 6 (the ghost step), not the batch.
+        let ghost = parsed
+            .iter()
+            .find(|v| v["op"] == "error" && v["id"] == "ghost")
+            .expect("ghost error");
+        assert_eq!(ghost["line"], 6);
+        // Control-op failure names line 7.
+        assert_eq!(parsed.last().unwrap()["op"], "error");
+        assert_eq!(parsed.last().unwrap()["line"], 7);
+    }
+
+    #[test]
+    fn durable_session_checkpoints_and_recovers_over_the_wire() {
+        use rsdc_store::{FileStore, FileStoreConfig};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir()
+            .join("rsdc-wire-tests")
+            .join(format!("session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store: Arc<dyn rsdc_store::Durability> =
+            Arc::new(FileStore::open(&dir, FileStoreConfig::default()).unwrap());
+
+        // Admit with a custom cost model, stream, checkpoint mid-way, then
+        // stream more events that only live in the WAL.
+        let admit = "{\"op\":\"admit\",\"id\":\"a\",\"m\":8,\"beta\":2.0,\"policy\":\"flcp:2,9\",\
+                     \"cost_model\":{\"server\":{\"e_idle\":0.5,\"e_peak\":9.0,\
+                     \"delay_weight\":4.0,\"delay_eps\":0.01},\"overload\":99.0,\"beta\":2.0}}";
+        let loads = [2.0, 5.5, 3.0, 1.0, 4.0, 2.5];
+
+        // Uninterrupted reference for the final report.
+        let mut reference = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(1)));
+        let mut lines = vec![admit.to_string()];
+        lines.extend(loads.iter().map(|&l| step_load_line("a", l)));
+        lines.push("{\"op\":\"report\",\"id\":\"a\"}".to_string());
+        let want_out = reference.handle_lines(lines.iter().map(|s| s.as_str()));
+        let want: serde::Value = serde_json::from_str(want_out.last().unwrap()).unwrap();
+
+        // Durable run, killed after 4 of 6 loads (2 post-checkpoint).
+        let (mut durable, recovered) = Session::open_durable(1, store.clone()).unwrap();
+        assert!(recovered.is_none(), "fresh store");
+        let mut lines = vec![admit.to_string()];
+        lines.extend(loads[..2].iter().map(|&l| step_load_line("a", l)));
+        lines.push("{\"op\":\"checkpoint\"}".to_string());
+        lines.extend(loads[2..4].iter().map(|&l| step_load_line("a", l)));
+        let out = durable.handle_lines(lines.iter().map(|s| s.as_str()));
+        let ck: serde::Value = serde_json::from_str(&out[3]).unwrap();
+        assert_eq!(ck["op"], "checkpointed");
+        assert_eq!(ck["durable"], true);
+        drop(durable); // crash
+
+        // Recover in a fresh session; the custom cost model must survive
+        // so the remaining loads are priced identically.
+        let (mut session, report) = Session::open_durable(1, store).unwrap();
+        let report = report.expect("store had state");
+        assert_eq!(report.tenants_restored, 1);
+        assert!(report.records_replayed >= 1);
+        let mut lines: Vec<String> = loads[4..].iter().map(|&l| step_load_line("a", l)).collect();
+        lines.push("{\"op\":\"report\",\"id\":\"a\"}".to_string());
+        lines.push("{\"op\":\"wal_stats\"}".to_string());
+        let out = session.handle_lines(lines.iter().map(|s| s.as_str()));
+        let got: serde::Value = serde_json::from_str(&out[out.len() - 2]).unwrap();
+        assert_eq!(
+            serde_json::to_string(&got["report"]).unwrap(),
+            serde_json::to_string(&want["report"]).unwrap(),
+            "recovered report must be byte-identical to the uninterrupted run"
+        );
+        let stats: serde::Value = serde_json::from_str(out.last().unwrap()).unwrap();
+        assert_eq!(stats["op"], "wal_stats");
+        assert_eq!(stats["store"]["durable"], true);
+        assert_eq!(stats["tenants"], 1);
+        assert_eq!(stats["tenant_ids"][0], "a");
+        assert_eq!(stats["tenants_per_shard"][0], 1);
+
+        // The explicit `recover` op also works mid-session.
+        let out = session.handle_lines(["{\"op\":\"recover\"}"]);
+        let v: serde::Value = serde_json::from_str(&out[0]).unwrap();
+        assert_eq!(v["op"], "recovered");
+        assert_eq!(v["report"]["tenants_restored"], 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

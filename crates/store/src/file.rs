@@ -1,0 +1,616 @@
+//! [`FileStore`]: the real, file-backed durability backend.
+//!
+//! Layout inside the data directory:
+//!
+//! ```text
+//! ckpt-00000000000000000003.ckpt     one framed checkpoint document
+//! wal-00000000000000000003-0000.wal  shard 0's records since capture 3
+//! wal-00000000000000000003-0001.wal  shard 1's records since capture 3
+//! ```
+//!
+//! Sequence numbers are zero-padded so lexicographic order equals numeric
+//! order, and they are **never reused**: [`begin_checkpoint`] hands out a
+//! sequence strictly greater than anything committed, begun, or present on
+//! disk. An aborted checkpoint attempt (crash or failed commit after the
+//! shards rotated) therefore leaves its segments behind as ordinary WAL
+//! history — the next attempt rotates to a *fresh* sequence instead of
+//! appending to files whose records a later checkpoint already covers,
+//! which would replay them twice.
+//!
+//! Checkpoints are published atomically (write to `*.tmp`, `fsync`,
+//! rename, `fsync` the directory); committing checkpoint `seq` then
+//! deletes every file with a smaller sequence — the log-truncation step —
+//! which is safe because every record in those files was applied before
+//! `seq`'s capture and is thus part of the committed document.
+//!
+//! Appends are per-shard: the writer table is a brief map lookup, and the
+//! `write` + batched `fsync` happen under that shard's own lock, so shard
+//! threads journal in parallel.
+//!
+//! [`begin_checkpoint`]: crate::Durability::begin_checkpoint
+
+use crate::wal;
+use crate::{CheckpointBlob, Durability, Recovery, StoreError, StoreStats, WalSegment};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Tuning knobs for [`FileStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct FileStoreConfig {
+    /// `fsync` a shard's WAL after every `sync_every` appended records.
+    /// `1` syncs every record (maximum durability, slowest); `0` never
+    /// syncs on append (the OS page cache decides; rotation, checkpoints
+    /// and drop still sync). Every append is `write(2)`-flushed either
+    /// way, so an in-process crash loses nothing — batching only risks the
+    /// tail on a whole-machine failure.
+    pub sync_every: u64,
+}
+
+impl Default for FileStoreConfig {
+    fn default() -> Self {
+        FileStoreConfig { sync_every: 32 }
+    }
+}
+
+struct ShardWal {
+    file: File,
+    unsynced: u64,
+}
+
+/// Checkpoint sequences and `(seq, shard)` WAL segment keys found in the
+/// data directory, each sorted ascending.
+type DirListing = (Vec<u64>, Vec<(u64, usize)>);
+
+/// Checkpoint-sequence state, kept apart from the writers so appends never
+/// contend with sequence bookkeeping.
+struct Seqs {
+    /// Newest committed checkpoint (0 = none): appends for a shard with no
+    /// open writer land in this epoch's segment.
+    committed: u64,
+    /// High-water mark of every sequence ever handed out or observed on
+    /// disk; [`Durability::begin_checkpoint`] always goes above it.
+    begun: u64,
+}
+
+/// File-backed [`Durability`] backend. Shareable across shard threads:
+/// each shard's WAL writer has its own lock, so appends (including their
+/// batched `fsync`s) proceed in parallel; only the brief writer-table and
+/// sequence lookups are shared.
+pub struct FileStore {
+    dir: PathBuf,
+    cfg: FileStoreConfig,
+    seqs: Mutex<Seqs>,
+    writers: Mutex<HashMap<usize, Arc<Mutex<ShardWal>>>>,
+    appended_records: AtomicU64,
+    appended_bytes: AtomicU64,
+    syncs: AtomicU64,
+}
+
+fn ckpt_name(seq: u64) -> String {
+    format!("ckpt-{seq:020}.ckpt")
+}
+
+fn wal_name(seq: u64, shard: usize) -> String {
+    format!("wal-{seq:020}-{shard:04}.wal")
+}
+
+fn parse_ckpt_name(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".ckpt")?
+        .parse()
+        .ok()
+}
+
+fn parse_wal_name(name: &str) -> Option<(u64, usize)> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".wal")?;
+    let (seq, shard) = rest.split_once('-')?;
+    Some((seq.parse().ok()?, shard.parse().ok()?))
+}
+
+fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Continue an existing segment (or start it) — the lazy-open path for
+/// appends into the committed epoch.
+fn open_writer_append(dir: &Path, seq: u64, shard: usize) -> Result<ShardWal, StoreError> {
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(wal_name(seq, shard)))?;
+    Ok(ShardWal { file, unsynced: 0 })
+}
+
+/// Start a brand-new segment at a rotation point. `create_new` enforces
+/// the never-reuse-a-sequence invariant: an existing file here means the
+/// rotation protocol was violated.
+fn open_writer_fresh(dir: &Path, seq: u64, shard: usize) -> Result<ShardWal, StoreError> {
+    let file = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(dir.join(wal_name(seq, shard)))?;
+    Ok(ShardWal { file, unsynced: 0 })
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl FileStore {
+    /// Open (creating if needed) a store over `dir`. Positions appends on
+    /// the newest valid checkpoint's epoch; call
+    /// [`recover`](Durability::recover) before appending to a directory
+    /// that already holds state, so torn tails are repaired first.
+    pub fn open(dir: impl Into<PathBuf>, cfg: FileStoreConfig) -> Result<FileStore, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let store = FileStore {
+            dir,
+            cfg,
+            seqs: Mutex::new(Seqs {
+                committed: 0,
+                begun: 0,
+            }),
+            writers: Mutex::new(HashMap::new()),
+            appended_records: AtomicU64::new(0),
+            appended_bytes: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+        };
+        let (ckpt, _) = store.newest_valid_checkpoint()?;
+        let committed = ckpt.map(|c| c.seq).unwrap_or(0);
+        let mut seqs = lock(&store.seqs);
+        seqs.committed = committed;
+        seqs.begun = committed.max(store.max_seq_on_disk()?);
+        drop(seqs);
+        Ok(store)
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn list(&self) -> Result<DirListing, StoreError> {
+        let mut ckpts = Vec::new();
+        let mut wals = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = parse_ckpt_name(name) {
+                ckpts.push(seq);
+            } else if let Some(key) = parse_wal_name(name) {
+                wals.push(key);
+            }
+        }
+        ckpts.sort_unstable();
+        wals.sort_unstable();
+        Ok((ckpts, wals))
+    }
+
+    /// Highest sequence appearing in any on-disk file name — the floor for
+    /// handing out new checkpoint sequences after a restart, so an aborted
+    /// attempt's segments are never re-entered.
+    fn max_seq_on_disk(&self) -> Result<u64, StoreError> {
+        let (ckpts, wals) = self.list()?;
+        Ok(ckpts
+            .last()
+            .copied()
+            .unwrap_or(0)
+            .max(wals.last().map(|&(seq, _)| seq).unwrap_or(0)))
+    }
+
+    /// Newest checkpoint whose document passes frame validation, plus how
+    /// many newer-but-invalid checkpoint files were skipped over.
+    fn newest_valid_checkpoint(&self) -> Result<(Option<CheckpointBlob>, usize), StoreError> {
+        let (ckpts, _) = self.list()?;
+        let mut skipped = 0;
+        for &seq in ckpts.iter().rev() {
+            let (mut records, tail) = wal::read_file(&self.dir.join(ckpt_name(seq)))?;
+            if records.len() == 1 && tail.clean() {
+                return Ok((
+                    Some(CheckpointBlob {
+                        seq,
+                        payload: records.pop().expect("one record"),
+                    }),
+                    skipped,
+                ));
+            }
+            skipped += 1;
+        }
+        Ok((None, skipped))
+    }
+
+    fn remove_stale(&self, keep_from: u64) -> Result<(), StoreError> {
+        let (ckpts, wals) = self.list()?;
+        for seq in ckpts.into_iter().filter(|&s| s < keep_from) {
+            std::fs::remove_file(self.dir.join(ckpt_name(seq)))?;
+        }
+        for (seq, shard) in wals.into_iter().filter(|&(s, _)| s < keep_from) {
+            std::fs::remove_file(self.dir.join(wal_name(seq, shard)))?;
+        }
+        Ok(())
+    }
+
+    /// Fsync one shard writer if it has unsynced records.
+    fn sync_writer(&self, w: &mut ShardWal) -> Result<(), StoreError> {
+        if w.unsynced > 0 {
+            w.file.sync_data()?;
+            w.unsynced = 0;
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+}
+
+impl Durability for FileStore {
+    fn is_durable(&self) -> bool {
+        true
+    }
+
+    fn has_state(&self) -> Result<bool, StoreError> {
+        let (ckpts, wals) = self.list()?;
+        Ok(!ckpts.is_empty() || !wals.is_empty())
+    }
+
+    fn append(&self, shard: usize, payload: &[u8]) -> Result<(), StoreError> {
+        let writer = {
+            let mut writers = lock(&self.writers);
+            match writers.entry(shard) {
+                std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    let seq = lock(&self.seqs).committed;
+                    slot.insert(Arc::new(Mutex::new(open_writer_append(
+                        &self.dir, seq, shard,
+                    )?)))
+                    .clone()
+                }
+            }
+        };
+        let mut w = lock(&writer);
+        w.file.write_all(&wal::frame(payload))?;
+        w.unsynced += 1;
+        self.appended_records.fetch_add(1, Ordering::Relaxed);
+        self.appended_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if self.cfg.sync_every > 0 && w.unsynced >= self.cfg.sync_every {
+            w.file.sync_data()?;
+            w.unsynced = 0;
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        let writers: Vec<Arc<Mutex<ShardWal>>> = lock(&self.writers).values().cloned().collect();
+        for writer in writers {
+            self.sync_writer(&mut lock(&writer))?;
+        }
+        Ok(())
+    }
+
+    fn begin_checkpoint(&self) -> Result<u64, StoreError> {
+        let mut seqs = lock(&self.seqs);
+        let next = seqs.committed.max(seqs.begun) + 1;
+        seqs.begun = next;
+        Ok(next)
+    }
+
+    fn rotate(&self, shard: usize, seq: u64) -> Result<(), StoreError> {
+        // Open the fresh segment first; only then retire the old writer,
+        // so a failure leaves the shard appending where it was.
+        let fresh = Arc::new(Mutex::new(open_writer_fresh(&self.dir, seq, shard)?));
+        let old = lock(&self.writers).insert(shard, fresh);
+        if let Some(old) = old {
+            self.sync_writer(&mut lock(&old))?;
+        }
+        Ok(())
+    }
+
+    fn commit_checkpoint(&self, seq: u64, payload: &[u8]) -> Result<(), StoreError> {
+        {
+            let seqs = lock(&self.seqs);
+            if seq <= seqs.committed {
+                return Err(StoreError::InvalidState(format!(
+                    "checkpoint seq {seq} is not newer than committed seq {}",
+                    seqs.committed
+                )));
+            }
+        }
+        let tmp = self.dir.join(format!("{}.tmp", ckpt_name(seq)));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&wal::frame(payload))?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(ckpt_name(seq)))?;
+        sync_dir(&self.dir)?;
+        {
+            let mut seqs = lock(&self.seqs);
+            seqs.committed = seq;
+            seqs.begun = seqs.begun.max(seq);
+        }
+        self.remove_stale(seq)
+    }
+
+    fn recover(&self) -> Result<Recovery, StoreError> {
+        let mut writers = lock(&self.writers);
+        writers.clear();
+        let (checkpoint, checkpoints_skipped) = self.newest_valid_checkpoint()?;
+        let base = checkpoint.as_ref().map(|c| c.seq).unwrap_or(0);
+        let (_, wals) = self.list()?;
+        let mut segments = Vec::new();
+        for (seq, shard) in wals {
+            if seq < base {
+                continue;
+            }
+            let path = self.dir.join(wal_name(seq, shard));
+            let (records, tail) = wal::read_file(&path)?;
+            if !tail.clean() {
+                // Repair the torn tail so future appends continue from a
+                // valid record boundary.
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(tail.valid_bytes)?;
+            }
+            segments.push(WalSegment {
+                seq,
+                shard,
+                records,
+                dropped_bytes: tail.dropped_bytes,
+            });
+        }
+        segments.sort_by_key(|s| (s.shard, s.seq));
+        {
+            let mut seqs = lock(&self.seqs);
+            seqs.committed = base;
+            seqs.begun = seqs.begun.max(base).max(self.max_seq_on_disk()?);
+        }
+        drop(writers);
+        // Clean up epochs the checkpoint scan decided to ignore, plus any
+        // orphaned temp files from an interrupted commit.
+        self.remove_stale(base)?;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        Ok(Recovery {
+            checkpoint,
+            segments,
+            checkpoints_skipped,
+        })
+    }
+
+    fn wal_stats(&self) -> Result<StoreStats, StoreError> {
+        let (ckpts, wals) = self.list()?;
+        let mut wal_bytes = 0;
+        for &(seq, shard) in &wals {
+            wal_bytes += std::fs::metadata(self.dir.join(wal_name(seq, shard)))?.len();
+        }
+        Ok(StoreStats {
+            durable: true,
+            checkpoint_seq: lock(&self.seqs).committed,
+            checkpoints: ckpts.len(),
+            wal_segments: wals.len(),
+            wal_bytes,
+            appended_records: self.appended_records.load(Ordering::Relaxed),
+            appended_bytes: self.appended_bytes.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            dir: self.dir.display().to_string(),
+        })
+    }
+}
+
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        for writer in lock(&self.writers).values() {
+            let _ = lock(writer).file.sync_data();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(name: &str) -> FileStore {
+        let dir = std::env::temp_dir()
+            .join("rsdc-store-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        FileStore::open(dir, FileStoreConfig { sync_every: 4 }).unwrap()
+    }
+
+    #[test]
+    fn append_rotate_commit_recover_cycle() {
+        let store = tmp_store("cycle");
+        assert!(!store.has_state().unwrap());
+        store.append(0, b"a0").unwrap();
+        store.append(1, b"b0").unwrap();
+        store.append(0, b"a1").unwrap();
+        assert!(store.has_state().unwrap());
+
+        // Checkpoint 1: rotate both shards, then commit.
+        let seq = store.begin_checkpoint().unwrap();
+        assert_eq!(seq, 1);
+        store.rotate(0, seq).unwrap();
+        store.rotate(1, seq).unwrap();
+        store.commit_checkpoint(seq, b"state-at-1").unwrap();
+        store.append(0, b"a2").unwrap();
+
+        let rec = store.recover().unwrap();
+        let ck = rec.checkpoint.expect("checkpoint");
+        assert_eq!(ck.seq, 1);
+        assert_eq!(ck.payload, b"state-at-1");
+        // Old epoch (seq 0) was truncated away by the commit.
+        assert!(rec.segments.iter().all(|s| s.seq == 1));
+        let shard0: Vec<_> = rec
+            .segments
+            .iter()
+            .filter(|s| s.shard == 0)
+            .flat_map(|s| s.records.clone())
+            .collect();
+        assert_eq!(shard0, vec![b"a2".to_vec()]);
+    }
+
+    #[test]
+    fn recover_on_empty_dir_is_empty() {
+        let store = tmp_store("empty");
+        let rec = store.recover().unwrap();
+        assert!(rec.is_empty());
+        assert!(rec.checkpoint.is_none());
+    }
+
+    #[test]
+    fn aborted_checkpoint_never_reuses_its_sequence() {
+        // Crash (or failed commit) between rotation and commit: the next
+        // attempt must use a fresh sequence, otherwise records journaled
+        // after the aborted capture would sit in a segment a later
+        // checkpoint covers — and be replayed twice.
+        let store = tmp_store("aborted-ckpt");
+        store.append(0, b"pre").unwrap();
+        let s1 = store.begin_checkpoint().unwrap();
+        store.rotate(0, s1).unwrap();
+        // ... commit(s1) never happens (crash) ...
+        store.append(0, b"mid").unwrap(); // lands in segment s1
+
+        // Retry in-process: a strictly newer sequence.
+        let s2 = store.begin_checkpoint().unwrap();
+        assert!(s2 > s1, "retry must not reuse {s1}");
+        store.rotate(0, s2).unwrap();
+        store
+            .commit_checkpoint(s2, b"state-incl-pre-and-mid")
+            .unwrap();
+
+        // Every record before capture s2 is covered by the checkpoint, so
+        // the replayable tail must be empty.
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.checkpoint.unwrap().seq, s2);
+        assert!(
+            rec.segments.iter().all(|s| s.records.is_empty()),
+            "nothing may replay on top of checkpoint {s2}"
+        );
+    }
+
+    #[test]
+    fn reopened_store_respects_on_disk_sequences() {
+        // Same scenario across a process restart: the aborted attempt's
+        // segment is on disk, and a reopened store must allocate above it.
+        let dir = {
+            let store = tmp_store("aborted-reopen");
+            store.append(0, b"pre").unwrap();
+            let s1 = store.begin_checkpoint().unwrap();
+            store.rotate(0, s1).unwrap();
+            store.append(0, b"mid").unwrap();
+            store.dir().to_path_buf()
+            // drop = crash before commit
+        };
+        let store = FileStore::open(&dir, FileStoreConfig { sync_every: 4 }).unwrap();
+        let rec = store.recover().unwrap();
+        assert!(rec.checkpoint.is_none());
+        let replayed: Vec<_> = rec
+            .segments
+            .iter()
+            .flat_map(|s| s.records.clone())
+            .collect();
+        assert_eq!(replayed, vec![b"pre".to_vec(), b"mid".to_vec()]);
+        let s2 = store.begin_checkpoint().unwrap();
+        assert_eq!(s2, 2, "must allocate above the aborted segment's seq 1");
+        store.rotate(0, s2).unwrap();
+        store.commit_checkpoint(s2, b"all").unwrap();
+        let rec = store.recover().unwrap();
+        assert!(rec.segments.iter().all(|s| s.records.is_empty()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_and_appends_continue() {
+        let store = tmp_store("torn");
+        store.append(0, b"one").unwrap();
+        store.append(0, b"two").unwrap();
+        store.sync().unwrap();
+        let path = store.dir().join(wal_name(0, 0));
+        // Tear the tail: chop 2 bytes off the last record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 2)
+            .unwrap();
+
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.segments.len(), 1);
+        assert_eq!(rec.segments[0].records, vec![b"one".to_vec()]);
+        assert!(rec.segments[0].dropped_bytes > 0);
+
+        // The tail was truncated, so new appends are reachable again.
+        store.append(0, b"three").unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(
+            rec.segments[0].records,
+            vec![b"one".to_vec(), b"three".to_vec()]
+        );
+        assert_eq!(rec.segments[0].dropped_bytes, 0);
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_older() {
+        let store = tmp_store("ckpt-fallback");
+        store.append(0, b"r0").unwrap();
+        let s1 = store.begin_checkpoint().unwrap();
+        store.rotate(0, s1).unwrap();
+        store.commit_checkpoint(s1, b"good").unwrap();
+        store.append(0, b"r1").unwrap();
+        let s2 = store.begin_checkpoint().unwrap();
+        store.rotate(0, s2).unwrap();
+        store.commit_checkpoint(s2, b"bad-soon").unwrap();
+        // Corrupt checkpoint 2 on disk.
+        let path = store.dir().join(ckpt_name(s2));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let rec = store.recover().unwrap();
+        // Checkpoint 1 was deleted when 2 committed, so nothing valid is
+        // left — but recovery still returns the surviving WAL tail rather
+        // than failing.
+        assert!(rec.checkpoint.is_none());
+        assert_eq!(rec.checkpoints_skipped, 1);
+    }
+
+    #[test]
+    fn commit_checkpoint_rejects_stale_seq() {
+        let store = tmp_store("stale-seq");
+        let s = store.begin_checkpoint().unwrap();
+        store.rotate(0, s).unwrap();
+        store.commit_checkpoint(s, b"one").unwrap();
+        assert!(matches!(
+            store.commit_checkpoint(s, b"again"),
+            Err(StoreError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn stats_track_appends_and_files() {
+        let store = tmp_store("stats");
+        for i in 0..10u8 {
+            store.append(0, &[i; 16]).unwrap();
+        }
+        let stats = store.wal_stats().unwrap();
+        assert!(stats.durable);
+        assert_eq!(stats.appended_records, 10);
+        assert_eq!(stats.appended_bytes, 160);
+        assert_eq!(stats.wal_segments, 1);
+        assert!(stats.wal_bytes >= 160);
+        assert!(stats.syncs >= 2, "sync_every=4 over 10 records");
+    }
+}

@@ -1,0 +1,51 @@
+//! The no-op backend: an engine wired to [`NullStore`] behaves exactly like
+//! an undurable engine, at zero per-event cost.
+
+use crate::{Durability, Recovery, StoreError, StoreStats};
+
+/// Discards everything. [`is_durable`](Durability::is_durable) returns
+/// `false`, which lets callers skip journal serialization entirely — this
+/// is the baseline the `store_overhead` bench compares [`FileStore`]
+/// against.
+///
+/// [`FileStore`]: crate::FileStore
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullStore;
+
+impl Durability for NullStore {
+    fn is_durable(&self) -> bool {
+        false
+    }
+
+    fn has_state(&self) -> Result<bool, StoreError> {
+        Ok(false)
+    }
+
+    fn append(&self, _shard: usize, _payload: &[u8]) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn begin_checkpoint(&self) -> Result<u64, StoreError> {
+        Ok(0)
+    }
+
+    fn rotate(&self, _shard: usize, _seq: u64) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn commit_checkpoint(&self, _seq: u64, _payload: &[u8]) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn recover(&self) -> Result<Recovery, StoreError> {
+        Ok(Recovery::default())
+    }
+
+    fn wal_stats(&self) -> Result<StoreStats, StoreError> {
+        Ok(StoreStats::default())
+    }
+}

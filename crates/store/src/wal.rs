@@ -1,0 +1,180 @@
+//! Write-ahead-log record framing: length-prefixed, CRC-32-checked records.
+//!
+//! Every record on disk is `[len: u32 LE][crc32(payload): u32 LE][payload]`.
+//! The same frame wraps checkpoint documents, so corruption detection is
+//! uniform across WAL segments and checkpoint files. Readers stop at the
+//! first frame that fails validation and report the valid prefix length, so
+//! a torn tail (partial write at crash time) degrades to "replay what was
+//! durably written" instead of an unreadable log.
+
+use crate::StoreError;
+use std::io::Read;
+use std::path::Path;
+
+/// Bytes of framing overhead per record (`len` + `crc`).
+pub const HEADER_LEN: usize = 8;
+
+/// Sanity cap on a single record's payload (1 GiB). A larger length field
+/// is treated as corruption, not an allocation request.
+pub const MAX_RECORD_LEN: usize = 1 << 30;
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Wrap one payload in the on-disk record frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Where a scan of framed records stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tail {
+    /// Bytes of the file covered by valid records.
+    pub valid_bytes: u64,
+    /// Bytes past the valid prefix (torn or corrupt), zero on a clean file.
+    pub dropped_bytes: u64,
+}
+
+impl Tail {
+    /// True when the file ended exactly on a record boundary.
+    pub fn clean(&self) -> bool {
+        self.dropped_bytes == 0
+    }
+}
+
+/// Decode every valid record of `bytes`, stopping at the first invalid
+/// frame. Infallible in the I/O sense: corruption shortens the result and
+/// shows up in the returned [`Tail`].
+pub fn decode_all(bytes: &[u8]) -> (Vec<Vec<u8>>, Tail) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    loop {
+        let rest = &bytes[at..];
+        if rest.len() < HEADER_LEN {
+            // A zero-byte remainder is a clean boundary; a short header is
+            // a torn write.
+            break;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let want = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN || rest.len() < HEADER_LEN + len {
+            break;
+        }
+        let payload = &rest[HEADER_LEN..HEADER_LEN + len];
+        if crc32(payload) != want {
+            break;
+        }
+        records.push(payload.to_vec());
+        at += HEADER_LEN + len;
+    }
+    let tail = Tail {
+        valid_bytes: at as u64,
+        dropped_bytes: (bytes.len() - at) as u64,
+    };
+    (records, tail)
+}
+
+/// Read and decode every valid record of the file at `path`.
+pub fn read_file(path: &Path) -> Result<(Vec<Vec<u8>>, Tail), StoreError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(decode_all(&bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_known_vector() {
+        // The canonical CRC-32 ("123456789") check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut bytes = Vec::new();
+        for payload in [&b"alpha"[..], b"", b"a much longer record payload"] {
+            bytes.extend_from_slice(&frame(payload));
+        }
+        let (records, tail) = decode_all(&bytes);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], b"alpha");
+        assert_eq!(records[1], b"");
+        assert_eq!(records[2], b"a much longer record payload");
+        assert!(tail.clean());
+        assert_eq!(tail.valid_bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn torn_tail_keeps_valid_prefix() {
+        let mut bytes = frame(b"first");
+        let boundary = bytes.len() as u64;
+        bytes.extend_from_slice(&frame(b"second")[..7]); // torn mid-header
+        let (records, tail) = decode_all(&bytes);
+        assert_eq!(records.len(), 1);
+        assert_eq!(tail.valid_bytes, boundary);
+        assert_eq!(tail.dropped_bytes, 7);
+    }
+
+    #[test]
+    fn flipped_byte_stops_the_scan() {
+        let mut bytes = frame(b"first");
+        let boundary = bytes.len() as u64;
+        bytes.extend_from_slice(&frame(b"second"));
+        bytes.extend_from_slice(&frame(b"third"));
+        let idx = boundary as usize + HEADER_LEN + 2;
+        bytes[idx] ^= 0x40;
+        let (records, tail) = decode_all(&bytes);
+        assert_eq!(
+            records.len(),
+            1,
+            "records after the corrupt one are dropped"
+        );
+        assert_eq!(tail.valid_bytes, boundary);
+        assert!(!tail.clean());
+    }
+
+    #[test]
+    fn absurd_length_field_is_corruption() {
+        let mut bytes = frame(b"ok");
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]);
+        let (records, tail) = decode_all(&bytes);
+        assert_eq!(records.len(), 1);
+        assert!(!tail.clean());
+    }
+}

@@ -9,7 +9,7 @@ use rsdc_core::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Cost-model configuration for turning a trace into an [`Instance`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CostModel {
     /// Per-server energy/delay parameters.
     pub server: ServerParams,
