@@ -15,7 +15,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use rsdc_core::Cost;
-use rsdc_engine::{Engine, EngineConfig, PolicySpec, TenantConfig};
+use rsdc_engine::{Engine, EngineConfig, FleetSpec, HeteroAlgo, PolicySpec, TenantConfig};
+use rsdc_hetero::ServerType;
 use rsdc_store::{Durability, FileStore, FileStoreConfig, NullStore};
 use std::sync::Arc;
 
@@ -69,6 +70,68 @@ fn bench_engine_throughput(c: &mut Criterion) {
                     batch
                 },
                 |batch| engine.step_batch(batch).expect("step"),
+                BatchSize::PerIteration,
+            )
+        });
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+const HETERO_TENANTS: usize = 500;
+
+/// Heterogeneous tenants: each policy step is an `O(S^2)` frontier advance
+/// over the configuration lattice (here two classes, `S = 4 * 3 = 12`), so
+/// per-step cost is dominated by the DP — this group prices it against the
+/// scalar groups above. Frontier vs greedy isolates the DP itself from the
+/// plain lattice scan.
+fn bench_hetero_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/hetero_steps_500_tenants");
+    group.throughput(Throughput::Elements(HETERO_TENANTS as u64));
+    let fleet = FleetSpec::new(vec![
+        ServerType {
+            count: 3,
+            beta: 1.0,
+            energy: 1.0,
+            capacity: 1.0,
+        },
+        ServerType {
+            count: 2,
+            beta: 2.5,
+            energy: 1.4,
+            capacity: 2.0,
+        },
+    ]);
+    let load_batches: Vec<Vec<(String, Cost, Option<f64>)>> = (0..16)
+        .map(|t| {
+            (0..HETERO_TENANTS)
+                .map(|i| {
+                    let load = 0.5 + ((t * 5 + i) % 11) as f64 * 0.5;
+                    (format!("h{i}"), Cost::Zero, Some(load))
+                })
+                .collect()
+        })
+        .collect();
+    for algo in [HeteroAlgo::Frontier, HeteroAlgo::Greedy] {
+        let engine = Engine::new(EngineConfig::with_shards(2));
+        for i in 0..HETERO_TENANTS {
+            engine
+                .admit(TenantConfig::hetero(format!("h{i}"), fleet.clone(), algo))
+                .expect("admit");
+        }
+        let name = match algo {
+            HeteroAlgo::Frontier => "frontier",
+            HeteroAlgo::Greedy => "greedy",
+        };
+        let mut t = 0usize;
+        group.bench_with_input(BenchmarkId::new("algo", name), &name, |b, _| {
+            b.iter_batched(
+                || {
+                    let batch = load_batches[t % load_batches.len()].clone();
+                    t += 1;
+                    batch
+                },
+                |batch| engine.step_batch_loads(batch).expect("step"),
                 BatchSize::PerIteration,
             )
         });
@@ -140,6 +203,6 @@ fn bench_store_overhead(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engine_throughput, bench_store_overhead
+    targets = bench_engine_throughput, bench_hetero_throughput, bench_store_overhead
 );
 criterion_main!(benches);

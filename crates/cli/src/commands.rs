@@ -70,6 +70,9 @@ COMMANDS
              [--m M] [--beta B] [--out FILE]
              P: lcp | halfstep[:seed] | flcp[:k[,seed]] | memoryless[:seed]
                 | lookahead[:w] | followmin | hysteresis[:band]
+                | hetero[:frontier|:greedy]
+             hetero fleets: --fleet \"count:beta:energy:capacity[,...]\"
+             [--delay-weight W] [--delay-eps E] [--overload P]
              durability: [--data-dir DIR] [--checkpoint-every N]
              [--fsync-every N]  (a non-empty DIR is recovered: checkpoint +
              WAL replay rebuild the pre-crash engine, then the run resumes)
@@ -354,24 +357,50 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
             return Err(CmdError::Other("--tenants must be >= 1".into()));
         }
         let policy_arg: String = args.get_or("policy", "lcp".to_string())?;
+        let hetero_fleet = if let Some(algo) =
+            rsdc_engine::HeteroAlgo::parse_policy_prefix(&policy_arg)
+        {
+            use rsdc_engine::FleetSpec;
+            let algo = algo.map_err(CmdError::Other)?;
+            let types_arg = args.get_str("fleet").ok_or_else(|| {
+                CmdError::Other(
+                    "--policy hetero requires --fleet \"count:beta:energy:capacity[,...]\"".into(),
+                )
+            })?;
+            let mut fleet =
+                FleetSpec::new(FleetSpec::parse_types(types_arg).map_err(CmdError::Other)?);
+            fleet.delay_weight = args.get_or("delay-weight", fleet.delay_weight)?;
+            fleet.delay_eps = args.get_or("delay-eps", fleet.delay_eps)?;
+            fleet.overload = args.get_or("overload", fleet.overload)?;
+            fleet
+                .validate()
+                .map_err(|e| CmdError::Other(e.to_string()))?;
+            Some((fleet, algo))
+        } else {
+            None
+        };
         let mut lines: Vec<String> = Vec::new();
         for i in 0..tenants {
-            // Per-tenant seeds so randomized tenants decorrelate.
-            let spec = PolicySpec::parse_short(&policy_arg).map_err(CmdError::Other)?;
-            let spec = match spec {
-                PolicySpec::HalfStepRounded { seed } => PolicySpec::HalfStepRounded {
-                    seed: seed.wrapping_add(i as u64),
-                },
-                PolicySpec::FlcpRounded { k, seed } => PolicySpec::FlcpRounded {
-                    k,
-                    seed: seed.wrapping_add(i as u64),
-                },
-                PolicySpec::MemorylessRounded { seed } => PolicySpec::MemorylessRounded {
-                    seed: seed.wrapping_add(i as u64),
-                },
-                other => other,
+            let mut cfg = if let Some((fleet, algo)) = &hetero_fleet {
+                TenantConfig::hetero(format!("tenant-{i}"), fleet.clone(), *algo)
+            } else {
+                // Per-tenant seeds so randomized tenants decorrelate.
+                let spec = PolicySpec::parse_short(&policy_arg).map_err(CmdError::Other)?;
+                let spec = match spec {
+                    PolicySpec::HalfStepRounded { seed } => PolicySpec::HalfStepRounded {
+                        seed: seed.wrapping_add(i as u64),
+                    },
+                    PolicySpec::FlcpRounded { k, seed } => PolicySpec::FlcpRounded {
+                        k,
+                        seed: seed.wrapping_add(i as u64),
+                    },
+                    PolicySpec::MemorylessRounded { seed } => PolicySpec::MemorylessRounded {
+                        seed: seed.wrapping_add(i as u64),
+                    },
+                    other => other,
+                };
+                TenantConfig::new(format!("tenant-{i}"), m, model.beta, spec)
             };
-            let mut cfg = TenantConfig::new(format!("tenant-{i}"), m, model.beta, spec);
             cfg.track_opt = true;
             lines.push(wire::admit_line(&cfg));
         }
@@ -552,6 +581,79 @@ mod tests {
         assert_eq!(shards.len(), 2);
         let events: u64 = shards.iter().map(|s| s["events"].as_u64().unwrap()).sum();
         assert_eq!(events, 3 * 48);
+    }
+
+    #[test]
+    fn engine_hetero_fleet_mode_end_to_end() {
+        let p = tmp("engine-hetero.json");
+        dispatch(&args(&[
+            "generate", "--kind", "diurnal", "--slots", "36", "--seed", "7", "--out", &p,
+        ]))
+        .unwrap();
+        // Hetero without a fleet spec is a usage error.
+        assert!(dispatch(&args(&["engine", "--trace", &p, "--policy", "hetero"])).is_err());
+        let dir = tmp(&format!("engine-hetero-data-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = |data_dir: Option<&str>| {
+            let mut tokens = vec![
+                "engine",
+                "--trace",
+                &p,
+                "--tenants",
+                "2",
+                "--policy",
+                "hetero:frontier",
+                "--fleet",
+                "3:1:1:1,2:2.5:1.4:2",
+                "--shards",
+                "2",
+            ];
+            if let Some(d) = data_dir {
+                tokens.extend(["--data-dir", d]);
+            }
+            dispatch(&args(&tokens)).unwrap()
+        };
+        let out = run(None);
+        let reports: Vec<serde_json::Value> = out
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .filter(|v: &serde_json::Value| v["op"] == "report")
+            .collect();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r["report"]["committed"], 36);
+            assert!(r["report"]["last_config"].as_array().is_some());
+            assert!(r["report"]["policy"].as_str().unwrap().contains("frontier"));
+            let ratio = r["report"]["ratio"].as_f64().unwrap();
+            assert!(ratio >= 1.0 - 1e-9, "ratio {ratio}");
+        }
+        // A durable hetero run over the same trace reports identically and
+        // leaves a recoverable data dir behind.
+        let durable = run(Some(&dir));
+        let durable_reports: Vec<String> = durable
+            .lines()
+            .filter(|l| l.contains("\"op\":\"report\""))
+            .map(|s| s.to_string())
+            .collect();
+        let want: Vec<String> = out
+            .lines()
+            .filter(|l| l.contains("\"op\":\"report\""))
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(durable_reports, want);
+        let resumed = dispatch(&args(&[
+            "engine",
+            "--events",
+            "/dev/null",
+            "--data-dir",
+            &dir,
+        ]))
+        .unwrap();
+        let first: serde_json::Value =
+            serde_json::from_str(resumed.lines().next().unwrap()).unwrap();
+        assert_eq!(first["op"], "recovered");
+        assert_eq!(first["report"]["tenants_restored"], 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

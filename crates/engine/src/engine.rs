@@ -194,13 +194,64 @@ impl Engine {
         self.send(shard, |tx| Request::Admit(cfg, tx))
     }
 
+    /// Classify a per-event error string back into the [`EngineError`] it
+    /// was rendered from: the unknown-tenant rendering is produced in
+    /// exactly one place (the shard's batch loop), everything else is a
+    /// policy-level step failure.
+    fn classify_event_error(id: &str, message: String) -> EngineError {
+        if message == EngineError::UnknownTenant(id.to_string()).to_string() {
+            EngineError::UnknownTenant(id.to_string())
+        } else {
+            // Per-event errors are rendered rsdc_core::Errors; strip the
+            // rendering prefix before re-wrapping so the message is not
+            // double-prefixed on display.
+            let message = message
+                .strip_prefix("invalid parameter: ")
+                .map(str::to_string)
+                .unwrap_or(message);
+            EngineError::Policy(rsdc_core::Error::InvalidParameter(message))
+        }
+    }
+
     /// Feed one cost function to one tenant; returns the states committed
     /// by this event (empty while a lookahead window fills).
     pub fn step(&self, id: &str, cost: Cost) -> Result<Vec<u32>, EngineError> {
         let outcomes = self.step_batch(vec![(id.to_string(), cost)])?;
         match outcomes.into_iter().next() {
-            Some(o) if o.error.is_none() => Ok(o.states),
-            _ => Err(EngineError::UnknownTenant(id.to_string())),
+            Some(o) => match o.error {
+                None => Ok(o.states),
+                Some(message) => Err(Engine::classify_event_error(id, message)),
+            },
+            None => Err(EngineError::UnknownTenant(id.to_string())),
+        }
+    }
+
+    /// Fetch a tenant's static configuration.
+    pub fn tenant_config(&self, id: &str) -> Result<crate::TenantConfig, EngineError> {
+        let shard = self.shard_of(id);
+        self.send(shard, |tx| Request::Config(id.to_string(), tx))
+    }
+
+    /// Feed one offered load to one **heterogeneous** tenant; returns the
+    /// full outcome (total-machine states plus the committed
+    /// configurations). Scalar tenants are rejected: their loads must be
+    /// priced into a [`Cost`] first (the wire session does this through
+    /// the tenant's cost model) — silently ingesting an unpriced load
+    /// would produce wrong accounting with an `Ok` result.
+    pub fn step_load(&self, id: &str, load: f64) -> Result<StepOutcome, EngineError> {
+        if !self.tenant_config(id)?.policy.is_hetero() {
+            return Err(EngineError::Policy(rsdc_core::Error::InvalidParameter(
+                format!("tenant {id:?} is not heterogeneous: price the load into a Cost and use step instead"),
+            )));
+        }
+        let outcomes = self.step_batch_loads(vec![(id.to_string(), Cost::Zero, Some(load))])?;
+        let outcome = outcomes
+            .into_iter()
+            .next()
+            .ok_or_else(|| EngineError::UnknownTenant(id.to_string()))?;
+        match outcome.error {
+            None => Ok(outcome),
+            Some(message) => Err(Engine::classify_event_error(id, message)),
         }
     }
 

@@ -120,13 +120,74 @@ mod tests {
     }
 
     #[test]
+    fn hetero_records_round_trip() {
+        use rsdc_hetero::{FleetSpec, HeteroAlgo, ServerType};
+        let fleet = FleetSpec::new(vec![
+            ServerType {
+                count: 2,
+                beta: 1.0,
+                energy: 1.0,
+                capacity: 1.0,
+            },
+            ServerType {
+                count: 2,
+                beta: 3.0,
+                energy: 1.5,
+                capacity: 2.5,
+            },
+        ]);
+        let cfg = TenantConfig::hetero("h", fleet, HeteroAlgo::Frontier).with_opt_tracking();
+
+        // Admit records carry the full fleet spec.
+        let admit = JournalRecord::Admit(cfg.clone());
+        let bytes = admit.encode();
+        let back = JournalRecord::decode(&bytes).unwrap();
+        assert_eq!(bytes, back.encode());
+        match back {
+            JournalRecord::Admit(got) => assert_eq!(got, cfg),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Restore records and checkpoint documents carry the DP frontier
+        // (inside the tenant snapshot's policy payload) bit-exactly.
+        let mut tenant = Tenant::new(cfg).unwrap();
+        for i in 0..9 {
+            tenant.step(&Cost::Zero, Some(0.5 + i as f64)).unwrap();
+        }
+        let restore = JournalRecord::Restore(Box::new(tenant.snapshot()));
+        let bytes = restore.encode();
+        let back = JournalRecord::decode(&bytes).unwrap();
+        assert_eq!(bytes, back.encode());
+        let JournalRecord::Restore(snapshot) = back else {
+            panic!("unexpected record");
+        };
+        let restored = Tenant::from_snapshot(*snapshot).unwrap();
+        assert_eq!(
+            serde_json::to_string(&restored.report()).unwrap(),
+            serde_json::to_string(&tenant.report()).unwrap(),
+        );
+
+        let doc = CheckpointDoc {
+            seq: 3,
+            shards: 1,
+            tenants: vec![tenant.snapshot()],
+            shard_meta: Vec::new(),
+        };
+        let back = CheckpointDoc::decode(&doc.encode()).unwrap();
+        assert_eq!(back.encode(), doc.encode());
+    }
+
+    #[test]
     fn checkpoint_doc_round_trip() {
         let mut tenant = Tenant::new(
             TenantConfig::new("t", 5, 1.5, PolicySpec::FlcpRounded { k: 2, seed: 3 })
                 .with_opt_tracking(),
-        );
+        )
+        .unwrap();
         for i in 0..7 {
-            tenant.step(&Cost::abs(1.0, i as f64), Some(i as f64));
+            tenant
+                .step(&Cost::abs(1.0, i as f64), Some(i as f64))
+                .unwrap();
         }
         let doc = CheckpointDoc {
             seq: 9,

@@ -26,6 +26,15 @@
 //!   FLCP-rounded, half-step-rounded, memoryless-rounded, lookahead LCP,
 //!   or a baseline. Policies are the object-safe, resumable
 //!   [`rsdc_online::streaming::StreamingPolicy`] wrappers.
+//! * **Heterogeneous tenants** ([`TenantConfig::hetero`],
+//!   [`PolicySpec::Hetero`]) run mixed machine-class fleets: a
+//!   [`FleetSpec`] (per-class count/beta/energy/capacity) plus an
+//!   [`rsdc_hetero::HeteroStream`] whose incremental state is the lattice
+//!   DP frontier. They ingest per-slot offered loads, commit
+//!   configuration *vectors* (reported as `configs` beside the
+//!   total-machine scalar `states`), and participate in snapshots,
+//!   checkpoints and recovery with the same bit-exactness as scalar
+//!   tenants.
 //! * **Shards** ([`shard`]) are plain `std::thread` workers fed batched
 //!   events over channels; tenants are hash-partitioned so all per-tenant
 //!   operations are single-threaded and deterministic.
@@ -79,6 +88,7 @@ pub mod tenant;
 pub mod wire;
 
 pub use engine::{CheckpointReport, Engine, EngineConfig, RecoveryReport};
+pub use rsdc_hetero::{FleetSpec, HeteroAlgo};
 pub use shard::{ShardMeta, ShardStats, StepOutcome};
 pub use tenant::{PolicySpec, TenantConfig, TenantReport, TenantSnapshot};
 
@@ -363,6 +373,123 @@ mod tests {
         assert_eq!(report.records_replayed, 1);
         assert_eq!(engine.tenant_ids().unwrap(), vec!["a".to_string()]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn fleet() -> FleetSpec {
+        FleetSpec::new(vec![
+            rsdc_hetero::ServerType {
+                count: 3,
+                beta: 1.0,
+                energy: 1.0,
+                capacity: 1.0,
+            },
+            rsdc_hetero::ServerType {
+                count: 2,
+                beta: 2.5,
+                energy: 1.4,
+                capacity: 2.0,
+            },
+        ])
+    }
+
+    #[test]
+    fn hetero_tenant_streams_vector_configs() {
+        let engine = Engine::new(EngineConfig::with_shards(2));
+        engine
+            .admit(TenantConfig::hetero("h", fleet(), HeteroAlgo::Frontier).with_opt_tracking())
+            .unwrap();
+        let loads = [1.0, 4.5, 2.0, 5.5, 0.5, 3.0];
+        let mut configs = Vec::new();
+        for &l in &loads {
+            let outcome = engine.step_load("h", l).unwrap();
+            assert_eq!(outcome.states.len(), 1);
+            let cfgs = outcome.configs.expect("hetero outcomes carry configs");
+            assert_eq!(cfgs.len(), 1);
+            assert_eq!(
+                cfgs[0].iter().sum::<u32>(),
+                outcome.states[0],
+                "scalar state is the total machines"
+            );
+            configs.extend(cfgs);
+        }
+        let report = engine.report("h").unwrap();
+        assert_eq!(report.events, loads.len() as u64);
+        assert_eq!(report.committed, loads.len() as u64);
+        assert_eq!(
+            report.last_config.as_deref(),
+            Some(&configs.last().unwrap()[..])
+        );
+        assert!(report.breakdown.total() > 0.0);
+        let ratio = report.ratio.expect("tracked");
+        assert!(ratio >= 1.0 - 1e-9, "{ratio}");
+
+        // A step without a load is a per-event policy error, not a panic
+        // (and not a bogus unknown-tenant).
+        assert!(matches!(
+            engine.step("h", Cost::abs(1.0, 2.0)),
+            Err(EngineError::Policy(_))
+        ));
+        assert!(matches!(
+            engine.step_load("ghost", 1.0),
+            Err(EngineError::UnknownTenant(_))
+        ));
+        let outcomes = engine
+            .step_batch(vec![("h".to_string(), Cost::abs(1.0, 2.0))])
+            .unwrap();
+        assert!(outcomes[0].error.as_deref().unwrap().contains("load"));
+        // The failed event changed nothing.
+        assert_eq!(engine.report("h").unwrap().events, loads.len() as u64);
+    }
+
+    #[test]
+    fn hetero_admit_rejects_degenerate_fleets() {
+        let engine = Engine::new(EngineConfig::with_shards(1));
+        let mut bad = fleet();
+        bad.types[0].count = 0;
+        assert!(matches!(
+            engine.admit(TenantConfig::hetero("h", bad, HeteroAlgo::Frontier)),
+            Err(EngineError::Policy(_))
+        ));
+    }
+
+    #[test]
+    fn hetero_snapshot_restore_across_engines() {
+        let loads: Vec<f64> = (0..30).map(|t| 0.5 + ((t * 3 + 1) % 6) as f64).collect();
+        for algo in [HeteroAlgo::Frontier, HeteroAlgo::Greedy] {
+            let reference = Engine::new(EngineConfig::with_shards(2));
+            reference
+                .admit(TenantConfig::hetero("h", fleet(), algo).with_opt_tracking())
+                .unwrap();
+            let mut want = Vec::new();
+            for &l in &loads {
+                want.extend(reference.step_load("h", l).unwrap().configs.unwrap());
+            }
+            let want_report = reference.report("h").unwrap();
+
+            let first = Engine::new(EngineConfig::with_shards(1));
+            first
+                .admit(TenantConfig::hetero("h", fleet(), algo).with_opt_tracking())
+                .unwrap();
+            let mut got = Vec::new();
+            for &l in &loads[..11] {
+                got.extend(first.step_load("h", l).unwrap().configs.unwrap());
+            }
+            let snapshot = first.snapshot("h").unwrap();
+            first.shutdown();
+
+            let second = Engine::new(EngineConfig::with_shards(3));
+            second.restore(snapshot).unwrap();
+            for &l in &loads[11..] {
+                got.extend(second.step_load("h", l).unwrap().configs.unwrap());
+            }
+            assert_eq!(got, want, "{algo:?}");
+            let got_report = second.report("h").unwrap();
+            assert_eq!(
+                serde_json::to_string(&got_report).unwrap(),
+                serde_json::to_string(&want_report).unwrap(),
+                "{algo:?}: restored report must be byte-identical"
+            );
+        }
     }
 
     #[test]

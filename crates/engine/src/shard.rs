@@ -38,10 +38,13 @@ pub struct StepOutcome {
     /// Tenant id.
     pub id: String,
     /// Newly committed states in slot order (empty while a lookahead
-    /// window fills).
+    /// window fills). For heterogeneous tenants: total active machines.
     pub states: Vec<u32>,
-    /// Per-event failure (e.g. unknown tenant). A failed event never
-    /// poisons the other events of its batch.
+    /// Newly committed configurations in slot order (heterogeneous
+    /// tenants only; one vector per committed slot).
+    pub configs: Option<Vec<Vec<u32>>>,
+    /// Per-event failure (e.g. unknown tenant, or a hetero step without a
+    /// load). A failed event never poisons the other events of its batch.
     pub error: Option<String>,
 }
 
@@ -106,6 +109,8 @@ pub enum Request {
     Finish(String, Sender<Result<StepOutcome, EngineError>>),
     /// Capture one tenant's full state.
     Snapshot(String, Sender<Result<TenantSnapshot, EngineError>>),
+    /// Fetch one tenant's static configuration.
+    Config(String, Sender<Result<TenantConfig, EngineError>>),
     /// Re-install a tenant from a snapshot (admits it if absent).
     Restore(Box<TenantSnapshot>, Sender<Result<(), EngineError>>),
     /// Remove a tenant, returning its final report.
@@ -164,6 +169,9 @@ impl Shard {
                 }
                 Request::Snapshot(id, reply) => {
                     let _ = reply.send(shard.tenant(&id).map(|t| t.snapshot()));
+                }
+                Request::Config(id, reply) => {
+                    let _ = reply.send(shard.tenant(&id).map(|t| t.config().clone()));
                 }
                 Request::Restore(snapshot, reply) => {
                     let _ = reply.send(shard.restore(*snapshot));
@@ -258,8 +266,11 @@ impl Shard {
         if self.tenants.contains_key(&cfg.id) {
             return Err(EngineError::DuplicateTenant(cfg.id));
         }
+        // Validate (and build) before journaling so an invalid config is
+        // rejected without leaving a doomed admit in the WAL.
+        let tenant = Tenant::new(cfg.clone()).map_err(EngineError::Policy)?;
         self.journal(&JournalRecord::Admit(cfg.clone()))?;
-        self.tenants.insert(cfg.id.clone(), Tenant::new(cfg));
+        self.tenants.insert(cfg.id, tenant);
         Ok(())
     }
 
@@ -298,22 +309,38 @@ impl Shard {
                         error: Some(EngineError::UnknownTenant(ev.id.clone()).to_string()),
                         id: ev.id,
                         states: Vec::new(),
+                        configs: None,
                     },
                 ));
                 continue;
             };
-            let effect = tenant.step(&ev.cost, ev.load);
-            self.events += 1;
-            self.states += effect.commits.len() as u64;
-            self.meter(&effect);
-            out.push((
-                ev.index,
-                StepOutcome {
-                    id: ev.id,
-                    states: effect.states(),
-                    error: None,
-                },
-            ));
+            match tenant.step(&ev.cost, ev.load) {
+                Ok(effect) => {
+                    self.events += 1;
+                    self.states += effect.commits.len() as u64;
+                    self.meter(&effect);
+                    out.push((
+                        ev.index,
+                        StepOutcome {
+                            id: ev.id,
+                            states: effect.states(),
+                            configs: effect.configs(),
+                            error: None,
+                        },
+                    ));
+                }
+                // Deterministic per-event failure (e.g. a hetero step with
+                // no load): replay reproduces it identically.
+                Err(e) => out.push((
+                    ev.index,
+                    StepOutcome {
+                        id: ev.id,
+                        states: Vec::new(),
+                        configs: None,
+                        error: Some(e.to_string()),
+                    },
+                )),
+            }
         }
         Ok(out)
     }
@@ -330,6 +357,7 @@ impl Shard {
         Ok(StepOutcome {
             id: id.to_string(),
             states: effect.states(),
+            configs: effect.configs(),
             error: None,
         })
     }

@@ -1,7 +1,20 @@
 //! Tenants: one streaming policy instance plus its running accounting.
+//!
+//! Two tenant families share one accounting core:
+//!
+//! * **scalar** tenants run a homogeneous
+//!   [`rsdc_online::streaming::StreamingPolicy`] over 1-D costs and commit
+//!   scalar states;
+//! * **heterogeneous** tenants ([`PolicySpec::Hetero`]) run an
+//!   [`rsdc_hetero::HeteroStream`] over per-slot offered loads and commit
+//!   configuration vectors. The scalar accounting fields then track the
+//!   *total* active machines (so shard metrics and schedule statistics
+//!   stay uniform), while operating/switching costs come from the stream's
+//!   exact per-commit fleet accounting (per-type betas).
 
 use rsdc_core::analysis::{CostBreakdown, Direction, ScheduleStats};
 use rsdc_core::prelude::*;
+use rsdc_hetero::{FleetSpec, HeteroAlgo, HeteroSnapshot, HeteroStream};
 use rsdc_online::bounds::{BoundTracker, TrackerSnapshot};
 use rsdc_online::streaming::{
     StreamFollowMin, StreamHysteresis, StreamLcp, StreamLookahead, StreamRounded, StreamingPolicy,
@@ -46,25 +59,68 @@ pub enum PolicySpec {
         /// Dead-band width.
         band: u32,
     },
+    /// Heterogeneous fleet: vector configurations over the machine-class
+    /// lattice, driven by the streaming lattice DP (or the greedy
+    /// baseline). Step events must carry a `load`, priced through the
+    /// fleet's aggregate cost.
+    Hetero {
+        /// Machine classes plus aggregate-cost parameters.
+        fleet: FleetSpec,
+        /// Which hetero policy drives the stream.
+        algo: HeteroAlgo,
+    },
+}
+
+/// A live policy instance: the scalar streaming wrappers, or a
+/// heterogeneous stream with vector states and its own fleet accounting.
+pub enum PolicyRuntime {
+    /// Homogeneous policy over 1-D costs (scalar states).
+    Scalar(Box<dyn StreamingPolicy>),
+    /// Heterogeneous lattice policy over offered loads (vector states).
+    Hetero(Box<HeteroStream>),
 }
 
 impl PolicySpec {
+    /// True for the heterogeneous variant (whose step events must carry a
+    /// `load` rather than an explicit 1-D cost).
+    pub fn is_hetero(&self) -> bool {
+        matches!(self, PolicySpec::Hetero { .. })
+    }
+
     /// Instantiate the policy for a tenant with `m` servers and power-up
-    /// cost `beta`.
-    pub fn build(&self, m: u32, beta: f64) -> Box<dyn StreamingPolicy> {
-        match *self {
-            PolicySpec::Lcp => Box::new(StreamLcp::new(m, beta)),
+    /// cost `beta` (both ignored by the hetero variant, which carries its
+    /// own fleet spec). `track_opt` sizes the hetero prefix-optimum
+    /// tracker; scalar policies track through a separate [`BoundTracker`].
+    pub fn build(
+        &self,
+        m: u32,
+        beta: f64,
+        track_opt: bool,
+    ) -> Result<PolicyRuntime, rsdc_core::Error> {
+        Ok(match self {
+            PolicySpec::Lcp => PolicyRuntime::Scalar(Box::new(StreamLcp::new(m, beta))),
             PolicySpec::HalfStepRounded { seed } => {
-                Box::new(StreamRounded::halfstep(m, beta, seed))
+                PolicyRuntime::Scalar(Box::new(StreamRounded::halfstep(m, beta, *seed)))
             }
-            PolicySpec::FlcpRounded { k, seed } => Box::new(StreamRounded::flcp(m, beta, k, seed)),
+            PolicySpec::FlcpRounded { k, seed } => {
+                PolicyRuntime::Scalar(Box::new(StreamRounded::flcp(m, beta, *k, *seed)))
+            }
             PolicySpec::MemorylessRounded { seed } => {
-                Box::new(StreamRounded::memoryless(m, beta, seed))
+                PolicyRuntime::Scalar(Box::new(StreamRounded::memoryless(m, beta, *seed)))
             }
-            PolicySpec::Lookahead { window } => Box::new(StreamLookahead::new(m, beta, window)),
-            PolicySpec::FollowTheMinimizer => Box::new(StreamFollowMin::new(m)),
-            PolicySpec::Hysteresis { band } => Box::new(StreamHysteresis::new(m, band)),
-        }
+            PolicySpec::Lookahead { window } => {
+                PolicyRuntime::Scalar(Box::new(StreamLookahead::new(m, beta, *window)))
+            }
+            PolicySpec::FollowTheMinimizer => {
+                PolicyRuntime::Scalar(Box::new(StreamFollowMin::new(m)))
+            }
+            PolicySpec::Hysteresis { band } => {
+                PolicyRuntime::Scalar(Box::new(StreamHysteresis::new(m, *band)))
+            }
+            PolicySpec::Hetero { fleet, algo } => PolicyRuntime::Hetero(Box::new(
+                HeteroStream::new(fleet.clone(), *algo, track_opt)?,
+            )),
+        })
     }
 
     /// Parse the CLI short syntax: `lcp`, `halfstep[:seed]`,
@@ -147,6 +203,22 @@ impl TenantConfig {
         }
     }
 
+    /// Heterogeneous tenant over `fleet`, driven by `algo`. The scalar
+    /// `m` is set to the fleet's total machine count (it bounds the
+    /// total-machines statistics) and `beta` to 0 (switching is priced
+    /// per machine class inside the stream, not by the scalar accounting).
+    pub fn hetero(id: impl Into<String>, fleet: FleetSpec, algo: HeteroAlgo) -> Self {
+        let m = fleet.total_machines();
+        Self {
+            id: id.into(),
+            m,
+            beta: 0.0,
+            policy: PolicySpec::Hetero { fleet, algo },
+            track_opt: false,
+            cost_model: None,
+        }
+    }
+
     /// Enable competitive-ratio tracking.
     pub fn with_opt_tracking(mut self) -> Self {
         self.track_opt = true;
@@ -180,8 +252,12 @@ pub struct TenantReport {
     pub events: u64,
     /// States committed (lags `events` for lookahead tenants).
     pub committed: u64,
-    /// Most recently committed state.
+    /// Most recently committed state. For heterogeneous tenants this is
+    /// the total active machines across classes; see `last_config`.
     pub last_state: u32,
+    /// Most recently committed configuration (heterogeneous tenants only;
+    /// one entry per machine class).
+    pub last_config: Option<Vec<u32>>,
     /// Running cost decomposition (operating + power-up switching), the
     /// eq. 1 objective over the committed prefix.
     pub breakdown: CostBreakdown,
@@ -246,7 +322,7 @@ pub struct PendingSlot {
 /// A live tenant: policy instance plus incrementally maintained accounting.
 pub struct Tenant {
     cfg: TenantConfig,
-    policy: Box<dyn StreamingPolicy>,
+    policy: PolicyRuntime,
     events: u64,
     committed: u64,
     prev_state: u32,
@@ -267,8 +343,10 @@ pub struct Tenant {
 /// shard-level metrics).
 #[derive(Debug, Clone)]
 pub struct Commit {
-    /// The committed state.
+    /// The committed state (total active machines for hetero tenants).
     pub state: u32,
+    /// The committed configuration (hetero tenants only).
+    pub config: Option<Vec<u32>>,
     /// The offered load of the slot this state serves (not the load of the
     /// event that triggered the commit — they differ under lookahead lag).
     pub load: Option<f64>,
@@ -290,14 +368,27 @@ impl StepEffect {
     pub fn states(&self) -> Vec<u32> {
         self.commits.iter().map(|c| c.state).collect()
     }
+
+    /// The committed configurations in slot order (hetero tenants only;
+    /// `None` when no commit carried one).
+    pub fn configs(&self) -> Option<Vec<Vec<u32>>> {
+        let configs: Vec<Vec<u32>> = self
+            .commits
+            .iter()
+            .filter_map(|c| c.config.clone())
+            .collect();
+        (!configs.is_empty()).then_some(configs)
+    }
 }
 
 impl Tenant {
-    /// Build a fresh tenant from its configuration.
-    pub fn new(cfg: TenantConfig) -> Self {
-        let policy = cfg.policy.build(cfg.m, cfg.beta);
-        let opt = cfg.track_opt.then(|| BoundTracker::new(cfg.m, cfg.beta));
-        Self {
+    /// Build a fresh tenant from its configuration. Fails when the
+    /// configuration is invalid (e.g. a degenerate or oversized fleet).
+    pub fn new(cfg: TenantConfig) -> Result<Self, rsdc_core::Error> {
+        let policy = cfg.policy.build(cfg.m, cfg.beta, cfg.track_opt)?;
+        let opt =
+            (cfg.track_opt && !cfg.policy.is_hetero()).then(|| BoundTracker::new(cfg.m, cfg.beta));
+        Ok(Self {
             policy,
             opt,
             cfg,
@@ -314,12 +405,67 @@ impl Tenant {
             phases_closed: 0,
             dir: Direction::Flat,
             pending: VecDeque::new(),
-        }
+        })
     }
 
     /// The tenant's configuration.
     pub fn config(&self) -> &TenantConfig {
         &self.cfg
+    }
+
+    /// Monotone-phase state machine over the (total-machines) state,
+    /// mirroring `rsdc_core::analysis::phases`.
+    fn advance_phase(&mut self, x: u32) {
+        if self.committed > 0 {
+            let step_dir = match x.cmp(&self.prev_state) {
+                std::cmp::Ordering::Greater => Direction::Up,
+                std::cmp::Ordering::Less => Direction::Down,
+                std::cmp::Ordering::Equal => Direction::Flat,
+            };
+            match (self.dir, step_dir) {
+                (_, Direction::Flat) => {}
+                (Direction::Flat, d) => self.dir = d,
+                (d, e) if d == e => {}
+                (_, e) => {
+                    self.phases_closed += 1;
+                    self.dir = e;
+                }
+            }
+        }
+    }
+
+    /// Shared accounting epilogue for one committed slot, scalar or
+    /// hetero: movement counters, change/phase/peak/mean statistics, and
+    /// the effect's `Commit`. `total` is the committed state (total active
+    /// machines for hetero tenants). A slot counts as changed whenever any
+    /// machine moved — for hetero tenants a reshuffle across classes can
+    /// keep the total constant while `ups + downs > 0`.
+    fn commit_slot(
+        &mut self,
+        total: u32,
+        ups: u64,
+        downs: u64,
+        config: Option<Vec<u32>>,
+        load: Option<f64>,
+        effect: &mut StepEffect,
+    ) {
+        self.ups += ups;
+        self.downs += downs;
+        if ups + downs > 0 {
+            self.change_slots += 1;
+        }
+        self.advance_phase(total);
+        self.peak = self.peak.max(total);
+        self.sum_states += total as f64;
+        self.committed += 1;
+        self.prev_state = total;
+        effect.commits.push(Commit {
+            state: total,
+            config,
+            load,
+            ups,
+            downs,
+        });
     }
 
     fn account(&mut self, x: u32, effect: &mut StepEffect) {
@@ -337,60 +483,74 @@ impl Tenant {
         let up = x.saturating_sub(self.prev_state) as u64;
         let down = self.prev_state.saturating_sub(x) as u64;
         self.switching += self.cfg.beta * up as f64;
-        self.ups += up;
-        self.downs += down;
-        if x != self.prev_state {
-            self.change_slots += 1;
-        }
-        // Monotone-phase state machine, mirroring rsdc_core::analysis::phases.
-        if self.committed > 0 {
-            let step_dir = match x.cmp(&self.prev_state) {
-                std::cmp::Ordering::Greater => Direction::Up,
-                std::cmp::Ordering::Less => Direction::Down,
-                std::cmp::Ordering::Equal => Direction::Flat,
-            };
-            match (self.dir, step_dir) {
-                (_, Direction::Flat) => {}
-                (Direction::Flat, d) => self.dir = d,
-                (d, e) if d == e => {}
-                (_, e) => {
-                    self.phases_closed += 1;
-                    self.dir = e;
-                }
-            }
-        }
-        self.peak = self.peak.max(x);
-        self.sum_states += x as f64;
-        self.committed += 1;
-        self.prev_state = x;
-        effect.commits.push(Commit {
-            state: x,
-            load: slot.load,
-            ups: up,
-            downs: down,
-        });
+        self.commit_slot(x, up, down, None, slot.load, effect);
+    }
+
+    /// Hetero accounting: the stream reports exact per-commit fleet costs;
+    /// the scalar aggregates track total active machines.
+    fn account_hetero(
+        &mut self,
+        commit: rsdc_hetero::HeteroCommit,
+        load: Option<f64>,
+        effect: &mut StepEffect,
+    ) {
+        let total: u32 = commit.config.iter().sum();
+        self.operating += commit.operating;
+        self.switching += commit.switching;
+        self.commit_slot(
+            total,
+            commit.ups,
+            commit.downs,
+            Some(commit.config),
+            load,
+            effect,
+        );
     }
 
     /// Ingest one cost function (with the slot's offered load, when known).
-    pub fn step(&mut self, f: &Cost, load: Option<f64>) -> StepEffect {
-        self.events += 1;
-        self.pending.push_back(PendingSlot {
-            cost: f.clone(),
-            load,
-        });
-        let mut out = Vec::new();
-        self.policy.ingest(f, &mut out);
+    /// Heterogeneous tenants require the load (their slot cost is priced
+    /// through the fleet spec; the 1-D cost is ignored) and fail without
+    /// one.
+    pub fn step(&mut self, f: &Cost, load: Option<f64>) -> Result<StepEffect, rsdc_core::Error> {
+        let mut scalar_out = Vec::new();
+        let mut hetero_commit = None;
+        match &mut self.policy {
+            PolicyRuntime::Scalar(policy) => {
+                self.events += 1;
+                self.pending.push_back(PendingSlot {
+                    cost: f.clone(),
+                    load,
+                });
+                policy.ingest(f, &mut scalar_out);
+            }
+            PolicyRuntime::Hetero(stream) => {
+                let Some(lambda) = load else {
+                    return Err(rsdc_core::Error::InvalidParameter(format!(
+                        "hetero tenant {:?} requires a load-carrying step event",
+                        self.cfg.id
+                    )));
+                };
+                self.events += 1;
+                hetero_commit = Some(stream.ingest(lambda));
+            }
+        }
         let mut effect = StepEffect::default();
-        for x in out {
+        for x in scalar_out {
             self.account(x, &mut effect);
         }
-        effect
+        if let Some(commit) = hetero_commit {
+            self.account_hetero(commit, load, &mut effect);
+        }
+        Ok(effect)
     }
 
-    /// End-of-stream: flush lookahead states.
+    /// End-of-stream: flush lookahead states (a no-op for hetero tenants,
+    /// which commit one configuration per ingested load).
     pub fn finish(&mut self) -> StepEffect {
         let mut out = Vec::new();
-        self.policy.finish(&mut out);
+        if let PolicyRuntime::Scalar(policy) = &mut self.policy {
+            policy.finish(&mut out);
+        }
         let mut effect = StepEffect::default();
         for x in out {
             self.account(x, &mut effect);
@@ -400,13 +560,18 @@ impl Tenant {
 
     /// Current report.
     pub fn report(&self) -> TenantReport {
-        let opt_cost = self.opt.as_ref().and_then(|t| {
-            (t.tau() > 0).then(|| {
-                (0..=self.cfg.m)
-                    .map(|x| t.c_low(x))
-                    .fold(f64::INFINITY, f64::min)
-            })
-        });
+        let opt_cost = match &self.policy {
+            PolicyRuntime::Scalar(_) => self.opt.as_ref().and_then(|t| {
+                (t.tau() > 0).then(|| {
+                    (0..=self.cfg.m)
+                        .map(|x| t.c_low(x))
+                        .fold(f64::INFINITY, f64::min)
+                })
+            }),
+            PolicyRuntime::Hetero(stream) => {
+                self.cfg.track_opt.then(|| stream.opt_cost()).flatten()
+            }
+        };
         let total = self.operating + self.switching;
         let ratio = opt_cost.map(|opt| {
             if opt.abs() < 1e-300 {
@@ -426,10 +591,17 @@ impl Tenant {
         };
         TenantReport {
             id: self.cfg.id.clone(),
-            policy: self.policy.name(),
+            policy: match &self.policy {
+                PolicyRuntime::Scalar(policy) => policy.name(),
+                PolicyRuntime::Hetero(stream) => stream.name(),
+            },
             events: self.events,
             committed: self.committed,
             last_state: self.prev_state,
+            last_config: match &self.policy {
+                PolicyRuntime::Scalar(_) => None,
+                PolicyRuntime::Hetero(stream) => Some(stream.last_config().clone()),
+            },
             breakdown: CostBreakdown {
                 operating: self.operating,
                 switching: self.switching,
@@ -467,7 +639,10 @@ impl Tenant {
             sum_states: self.sum_states,
             phases_closed: self.phases_closed,
             dir: self.dir,
-            policy: self.policy.snapshot(),
+            policy: match &self.policy {
+                PolicyRuntime::Scalar(policy) => policy.snapshot(),
+                PolicyRuntime::Hetero(stream) => stream.snapshot().to_value(),
+            },
             pending: self.pending.iter().cloned().collect(),
             opt: self.opt.as_ref().map(|t| t.snapshot()),
         }
@@ -475,8 +650,16 @@ impl Tenant {
 
     /// Rebuild a tenant from a snapshot.
     pub fn from_snapshot(s: TenantSnapshot) -> Result<Self, rsdc_core::Error> {
-        let mut tenant = Tenant::new(s.config);
-        tenant.policy.restore(&s.policy)?;
+        let mut tenant = Tenant::new(s.config)?;
+        match &mut tenant.policy {
+            PolicyRuntime::Scalar(policy) => policy.restore(&s.policy)?,
+            PolicyRuntime::Hetero(stream) => {
+                let snap = HeteroSnapshot::from_value(&s.policy).map_err(|e| {
+                    rsdc_core::Error::InvalidParameter(format!("bad hetero snapshot: {e}"))
+                })?;
+                stream.restore(&snap)?;
+            }
+        }
         tenant.events = s.events;
         tenant.committed = s.committed;
         tenant.prev_state = s.prev_state;
@@ -493,7 +676,9 @@ impl Tenant {
         tenant.opt = match s.opt {
             Some(t) => Some(BoundTracker::from_snapshot(&t)?),
             None => {
-                if tenant.cfg.track_opt {
+                // Hetero tenants track their optimum inside the stream
+                // snapshot (the hetero restore above enforces its presence).
+                if tenant.cfg.track_opt && !tenant.cfg.policy.is_hetero() {
                     return Err(rsdc_core::Error::InvalidParameter(
                         "snapshot lacks the opt tracker its config requires".into(),
                     ));
@@ -522,10 +707,11 @@ mod tests {
         let fs = costs(48);
         let inst = Instance::new(6, 2.0, fs.clone()).unwrap();
         let mut tenant =
-            Tenant::new(TenantConfig::new("t", 6, 2.0, PolicySpec::Lcp).with_opt_tracking());
+            Tenant::new(TenantConfig::new("t", 6, 2.0, PolicySpec::Lcp).with_opt_tracking())
+                .unwrap();
         let mut xs = Vec::new();
         for f in &fs {
-            xs.extend(tenant.step(f, None).states());
+            xs.extend(tenant.step(f, None).unwrap().states());
         }
         xs.extend(tenant.finish().states());
         let schedule = Schedule(xs);
@@ -555,10 +741,11 @@ mod tests {
             6,
             2.0,
             PolicySpec::Lookahead { window: 3 },
-        ));
+        ))
+        .unwrap();
         let mut xs = Vec::new();
         for f in &fs {
-            xs.extend(tenant.step(f, None).states());
+            xs.extend(tenant.step(f, None).unwrap().states());
         }
         assert_eq!(tenant.report().committed, 17);
         xs.extend(tenant.finish().states());
@@ -576,10 +763,11 @@ mod tests {
         let mut a = Tenant::new(
             TenantConfig::new("t", 5, 1.5, PolicySpec::FlcpRounded { k: 2, seed: 3 })
                 .with_opt_tracking(),
-        );
+        )
+        .unwrap();
         let mut xs_a = Vec::new();
         for f in &fs[..13] {
-            xs_a.extend(a.step(f, None).states());
+            xs_a.extend(a.step(f, None).unwrap().states());
         }
         let snap = a.snapshot();
         // Round-trip the snapshot through JSON text.
@@ -589,8 +777,8 @@ mod tests {
         let mut b = Tenant::from_snapshot(snap2).unwrap();
         let mut xs_b = Vec::new();
         for f in &fs[13..] {
-            xs_a.extend(a.step(f, None).states());
-            xs_b.extend(b.step(f, None).states());
+            xs_a.extend(a.step(f, None).unwrap().states());
+            xs_b.extend(b.step(f, None).unwrap().states());
         }
         assert_eq!(
             &xs_a[13..],

@@ -5,6 +5,9 @@
 //! ```text
 //! {"op":"admit","id":"t1","m":8,"beta":6.0,"policy":"Lcp","track_opt":true}
 //! {"op":"admit","id":"t2","m":8,"beta":6.0,"policy":{"FlcpRounded":{"k":4,"seed":7}}}
+//! {"op":"admit","id":"h1","policy":"hetero:frontier","fleet":{"types":[
+//!     {"count":3,"beta":1.0,"energy":1.0,"capacity":1.0},
+//!     {"count":2,"beta":2.5,"energy":1.4,"capacity":2.0}]}}
 //! {"op":"step","id":"t1","load":3.2}
 //! {"op":"step","id":"t1","cost":{"Abs":{"slope":1.0,"center":3.0}}}
 //! {"op":"finish","id":"t1"}
@@ -21,16 +24,25 @@
 //! `step` events carry either an explicit serialized [`Cost`] or a raw
 //! `load`, which the engine prices through the tenant's
 //! [`rsdc_workloads::builder::CostModel`] (the admit record may override
-//! the default model with a `"cost_model"` object). Response records mirror
-//! the request: `admitted`, `stepped` (with committed `states`),
-//! `finished`, `snapshot`, `restored`, `report`, `stats`, `checkpointed`,
-//! `recovered`, `wal_stats`, or `{"op":"error","line":N,"message":...}` —
-//! error responses carry the 1-based input line number of the offending
-//! record, so a failing line inside a large JSONL batch is locatable.
+//! the default model with a `"cost_model"` object). Heterogeneous tenants
+//! (`"policy":"hetero[:frontier|:greedy]"` plus a `"fleet"` object — `m`
+//! and `beta` are then optional/derived) accept **only** load-carrying
+//! steps: the load is priced through the fleet's aggregate cost, and their
+//! `stepped` responses carry the committed `configs` alongside the scalar
+//! total-machine `states`. Response records mirror the request:
+//! `admitted`, `stepped` (with committed `states`), `finished`,
+//! `snapshot`, `restored`, `report`, `stats`, `checkpointed`, `recovered`,
+//! `wal_stats`, or `{"op":"error","line":N,"message":...}` — error
+//! responses carry the 1-based input line number of the offending record,
+//! so a failing line inside a large JSONL batch is locatable.
+//!
+//! The full protocol, with request/response examples for every op, is
+//! documented in `docs/WIRE.md`.
 
 use crate::shard::StepOutcome;
 use crate::tenant::{PolicySpec, TenantConfig, TenantSnapshot};
 use rsdc_core::Cost;
+use rsdc_hetero::{FleetSpec, HeteroAlgo, ServerType};
 use rsdc_workloads::builder::CostModel;
 use rsdc_workloads::traces::Trace;
 use serde::{Deserialize, Serialize};
@@ -109,6 +121,27 @@ fn string_field(v: &serde::Value, key: &str) -> Result<String, WireError> {
         .ok_or_else(|| WireError(format!("field {key:?} must be a string")))
 }
 
+/// Parse a wire `fleet` object: a required `types` array of serialized
+/// [`ServerType`]s plus optional `delay_weight` / `delay_eps` / `overload`
+/// aggregate-cost parameters (defaulted as in [`FleetSpec::new`]).
+fn fleet_from_value(v: &serde::Value) -> Result<FleetSpec, WireError> {
+    let types = Vec::<ServerType>::from_value(field(v, "types")?)
+        .map_err(|e| WireError(format!("bad fleet types: {e}")))?;
+    let mut fleet = FleetSpec::new(types);
+    let num = |key: &str, default: f64| -> Result<f64, WireError> {
+        match v.get(key) {
+            Some(x) if !x.is_null() => x
+                .as_f64()
+                .ok_or_else(|| WireError(format!("fleet field {key:?} must be a number"))),
+            _ => Ok(default),
+        }
+    };
+    fleet.delay_weight = num("delay_weight", fleet.delay_weight)?;
+    fleet.delay_eps = num("delay_eps", fleet.delay_eps)?;
+    fleet.overload = num("overload", fleet.overload)?;
+    Ok(fleet)
+}
+
 /// Parse one JSONL request line.
 pub fn parse_record(line: &str) -> Result<Record, WireError> {
     let v: serde::Value =
@@ -117,18 +150,21 @@ pub fn parse_record(line: &str) -> Result<Record, WireError> {
     match op.as_str() {
         "admit" => {
             let id = string_field(&v, "id")?;
-            let m = field(&v, "m")?
-                .as_u64()
-                .and_then(|m| u32::try_from(m).ok())
-                .ok_or_else(|| WireError("field \"m\" must be a u32".into()))?;
-            let beta = field(&v, "beta")?
-                .as_f64()
-                .ok_or_else(|| WireError("field \"beta\" must be a number".into()))?;
             let policy_value = field(&v, "policy")?;
-            let policy = match policy_value.as_str() {
+            // Hetero short syntax first: "hetero[:frontier|:greedy]" plus a
+            // "fleet" object on the record itself.
+            let hetero = policy_value
+                .as_str()
+                .and_then(HeteroAlgo::parse_policy_prefix);
+            let policy = match (hetero, policy_value.as_str()) {
+                (Some(algo), _) => {
+                    let algo = algo.map_err(|e| WireError(format!("bad policy: {e}")))?;
+                    let fleet = fleet_from_value(field(&v, "fleet")?)?;
+                    PolicySpec::Hetero { fleet, algo }
+                }
                 // Accept both the CLI short syntax ("lcp", "flcp:4,7") and
                 // the canonical serde encoding ("Lcp", {"FlcpRounded":...}).
-                Some(s) => PolicySpec::parse_short(&s.to_lowercase())
+                (None, Some(s)) => PolicySpec::parse_short(&s.to_lowercase())
                     .or_else(|short_err| {
                         // Fall back to the canonical serde encoding, but
                         // keep the short-syntax message (it lists the
@@ -136,8 +172,36 @@ pub fn parse_record(line: &str) -> Result<Record, WireError> {
                         PolicySpec::from_value(policy_value).map_err(|_| short_err)
                     })
                     .map_err(|e| WireError(format!("bad policy: {e}")))?,
-                None => PolicySpec::from_value(policy_value)
+                (None, None) => PolicySpec::from_value(policy_value)
                     .map_err(|e| WireError(format!("bad policy: {e}")))?,
+            };
+            // Hetero tenants derive m (total machines) and beta (unused by
+            // the vector accounting) from the fleet; scalar tenants must
+            // state both.
+            let (m, beta) = if let PolicySpec::Hetero { fleet, .. } = &policy {
+                let m = match v.get("m") {
+                    Some(x) if !x.is_null() => x
+                        .as_u64()
+                        .and_then(|m| u32::try_from(m).ok())
+                        .ok_or_else(|| WireError("field \"m\" must be a u32".into()))?,
+                    _ => fleet.total_machines(),
+                };
+                let beta = match v.get("beta") {
+                    Some(x) if !x.is_null() => x
+                        .as_f64()
+                        .ok_or_else(|| WireError("field \"beta\" must be a number".into()))?,
+                    _ => 0.0,
+                };
+                (m, beta)
+            } else {
+                let m = field(&v, "m")?
+                    .as_u64()
+                    .and_then(|m| u32::try_from(m).ok())
+                    .ok_or_else(|| WireError("field \"m\" must be a u32".into()))?;
+                let beta = field(&v, "beta")?
+                    .as_f64()
+                    .ok_or_else(|| WireError("field \"beta\" must be a number".into()))?;
+                (m, beta)
             };
             let track_opt = v
                 .get("track_opt")
@@ -238,14 +302,23 @@ pub fn step_cost_line(id: &str, cost: &Cost) -> String {
     serde_json::to_string(&v).expect("serializable")
 }
 
-/// Render the `stepped` response for a batch of outcomes.
+/// Render the `stepped` response for a batch of outcomes. Heterogeneous
+/// outcomes additionally carry the committed configurations.
 pub fn stepped_line(outcome: &StepOutcome) -> String {
     let v = match &outcome.error {
-        None => serde_json::json!({
-            "op": "stepped",
-            "id": outcome.id,
-            "states": outcome.states,
-        }),
+        None => match &outcome.configs {
+            Some(configs) => serde_json::json!({
+                "op": "stepped",
+                "id": outcome.id,
+                "states": outcome.states,
+                "configs": configs.to_value(),
+            }),
+            None => serde_json::json!({
+                "op": "stepped",
+                "id": outcome.id,
+                "states": outcome.states,
+            }),
+        },
         Some(message) => serde_json::json!({
             "op": "error",
             "id": outcome.id,
@@ -275,9 +348,28 @@ pub fn trace_records(id: &str, trace: &Trace) -> Vec<String> {
 /// ([`with_auto_checkpoint`](Session::with_auto_checkpoint)).
 pub struct Session {
     engine: crate::Engine,
-    models: std::collections::HashMap<String, CostModel>,
+    models: std::collections::HashMap<String, Pricing>,
     auto_checkpoint: u64,
     since_checkpoint: u64,
+}
+
+/// How a tenant's `load` step events are priced into engine events.
+enum Pricing {
+    /// Scalar tenant: load becomes a [`Cost::Server`] via the cost model.
+    Scalar(CostModel),
+    /// Hetero tenant: the load rides through unpriced (the tenant's fleet
+    /// spec prices it inside the engine); explicit costs are rejected.
+    Hetero,
+}
+
+impl Pricing {
+    fn for_config(config: &TenantConfig) -> Pricing {
+        if config.policy.is_hetero() {
+            Pricing::Hetero
+        } else {
+            Pricing::Scalar(config.load_cost_model())
+        }
+    }
 }
 
 impl Session {
@@ -323,13 +415,15 @@ impl Session {
         self
     }
 
-    /// Rebuild the per-tenant cost models from engine state (each tenant's
-    /// config carries its explicit model, when one was given at admit).
+    /// Rebuild the per-tenant pricing from engine state (each tenant's
+    /// config carries its explicit model — or its hetero fleet — so
+    /// pricing survives recovery).
     fn reload_models(&mut self) -> Result<(), crate::EngineError> {
         self.models.clear();
         for id in self.engine.tenant_ids()? {
             let snapshot = self.engine.snapshot(&id)?;
-            self.models.insert(id, snapshot.config.load_cost_model());
+            self.models
+                .insert(id, Pricing::for_config(&snapshot.config));
         }
         Ok(())
     }
@@ -339,20 +433,39 @@ impl Session {
         &self.engine
     }
 
-    fn cost_of(&self, id: &str, cost: Option<Cost>, load: Option<f64>) -> (Cost, Option<f64>) {
+    fn cost_of(
+        &self,
+        id: &str,
+        cost: Option<Cost>,
+        load: Option<f64>,
+    ) -> Result<(Cost, Option<f64>), String> {
+        if let Some(Pricing::Hetero) = self.models.get(id) {
+            if cost.is_some() {
+                return Err(format!(
+                    "hetero tenant {id:?} accepts only load-carrying steps"
+                ));
+            }
+            let load = load.expect("parse_record guarantees cost or load");
+            // The fleet spec prices the load inside the engine; the 1-D
+            // cost slot of the event is unused.
+            return Ok((Cost::Zero, Some(load)));
+        }
         match cost {
-            Some(c) => (c, load),
+            Some(c) => Ok((c, load)),
             None => {
                 let load = load.expect("parse_record guarantees cost or load");
-                let model = self.models.get(id).cloned().unwrap_or_default();
-                (
+                let model = match self.models.get(id) {
+                    Some(Pricing::Scalar(model)) => *model,
+                    _ => CostModel::default(),
+                };
+                Ok((
                     Cost::Server {
                         lambda: load,
                         params: model.server,
                         overload: model.overload,
                     },
                     Some(load),
-                )
+                ))
             }
         }
     }
@@ -414,9 +527,14 @@ impl Session {
             Record::Step { .. } => unreachable!("steps are batched by the caller"),
             Record::Admit { config, cost_model } => {
                 let id = config.id.clone();
+                let pricing = if config.policy.is_hetero() {
+                    Pricing::Hetero
+                } else {
+                    Pricing::Scalar(cost_model)
+                };
                 match self.engine.admit(config) {
                     Ok(()) => {
-                        self.models.insert(id.clone(), cost_model);
+                        self.models.insert(id.clone(), pricing);
                         out.push(
                             serde_json::to_string(&serde_json::json!({
                                 "op": "admitted", "id": id,
@@ -439,15 +557,21 @@ impl Session {
             Record::Snapshot { id } => match self.engine.snapshot(&id) {
                 // The response carries the tenant's cost model alongside the
                 // snapshot so a `restore` built from this line re-prices
-                // `load` events identically after a restart.
+                // `load` events identically after a restart. Hetero tenants
+                // price through the fleet spec inside the snapshot's config,
+                // so their cost model is null.
                 Ok(snapshot) => {
-                    let model = self.models.get(&id).cloned().unwrap_or_default();
+                    let model = match self.models.get(&id) {
+                        Some(Pricing::Scalar(model)) => model.to_value(),
+                        Some(Pricing::Hetero) => serde::Value::Null,
+                        None => CostModel::default().to_value(),
+                    };
                     out.push(
                         serde_json::to_string(&serde_json::json!({
                             "op": "snapshot",
                             "id": id,
                             "snapshot": snapshot.to_value(),
-                            "cost_model": model.to_value(),
+                            "cost_model": model,
                         }))
                         .expect("serializable"),
                     );
@@ -464,10 +588,10 @@ impl Session {
                 if cost_model.is_some() {
                     snapshot.config.cost_model = cost_model;
                 }
-                let model = snapshot.config.load_cost_model();
+                let pricing = Pricing::for_config(&snapshot.config);
                 match self.engine.restore(*snapshot) {
                     Ok(()) => {
-                        self.models.insert(id.clone(), model);
+                        self.models.insert(id.clone(), pricing);
                         out.push(
                             serde_json::to_string(&serde_json::json!({
                                 "op": "restored", "id": id,
@@ -564,22 +688,28 @@ impl Session {
                     self.flush_steps(&mut pending, &mut out);
                     out.push(error_line_at(number, &e.to_string()));
                 }
-                Ok(Record::Step { id, cost, load }) => {
-                    let (cost, load) = self.cost_of(&id, cost, load);
-                    pending.push(PendingStep {
-                        line: number,
-                        id,
-                        cost,
-                        load,
-                    });
-                    // Cap the batch: an unbounded run of consecutive steps
-                    // would otherwise become one giant engine call (and one
-                    // giant WAL record), starving the checkpoint cadence
-                    // and losing everything on a mid-file crash.
-                    if pending.len() >= MAX_STEP_BATCH {
+                Ok(Record::Step { id, cost, load }) => match self.cost_of(&id, cost, load) {
+                    Err(message) => {
                         self.flush_steps(&mut pending, &mut out);
+                        out.push(error_line_at(number, &message));
                     }
-                }
+                    Ok((cost, load)) => {
+                        pending.push(PendingStep {
+                            line: number,
+                            id,
+                            cost,
+                            load,
+                        });
+                        // Cap the batch: an unbounded run of consecutive
+                        // steps would otherwise become one giant engine call
+                        // (and one giant WAL record), starving the
+                        // checkpoint cadence and losing everything on a
+                        // mid-file crash.
+                        if pending.len() >= MAX_STEP_BATCH {
+                            self.flush_steps(&mut pending, &mut out);
+                        }
+                    }
+                },
                 Ok(control) => {
                     self.flush_steps(&mut pending, &mut out);
                     self.handle_control(control, number, &mut out);
@@ -762,6 +892,94 @@ mod tests {
             got["report"]["breakdown"], want["report"]["breakdown"],
             "restored session must price load events with the admit-time cost model"
         );
+    }
+
+    const HETERO_ADMIT: &str = "{\"op\":\"admit\",\"id\":\"h\",\"policy\":\"hetero:frontier\",\
+         \"track_opt\":true,\"fleet\":{\"types\":[\
+         {\"count\":3,\"beta\":1.0,\"energy\":1.0,\"capacity\":1.0},\
+         {\"count\":2,\"beta\":2.5,\"energy\":1.4,\"capacity\":2.0}],\
+         \"delay_eps\":0.3}}";
+
+    #[test]
+    fn hetero_admit_parses_fleet_and_derives_m() {
+        match parse_record(HETERO_ADMIT).unwrap() {
+            Record::Admit { config, .. } => {
+                assert!(config.policy.is_hetero());
+                assert_eq!(config.m, 5, "m derives from the fleet");
+                assert_eq!(config.beta, 0.0);
+                assert!(config.track_opt);
+                let PolicySpec::Hetero { fleet, algo } = &config.policy else {
+                    panic!("not hetero");
+                };
+                assert_eq!(*algo, HeteroAlgo::Frontier);
+                assert_eq!(fleet.types.len(), 2);
+                assert_eq!(fleet.delay_weight, 1.0, "defaulted");
+                assert_eq!(fleet.overload, 25.0, "defaulted");
+                // The canonical admit line for this config round-trips too.
+                let line = admit_line(&config);
+                match parse_record(&line).unwrap() {
+                    Record::Admit { config: back, .. } => assert_eq!(back, config),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_record(
+            "{\"op\":\"admit\",\"id\":\"h\",\"policy\":\"hetero:zap\",\"fleet\":{\"types\":[]}}"
+        )
+        .is_err());
+        assert!(
+            parse_record("{\"op\":\"admit\",\"id\":\"h\",\"policy\":\"hetero\"}").is_err(),
+            "hetero admit requires a fleet"
+        );
+    }
+
+    #[test]
+    fn hetero_session_streams_snapshots_and_rejects_explicit_costs() {
+        let mut session = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(2)));
+        let loads = [1.0, 4.5, 2.0, 5.5];
+        let mut lines = vec![HETERO_ADMIT.to_string()];
+        lines.extend(loads.iter().map(|&l| step_load_line("h", l)));
+        lines.push(
+            "{\"op\":\"step\",\"id\":\"h\",\"cost\":{\"Abs\":{\"slope\":1.0,\"center\":3.0}}}"
+                .into(),
+        );
+        lines.push("{\"op\":\"report\",\"id\":\"h\"}".into());
+        lines.push("{\"op\":\"snapshot\",\"id\":\"h\"}".into());
+        let out = session.handle_lines(lines.iter().map(|s| s.as_str()));
+        let parsed: Vec<serde::Value> = out
+            .iter()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed[0]["op"], "admitted");
+        for p in &parsed[1..=loads.len()] {
+            assert_eq!(p["op"], "stepped");
+            assert!(p["configs"][0].as_array().is_some(), "{p:?}");
+        }
+        // The explicit-cost step on line 6 is rejected with its line number.
+        let err = &parsed[loads.len() + 1];
+        assert_eq!(err["op"], "error");
+        assert_eq!(err["line"], 6);
+        assert!(err["message"].as_str().unwrap().contains("load"));
+        let report = &parsed[loads.len() + 2]["report"];
+        assert_eq!(report["committed"], 4);
+        assert!(report["last_config"].as_array().is_some());
+        assert!(report["ratio"].as_f64().unwrap() >= 1.0 - 1e-9);
+        // Hetero snapshots carry a null cost model and restore elsewhere.
+        let snap_line = parsed.last().unwrap();
+        assert!(snap_line["cost_model"].is_null());
+        let restore = serde_json::to_string(&serde_json::json!({
+            "op": "restore", "snapshot": snap_line["snapshot"].clone(),
+        }))
+        .unwrap();
+        let mut second = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(1)));
+        let mut lines = vec![restore];
+        lines.extend(loads.iter().map(|&l| step_load_line("h", l)));
+        lines.push("{\"op\":\"report\",\"id\":\"h\"}".into());
+        let out = second.handle_lines(lines.iter().map(|s| s.as_str()));
+        assert!(out[0].contains("restored"), "{}", out[0]);
+        let got: serde::Value = serde_json::from_str(out.last().unwrap()).unwrap();
+        assert_eq!(got["report"]["committed"], 8);
     }
 
     #[test]

@@ -8,7 +8,13 @@
 //!   aggregate-capacity), schedule cost;
 //! * [`offline`] — exact DP over the lattice (small dimension), the ground
 //!   truth for heuristics;
-//! * [`online`] — coordinate-wise LCP and greedy coordinate descent.
+//! * [`online`] — the [`online::FrontierDp`] lattice DP (follow the
+//!   offline frontier), coordinate-wise LCP, and greedy coordinate
+//!   descent;
+//! * [`streaming`] — resumable streaming wrappers ([`FleetSpec`],
+//!   [`HeteroStream`]) whose incremental state is the DP frontier, with
+//!   bit-exact snapshot/restore — how heterogeneous tenants join the
+//!   `rsdc-engine` service layer and its checkpoint/recovery cycle.
 //!
 //! No competitive guarantee is claimed here — the heterogeneous lower
 //! bounds are strictly harder (best known upper bounds for chasing convex
@@ -21,7 +27,9 @@
 pub mod model;
 pub mod offline;
 pub mod online;
+pub mod streaming;
 
 pub use model::{Config, HCost, HInstance, ServerType};
 pub use offline::{solve, HSolution};
-pub use online::{CoordinateLcp, GreedyConfig};
+pub use online::{CoordinateLcp, FrontierDp, GreedyConfig};
+pub use streaming::{FleetSpec, HeteroAlgo, HeteroCommit, HeteroSnapshot, HeteroStream};

@@ -59,6 +59,48 @@ pub enum HCost {
     },
 }
 
+impl HCost {
+    /// Evaluate this cost at configuration `x` of a fleet with the given
+    /// `types`. Shared by [`HInstance::eval`] and the streaming layer,
+    /// which prices slots one at a time without building an instance.
+    pub fn eval(&self, types: &[ServerType], x: &[u32]) -> f64 {
+        match self {
+            HCost::SeparableAbs { targets, slopes } => x
+                .iter()
+                .zip(targets.iter().zip(slopes))
+                .map(|(&xd, (&c, &s))| s * (xd as f64 - c).abs())
+                .sum(),
+            HCost::Aggregate {
+                lambda,
+                delay_weight,
+                delay_eps,
+                overload,
+            } => {
+                let energy: f64 = x
+                    .iter()
+                    .zip(types)
+                    .map(|(&xd, ty)| xd as f64 * ty.energy)
+                    .sum();
+                let cap: f64 = x
+                    .iter()
+                    .zip(types)
+                    .map(|(&xd, ty)| xd as f64 * ty.capacity)
+                    .sum();
+                if cap > *lambda {
+                    energy + delay_weight * lambda / (cap - lambda + delay_eps)
+                } else {
+                    // Saturated: linear extension of the delay curve. The
+                    // per-capacity slope must dominate the delay derivative
+                    // at the junction (dw * lambda / eps^2), otherwise the
+                    // two branches meet non-convexly.
+                    let pen = overload.max(delay_weight * lambda / (delay_eps * delay_eps));
+                    energy + delay_weight * lambda / delay_eps + pen * (lambda - cap)
+                }
+            }
+        }
+    }
+}
+
 /// A heterogeneous problem instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HInstance {
@@ -91,49 +133,12 @@ impl HInstance {
     /// Evaluate the slot-`t` (1-based) cost at a configuration.
     pub fn eval(&self, t: usize, x: &[u32]) -> f64 {
         assert_eq!(x.len(), self.dims());
-        match &self.costs[t - 1] {
-            HCost::SeparableAbs { targets, slopes } => x
-                .iter()
-                .zip(targets.iter().zip(slopes))
-                .map(|(&xd, (&c, &s))| s * (xd as f64 - c).abs())
-                .sum(),
-            HCost::Aggregate {
-                lambda,
-                delay_weight,
-                delay_eps,
-                overload,
-            } => {
-                let energy: f64 = x
-                    .iter()
-                    .zip(&self.types)
-                    .map(|(&xd, ty)| xd as f64 * ty.energy)
-                    .sum();
-                let cap: f64 = x
-                    .iter()
-                    .zip(&self.types)
-                    .map(|(&xd, ty)| xd as f64 * ty.capacity)
-                    .sum();
-                if cap > *lambda {
-                    energy + delay_weight * lambda / (cap - lambda + delay_eps)
-                } else {
-                    // Saturated: linear extension of the delay curve. The
-                    // per-capacity slope must dominate the delay derivative
-                    // at the junction (dw * lambda / eps^2), otherwise the
-                    // two branches meet non-convexly.
-                    let pen = overload.max(delay_weight * lambda / (delay_eps * delay_eps));
-                    energy + delay_weight * lambda / delay_eps + pen * (lambda - cap)
-                }
-            }
-        }
+        self.costs[t - 1].eval(&self.types, x)
     }
 
     /// Switching cost between consecutive configurations.
     pub fn switch_cost(&self, from: &[u32], to: &[u32]) -> f64 {
-        from.iter()
-            .zip(to)
-            .zip(&self.types)
-            .map(|((&a, &b), ty)| ty.beta * b.saturating_sub(a) as f64)
-            .sum()
+        switch_cost(&self.types, from, to)
     }
 
     /// Total cost of a configuration schedule (`x_0 = 0`).
@@ -151,20 +156,36 @@ impl HInstance {
 
     /// Enumerate every lattice configuration (row-major).
     pub fn all_configs(&self) -> Vec<Config> {
-        let mut out = vec![vec![]];
-        for ty in &self.types {
-            let mut next = Vec::with_capacity(out.len() * (ty.count as usize + 1));
-            for prefix in &out {
-                for v in 0..=ty.count {
-                    let mut p = prefix.clone();
-                    p.push(v);
-                    next.push(p);
-                }
-            }
-            out = next;
-        }
-        out
+        all_configs(&self.types)
     }
+}
+
+/// Switching cost between consecutive configurations of a fleet: each type
+/// charges its own `beta` per machine powered up (downs are free).
+pub fn switch_cost(types: &[ServerType], from: &[u32], to: &[u32]) -> f64 {
+    from.iter()
+        .zip(to)
+        .zip(types)
+        .map(|((&a, &b), ty)| ty.beta * b.saturating_sub(a) as f64)
+        .sum()
+}
+
+/// Enumerate every lattice configuration of a fleet (row-major: the last
+/// type varies fastest; index 0 is the all-zero configuration).
+pub fn all_configs(types: &[ServerType]) -> Vec<Config> {
+    let mut out = vec![vec![]];
+    for ty in types {
+        let mut next = Vec::with_capacity(out.len() * (ty.count as usize + 1));
+        for prefix in &out {
+            for v in 0..=ty.count {
+                let mut p = prefix.clone();
+                p.push(v);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
 }
 
 #[cfg(test)]

@@ -4,13 +4,19 @@
 //! lower bounds are strictly harder (the paper cites convex function
 //! chasing, where the best known ratios grow with dimension). Provided:
 //!
+//! * [`FrontierDp`] — maintain the *offline DP frontier* incrementally
+//!   (the exact prefix optimum to every lattice point, the recurrence of
+//!   [`crate::offline::solve`] run one slot at a time) and commit the
+//!   frontier's argmin each slot. The frontier vector is the algorithm's
+//!   complete state, which is what makes it streamable: snapshotting the
+//!   frontier and resuming is bit-identical to never stopping.
 //! * [`CoordinateLcp`] — run one discrete LCP per type on the *marginal*
 //!   cost function (vary type `d`, freeze the other coordinates at their
 //!   current values). Inherits LCP's laziness; no global guarantee.
 //! * [`GreedyConfig`] — jump to the minimizing configuration each slot
 //!   (coordinate descent); the thrash-prone baseline.
 
-use crate::model::{Config, HInstance};
+use crate::model::{self, Config, HCost, HInstance, ServerType};
 use rsdc_core::cost::Cost;
 use rsdc_online::lcp::Lcp;
 use rsdc_online::traits::OnlineAlgorithm;
@@ -78,11 +84,19 @@ impl GreedyConfig {
 
     /// Commit a configuration for slot `t`.
     pub fn step(&mut self, inst: &HInstance, t: usize) -> Config {
-        let lattice = self.lattice.get_or_insert_with(|| inst.all_configs());
+        self.step_cost(&inst.types, &inst.costs[t - 1])
+    }
+
+    /// Commit a configuration for one streamed cost — the instance-free
+    /// core of [`GreedyConfig::step`], used by the streaming wrapper.
+    pub fn step_cost(&mut self, types: &[ServerType], cost: &HCost) -> Config {
+        let lattice = self
+            .lattice
+            .get_or_insert_with(|| model::all_configs(types));
         let mut best_c = f64::INFINITY;
         let mut best = self.state.clone();
         for cfg in lattice.iter() {
-            let c = inst.eval(t, cfg);
+            let c = cost.eval(types, cfg);
             if c < best_c {
                 best_c = c;
                 best = cfg.clone();
@@ -90,6 +104,157 @@ impl GreedyConfig {
         }
         self.state = best;
         self.state.clone()
+    }
+
+    /// The last committed configuration.
+    pub fn state(&self) -> &Config {
+        &self.state
+    }
+
+    /// Re-install a committed configuration (snapshot restore).
+    pub fn set_state(&mut self, state: Config) {
+        self.state = state;
+    }
+}
+
+/// Follow the offline DP frontier: keep, for every lattice point `j`, the
+/// exact optimal cost `dist[j]` of serving the prefix seen so far and
+/// ending in `j` (the recurrence of [`crate::offline::solve`], advanced
+/// one slot at a time), and commit the frontier's argmin each slot.
+///
+/// Two properties make this the natural streaming hetero policy:
+///
+/// * the frontier **is** the complete algorithm state — `O(S)` floats for
+///   `S` lattice points, independent of the stream length — so snapshot /
+///   restore is exact by construction;
+/// * `min_j dist[j]` is the exact prefix offline optimum, so competitive-
+///   ratio tracking comes for free (no second tracker needed).
+///
+/// `O(S^2)` work per slot, like one column of the offline DP.
+#[derive(Debug, Clone)]
+pub struct FrontierDp {
+    types: Vec<ServerType>,
+    lattice: Vec<Config>,
+    dist: Vec<f64>, // empty until the first slot is ingested
+    state: Config,
+    slots: u64,
+}
+
+impl FrontierDp {
+    /// Build for a fleet. The lattice (`prod (m_d + 1)` points) is
+    /// enumerated here; switching costs are computed on the fly in the DP
+    /// inner loop (`O(D)` each), keeping memory at `O(S * D)` — a dense
+    /// `S x S` table would cost `S^2` floats per tenant, which a
+    /// multi-tenant engine cannot afford near the lattice cap.
+    pub fn new(types: &[ServerType]) -> Self {
+        FrontierDp {
+            types: types.to_vec(),
+            state: vec![0; types.len()],
+            lattice: model::all_configs(types),
+            dist: Vec::new(),
+            slots: 0,
+        }
+    }
+
+    /// Commit a configuration for slot `t` of an instance (batch runner).
+    pub fn step(&mut self, inst: &HInstance, t: usize) -> Config {
+        self.step_cost(&inst.costs[t - 1])
+    }
+
+    /// Advance the frontier by one streamed cost and commit its argmin
+    /// (ties break toward the lowest lattice index, deterministically).
+    pub fn step_cost(&mut self, cost: &HCost) -> Config {
+        let s = self.lattice.len();
+        let mut next = vec![0.0f64; s];
+        if self.dist.is_empty() {
+            // First slot from the all-zero configuration (lattice index 0),
+            // exactly the offline DP's first column.
+            for (j, st) in self.lattice.iter().enumerate() {
+                next[j] = model::switch_cost(&self.types, &self.lattice[0], st)
+                    + cost.eval(&self.types, st);
+            }
+        } else {
+            for (j, st) in self.lattice.iter().enumerate() {
+                let mut best = f64::INFINITY;
+                for (i, from) in self.lattice.iter().enumerate() {
+                    let c = self.dist[i] + model::switch_cost(&self.types, from, st);
+                    if c < best {
+                        best = c;
+                    }
+                }
+                next[j] = best + cost.eval(&self.types, st);
+            }
+        }
+        self.dist = next;
+        self.slots += 1;
+        let mut arg = 0usize;
+        for j in 1..s {
+            if self.dist[j] < self.dist[arg] {
+                arg = j;
+            }
+        }
+        self.state = self.lattice[arg].clone();
+        self.state.clone()
+    }
+
+    /// The fleet's server types.
+    pub fn types(&self) -> &[ServerType] {
+        &self.types
+    }
+
+    /// Lattice size `S`.
+    pub fn lattice_size(&self) -> usize {
+        self.lattice.len()
+    }
+
+    /// Slots ingested so far.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// The frontier vector (empty before the first slot).
+    pub fn frontier(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// The last committed configuration (all-zero before the first slot).
+    pub fn state(&self) -> &Config {
+        &self.state
+    }
+
+    /// Exact offline optimum of the ingested prefix — `min_j dist[j]`
+    /// (`None` before the first slot).
+    pub fn opt_cost(&self) -> Option<f64> {
+        self.dist
+            .iter()
+            .copied()
+            .reduce(|a, b| if b < a { b } else { a })
+    }
+
+    /// Re-install a previously captured frontier + committed state.
+    pub fn restore(
+        &mut self,
+        dist: Vec<f64>,
+        state: Config,
+        slots: u64,
+    ) -> Result<(), rsdc_core::Error> {
+        let bad = |m: &str| rsdc_core::Error::InvalidParameter(format!("FrontierDp snapshot: {m}"));
+        if !(dist.is_empty() || dist.len() == self.lattice.len()) {
+            return Err(bad("frontier length does not match the lattice"));
+        }
+        if state.len() != self.types.len() {
+            return Err(bad("state dimension does not match the fleet"));
+        }
+        if state.iter().zip(&self.types).any(|(&x, ty)| x > ty.count) {
+            return Err(bad("state exceeds a type's machine count"));
+        }
+        if dist.is_empty() != (slots == 0) {
+            return Err(bad("slot count inconsistent with frontier"));
+        }
+        self.dist = dist;
+        self.state = state;
+        self.slots = slots;
+        Ok(())
     }
 }
 
@@ -222,6 +387,82 @@ mod tests {
             c_lcp <= c_greedy * 1.05,
             "coordinate LCP {c_lcp} vs greedy {c_greedy}"
         );
+    }
+
+    #[test]
+    fn frontier_dp_tracks_the_exact_prefix_optimum() {
+        // The frontier after t slots is the offline DP's column t, so its
+        // min must equal the offline optimum of the prefix — bitwise, the
+        // arithmetic is the same.
+        let loads: Vec<f64> = (0..12).map(|t| 1.0 + (t % 5) as f64).collect();
+        let inst = instance(&loads);
+        let mut a = FrontierDp::new(&inst.types);
+        for t in 1..=inst.horizon() {
+            a.step(&inst, t);
+            let prefix = HInstance {
+                types: inst.types.clone(),
+                costs: inst.costs[..t].to_vec(),
+            };
+            let opt = offline::solve(&prefix).cost;
+            assert_eq!(a.opt_cost().unwrap(), opt, "prefix length {t}");
+        }
+    }
+
+    #[test]
+    fn frontier_dp_is_feasible_and_reasonable() {
+        let loads: Vec<f64> = (0..40)
+            .map(|t| 2.5 + 2.0 * ((t as f64) * 0.4).sin())
+            .collect();
+        let inst = instance(&loads);
+        let mut a = FrontierDp::new(&inst.types);
+        let xs: Vec<Config> = (1..=inst.horizon()).map(|t| a.step(&inst, t)).collect();
+        for (x, ty) in xs.iter().flat_map(|c| c.iter().zip(&inst.types)) {
+            assert!(*x <= ty.count);
+        }
+        let opt = offline::solve(&inst);
+        let ratio = inst.cost(&xs) / opt.cost;
+        assert!(
+            (1.0..=4.0).contains(&ratio),
+            "frontier DP ratio {ratio} out of expected band"
+        );
+    }
+
+    #[test]
+    fn frontier_dp_restore_resumes_bit_identically() {
+        let loads: Vec<f64> = (0..30).map(|t| 0.5 + (t % 7) as f64).collect();
+        let inst = instance(&loads);
+        let mut full = FrontierDp::new(&inst.types);
+        let want: Vec<Config> = (1..=inst.horizon()).map(|t| full.step(&inst, t)).collect();
+
+        let mut first = FrontierDp::new(&inst.types);
+        let mut got: Vec<Config> = (1..=11).map(|t| first.step(&inst, t)).collect();
+        let (dist, state, slots) = (
+            first.frontier().to_vec(),
+            first.state().clone(),
+            first.slots(),
+        );
+        let mut resumed = FrontierDp::new(&inst.types);
+        resumed.restore(dist, state, slots).unwrap();
+        got.extend((12..=inst.horizon()).map(|t| resumed.step(&inst, t)));
+        assert_eq!(got, want);
+        assert_eq!(resumed.opt_cost(), full.opt_cost());
+    }
+
+    #[test]
+    fn frontier_dp_restore_rejects_mismatched_shapes() {
+        let inst = instance(&[1.0]);
+        let mut a = FrontierDp::new(&inst.types);
+        a.step(&inst, 1);
+        let mut b = FrontierDp::new(&inst.types);
+        assert!(b
+            .restore(vec![0.0; 3], a.state().clone(), a.slots())
+            .is_err());
+        assert!(b.restore(a.frontier().to_vec(), vec![9, 9], 1).is_err());
+        assert!(b.restore(a.frontier().to_vec(), vec![0, 0, 0], 1).is_err());
+        assert!(b.restore(Vec::new(), vec![0, 0], 1).is_err());
+        assert!(b
+            .restore(a.frontier().to_vec(), a.state().clone(), a.slots())
+            .is_ok());
     }
 
     #[test]

@@ -43,6 +43,16 @@ fn bad_snapshot(what: &str) -> StreamError {
 /// An online policy adapted to unbounded streams with checkpointing.
 ///
 /// Object-safe: engines hold tenants as `Box<dyn StreamingPolicy>`.
+///
+/// The contract every implementation upholds (and the differential tests
+/// enforce): (1) streamed output equals the corresponding batch runner's
+/// on the equivalent instance; (2) `restore(snapshot())` on a same-config
+/// receiver continues **bit-identically** — including RNG state, so even
+/// randomized policies survive checkpoints exactly; (3) `restore` rejects
+/// snapshots from a differently-configured policy instead of silently
+/// corrupting state. Heterogeneous (vector-state) tenants stream through
+/// the parallel `rsdc_hetero::HeteroStream` shape, which upholds the same
+/// three guarantees with the DP frontier as its snapshot.
 pub trait StreamingPolicy: Send {
     /// Human-readable policy name.
     fn name(&self) -> String;

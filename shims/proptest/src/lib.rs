@@ -241,7 +241,7 @@ pub mod collection {
     use super::strategy::{RangeValue, Strategy};
     use super::TestRng;
 
-    /// Lengths accepted by [`vec`]: an exact `usize` or a `usize` range.
+    /// Lengths accepted by [`vec()`]: an exact `usize` or a `usize` range.
     #[derive(Debug, Clone)]
     pub enum SizeRange {
         /// Exactly this many elements.

@@ -146,6 +146,169 @@ fn snapshot_interruption_preserves_differential_equality() {
     }
 }
 
+// ------------------------------------------------------- heterogeneous
+
+use rsdc_engine::{EngineError, FleetSpec, HeteroAlgo};
+use rsdc_hetero::{FrontierDp, GreedyConfig, HInstance, ServerType};
+
+fn hetero_fleet() -> FleetSpec {
+    FleetSpec::new(vec![
+        ServerType {
+            count: 3,
+            beta: 1.0,
+            energy: 1.0,
+            capacity: 1.0,
+        },
+        ServerType {
+            count: 2,
+            beta: 2.5,
+            energy: 1.4,
+            capacity: 2.0,
+        },
+    ])
+}
+
+fn hetero_loads(n: usize, seed: u64) -> Vec<f64> {
+    Diurnal::default().generate(n, seed).loads
+}
+
+/// Batch accounting in the exact shape the engine maintains it: operating
+/// and switching accumulated separately, in slot order — so equality can
+/// be asserted on the raw f64s, not within an epsilon.
+fn batch_breakdown(inst: &HInstance, schedule: &[Vec<u32>]) -> (f64, f64) {
+    let mut operating = 0.0;
+    let mut switching = 0.0;
+    let mut prev = vec![0u32; inst.dims()];
+    for (t, x) in schedule.iter().enumerate() {
+        operating += inst.eval(t + 1, x);
+        switching += inst.switch_cost(&prev, x);
+        prev = x.clone();
+    }
+    (operating, switching)
+}
+
+/// Hetero tenants streamed through the engine commit, at every shard
+/// count, exactly the configurations the batch hetero online solvers
+/// produce — and the engine's incremental accounting equals the batch
+/// breakdown on the raw floats.
+#[test]
+fn hetero_stream_equals_batch_solvers() {
+    for seed in 0..3u64 {
+        let loads = hetero_loads(60, seed);
+        let inst = hetero_fleet().instance(&loads);
+
+        let mut frontier = FrontierDp::new(&inst.types);
+        let want_frontier: Vec<Vec<u32>> = (1..=inst.horizon())
+            .map(|t| frontier.step(&inst, t))
+            .collect();
+        let mut greedy = GreedyConfig::new(inst.dims());
+        let want_greedy: Vec<Vec<u32>> = (1..=inst.horizon())
+            .map(|t| greedy.step(&inst, t))
+            .collect();
+
+        for (algo, want) in [
+            (HeteroAlgo::Frontier, &want_frontier),
+            (HeteroAlgo::Greedy, &want_greedy),
+        ] {
+            for shards in [1usize, 3] {
+                let engine = Engine::new(EngineConfig::with_shards(shards));
+                engine
+                    .admit(TenantConfig::hetero("h", hetero_fleet(), algo).with_opt_tracking())
+                    .unwrap();
+                let mut got = Vec::new();
+                for &l in &loads {
+                    got.extend(engine.step_load("h", l).unwrap().configs.unwrap());
+                }
+                assert_eq!(&got, want, "seed {seed} {algo:?} shards {shards}");
+                let report = engine.report("h").unwrap();
+                let (operating, switching) = batch_breakdown(&inst, &got);
+                assert_eq!(report.breakdown.operating, operating, "{algo:?}");
+                assert_eq!(report.breakdown.switching, switching, "{algo:?}");
+                // The tracked optimum is the exact offline DP of the trace.
+                let opt = rsdc_hetero::solve(&inst).cost;
+                let got_opt = report.opt_cost.unwrap();
+                assert!(
+                    (got_opt - opt).abs() <= 1e-9 * (1.0 + opt),
+                    "{algo:?}: opt {got_opt} vs offline {opt}"
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance bar: a hetero tenant run through a durable engine,
+/// killed mid-trace and rebuilt with `Engine::recover` on a different
+/// shard count, finishes the trace with a report byte-identical to the
+/// uninterrupted engine — whose schedule is the batch lattice DP's.
+#[test]
+fn hetero_recovery_preserves_differential_equality() {
+    use rsdc_store::{Durability, FileStore, FileStoreConfig};
+    use std::sync::Arc;
+    let dir = std::env::temp_dir()
+        .join("rsdc-tests")
+        .join(format!("hetero-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let loads = hetero_loads(48, 11);
+    let inst = hetero_fleet().instance(&loads);
+    let cut = loads.len() / 2;
+
+    // Uninterrupted engine reference (also the batch schedule check).
+    let reference = Engine::new(EngineConfig::with_shards(2));
+    reference
+        .admit(TenantConfig::hetero("h", hetero_fleet(), HeteroAlgo::Frontier).with_opt_tracking())
+        .unwrap();
+    let mut want_schedule = Vec::new();
+    for &l in &loads {
+        want_schedule.extend(reference.step_load("h", l).unwrap().configs.unwrap());
+    }
+    let want = reference.report("h").unwrap();
+    let mut batch = FrontierDp::new(&inst.types);
+    let batch_schedule: Vec<Vec<u32>> =
+        (1..=inst.horizon()).map(|t| batch.step(&inst, t)).collect();
+    assert_eq!(want_schedule, batch_schedule);
+
+    // Durable run, killed mid-trace (some slots only in the WAL).
+    let store: Arc<dyn Durability> =
+        Arc::new(FileStore::open(&dir, FileStoreConfig { sync_every: 4 }).unwrap());
+    let durable = Engine::with_store(EngineConfig::with_shards(2), store.clone()).unwrap();
+    durable
+        .admit(TenantConfig::hetero("h", hetero_fleet(), HeteroAlgo::Frontier).with_opt_tracking())
+        .unwrap();
+    let mut got_schedule = Vec::new();
+    for &l in &loads[..cut - 5] {
+        got_schedule.extend(durable.step_load("h", l).unwrap().configs.unwrap());
+    }
+    durable.checkpoint().unwrap();
+    for &l in &loads[cut - 5..cut] {
+        got_schedule.extend(durable.step_load("h", l).unwrap().configs.unwrap());
+    }
+    drop(durable); // crash: the last 5 slots live only in the WAL
+
+    let (recovered, report) = Engine::recover(EngineConfig::with_shards(3), store).unwrap();
+    assert_eq!(report.tenants_restored, 1);
+    assert!(report.records_replayed >= 5);
+    assert_eq!(report.replay_errors, 0);
+    for &l in &loads[cut..] {
+        got_schedule.extend(recovered.step_load("h", l).unwrap().configs.unwrap());
+    }
+    assert_eq!(got_schedule, batch_schedule);
+    let got = recovered.report("h").unwrap();
+    assert_eq!(
+        serde_json::to_string(&got).unwrap(),
+        serde_json::to_string(&want).unwrap(),
+        "recovered hetero report must be byte-identical"
+    );
+
+    // A hetero step that lost its load is a per-event error after recovery
+    // too (nothing in the WAL replay path weakened validation).
+    assert!(matches!(
+        recovered.step("h", rsdc_core::Cost::Zero),
+        Err(EngineError::Policy(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Lookahead tenants must match `run_lookahead` once finished, and their
 /// committed counts lag the stream by the window size until then.
 #[test]

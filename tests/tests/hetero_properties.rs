@@ -3,7 +3,11 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use rsdc_core::prelude::*;
-use rsdc_hetero::{CoordinateLcp, HCost, HInstance, ServerType};
+use rsdc_hetero::{
+    CoordinateLcp, FleetSpec, FrontierDp, HCost, HInstance, HeteroAlgo, HeteroSnapshot,
+    HeteroStream, ServerType,
+};
+use serde::{Deserialize as _, Serialize as _};
 
 fn types_strategy() -> impl Strategy<Value = Vec<ServerType>> {
     vec(
@@ -105,6 +109,64 @@ proptest! {
             let opt = rsdc_hetero::solve(&inst);
             prop_assert!(inst.cost(&xs) >= opt.cost - 1e-9 * (1.0 + opt.cost.abs()));
         }
+    }
+
+    /// Streaming hetero tenants resume bit-identically: for random fleet
+    /// specs, load traces, policies and interruption points, snapshot →
+    /// (JSON round trip) → restore → continue produces exactly the
+    /// configurations and prefix optimum of an uninterrupted run.
+    #[test]
+    fn hetero_snapshot_round_trips_bit_identically(
+        types in types_strategy(),
+        loads in vec(0.0f64..6.0, 1..40),
+        cut in 0usize..40,
+        frontier in 0u8..2,
+        track in 0u8..2,
+    ) {
+        let spec = FleetSpec::new(types);
+        prop_assume!(spec.validate().is_ok());
+        let algo = if frontier == 0 { HeteroAlgo::Frontier } else { HeteroAlgo::Greedy };
+        let cut = cut.min(loads.len());
+
+        let mut full = HeteroStream::new(spec.clone(), algo, track != 0).unwrap();
+        let want: Vec<Vec<u32>> = loads.iter().map(|&l| full.ingest(l).config).collect();
+
+        let mut first = HeteroStream::new(spec.clone(), algo, track != 0).unwrap();
+        let mut got: Vec<Vec<u32>> =
+            loads[..cut].iter().map(|&l| first.ingest(l).config).collect();
+        let text = serde_json::to_string(&first.snapshot().to_value()).unwrap();
+        let value: serde::Value = serde_json::from_str(&text).unwrap();
+        let snap = HeteroSnapshot::from_value(&value).unwrap();
+        let mut resumed = HeteroStream::new(spec, algo, track != 0).unwrap();
+        resumed.restore(&snap).unwrap();
+        got.extend(loads[cut..].iter().map(|&l| resumed.ingest(l).config));
+
+        prop_assert_eq!(got, want);
+        // Bit-identical includes the tracked optimum (f64 equality).
+        prop_assert_eq!(resumed.opt_cost(), full.opt_cost());
+    }
+
+    /// The frontier policy's tracked optimum is the exact offline DP.
+    #[test]
+    fn frontier_opt_matches_offline_dp(
+        types in types_strategy(),
+        loads in vec(0.0f64..6.0, 1..12),
+    ) {
+        let spec = FleetSpec::new(types);
+        prop_assume!(spec.validate().is_ok());
+        let inst = spec.instance(&loads);
+        let mut dp = FrontierDp::new(&inst.types);
+        for t in 1..=inst.horizon() {
+            dp.step(&inst, t);
+        }
+        let opt = rsdc_hetero::solve(&inst).cost;
+        let got = dp.opt_cost().unwrap();
+        prop_assert!(
+            (got - opt).abs() <= 1e-9 * (1.0 + opt.abs()),
+            "frontier min {} vs offline {}",
+            got,
+            opt
+        );
     }
 
     /// Aggregate costs are convex along every axis at every base point.

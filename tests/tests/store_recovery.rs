@@ -4,15 +4,19 @@
 //!   recovering from disk (newest checkpoint + WAL-tail replay) and
 //!   finishing the trace, produces per-tenant reports **byte-identical**
 //!   to an uninterrupted run — across mixed policy fleets (including
-//!   RNG-bearing rounders and lookahead lag), randomized checkpoint
-//!   cadences, and *different* shard counts before and after the crash;
+//!   RNG-bearing rounders, lookahead lag, and heterogeneous tenants whose
+//!   state is a lattice-DP frontier), randomized checkpoint cadences, and
+//!   *different* shard counts before and after the crash;
 //! * a torn or corrupted WAL tail degrades to "recover the valid prefix":
 //!   recovery repairs the file, stays functional, and never propagates the
 //!   corruption.
 
 use proptest::prelude::*;
 use rsdc_core::Cost;
-use rsdc_engine::{Engine, EngineConfig, PolicySpec, TenantConfig, TenantReport};
+use rsdc_engine::{
+    Engine, EngineConfig, FleetSpec, HeteroAlgo, PolicySpec, TenantConfig, TenantReport,
+};
+use rsdc_hetero::ServerType;
 use rsdc_store::{Durability, FileStore, FileStoreConfig};
 use rsdc_workloads::builder::CostModel;
 use rsdc_workloads::traces::{Diurnal, Trace};
@@ -38,8 +42,28 @@ fn open_store(dir: &std::path::Path) -> Arc<dyn Durability> {
     Arc::new(FileStore::open(dir, FileStoreConfig { sync_every: 16 }).expect("open store"))
 }
 
-/// The demo fleet: one tenant per policy family, seeds derived from `seed`
-/// so RNG state is exercised and differs between cases.
+/// A small two-class hetero fleet (12 lattice points) for the mixed fleet.
+fn hetero_spec() -> FleetSpec {
+    FleetSpec::new(vec![
+        ServerType {
+            count: 3,
+            beta: 1.0,
+            energy: 1.0,
+            capacity: 1.0,
+        },
+        ServerType {
+            count: 2,
+            beta: 2.5,
+            energy: 1.4,
+            capacity: 2.0,
+        },
+    ])
+}
+
+/// The demo fleet: one tenant per policy family — including both hetero
+/// policies, whose DP-frontier state must survive every kill point — with
+/// seeds derived from `seed` so RNG state is exercised and differs between
+/// cases.
 fn fleet(seed: u64) -> Vec<TenantConfig> {
     let m = 12;
     let beta = CostModel::default().beta;
@@ -57,6 +81,8 @@ fn fleet(seed: u64) -> Vec<TenantConfig> {
         ),
         TenantConfig::new("look", m, beta, PolicySpec::Lookahead { window: 3 }),
         TenantConfig::new("hyst", m, beta, PolicySpec::Hysteresis { band: 2 }),
+        TenantConfig::hetero("het-dp", hetero_spec(), HeteroAlgo::Frontier).with_opt_tracking(),
+        TenantConfig::hetero("het-gr", hetero_spec(), HeteroAlgo::Greedy),
     ]
 }
 
@@ -304,6 +330,54 @@ fn double_recovery_appends_at_the_right_boundary() {
     }
     finish_all(&engine, &fleet);
     assert_eq!(report_texts(&engine), want);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hetero_admitted_after_the_checkpoint_recovers_from_the_wal_alone() {
+    // A hetero tenant admitted *after* the last checkpoint exists only as
+    // WAL records (admit + load batches): recovery must rebuild the fleet
+    // spec and replay the DP frontier from scratch, bit-identically.
+    let dir = case_dir("hetero-wal");
+    let loads = [1.0, 4.5, 2.0, 5.5, 0.5, 3.0, 2.5];
+
+    let reference = Engine::new(EngineConfig::with_shards(2));
+    reference
+        .admit(TenantConfig::hetero("h", hetero_spec(), HeteroAlgo::Frontier).with_opt_tracking())
+        .unwrap();
+    for &l in &loads {
+        reference.step_load("h", l).unwrap();
+    }
+    let want = {
+        use serde::Serialize as _;
+        serde_json::to_string(&reference.report("h").unwrap().to_value()).unwrap()
+    };
+
+    let engine =
+        Engine::with_store(EngineConfig::with_shards(2), open_store(&dir)).expect("engine");
+    engine
+        .admit(TenantConfig::new("warmup", 6, 2.0, PolicySpec::Lcp))
+        .unwrap();
+    engine.checkpoint().unwrap();
+    engine
+        .admit(TenantConfig::hetero("h", hetero_spec(), HeteroAlgo::Frontier).with_opt_tracking())
+        .unwrap();
+    for &l in &loads[..4] {
+        engine.step_load("h", l).unwrap();
+    }
+    drop(engine);
+
+    let (engine, report) = Engine::recover(EngineConfig::with_shards(1), open_store(&dir)).unwrap();
+    assert_eq!(report.tenants_restored, 1, "checkpoint held only warmup");
+    assert_eq!(report.replay_errors, 0);
+    for &l in &loads[4..] {
+        engine.step_load("h", l).unwrap();
+    }
+    let got = {
+        use serde::Serialize as _;
+        serde_json::to_string(&engine.report("h").unwrap().to_value()).unwrap()
+    };
+    assert_eq!(got, want);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
