@@ -200,9 +200,73 @@ fn bench_store_overhead(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+const REBALANCE_TENANTS: usize = 1_000;
+
+/// Migration cost: every sample is one full `Engine::rebalance` swinging
+/// a 1k-tenant fleet between 4 and 8 shards, so throughput reads as
+/// tenants/s migrated (every tenant is snapshot→restored onto the new
+/// worker set; the ring only *moves* the consistent-hashing minority).
+/// The `durable` variant adds the write-ahead `Rebalance` record and the
+/// fencing full-state checkpoint — the price of crash-safe elasticity.
+fn bench_rebalance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/rebalance_1k_tenants");
+    group.throughput(Throughput::Elements(REBALANCE_TENANTS as u64));
+    let dir = std::env::temp_dir()
+        .join("rsdc-bench-rebalance")
+        .join(format!("wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for backend in ["ephemeral", "durable"] {
+        let mut engine = match backend {
+            "ephemeral" => Engine::new(EngineConfig::with_shards(4)),
+            _ => Engine::with_store(
+                EngineConfig::with_shards(4),
+                Arc::new(
+                    FileStore::open(&dir, FileStoreConfig { sync_every: 64 }).expect("open store"),
+                ),
+            )
+            .expect("durable engine"),
+        };
+        for i in 0..REBALANCE_TENANTS {
+            let policy = if i % 2 == 0 {
+                PolicySpec::Lcp
+            } else {
+                PolicySpec::HalfStepRounded { seed: i as u64 }
+            };
+            engine
+                .admit(TenantConfig::new(format!("t{i}"), M, BETA, policy))
+                .expect("admit");
+        }
+        // A few streamed slots so migrated snapshots carry real state.
+        for t in 0..4usize {
+            let batch = (0..REBALANCE_TENANTS)
+                .map(|i| {
+                    let center = ((t * 5 + i) % (M as usize + 1)) as f64;
+                    (format!("t{i}"), Cost::abs(1.0, center))
+                })
+                .collect();
+            engine.step_batch(batch).expect("step");
+        }
+        let mut flip = false;
+        group.bench_with_input(BenchmarkId::new("backend", backend), &backend, |b, _| {
+            b.iter(|| {
+                flip = !flip;
+                let report = engine
+                    .rebalance(if flip { 8 } else { 4 }, None)
+                    .expect("rebalance");
+                assert_eq!(report.tenants, REBALANCE_TENANTS);
+                report.moved
+            })
+        });
+        engine.shutdown();
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engine_throughput, bench_hetero_throughput, bench_store_overhead
+    targets = bench_engine_throughput, bench_hetero_throughput, bench_store_overhead,
+        bench_rebalance
 );
 criterion_main!(benches);

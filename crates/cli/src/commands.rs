@@ -73,6 +73,11 @@ COMMANDS
                 | hetero[:frontier|:greedy]
              hetero fleets: --fleet \"count:beta:energy:capacity[,...]\"
              [--delay-weight W] [--delay-eps E] [--overload P]
+             control plane: [--vnodes V] (ring density)
+             [--max-tenants N] (admission cap, 0 = unlimited)
+             [--rate-limit R[:BURST]] (per-tenant token bucket, events
+             per batch tick; throttled events get typed error lines)
+             live rebalance: send {\"op\":\"rebalance\",\"shards\":N}
              durability: [--data-dir DIR] [--checkpoint-every N]
              [--fsync-every N]  (a non-empty DIR is recovered: checkpoint +
              WAL replay rebuild the pre-crash engine, then the run resumes)
@@ -310,11 +315,23 @@ fn cmd_analyze(args: &Args) -> Result<String, CmdError> {
 /// periodically; restarting over a non-empty directory recovers the exact
 /// pre-crash engine (checkpoint + WAL replay) before processing new input.
 fn cmd_engine(args: &Args) -> Result<String, CmdError> {
-    use rsdc_engine::{wire, Engine, EngineConfig, PolicySpec, TenantConfig};
+    use rsdc_engine::{wire, AdmissionConfig, Engine, EngineConfig, PolicySpec, TenantConfig};
     use rsdc_store::{Durability, FileStore, FileStoreConfig};
     use std::sync::Arc;
 
     let shards: usize = args.get_or("shards", 0)?;
+    let vnodes: usize = args.get_or("vnodes", 0)?;
+    let engine_cfg = {
+        let mut cfg = if shards == 0 {
+            EngineConfig::default()
+        } else {
+            EngineConfig::with_shards(shards)
+        };
+        if vnodes > 0 {
+            cfg.vnodes = vnodes;
+        }
+        cfg
+    };
     let checkpoint_every: u64 = args.get_or("checkpoint-every", 0)?;
     let mut responses: Vec<String> = Vec::new();
     let mut session = match args.get_str("data-dir") {
@@ -324,7 +341,7 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
                 FileStore::open(dir, FileStoreConfig { sync_every })
                     .map_err(|e| CmdError::Other(e.to_string()))?,
             );
-            let (session, recovered) = wire::Session::open_durable(shards, store)
+            let (session, recovered) = wire::Session::open_durable_cfg(engine_cfg, store)
                 .map_err(|e| CmdError::Other(e.to_string()))?;
             if let Some(report) = recovered {
                 responses.push(wire::recovered_line(&report));
@@ -337,14 +354,35 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
                     "--checkpoint-every requires --data-dir".into(),
                 ));
             }
-            let engine = if shards == 0 {
-                Engine::new(EngineConfig::default())
-            } else {
-                Engine::new(EngineConfig::with_shards(shards))
-            };
-            wire::Session::new(engine)
+            wire::Session::new(Engine::new(engine_cfg))
         }
     };
+
+    // Admission limits apply from the first record of this run; they are
+    // process state, not persisted, so every invocation states its own.
+    let mut limits = AdmissionConfig {
+        max_tenants: args.get_or("max-tenants", 0)?,
+        ..AdmissionConfig::default()
+    };
+    if let Some(spec) = args.get_str("rate-limit") {
+        let parse = |what: &str, s: &str| -> Result<f64, CmdError> {
+            s.parse()
+                .map_err(|e| CmdError::Other(format!("bad --rate-limit {what} {s:?}: {e}")))
+        };
+        match spec.split_once(':') {
+            Some((rate, burst)) => {
+                limits.rate = parse("rate", rate)?;
+                limits.burst = parse("burst", burst)?;
+            }
+            None => limits.rate = parse("rate", spec)?,
+        }
+    }
+    if limits != AdmissionConfig::default() {
+        session
+            .engine()
+            .set_limits(limits)
+            .map_err(|e| CmdError::Other(e.to_string()))?;
+    }
 
     let body_lines = if let Some(path) = args.get_str("events") {
         let data = std::fs::read_to_string(path)?;
@@ -730,6 +768,61 @@ mod tests {
             .to_string();
         assert_eq!(got, want, "resumed run must report byte-identically");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_control_plane_flags_enforce_limits() {
+        let p = tmp("limits.jsonl");
+        let events = "\
+{\"op\":\"admit\",\"id\":\"a\",\"m\":6,\"beta\":4.0,\"policy\":\"lcp\"}\n\
+{\"op\":\"admit\",\"id\":\"b\",\"m\":6,\"beta\":4.0,\"policy\":\"lcp\"}\n\
+{\"op\":\"step\",\"id\":\"a\",\"load\":2.0}\n\
+{\"op\":\"step\",\"id\":\"a\",\"load\":3.0}\n\
+{\"op\":\"step\",\"id\":\"a\",\"load\":4.0}\n\
+{\"op\":\"rebalance\",\"shards\":2}\n\
+{\"op\":\"report\",\"id\":\"a\"}\n";
+        std::fs::write(&p, events).unwrap();
+        let out = dispatch(&args(&[
+            "engine",
+            "--events",
+            &p,
+            "--shards",
+            "1",
+            "--vnodes",
+            "16",
+            "--max-tenants",
+            "1",
+            "--rate-limit",
+            "1:2",
+        ]))
+        .unwrap();
+        let parsed: Vec<serde_json::Value> = out
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        // Second admit rejected by the cap, with its line number.
+        let rejected = parsed
+            .iter()
+            .find(|v| v["op"] == "error" && v["line"] == 2)
+            .expect("cap rejection");
+        assert!(rejected["message"].as_str().unwrap().contains("rejected"));
+        // Third step throttled by the 1:2 token bucket.
+        let throttled = parsed
+            .iter()
+            .find(|v| v["op"] == "error" && v["line"] == 5)
+            .expect("throttled step");
+        assert!(throttled["message"].as_str().unwrap().contains("throttled"));
+        // The live rebalance happened and the surviving stream committed.
+        let rebalanced = parsed
+            .iter()
+            .find(|v| v["op"] == "rebalanced")
+            .expect("rebalanced");
+        assert_eq!(rebalanced["shards"], 2);
+        assert_eq!(rebalanced["vnodes"], 16, "--vnodes sets the ring density");
+        let report = parsed.iter().find(|v| v["op"] == "report").unwrap();
+        assert_eq!(report["report"]["events"], 2);
+        // A malformed rate limit is a usage error.
+        assert!(dispatch(&args(&["engine", "--events", &p, "--rate-limit", "fast",])).is_err());
     }
 
     #[test]

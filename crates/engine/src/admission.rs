@@ -1,0 +1,359 @@
+//! Admission control and per-tenant QoS: the gate in front of the engine.
+//!
+//! Two knobs, both off by default:
+//!
+//! * **max tenants** — `admit` (and a `restore` that would install a *new*
+//!   tenant) is refused with [`AdmissionError::Rejected`] once the fleet
+//!   is full; and
+//! * **per-tenant rate limits** — a token bucket per tenant: each step
+//!   event spends one token, buckets hold at most `burst` tokens and
+//!   refill `rate` tokens per *tick*. Events arriving on an empty bucket
+//!   fail with [`AdmissionError::Throttled`].
+//!
+//! The clock is logical, not wall time: one tick per batch the engine
+//! ingests ([`Engine::step_batch_loads`](crate::Engine::step_batch_loads)
+//! advances it once per call, and the wire session flushes one batch per
+//! run of consecutive `step` lines). In fleet mode one batch is one slot,
+//! so `rate` reads as "sustained events per tenant per slot" and `burst`
+//! as the tolerated backlog. A logical clock keeps the control plane
+//! deterministic: the same JSONL input always throttles the same lines.
+//!
+//! Throttling happens **before journaling** — a throttled event never
+//! reaches the WAL, so crash-recovery replay (which bypasses admission
+//! entirely) reproduces exactly the accepted stream and stays
+//! byte-identical regardless of the limits configured at recovery time.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Control-plane limits. `Default` disables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Maximum live tenants (0 = unlimited).
+    pub max_tenants: usize,
+    /// Token-bucket refill per tick, in events (0 = unlimited, no
+    /// throttling).
+    pub rate: f64,
+    /// Token-bucket capacity, in events. Clamped up to at least `rate`
+    /// (a bucket smaller than one refill would leak tokens).
+    pub burst: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_tenants: 0,
+            rate: 0.0,
+            burst: 0.0,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// True when rate limiting is active.
+    pub fn limits_rate(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// The effective bucket capacity: at least one refill's worth.
+    pub fn effective_burst(&self) -> f64 {
+        self.burst.max(self.rate)
+    }
+
+    /// Reject non-finite or negative knobs before they poison bucket
+    /// arithmetic.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [("rate", self.rate), ("burst", self.burst)] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{name} must be finite and >= 0, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Typed control-plane refusals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// A new tenant was refused (fleet is at `max_tenants`).
+    Rejected {
+        /// Tenant that was refused.
+        id: String,
+        /// The cap in force.
+        max_tenants: usize,
+    },
+    /// A step event was refused (the tenant's token bucket is empty).
+    Throttled {
+        /// Tenant whose event was dropped.
+        id: String,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Rejected { id, max_tenants } => write!(
+                f,
+                "tenant {id:?} rejected: engine is at its cap of {max_tenants} tenants"
+            ),
+            AdmissionError::Throttled { id } => {
+                write!(f, "tenant {id:?} throttled: per-tenant rate limit exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// How many ticks between bucket-prune sweeps (amortizes the map scan).
+const PRUNE_EVERY: u64 = 256;
+
+/// One tenant's token bucket, refilled lazily against the shared tick.
+#[derive(Debug, Clone, Copy)]
+struct TokenBucket {
+    tokens: f64,
+    as_of_tick: u64,
+}
+
+/// The admission gate: config, logical clock, and per-tenant buckets.
+/// Lives in the [`Engine`](crate::Engine) handle; shard workers never see
+/// refused traffic.
+#[derive(Debug, Default)]
+pub struct AdmissionControl {
+    cfg: AdmissionConfig,
+    tick: u64,
+    buckets: HashMap<String, TokenBucket>,
+}
+
+impl AdmissionControl {
+    /// Gate with the given limits (normalized as in
+    /// [`set_config`](AdmissionControl::set_config)).
+    pub fn new(cfg: AdmissionConfig) -> AdmissionControl {
+        let mut gate = AdmissionControl::default();
+        gate.set_config(cfg);
+        gate
+    }
+
+    /// The limits in force.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// Replace the limits. Buckets keep their levels (tightening `burst`
+    /// caps them at the next refill); disabling rate limits drops all
+    /// bucket state. `burst` is normalized to the effective (rate-clamped)
+    /// capacity on the way in, so [`config`](AdmissionControl::config) —
+    /// and therefore the wire `limits` read-back — always reports the
+    /// bucket size actually enforced.
+    pub fn set_config(&mut self, mut cfg: AdmissionConfig) {
+        if cfg.limits_rate() {
+            cfg.burst = cfg.effective_burst();
+        }
+        self.cfg = cfg;
+        if !cfg.limits_rate() {
+            self.buckets.clear();
+        }
+    }
+
+    /// Would admitting one more tenant (current live count `tenants`)
+    /// exceed the cap?
+    pub fn check_admit(&self, id: &str, tenants: usize) -> Result<(), AdmissionError> {
+        if self.cfg.max_tenants > 0 && tenants >= self.cfg.max_tenants {
+            return Err(AdmissionError::Rejected {
+                id: id.to_string(),
+                max_tenants: self.cfg.max_tenants,
+            });
+        }
+        Ok(())
+    }
+
+    /// Advance the logical clock by one tick (one ingested batch).
+    ///
+    /// Periodically prunes buckets that have refilled to capacity: a full
+    /// bucket carries no information (a fresh one starts full), so ids
+    /// that stop arriving — evicted tenants, typos, hostile id floods —
+    /// are reclaimed instead of accumulating forever.
+    pub fn tick(&mut self) {
+        self.tick += 1;
+        if self.tick.is_multiple_of(PRUNE_EVERY) && !self.buckets.is_empty() {
+            let rate = self.cfg.rate;
+            let burst = self.cfg.effective_burst();
+            let now = self.tick;
+            self.buckets
+                .retain(|_, b| b.tokens + now.saturating_sub(b.as_of_tick) as f64 * rate < burst);
+        }
+    }
+
+    /// Spend one token from `id`'s bucket, refilling it first.
+    pub fn check_step(&mut self, id: &str) -> Result<(), AdmissionError> {
+        if !self.cfg.limits_rate() {
+            return Ok(());
+        }
+        let burst = self.cfg.effective_burst();
+        let bucket = self.buckets.entry(id.to_string()).or_insert(TokenBucket {
+            tokens: burst,
+            as_of_tick: self.tick,
+        });
+        let elapsed = self.tick.saturating_sub(bucket.as_of_tick);
+        bucket.tokens = (bucket.tokens + elapsed as f64 * self.cfg.rate).min(burst);
+        bucket.as_of_tick = self.tick;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(AdmissionError::Throttled { id: id.to_string() })
+        }
+    }
+
+    /// Drop a tenant's bucket (on evict).
+    pub fn forget(&mut self, id: &str) {
+        self.buckets.remove(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_fully_open() {
+        let mut gate = AdmissionControl::default();
+        gate.check_admit("a", usize::MAX - 1).unwrap();
+        for _ in 0..10_000 {
+            gate.check_step("a").unwrap();
+        }
+        assert!(gate.buckets.is_empty(), "open gate keeps no bucket state");
+    }
+
+    #[test]
+    fn tenant_cap_rejects_at_the_limit() {
+        let gate = AdmissionControl::new(AdmissionConfig {
+            max_tenants: 2,
+            ..AdmissionConfig::default()
+        });
+        gate.check_admit("a", 0).unwrap();
+        gate.check_admit("b", 1).unwrap();
+        let err = gate.check_admit("c", 2).unwrap_err();
+        assert_eq!(
+            err,
+            AdmissionError::Rejected {
+                id: "c".into(),
+                max_tenants: 2
+            }
+        );
+        assert!(err.to_string().contains("cap of 2"));
+    }
+
+    #[test]
+    fn token_bucket_throttles_and_refills() {
+        let mut gate = AdmissionControl::new(AdmissionConfig {
+            max_tenants: 0,
+            rate: 1.0,
+            burst: 3.0,
+        });
+        // Fresh bucket starts full: the burst passes, the 4th event fails.
+        for _ in 0..3 {
+            gate.check_step("a").unwrap();
+        }
+        assert_eq!(
+            gate.check_step("a").unwrap_err(),
+            AdmissionError::Throttled { id: "a".into() }
+        );
+        // Other tenants have their own buckets.
+        gate.check_step("b").unwrap();
+        // One tick refills one token; two events still exceed it.
+        gate.tick();
+        gate.check_step("a").unwrap();
+        assert!(gate.check_step("a").is_err());
+        // Many idle ticks cap at burst, not unbounded credit.
+        for _ in 0..100 {
+            gate.tick();
+        }
+        for _ in 0..3 {
+            gate.check_step("a").unwrap();
+        }
+        assert!(gate.check_step("a").is_err());
+    }
+
+    #[test]
+    fn fractional_rates_accumulate_across_ticks() {
+        let mut gate = AdmissionControl::new(AdmissionConfig {
+            max_tenants: 0,
+            rate: 0.5,
+            burst: 1.0,
+        });
+        gate.check_step("a").unwrap();
+        assert!(gate.check_step("a").is_err(), "burst of 1 is spent");
+        gate.tick();
+        assert!(gate.check_step("a").is_err(), "half a token is not enough");
+        gate.tick();
+        gate.check_step("a").unwrap();
+    }
+
+    #[test]
+    fn burst_is_clamped_up_to_rate() {
+        let cfg = AdmissionConfig {
+            max_tenants: 0,
+            rate: 4.0,
+            burst: 1.0,
+        };
+        assert_eq!(cfg.effective_burst(), 4.0);
+        assert!(AdmissionConfig {
+            rate: f64::NAN,
+            ..AdmissionConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AdmissionConfig {
+            burst: -1.0,
+            ..AdmissionConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn idle_buckets_are_pruned() {
+        let mut gate = AdmissionControl::new(AdmissionConfig {
+            max_tenants: 0,
+            rate: 1.0,
+            burst: 4.0,
+        });
+        // A burst of distinct ids (typos, hostile floods, evicted
+        // tenants) must not pin memory forever.
+        for i in 0..1000 {
+            let _ = gate.check_step(&format!("ghost-{i}"));
+        }
+        assert_eq!(gate.buckets.len(), 1000);
+        for _ in 0..2 * PRUNE_EVERY {
+            gate.tick();
+        }
+        assert!(gate.buckets.is_empty(), "idle buckets refill and drop");
+        // An id kept busy (spending faster than it refills, so its bucket
+        // stays below capacity) survives the sweep.
+        for _ in 0..PRUNE_EVERY + 8 {
+            let _ = gate.check_step("busy");
+            let _ = gate.check_step("busy");
+            gate.tick();
+        }
+        assert!(gate.buckets.contains_key("busy"));
+    }
+
+    #[test]
+    fn forget_and_reconfigure_reset_buckets() {
+        let mut gate = AdmissionControl::new(AdmissionConfig {
+            max_tenants: 0,
+            rate: 1.0,
+            burst: 1.0,
+        });
+        gate.check_step("a").unwrap();
+        assert!(gate.check_step("a").is_err());
+        // Evicting the tenant drops its bucket; a re-admitted tenant
+        // starts with a full one.
+        gate.forget("a");
+        gate.check_step("a").unwrap();
+        // Disabling limits clears state; re-enabling starts fresh.
+        gate.set_config(AdmissionConfig::default());
+        assert!(gate.buckets.is_empty());
+    }
+}

@@ -1,22 +1,29 @@
 //! The engine handle: tenant routing, batched dispatch, lifecycle,
-//! checkpointing and crash recovery.
+//! admission control, checkpointing, crash recovery, and live ring
+//! rebalancing.
 
+use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionError};
 use crate::journal::{CheckpointDoc, JournalRecord};
-use crate::shard::{Event, Request, Shard, ShardStats, StepOutcome};
+use crate::ring::{HashRing, RingSpec, DEFAULT_VNODES};
+use crate::shard::{Event, Request, Shard, ShardMeta, ShardStats, StepOutcome};
 use crate::tenant::{TenantConfig, TenantReport, TenantSnapshot};
 use crate::EngineError;
 use rsdc_core::Cost;
 use rsdc_store::{Durability, NullStore};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Number of shard worker threads (tenants are hash-partitioned).
+    /// Number of shard worker threads (tenants are partitioned by the
+    /// consistent-hash ring).
     pub shards: usize,
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: usize,
 }
 
 impl Default for EngineConfig {
@@ -25,29 +32,51 @@ impl Default for EngineConfig {
             shards: std::thread::available_parallelism()
                 .map(|n| n.get().min(8))
                 .unwrap_or(4),
+            vnodes: DEFAULT_VNODES,
         }
     }
 }
 
 impl EngineConfig {
-    /// Config with an explicit shard count (`>= 1`).
+    /// Config with an explicit shard count (`>= 1`) and the default ring.
     pub fn with_shards(shards: usize) -> Self {
         EngineConfig {
             shards: shards.max(1),
+            vnodes: DEFAULT_VNODES,
         }
+    }
+
+    /// Config with an explicit shard count and virtual-node count.
+    pub fn with_topology(shards: usize, vnodes: usize) -> Self {
+        EngineConfig {
+            shards: shards.max(1),
+            vnodes: vnodes.max(1),
+        }
+    }
+
+    /// The ring topology this config describes.
+    pub fn ring_spec(&self) -> RingSpec {
+        RingSpec::new(self.shards, self.vnodes)
     }
 }
 
 /// A sharded multi-tenant streaming engine.
 ///
-/// Tenants are hash-partitioned across `shards` worker threads; every
-/// operation routes by tenant id, and batched ingestion
-/// ([`Engine::step_batch`]) fans a mixed batch out to all shards in one
-/// message per shard. See the crate docs for the full lifecycle.
+/// Tenants are partitioned across `shards` worker threads by a
+/// consistent-hash ring ([`crate::ring`]); every operation routes by
+/// tenant id, and batched ingestion ([`Engine::step_batch`]) fans a mixed
+/// batch out to all shards in one message per shard. The handle also owns
+/// the control plane: admission limits ([`Engine::set_limits`]) are
+/// enforced here, before anything reaches a shard or its WAL, and
+/// [`Engine::rebalance`] migrates tenants onto a new topology without a
+/// restart. See the crate docs for the full lifecycle.
 pub struct Engine {
     senders: Vec<Sender<Request>>,
     handles: Vec<JoinHandle<()>>,
+    ring: HashRing,
     store: Arc<dyn Durability>,
+    attached: AtomicBool,
+    admission: Mutex<AdmissionControl>,
 }
 
 /// What [`Engine::checkpoint`] produced.
@@ -58,6 +87,25 @@ pub struct CheckpointReport {
     /// Tenants captured.
     pub tenants: usize,
     /// False when the engine runs on a [`NullStore`] (nothing persisted).
+    pub durable: bool,
+}
+
+/// What [`Engine::rebalance`] did.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RebalanceReport {
+    /// Shard count after the rebalance.
+    pub shards: usize,
+    /// Virtual nodes per shard after the rebalance.
+    pub vnodes: usize,
+    /// Live tenants migrated onto the new workers (all of them — every
+    /// tenant restarts on a fresh worker thread).
+    pub tenants: usize,
+    /// Tenants whose ring placement changed (the consistent-hashing
+    /// minority; the rest landed back on a same-index shard).
+    pub moved: usize,
+    /// Sequence of the fencing checkpoint (0 on a non-durable engine).
+    pub seq: u64,
+    /// Whether the topology change was fenced by a durable checkpoint.
     pub durable: bool,
 }
 
@@ -87,17 +135,12 @@ pub struct RecoveryReport {
     pub corrupt_segments: usize,
     /// Newer-but-invalid checkpoint files skipped by the store scan.
     pub checkpoints_skipped: usize,
+    /// Interrupted `Rebalance` records found in the WAL tail. The last
+    /// one's topology is applied after replay, completing the migration
+    /// the crash cut short.
+    pub rebalances_replayed: usize,
     /// Sequence of the fresh checkpoint written right after recovery.
     pub post_checkpoint_seq: u64,
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
 }
 
 impl Engine {
@@ -123,8 +166,7 @@ impl Engine {
         Ok(engine)
     }
 
-    fn spawn(cfg: EngineConfig, store: Arc<dyn Durability>) -> Engine {
-        let n = cfg.shards.max(1);
+    fn spawn_workers(n: usize) -> (Vec<Sender<Request>>, Vec<JoinHandle<()>>) {
         let mut senders = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for index in 0..n {
@@ -137,10 +179,19 @@ impl Engine {
                     .expect("spawn shard worker"),
             );
         }
+        (senders, handles)
+    }
+
+    fn spawn(cfg: EngineConfig, store: Arc<dyn Durability>) -> Engine {
+        let spec = cfg.ring_spec();
+        let (senders, handles) = Engine::spawn_workers(spec.shards);
         Engine {
             senders,
             handles,
+            ring: HashRing::new(spec),
             store,
+            attached: AtomicBool::new(false),
+            admission: Mutex::new(AdmissionControl::default()),
         }
     }
 
@@ -151,6 +202,7 @@ impl Engine {
             let store = self.store.clone();
             self.send_plain(shard, move |tx| Request::AttachStore(store, tx))?;
         }
+        self.attached.store(true, Ordering::Release);
         Ok(())
     }
 
@@ -164,8 +216,38 @@ impl Engine {
         self.senders.len()
     }
 
+    /// The routing-ring topology.
+    pub fn ring_spec(&self) -> RingSpec {
+        self.ring.spec()
+    }
+
+    /// The admission limits in force.
+    pub fn limits(&self) -> AdmissionConfig {
+        self.gate().config()
+    }
+
+    /// Install new admission limits (tenant cap, per-tenant rate limit).
+    /// Applies to subsequent operations only; limits are control-plane
+    /// state, deliberately not journaled — recovery replays exactly the
+    /// traffic that was admitted, whatever the limits were.
+    pub fn set_limits(&self, cfg: AdmissionConfig) -> Result<(), EngineError> {
+        cfg.validate()
+            .map_err(|m| EngineError::Policy(rsdc_core::Error::InvalidParameter(m)))?;
+        self.gate().set_config(cfg);
+        Ok(())
+    }
+
+    fn gate(&self) -> std::sync::MutexGuard<'_, AdmissionControl> {
+        self.admission.lock().expect("admission gate poisoned")
+    }
+
+    /// Live tenants across all shards.
+    pub fn live_tenants(&self) -> Result<usize, EngineError> {
+        Ok(self.shard_stats()?.iter().map(|s| s.tenants).sum())
+    }
+
     fn shard_of(&self, id: &str) -> usize {
-        (fnv1a(id.as_bytes()) % self.senders.len() as u64) as usize
+        self.ring.route(id)
     }
 
     fn send<T>(
@@ -181,26 +263,56 @@ impl Engine {
         shard: usize,
         make: impl FnOnce(Sender<T>) -> Request,
     ) -> Result<T, EngineError> {
+        Engine::send_to(&self.senders, shard, make)
+    }
+
+    /// Request/reply against an explicit worker set (used during a
+    /// rebalance, when the replacement workers are not yet installed).
+    fn send_to<T>(
+        senders: &[Sender<Request>],
+        shard: usize,
+        make: impl FnOnce(Sender<T>) -> Request,
+    ) -> Result<T, EngineError> {
         let (tx, rx) = channel();
-        self.senders[shard]
+        senders[shard]
             .send(make(tx))
             .map_err(|_| EngineError::ShardDown(shard))?;
         rx.recv().map_err(|_| EngineError::ShardDown(shard))
     }
 
-    /// Admit a new tenant.
+    /// Admit a new tenant. Refused with a typed
+    /// [`Rejected`](crate::AdmissionError::Rejected) error when the engine
+    /// is at its [`max_tenants`](AdmissionConfig::max_tenants) cap.
     pub fn admit(&self, cfg: TenantConfig) -> Result<(), EngineError> {
+        // The gate guard is held across the count *and* the insert, so
+        // concurrent cap-checked admits serialize — a check-then-act race
+        // cannot push the fleet past `max_tenants`. Shard threads never
+        // take this lock, so the round trips inside cannot deadlock.
+        let gate = self.gate();
+        if gate.config().max_tenants > 0 {
+            let live = self.live_tenants()?;
+            gate.check_admit(&cfg.id, live)
+                .map_err(EngineError::Admission)?;
+        }
+        self.admit_unchecked(cfg)
+    }
+
+    /// Admit bypassing admission control (recovery replay, migrations).
+    fn admit_unchecked(&self, cfg: TenantConfig) -> Result<(), EngineError> {
         let shard = self.shard_of(&cfg.id);
         self.send(shard, |tx| Request::Admit(cfg, tx))
     }
 
     /// Classify a per-event error string back into the [`EngineError`] it
-    /// was rendered from: the unknown-tenant rendering is produced in
-    /// exactly one place (the shard's batch loop), everything else is a
+    /// was rendered from: the unknown-tenant and throttled renderings are
+    /// each produced in exactly one place, everything else is a
     /// policy-level step failure.
     fn classify_event_error(id: &str, message: String) -> EngineError {
+        let throttled = AdmissionError::Throttled { id: id.to_string() };
         if message == EngineError::UnknownTenant(id.to_string()).to_string() {
             EngineError::UnknownTenant(id.to_string())
+        } else if message == throttled.to_string() {
+            EngineError::Admission(throttled)
         } else {
             // Per-event errors are rendered rsdc_core::Errors; strip the
             // rendering prefix before re-wrapping so the message is not
@@ -264,13 +376,56 @@ impl Engine {
 
     /// [`Engine::step_batch`] with per-event offered load, which also feeds
     /// the shard-level metrics.
+    ///
+    /// Each call advances the admission gate's logical clock by one tick;
+    /// when a per-tenant rate limit is configured, events that find their
+    /// tenant's token bucket empty come back as per-event
+    /// [`Throttled`](crate::AdmissionError::Throttled) errors **without
+    /// reaching the owning shard or its WAL** — a throttled event never
+    /// poisons the rest of the batch, and never reappears on replay.
     pub fn step_batch_loads(
         &self,
         events: Vec<(String, Cost, Option<f64>)>,
     ) -> Result<Vec<StepOutcome>, EngineError> {
+        let throttled: Vec<bool> = {
+            let mut gate = self.gate();
+            gate.tick();
+            if gate.config().limits_rate() {
+                events
+                    .iter()
+                    .map(|(id, _, _)| gate.check_step(id).is_err())
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        };
+        self.dispatch_events(events, &throttled)
+    }
+
+    /// Fan events out to shards, short-circuiting throttled ones into
+    /// local error outcomes. `throttled` is empty (nothing throttled) or
+    /// parallel to `events`.
+    fn dispatch_events(
+        &self,
+        events: Vec<(String, Cost, Option<f64>)>,
+        throttled: &[bool],
+    ) -> Result<Vec<StepOutcome>, EngineError> {
         let n = events.len();
         let mut per_shard: Vec<Vec<Event>> = (0..self.senders.len()).map(|_| Vec::new()).collect();
+        let mut indexed: Vec<(usize, StepOutcome)> = Vec::with_capacity(n);
         for (index, (id, cost, load)) in events.into_iter().enumerate() {
+            if throttled.get(index).copied().unwrap_or(false) {
+                indexed.push((
+                    index,
+                    StepOutcome {
+                        error: Some(AdmissionError::Throttled { id: id.clone() }.to_string()),
+                        id,
+                        states: Vec::new(),
+                        configs: None,
+                    },
+                ));
+                continue;
+            }
             let shard = self.shard_of(&id);
             per_shard[shard].push(Event {
                 index,
@@ -290,7 +445,6 @@ impl Engine {
                 .map_err(|_| EngineError::ShardDown(shard))?;
             replies.push((shard, rx));
         }
-        let mut indexed: Vec<(usize, StepOutcome)> = Vec::with_capacity(n);
         for (shard, rx) in replies {
             indexed.extend(rx.recv().map_err(|_| EngineError::ShardDown(shard))??);
         }
@@ -312,8 +466,23 @@ impl Engine {
     }
 
     /// Re-install a tenant from a snapshot (replaces any existing tenant
-    /// with the same id).
+    /// with the same id). Installing a *new* tenant this way counts
+    /// against the [`max_tenants`](AdmissionConfig::max_tenants) cap,
+    /// exactly like `admit`.
     pub fn restore(&self, snapshot: TenantSnapshot) -> Result<(), EngineError> {
+        // Same guard discipline as `admit`: existence check, cap check and
+        // install all happen under the gate so concurrent restores cannot
+        // race past the cap.
+        let gate = self.gate();
+        if gate.config().max_tenants > 0 && self.tenant_config(&snapshot.config.id).is_err() {
+            let live = self.live_tenants()?;
+            gate.check_admit(&snapshot.config.id, live)
+                .map_err(EngineError::Admission)?;
+        }
+        self.restore_unchecked(snapshot)
+    }
+
+    fn restore_unchecked(&self, snapshot: TenantSnapshot) -> Result<(), EngineError> {
         let shard = self.shard_of(&snapshot.config.id);
         self.send(shard, |tx| Request::Restore(Box::new(snapshot), tx))
     }
@@ -321,7 +490,9 @@ impl Engine {
     /// Remove a tenant, returning its final report.
     pub fn evict(&self, id: &str) -> Result<TenantReport, EngineError> {
         let shard = self.shard_of(id);
-        self.send(shard, |tx| Request::Evict(id.to_string(), tx))
+        let report = self.send(shard, |tx| Request::Evict(id.to_string(), tx))?;
+        self.gate().forget(id);
+        Ok(report)
     }
 
     /// Report for one tenant.
@@ -386,20 +557,11 @@ impl Engine {
         Ok(all)
     }
 
-    /// Capture a full-state checkpoint and truncate the write-ahead log.
-    ///
-    /// Each shard rotates its WAL at the exact request-stream position of
-    /// its snapshot, so the published document plus the (now empty) new
-    /// segments are equivalent to the old checkpoint plus the old WAL —
-    /// committing the document then deletes the superseded files. On a
-    /// [`NullStore`] engine this is a consistent no-op dump
-    /// (`durable: false`).
-    pub fn checkpoint(&self) -> Result<CheckpointReport, EngineError> {
-        let durable = self.store.is_durable();
-        let seq = self
-            .store
-            .begin_checkpoint()
-            .map_err(EngineError::from_store)?;
+    /// Capture each shard's checkpoint contribution (rotating its WAL to
+    /// `seq` at the capture point when journaling is live), returning the
+    /// tenant snapshots sorted by id plus the per-shard aggregates in
+    /// shard order.
+    fn capture_all(&self, seq: u64) -> Result<(Vec<TenantSnapshot>, Vec<ShardMeta>), EngineError> {
         let mut replies = Vec::new();
         for (shard, tx_req) in self.senders.iter().enumerate() {
             let (tx, rx) = channel();
@@ -416,11 +578,31 @@ impl Engine {
             shard_meta.push(dump.meta);
         }
         tenants.sort_by(|a, b| a.config.id.cmp(&b.config.id));
+        Ok((tenants, shard_meta))
+    }
+
+    /// Capture a full-state checkpoint and truncate the write-ahead log.
+    ///
+    /// Each shard rotates its WAL at the exact request-stream position of
+    /// its snapshot, so the published document plus the (now empty) new
+    /// segments are equivalent to the old checkpoint plus the old WAL —
+    /// committing the document then deletes the superseded files. On a
+    /// [`NullStore`] engine this is a consistent no-op dump
+    /// (`durable: false`).
+    pub fn checkpoint(&self) -> Result<CheckpointReport, EngineError> {
+        let durable = self.store.is_durable();
+        let seq = self
+            .store
+            .begin_checkpoint()
+            .map_err(EngineError::from_store)?;
+        let (tenants, shard_meta) = self.capture_all(seq)?;
         let count = tenants.len();
         if durable {
+            let spec = self.ring.spec();
             let doc = CheckpointDoc {
                 seq,
-                shards: self.shards(),
+                shards: spec.shards,
+                vnodes: spec.vnodes,
                 tenants,
                 shard_meta,
             };
@@ -435,20 +617,171 @@ impl Engine {
         })
     }
 
+    /// Re-partition the engine onto a new ring topology, live: drain and
+    /// capture every shard, migrate all tenants bit-exactly (snapshot →
+    /// restore) onto a fresh worker set routed by the new ring, and swap.
+    ///
+    /// Crash safety on a durable engine follows the WAL discipline:
+    ///
+    /// 1. a [`JournalRecord::Rebalance`] is journaled (shard 0's WAL)
+    ///    *before* anything moves, so a crash mid-migration leaves a
+    ///    record that [`Engine::recover`] replays to finish the job;
+    /// 2. the capture rotates every shard's WAL, and the migration is
+    ///    *fenced* by committing a full-state checkpoint carrying the new
+    ///    topology — the commit is the migration's atomic commit point
+    ///    (before it: old checkpoint + WAL incl. the `Rebalance` record;
+    ///    after it: new-topology checkpoint, record truncated away).
+    ///
+    /// Per-shard aggregates merge onto the new shard 0 (fleet totals are
+    /// exact; per-shard attribution restarts). On failure the engine keeps
+    /// serving on its old workers. `vnodes = None` keeps the current ring
+    /// density. Passing the current topology re-shuffles onto fresh
+    /// workers and reports `moved: 0`.
+    pub fn rebalance(
+        &mut self,
+        new_shards: usize,
+        vnodes: Option<usize>,
+    ) -> Result<RebalanceReport, EngineError> {
+        let spec = RingSpec::new(new_shards, vnodes.unwrap_or(self.ring.spec().vnodes));
+        self.rebalance_inner(spec, true)
+    }
+
+    /// The migration itself. `fence` selects the durable protocol above;
+    /// recovery passes `false` (pure in-memory re-partition — the caller
+    /// writes its own checkpoint afterwards).
+    fn rebalance_inner(
+        &mut self,
+        spec: RingSpec,
+        fence: bool,
+    ) -> Result<RebalanceReport, EngineError> {
+        let durable = fence && self.store.is_durable() && self.attached.load(Ordering::Acquire);
+        if durable {
+            // Write-ahead: the topology change is journaled before any
+            // tenant moves, through shard 0's thread (which owns that WAL).
+            let record = JournalRecord::Rebalance {
+                shards: spec.shards,
+                vnodes: spec.vnodes,
+            };
+            self.send(0, move |tx| Request::Journal(Box::new(record), tx))?;
+        }
+        let seq = self
+            .store
+            .begin_checkpoint()
+            .map_err(EngineError::from_store)?;
+        let (tenants, old_meta) = self.capture_all(seq)?;
+        let ring = HashRing::new(spec);
+        let moved = tenants
+            .iter()
+            .filter(|s| ring.route(&s.config.id) != self.ring.route(&s.config.id))
+            .count();
+        // Fleet-total counters survive the topology change by merging every
+        // old shard's aggregates onto the new shard 0, in shard order.
+        let mut merged = ShardMeta {
+            shard: 0,
+            events: 0,
+            states: 0,
+            metrics: rsdc_sim::metrics::Metrics::default(),
+        };
+        for meta in &old_meta {
+            merged.events += meta.events;
+            merged.states += meta.states;
+            merged.metrics.merge(&meta.metrics);
+        }
+        let count = tenants.len();
+        // The snapshots are moved into the (future fencing-checkpoint)
+        // document up front: the restore loop borrows them from there, so
+        // the full fleet state is never deep-cloned a second time.
+        let doc = CheckpointDoc {
+            seq,
+            shards: spec.shards,
+            vnodes: spec.vnodes,
+            tenants,
+            shard_meta: vec![merged.clone()],
+        };
+        let (senders, handles) = Engine::spawn_workers(spec.shards);
+        let migrate = || -> Result<(), EngineError> {
+            for snapshot in &doc.tenants {
+                let shard = ring.route(&snapshot.config.id);
+                Engine::send_to(&senders, shard, |tx| {
+                    Request::Restore(Box::new(snapshot.clone()), tx)
+                })??;
+            }
+            Engine::send_to(&senders, 0, |tx| Request::InstallMeta(Box::new(merged), tx))?;
+            if durable {
+                // The fence: committing this checkpoint is the migration's
+                // commit point, and truncates the Rebalance record away.
+                self.store
+                    .commit_checkpoint(seq, &doc.encode())
+                    .map_err(EngineError::from_store)?;
+            }
+            Ok(())
+        };
+        if let Err(e) = migrate() {
+            // Abort: tear down the half-built replacement workers and keep
+            // serving on the old topology.
+            for tx in &senders {
+                let _ = tx.send(Request::Shutdown);
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+            if durable {
+                // Neutralize the write-ahead Rebalance record: the
+                // migration did not happen, so a crash before the next
+                // checkpoint must not replay it. Recovery takes the *last*
+                // record's topology, so re-journaling the current one
+                // restores the truth (best-effort — if this append fails
+                // too, the next successful checkpoint truncates both).
+                let current = self.ring.spec();
+                let record = JournalRecord::Rebalance {
+                    shards: current.shards,
+                    vnodes: current.vnodes,
+                };
+                let _ = self.send(0, move |tx| Request::Journal(Box::new(record), tx));
+            }
+            return Err(e);
+        }
+        let old_senders = std::mem::replace(&mut self.senders, senders);
+        let old_handles = std::mem::replace(&mut self.handles, handles);
+        for tx in &old_senders {
+            let _ = tx.send(Request::Shutdown);
+        }
+        drop(old_senders);
+        for handle in old_handles {
+            let _ = handle.join();
+        }
+        self.ring = ring;
+        if self.attached.load(Ordering::Acquire) {
+            self.attach_store()?;
+        }
+        Ok(RebalanceReport {
+            shards: spec.shards,
+            vnodes: spec.vnodes,
+            tenants: count,
+            moved,
+            seq: if durable { seq } else { 0 },
+            durable,
+        })
+    }
+
     /// Rebuild the pre-crash engine from a store: load the newest valid
     /// checkpoint, replay the WAL tail on top of it, then write a fresh
     /// checkpoint so the next restart starts from a compact log.
     ///
     /// Replay happens before the store is attached to the shards, so
-    /// replayed operations are not re-journaled. Per-tenant state is exact
-    /// for any shard count; shard-level aggregates are only carried over
-    /// when the shard count matches the checkpoint's.
+    /// replayed operations are not re-journaled, and bypasses admission
+    /// control (the journaled stream *is* the admitted traffic). Per-tenant
+    /// state is exact for any shard count; shard-level aggregates are only
+    /// carried over when the shard count matches the checkpoint's. An
+    /// interrupted rebalance (a [`JournalRecord::Rebalance`] surviving in
+    /// the WAL tail) is completed: the engine re-partitions onto the
+    /// journaled topology after replay, before the fresh checkpoint.
     pub fn recover(
         cfg: EngineConfig,
         store: Arc<dyn Durability>,
     ) -> Result<(Engine, RecoveryReport), EngineError> {
         let recovery = store.recover().map_err(EngineError::from_store)?;
-        let engine = Engine::spawn(cfg, store);
+        let mut engine = Engine::spawn(cfg, store);
         let mut report = RecoveryReport {
             checkpoints_skipped: recovery.checkpoints_skipped,
             ..RecoveryReport::default()
@@ -457,7 +790,7 @@ impl Engine {
             let doc = CheckpointDoc::decode(&blob.payload).map_err(EngineError::Store)?;
             report.checkpoint_seq = doc.seq;
             for snapshot in doc.tenants {
-                engine.restore(snapshot)?;
+                engine.restore_unchecked(snapshot)?;
                 report.tenants_restored += 1;
             }
             if doc.shards == engine.shards() {
@@ -468,6 +801,7 @@ impl Engine {
                 report.shard_meta_restored = true;
             }
         }
+        let mut interrupted: Option<RingSpec> = None;
         for segment in &recovery.segments {
             report.segments += 1;
             if segment.dropped_bytes > 0 {
@@ -477,8 +811,20 @@ impl Engine {
                 report.records_replayed += 1;
                 match JournalRecord::decode(bytes) {
                     Err(_) => report.replay_errors += 1,
+                    Ok(JournalRecord::Rebalance { shards, vnodes }) => {
+                        // Applied after replay: tenant state is topology-
+                        // independent, so order against other shards' WALs
+                        // does not matter — only the last topology does.
+                        interrupted = Some(RingSpec::new(shards, vnodes));
+                        report.rebalances_replayed += 1;
+                    }
                     Ok(record) => engine.replay(record, &mut report),
                 }
+            }
+        }
+        if let Some(spec) = interrupted {
+            if spec != engine.ring.spec() {
+                engine.rebalance_inner(spec, false)?;
             }
         }
         engine.attach_store()?;
@@ -491,11 +837,12 @@ impl Engine {
     /// (e.g. an evict raced with an admit) fails identically here.
     fn replay(&self, record: JournalRecord, report: &mut RecoveryReport) {
         let outcome = match record {
-            JournalRecord::Admit(cfg) => self.admit(cfg),
+            JournalRecord::Admit(cfg) => self.admit_unchecked(cfg),
             JournalRecord::Batch(events) => {
-                match self
-                    .step_batch_loads(events.into_iter().map(|e| (e.id, e.cost, e.load)).collect())
-                {
+                match self.dispatch_events(
+                    events.into_iter().map(|e| (e.id, e.cost, e.load)).collect(),
+                    &[],
+                ) {
                     Ok(outcomes) => {
                         report.events_replayed += outcomes.len();
                         Ok(())
@@ -505,7 +852,9 @@ impl Engine {
             }
             JournalRecord::Finish(id) => self.finish(&id).map(|_| ()),
             JournalRecord::Evict(id) => self.evict(&id).map(|_| ()),
-            JournalRecord::Restore(snapshot) => self.restore(*snapshot),
+            JournalRecord::Restore(snapshot) => self.restore_unchecked(*snapshot),
+            // Intercepted by the recovery loop before this point.
+            JournalRecord::Rebalance { .. } => Ok(()),
         };
         if outcome.is_err() {
             report.replay_errors += 1;

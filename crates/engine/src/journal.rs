@@ -39,6 +39,20 @@ pub enum JournalRecord {
     Evict(String),
     /// A tenant was installed from a snapshot.
     Restore(Box<TenantSnapshot>),
+    /// The ring topology changed. Journaled (write-ahead, to shard 0's
+    /// WAL) before a rebalance migrates anything: a completed rebalance
+    /// truncates the record away with its fencing checkpoint, so finding
+    /// one during recovery means the migration was interrupted —
+    /// [`Engine::recover`](crate::Engine::recover) finishes it by
+    /// re-partitioning onto this topology after replay. Tenant state is
+    /// topology-independent, so applying it at the end of replay is exact
+    /// regardless of where the record sat in the WAL.
+    Rebalance {
+        /// Target shard count.
+        shards: usize,
+        /// Target virtual nodes per shard.
+        vnodes: usize,
+    },
 }
 
 impl JournalRecord {
@@ -65,6 +79,10 @@ pub struct CheckpointDoc {
     /// aggregates are only restored when the recovering engine's shard
     /// count matches (tenant state is shard-count independent).
     pub shards: usize,
+    /// Virtual nodes per shard of the ring that wrote the checkpoint
+    /// (routing topology; recorded so operators can reconstruct the
+    /// placement that produced the per-shard aggregates).
+    pub vnodes: usize,
     /// Every tenant's full snapshot, sorted by id for deterministic bytes.
     pub tenants: Vec<TenantSnapshot>,
     /// Per-shard aggregate state, indexed by shard.
@@ -79,10 +97,22 @@ impl CheckpointDoc {
             .into_bytes()
     }
 
-    /// Decode a checkpoint payload.
+    /// Decode a checkpoint payload. Documents written before the ring
+    /// existed carry no `vnodes` field; they decode with the default ring
+    /// density rather than making pre-ring data dirs unrecoverable.
     pub fn decode(bytes: &[u8]) -> Result<CheckpointDoc, String> {
         let text = std::str::from_utf8(bytes).map_err(|e| format!("checkpoint not UTF-8: {e}"))?;
-        serde_json::from_str(text).map_err(|e| format!("bad checkpoint: {e}"))
+        let mut v: serde::Value =
+            serde_json::from_str(text).map_err(|e| format!("bad checkpoint: {e}"))?;
+        if let serde::Value::Object(entries) = &mut v {
+            if !entries.iter().any(|(k, _)| k == "vnodes") {
+                entries.push((
+                    "vnodes".to_string(),
+                    serde_json::to_value(&crate::ring::DEFAULT_VNODES),
+                ));
+            }
+        }
+        CheckpointDoc::from_value(&v).map_err(|e| format!("bad checkpoint: {e}"))
     }
 }
 
@@ -109,6 +139,10 @@ mod tests {
             ]),
             JournalRecord::Finish("a".into()),
             JournalRecord::Evict("a".into()),
+            JournalRecord::Rebalance {
+                shards: 4,
+                vnodes: 64,
+            },
         ];
         for rec in records {
             let bytes = rec.encode();
@@ -170,11 +204,23 @@ mod tests {
         let doc = CheckpointDoc {
             seq: 3,
             shards: 1,
+            vnodes: 64,
             tenants: vec![tenant.snapshot()],
             shard_meta: Vec::new(),
         };
         let back = CheckpointDoc::decode(&doc.encode()).unwrap();
         assert_eq!(back.encode(), doc.encode());
+    }
+
+    #[test]
+    fn pre_ring_checkpoints_decode_with_default_vnodes() {
+        // A document written before PR 4 has no "vnodes" field; recovery
+        // of such a data dir must not hard-fail.
+        let legacy = br#"{"seq":3,"shards":2,"tenants":[],"shard_meta":[]}"#;
+        let doc = CheckpointDoc::decode(legacy).expect("legacy checkpoint decodes");
+        assert_eq!(doc.seq, 3);
+        assert_eq!(doc.shards, 2);
+        assert_eq!(doc.vnodes, crate::ring::DEFAULT_VNODES);
     }
 
     #[test]
@@ -192,6 +238,7 @@ mod tests {
         let doc = CheckpointDoc {
             seq: 9,
             shards: 2,
+            vnodes: 64,
             tenants: vec![tenant.snapshot()],
             shard_meta: Vec::new(),
         };

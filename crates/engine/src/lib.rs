@@ -10,9 +10,10 @@
 //! ## Architecture
 //!
 //! ```text
-//!                 admit / step / snapshot / report
+//!                 admit / step / snapshot / report / rebalance
 //!   caller ──────────────► Engine handle
-//!                            │ hash(tenant id) % N
+//!                            │ admission gate (caps, rate limits)
+//!                            │ consistent-hash ring (vnodes)
 //!              ┌─────────────┼─────────────┐
 //!              ▼             ▼             ▼
 //!          shard 0       shard 1  ...  shard N-1     (one thread each)
@@ -36,8 +37,17 @@
 //!   checkpoints and recovery with the same bit-exactness as scalar
 //!   tenants.
 //! * **Shards** ([`shard`]) are plain `std::thread` workers fed batched
-//!   events over channels; tenants are hash-partitioned so all per-tenant
-//!   operations are single-threaded and deterministic.
+//!   events over channels; tenants are partitioned by a consistent-hash
+//!   ring with virtual nodes ([`ring`]) so all per-tenant operations are
+//!   single-threaded and deterministic — and so changing the shard count
+//!   moves only a minority of tenants.
+//! * **Control plane** ([`admission`], [`Engine::rebalance`]): an
+//!   admission gate in front of the shards enforces tenant caps and
+//!   per-tenant token-bucket rate limits with typed
+//!   [`Rejected`](AdmissionError::Rejected)/[`Throttled`](AdmissionError::Throttled)
+//!   errors (refused traffic never reaches a WAL), and live rebalancing
+//!   migrates tenants bit-exactly onto a new ring topology, journaled and
+//!   checkpoint-fenced so a kill mid-migration recovers exactly.
 //! * **Accounting** reuses [`rsdc_core::analysis`] (cost breakdowns,
 //!   schedule statistics with identical phase semantics) and
 //!   [`rsdc_sim::metrics`] (shard-level load/energy aggregation), all
@@ -55,8 +65,8 @@
 //!   byte-identical reports, enforced by randomized kill-point tests.
 //! * **Wire format** ([`wire`]) is JSON-lines: `admit`/`step`/`finish`/
 //!   `snapshot`/`restore`/`report`/`stats`/`checkpoint`/`recover`/
-//!   `wal_stats` records, with ingestion helpers from [`rsdc_workloads`]
-//!   traces and per-line error attribution. The `rsdc engine` CLI
+//!   `wal_stats`/`rebalance`/`limits` records, with ingestion helpers from
+//!   [`rsdc_workloads`] traces and per-line error attribution. The `rsdc engine` CLI
 //!   subcommand and the `engine_stream` example speak it end to end.
 //!
 //! ## Example
@@ -81,13 +91,17 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod engine;
 pub mod journal;
+pub mod ring;
 pub mod shard;
 pub mod tenant;
 pub mod wire;
 
-pub use engine::{CheckpointReport, Engine, EngineConfig, RecoveryReport};
+pub use admission::{AdmissionConfig, AdmissionError};
+pub use engine::{CheckpointReport, Engine, EngineConfig, RebalanceReport, RecoveryReport};
+pub use ring::{HashRing, RingSpec, DEFAULT_VNODES};
 pub use rsdc_hetero::{FleetSpec, HeteroAlgo};
 pub use shard::{ShardMeta, ShardStats, StepOutcome};
 pub use tenant::{PolicySpec, TenantConfig, TenantReport, TenantSnapshot};
@@ -105,6 +119,9 @@ pub enum EngineError {
     Policy(rsdc_core::Error),
     /// Durability-layer failure (WAL append, checkpoint, recovery scan).
     Store(String),
+    /// Control-plane refusal: the tenant cap rejected an admit, or a
+    /// per-tenant rate limit throttled a step event.
+    Admission(AdmissionError),
 }
 
 impl EngineError {
@@ -122,6 +139,10 @@ impl std::fmt::Display for EngineError {
             EngineError::ShardDown(i) => write!(f, "shard {i} is down"),
             EngineError::Policy(e) => write!(f, "policy error: {e}"),
             EngineError::Store(m) => write!(f, "store error: {m}"),
+            // Rendered without a prefix: the admission renderings double as
+            // the wire's per-event error messages, which classify back to
+            // this variant by exact match.
+            EngineError::Admission(e) => write!(f, "{e}"),
         }
     }
 }
@@ -490,6 +511,386 @@ mod tests {
                 "{algo:?}: restored report must be byte-identical"
             );
         }
+    }
+
+    #[test]
+    fn rebalance_preserves_every_tenant_bit_exactly() {
+        let fs = costs(60);
+        let mut fleet_cfg: Vec<TenantConfig> = (0..12)
+            .map(|i| {
+                TenantConfig::new(
+                    format!("t{i}"),
+                    6,
+                    1.5,
+                    PolicySpec::FlcpRounded { k: 2, seed: i },
+                )
+                .with_opt_tracking()
+            })
+            .collect();
+        fleet_cfg.push(TenantConfig::hetero("h", fleet(), HeteroAlgo::Frontier));
+        let feed = |engine: &Engine, slice: &[Cost]| {
+            for f in slice {
+                let batch = fleet_cfg
+                    .iter()
+                    .map(|c| (c.id.clone(), f.clone(), Some(2.0)))
+                    .collect();
+                engine.step_batch_loads(batch).unwrap();
+            }
+        };
+        // Static single-shard reference.
+        let reference = Engine::new(EngineConfig::with_shards(1));
+        for cfg in &fleet_cfg {
+            reference.admit(cfg.clone()).unwrap();
+        }
+        feed(&reference, &fs);
+        let want = reference.report_all().unwrap();
+
+        // Rebalanced run: 1 → 3 → 2 shards mid-stream, vnode change too.
+        let mut engine = Engine::new(EngineConfig::with_shards(1));
+        for cfg in &fleet_cfg {
+            engine.admit(cfg.clone()).unwrap();
+        }
+        feed(&engine, &fs[..20]);
+        let r = engine.rebalance(3, None).unwrap();
+        assert_eq!(r.shards, 3);
+        assert_eq!(r.tenants, fleet_cfg.len());
+        assert!(r.moved > 0, "growing 1→3 must move someone");
+        assert!(!r.durable, "no store on this engine");
+        feed(&engine, &fs[20..41]);
+        engine.rebalance(2, Some(16)).unwrap();
+        assert_eq!(engine.ring_spec(), ring::RingSpec::new(2, 16));
+        feed(&engine, &fs[41..]);
+        let got = engine.report_all().unwrap();
+        let to_text = |rs: &[TenantReport]| -> Vec<String> {
+            rs.iter()
+                .map(|r| serde_json::to_string(r).unwrap())
+                .collect()
+        };
+        assert_eq!(to_text(&got), to_text(&want));
+        // Fleet totals survived both migrations (merged onto shard 0).
+        let events: u64 = engine.shard_stats().unwrap().iter().map(|s| s.events).sum();
+        assert_eq!(events, 60 * fleet_cfg.len() as u64);
+    }
+
+    #[test]
+    fn tenant_cap_rejects_admit_and_new_restores() {
+        let engine = Engine::new(EngineConfig::with_shards(2));
+        engine
+            .set_limits(AdmissionConfig {
+                max_tenants: 2,
+                ..AdmissionConfig::default()
+            })
+            .unwrap();
+        engine
+            .admit(TenantConfig::new("a", 4, 1.0, PolicySpec::Lcp))
+            .unwrap();
+        engine
+            .admit(TenantConfig::new("b", 4, 1.0, PolicySpec::Lcp))
+            .unwrap();
+        assert!(matches!(
+            engine.admit(TenantConfig::new("c", 4, 1.0, PolicySpec::Lcp)),
+            Err(EngineError::Admission(AdmissionError::Rejected { .. }))
+        ));
+        // Restoring an existing tenant is a replacement, not an admit…
+        let snap = engine.snapshot("a").unwrap();
+        engine.restore(snap.clone()).unwrap();
+        // …but restoring a new id counts against the cap.
+        let mut new_snap = snap;
+        new_snap.config.id = "d".to_string();
+        assert!(matches!(
+            engine.restore(new_snap),
+            Err(EngineError::Admission(AdmissionError::Rejected { .. }))
+        ));
+        // Evicting frees a slot.
+        engine.evict("b").unwrap();
+        engine
+            .admit(TenantConfig::new("c", 4, 1.0, PolicySpec::Lcp))
+            .unwrap();
+        // Invalid limits are refused.
+        assert!(engine
+            .set_limits(AdmissionConfig {
+                rate: f64::INFINITY,
+                ..AdmissionConfig::default()
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn rate_limit_throttles_with_typed_per_event_errors() {
+        let engine = Engine::new(EngineConfig::with_shards(2));
+        engine
+            .set_limits(AdmissionConfig {
+                max_tenants: 0,
+                rate: 0.5,
+                burst: 2.0,
+            })
+            .unwrap();
+        engine
+            .admit(TenantConfig::new("a", 4, 1.0, PolicySpec::Lcp))
+            .unwrap();
+        engine
+            .admit(TenantConfig::new("b", 4, 1.0, PolicySpec::Lcp))
+            .unwrap();
+        // One batch (= one tick) with 3 events for "a" and 1 for "b": the
+        // burst of 2 passes, a's third event throttles, b is untouched.
+        let outcomes = engine
+            .step_batch(vec![
+                ("a".to_string(), Cost::abs(1.0, 2.0)),
+                ("a".to_string(), Cost::abs(1.0, 2.0)),
+                ("a".to_string(), Cost::abs(1.0, 3.0)),
+                ("b".to_string(), Cost::abs(1.0, 1.0)),
+            ])
+            .unwrap();
+        assert!(outcomes[0].error.is_none());
+        assert!(outcomes[1].error.is_none());
+        assert!(outcomes[2].error.as_deref().unwrap().contains("throttled"));
+        assert!(outcomes[3].error.is_none());
+        // The throttled event changed nothing.
+        assert_eq!(engine.report("a").unwrap().events, 2);
+        // The single-event path surfaces the typed error (the call's own
+        // tick refills only half a token at rate 0.5).
+        assert!(matches!(
+            engine.step("a", Cost::abs(1.0, 2.0)),
+            Err(EngineError::Admission(AdmissionError::Throttled { .. }))
+        ));
+        // Ticks refill: after one more batch (tick), "a" can step again.
+        engine.step("b", Cost::abs(1.0, 1.0)).unwrap();
+        engine.step("a", Cost::abs(1.0, 2.0)).unwrap();
+        assert_eq!(engine.report("a").unwrap().events, 3);
+        // Disabling limits reopens the gate.
+        engine.set_limits(AdmissionConfig::default()).unwrap();
+        for _ in 0..8 {
+            engine.step("a", Cost::abs(1.0, 2.0)).unwrap();
+        }
+    }
+
+    #[test]
+    fn throttled_events_never_reach_the_wal() {
+        use rsdc_store::{FileStore, FileStoreConfig};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir()
+            .join("rsdc-engine-tests")
+            .join(format!("throttle-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store: Arc<dyn rsdc_store::Durability> =
+            Arc::new(FileStore::open(&dir, FileStoreConfig::default()).unwrap());
+        let engine = Engine::with_store(EngineConfig::with_shards(1), store.clone()).unwrap();
+        engine
+            .set_limits(AdmissionConfig {
+                max_tenants: 0,
+                rate: 1.0,
+                burst: 1.0,
+            })
+            .unwrap();
+        engine
+            .admit(TenantConfig::new("a", 4, 1.0, PolicySpec::Lcp))
+            .unwrap();
+        // 3 events in one batch: 1 admitted, 2 throttled.
+        let outcomes = engine
+            .step_batch(vec![
+                ("a".to_string(), Cost::abs(1.0, 2.0)),
+                ("a".to_string(), Cost::abs(1.0, 3.0)),
+                ("a".to_string(), Cost::abs(1.0, 1.0)),
+            ])
+            .unwrap();
+        assert_eq!(outcomes.iter().filter(|o| o.error.is_some()).count(), 2);
+        let want = engine.report("a").unwrap();
+        assert_eq!(want.events, 1);
+        drop(engine);
+        // Recovery (with no limits configured) replays only the admitted
+        // event: the throttled ones were never journaled.
+        let (recovered, report) = Engine::recover(EngineConfig::with_shards(1), store).unwrap();
+        assert_eq!(report.replay_errors, 0);
+        assert_eq!(
+            serde_json::to_string(&recovered.report("a").unwrap()).unwrap(),
+            serde_json::to_string(&want).unwrap(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_rebalance_is_fenced_and_interrupted_ones_replay() {
+        use rsdc_store::{FileStore, FileStoreConfig};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir()
+            .join("rsdc-engine-tests")
+            .join(format!("rebalance-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let open = || -> Arc<dyn rsdc_store::Durability> {
+            Arc::new(FileStore::open(&dir, FileStoreConfig::default()).unwrap())
+        };
+        let fs = costs(30);
+        // Reference: static single shard, no store.
+        let reference = Engine::new(EngineConfig::with_shards(1));
+        for i in 0..6 {
+            reference
+                .admit(TenantConfig::new(
+                    format!("t{i}"),
+                    6,
+                    2.0,
+                    PolicySpec::FlcpRounded { k: 2, seed: i },
+                ))
+                .unwrap();
+        }
+        for f in &fs {
+            let batch = (0..6).map(|i| (format!("t{i}"), f.clone())).collect();
+            reference.step_batch(batch).unwrap();
+        }
+        let want: Vec<String> = reference
+            .report_all()
+            .unwrap()
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect();
+
+        // Durable run with a live rebalance mid-stream, killed after more
+        // WAL-only events.
+        let mut engine = Engine::with_store(EngineConfig::with_shards(2), open()).unwrap();
+        for i in 0..6 {
+            engine
+                .admit(TenantConfig::new(
+                    format!("t{i}"),
+                    6,
+                    2.0,
+                    PolicySpec::FlcpRounded { k: 2, seed: i },
+                ))
+                .unwrap();
+        }
+        for f in &fs[..10] {
+            let batch = (0..6).map(|i| (format!("t{i}"), f.clone())).collect();
+            engine.step_batch(batch).unwrap();
+        }
+        let r = engine.rebalance(3, None).unwrap();
+        assert!(r.durable);
+        assert!(r.seq > 0, "fencing checkpoint committed");
+        for f in &fs[10..20] {
+            let batch = (0..6).map(|i| (format!("t{i}"), f.clone())).collect();
+            engine.step_batch(batch).unwrap();
+        }
+        drop(engine); // crash after the fence + 10 WAL-only slots
+
+        let (engine, report) = Engine::recover(EngineConfig::with_shards(3), open()).unwrap();
+        assert_eq!(report.tenants_restored, 6, "fencing checkpoint had all");
+        assert_eq!(report.replay_errors, 0);
+        assert_eq!(
+            report.rebalances_replayed, 0,
+            "completed fence truncated it"
+        );
+        drop(engine);
+
+        // Interrupted rebalance: journal the record but crash before the
+        // fence (the journal-then-die window) — recovery must finish the
+        // topology change.
+        {
+            let store = open();
+            let recovery = store.recover().unwrap();
+            assert!(recovery.checkpoint.is_some());
+            store
+                .append(
+                    0,
+                    &crate::journal::JournalRecord::Rebalance {
+                        shards: 2,
+                        vnodes: 16,
+                    }
+                    .encode(),
+                )
+                .unwrap();
+            store.sync().unwrap();
+        }
+        let (mut engine, report) = Engine::recover(EngineConfig::with_shards(3), open()).unwrap();
+        assert_eq!(report.rebalances_replayed, 1);
+        assert_eq!(
+            engine.ring_spec(),
+            ring::RingSpec::new(2, 16),
+            "recovery completes the interrupted migration"
+        );
+        // The stream finishes identically to the static reference.
+        for f in &fs[20..] {
+            let batch = (0..6).map(|i| (format!("t{i}"), f.clone())).collect();
+            engine.step_batch(batch).unwrap();
+        }
+        let _ = engine.rebalance(1, None).unwrap();
+        let got: Vec<String> = engine
+            .report_all()
+            .unwrap()
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect();
+        assert_eq!(got, want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_shrink_then_regrow_rebalance_loses_no_wal_records() {
+        // Regression: after shrinking the ring, a shard index goes idle;
+        // the next fencing checkpoint deletes its old WAL segment. When a
+        // later rebalance brings the index back, its appends must land in
+        // a live segment — a stale cached writer would journal into an
+        // unlinked inode and recovery would silently drop every event
+        // since the regrow.
+        use rsdc_store::{FileStore, FileStoreConfig};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir()
+            .join("rsdc-engine-tests")
+            .join(format!("regrow-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let open = || -> Arc<dyn rsdc_store::Durability> {
+            Arc::new(FileStore::open(&dir, FileStoreConfig { sync_every: 1 }).unwrap())
+        };
+        let fs = costs(30);
+        let admit_fleet = |engine: &Engine| {
+            for i in 0..8 {
+                engine
+                    .admit(
+                        TenantConfig::new(
+                            format!("t{i}"),
+                            6,
+                            2.0,
+                            PolicySpec::FlcpRounded { k: 2, seed: i },
+                        )
+                        .with_opt_tracking(),
+                    )
+                    .unwrap();
+            }
+        };
+        let feed = |engine: &Engine, slice: &[Cost]| {
+            for f in slice {
+                let batch = (0..8).map(|i| (format!("t{i}"), f.clone())).collect();
+                engine.step_batch(batch).unwrap();
+            }
+        };
+        let to_text = |engine: &Engine| -> Vec<String> {
+            engine
+                .report_all()
+                .unwrap()
+                .iter()
+                .map(|r| serde_json::to_string(r).unwrap())
+                .collect()
+        };
+
+        let reference = Engine::new(EngineConfig::with_shards(1));
+        admit_fleet(&reference);
+        feed(&reference, &fs);
+        let want = to_text(&reference);
+
+        let mut engine = Engine::with_store(EngineConfig::with_shards(4), open()).unwrap();
+        admit_fleet(&engine);
+        feed(&engine, &fs[..10]);
+        engine.rebalance(2, None).unwrap();
+        feed(&engine, &fs[10..20]);
+        engine.rebalance(4, None).unwrap();
+        // These events route to shards 2 and 3 again — WAL-only state.
+        feed(&engine, &fs[20..]);
+        drop(engine); // crash
+
+        let (recovered, report) = Engine::recover(EngineConfig::with_shards(4), open()).unwrap();
+        assert_eq!(report.replay_errors, 0);
+        assert_eq!(
+            to_text(&recovered),
+            want,
+            "events journaled on re-grown shards must survive the crash"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

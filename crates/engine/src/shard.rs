@@ -126,6 +126,10 @@ pub enum Request {
     TenantIds(Sender<Vec<String>>),
     /// Attach a durability backend: subsequent mutations are journaled.
     AttachStore(Arc<dyn Durability>, Sender<()>),
+    /// Journal a record to this shard's WAL without applying anything —
+    /// the engine handle routes control-plane records (topology changes)
+    /// through the owning shard thread so WAL appends stay serialized.
+    Journal(Box<JournalRecord>, Sender<Result<(), EngineError>>),
     /// Capture this shard's checkpoint contribution, rotating its WAL to
     /// the segment for the given checkpoint sequence at the capture point.
     Checkpoint(u64, Sender<Result<ShardDump, EngineError>>),
@@ -199,6 +203,9 @@ impl Shard {
                 Request::AttachStore(store, reply) => {
                     shard.store = Some(store);
                     let _ = reply.send(());
+                }
+                Request::Journal(record, reply) => {
+                    let _ = reply.send(shard.journal(&record));
                 }
                 Request::Checkpoint(seq, reply) => {
                     let _ = reply.send(shard.checkpoint(seq));

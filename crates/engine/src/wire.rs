@@ -19,6 +19,8 @@
 //! {"op":"checkpoint"}        // durable full-state checkpoint + WAL truncation
 //! {"op":"recover"}           // rebuild the engine from the durable store
 //! {"op":"wal_stats"}         // store + tenant-distribution statistics
+//! {"op":"rebalance","shards":4,"vnodes":64}   // live ring re-partition
+//! {"op":"limits","max_tenants":100,"rate":2.0,"burst":8.0}
 //! ```
 //!
 //! `step` events carry either an explicit serialized [`Cost`] or a raw
@@ -32,7 +34,8 @@
 //! total-machine `states`. Response records mirror the request:
 //! `admitted`, `stepped` (with committed `states`), `finished`,
 //! `snapshot`, `restored`, `report`, `stats`, `checkpointed`, `recovered`,
-//! `wal_stats`, or `{"op":"error","line":N,"message":...}` — error
+//! `wal_stats`, `rebalanced`, `limits`, or
+//! `{"op":"error","line":N,"message":...}` — error
 //! responses carry the 1-based input line number of the offending record,
 //! so a failing line inside a large JSONL batch is locatable.
 //!
@@ -94,6 +97,23 @@ pub enum Record {
     Recover,
     /// Durability-layer statistics.
     WalStats,
+    /// Re-partition the engine onto a new ring topology, live.
+    Rebalance {
+        /// Target shard count.
+        shards: usize,
+        /// Target virtual nodes per shard (`None` keeps the current ring
+        /// density).
+        vnodes: Option<usize>,
+    },
+    /// Set (fields present) and/or read back the admission limits.
+    Limits {
+        /// New tenant cap, when given (0 = unlimited).
+        max_tenants: Option<usize>,
+        /// New token-bucket refill rate, when given (0 = unlimited).
+        rate: Option<f64>,
+        /// New token-bucket capacity, when given.
+        burst: Option<f64>,
+    },
 }
 
 /// A wire-format error with the offending context.
@@ -272,6 +292,52 @@ pub fn parse_record(line: &str) -> Result<Record, WireError> {
         "checkpoint" => Ok(Record::Checkpoint),
         "recover" => Ok(Record::Recover),
         "wal_stats" => Ok(Record::WalStats),
+        "rebalance" => {
+            let count = |key: &str| -> Result<Option<usize>, WireError> {
+                match v.get(key) {
+                    Some(x) if !x.is_null() => x
+                        .as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .filter(|&n| n >= 1)
+                        .map(Some)
+                        .ok_or_else(|| WireError(format!("field {key:?} must be an integer >= 1"))),
+                    _ => Ok(None),
+                }
+            };
+            let shards =
+                count("shards")?.ok_or_else(|| WireError("rebalance needs \"shards\"".into()))?;
+            Ok(Record::Rebalance {
+                shards,
+                vnodes: count("vnodes")?,
+            })
+        }
+        "limits" => {
+            let max_tenants = match v.get("max_tenants") {
+                Some(x) if !x.is_null() => Some(
+                    x.as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or_else(|| {
+                            WireError("field \"max_tenants\" must be a non-negative integer".into())
+                        })?,
+                ),
+                _ => None,
+            };
+            let num = |key: &str| -> Result<Option<f64>, WireError> {
+                match v.get(key) {
+                    Some(x) if !x.is_null() => x
+                        .as_f64()
+                        .filter(|n| n.is_finite() && *n >= 0.0)
+                        .map(Some)
+                        .ok_or_else(|| WireError(format!("field {key:?} must be a number >= 0"))),
+                    _ => Ok(None),
+                }
+            };
+            Ok(Record::Limits {
+                max_tenants,
+                rate: num("rate")?,
+                burst: num("burst")?,
+            })
+        }
         other => Err(WireError(format!("unknown op {other:?}"))),
     }
 }
@@ -396,6 +462,15 @@ impl Session {
         } else {
             crate::EngineConfig::with_shards(shards)
         };
+        Session::open_durable_cfg(cfg, store)
+    }
+
+    /// [`Session::open_durable`] with a full engine config (explicit ring
+    /// density, for the CLI's `--vnodes`).
+    pub fn open_durable_cfg(
+        cfg: crate::EngineConfig,
+        store: std::sync::Arc<dyn rsdc_store::Durability>,
+    ) -> Result<(Session, Option<crate::RecoveryReport>), crate::EngineError> {
         if store.has_state().map_err(crate::EngineError::from_store)? {
             let (engine, report) = crate::Engine::recover(cfg, store)?;
             let mut session = Session::new(engine);
@@ -507,14 +582,16 @@ impl Session {
                 "engine has no durable store to recover from".into(),
             ));
         }
-        let shards = self.engine.shards();
+        let spec = self.engine.ring_spec();
         // Recover first and swap only on success: a failed recovery must
         // leave the session on its old, still-durable engine instead of
         // silently downgrading it. The old engine is idle while we do this
         // (the session serializes all requests), so nothing appends while
         // the scan repairs the WAL.
-        let (engine, report) =
-            crate::Engine::recover(crate::EngineConfig::with_shards(shards), store)?;
+        let (engine, report) = crate::Engine::recover(
+            crate::EngineConfig::with_topology(spec.shards, spec.vnodes),
+            store,
+        )?;
         std::mem::replace(&mut self.engine, engine).shutdown();
         self.since_checkpoint = 0;
         self.reload_models()?;
@@ -641,6 +718,52 @@ impl Session {
                 Ok(report) => out.push(recovered_line(&report)),
                 Err(e) => out.push(error_line(&e.to_string())),
             },
+            Record::Rebalance { shards, vnodes } => {
+                match self.engine.rebalance(shards, vnodes) {
+                    Ok(report) => {
+                        // A durable rebalance is fenced by a fresh
+                        // checkpoint, so the auto-checkpoint clock restarts.
+                        if report.durable {
+                            self.since_checkpoint = 0;
+                        }
+                        out.push(rebalanced_line(&report));
+                    }
+                    Err(e) => out.push(error_line(&e.to_string())),
+                }
+            }
+            Record::Limits {
+                max_tenants,
+                rate,
+                burst,
+            } => {
+                let mut cfg = self.engine.limits();
+                if let Some(n) = max_tenants {
+                    cfg.max_tenants = n;
+                }
+                if let Some(r) = rate {
+                    cfg.rate = r;
+                }
+                if let Some(b) = burst {
+                    cfg.burst = b;
+                }
+                match self.engine.set_limits(cfg) {
+                    // Read back from the engine: the echoed burst is the
+                    // effective (rate-clamped) capacity, not the raw input.
+                    Ok(()) => {
+                        let effective = self.engine.limits();
+                        out.push(
+                            serde_json::to_string(&serde_json::json!({
+                                "op": "limits",
+                                "max_tenants": effective.max_tenants,
+                                "rate": effective.rate,
+                                "burst": effective.burst,
+                            }))
+                            .expect("serializable"),
+                        );
+                    }
+                    Err(e) => out.push(error_line(&e.to_string())),
+                }
+            }
             Record::WalStats => {
                 let gathered = self
                     .engine
@@ -754,6 +877,19 @@ fn stepped_line_at(outcome: &StepOutcome, line: usize) -> String {
         }))
         .expect("serializable"),
     }
+}
+
+fn rebalanced_line(report: &crate::RebalanceReport) -> String {
+    serde_json::to_string(&serde_json::json!({
+        "op": "rebalanced",
+        "shards": report.shards,
+        "vnodes": report.vnodes,
+        "tenants": report.tenants,
+        "moved": report.moved,
+        "seq": report.seq,
+        "durable": report.durable,
+    }))
+    .expect("serializable")
 }
 
 fn checkpointed_line(report: &crate::CheckpointReport) -> String {
@@ -980,6 +1116,114 @@ mod tests {
         assert!(out[0].contains("restored"), "{}", out[0]);
         let got: serde::Value = serde_json::from_str(out.last().unwrap()).unwrap();
         assert_eq!(got["report"]["committed"], 8);
+    }
+
+    #[test]
+    fn rebalance_op_repartitions_live_sessions() {
+        let mut session = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(1)));
+        let mut lines = vec![
+            "{\"op\":\"admit\",\"id\":\"a\",\"m\":8,\"beta\":2.0,\"policy\":\"lcp\"}".to_string(),
+            "{\"op\":\"admit\",\"id\":\"b\",\"m\":8,\"beta\":2.0,\"policy\":\"flcp:2,7\"}"
+                .to_string(),
+        ];
+        lines.extend(
+            [2.0, 5.5, 3.0]
+                .iter()
+                .flat_map(|&l| [step_load_line("a", l), step_load_line("b", l)]),
+        );
+        lines.push("{\"op\":\"rebalance\",\"shards\":3}".to_string());
+        lines.extend(
+            [1.0, 4.0]
+                .iter()
+                .flat_map(|&l| [step_load_line("a", l), step_load_line("b", l)]),
+        );
+        lines.push("{\"op\":\"report\"}".to_string());
+        let out = session.handle_lines(lines.iter().map(|s| s.as_str()));
+        let rebalanced: serde::Value = out
+            .iter()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .find(|v: &serde::Value| v["op"] == "rebalanced")
+            .expect("rebalanced response");
+        assert_eq!(rebalanced["shards"], 3);
+        assert_eq!(rebalanced["tenants"], 2);
+        assert_eq!(rebalanced["durable"], false);
+        assert_eq!(session.engine().shards(), 3);
+
+        // Reports match an unrebalanced session fed the same stream.
+        let mut reference = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(1)));
+        let plain: Vec<String> = lines
+            .iter()
+            .filter(|l| !l.contains("rebalance"))
+            .cloned()
+            .collect();
+        let want = reference.handle_lines(plain.iter().map(|s| s.as_str()));
+        let reports = |outs: &[String]| -> Vec<String> {
+            outs.iter()
+                .filter(|l| l.contains("\"op\":\"report\""))
+                .cloned()
+                .collect()
+        };
+        assert_eq!(reports(&out), reports(&want));
+
+        // Bad rebalance requests carry their line number.
+        let out = session.handle_lines(["{\"op\":\"rebalance\"}"]);
+        let v: serde::Value = serde_json::from_str(&out[0]).unwrap();
+        assert_eq!(v["op"], "error");
+        assert_eq!(v["line"], 1);
+        let out = session.handle_lines(["{\"op\":\"rebalance\",\"shards\":0}"]);
+        let v: serde::Value = serde_json::from_str(&out[0]).unwrap();
+        assert_eq!(v["op"], "error");
+    }
+
+    #[test]
+    fn limits_op_sets_and_reports_admission_config() {
+        let mut session = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(2)));
+        // Query before anything is set: everything unlimited.
+        let out = session.handle_lines(["{\"op\":\"limits\"}"]);
+        let v: serde::Value = serde_json::from_str(&out[0]).unwrap();
+        assert_eq!(v["op"], "limits");
+        assert_eq!(v["max_tenants"], 0);
+        assert_eq!(v["rate"], 0.0);
+        // Cap at one tenant and throttle to 1 event per tick after a
+        // burst of 2; the third step of the first batch and the second
+        // admit must fail with typed, line-numbered errors.
+        let lines = [
+            "{\"op\":\"limits\",\"max_tenants\":1,\"rate\":1.0,\"burst\":2.0}",
+            "{\"op\":\"admit\",\"id\":\"a\",\"m\":8,\"beta\":2.0,\"policy\":\"lcp\"}",
+            "{\"op\":\"admit\",\"id\":\"b\",\"m\":8,\"beta\":2.0,\"policy\":\"lcp\"}",
+            "{\"op\":\"step\",\"id\":\"a\",\"load\":2.0}",
+            "{\"op\":\"step\",\"id\":\"a\",\"load\":3.0}",
+            "{\"op\":\"step\",\"id\":\"a\",\"load\":4.0}",
+            "{\"op\":\"report\",\"id\":\"a\"}",
+        ];
+        let out = session.handle_lines(lines);
+        let parsed: Vec<serde::Value> = out
+            .iter()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed[0]["op"], "limits");
+        assert_eq!(parsed[0]["max_tenants"], 1);
+        assert_eq!(parsed[1]["op"], "admitted");
+        assert_eq!(parsed[2]["op"], "error");
+        assert_eq!(parsed[2]["line"], 3);
+        assert!(parsed[2]["message"].as_str().unwrap().contains("rejected"));
+        let throttled = parsed
+            .iter()
+            .find(|v| v["op"] == "error" && v["line"] == 6)
+            .expect("throttled step error");
+        assert!(throttled["message"].as_str().unwrap().contains("throttled"));
+        assert_eq!(parsed.last().unwrap()["report"]["events"], 2);
+        // A burst below the rate is clamped up, and the echo reports the
+        // capacity actually enforced, not the raw input.
+        let out = session.handle_lines(["{\"op\":\"limits\",\"rate\":4.0,\"burst\":1.0}"]);
+        let v: serde::Value = serde_json::from_str(&out[0]).unwrap();
+        assert_eq!(v["op"], "limits");
+        assert_eq!(v["burst"], 4.0);
+        // Invalid values are refused with a line number.
+        let out = session.handle_lines(["{\"op\":\"limits\",\"rate\":-2.0}"]);
+        let v: serde::Value = serde_json::from_str(&out[0]).unwrap();
+        assert_eq!(v["op"], "error");
+        assert_eq!(v["line"], 1);
     }
 
     #[test]

@@ -59,6 +59,14 @@ impl Default for FileStoreConfig {
 struct ShardWal {
     file: File,
     unsynced: u64,
+    /// Checkpoint epoch of the segment this writer appends to. Committing
+    /// a newer checkpoint evicts writers from older epochs: their files
+    /// are deleted by the log truncation, and a cached handle left behind
+    /// would make later appends for that shard write into an unlinked
+    /// inode (silently unrecoverable) — the shrink-then-regrow rebalance
+    /// pattern hits exactly this, since a shard index can go idle for an
+    /// epoch and come back.
+    seq: u64,
 }
 
 /// Checkpoint sequences and `(seq, shard)` WAL segment keys found in the
@@ -123,7 +131,11 @@ fn open_writer_append(dir: &Path, seq: u64, shard: usize) -> Result<ShardWal, St
         .create(true)
         .append(true)
         .open(dir.join(wal_name(seq, shard)))?;
-    Ok(ShardWal { file, unsynced: 0 })
+    Ok(ShardWal {
+        file,
+        unsynced: 0,
+        seq,
+    })
 }
 
 /// Start a brand-new segment at a rotation point. `create_new` enforces
@@ -134,7 +146,11 @@ fn open_writer_fresh(dir: &Path, seq: u64, shard: usize) -> Result<ShardWal, Sto
         .create_new(true)
         .append(true)
         .open(dir.join(wal_name(seq, shard)))?;
-    Ok(ShardWal { file, unsynced: 0 })
+    Ok(ShardWal {
+        file,
+        unsynced: 0,
+        seq,
+    })
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -334,6 +350,13 @@ impl Durability for FileStore {
             seqs.committed = seq;
             seqs.begun = seqs.begun.max(seq);
         }
+        // Evict writers whose segment the truncation below deletes. A
+        // shard that was not rotated into this epoch (its index is idle —
+        // e.g. the ring shrank past it) would otherwise keep a handle to
+        // an unlinked file and silently lose every record appended through
+        // it if the index ever comes back. Dropping the entry makes the
+        // next append lazily reopen in the committed epoch.
+        lock(&self.writers).retain(|_, w| lock(w).seq >= seq);
         self.remove_stale(seq)
     }
 

@@ -168,12 +168,19 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
+
+/// Maximum container nesting, mirroring upstream `serde_json`'s default
+/// recursion limit: a hostile `[[[[…` input must fail with an error, not
+/// overflow the parser's stack.
+const MAX_DEPTH: usize = 128;
 
 fn parse_value(s: &str) -> Result<Value> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let v = p.value()?;
     p.skip_ws();
@@ -229,14 +236,28 @@ impl<'a> Parser<'a> {
             b't' => self.literal("true", Value::Bool(true)),
             b'f' => self.literal("false", Value::Bool(false)),
             b'"' => self.string().map(Value::String),
-            b'[' => self.array(),
-            b'{' => self.object(),
+            b'[' => self.nested(Parser::array),
+            b'{' => self.nested(Parser::object),
             b'-' | b'0'..=b'9' => self.number(),
             other => Err(Error::new(format!(
                 "unexpected character {:?} at byte {}",
                 other as char, self.pos
             ))),
         }
+    }
+
+    /// Recurse into a container with the depth guard applied.
+    fn nested(&mut self, inner: fn(&mut Parser<'a>) -> Result<Value>) -> Result<Value> {
+        if self.depth >= MAX_DEPTH {
+            return Err(Error::new(format!(
+                "recursion limit exceeded at byte {}",
+                self.pos
+            )));
+        }
+        self.depth += 1;
+        let v = inner(self);
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<Value> {
@@ -516,5 +537,18 @@ mod tests {
         assert_eq!(back, s);
         let v: Value = from_str("\"\\ud83d\\ude00\"").unwrap();
         assert_eq!(v.as_str().unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Upstream serde_json fails at its recursion limit (128); a naive
+        // recursive parser would blow the stack on this input.
+        let deep = format!("{}{}", "[".repeat(10_000), "]".repeat(10_000));
+        assert!(from_str::<Value>(&deep).is_err());
+        let deep_obj = format!("{}1{}", "{\"k\":".repeat(10_000), "}".repeat(10_000));
+        assert!(from_str::<Value>(&deep_obj).is_err());
+        // Reasonable nesting still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str::<Value>(&ok).is_ok());
     }
 }

@@ -71,6 +71,16 @@ pub fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-8 * (1.0 + a.abs().max(b.abs()))
 }
 
+/// Case count for the heavy (`#[ignore]`d) proptest variants the nightly
+/// `--include-ignored` CI job runs: `RSDC_HEAVY_CASES` overrides the
+/// suite's default so depth can be scaled without recompiling.
+pub fn heavy_cases(default: u32) -> u32 {
+    std::env::var("RSDC_HEAVY_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

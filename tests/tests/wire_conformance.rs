@@ -1,0 +1,151 @@
+//! Wire-conformance suite: `docs/WIRE.md` is executable documentation.
+//!
+//! Every fenced code block in the doc whose info string is
+//! `jsonl conformance` (or `jsonl conformance-durable`) is a live session
+//! transcript: lines starting with `> ` are requests, every other
+//! non-empty line is the *exact* expected response, in order. This test
+//! feeds each block's requests to a fresh [`rsdc_engine::wire::Session`]
+//! and asserts JSON equivalence response by response — so the documented
+//! protocol can never drift from the implemented one. Plain `jsonl`
+//! blocks (no `conformance` tag) stay illustrative and are not executed.
+//!
+//! Determinism ground rules for conformance blocks, enforced here:
+//! * each block runs on a fresh single-shard session (durable blocks get
+//!   a fresh temp-dir `FileStore` with the default config), so sequence
+//!   numbers and recovery reports are reproducible;
+//! * the only environment-dependent field, the store's `dir` in
+//!   `wal_stats` responses, is normalized to `"<data-dir>"` on both
+//!   sides before comparison.
+
+use rsdc_engine::wire::Session;
+use rsdc_engine::EngineConfig;
+use rsdc_store::{Durability, FileStore, FileStoreConfig};
+use std::sync::Arc;
+
+/// One executable block: where it sits in the doc, whether it gets a
+/// durable store, and its interleaved request/response lines.
+struct Block {
+    doc_line: usize,
+    durable: bool,
+    requests: Vec<String>,
+    expected: Vec<String>,
+}
+
+/// Extract the conformance blocks from the markdown source.
+fn conformance_blocks(doc: &str) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut current: Option<Block> = None;
+    for (index, line) in doc.lines().enumerate() {
+        let trimmed = line.trim_end();
+        if let Some(block) = &mut current {
+            if trimmed == "```" {
+                blocks.push(current.take().expect("in block"));
+            } else if let Some(req) = trimmed.strip_prefix("> ") {
+                block.requests.push(req.to_string());
+            } else if !trimmed.is_empty() {
+                block.expected.push(trimmed.to_string());
+            }
+            continue;
+        }
+        let durable = trimmed == "```jsonl conformance-durable";
+        if durable || trimmed == "```jsonl conformance" {
+            current = Some(Block {
+                doc_line: index + 1,
+                durable,
+                requests: Vec::new(),
+                expected: Vec::new(),
+            });
+        }
+    }
+    assert!(current.is_none(), "unterminated fenced block in WIRE.md");
+    blocks
+}
+
+/// Normalize environment-dependent fields, then parse.
+fn canon(line: &str) -> serde::Value {
+    let mut v: serde::Value =
+        serde_json::from_str(line).unwrap_or_else(|e| panic!("bad JSON {line:?}: {e}"));
+    if let serde::Value::Object(entries) = &mut v {
+        if let Some(store) = entries.iter_mut().find(|(k, _)| k == "store") {
+            if let serde::Value::Object(fields) = &mut store.1 {
+                for (k, val) in fields.iter_mut() {
+                    if k == "dir" {
+                        *val = serde::Value::String("<data-dir>".to_string());
+                    }
+                }
+            }
+        }
+    }
+    v
+}
+
+fn fresh_dir(tag: usize) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rsdc-wire-conformance")
+        .join(format!("{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_wire_md_example_matches_a_live_session() {
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../docs/WIRE.md");
+    let doc = std::fs::read_to_string(doc_path).expect("read docs/WIRE.md");
+    let blocks = conformance_blocks(&doc);
+    assert!(
+        blocks.len() >= 10,
+        "WIRE.md must keep its per-op conformance coverage, found {}",
+        blocks.len()
+    );
+    let executed: usize = blocks.iter().map(|b| b.requests.len()).sum();
+    assert!(executed >= 40, "suspiciously few requests: {executed}");
+
+    for (tag, block) in blocks.iter().enumerate() {
+        let dir = fresh_dir(tag);
+        let mut session = if block.durable {
+            let store: Arc<dyn Durability> =
+                Arc::new(FileStore::open(&dir, FileStoreConfig::default()).expect("open store"));
+            Session::open_durable_cfg(EngineConfig::with_shards(1), store)
+                .expect("fresh durable session")
+                .0
+        } else {
+            Session::new(rsdc_engine::Engine::new(EngineConfig::with_shards(1)))
+        };
+        let out = session.handle_lines(block.requests.iter().map(|s| s.as_str()));
+        let context = || {
+            format!(
+                "block at docs/WIRE.md:{} —\nrequests:\n{}\nactual responses:\n{}",
+                block.doc_line,
+                block.requests.join("\n"),
+                out.join("\n"),
+            )
+        };
+        assert_eq!(
+            out.len(),
+            block.expected.len(),
+            "response count mismatch; {}",
+            context()
+        );
+        for (i, (got, want)) in out.iter().zip(&block.expected).enumerate() {
+            assert!(
+                canon(got) == canon(want),
+                "response {i} differs;\n want: {want}\n  got: {got}\n{}",
+                context()
+            );
+        }
+        drop(session);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The doc's informal claim that blank lines and comments count toward
+/// line numbering is part of the protocol; pin it here, next to the
+/// parser that the conformance blocks exercise.
+#[test]
+fn line_numbering_counts_blanks_and_comments() {
+    let mut session = Session::new(rsdc_engine::Engine::new(EngineConfig::with_shards(1)));
+    let out = session.handle_lines(["", "# comment", "nope"]);
+    let v: serde::Value = serde_json::from_str(&out[0]).unwrap();
+    assert_eq!(v["op"], "error");
+    assert_eq!(v["line"], 3);
+}

@@ -1,0 +1,225 @@
+//! Wire-parser robustness: fuzz-style proptests feeding truncated,
+//! byte-flipped, spliced and otherwise mutated JSONL lines into a live
+//! `wire::Session`, asserting the protocol's failure contract:
+//!
+//! * the session **never panics** and never stops serving;
+//! * every response is valid JSON with a string `op`;
+//! * every failure is a typed `error` response carrying the correct
+//!   **1-based line number** of the offending input line (blank lines and
+//!   comments included in the count);
+//! * the session stays fully usable after arbitrary garbage.
+//!
+//! The heavy `#[ignore]`d variant runs the same properties at raised case
+//! counts for the nightly `--include-ignored` CI job.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsdc_engine::wire::{parse_record, Session};
+use rsdc_engine::{Engine, EngineConfig};
+use rsdc_tests::heavy_cases;
+
+/// A corpus of valid request lines covering every op (ASCII only, so
+/// byte-indexed mutations never split a UTF-8 sequence).
+fn base_lines() -> Vec<&'static str> {
+    vec![
+        r#"{"op":"admit","id":"web","m":8,"beta":6.0,"policy":"lcp","track_opt":true}"#,
+        r#"{"op":"admit","id":"api","m":8,"beta":6.0,"policy":{"FlcpRounded":{"k":4,"seed":7}}}"#,
+        r#"{"op":"admit","id":"h1","policy":"hetero:frontier","fleet":{"types":[{"count":3,"beta":1.0,"energy":1.0,"capacity":1.0},{"count":2,"beta":2.5,"energy":1.4,"capacity":2.0}]}}"#,
+        r#"{"op":"step","id":"web","load":3.2}"#,
+        r#"{"op":"step","id":"api","cost":{"Abs":{"slope":1.0,"center":3.0}}}"#,
+        r#"{"op":"step","id":"h1","load":2.5}"#,
+        r#"{"op":"finish","id":"web"}"#,
+        r#"{"op":"snapshot","id":"api"}"#,
+        r#"{"op":"report","id":"web"}"#,
+        r#"{"op":"report"}"#,
+        r#"{"op":"stats"}"#,
+        r#"{"op":"rebalance","shards":2,"vnodes":16}"#,
+        r#"{"op":"limits","max_tenants":10,"rate":5.0,"burst":20.0}"#,
+        r#"{"op":"checkpoint"}"#,
+        r#"{"op":"wal_stats"}"#,
+    ]
+}
+
+/// Apply one mutation. `kind` selects truncate / byte-flip / insert /
+/// splice-delete / duplicate-chunk; `at` and `byte` parameterize it.
+/// Lossy UTF-8 repair keeps the result feedable as `&str` (the session
+/// reads text lines; invalid UTF-8 cannot reach it by construction).
+fn mutate(line: &str, kind: u8, at: usize, byte: u8) -> String {
+    let mut b = line.as_bytes().to_vec();
+    if b.is_empty() {
+        return String::new();
+    }
+    let at = at % b.len();
+    match kind % 5 {
+        0 => b.truncate(at),
+        1 => b[at] ^= byte | 1,
+        2 => b.insert(at, byte),
+        3 => {
+            let end = (at + 1 + (byte as usize % 5)).min(b.len());
+            b.drain(at..end);
+        }
+        _ => {
+            let chunk: Vec<u8> = b[at..(at + 8).min(b.len())].to_vec();
+            b.extend(chunk);
+        }
+    }
+    String::from_utf8_lossy(&b).into_owned()
+}
+
+/// Feed `lines` to a fresh session and enforce the failure contract.
+/// Returns the number of error responses.
+fn check_contract(lines: &[String]) -> usize {
+    let mut session = Session::new(Engine::new(EngineConfig::with_shards(1)));
+    let out = session.handle_lines(lines.iter().map(|s| s.as_str()));
+    let mut errors = 0;
+    for response in &out {
+        let v: serde::Value = serde_json::from_str(response)
+            .unwrap_or_else(|e| panic!("response is not JSON ({e}): {response}"));
+        let op = v["op"].as_str().unwrap_or_else(|| {
+            panic!("response lacks a string op: {response}");
+        });
+        if op == "error" {
+            errors += 1;
+            let line = v["line"]
+                .as_u64()
+                .unwrap_or_else(|| panic!("error without a line number: {response}"));
+            assert!(
+                line >= 1 && line <= lines.len() as u64,
+                "error line {line} outside 1..={}: {response}",
+                lines.len()
+            );
+            assert!(
+                !v["message"].as_str().unwrap_or("").is_empty(),
+                "error without a message: {response}"
+            );
+        }
+    }
+    // The session survived: it still serves a well-formed report.
+    let after = session.handle_lines([r#"{"op":"report"}"#, r#"{"op":"stats"}"#]);
+    for response in &after {
+        let v: serde::Value = serde_json::from_str(response).expect("post-garbage response");
+        assert!(v["op"].as_str().is_some());
+    }
+    errors
+}
+
+/// Build the fuzz input: a valid prelude (so some tenants exist), then
+/// the mutated picks interleaved with untouched lines.
+fn fuzz_lines(picks: &[(usize, u8, usize, u8)]) -> Vec<String> {
+    let base = base_lines();
+    let mut lines: Vec<String> = vec![
+        base[0].to_string(), // admit web
+        base[2].to_string(), // admit h1
+    ];
+    for &(index, kind, at, byte) in picks {
+        let template = base[index % base.len()];
+        // kind 5..=7 feeds the template untouched, mixing valid traffic in.
+        if kind >= 5 {
+            lines.push(template.to_string());
+        } else {
+            lines.push(mutate(template, kind, at, byte));
+        }
+    }
+    lines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary mutated JSONL streams: typed line-numbered errors, no
+    /// panics, session stays alive.
+    #[test]
+    fn mutated_jsonl_streams_fail_typed_and_numbered(
+        picks in vec((0usize..64, 0u8..8, 0usize..512, 0u8..=255u8), 1..24),
+    ) {
+        check_contract(&fuzz_lines(&picks));
+    }
+
+    /// A single garbage line after `pad` blank/comment lines produces an
+    /// error naming exactly line `pad + 1` — the numbering includes the
+    /// skipped lines.
+    #[test]
+    fn error_line_numbers_point_at_the_offending_line(
+        pad in 0usize..40,
+        kind in 0u8..5,
+        at in 0usize..512,
+        byte in 0u8..=255u8,
+        index in 0usize..64,
+    ) {
+        let template = base_lines()[index % base_lines().len()];
+        let garbage = mutate(template, kind, at, byte);
+        // Only assert when the mutation actually broke the line.
+        let broken = parse_record(&garbage).is_err()
+            && !garbage.trim().is_empty()
+            && !garbage.trim_start().starts_with('#');
+        if broken {
+            let mut lines: Vec<String> = (0..pad)
+                .map(|i| if i % 2 == 0 { String::new() } else { "# padding".to_string() })
+                .collect();
+            lines.push(garbage.clone());
+            let mut session = Session::new(Engine::new(EngineConfig::with_shards(1)));
+            let out = session.handle_lines(lines.iter().map(|s| s.as_str()));
+            prop_assert!(!out.is_empty(), "a broken line must produce a response");
+            let v: serde::Value = serde_json::from_str(&out[0]).unwrap();
+            prop_assert_eq!(v["op"].as_str().unwrap(), "error");
+            prop_assert_eq!(v["line"].as_u64().unwrap(), pad as u64 + 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(heavy_cases(2048)))]
+
+    /// Nightly-depth fuzzing (`--include-ignored`).
+    #[test]
+    #[ignore = "heavy: run via the nightly --include-ignored CI job"]
+    fn mutated_jsonl_streams_fail_typed_and_numbered_heavy(
+        picks in vec((0usize..64, 0u8..8, 0usize..512, 0u8..=255u8), 1..24),
+    ) {
+        check_contract(&fuzz_lines(&picks));
+    }
+}
+
+/// Exhaustive prefix sweep: every truncation of every valid request line
+/// parses to `Ok` or a typed error — never a panic. (ASCII corpus, so
+/// every byte index is a char boundary.)
+#[test]
+fn every_prefix_of_every_op_parses_or_errors() {
+    for line in base_lines() {
+        for cut in 0..=line.len() {
+            let _ = parse_record(&line[..cut]);
+        }
+    }
+}
+
+/// Deep nesting, absurd numbers, NaN-ish spellings, and null injections
+/// are rejected as errors, not panics or silent acceptance.
+#[test]
+fn hostile_corner_case_lines_are_rejected() {
+    let hostile: Vec<String> = [
+        &format!("{}{}", "[".repeat(4000), "]".repeat(4000)),
+        r#"{"op":"step","id":"web","load":1e999}"#,
+        r#"{"op":"step","id":"web","load":-1.0}"#,
+        r#"{"op":"step","id":"web","load":null}"#,
+        r#"{"op":"admit","id":"web","m":99999999999999999999,"beta":1.0,"policy":"lcp"}"#,
+        r#"{"op":"admit","id":"web","m":-4,"beta":1.0,"policy":"lcp"}"#,
+        r#"{"op":"rebalance","shards":-1}"#,
+        r#"{"op":"rebalance","shards":1.5}"#,
+        r#"{"op":"limits","rate":"fast"}"#,
+        r#"{"op":null}"#,
+        r#"{"op":{"nested":"object"}}"#,
+        "{\"op\":\"step\",\"id\":\"\\u0000\",\"load\":1.0}",
+        r#"{"op":"admit","id":"h","policy":"hetero:frontier","fleet":{"types":[{"count":99,"beta":1.0,"energy":1.0,"capacity":1.0},{"count":99,"beta":1.0,"energy":1.0,"capacity":1.0}]}}"#,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut session = Session::new(Engine::new(EngineConfig::with_shards(1)));
+    let out = session.handle_lines(hostile.iter().map(|s| s.as_str()));
+    assert_eq!(out.len(), hostile.len(), "every hostile line answers");
+    for (i, response) in out.iter().enumerate() {
+        let v: serde::Value = serde_json::from_str(response).unwrap();
+        assert_eq!(v["op"], "error", "line {}: {response}", i + 1);
+        assert_eq!(v["line"].as_u64().unwrap(), i as u64 + 1);
+    }
+}
