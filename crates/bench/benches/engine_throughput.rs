@@ -263,10 +263,70 @@ fn bench_rebalance(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Incremental vs full migration on the same topology swing: each sample
+/// re-partitions a 1k-tenant fleet between 4 and 8 shards, and throughput
+/// reads as tenants/s **moved** (the ring diff, `~1/2` of the fleet on a
+/// 4↔8 swing — both paths move the same set, so the number isolates the
+/// mechanism). The full path additionally re-installs every unmoved
+/// tenant onto fresh workers and restarts all threads; the incremental
+/// path touches only the diff, which is the entire point of the
+/// `mode:"incremental"` rebalance and the autoscale policy built on it.
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/incremental_vs_full_rebalance");
+    // Moved set on a 4↔8 vnode-default swing (measured once below so the
+    // throughput denominator is honest).
+    for mode in ["full", "incremental"] {
+        let mut engine = Engine::new(EngineConfig::with_shards(4));
+        for i in 0..REBALANCE_TENANTS {
+            engine
+                .admit(TenantConfig::new(format!("t{i}"), M, BETA, PolicySpec::Lcp))
+                .expect("admit");
+        }
+        for t in 0..4usize {
+            let batch = (0..REBALANCE_TENANTS)
+                .map(|i| {
+                    let center = ((t * 5 + i) % (M as usize + 1)) as f64;
+                    (format!("t{i}"), Cost::abs(1.0, center))
+                })
+                .collect();
+            engine.step_batch(batch).expect("step");
+        }
+        // The 4→8 diff size is deterministic for a fixed ring.
+        let moved = {
+            use rsdc_engine::ring::{moved_ids, HashRing};
+            use rsdc_engine::RingSpec;
+            let ids: Vec<String> = (0..REBALANCE_TENANTS).map(|i| format!("t{i}")).collect();
+            moved_ids(
+                &HashRing::new(RingSpec::new(4, 64)),
+                &HashRing::new(RingSpec::new(8, 64)),
+                ids.iter().map(|s| s.as_str()),
+            )
+            .len()
+        };
+        group.throughput(Throughput::Elements(moved as u64));
+        let mut flip = false;
+        group.bench_with_input(BenchmarkId::new("mode", mode), &mode, |b, _| {
+            b.iter(|| {
+                flip = !flip;
+                let to = if flip { 8 } else { 4 };
+                let report = match mode {
+                    "incremental" => engine.rebalance_incremental(to, None),
+                    _ => engine.rebalance(to, None),
+                }
+                .expect("rebalance");
+                assert_eq!(report.moved, moved);
+                report.moved
+            })
+        });
+        engine.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_engine_throughput, bench_hetero_throughput, bench_store_overhead,
-        bench_rebalance
+        bench_rebalance, bench_incremental_vs_full
 );
 criterion_main!(benches);

@@ -77,7 +77,12 @@ COMMANDS
              [--max-tenants N] (admission cap, 0 = unlimited)
              [--rate-limit R[:BURST]] (per-tenant token bucket, events
              per batch tick; throttled events get typed error lines)
+             [--auto-rebalance LO:HI[:BETA]] (lazy auto-rebalancing: the
+             shard count follows the LCP policy between LO and HI, moving
+             only when accumulated imbalance cost beats the switching
+             cost BETA; changes are incremental migrations)
              live rebalance: send {\"op\":\"rebalance\",\"shards\":N}
+             (add \"mode\":\"incremental\" to move only the ring diff)
              durability: [--data-dir DIR] [--checkpoint-every N]
              [--fsync-every N]  (a non-empty DIR is recovered: checkpoint +
              WAL replay rebuild the pre-crash engine, then the run resumes)
@@ -384,6 +389,36 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
             .map_err(|e| CmdError::Other(e.to_string()))?;
     }
 
+    // Lazy auto-rebalancing: like limits, policy knobs are process state
+    // stated per invocation. `lo:hi` bounds the shard count; the optional
+    // `beta` is the induced switching cost per shard powered up.
+    if let Some(spec) = args.get_str("auto-rebalance") {
+        let parse = |what: &str, s: &str| -> Result<usize, CmdError> {
+            s.parse()
+                .map_err(|e| CmdError::Other(format!("bad --auto-rebalance {what} {s:?}: {e}")))
+        };
+        let parts: Vec<&str> = spec.split(':').collect();
+        let mut cfg = match parts.as_slice() {
+            [lo, hi] | [lo, hi, _] => {
+                rsdc_engine::TopologyConfig::new(parse("lo", lo)?, parse("hi", hi)?)
+            }
+            _ => {
+                return Err(CmdError::Other(format!(
+                    "bad --auto-rebalance {spec:?}: expected lo:hi[:beta]"
+                )))
+            }
+        };
+        if let [_, _, beta] = parts.as_slice() {
+            cfg.switch_cost = beta
+                .parse()
+                .map_err(|e| CmdError::Other(format!("bad --auto-rebalance beta {beta:?}: {e}")))?;
+        }
+        session
+            .engine()
+            .set_autoscale(Some(cfg))
+            .map_err(|e| CmdError::Other(e.to_string()))?;
+    }
+
     let body_lines = if let Some(path) = args.get_str("events") {
         let data = std::fs::read_to_string(path)?;
         session.handle_lines(data.lines())
@@ -442,19 +477,27 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
             cfg.track_opt = true;
             lines.push(wire::admit_line(&cfg));
         }
+        let mut out = session.handle_lines(lines.iter().map(|s| s.as_str()));
         // Slot-major order: every tenant sees slot t before any sees t+1,
-        // exercising cross-tenant batching on each slot.
+        // and each slot is fed as its **own** session call so one slot is
+        // exactly one engine batch — which makes the control plane's
+        // logical clock (rate limits, the auto-rebalance policy) read in
+        // slots, as documented. Line numbers in any per-event error are
+        // slot-relative; fleet mode synthesizes its own lines, so they
+        // locate the tenant within the slot.
         for &load in &trace.loads {
-            for i in 0..tenants {
-                lines.push(wire::step_load_line(&format!("tenant-{i}"), load));
-            }
+            let slot: Vec<String> = (0..tenants)
+                .map(|i| wire::step_load_line(&format!("tenant-{i}"), load))
+                .collect();
+            out.extend(session.handle_lines(slot.iter().map(|s| s.as_str())));
         }
-        for i in 0..tenants {
-            lines.push(format!("{{\"op\":\"finish\",\"id\":\"tenant-{i}\"}}"));
-        }
-        lines.push("{\"op\":\"report\"}".to_string());
-        lines.push("{\"op\":\"stats\"}".to_string());
-        session.handle_lines(lines.iter().map(|s| s.as_str()))
+        let mut tail: Vec<String> = (0..tenants)
+            .map(|i| format!("{{\"op\":\"finish\",\"id\":\"tenant-{i}\"}}"))
+            .collect();
+        tail.push("{\"op\":\"report\"}".to_string());
+        tail.push("{\"op\":\"stats\"}".to_string());
+        out.extend(session.handle_lines(tail.iter().map(|s| s.as_str())));
+        out
     };
     responses.extend(body_lines);
 
@@ -823,6 +866,58 @@ mod tests {
         assert_eq!(report["report"]["events"], 2);
         // A malformed rate limit is a usage error.
         assert!(dispatch(&args(&["engine", "--events", &p, "--rate-limit", "fast",])).is_err());
+    }
+
+    #[test]
+    fn engine_auto_rebalance_flag_scales_the_fleet() {
+        let p = tmp("autoreb.json");
+        dispatch(&args(&[
+            "generate", "--kind", "diurnal", "--slots", "40", "--seed", "11", "--out", &p,
+        ]))
+        .unwrap();
+        // 24 tenants in fleet mode = 24 events per slot tick: under
+        // f(s) = 24/s + s with beta 4, the LCP plan leaves 1 shard fast.
+        let out = dispatch(&args(&[
+            "engine",
+            "--trace",
+            &p,
+            "--tenants",
+            "24",
+            "--shards",
+            "1",
+            "--auto-rebalance",
+            "1:4:4",
+        ]))
+        .unwrap();
+        let parsed: Vec<serde_json::Value> = out
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        let auto = parsed
+            .iter()
+            .find(|v| v["op"] == "rebalanced")
+            .expect("an auto-triggered migration");
+        assert_eq!(auto["auto"], true);
+        assert_eq!(auto["mode"], "incremental");
+        assert!(auto["shards"].as_u64().unwrap() > 1);
+        // The autoscale state is visible in the closing stats line.
+        let stats = parsed.iter().find(|v| v["op"] == "stats").unwrap();
+        assert_eq!(stats["autoscale"]["min"], 1);
+        assert_eq!(stats["autoscale"]["max"], 4);
+        assert!(stats["autoscale"]["migrations"].as_u64().unwrap() >= 1);
+        assert!(stats["skew"]["tenants"].as_f64().unwrap() >= 1.0);
+        // All 24 tenants still report.
+        let reports = parsed.iter().filter(|v| v["op"] == "report").count();
+        assert_eq!(reports, 24);
+        // Malformed specs are usage errors.
+        for bad in ["2", "a:b", "1:2:fast", "1:2:3:4"] {
+            assert!(
+                dispatch(&args(&["engine", "--trace", &p, "--auto-rebalance", bad])).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+        // An inverted range is refused by policy validation.
+        assert!(dispatch(&args(&["engine", "--trace", &p, "--auto-rebalance", "4:1"])).is_err());
     }
 
     #[test]

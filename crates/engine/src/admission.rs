@@ -87,6 +87,13 @@ pub enum AdmissionError {
         /// Tenant whose event was dropped.
         id: String,
     },
+    /// A new tenant was deferred because a topology migration window is
+    /// open (admitting mid-migration would shift the fleet under the
+    /// topology the policy just settled; retry after the window).
+    Migrating {
+        /// Tenant whose admit was deferred.
+        id: String,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -99,6 +106,10 @@ impl std::fmt::Display for AdmissionError {
             AdmissionError::Throttled { id } => {
                 write!(f, "tenant {id:?} throttled: per-tenant rate limit exceeded")
             }
+            AdmissionError::Migrating { id } => write!(
+                f,
+                "tenant {id:?} deferred: topology migration window is open"
+            ),
         }
     }
 }
@@ -123,6 +134,11 @@ pub struct AdmissionControl {
     cfg: AdmissionConfig,
     tick: u64,
     buckets: HashMap<String, TokenBucket>,
+    /// Tick (exclusive) until which a topology-migration window is open:
+    /// new admits are deferred and rate-limited buckets refill at half
+    /// rate, so the topology settles before the fleet shifts under it
+    /// again. Deferred admits age the window too (see `check_admit`).
+    migration_until: u64,
 }
 
 impl AdmissionControl {
@@ -155,9 +171,45 @@ impl AdmissionControl {
         }
     }
 
+    /// Open (or extend) the migration window for the next `ticks` ticks.
+    /// Called by the engine when an auto-triggered incremental migration
+    /// lands. `0` closes nothing and opens nothing.
+    ///
+    /// Every bucket is settled (refilled at the full rate) up to the
+    /// opening tick first, so idle spans that *straddle* the boundary are
+    /// not retroactively halved — pre-window ticks fund at the full rate,
+    /// only in-window ticks at half (`check_step` splits the other
+    /// boundary symmetrically).
+    pub fn begin_migration_window(&mut self, ticks: u64) {
+        if self.cfg.limits_rate() {
+            let (rate, burst, now) = (self.cfg.rate, self.cfg.effective_burst(), self.tick);
+            for bucket in self.buckets.values_mut() {
+                let elapsed = now.saturating_sub(bucket.as_of_tick);
+                bucket.tokens = (bucket.tokens + elapsed as f64 * rate).min(burst);
+                bucket.as_of_tick = now;
+            }
+        }
+        self.migration_until = self.migration_until.max(self.tick.saturating_add(ticks));
+    }
+
+    /// Is a topology-migration window currently open?
+    pub fn in_migration_window(&self) -> bool {
+        self.tick < self.migration_until
+    }
+
     /// Would admitting one more tenant (current live count `tenants`)
-    /// exceed the cap?
-    pub fn check_admit(&self, id: &str, tenants: usize) -> Result<(), AdmissionError> {
+    /// exceed the cap — or land inside an open migration window?
+    ///
+    /// A deferred admit also **ages the window by one tick-equivalent**:
+    /// the window is measured on the batch clock, so without this a
+    /// client that paused its step stream (and therefore stopped the
+    /// clock) could be told to retry forever. Either traffic or retries
+    /// close the window after at most `cooldown` steps.
+    pub fn check_admit(&mut self, id: &str, tenants: usize) -> Result<(), AdmissionError> {
+        if self.in_migration_window() {
+            self.migration_until -= 1;
+            return Err(AdmissionError::Migrating { id: id.to_string() });
+        }
         if self.cfg.max_tenants > 0 && tenants >= self.cfg.max_tenants {
             return Err(AdmissionError::Rejected {
                 id: id.to_string(),
@@ -175,7 +227,13 @@ impl AdmissionControl {
     /// are reclaimed instead of accumulating forever.
     pub fn tick(&mut self) {
         self.tick += 1;
-        if self.tick.is_multiple_of(PRUNE_EVERY) && !self.buckets.is_empty() {
+        // The sweep estimates refill at the full rate, which overshoots
+        // inside a migration window (half-rate refill) — and a pruned
+        // bucket resurrects full. Windows are short; skip the sweep.
+        if self.tick.is_multiple_of(PRUNE_EVERY)
+            && !self.buckets.is_empty()
+            && !self.in_migration_window()
+        {
             let rate = self.cfg.rate;
             let burst = self.cfg.effective_burst();
             let now = self.tick;
@@ -184,7 +242,13 @@ impl AdmissionControl {
         }
     }
 
-    /// Spend one token from `id`'s bucket, refilling it first.
+    /// Spend one token from `id`'s bucket, refilling it first. Inside a
+    /// migration window buckets refill at **half** the configured rate —
+    /// rate-limited tenants are throttled to half their sustained rate
+    /// while a just-applied topology change settles, but never starved
+    /// outright (a full bucket still serves its burst; unlimited tenants
+    /// are unaffected: the window defers admits, not traffic, when no
+    /// rate limit is configured).
     pub fn check_step(&mut self, id: &str) -> Result<(), AdmissionError> {
         if !self.cfg.limits_rate() {
             return Ok(());
@@ -195,7 +259,18 @@ impl AdmissionControl {
             as_of_tick: self.tick,
         });
         let elapsed = self.tick.saturating_sub(bucket.as_of_tick);
-        bucket.tokens = (bucket.tokens + elapsed as f64 * self.cfg.rate).min(burst);
+        // Split the elapsed span at the window's closing boundary: ticks
+        // inside the window refill at half rate, ticks after it at full.
+        // `begin_migration_window` settled all buckets at the opening
+        // boundary, so `as_of_tick` never predates an open window and the
+        // split below is exact.
+        let halved = self
+            .migration_until
+            .saturating_sub(bucket.as_of_tick)
+            .min(elapsed);
+        let refill =
+            halved as f64 * self.cfg.rate * 0.5 + (elapsed - halved) as f64 * self.cfg.rate;
+        bucket.tokens = (bucket.tokens + refill).min(burst);
         bucket.as_of_tick = self.tick;
         if bucket.tokens >= 1.0 {
             bucket.tokens -= 1.0;
@@ -227,7 +302,7 @@ mod tests {
 
     #[test]
     fn tenant_cap_rejects_at_the_limit() {
-        let gate = AdmissionControl::new(AdmissionConfig {
+        let mut gate = AdmissionControl::new(AdmissionConfig {
             max_tenants: 2,
             ..AdmissionConfig::default()
         });
@@ -337,6 +412,118 @@ mod tests {
             gate.tick();
         }
         assert!(gate.buckets.contains_key("busy"));
+    }
+
+    #[test]
+    fn migration_window_defers_admits_and_halves_refill() {
+        let mut gate = AdmissionControl::new(AdmissionConfig {
+            max_tenants: 0,
+            rate: 2.0,
+            burst: 2.0,
+        });
+        assert!(!gate.in_migration_window());
+        gate.begin_migration_window(4);
+        assert!(gate.in_migration_window());
+        // Admits are deferred even with no tenant cap configured.
+        let err = gate.check_admit("new", 0).unwrap_err();
+        assert_eq!(err, AdmissionError::Migrating { id: "new".into() });
+        assert!(err.to_string().contains("migration window"));
+        // The burst still serves — the window throttles, never starves.
+        gate.check_step("a").unwrap();
+        gate.check_step("a").unwrap();
+        assert!(gate.check_step("a").is_err());
+        // Inside the window one tick refills at half rate: 1 token, not 2.
+        gate.tick();
+        assert!(gate.in_migration_window());
+        gate.check_step("a").unwrap();
+        assert!(gate.check_step("a").is_err(), "half refill serves one");
+        // Past the window, refill and admits return to normal.
+        gate.tick();
+        gate.tick();
+        gate.tick();
+        assert!(!gate.in_migration_window());
+        gate.check_admit("new", 0).unwrap();
+        gate.check_step("a").unwrap();
+        gate.check_step("a").unwrap();
+        // A zero-length window never opens.
+        let mut idle = AdmissionControl::default();
+        idle.begin_migration_window(0);
+        assert!(!idle.in_migration_window());
+    }
+
+    #[test]
+    fn window_refill_splits_at_the_opening_boundary() {
+        let mut gate = AdmissionControl::new(AdmissionConfig {
+            max_tenants: 0,
+            rate: 2.0,
+            burst: 4.0,
+        });
+        // Drain the bucket at tick 0, idle one full-rate tick, then open
+        // the window and idle one half-rate tick: the straddling span
+        // must fund 2 + 1 = 3 tokens, not 2 (retroactive halving) or 4.
+        for _ in 0..4 {
+            gate.check_step("a").unwrap();
+        }
+        assert!(gate.check_step("a").is_err());
+        gate.tick();
+        gate.begin_migration_window(8);
+        gate.tick();
+        for _ in 0..3 {
+            gate.check_step("a").unwrap();
+        }
+        assert!(
+            gate.check_step("a").is_err(),
+            "pre-window ticks fund at full rate, in-window ticks at half"
+        );
+    }
+
+    #[test]
+    fn window_refill_splits_at_the_closing_boundary() {
+        let mut gate = AdmissionControl::new(AdmissionConfig {
+            max_tenants: 0,
+            rate: 2.0,
+            burst: 10.0,
+        });
+        // Drain at tick 0 with a 2-tick window open; spend again at tick
+        // 4: the span covers 2 in-window ticks (half rate, 1 each) and 2
+        // post-window ticks (full rate, 2 each) = 6 tokens — not 8 (the
+        // whole span retroactively at full rate once the window closed).
+        gate.begin_migration_window(2);
+        for _ in 0..10 {
+            gate.check_step("a").unwrap();
+        }
+        assert!(gate.check_step("a").is_err());
+        for _ in 0..4 {
+            gate.tick();
+        }
+        assert!(!gate.in_migration_window());
+        for _ in 0..6 {
+            gate.check_step("a").unwrap();
+        }
+        assert!(gate.check_step("a").is_err(), "in-window ticks stay halved");
+    }
+
+    #[test]
+    fn deferred_admits_age_the_window_shut() {
+        // The window is measured on the batch clock; a client that pauses
+        // its step stream must still be able to retry its way in.
+        let mut gate = AdmissionControl::default();
+        gate.begin_migration_window(3);
+        for _ in 0..3 {
+            assert!(gate.check_admit("new", 0).is_err());
+        }
+        gate.check_admit("new", 0)
+            .expect("refusals age the window shut without any ticks");
+    }
+
+    #[test]
+    fn migration_window_without_rate_limits_leaves_steps_alone() {
+        let mut gate = AdmissionControl::default();
+        gate.begin_migration_window(5);
+        for _ in 0..100 {
+            gate.check_step("a").unwrap();
+        }
+        assert!(gate.check_admit("b", 0).is_err());
     }
 
     #[test]

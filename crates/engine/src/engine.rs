@@ -1,12 +1,13 @@
 //! The engine handle: tenant routing, batched dispatch, lifecycle,
-//! admission control, checkpointing, crash recovery, and live ring
-//! rebalancing.
+//! admission control, checkpointing, crash recovery, live ring
+//! rebalancing (full and incremental), and lazy auto-rebalancing.
 
 use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionError};
 use crate::journal::{CheckpointDoc, JournalRecord};
-use crate::ring::{HashRing, RingSpec, DEFAULT_VNODES};
+use crate::ring::{moved_ids, HashRing, RingSpec, DEFAULT_VNODES};
 use crate::shard::{Event, Request, Shard, ShardMeta, ShardStats, StepOutcome};
 use crate::tenant::{TenantConfig, TenantReport, TenantSnapshot};
+use crate::topology::{TopologyConfig, TopologyPolicy, TopologyStatus};
 use crate::EngineError;
 use rsdc_core::Cost;
 use rsdc_store::{Durability, NullStore};
@@ -77,6 +78,7 @@ pub struct Engine {
     store: Arc<dyn Durability>,
     attached: AtomicBool,
     admission: Mutex<AdmissionControl>,
+    topology: Mutex<Option<TopologyPolicy>>,
 }
 
 /// What [`Engine::checkpoint`] produced.
@@ -90,19 +92,28 @@ pub struct CheckpointReport {
     pub durable: bool,
 }
 
-/// What [`Engine::rebalance`] did.
+/// What [`Engine::rebalance`] / [`Engine::rebalance_incremental`] did.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RebalanceReport {
     /// Shard count after the rebalance.
     pub shards: usize,
     /// Virtual nodes per shard after the rebalance.
     pub vnodes: usize,
-    /// Live tenants migrated onto the new workers (all of them — every
-    /// tenant restarts on a fresh worker thread).
+    /// Live tenants the operation re-installed onto workers: the whole
+    /// fleet for a full rebalance (every tenant restarts on a fresh
+    /// worker thread), only the ring diff for an incremental one.
     pub tenants: usize,
     /// Tenants whose ring placement changed (the consistent-hashing
-    /// minority; the rest landed back on a same-index shard).
+    /// minority; the rest stayed on a same-index shard).
     pub moved: usize,
+    /// The moved tenants themselves, sorted by id. Populated only by the
+    /// incremental path, where "exactly the ring diff moved" is the
+    /// contract the migration tests hold it to; the full path reports an
+    /// empty list (everything was re-installed anyway).
+    pub moved_ids: Vec<String>,
+    /// True for an incremental (diff-only) migration, false for a full
+    /// drain-everything rebalance.
+    pub incremental: bool,
     /// Sequence of the fencing checkpoint (0 on a non-durable engine).
     pub seq: u64,
     /// Whether the topology change was fenced by a durable checkpoint.
@@ -136,9 +147,14 @@ pub struct RecoveryReport {
     /// Newer-but-invalid checkpoint files skipped by the store scan.
     pub checkpoints_skipped: usize,
     /// Interrupted `Rebalance` records found in the WAL tail. The last
-    /// one's topology is applied after replay, completing the migration
-    /// the crash cut short.
+    /// topology record's spec (`Rebalance` or `Migrate`, whichever came
+    /// later) is applied after replay, completing the change the crash
+    /// cut short.
     pub rebalances_replayed: usize,
+    /// Interrupted incremental `Migrate` records found in the WAL tail —
+    /// counted separately so an operator can tell which migration path
+    /// the crash interrupted (both are completed the same way).
+    pub migrations_replayed: usize,
     /// Sequence of the fresh checkpoint written right after recovery.
     pub post_checkpoint_seq: u64,
 }
@@ -167,9 +183,15 @@ impl Engine {
     }
 
     fn spawn_workers(n: usize) -> (Vec<Sender<Request>>, Vec<JoinHandle<()>>) {
-        let mut senders = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
-        for index in 0..n {
+        Engine::spawn_worker_range(0, n)
+    }
+
+    /// Spawn workers for shard indices `from..to` (an incremental grow
+    /// spawns only the new indices).
+    fn spawn_worker_range(from: usize, to: usize) -> (Vec<Sender<Request>>, Vec<JoinHandle<()>>) {
+        let mut senders = Vec::with_capacity(to.saturating_sub(from));
+        let mut handles = Vec::with_capacity(to.saturating_sub(from));
+        for index in from..to {
             let (tx, rx) = channel();
             senders.push(tx);
             handles.push(
@@ -192,6 +214,7 @@ impl Engine {
             store,
             attached: AtomicBool::new(false),
             admission: Mutex::new(AdmissionControl::default()),
+            topology: Mutex::new(None),
         }
     }
 
@@ -241,6 +264,73 @@ impl Engine {
         self.admission.lock().expect("admission gate poisoned")
     }
 
+    fn policy(&self) -> std::sync::MutexGuard<'_, Option<TopologyPolicy>> {
+        self.topology.lock().expect("topology policy poisoned")
+    }
+
+    /// Enable (`Some`) or disable (`None`) the lazy auto-rebalancing
+    /// policy ([`crate::topology`]). Like admission limits, the policy is
+    /// control-plane process state — deliberately not journaled; each
+    /// deployment states its own knobs and a restarted engine re-learns
+    /// the load within a few ticks.
+    ///
+    /// Once enabled, every ingested batch feeds the policy one
+    /// observation tick; call [`Engine::maybe_autoscale`] (the wire
+    /// session does this after every batch) to apply pending decisions as
+    /// incremental migrations.
+    pub fn set_autoscale(&self, cfg: Option<TopologyConfig>) -> Result<(), EngineError> {
+        let policy = match cfg {
+            Some(cfg) => Some(
+                TopologyPolicy::new(cfg, self.shards())
+                    .map_err(|m| EngineError::Policy(rsdc_core::Error::InvalidParameter(m)))?,
+            ),
+            None => None,
+        };
+        *self.policy() = policy;
+        Ok(())
+    }
+
+    /// Point-in-time status of the auto-rebalancing policy (`None` when
+    /// disabled).
+    pub fn autoscale_status(&self) -> Option<TopologyStatus> {
+        self.policy().as_ref().map(|p| p.status())
+    }
+
+    /// Apply the auto-rebalancing policy's pending decision, if any, as
+    /// an **incremental** migration (only the ring-diff tenants move).
+    /// Returns the migration report when a topology change was applied.
+    /// A no-op when the policy is disabled, satisfied, or cooling down.
+    /// Opens the admission migration window for the policy's cooldown
+    /// (new admits are deferred, rate-limited buckets refill at half
+    /// rate) so the topology settles before the fleet shifts under it
+    /// again.
+    pub fn maybe_autoscale(&mut self) -> Result<Option<RebalanceReport>, EngineError> {
+        let (target, cooldown) = match self.policy().as_ref() {
+            Some(policy) => (policy.pending(), policy.config().cooldown),
+            None => (None, 0),
+        };
+        let Some(shards) = target else {
+            return Ok(None);
+        };
+        let from = self.shards();
+        let report = self.rebalance_incremental(shards, None)?;
+        if let Some(policy) = self.policy().as_mut() {
+            policy.record_applied(from, report.shards, report.moved);
+        }
+        self.gate().begin_migration_window(cooldown);
+        Ok(Some(report))
+    }
+
+    /// Keep the autoscale policy's view of the topology in sync after a
+    /// successful rebalance of either kind — including operator-requested
+    /// ones, which would otherwise leave the policy reasoning (and
+    /// reporting) against a stale shard count.
+    fn sync_policy_topology(&self, shards: usize) {
+        if let Some(policy) = self.policy().as_mut() {
+            policy.note_topology(shards);
+        }
+    }
+
     /// Live tenants across all shards.
     pub fn live_tenants(&self) -> Result<usize, EngineError> {
         Ok(self.shard_stats()?.iter().map(|s| s.tenants).sum())
@@ -288,9 +378,14 @@ impl Engine {
         // concurrent cap-checked admits serialize — a check-then-act race
         // cannot push the fleet past `max_tenants`. Shard threads never
         // take this lock, so the round trips inside cannot deadlock.
-        let gate = self.gate();
-        if gate.config().max_tenants > 0 {
-            let live = self.live_tenants()?;
+        let mut gate = self.gate();
+        if gate.config().max_tenants > 0 || gate.in_migration_window() {
+            // The live count is only fetched when a cap could bite.
+            let live = if gate.config().max_tenants > 0 {
+                self.live_tenants()?
+            } else {
+                0
+            };
             gate.check_admit(&cfg.id, live)
                 .map_err(EngineError::Admission)?;
         }
@@ -399,19 +494,24 @@ impl Engine {
                 Vec::new()
             }
         };
-        self.dispatch_events(events, &throttled)
+        self.dispatch_events(events, &throttled, true)
     }
 
     /// Fan events out to shards, short-circuiting throttled ones into
     /// local error outcomes. `throttled` is empty (nothing throttled) or
-    /// parallel to `events`.
+    /// parallel to `events`. With `observe`, the per-shard batch sizes and
+    /// the live-tenant pulses piggybacked on the batch replies feed the
+    /// auto-rebalancing policy one tick (recovery replay passes `false`:
+    /// replayed traffic is history, not load).
     fn dispatch_events(
         &self,
         events: Vec<(String, Cost, Option<f64>)>,
         throttled: &[bool],
+        observe: bool,
     ) -> Result<Vec<StepOutcome>, EngineError> {
         let n = events.len();
-        let mut per_shard: Vec<Vec<Event>> = (0..self.senders.len()).map(|_| Vec::new()).collect();
+        let shards = self.senders.len();
+        let mut per_shard: Vec<Vec<Event>> = (0..shards).map(|_| Vec::new()).collect();
         let mut indexed: Vec<(usize, StepOutcome)> = Vec::with_capacity(n);
         for (index, (id, cost, load)) in events.into_iter().enumerate() {
             if throttled.get(index).copied().unwrap_or(false) {
@@ -434,11 +534,14 @@ impl Engine {
                 load,
             });
         }
+        let mut shard_events = vec![0u64; shards];
+        let mut pulses: Vec<(usize, usize)> = Vec::new();
         let mut replies = Vec::new();
         for (shard, batch) in per_shard.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
+            shard_events[shard] = batch.len() as u64;
             let (tx, rx) = channel();
             self.senders[shard]
                 .send(Request::Batch(batch, tx))
@@ -446,7 +549,14 @@ impl Engine {
             replies.push((shard, rx));
         }
         for (shard, rx) in replies {
-            indexed.extend(rx.recv().map_err(|_| EngineError::ShardDown(shard))??);
+            let reply = rx.recv().map_err(|_| EngineError::ShardDown(shard))??;
+            pulses.push((shard, reply.tenants));
+            indexed.extend(reply.outcomes);
+        }
+        if observe {
+            if let Some(policy) = self.policy().as_mut() {
+                policy.observe(&shard_events, &pulses);
+            }
         }
         indexed.sort_by_key(|(index, _)| *index);
         Ok(indexed.into_iter().map(|(_, o)| o).collect())
@@ -472,10 +582,17 @@ impl Engine {
     pub fn restore(&self, snapshot: TenantSnapshot) -> Result<(), EngineError> {
         // Same guard discipline as `admit`: existence check, cap check and
         // install all happen under the gate so concurrent restores cannot
-        // race past the cap.
-        let gate = self.gate();
-        if gate.config().max_tenants > 0 && self.tenant_config(&snapshot.config.id).is_err() {
-            let live = self.live_tenants()?;
+        // race past the cap. Only a *new* tenant is gated — re-installing
+        // an existing one is neither an admit nor a migration hazard.
+        let mut gate = self.gate();
+        if (gate.config().max_tenants > 0 || gate.in_migration_window())
+            && self.tenant_config(&snapshot.config.id).is_err()
+        {
+            let live = if gate.config().max_tenants > 0 {
+                self.live_tenants()?
+            } else {
+                0
+            };
             gate.check_admit(&snapshot.config.id, live)
                 .map_err(EngineError::Admission)?;
         }
@@ -562,23 +679,7 @@ impl Engine {
     /// tenant snapshots sorted by id plus the per-shard aggregates in
     /// shard order.
     fn capture_all(&self, seq: u64) -> Result<(Vec<TenantSnapshot>, Vec<ShardMeta>), EngineError> {
-        let mut replies = Vec::new();
-        for (shard, tx_req) in self.senders.iter().enumerate() {
-            let (tx, rx) = channel();
-            tx_req
-                .send(Request::Checkpoint(seq, tx))
-                .map_err(|_| EngineError::ShardDown(shard))?;
-            replies.push((shard, rx));
-        }
-        let mut tenants = Vec::new();
-        let mut shard_meta = Vec::new();
-        for (shard, rx) in replies {
-            let dump = rx.recv().map_err(|_| EngineError::ShardDown(shard))??;
-            tenants.extend(dump.snapshots);
-            shard_meta.push(dump.meta);
-        }
-        tenants.sort_by(|a, b| a.config.id.cmp(&b.config.id));
-        Ok((tenants, shard_meta))
+        Engine::capture_set(&self.senders, seq)
     }
 
     /// Capture a full-state checkpoint and truncate the write-ahead log.
@@ -754,14 +855,277 @@ impl Engine {
         if self.attached.load(Ordering::Acquire) {
             self.attach_store()?;
         }
+        self.sync_policy_topology(spec.shards);
         Ok(RebalanceReport {
             shards: spec.shards,
             vnodes: spec.vnodes,
             tenants: count,
             moved,
+            moved_ids: Vec::new(),
+            incremental: false,
             seq: if durable { seq } else { 0 },
             durable,
         })
+    }
+
+    /// Re-partition onto a new ring topology by moving **only** the
+    /// tenants whose placement the ring change affects (the old-ring/new-
+    /// ring route diff), instead of draining and re-installing the whole
+    /// fleet.
+    ///
+    /// Mechanics: surviving shard workers keep running (their unmoved
+    /// tenants, aggregates and per-shard attribution stay in place), a
+    /// grow spawns only the new indices, a shrink retires only the dead
+    /// ones (their historical aggregates merge onto shard 0), and each
+    /// moved tenant is extracted from its old shard and installed on its
+    /// new one bit-exactly — through journal-bypassing plumbing requests,
+    /// because crash safety is owned by the protocol, not per-tenant
+    /// records:
+    ///
+    /// 1. a [`JournalRecord::Migrate`] (carrying the target spec and the
+    ///    moved-id list) is journaled write-ahead to shard 0's WAL, so a
+    ///    crash mid-migration leaves a record [`Engine::recover`] replays
+    ///    to finish the topology change;
+    /// 2. the migration is *fenced* by a full-state checkpoint carrying
+    ///    the new topology, captured after the moves — its commit is the
+    ///    atomic commit point, truncating the `Migrate` record away. The
+    ///    fence is what makes the diff-only move safe under the
+    ///    per-shard-ordered WAL: before it, every journaled record was
+    ///    routed by the old ring; after it, the WAL restarts empty on the
+    ///    new ring. No record ever spans a tenant's move.
+    ///
+    /// On failure before the fence commits, the extracted tenants are
+    /// re-installed on their old shards and the engine keeps serving on
+    /// its old topology; an error in the bookkeeping *after* the commit
+    /// point is reported with the engine already on the new topology
+    /// (matching the committed checkpoint — the migration happened).
+    /// `vnodes = None` keeps the current ring density. Requesting the
+    /// current topology is a true no-op: `moved: 0`, no journal record,
+    /// no fence, no worker touched.
+    pub fn rebalance_incremental(
+        &mut self,
+        new_shards: usize,
+        vnodes: Option<usize>,
+    ) -> Result<RebalanceReport, EngineError> {
+        let spec = RingSpec::new(new_shards, vnodes.unwrap_or(self.ring.spec().vnodes));
+        self.migrate_diff(spec)
+    }
+
+    fn migrate_diff(&mut self, spec: RingSpec) -> Result<RebalanceReport, EngineError> {
+        let old_shards = self.senders.len();
+        if spec == self.ring.spec() {
+            // The documented no-op: identical topology means an empty
+            // diff — nothing to journal, fence, or touch.
+            self.sync_policy_topology(spec.shards);
+            return Ok(RebalanceReport {
+                shards: spec.shards,
+                vnodes: spec.vnodes,
+                tenants: 0,
+                moved: 0,
+                moved_ids: Vec::new(),
+                incremental: true,
+                seq: 0,
+                durable: false,
+            });
+        }
+        let ring = HashRing::new(spec);
+        let ids = self.tenant_ids()?;
+        let mut moved = moved_ids(&self.ring, &ring, ids.iter().map(|s| s.as_str()));
+        moved.sort_unstable();
+        let durable = self.store.is_durable() && self.attached.load(Ordering::Acquire);
+        if durable {
+            // Write-ahead: the topology change (and its intended diff) is
+            // journaled before any tenant moves.
+            let record = JournalRecord::Migrate {
+                shards: spec.shards,
+                vnodes: spec.vnodes,
+                moved: moved.clone(),
+            };
+            self.send(0, move |tx| Request::Journal(Box::new(record), tx))?;
+        }
+        let seq = self
+            .store
+            .begin_checkpoint()
+            .map_err(EngineError::from_store)?;
+        // Fresh workers for a grow; they see no store until the fence
+        // commits, so nothing they do before the swap is journaled.
+        let (fresh_senders, fresh_handles) = Engine::spawn_worker_range(old_shards, spec.shards);
+        // The post-migration worker set: surviving indices + fresh ones.
+        let new_senders: Vec<Sender<Request>> = self
+            .senders
+            .iter()
+            .take(spec.shards)
+            .cloned()
+            .chain(fresh_senders.iter().cloned())
+            .collect();
+        // Extract every moved tenant from its old shard, then install on
+        // its new one. Both sides bypass the journal (see Request::Extract):
+        // crash safety is owned by the Migrate record + fence, and a
+        // journaled per-tenant record would corrupt replay.
+        let mut extracted: Vec<crate::tenant::TenantSnapshot> = Vec::with_capacity(moved.len());
+        let mut installed: Vec<String> = Vec::with_capacity(moved.len());
+        let mut retired_meta: Vec<ShardMeta> = Vec::new();
+        let migrate = |extracted: &mut Vec<crate::tenant::TenantSnapshot>,
+                       installed: &mut Vec<String>,
+                       retired_meta: &mut Vec<ShardMeta>|
+         -> Result<(), EngineError> {
+            for id in &moved {
+                let from = self.ring.route(id);
+                let snapshot = self.send(from, |tx| Request::Extract(id.clone(), tx))?;
+                extracted.push(snapshot);
+            }
+            // Popping (rather than moving the whole vector) keeps every
+            // not-yet-attempted snapshot inside `extracted` if an install
+            // fails mid-loop — the abort path re-installs exactly what is
+            // left there. (The one in-flight snapshot of a failed install
+            // is gone with its worker; everything behind it survives.)
+            while let Some(snapshot) = extracted.pop() {
+                let id = snapshot.config.id.clone();
+                let to = ring.route(&id);
+                Engine::send_to(&new_senders, to, |tx| {
+                    Request::Install(Box::new(snapshot), tx)
+                })??;
+                installed.push(id);
+            }
+            // Retired shards must be empty now (every tenant they held was
+            // in the route diff by construction). Capture their aggregates;
+            // they are folded into the fence document here and merged onto
+            // the live shard 0 only after the commit point, so an abort
+            // never double-counts.
+            for shard in spec.shards..old_shards {
+                let dump = self.send(shard, |tx| Request::Checkpoint(seq, tx))?;
+                debug_assert!(
+                    dump.snapshots.is_empty(),
+                    "retired shard {shard} still held tenants"
+                );
+                retired_meta.push(dump.meta);
+            }
+            if durable {
+                // The fence: capture every post-migration shard (rotating
+                // its WAL to this sequence), fold the retired shards'
+                // history onto the document's shard 0, and commit a
+                // full-state checkpoint carrying the new topology.
+                let (tenants, mut shard_meta) = Engine::capture_set(&new_senders, seq)?;
+                for meta in retired_meta.iter() {
+                    shard_meta[0].events += meta.events;
+                    shard_meta[0].states += meta.states;
+                    shard_meta[0].metrics.merge(&meta.metrics);
+                }
+                let doc = CheckpointDoc {
+                    seq,
+                    shards: spec.shards,
+                    vnodes: spec.vnodes,
+                    tenants,
+                    shard_meta,
+                };
+                self.store
+                    .commit_checkpoint(seq, &doc.encode())
+                    .map_err(EngineError::from_store)?;
+            }
+            Ok(())
+        };
+        if let Err(e) = migrate(&mut extracted, &mut installed, &mut retired_meta) {
+            // Abort: pull back any tenant already installed on its new
+            // shard, re-install it (and the extracted-but-not-installed
+            // ones) on its old shard, tear down the fresh workers, and
+            // keep serving on the old topology.
+            for id in installed {
+                if let Ok(Ok(snapshot)) = Engine::send_to(&new_senders, ring.route(&id), |tx| {
+                    Request::Extract(id.clone(), tx)
+                }) {
+                    extracted.push(snapshot);
+                }
+            }
+            for snapshot in extracted {
+                let from = self.ring.route(&snapshot.config.id);
+                let _ = self.send_plain(from, |tx| Request::Install(Box::new(snapshot), tx));
+            }
+            for tx in &fresh_senders {
+                let _ = tx.send(Request::Shutdown);
+            }
+            for handle in fresh_handles {
+                let _ = handle.join();
+            }
+            if durable {
+                // Neutralize the write-ahead Migrate record (same
+                // last-record-wins discipline as a failed full rebalance).
+                let current = self.ring.spec();
+                let record = JournalRecord::Migrate {
+                    shards: current.shards,
+                    vnodes: current.vnodes,
+                    moved: Vec::new(),
+                };
+                let _ = self.send(0, move |tx| Request::Journal(Box::new(record), tx));
+            }
+            return Err(e);
+        }
+        // Past the commit point: the migration *happened* (on a durable
+        // engine the fence is on disk), so the swap — pure in-memory,
+        // infallible — comes first. Any error in the bookkeeping below is
+        // reported with the engine already on the new topology, matching
+        // the store; returning the old topology here would tell the
+        // caller a committed migration failed.
+        let retired: Vec<Sender<Request>> =
+            self.senders.drain(spec.shards.min(old_shards)..).collect();
+        for tx in &retired {
+            let _ = tx.send(Request::Shutdown);
+        }
+        drop(retired);
+        let mut retired_handles: Vec<JoinHandle<()>> =
+            self.handles.drain(spec.shards.min(old_shards)..).collect();
+        for handle in retired_handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.senders.extend(fresh_senders);
+        self.handles.extend(fresh_handles);
+        self.ring = ring;
+        self.sync_policy_topology(spec.shards);
+        // The in-memory shard 0 absorbs the retired shards' history
+        // (matching what the fence document recorded).
+        for meta in retired_meta {
+            self.send_plain(0, |tx| Request::MergeMeta(Box::new(meta), tx))?;
+        }
+        if self.attached.load(Ordering::Acquire) {
+            // Idempotent for the survivors; hands the fresh workers their
+            // journaling handle.
+            self.attach_store()?;
+        }
+        Ok(RebalanceReport {
+            shards: spec.shards,
+            vnodes: spec.vnodes,
+            tenants: moved.len(),
+            moved: moved.len(),
+            moved_ids: moved,
+            incremental: true,
+            seq: if durable { seq } else { 0 },
+            durable,
+        })
+    }
+
+    /// The capture loop behind [`Engine::capture_all`], against an
+    /// explicit worker set — the incremental migration fences over its
+    /// post-migration workers before they are installed on the handle.
+    fn capture_set(
+        senders: &[Sender<Request>],
+        seq: u64,
+    ) -> Result<(Vec<TenantSnapshot>, Vec<ShardMeta>), EngineError> {
+        let mut replies = Vec::new();
+        for (shard, tx_req) in senders.iter().enumerate() {
+            let (tx, rx) = channel();
+            tx_req
+                .send(Request::Checkpoint(seq, tx))
+                .map_err(|_| EngineError::ShardDown(shard))?;
+            replies.push((shard, rx));
+        }
+        let mut tenants = Vec::new();
+        let mut shard_meta = Vec::new();
+        for (shard, rx) in replies {
+            let dump = rx.recv().map_err(|_| EngineError::ShardDown(shard))??;
+            tenants.extend(dump.snapshots);
+            shard_meta.push(dump.meta);
+        }
+        tenants.sort_by(|a, b| a.config.id.cmp(&b.config.id));
+        Ok((tenants, shard_meta))
     }
 
     /// Rebuild the pre-crash engine from a store: load the newest valid
@@ -818,6 +1182,15 @@ impl Engine {
                         interrupted = Some(RingSpec::new(shards, vnodes));
                         report.rebalances_replayed += 1;
                     }
+                    Ok(JournalRecord::Migrate { shards, vnodes, .. }) => {
+                        // An interrupted *incremental* migration: finished
+                        // the same way (re-partition onto the journaled
+                        // spec after replay — the moved list is advisory,
+                        // a full in-memory re-route is exact), counted
+                        // separately so operators can tell the paths apart.
+                        interrupted = Some(RingSpec::new(shards, vnodes));
+                        report.migrations_replayed += 1;
+                    }
                     Ok(record) => engine.replay(record, &mut report),
                 }
             }
@@ -842,6 +1215,7 @@ impl Engine {
                 match self.dispatch_events(
                     events.into_iter().map(|e| (e.id, e.cost, e.load)).collect(),
                     &[],
+                    false,
                 ) {
                     Ok(outcomes) => {
                         report.events_replayed += outcomes.len();
@@ -854,7 +1228,7 @@ impl Engine {
             JournalRecord::Evict(id) => self.evict(&id).map(|_| ()),
             JournalRecord::Restore(snapshot) => self.restore_unchecked(*snapshot),
             // Intercepted by the recovery loop before this point.
-            JournalRecord::Rebalance { .. } => Ok(()),
+            JournalRecord::Rebalance { .. } | JournalRecord::Migrate { .. } => Ok(()),
         };
         if outcome.is_err() {
             report.replay_errors += 1;

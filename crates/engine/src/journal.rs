@@ -53,6 +53,24 @@ pub enum JournalRecord {
         /// Target virtual nodes per shard.
         vnodes: usize,
     },
+    /// An **incremental** ring migration: only the tenants in `moved`
+    /// (the old-ring/new-ring route diff) change shards. Journaled
+    /// write-ahead to shard 0's WAL exactly like [`Rebalance`](Self::Rebalance)
+    /// and fenced by the same full-state checkpoint; a record surviving in
+    /// the WAL tail means the crash hit inside the migration window, and
+    /// [`Engine::recover`](crate::Engine::recover) finishes the topology
+    /// change after replay (tenant state is topology-independent, so a
+    /// full in-memory re-partition onto the journaled spec is exact — the
+    /// moved list documents the intended diff for operators and the
+    /// recovery report).
+    Migrate {
+        /// Target shard count.
+        shards: usize,
+        /// Target virtual nodes per shard.
+        vnodes: usize,
+        /// Tenants whose placement the migration changes.
+        moved: Vec<String>,
+    },
 }
 
 impl JournalRecord {
@@ -142,6 +160,16 @@ mod tests {
             JournalRecord::Rebalance {
                 shards: 4,
                 vnodes: 64,
+            },
+            JournalRecord::Migrate {
+                shards: 3,
+                vnodes: 32,
+                moved: vec!["a".into(), "b".into()],
+            },
+            JournalRecord::Migrate {
+                shards: 1,
+                vnodes: 64,
+                moved: Vec::new(),
             },
         ];
         for rec in records {

@@ -41,13 +41,20 @@
 //!   ring with virtual nodes ([`ring`]) so all per-tenant operations are
 //!   single-threaded and deterministic — and so changing the shard count
 //!   moves only a minority of tenants.
-//! * **Control plane** ([`admission`], [`Engine::rebalance`]): an
-//!   admission gate in front of the shards enforces tenant caps and
-//!   per-tenant token-bucket rate limits with typed
+//! * **Control plane** ([`admission`], [`Engine::rebalance`],
+//!   [`Engine::rebalance_incremental`], [`topology`]): an admission gate
+//!   in front of the shards enforces tenant caps and per-tenant
+//!   token-bucket rate limits with typed
 //!   [`Rejected`](AdmissionError::Rejected)/[`Throttled`](AdmissionError::Throttled)
 //!   errors (refused traffic never reaches a WAL), and live rebalancing
-//!   migrates tenants bit-exactly onto a new ring topology, journaled and
-//!   checkpoint-fenced so a kill mid-migration recovers exactly.
+//!   migrates tenants bit-exactly onto a new ring topology — the full
+//!   path drains everything, the incremental path moves exactly the
+//!   ring-diff tenant set — journaled and checkpoint-fenced so a kill
+//!   mid-migration recovers exactly. The [`topology`] module closes the
+//!   loop: a [`TopologyPolicy`] applies the paper's own LCP hysteresis to
+//!   the shard count, auto-triggering incremental migrations only when
+//!   accumulated load-imbalance cost provably exceeds the migration's
+//!   switching cost.
 //! * **Accounting** reuses [`rsdc_core::analysis`] (cost breakdowns,
 //!   schedule statistics with identical phase semantics) and
 //!   [`rsdc_sim::metrics`] (shard-level load/energy aggregation), all
@@ -97,6 +104,7 @@ pub mod journal;
 pub mod ring;
 pub mod shard;
 pub mod tenant;
+pub mod topology;
 pub mod wire;
 
 pub use admission::{AdmissionConfig, AdmissionError};
@@ -105,6 +113,7 @@ pub use ring::{HashRing, RingSpec, DEFAULT_VNODES};
 pub use rsdc_hetero::{FleetSpec, HeteroAlgo};
 pub use shard::{ShardMeta, ShardStats, StepOutcome};
 pub use tenant::{PolicySpec, TenantConfig, TenantReport, TenantSnapshot};
+pub use topology::{TopologyConfig, TopologyPolicy, TopologyStatus};
 
 /// Errors surfaced by [`Engine`] operations.
 #[derive(Debug)]
@@ -272,6 +281,153 @@ mod tests {
             Err(EngineError::UnknownTenant(_))
         ));
         assert_eq!(engine.report("real").unwrap().committed, 2);
+    }
+
+    #[test]
+    fn incremental_rebalance_moves_exactly_the_ring_diff() {
+        use crate::ring::{moved_ids, HashRing};
+        let mut engine = Engine::new(EngineConfig::with_topology(2, 32));
+        let ids: Vec<String> = (0..40).map(|i| format!("t{i}")).collect();
+        for id in &ids {
+            engine
+                .admit(TenantConfig::new(id.clone(), 6, 1.5, PolicySpec::Lcp))
+                .unwrap();
+        }
+        for f in costs(10) {
+            let batch: Vec<(String, Cost)> = ids.iter().map(|id| (id.clone(), f.clone())).collect();
+            engine.step_batch(batch).unwrap();
+        }
+        // The expected diff, computed independently of the engine.
+        let old = HashRing::new(RingSpec::new(2, 32));
+        let new = HashRing::new(RingSpec::new(5, 32));
+        let mut want = moved_ids(&old, &new, ids.iter().map(|s| s.as_str()));
+        want.sort_unstable();
+
+        let report = engine.rebalance_incremental(5, None).unwrap();
+        assert!(report.incremental);
+        assert_eq!(report.shards, 5);
+        assert_eq!(report.moved_ids, want, "exactly the diff, nothing else");
+        assert_eq!(report.moved, want.len());
+        assert_eq!(report.tenants, want.len(), "only the diff was re-installed");
+        assert_eq!(engine.shards(), 5);
+        assert_eq!(engine.live_tenants().unwrap(), ids.len());
+
+        // The migrated engine serves the whole fleet and matches a static
+        // single-shard reference bit-exactly.
+        let reference = Engine::new(EngineConfig::with_shards(1));
+        for id in &ids {
+            reference
+                .admit(TenantConfig::new(id.clone(), 6, 1.5, PolicySpec::Lcp))
+                .unwrap();
+        }
+        for f in costs(10) {
+            let batch: Vec<(String, Cost)> = ids.iter().map(|id| (id.clone(), f.clone())).collect();
+            reference.step_batch(batch).unwrap();
+        }
+        for f in costs(6) {
+            let batch: Vec<(String, Cost)> = ids.iter().map(|id| (id.clone(), f.clone())).collect();
+            engine.step_batch(batch.clone()).unwrap();
+            reference.step_batch(batch).unwrap();
+        }
+        let texts = |e: &Engine| -> Vec<String> {
+            e.report_all()
+                .unwrap()
+                .iter()
+                .map(|r| serde_json::to_string(r).unwrap())
+                .collect()
+        };
+        assert_eq!(texts(&engine), texts(&reference));
+
+        // Shrinking back also moves only the (reverse) diff, and fleet
+        // totals survive the retired shards.
+        let before: u64 = engine.shard_stats().unwrap().iter().map(|s| s.events).sum();
+        let report = engine.rebalance_incremental(2, None).unwrap();
+        assert_eq!(engine.shards(), 2);
+        let mut back = moved_ids(&new, &old, ids.iter().map(|s| s.as_str()));
+        back.sort_unstable();
+        assert_eq!(report.moved_ids, back);
+        let after: u64 = engine.shard_stats().unwrap().iter().map(|s| s.events).sum();
+        assert_eq!(before, after, "retired shards' aggregates merged, not lost");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn autoscale_policy_grows_the_engine_under_load() {
+        let mut engine = Engine::new(EngineConfig::with_shards(1));
+        let mut cfg = TopologyConfig::new(1, 4);
+        cfg.switch_cost = 4.0;
+        cfg.cooldown = 0;
+        engine.set_autoscale(Some(cfg)).unwrap();
+        assert_eq!(engine.autoscale_status().unwrap().shards, 1);
+        let ids: Vec<String> = (0..30).map(|i| format!("t{i}")).collect();
+        for id in &ids {
+            engine
+                .admit(TenantConfig::new(id.clone(), 4, 1.0, PolicySpec::Lcp))
+                .unwrap();
+        }
+        // 30 events per tick against f(s) = 30/s + s: the plan should
+        // leave 1 shard within a few ticks; each applied change is an
+        // incremental migration.
+        let mut applied = Vec::new();
+        for t in 0..30 {
+            let batch: Vec<(String, Cost)> = ids
+                .iter()
+                .map(|id| (id.clone(), Cost::abs(1.0, (t % 3) as f64)))
+                .collect();
+            engine.step_batch(batch).unwrap();
+            if let Some(report) = engine.maybe_autoscale().unwrap() {
+                assert!(report.incremental);
+                applied.push(report.shards);
+            }
+        }
+        assert!(!applied.is_empty(), "sustained load must trigger a grow");
+        assert!(engine.shards() > 1);
+        let status = engine.autoscale_status().unwrap();
+        assert_eq!(status.shards, engine.shards());
+        assert!(status.migrations as usize >= applied.len());
+        assert!(status.imbalance_cost > 0.0);
+        // The migration window opened: a brand-new admit is deferred.
+        assert!(
+            matches!(
+                engine.admit(TenantConfig::new("late", 4, 1.0, PolicySpec::Lcp)),
+                Err(EngineError::Admission(AdmissionError::Migrating { .. }))
+            ) || {
+                // ...unless the cooldown-0 window closed immediately, which a
+                // zero-length window does by design.
+                engine.evict("late").is_ok()
+            }
+        );
+        // Disabling stops observations and clears status.
+        engine.set_autoscale(None).unwrap();
+        assert!(engine.autoscale_status().is_none());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn manual_rebalances_resync_the_autoscale_policy() {
+        let mut engine = Engine::new(EngineConfig::with_shards(1));
+        let mut cfg = TopologyConfig::new(1, 8);
+        cfg.cooldown = 4;
+        engine.set_autoscale(Some(cfg)).unwrap();
+        engine
+            .admit(TenantConfig::new("a", 4, 1.0, PolicySpec::Lcp))
+            .unwrap();
+        // Operator-requested changes (full and incremental) must be
+        // visible to the policy...
+        engine.rebalance(4, None).unwrap();
+        assert_eq!(engine.autoscale_status().unwrap().shards, 4);
+        engine.rebalance_incremental(3, None).unwrap();
+        let status = engine.autoscale_status().unwrap();
+        assert_eq!(status.shards, 3);
+        // ...without being charged to the policy's own accounting.
+        assert_eq!(status.migrations, 0);
+        assert_eq!(status.switch_cost_accrued, 0.0);
+        // And the policy must not instantly fight the operator: the
+        // manual change restarted the cooldown clock, so nothing is
+        // pending even though the plan (1 shard — no load yet) disagrees.
+        assert!(engine.maybe_autoscale().unwrap().is_none());
+        assert_eq!(engine.shards(), 3);
+        engine.shutdown();
     }
 
     #[test]

@@ -117,6 +117,21 @@ impl HashRing {
     }
 }
 
+/// The ids whose placement differs between two rings — the **exact**
+/// tenant set an incremental migration from `old` to `new` must move (and
+/// the set it is forbidden to exceed; the migration tests assert equality
+/// both ways). Order follows the input.
+pub fn moved_ids<'a>(
+    old: &HashRing,
+    new: &HashRing,
+    ids: impl IntoIterator<Item = &'a str>,
+) -> Vec<String> {
+    ids.into_iter()
+        .filter(|id| old.route(id) != new.route(id))
+        .map(str::to_string)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +202,22 @@ mod tests {
             );
             assert!(moved > 0, "growth must move someone");
         }
+    }
+
+    #[test]
+    fn moved_ids_is_exactly_the_route_diff() {
+        let old = HashRing::new(RingSpec::new(3, DEFAULT_VNODES));
+        let new = HashRing::new(RingSpec::new(4, DEFAULT_VNODES));
+        let all = ids(600);
+        let moved = moved_ids(&old, &new, all.iter().map(|s| s.as_str()));
+        assert!(!moved.is_empty() && moved.len() < all.len());
+        for id in &all {
+            let should_move = old.route(id) != new.route(id);
+            assert_eq!(moved.contains(id), should_move, "{id}");
+        }
+        // Identical rings move nothing.
+        let same = HashRing::new(RingSpec::new(3, DEFAULT_VNODES));
+        assert!(moved_ids(&old, &same, all.iter().map(|s| s.as_str())).is_empty());
     }
 
     #[test]

@@ -96,15 +96,24 @@ pub struct ShardDump {
     pub meta: ShardMeta,
 }
 
+/// One shard's reply to a [`Request::Batch`]: the per-event outcomes plus
+/// the aggregate pulse the topology policy feeds on (the shard's live
+/// tenant count after the batch) — piggybacked so observing load costs no
+/// extra round trips.
+#[derive(Debug)]
+pub struct BatchReply {
+    /// Outcomes, tagged with their original batch positions.
+    pub outcomes: Vec<(usize, StepOutcome)>,
+    /// Live tenants on this shard after the batch.
+    pub tenants: usize,
+}
+
 /// Requests a shard worker serves.
 pub enum Request {
     /// Admit a new tenant.
     Admit(TenantConfig, Sender<Result<(), EngineError>>),
     /// Process a batch of events (already routed to this shard).
-    Batch(
-        Vec<Event>,
-        Sender<Result<Vec<(usize, StepOutcome)>, EngineError>>,
-    ),
+    Batch(Vec<Event>, Sender<Result<BatchReply, EngineError>>),
     /// End-of-stream for one tenant: flush lookahead states.
     Finish(String, Sender<Result<StepOutcome, EngineError>>),
     /// Capture one tenant's full state.
@@ -113,6 +122,16 @@ pub enum Request {
     Config(String, Sender<Result<TenantConfig, EngineError>>),
     /// Re-install a tenant from a snapshot (admits it if absent).
     Restore(Box<TenantSnapshot>, Sender<Result<(), EngineError>>),
+    /// Migration plumbing: remove a tenant and hand back its snapshot
+    /// **without journaling** — an incremental migration's moves are
+    /// covered by the write-ahead `Migrate` record plus the fencing
+    /// checkpoint, so per-tenant records would corrupt replay (a
+    /// journaled `Evict` would delete the tenant on recovery).
+    Extract(String, Sender<Result<TenantSnapshot, EngineError>>),
+    /// Migration plumbing: install a tenant from a snapshot **without
+    /// journaling** (counterpart of [`Extract`](Request::Extract); also
+    /// used to land tenants on freshly spawned workers).
+    Install(Box<TenantSnapshot>, Sender<Result<(), EngineError>>),
     /// Remove a tenant, returning its final report.
     Evict(String, Sender<Result<TenantReport, EngineError>>),
     /// Report one tenant (`Some(id)`) or all tenants on this shard.
@@ -135,6 +154,10 @@ pub enum Request {
     Checkpoint(u64, Sender<Result<ShardDump, EngineError>>),
     /// Install shard-level aggregates from a checkpoint (recovery only).
     InstallMeta(Box<ShardMeta>, Sender<()>),
+    /// Merge shard-level aggregates *into* this shard's own (used when an
+    /// incremental migration retires shards: the retired indices' history
+    /// folds onto shard 0 so fleet totals stay exact).
+    MergeMeta(Box<ShardMeta>, Sender<()>),
     /// Stop the worker.
     Shutdown,
 }
@@ -180,6 +203,12 @@ impl Shard {
                 Request::Restore(snapshot, reply) => {
                     let _ = reply.send(shard.restore(*snapshot));
                 }
+                Request::Extract(id, reply) => {
+                    let _ = reply.send(shard.extract(&id));
+                }
+                Request::Install(snapshot, reply) => {
+                    let _ = reply.send(shard.install(*snapshot));
+                }
                 Request::Evict(id, reply) => {
                     let _ = reply.send(shard.evict(&id));
                 }
@@ -214,6 +243,12 @@ impl Shard {
                     shard.events = meta.events;
                     shard.states = meta.states;
                     shard.metrics = meta.metrics;
+                    let _ = reply.send(());
+                }
+                Request::MergeMeta(meta, reply) => {
+                    shard.events += meta.events;
+                    shard.states += meta.states;
+                    shard.metrics.merge(&meta.metrics);
                     let _ = reply.send(());
                 }
                 Request::Shutdown => break,
@@ -289,7 +324,25 @@ impl Shard {
         Ok(self.tenants.remove(id).expect("checked above").report())
     }
 
-    fn batch(&mut self, events: Vec<Event>) -> Result<Vec<(usize, StepOutcome)>, EngineError> {
+    /// Remove a tenant and return its snapshot, bypassing the journal
+    /// (incremental-migration plumbing; see [`Request::Extract`]).
+    fn extract(&mut self, id: &str) -> Result<TenantSnapshot, EngineError> {
+        self.tenants
+            .remove(id)
+            .map(|t| t.snapshot())
+            .ok_or_else(|| EngineError::UnknownTenant(id.to_string()))
+    }
+
+    /// Install a tenant from a snapshot, bypassing the journal
+    /// (incremental-migration plumbing; see [`Request::Install`]).
+    fn install(&mut self, snapshot: TenantSnapshot) -> Result<(), EngineError> {
+        let id = snapshot.config.id.clone();
+        let tenant = Tenant::from_snapshot(snapshot).map_err(EngineError::Policy)?;
+        self.tenants.insert(id, tenant);
+        Ok(())
+    }
+
+    fn batch(&mut self, events: Vec<Event>) -> Result<BatchReply, EngineError> {
         if self.durable() {
             // The whole batch is one WAL record, including events that will
             // fail with a per-event error: replay reproduces the outcomes
@@ -349,7 +402,10 @@ impl Shard {
                 )),
             }
         }
-        Ok(out)
+        Ok(BatchReply {
+            outcomes: out,
+            tenants: self.tenants.len(),
+        })
     }
 
     fn finish(&mut self, id: &str) -> Result<StepOutcome, EngineError> {

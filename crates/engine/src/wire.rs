@@ -20,6 +20,8 @@
 //! {"op":"recover"}           // rebuild the engine from the durable store
 //! {"op":"wal_stats"}         // store + tenant-distribution statistics
 //! {"op":"rebalance","shards":4,"vnodes":64}   // live ring re-partition
+//! {"op":"rebalance","shards":4,"mode":"incremental"}  // move only the ring diff
+//! {"op":"autoscale","min":1,"max":8,"switch_cost":32.0}  // lazy auto-rebalancing
 //! {"op":"limits","max_tenants":100,"rate":2.0,"burst":8.0}
 //! ```
 //!
@@ -33,8 +35,11 @@
 //! `stepped` responses carry the committed `configs` alongside the scalar
 //! total-machine `states`. Response records mirror the request:
 //! `admitted`, `stepped` (with committed `states`), `finished`,
-//! `snapshot`, `restored`, `report`, `stats`, `checkpointed`, `recovered`,
-//! `wal_stats`, `rebalanced`, `limits`, or
+//! `snapshot`, `restored`, `report`, `stats` (incl. per-shard skew and
+//! the autoscale-policy state), `checkpointed`, `recovered`, `wal_stats`,
+//! `rebalanced` (with its `mode`; emitted unsolicited with `"auto":true`
+//! when the autoscale policy triggers a migration), `autoscale`,
+//! `limits`, or
 //! `{"op":"error","line":N,"message":...}` — error
 //! responses carry the 1-based input line number of the offending record,
 //! so a failing line inside a large JSONL batch is locatable.
@@ -104,6 +109,26 @@ pub enum Record {
         /// Target virtual nodes per shard (`None` keeps the current ring
         /// density).
         vnodes: Option<usize>,
+        /// `"mode":"incremental"` moves only the ring-diff tenant set
+        /// ([`Engine::rebalance_incremental`](crate::Engine::rebalance_incremental));
+        /// the default (`"full"`) drains and re-installs the whole fleet.
+        incremental: bool,
+    },
+    /// Configure (`min`/`max` present), disable (`"off":true`) or read
+    /// back (bare) the lazy auto-rebalancing policy.
+    Autoscale {
+        /// Disable the policy.
+        off: bool,
+        /// Smallest shard count the policy may target.
+        min: Option<usize>,
+        /// Largest shard count the policy may target.
+        max: Option<usize>,
+        /// Switching cost per shard powered up (the induced `beta`).
+        switch_cost: Option<f64>,
+        /// Per-shard per-tick overhead cost.
+        shard_cost: Option<f64>,
+        /// Ticks between applied changes / admission-window length.
+        cooldown: Option<u64>,
     },
     /// Set (fields present) and/or read back the admission limits.
     Limits {
@@ -306,9 +331,81 @@ pub fn parse_record(line: &str) -> Result<Record, WireError> {
             };
             let shards =
                 count("shards")?.ok_or_else(|| WireError("rebalance needs \"shards\"".into()))?;
+            let incremental = match v.get("mode") {
+                Some(m) if !m.is_null() => match m.as_str() {
+                    Some("incremental") => true,
+                    Some("full") => false,
+                    _ => {
+                        return Err(WireError(
+                            "field \"mode\" must be \"full\" or \"incremental\"".into(),
+                        ))
+                    }
+                },
+                _ => false,
+            };
             Ok(Record::Rebalance {
                 shards,
                 vnodes: count("vnodes")?,
+                incremental,
+            })
+        }
+        "autoscale" => {
+            let off = v.get("off").and_then(|x| x.as_bool()).unwrap_or(false);
+            let count = |key: &str| -> Result<Option<usize>, WireError> {
+                match v.get(key) {
+                    Some(x) if !x.is_null() => x
+                        .as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .filter(|&n| n >= 1)
+                        .map(Some)
+                        .ok_or_else(|| WireError(format!("field {key:?} must be an integer >= 1"))),
+                    _ => Ok(None),
+                }
+            };
+            let num = |key: &str| -> Result<Option<f64>, WireError> {
+                match v.get(key) {
+                    Some(x) if !x.is_null() => x
+                        .as_f64()
+                        .filter(|n| n.is_finite() && *n > 0.0)
+                        .map(Some)
+                        .ok_or_else(|| WireError(format!("field {key:?} must be a number > 0"))),
+                    _ => Ok(None),
+                }
+            };
+            let cooldown = match v.get("cooldown") {
+                Some(x) if !x.is_null() => Some(x.as_u64().ok_or_else(|| {
+                    WireError("field \"cooldown\" must be a non-negative integer".into())
+                })?),
+                _ => None,
+            };
+            let (min, max) = (count("min")?, count("max")?);
+            let (switch_cost, shard_cost) = (num("switch_cost")?, num("shard_cost")?);
+            if !off && min.is_some() != max.is_some() {
+                return Err(WireError(
+                    "autoscale needs both \"min\" and \"max\" (or \"off\":true, or neither to read back)"
+                        .into(),
+                ));
+            }
+            // Knobs without the min/max pair would otherwise fall through
+            // to the read-back arm and be silently dropped — refuse them
+            // so a retune that didn't take is never mistaken for one that
+            // did (the full policy is stated on every configure).
+            if !off
+                && min.is_none()
+                && (switch_cost.is_some() || shard_cost.is_some() || cooldown.is_some())
+            {
+                return Err(WireError(
+                    "autoscale knobs require \"min\" and \"max\": state the full policy to (re)configure"
+                        .into(),
+                ));
+            }
+            Ok(Record::Autoscale {
+                off,
+                min,
+                max,
+                switch_cost,
+                shard_cost,
+                cooldown,
             })
         }
         "limits" => {
@@ -417,6 +514,9 @@ pub struct Session {
     models: std::collections::HashMap<String, Pricing>,
     auto_checkpoint: u64,
     since_checkpoint: u64,
+    /// The report of the most recent recovery this session performed
+    /// (startup auto-recovery or a `recover` op); surfaced by `wal_stats`.
+    last_recovery: Option<crate::RecoveryReport>,
 }
 
 /// How a tenant's `load` step events are priced into engine events.
@@ -446,6 +546,7 @@ impl Session {
             models: std::collections::HashMap::new(),
             auto_checkpoint: 0,
             since_checkpoint: 0,
+            last_recovery: None,
         }
     }
 
@@ -474,6 +575,7 @@ impl Session {
         if store.has_state().map_err(crate::EngineError::from_store)? {
             let (engine, report) = crate::Engine::recover(cfg, store)?;
             let mut session = Session::new(engine);
+            session.last_recovery = Some(report.clone());
             session.reload_models()?;
             Ok((session, Some(report)))
         } else {
@@ -563,6 +665,21 @@ impl Session {
                         .zip(&lines)
                         .map(|(o, &line)| stepped_line_at(o, line)),
                 );
+                // The batch fed the auto-rebalancing policy one tick;
+                // apply any pending topology decision as an incremental
+                // migration and announce it (like auto-checkpoints, the
+                // response is unsolicited but self-identifying).
+                match self.engine.maybe_autoscale() {
+                    Ok(None) => {}
+                    Ok(Some(report)) => {
+                        if report.durable {
+                            // Fenced by its own checkpoint.
+                            self.since_checkpoint = 0;
+                        }
+                        out.push(rebalanced_line(&report, true));
+                    }
+                    Err(e) => out.push(error_line_at(lines[0], &e.to_string())),
+                }
                 if self.auto_checkpoint > 0 && self.since_checkpoint >= self.auto_checkpoint {
                     self.since_checkpoint = 0;
                     match self.engine.checkpoint() {
@@ -594,6 +711,7 @@ impl Session {
         )?;
         std::mem::replace(&mut self.engine, engine).shutdown();
         self.since_checkpoint = 0;
+        self.last_recovery = Some(report.clone());
         self.reload_models()?;
         Ok(report)
     }
@@ -699,12 +817,26 @@ impl Session {
                 }
             }
             Record::Stats => match self.engine.shard_stats() {
-                Ok(stats) => out.push(
-                    serde_json::to_string(&serde_json::json!({
-                        "op": "stats", "shards": stats.to_value(),
-                    }))
-                    .expect("serializable"),
-                ),
+                // Alongside the per-shard rows: the tenant/event skew over
+                // the shards (max over mean, 1.0 = balanced) and the
+                // auto-rebalancing policy state (null when disabled) — the
+                // load-balance observability the topology policy acts on.
+                Ok(stats) => {
+                    let tenants: Vec<u64> = stats.iter().map(|s| s.tenants as u64).collect();
+                    let events: Vec<u64> = stats.iter().map(|s| s.events).collect();
+                    out.push(
+                        serde_json::to_string(&serde_json::json!({
+                            "op": "stats",
+                            "shards": stats.to_value(),
+                            "skew": {
+                                "tenants": crate::topology::skew_of(&tenants),
+                                "events": crate::topology::skew_of(&events),
+                            },
+                            "autoscale": autoscale_value(self.engine.autoscale_status()),
+                        }))
+                        .expect("serializable"),
+                    );
+                }
                 Err(e) => out.push(error_line(&e.to_string())),
             },
             Record::Checkpoint => match self.engine.checkpoint() {
@@ -718,16 +850,55 @@ impl Session {
                 Ok(report) => out.push(recovered_line(&report)),
                 Err(e) => out.push(error_line(&e.to_string())),
             },
-            Record::Rebalance { shards, vnodes } => {
-                match self.engine.rebalance(shards, vnodes) {
+            Record::Rebalance {
+                shards,
+                vnodes,
+                incremental,
+            } => {
+                let result = if incremental {
+                    self.engine.rebalance_incremental(shards, vnodes)
+                } else {
+                    self.engine.rebalance(shards, vnodes)
+                };
+                match result {
                     Ok(report) => {
                         // A durable rebalance is fenced by a fresh
                         // checkpoint, so the auto-checkpoint clock restarts.
                         if report.durable {
                             self.since_checkpoint = 0;
                         }
-                        out.push(rebalanced_line(&report));
+                        out.push(rebalanced_line(&report, false));
                     }
+                    Err(e) => out.push(error_line(&e.to_string())),
+                }
+            }
+            Record::Autoscale {
+                off,
+                min,
+                max,
+                switch_cost,
+                shard_cost,
+                cooldown,
+            } => {
+                let result = if off {
+                    self.engine.set_autoscale(None)
+                } else if let (Some(min), Some(max)) = (min, max) {
+                    let mut cfg = crate::TopologyConfig::new(min, max);
+                    if let Some(b) = switch_cost {
+                        cfg.switch_cost = b;
+                    }
+                    if let Some(c) = shard_cost {
+                        cfg.shard_cost = c;
+                    }
+                    if let Some(k) = cooldown {
+                        cfg.cooldown = k;
+                    }
+                    self.engine.set_autoscale(Some(cfg))
+                } else {
+                    Ok(()) // bare read-back
+                };
+                match result {
+                    Ok(()) => out.push(autoscale_line(self.engine.autoscale_status())),
                     Err(e) => out.push(error_line(&e.to_string())),
                 }
             }
@@ -776,6 +947,10 @@ impl Session {
                         Ok((store, ids, shards))
                     });
                 match gathered {
+                    // The trailing counters surface what the *last
+                    // recovery* replayed from the WAL tail — full
+                    // rebalances and incremental migrations separately
+                    // (both zero when this process never recovered).
                     Ok((store, ids, shards)) => out.push(
                         serde_json::to_string(&serde_json::json!({
                             "op": "wal_stats",
@@ -784,6 +959,16 @@ impl Session {
                             "tenant_ids": ids,
                             "tenants_per_shard":
                                 shards.iter().map(|s| s.tenants).collect::<Vec<_>>(),
+                            "rebalances_replayed": self
+                                .last_recovery
+                                .as_ref()
+                                .map(|r| r.rebalances_replayed)
+                                .unwrap_or(0),
+                            "migrations_replayed": self
+                                .last_recovery
+                                .as_ref()
+                                .map(|r| r.migrations_replayed)
+                                .unwrap_or(0),
                         }))
                         .expect("serializable"),
                     ),
@@ -879,15 +1064,52 @@ fn stepped_line_at(outcome: &StepOutcome, line: usize) -> String {
     }
 }
 
-fn rebalanced_line(report: &crate::RebalanceReport) -> String {
+fn rebalanced_line(report: &crate::RebalanceReport, auto: bool) -> String {
     serde_json::to_string(&serde_json::json!({
         "op": "rebalanced",
+        "mode": if report.incremental { "incremental" } else { "full" },
+        "auto": auto,
         "shards": report.shards,
         "vnodes": report.vnodes,
         "tenants": report.tenants,
         "moved": report.moved,
         "seq": report.seq,
         "durable": report.durable,
+    }))
+    .expect("serializable")
+}
+
+/// The auto-rebalancing policy state as a JSON value (`null` = disabled),
+/// shared by the `autoscale` response and the `stats` report.
+fn autoscale_value(status: Option<crate::TopologyStatus>) -> serde::Value {
+    match status {
+        None => serde::Value::Null,
+        Some(s) => serde_json::json!({
+            "min": s.config.min_shards,
+            "max": s.config.max_shards,
+            "switch_cost": s.config.switch_cost,
+            "shard_cost": s.config.shard_cost,
+            "cooldown": s.config.cooldown,
+            "shards": s.shards,
+            "target": s.target,
+            "lower": s.lower,
+            "upper": s.upper,
+            "ticks": s.ticks,
+            "imbalance_cost": s.imbalance_cost,
+            "switch_cost_accrued": s.switch_cost_accrued,
+            "migrations": s.migrations,
+            "tenants_moved": s.tenants_moved,
+            "event_skew": s.event_skew,
+        }),
+    }
+}
+
+fn autoscale_line(status: Option<crate::TopologyStatus>) -> String {
+    let enabled = status.is_some();
+    serde_json::to_string(&serde_json::json!({
+        "op": "autoscale",
+        "enabled": enabled,
+        "policy": autoscale_value(status),
     }))
     .expect("serializable")
 }
@@ -972,6 +1194,19 @@ mod tests {
             "{\"op\":\"admit\",\"id\":\"t\",\"m\":4,\"beta\":1.0,\"policy\":\"zzz\"}"
         )
         .is_err());
+        // Autoscale: min/max come as a pair, and knob-only retunes are
+        // refused rather than silently read back.
+        assert!(parse_record("{\"op\":\"autoscale\",\"max\":4}").is_err());
+        assert!(parse_record("{\"op\":\"autoscale\",\"switch_cost\":2.0}").is_err());
+        assert!(parse_record("{\"op\":\"autoscale\",\"cooldown\":3}").is_err());
+        assert!(
+            parse_record("{\"op\":\"autoscale\",\"off\":true,\"cooldown\":3}").is_ok(),
+            "off wins; stray knobs on a disable are harmless"
+        );
+        assert!(
+            parse_record("{\"op\":\"autoscale\"}").is_ok(),
+            "bare read-back"
+        );
     }
 
     #[test]

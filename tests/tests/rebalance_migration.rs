@@ -15,8 +15,9 @@
 use proptest::prelude::*;
 use rsdc_core::Cost;
 use rsdc_engine::journal::JournalRecord;
+use rsdc_engine::ring::{moved_ids, HashRing};
 use rsdc_engine::{
-    Engine, EngineConfig, FleetSpec, HeteroAlgo, PolicySpec, RingSpec, TenantConfig,
+    Engine, EngineConfig, FleetSpec, HeteroAlgo, PolicySpec, RingSpec, TenantConfig, TopologyConfig,
 };
 use rsdc_hetero::ServerType;
 use rsdc_store::{Durability, FileStore, FileStoreConfig};
@@ -313,6 +314,315 @@ proptest! {
             rebalance_to, vnodes_to, ck_every, kill_at, shards_after, mid == 1,
         );
     }
+}
+
+/// Perform one incremental migration on `engine`, asserting the moved set
+/// is **exactly** the ring diff (no tenant moved that didn't have to, and
+/// none that had to was skipped).
+fn incremental_step(engine: &mut Engine, to: usize, vnodes: Option<usize>) {
+    let old_spec = engine.ring_spec();
+    let new_spec = RingSpec::new(to, vnodes.unwrap_or(old_spec.vnodes));
+    let ids = engine.tenant_ids().expect("ids");
+    let mut want = moved_ids(
+        &HashRing::new(old_spec),
+        &HashRing::new(new_spec),
+        ids.iter().map(|s| s.as_str()),
+    );
+    want.sort_unstable();
+    let report = engine
+        .rebalance_incremental(to, vnodes)
+        .expect("incremental rebalance");
+    assert!(report.incremental);
+    assert_eq!(
+        report.moved_ids, want,
+        "incremental migration must move exactly the ring diff"
+    );
+    assert_eq!(report.tenants, want.len(), "only the diff was re-installed");
+    assert_eq!(engine.ring_spec(), new_spec);
+    assert_eq!(engine.live_tenants().expect("live"), ids.len());
+}
+
+/// The incremental twin of `run_case`: random fleets × incremental
+/// migration schedules × kill points, including the journal-then-die
+/// window where a `Migrate` record survives in the WAL tail. Recovery
+/// must be byte-identical to the static single-shard reference, and the
+/// recovery report must count the interrupted migration.
+#[allow(clippy::too_many_arguments)]
+fn run_incremental_case(
+    seed: u64,
+    n_scalar: usize,
+    n_hetero: usize,
+    shards_before: usize,
+    migrate_at: usize,
+    migrate_to: usize,
+    vnodes_to: usize,
+    ck_every: usize,
+    kill_at: usize,
+    shards_after: usize,
+    mid_kill: bool,
+) {
+    let trace = Diurnal::default().generate(SLOTS, seed);
+    let fleet = build_fleet(seed, n_scalar, n_hetero);
+    let want = reference_run(&trace.loads, &fleet);
+
+    let dir = case_dir("inc");
+    let mut engine = Engine::with_store(EngineConfig::with_shards(shards_before), open_store(&dir))
+        .expect("durable engine");
+    for cfg in &fleet {
+        engine.admit(cfg.clone()).expect("admit");
+    }
+    for (t, &load) in trace.loads[..kill_at].iter().enumerate() {
+        engine
+            .step_batch_loads(slot_events(&fleet, load))
+            .expect("step");
+        if (t + 1) % ck_every == 0 {
+            engine.checkpoint().expect("checkpoint");
+        }
+        if t + 1 == migrate_at {
+            incremental_step(&mut engine, migrate_to, Some(vnodes_to));
+        }
+        // A second, seed-derived incremental migration: sequences of
+        // topology changes, including shrink-then-regrow (retired shard
+        // indices coming back) and vnode-density churn.
+        if t + 1 == migrate_at + 1 + (seed as usize % 5) {
+            let to = 1 + ((seed / 3) as usize % 4);
+            incremental_step(&mut engine, to, None);
+        }
+    }
+    drop(engine); // crash
+
+    // Journal-then-die: the Migrate record reached the WAL but the crash
+    // hit before the fencing checkpoint — exactly the write-ahead window
+    // of Engine::rebalance_incremental. Recovery must finish the change.
+    let mid_target = RingSpec::new(1 + (seed as usize % 4), 8 + (seed as usize % 48));
+    if mid_kill {
+        let store = open_store(&dir);
+        store.recover().expect("scan");
+        store
+            .append(
+                0,
+                &JournalRecord::Migrate {
+                    shards: mid_target.shards,
+                    vnodes: mid_target.vnodes,
+                    moved: vec!["s0".into(), "h0".into()],
+                }
+                .encode(),
+            )
+            .expect("journal migrate");
+        store.sync().expect("sync");
+    }
+
+    let (engine, report) =
+        Engine::recover(EngineConfig::with_shards(shards_after), open_store(&dir))
+            .expect("recover");
+    assert_eq!(report.replay_errors, 0, "clean replay");
+    assert_eq!(report.rebalances_replayed, 0, "no full-rebalance records");
+    if mid_kill {
+        assert_eq!(
+            report.migrations_replayed, 1,
+            "the interrupted Migrate record must be counted"
+        );
+        assert_eq!(
+            engine.ring_spec(),
+            mid_target,
+            "recovery completes the interrupted incremental migration"
+        );
+    } else {
+        assert_eq!(report.migrations_replayed, 0, "fenced migrations truncate");
+    }
+    for &load in &trace.loads[kill_at..] {
+        engine
+            .step_batch_loads(slot_events(&fleet, load))
+            .expect("step");
+    }
+    for cfg in &fleet {
+        engine.finish(&cfg.id).expect("finish");
+    }
+    assert_eq!(
+        report_texts(&engine),
+        want,
+        "incremental migration + kill must report byte-identically to the static engine"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random fleet × incremental-migration schedule × kill point
+    /// (including the journal-then-die mid-`Migrate` window):
+    /// byte-identical reports, moved set = ring diff exactly.
+    #[test]
+    fn random_incremental_migrations_recover_bit_identically(
+        seed in 0u64..1_000_000,
+        n_scalar in 2usize..6,
+        n_hetero in 0usize..3,
+        shards_before in 1usize..4,
+        migrate_at in 1usize..SLOTS,
+        migrate_to in 1usize..5,
+        vnodes_to in 8usize..96,
+        ck_every in 1usize..18,
+        kill_at in 1usize..SLOTS,
+        shards_after in 1usize..4,
+        mid in 0u8..2,
+    ) {
+        run_incremental_case(
+            seed, n_scalar, n_hetero, shards_before, migrate_at,
+            migrate_to, vnodes_to, ck_every, kill_at, shards_after, mid == 1,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(heavy_cases(48)))]
+
+    /// Nightly-depth version of the incremental kill-point property
+    /// (`--include-ignored`, scaled by `RSDC_HEAVY_CASES`).
+    #[test]
+    #[ignore = "heavy: run via the nightly --include-ignored CI job"]
+    fn random_incremental_migrations_recover_bit_identically_heavy(
+        seed in 0u64..1_000_000,
+        n_scalar in 2usize..6,
+        n_hetero in 0usize..3,
+        shards_before in 1usize..4,
+        migrate_at in 1usize..SLOTS,
+        migrate_to in 1usize..5,
+        vnodes_to in 8usize..96,
+        ck_every in 1usize..18,
+        kill_at in 1usize..SLOTS,
+        shards_after in 1usize..4,
+        mid in 0u8..2,
+    ) {
+        run_incremental_case(
+            seed, n_scalar, n_hetero, shards_before, migrate_at,
+            migrate_to, vnodes_to, ck_every, kill_at, shards_after, mid == 1,
+        );
+    }
+}
+
+/// Auto-triggered chaos: the topology policy steers a **durable** engine
+/// over a load ramp (trickle → flood → trickle), every applied decision
+/// is an incremental migration, and a crash at the end must recover
+/// byte-identically to a static single-shard engine fed the same
+/// per-tenant streams. Topology decisions must never leak into tenant
+/// state.
+#[test]
+fn auto_triggered_migrations_survive_a_crash_losslessly() {
+    let fleet = build_fleet(13, 6, 2);
+    let trace = Diurnal::default().generate(SLOTS, 13);
+    // Slot t steps only the first k_t tenants: the varying batch size is
+    // what drives the policy's induced cost up and down.
+    let subset = |t: usize| -> usize {
+        match t {
+            0..=9 => 2,
+            10..=24 => fleet.len(),
+            _ => 2,
+        }
+    };
+    let sub_events = |t: usize, load: f64| {
+        let mut ev = slot_events(&fleet, load);
+        ev.truncate(subset(t));
+        ev
+    };
+    // Reference: same streams, one static shard, no policy.
+    let reference = Engine::new(EngineConfig::with_shards(1));
+    for cfg in &fleet {
+        reference.admit(cfg.clone()).expect("admit");
+    }
+    for (t, &load) in trace.loads.iter().enumerate() {
+        reference
+            .step_batch_loads(sub_events(t, load))
+            .expect("step");
+    }
+    for cfg in &fleet {
+        reference.finish(&cfg.id).expect("finish");
+    }
+    let want = report_texts(&reference);
+
+    let dir = case_dir("auto");
+    let mut engine =
+        Engine::with_store(EngineConfig::with_shards(1), open_store(&dir)).expect("engine");
+    let mut cfg = TopologyConfig::new(1, 4);
+    cfg.switch_cost = 3.0;
+    cfg.cooldown = 1;
+    engine.set_autoscale(Some(cfg)).expect("autoscale on");
+    for cfg in &fleet {
+        engine.admit(cfg.clone()).expect("admit");
+    }
+    let kill_at = 33;
+    let mut migrations = 0;
+    for (t, &load) in trace.loads[..kill_at].iter().enumerate() {
+        engine.step_batch_loads(sub_events(t, load)).expect("step");
+        if let Some(report) = engine.maybe_autoscale().expect("autoscale") {
+            assert!(report.incremental, "auto decisions migrate incrementally");
+            assert!(report.durable, "on a durable engine they are fenced");
+            migrations += 1;
+        }
+    }
+    assert!(migrations >= 2, "the ramp must trigger grow and shrink");
+    assert!(engine.autoscale_status().expect("status").migrations >= migrations as u64);
+    drop(engine); // crash
+
+    let (engine, report) =
+        Engine::recover(EngineConfig::with_shards(2), open_store(&dir)).expect("recover");
+    assert_eq!(report.replay_errors, 0);
+    for (t, &load) in trace.loads.iter().enumerate().skip(kill_at) {
+        engine.step_batch_loads(sub_events(t, load)).expect("step");
+    }
+    for cfg in &fleet {
+        engine.finish(&cfg.id).expect("finish");
+    }
+    assert_eq!(report_texts(&engine), want);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite regression: a recovery that completes an interrupted
+/// incremental migration must say so — `migrations_replayed` in the
+/// recovery report, and both replay counters surfaced by the wire
+/// `wal_stats` op.
+#[test]
+fn recovered_engine_reports_migrations_replayed_in_wal_stats() {
+    use rsdc_engine::wire::Session;
+    let fleet = build_fleet(3, 3, 1);
+    let dir = case_dir("walstats");
+    let engine =
+        Engine::with_store(EngineConfig::with_shards(2), open_store(&dir)).expect("engine");
+    for cfg in &fleet {
+        engine.admit(cfg.clone()).expect("admit");
+    }
+    for &load in &Diurnal::default().generate(6, 3).loads {
+        engine
+            .step_batch_loads(slot_events(&fleet, load))
+            .expect("step");
+    }
+    drop(engine); // crash
+                  // Inject the journal-then-die window for an incremental migration.
+    let store = open_store(&dir);
+    store.recover().expect("scan");
+    store
+        .append(
+            0,
+            &JournalRecord::Migrate {
+                shards: 3,
+                vnodes: 32,
+                moved: vec!["s1".into()],
+            }
+            .encode(),
+        )
+        .expect("append");
+    store.sync().expect("sync");
+
+    let (mut session, report) = Session::open_durable(2, open_store(&dir)).expect("open");
+    let report = report.expect("store had state");
+    assert_eq!(report.migrations_replayed, 1);
+    assert_eq!(report.rebalances_replayed, 0);
+    assert_eq!(session.engine().ring_spec(), RingSpec::new(3, 32));
+    let out = session.handle_lines(["{\"op\":\"wal_stats\"}"]);
+    let v: serde::Value = serde_json::from_str(&out[0]).unwrap();
+    assert_eq!(v["op"], "wal_stats");
+    assert_eq!(v["migrations_replayed"], 1);
+    assert_eq!(v["rebalances_replayed"], 0);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Back-to-back rebalances (a pathological control-plane storm) on a

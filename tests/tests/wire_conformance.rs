@@ -92,13 +92,20 @@ fn every_wire_md_example_matches_a_live_session() {
     let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../docs/WIRE.md");
     let doc = std::fs::read_to_string(doc_path).expect("read docs/WIRE.md");
     let blocks = conformance_blocks(&doc);
+    // PR 5 raised the floor: the doc now also pins the autoscale op (a
+    // live auto-trigger transcript plus its error cases), incremental
+    // rebalance, and the skew/policy-carrying stats + wal_stats shapes.
     assert!(
-        blocks.len() >= 10,
+        blocks.len() >= 17,
         "WIRE.md must keep its per-op conformance coverage, found {}",
         blocks.len()
     );
     let executed: usize = blocks.iter().map(|b| b.requests.len()).sum();
-    assert!(executed >= 40, "suspiciously few requests: {executed}");
+    assert!(executed >= 90, "suspiciously few requests: {executed}");
+    assert!(
+        doc.contains("\"op\":\"autoscale\"") && doc.contains("\"mode\":\"incremental\""),
+        "the autoscale and incremental-rebalance examples must stay documented"
+    );
 
     for (tag, block) in blocks.iter().enumerate() {
         let dir = fresh_dir(tag);
