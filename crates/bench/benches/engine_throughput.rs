@@ -24,8 +24,18 @@ const TENANTS: usize = 10_000;
 const M: u32 = 128;
 const BETA: f64 = 4.0;
 
+/// Benches run with the metrics registry disabled — the documented
+/// hot-path configuration — so the numbers price the engine itself, not
+/// the observability layer. (`engine_bench` records the same shape to
+/// `BENCH_engine.json`.)
+fn bench_cfg(shards: usize) -> EngineConfig {
+    let mut cfg = EngineConfig::with_shards(shards);
+    cfg.metrics = false;
+    cfg
+}
+
 fn setup(shards: usize) -> Engine {
-    let engine = Engine::new(EngineConfig::with_shards(shards));
+    let engine = Engine::new(bench_cfg(shards));
     for i in 0..TENANTS {
         let policy = if i % 2 == 0 {
             PolicySpec::Lcp
@@ -113,7 +123,7 @@ fn bench_hetero_throughput(c: &mut Criterion) {
         })
         .collect();
     for algo in [HeteroAlgo::Frontier, HeteroAlgo::Greedy] {
-        let engine = Engine::new(EngineConfig::with_shards(2));
+        let engine = Engine::new(bench_cfg(2));
         for i in 0..HETERO_TENANTS {
             engine
                 .admit(TenantConfig::hetero(format!("h{i}"), fleet.clone(), algo))
@@ -169,8 +179,7 @@ fn bench_store_overhead(c: &mut Criterion) {
                 FileStore::open(&dir, FileStoreConfig { sync_every: 64 }).expect("open store"),
             ),
         };
-        let engine =
-            Engine::with_store(EngineConfig::with_shards(2), store).expect("durable engine");
+        let engine = Engine::with_store(bench_cfg(2), store).expect("durable engine");
         for i in 0..OVERHEAD_TENANTS {
             engine
                 .admit(TenantConfig::new(format!("t{i}"), M, BETA, PolicySpec::Lcp))
@@ -217,9 +226,9 @@ fn bench_rebalance(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
     for backend in ["ephemeral", "durable"] {
         let mut engine = match backend {
-            "ephemeral" => Engine::new(EngineConfig::with_shards(4)),
+            "ephemeral" => Engine::new(bench_cfg(4)),
             _ => Engine::with_store(
-                EngineConfig::with_shards(4),
+                bench_cfg(4),
                 Arc::new(
                     FileStore::open(&dir, FileStoreConfig { sync_every: 64 }).expect("open store"),
                 ),
@@ -276,7 +285,7 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
     // Moved set on a 4↔8 vnode-default swing (measured once below so the
     // throughput denominator is honest).
     for mode in ["full", "incremental"] {
-        let mut engine = Engine::new(EngineConfig::with_shards(4));
+        let mut engine = Engine::new(bench_cfg(4));
         for i in 0..REBALANCE_TENANTS {
             engine
                 .admit(TenantConfig::new(format!("t{i}"), M, BETA, PolicySpec::Lcp))

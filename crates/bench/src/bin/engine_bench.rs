@@ -1,0 +1,328 @@
+//! Engine throughput trajectory: a small wall-clock bench runner whose
+//! output is checked in as `BENCH_engine.json` at the repo root, so the
+//! engine's performance shape is recorded alongside the code that produced
+//! it.
+//!
+//! Four measurements, mirroring the Criterion `engine_throughput` groups
+//! but cheap enough to re-run by hand (and, with `--quick`, in CI):
+//!
+//! - `throughput`  — policy-steps/s at shard counts 1, 2, 4, 8
+//! - `store_overhead` — `NullStore` vs `FileStore` journaling at 2 shards
+//! - `hetero`      — frontier vs greedy configuration-lattice stepping
+//! - `rebalance`   — full vs incremental migration, tenants moved per
+//!   second on a 4↔8 shard swing
+//!
+//! The engine runs with the metrics registry **disabled** (the documented
+//! hot-path configuration), so these numbers price the engine, not the
+//! observability layer.
+//!
+//! USAGE: engine_bench [--quick] [--out FILE] [--validate FILE]
+//!
+//! `--validate` checks an existing file against the schema (sections
+//! present, every rate positive) and exits non-zero on mismatch — CI runs
+//! it over both a fresh `--quick` run and the checked-in trajectory.
+//! Absolute numbers are machine-dependent; only the schema is enforced.
+
+use rsdc_core::Cost;
+use rsdc_engine::{Engine, EngineConfig, FleetSpec, HeteroAlgo, PolicySpec, TenantConfig};
+use rsdc_hetero::ServerType;
+use rsdc_store::{Durability, FileStore, FileStoreConfig, NullStore};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Schema tag validated by `--validate`; bump on shape changes.
+const SCHEMA: &str = "rsdc-engine-bench/v1";
+
+const M: u32 = 128;
+const BETA: f64 = 4.0;
+
+struct Scale {
+    quick: bool,
+    tenants: usize,
+    hetero_tenants: usize,
+    rebalance_tenants: usize,
+    slots: usize,
+}
+
+impl Scale {
+    fn new(quick: bool) -> Scale {
+        if quick {
+            Scale {
+                quick,
+                tenants: 200,
+                hetero_tenants: 40,
+                rebalance_tenants: 100,
+                slots: 2,
+            }
+        } else {
+            Scale {
+                quick,
+                tenants: 2_000,
+                hetero_tenants: 300,
+                rebalance_tenants: 1_000,
+                slots: 8,
+            }
+        }
+    }
+}
+
+/// The hot-path engine configuration: metrics off.
+fn bench_cfg(shards: usize) -> EngineConfig {
+    let mut cfg = EngineConfig::with_shards(shards);
+    cfg.metrics = false;
+    cfg
+}
+
+fn scalar_batch(tenants: usize, slot: usize) -> Vec<(String, Cost)> {
+    (0..tenants)
+        .map(|i| {
+            let center = ((slot * 5 + i) % (M as usize + 1)) as f64;
+            (format!("t{i}"), Cost::abs(1.0, center))
+        })
+        .collect()
+}
+
+fn admit_scalar(engine: &Engine, tenants: usize) {
+    for i in 0..tenants {
+        let policy = if i % 2 == 0 {
+            PolicySpec::Lcp
+        } else {
+            PolicySpec::HalfStepRounded { seed: i as u64 }
+        };
+        engine
+            .admit(TenantConfig::new(format!("t{i}"), M, BETA, policy))
+            .expect("admit");
+    }
+}
+
+/// Steps/s over `slots` batches of one event per tenant.
+fn run_slots(engine: &Engine, tenants: usize, slots: usize) -> f64 {
+    let batches: Vec<_> = (0..slots).map(|t| scalar_batch(tenants, t)).collect();
+    let start = Instant::now();
+    for batch in batches {
+        engine.step_batch(batch).expect("step");
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (tenants * slots) as f64 / secs
+}
+
+fn measure_throughput(s: &Scale) -> Vec<serde::Value> {
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&shards| {
+            let engine = Engine::new(bench_cfg(shards));
+            admit_scalar(&engine, s.tenants);
+            run_slots(&engine, s.tenants, s.slots); // warm-up pass
+            let rate = run_slots(&engine, s.tenants, s.slots);
+            engine.shutdown();
+            serde_json::json!({"shards": shards, "steps_per_sec": rate})
+        })
+        .collect()
+}
+
+fn measure_store_overhead(s: &Scale) -> Vec<serde::Value> {
+    let dir = std::env::temp_dir()
+        .join("rsdc-engine-bench")
+        .join(format!("wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = ["null", "file"]
+        .iter()
+        .map(|&backend| {
+            let store: Arc<dyn Durability> = match backend {
+                "null" => Arc::new(NullStore),
+                _ => Arc::new(
+                    FileStore::open(&dir, FileStoreConfig { sync_every: 64 }).expect("open store"),
+                ),
+            };
+            let engine = Engine::with_store(bench_cfg(2), store).expect("durable engine");
+            admit_scalar(&engine, s.tenants);
+            run_slots(&engine, s.tenants, s.slots);
+            let rate = run_slots(&engine, s.tenants, s.slots);
+            engine.shutdown();
+            serde_json::json!({"backend": backend, "steps_per_sec": rate})
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+fn measure_hetero(s: &Scale) -> Vec<serde::Value> {
+    let fleet = FleetSpec::new(vec![
+        ServerType {
+            count: 3,
+            beta: 1.0,
+            energy: 1.0,
+            capacity: 1.0,
+        },
+        ServerType {
+            count: 2,
+            beta: 2.5,
+            energy: 1.4,
+            capacity: 2.0,
+        },
+    ]);
+    [HeteroAlgo::Frontier, HeteroAlgo::Greedy]
+        .iter()
+        .map(|&algo| {
+            let engine = Engine::new(bench_cfg(2));
+            for i in 0..s.hetero_tenants {
+                engine
+                    .admit(TenantConfig::hetero(format!("h{i}"), fleet.clone(), algo))
+                    .expect("admit");
+            }
+            let run = |engine: &Engine| -> f64 {
+                let start = Instant::now();
+                for t in 0..s.slots {
+                    let batch: Vec<(String, Cost, Option<f64>)> = (0..s.hetero_tenants)
+                        .map(|i| {
+                            let load = 0.5 + ((t * 5 + i) % 11) as f64 * 0.5;
+                            (format!("h{i}"), Cost::Zero, Some(load))
+                        })
+                        .collect();
+                    engine.step_batch_loads(batch).expect("step");
+                }
+                let secs = start.elapsed().as_secs_f64().max(1e-9);
+                (s.hetero_tenants * s.slots) as f64 / secs
+            };
+            run(&engine);
+            let rate = run(&engine);
+            engine.shutdown();
+            let name = match algo {
+                HeteroAlgo::Frontier => "frontier",
+                HeteroAlgo::Greedy => "greedy",
+            };
+            serde_json::json!({"algo": name, "steps_per_sec": rate})
+        })
+        .collect()
+}
+
+fn measure_rebalance(s: &Scale) -> Vec<serde::Value> {
+    ["full", "incremental"]
+        .iter()
+        .map(|&mode| {
+            let mut engine = Engine::new(bench_cfg(4));
+            admit_scalar(&engine, s.rebalance_tenants);
+            for t in 0..2usize {
+                engine
+                    .step_batch(scalar_batch(s.rebalance_tenants, t))
+                    .expect("step");
+            }
+            // Swing 4↔8 an even number of times so the engine ends where it
+            // started; each swing moves the same deterministic ring diff.
+            let swings = if s.quick { 2 } else { 6 };
+            let mut moved_total = 0usize;
+            let start = Instant::now();
+            for k in 0..swings {
+                let to = if k % 2 == 0 { 8 } else { 4 };
+                let report = match mode {
+                    "incremental" => engine.rebalance_incremental(to, None),
+                    _ => engine.rebalance(to, None),
+                }
+                .expect("rebalance");
+                moved_total += report.moved;
+            }
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            engine.shutdown();
+            serde_json::json!({"mode": mode, "moved_per_sec": moved_total as f64 / secs})
+        })
+        .collect()
+}
+
+/// Schema check: every section present, every rate a positive number.
+/// Returns the list of violations (empty = valid).
+pub fn validate(doc: &serde::Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    if doc["schema"].as_str() != Some(SCHEMA) {
+        errs.push(format!("schema != {SCHEMA:?}"));
+    }
+    let sections: [(&str, &[&str]); 4] = [
+        ("throughput", &["shards", "steps_per_sec"]),
+        ("store_overhead", &["backend", "steps_per_sec"]),
+        ("hetero", &["algo", "steps_per_sec"]),
+        ("rebalance", &["mode", "moved_per_sec"]),
+    ];
+    for (section, fields) in sections {
+        let rows = match doc["results"][section].as_array() {
+            Some(rows) if !rows.is_empty() => rows,
+            _ => {
+                errs.push(format!("results.{section}: missing or empty"));
+                continue;
+            }
+        };
+        for (i, row) in rows.iter().enumerate() {
+            for field in fields {
+                let v = &row[*field];
+                let numeric_ok = v.as_f64().is_some_and(|x| x > 0.0);
+                if !(numeric_ok || v.as_str().is_some()) {
+                    errs.push(format!("results.{section}[{i}].{field}: bad value"));
+                }
+            }
+        }
+    }
+    errs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    if let Some(path) = opt("--validate") {
+        let data = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let doc: serde::Value =
+            serde_json::from_str(&data).unwrap_or_else(|e| panic!("parsing {path}: {e:?}"));
+        let errs = validate(&doc);
+        if errs.is_empty() {
+            println!("{path}: valid {SCHEMA}");
+            return;
+        }
+        for e in &errs {
+            eprintln!("{path}: {e}");
+        }
+        std::process::exit(1);
+    }
+
+    let scale = Scale::new(flag("--quick"));
+    eprintln!(
+        "engine_bench: {} tenants x {} slots{}",
+        scale.tenants,
+        scale.slots,
+        if scale.quick { " (quick)" } else { "" }
+    );
+    let throughput = measure_throughput(&scale);
+    eprintln!("engine_bench: throughput done");
+    let store_overhead = measure_store_overhead(&scale);
+    eprintln!("engine_bench: store overhead done");
+    let hetero = measure_hetero(&scale);
+    eprintln!("engine_bench: hetero done");
+    let rebalance = measure_rebalance(&scale);
+    eprintln!("engine_bench: rebalance done");
+
+    let doc = serde_json::json!({
+        "schema": SCHEMA,
+        "quick": scale.quick,
+        "tenants": scale.tenants,
+        "slots": scale.slots,
+        "results": {
+            "throughput": serde::Value::Array(throughput),
+            "store_overhead": serde::Value::Array(store_overhead),
+            "hetero": serde::Value::Array(hetero),
+            "rebalance": serde::Value::Array(rebalance),
+        },
+    });
+    let errs = validate(&doc);
+    assert!(errs.is_empty(), "self-validation failed: {errs:?}");
+    let text = serde_json::to_string_pretty(&doc).expect("render") + "\n";
+    match opt("--out") {
+        Some(path) => {
+            std::fs::write(&path, text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("engine_bench: wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+}

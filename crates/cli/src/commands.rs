@@ -86,6 +86,11 @@ COMMANDS
              durability: [--data-dir DIR] [--checkpoint-every N]
              [--fsync-every N]  (a non-empty DIR is recovered: checkpoint +
              WAL replay rebuild the pre-crash engine, then the run resumes)
+             observability: [--no-metrics] (disable the metrics registry)
+             [--trace-capacity N] (control-plane trace ring size, default
+             256) [--metrics-dump FILE] (write Prometheus text on exit and
+             after checkpoints; query live via {\"op\":\"metrics\"} /
+             {\"op\":\"trace\"})
   help       this text
 ";
 
@@ -335,8 +340,11 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
         if vnodes > 0 {
             cfg.vnodes = vnodes;
         }
+        cfg.metrics = !args.has_flag("no-metrics");
+        cfg.trace_capacity = args.get_or("trace-capacity", rsdc_engine::DEFAULT_TRACE_CAPACITY)?;
         cfg
     };
+    let metrics_dump = args.get_str("metrics-dump").map(str::to_owned);
     let checkpoint_every: u64 = args.get_or("checkpoint-every", 0)?;
     let mut responses: Vec<String> = Vec::new();
     let mut session = match args.get_str("data-dir") {
@@ -499,6 +507,22 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
         out.extend(session.handle_lines(tail.iter().map(|s| s.as_str())));
         out
     };
+    // Prometheus text dump: refreshed after any checkpoint taken during the
+    // run, and once more on exit so the file always reflects final totals.
+    let dump = |session: &wire::Session| -> Result<(), CmdError> {
+        if let Some(path) = &metrics_dump {
+            let text = session.engine().obs().registry().render_prometheus();
+            std::fs::write(path, text)
+                .map_err(|e| CmdError::Other(format!("writing --metrics-dump {path}: {e}")))?;
+        }
+        Ok(())
+    };
+    if body_lines
+        .iter()
+        .any(|l| l.contains("\"op\":\"checkpointed\""))
+    {
+        dump(&session)?;
+    }
     responses.extend(body_lines);
 
     // A durable run ends on a checkpoint, so the next start over the same
@@ -506,6 +530,7 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
     if session.engine().store().is_durable() {
         responses.extend(session.handle_lines(["{\"op\":\"checkpoint\"}"]));
     }
+    dump(&session)?;
 
     let body = responses.join("\n") + "\n";
     write_output(args, "engine responses", body)
@@ -866,6 +891,51 @@ mod tests {
         assert_eq!(report["report"]["events"], 2);
         // A malformed rate limit is a usage error.
         assert!(dispatch(&args(&["engine", "--events", &p, "--rate-limit", "fast",])).is_err());
+    }
+
+    #[test]
+    fn engine_observability_flags() {
+        let p = tmp("obsflags.jsonl");
+        let events = "\
+{\"op\":\"admit\",\"id\":\"a\",\"m\":6,\"beta\":4.0,\"policy\":\"lcp\"}\n\
+{\"op\":\"step\",\"id\":\"a\",\"load\":2.0}\n\
+{\"op\":\"metrics\"}\n\
+{\"op\":\"trace\"}\n";
+        std::fs::write(&p, events).unwrap();
+        let dump = tmp("obsflags.prom");
+        let out = dispatch(&args(&[
+            "engine",
+            "--events",
+            &p,
+            "--trace-capacity",
+            "8",
+            "--metrics-dump",
+            &dump,
+        ]))
+        .unwrap();
+        let parsed: Vec<serde_json::Value> = out
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        let metrics = parsed.iter().find(|v| v["op"] == "metrics").unwrap();
+        assert_eq!(metrics["enabled"], true);
+        let trace = parsed.iter().find(|v| v["op"] == "trace").unwrap();
+        assert_eq!(trace["capacity"], 8, "--trace-capacity sizes the ring");
+        let prom = std::fs::read_to_string(&dump).unwrap();
+        assert!(
+            prom.contains("engine_events_ingested 1"),
+            "Prometheus dump records the ingested event: {prom}"
+        );
+        // --no-metrics empties the registry but keeps the ops answering.
+        let out = dispatch(&args(&["engine", "--events", &p, "--no-metrics"])).unwrap();
+        let metrics = out
+            .lines()
+            .map(|l| serde_json::from_str::<serde_json::Value>(l).unwrap())
+            .find(|v| v["op"] == "metrics")
+            .unwrap();
+        assert_eq!(metrics["enabled"], false);
+        assert_eq!(metrics["metrics"].as_array().unwrap().len(), 0);
+        let _ = std::fs::remove_file(&dump);
     }
 
     #[test]

@@ -155,6 +155,13 @@ impl AdmissionControl {
         self.cfg
     }
 
+    /// The gate's logical clock: ticks advanced so far, one per ingested
+    /// batch. This is the engine's logical time — rebalance reports and
+    /// trace events are stamped with it.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
     /// Replace the limits. Buckets keep their levels (tightening `burst`
     /// caps them at the next refill); disabling rate limits drops all
     /// bucket state. `burst` is normalized to the effective (rate-clamped)

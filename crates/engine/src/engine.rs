@@ -4,13 +4,14 @@
 
 use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionError};
 use crate::journal::{CheckpointDoc, JournalRecord};
+use crate::obs::EngineObs;
 use crate::ring::{moved_ids, HashRing, RingSpec, DEFAULT_VNODES};
 use crate::shard::{Event, Request, Shard, ShardMeta, ShardStats, StepOutcome};
 use crate::tenant::{TenantConfig, TenantReport, TenantSnapshot};
 use crate::topology::{TopologyConfig, TopologyPolicy, TopologyStatus};
 use crate::EngineError;
 use rsdc_core::Cost;
-use rsdc_store::{Durability, NullStore};
+use rsdc_store::{Durability, InstrumentedStore, NullStore};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
@@ -25,7 +26,18 @@ pub struct EngineConfig {
     pub shards: usize,
     /// Virtual nodes per shard on the ring.
     pub vnodes: usize,
+    /// Whether the metrics registry records anything. `false` bakes a
+    /// no-op flag into every handle (the ingestion hot path pays one
+    /// branch). Metrics live outside journaled state either way: this
+    /// flag never changes a journaled or recovered byte.
+    pub metrics: bool,
+    /// Control-plane trace ring capacity, in events (clamped to `>= 1`;
+    /// tracing is off whenever `metrics` is off).
+    pub trace_capacity: usize,
 }
+
+/// Default control-plane trace capacity, in events.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -34,6 +46,8 @@ impl Default for EngineConfig {
                 .map(|n| n.get().min(8))
                 .unwrap_or(4),
             vnodes: DEFAULT_VNODES,
+            metrics: true,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -44,6 +58,8 @@ impl EngineConfig {
         EngineConfig {
             shards: shards.max(1),
             vnodes: DEFAULT_VNODES,
+            metrics: true,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -52,6 +68,8 @@ impl EngineConfig {
         EngineConfig {
             shards: shards.max(1),
             vnodes: vnodes.max(1),
+            metrics: true,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -75,7 +93,13 @@ pub struct Engine {
     senders: Vec<Sender<Request>>,
     handles: Vec<JoinHandle<()>>,
     ring: HashRing,
+    /// The journaling handle shards write through: `raw_store` wrapped in
+    /// an [`InstrumentedStore`] reporting to `obs`.
     store: Arc<dyn Durability>,
+    /// The backend as constructed, before instrumentation — what recovery
+    /// re-wraps, so stores never nest observers.
+    raw_store: Arc<dyn Durability>,
+    obs: Arc<EngineObs>,
     attached: AtomicBool,
     admission: Mutex<AdmissionControl>,
     topology: Mutex<Option<TopologyPolicy>>,
@@ -118,6 +142,10 @@ pub struct RebalanceReport {
     pub seq: u64,
     /// Whether the topology change was fenced by a durable checkpoint.
     pub durable: bool,
+    /// The engine's logical clock (admission-gate ticks, one per ingested
+    /// batch) when the operation ran — correlates the report with trace
+    /// events and `autoscale` read-backs.
+    pub tick: u64,
 }
 
 /// What [`Engine::recover`] reconstructed from disk.
@@ -182,22 +210,30 @@ impl Engine {
         Ok(engine)
     }
 
-    fn spawn_workers(n: usize) -> (Vec<Sender<Request>>, Vec<JoinHandle<()>>) {
-        Engine::spawn_worker_range(0, n)
+    fn spawn_workers(
+        n: usize,
+        obs: &Arc<EngineObs>,
+    ) -> (Vec<Sender<Request>>, Vec<JoinHandle<()>>) {
+        Engine::spawn_worker_range(0, n, obs)
     }
 
     /// Spawn workers for shard indices `from..to` (an incremental grow
     /// spawns only the new indices).
-    fn spawn_worker_range(from: usize, to: usize) -> (Vec<Sender<Request>>, Vec<JoinHandle<()>>) {
+    fn spawn_worker_range(
+        from: usize,
+        to: usize,
+        obs: &Arc<EngineObs>,
+    ) -> (Vec<Sender<Request>>, Vec<JoinHandle<()>>) {
         let mut senders = Vec::with_capacity(to.saturating_sub(from));
         let mut handles = Vec::with_capacity(to.saturating_sub(from));
         for index in from..to {
             let (tx, rx) = channel();
             senders.push(tx);
+            let obs = obs.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rsdc-shard-{index}"))
-                    .spawn(move || Shard::run(index, rx))
+                    .spawn(move || Shard::run(index, rx, obs))
                     .expect("spawn shard worker"),
             );
         }
@@ -206,12 +242,20 @@ impl Engine {
 
     fn spawn(cfg: EngineConfig, store: Arc<dyn Durability>) -> Engine {
         let spec = cfg.ring_spec();
-        let (senders, handles) = Engine::spawn_workers(spec.shards);
+        let obs = Arc::new(EngineObs::new(cfg.metrics, cfg.trace_capacity));
+        // Shards journal through the instrumented wrapper; the raw handle
+        // is kept for recovery (which must not re-wrap a wrapper).
+        let raw_store = store;
+        let store: Arc<dyn Durability> =
+            Arc::new(InstrumentedStore::new(raw_store.clone(), obs.clone()));
+        let (senders, handles) = Engine::spawn_workers(spec.shards, &obs);
         Engine {
             senders,
             handles,
             ring: HashRing::new(spec),
             store,
+            raw_store,
+            obs,
             attached: AtomicBool::new(false),
             admission: Mutex::new(AdmissionControl::default()),
             topology: Mutex::new(None),
@@ -229,9 +273,28 @@ impl Engine {
         Ok(())
     }
 
-    /// The durability backend this engine journals through.
+    /// The durability backend this engine journals through (the
+    /// metrics-instrumented wrapper).
     pub fn store(&self) -> &Arc<dyn Durability> {
         &self.store
+    }
+
+    /// The durability backend as constructed, without the metrics
+    /// wrapper — what a restart should hand back to [`Engine::recover`].
+    pub fn raw_store(&self) -> &Arc<dyn Durability> {
+        &self.raw_store
+    }
+
+    /// The engine's observability state: metrics registry, control-plane
+    /// trace, WAL write-volume counters.
+    pub fn obs(&self) -> &Arc<EngineObs> {
+        &self.obs
+    }
+
+    /// The engine's logical clock: admission-gate ticks, one per ingested
+    /// batch. Stamped onto rebalance reports and trace events.
+    pub fn logical_tick(&self) -> u64 {
+        self.gate().now()
     }
 
     /// Number of shards.
@@ -305,19 +368,44 @@ impl Engine {
     /// rate) so the topology settles before the fleet shifts under it
     /// again.
     pub fn maybe_autoscale(&mut self) -> Result<Option<RebalanceReport>, EngineError> {
-        let (target, cooldown) = match self.policy().as_ref() {
-            Some(policy) => (policy.pending(), policy.config().cooldown),
-            None => (None, 0),
+        let (target, cooldown, status) = match self.policy().as_ref() {
+            Some(policy) => (
+                policy.pending(),
+                policy.config().cooldown,
+                Some(policy.status()),
+            ),
+            None => (None, 0, None),
         };
         let Some(shards) = target else {
             return Ok(None);
         };
         let from = self.shards();
+        if let Some(status) = &status {
+            // The decision record carries the live LCP state that forced
+            // it: both bounds, and the accrued costs whose comparison is
+            // the paper's trigger condition.
+            self.obs.event(
+                self.logical_tick(),
+                "autoscale_decision",
+                vec![
+                    ("from", from.into()),
+                    ("target", shards.into()),
+                    ("lower", status.lower.into()),
+                    ("upper", status.upper.into()),
+                    ("imbalance_cost", status.imbalance_cost.into()),
+                    ("switch_cost_accrued", status.switch_cost_accrued.into()),
+                    ("event_skew", status.event_skew.into()),
+                ],
+            );
+        }
         let report = self.rebalance_incremental(shards, None)?;
         if let Some(policy) = self.policy().as_mut() {
             policy.record_applied(from, report.shards, report.moved);
         }
         self.gate().begin_migration_window(cooldown);
+        if cooldown > 0 {
+            self.obs.note_window(self.logical_tick(), true);
+        }
         Ok(Some(report))
     }
 
@@ -386,8 +474,10 @@ impl Engine {
             } else {
                 0
             };
-            gate.check_admit(&cfg.id, live)
-                .map_err(EngineError::Admission)?;
+            gate.check_admit(&cfg.id, live).map_err(|e| {
+                self.obs.count_refusal(&e);
+                EngineError::Admission(e)
+            })?;
         }
         self.admit_unchecked(cfg)
     }
@@ -482,18 +572,27 @@ impl Engine {
         &self,
         events: Vec<(String, Cost, Option<f64>)>,
     ) -> Result<Vec<StepOutcome>, EngineError> {
-        let throttled: Vec<bool> = {
+        let (throttled, tick, window_open) = {
             let mut gate = self.gate();
             gate.tick();
-            if gate.config().limits_rate() {
+            let throttled: Vec<bool> = if gate.config().limits_rate() {
                 events
                     .iter()
                     .map(|(id, _, _)| gate.check_step(id).is_err())
                     .collect()
             } else {
                 Vec::new()
-            }
+            };
+            (throttled, gate.now(), gate.in_migration_window())
         };
+        // Window close is observed lazily (the gate has no timer): the
+        // first tick past the cooldown records the close edge.
+        self.obs.note_window(tick, window_open);
+        let throttled_events = throttled.iter().filter(|&&t| t).count() as u64;
+        if throttled_events > 0 {
+            self.obs.admission_throttled.add(throttled_events);
+            self.obs.events_dropped.add(throttled_events);
+        }
         self.dispatch_events(events, &throttled, true)
     }
 
@@ -593,8 +692,10 @@ impl Engine {
             } else {
                 0
             };
-            gate.check_admit(&snapshot.config.id, live)
-                .map_err(EngineError::Admission)?;
+            gate.check_admit(&snapshot.config.id, live).map_err(|e| {
+                self.obs.count_refusal(&e);
+                EngineError::Admission(e)
+            })?;
         }
         self.restore_unchecked(snapshot)
     }
@@ -691,6 +792,7 @@ impl Engine {
     /// [`NullStore`] engine this is a consistent no-op dump
     /// (`durable: false`).
     pub fn checkpoint(&self) -> Result<CheckpointReport, EngineError> {
+        let lap = self.obs.clock();
         let durable = self.store.is_durable();
         let seq = self
             .store
@@ -711,6 +813,7 @@ impl Engine {
                 .commit_checkpoint(seq, &doc.encode())
                 .map_err(EngineError::from_store)?;
         }
+        self.obs.lap(&self.obs.checkpoint_ns, lap);
         Ok(CheckpointReport {
             seq,
             tenants: count,
@@ -756,6 +859,18 @@ impl Engine {
         fence: bool,
     ) -> Result<RebalanceReport, EngineError> {
         let durable = fence && self.store.is_durable() && self.attached.load(Ordering::Acquire);
+        let lap = self.obs.clock();
+        let tick = self.logical_tick();
+        self.obs.event(
+            tick,
+            "rebalance_begin",
+            vec![
+                ("mode", "full".into()),
+                ("shards", spec.shards.into()),
+                ("vnodes", spec.vnodes.into()),
+                ("fenced", durable.into()),
+            ],
+        );
         if durable {
             // Write-ahead: the topology change is journaled before any
             // tenant moves, through shard 0's thread (which owns that WAL).
@@ -799,7 +914,7 @@ impl Engine {
             tenants,
             shard_meta: vec![merged.clone()],
         };
-        let (senders, handles) = Engine::spawn_workers(spec.shards);
+        let (senders, handles) = Engine::spawn_workers(spec.shards, &self.obs);
         let migrate = || -> Result<(), EngineError> {
             for snapshot in &doc.tenants {
                 let shard = ring.route(&snapshot.config.id);
@@ -814,10 +929,17 @@ impl Engine {
                 self.store
                     .commit_checkpoint(seq, &doc.encode())
                     .map_err(EngineError::from_store)?;
+                self.obs
+                    .event(tick, "rebalance_fence", vec![("seq", seq.into())]);
             }
             Ok(())
         };
         if let Err(e) = migrate() {
+            self.obs.event(
+                tick,
+                "rebalance_abort",
+                vec![("mode", "full".into()), ("error", e.to_string().into())],
+            );
             // Abort: tear down the half-built replacement workers and keep
             // serving on the old topology.
             for tx in &senders {
@@ -856,6 +978,18 @@ impl Engine {
             self.attach_store()?;
         }
         self.sync_policy_topology(spec.shards);
+        self.obs.lap(&self.obs.migration_ns, lap);
+        self.obs.migration_tenants_moved.add(moved as u64);
+        self.obs.event(
+            tick,
+            "rebalance_commit",
+            vec![
+                ("mode", "full".into()),
+                ("shards", spec.shards.into()),
+                ("moved", moved.into()),
+                ("seq", seq.into()),
+            ],
+        );
         Ok(RebalanceReport {
             shards: spec.shards,
             vnodes: spec.vnodes,
@@ -865,6 +999,7 @@ impl Engine {
             incremental: false,
             seq: if durable { seq } else { 0 },
             durable,
+            tick,
         })
     }
 
@@ -926,6 +1061,7 @@ impl Engine {
                 incremental: true,
                 seq: 0,
                 durable: false,
+                tick: self.logical_tick(),
             });
         }
         let ring = HashRing::new(spec);
@@ -933,6 +1069,19 @@ impl Engine {
         let mut moved = moved_ids(&self.ring, &ring, ids.iter().map(|s| s.as_str()));
         moved.sort_unstable();
         let durable = self.store.is_durable() && self.attached.load(Ordering::Acquire);
+        let lap = self.obs.clock();
+        let tick = self.logical_tick();
+        self.obs.event(
+            tick,
+            "rebalance_begin",
+            vec![
+                ("mode", "incremental".into()),
+                ("shards", spec.shards.into()),
+                ("vnodes", spec.vnodes.into()),
+                ("moved", moved.len().into()),
+                ("fenced", durable.into()),
+            ],
+        );
         if durable {
             // Write-ahead: the topology change (and its intended diff) is
             // journaled before any tenant moves.
@@ -949,7 +1098,8 @@ impl Engine {
             .map_err(EngineError::from_store)?;
         // Fresh workers for a grow; they see no store until the fence
         // commits, so nothing they do before the swap is journaled.
-        let (fresh_senders, fresh_handles) = Engine::spawn_worker_range(old_shards, spec.shards);
+        let (fresh_senders, fresh_handles) =
+            Engine::spawn_worker_range(old_shards, spec.shards, &self.obs);
         // The post-migration worker set: surviving indices + fresh ones.
         let new_senders: Vec<Sender<Request>> = self
             .senders
@@ -1021,10 +1171,20 @@ impl Engine {
                 self.store
                     .commit_checkpoint(seq, &doc.encode())
                     .map_err(EngineError::from_store)?;
+                self.obs
+                    .event(tick, "rebalance_fence", vec![("seq", seq.into())]);
             }
             Ok(())
         };
         if let Err(e) = migrate(&mut extracted, &mut installed, &mut retired_meta) {
+            self.obs.event(
+                tick,
+                "rebalance_abort",
+                vec![
+                    ("mode", "incremental".into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
             // Abort: pull back any tenant already installed on its new
             // shard, re-install it (and the extracted-but-not-installed
             // ones) on its old shard, tear down the fresh workers, and
@@ -1090,6 +1250,18 @@ impl Engine {
             // journaling handle.
             self.attach_store()?;
         }
+        self.obs.lap(&self.obs.migration_ns, lap);
+        self.obs.migration_tenants_moved.add(moved.len() as u64);
+        self.obs.event(
+            tick,
+            "rebalance_commit",
+            vec![
+                ("mode", "incremental".into()),
+                ("shards", spec.shards.into()),
+                ("moved", moved.len().into()),
+                ("seq", seq.into()),
+            ],
+        );
         Ok(RebalanceReport {
             shards: spec.shards,
             vnodes: spec.vnodes,
@@ -1099,6 +1271,7 @@ impl Engine {
             incremental: true,
             seq: if durable { seq } else { 0 },
             durable,
+            tick,
         })
     }
 
@@ -1164,6 +1337,14 @@ impl Engine {
                 }
                 report.shard_meta_restored = true;
             }
+            engine.obs.event(
+                0,
+                "recovery_checkpoint_restored",
+                vec![
+                    ("seq", report.checkpoint_seq.into()),
+                    ("tenants", report.tenants_restored.into()),
+                ],
+            );
         }
         let mut interrupted: Option<RingSpec> = None;
         for segment in &recovery.segments {
@@ -1195,13 +1376,48 @@ impl Engine {
                 }
             }
         }
+        engine
+            .obs
+            .recovery_records_replayed
+            .add(report.records_replayed as u64);
+        engine
+            .obs
+            .recovery_events_replayed
+            .add(report.events_replayed as u64);
+        engine
+            .obs
+            .recovery_replay_errors
+            .add(report.replay_errors as u64);
+        engine.obs.event(
+            0,
+            "recovery_wal_replayed",
+            vec![
+                ("segments", report.segments.into()),
+                ("records", report.records_replayed.into()),
+                ("events", report.events_replayed.into()),
+                ("errors", report.replay_errors.into()),
+            ],
+        );
         if let Some(spec) = interrupted {
             if spec != engine.ring.spec() {
                 engine.rebalance_inner(spec, false)?;
             }
+            engine.obs.event(
+                0,
+                "recovery_topology_completed",
+                vec![
+                    ("shards", spec.shards.into()),
+                    ("vnodes", spec.vnodes.into()),
+                ],
+            );
         }
         engine.attach_store()?;
         report.post_checkpoint_seq = engine.checkpoint()?.seq;
+        engine.obs.event(
+            0,
+            "recovery_complete",
+            vec![("post_checkpoint_seq", report.post_checkpoint_seq.into())],
+        );
         Ok((engine, report))
     }
 

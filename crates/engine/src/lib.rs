@@ -101,6 +101,7 @@
 pub mod admission;
 pub mod engine;
 pub mod journal;
+pub mod obs;
 pub mod ring;
 pub mod shard;
 pub mod tenant;
@@ -108,7 +109,10 @@ pub mod topology;
 pub mod wire;
 
 pub use admission::{AdmissionConfig, AdmissionError};
-pub use engine::{CheckpointReport, Engine, EngineConfig, RebalanceReport, RecoveryReport};
+pub use engine::{
+    CheckpointReport, Engine, EngineConfig, RebalanceReport, RecoveryReport, DEFAULT_TRACE_CAPACITY,
+};
+pub use obs::EngineObs;
 pub use ring::{HashRing, RingSpec, DEFAULT_VNODES};
 pub use rsdc_hetero::{FleetSpec, HeteroAlgo};
 pub use shard::{ShardMeta, ShardStats, StepOutcome};

@@ -1,0 +1,273 @@
+//! Engine-side observability: the pre-registered metric handles and the
+//! control-plane trace the engine records into.
+//!
+//! One [`EngineObs`] lives in the [`Engine`](crate::Engine) handle (shared
+//! with the shard workers and the store seam via `Arc`). Everything here
+//! is observation-only state **outside** journaled engine state: enabling
+//! or disabling metrics changes no journaled byte, so recovery remains
+//! byte-identical with observability on or off — the regression tests
+//! hold the engine to that.
+//!
+//! Metric handles are registered once at engine spawn (registry lookups
+//! take a lock; the handles themselves are lock-free), except the
+//! per-shard batch-latency histograms, which each shard worker registers
+//! for its own index when it starts.
+
+use rsdc_obs::{Counter, FieldValue, Histogram, MetricId, Registry, TraceBuffer};
+use rsdc_store::{StoreObserver, StoreOp};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The engine's metric handles + control-plane trace ring.
+pub struct EngineObs {
+    registry: Registry,
+    trace: TraceBuffer,
+
+    /// Events applied by shard workers.
+    pub(crate) events_ingested: Counter,
+    /// Events that did not apply: throttled at the gate, unknown tenant,
+    /// or a deterministic per-event policy failure.
+    pub(crate) events_dropped: Counter,
+    /// Admits refused at the tenant cap (`reason="rejected"`).
+    pub(crate) admission_rejected: Counter,
+    /// Step events refused by a token bucket (`reason="throttled"`).
+    pub(crate) admission_throttled: Counter,
+    /// Admits deferred by an open migration window (`reason="deferred"`).
+    pub(crate) admission_deferred: Counter,
+    /// Wall time of [`Engine::checkpoint`](crate::Engine::checkpoint).
+    pub(crate) checkpoint_ns: Histogram,
+    /// Wall time of a rebalance/migration (either path), successful only.
+    pub(crate) migration_ns: Histogram,
+    /// Tenants moved by completed rebalances/migrations.
+    pub(crate) migration_tenants_moved: Counter,
+    /// WAL records replayed by recovery.
+    pub(crate) recovery_records_replayed: Counter,
+    /// Stream events re-applied from replayed batch records.
+    pub(crate) recovery_events_replayed: Counter,
+    /// Replay failures (counted, not fatal — see recovery docs).
+    pub(crate) recovery_replay_errors: Counter,
+
+    // Store-seam metrics, fed by the `StoreObserver` impl below.
+    wal_append_ns: Histogram,
+    wal_fsync_ns: Histogram,
+    wal_checkpoint_commit_ns: Histogram,
+    wal_appended_records: Counter,
+    wal_appended_bytes: Counter,
+    wal_fsyncs: Counter,
+
+    // Always-on WAL volume counters: the `wal_stats` wire op reports
+    // these even when the registry is disabled, so write-volume
+    // accounting survives `--no-metrics`.
+    volume_records: AtomicU64,
+    volume_bytes: AtomicU64,
+    volume_syncs: AtomicU64,
+
+    /// Last observed admission-window state, for open/close edge traces.
+    window_open: AtomicBool,
+}
+
+impl EngineObs {
+    /// Build the engine's observability state. `metrics = false` bakes a
+    /// no-op flag into every handle; `trace_capacity` bounds the ring.
+    pub fn new(metrics: bool, trace_capacity: usize) -> EngineObs {
+        let registry = Registry::new(metrics);
+        let c = |name: &str| registry.counter(MetricId::plain(name));
+        let refused = |reason: &str| {
+            registry.counter(MetricId::labelled(
+                "engine_admission_refused",
+                "reason",
+                reason,
+            ))
+        };
+        let h = |name: &str| registry.histogram(MetricId::plain(name));
+        EngineObs {
+            events_ingested: c("engine_events_ingested"),
+            events_dropped: c("engine_events_dropped"),
+            admission_rejected: refused("rejected"),
+            admission_throttled: refused("throttled"),
+            admission_deferred: refused("deferred"),
+            checkpoint_ns: h("engine_checkpoint_ns"),
+            migration_ns: h("engine_migration_ns"),
+            migration_tenants_moved: c("engine_migration_tenants_moved"),
+            recovery_records_replayed: c("engine_recovery_records_replayed"),
+            recovery_events_replayed: c("engine_recovery_events_replayed"),
+            recovery_replay_errors: c("engine_recovery_replay_errors"),
+            wal_append_ns: h("wal_append_ns"),
+            wal_fsync_ns: h("wal_fsync_ns"),
+            wal_checkpoint_commit_ns: h("wal_checkpoint_commit_ns"),
+            wal_appended_records: c("wal_appended_records"),
+            wal_appended_bytes: c("wal_appended_bytes"),
+            wal_fsyncs: c("wal_fsyncs"),
+            volume_records: AtomicU64::new(0),
+            volume_bytes: AtomicU64::new(0),
+            volume_syncs: AtomicU64::new(0),
+            window_open: AtomicBool::new(false),
+            trace: TraceBuffer::new(metrics, trace_capacity),
+            registry,
+        }
+    }
+
+    /// Whether metric handles record anything.
+    pub fn metrics_enabled(&self) -> bool {
+        self.registry.enabled()
+    }
+
+    /// The metrics registry (snapshot/exposition surface).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The control-plane trace ring.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Cumulative WAL write volume through this engine's store handle:
+    /// `(records appended, payload bytes appended, explicit syncs)`.
+    /// Always counted, independent of the metrics flag.
+    pub fn wal_volume(&self) -> (u64, u64, u64) {
+        (
+            self.volume_records.load(Ordering::Relaxed),
+            self.volume_bytes.load(Ordering::Relaxed),
+            self.volume_syncs.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Record a control-plane trace event (no-op when disabled).
+    pub(crate) fn event(
+        &self,
+        tick: u64,
+        kind: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        self.trace.record(tick, kind, fields);
+    }
+
+    /// Start a wall-clock lap, only when the registry will record it.
+    pub(crate) fn clock(&self) -> Option<Instant> {
+        if self.registry.enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Record a lap started by [`clock`](EngineObs::clock) into `hist`.
+    pub(crate) fn lap(&self, hist: &Histogram, start: Option<Instant>) {
+        if let Some(start) = start {
+            hist.record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    /// Count one admission refusal by reason.
+    pub(crate) fn count_refusal(&self, e: &crate::AdmissionError) {
+        match e {
+            crate::AdmissionError::Rejected { .. } => self.admission_rejected.inc(),
+            crate::AdmissionError::Throttled { .. } => self.admission_throttled.inc(),
+            crate::AdmissionError::Migrating { .. } => self.admission_deferred.inc(),
+        }
+    }
+
+    /// Trace admission-window open/close *edges*: called with the current
+    /// window state, records an event only on a transition.
+    pub(crate) fn note_window(&self, tick: u64, open: bool) {
+        let was = self.window_open.swap(open, Ordering::Relaxed);
+        if was != open {
+            let kind = if open {
+                "admission_window_open"
+            } else {
+                "admission_window_close"
+            };
+            self.event(tick, kind, Vec::new());
+        }
+    }
+}
+
+impl StoreObserver for EngineObs {
+    fn observe(&self, op: StoreOp, nanos: u64, bytes: u64) {
+        match op {
+            StoreOp::Append => {
+                self.volume_records.fetch_add(1, Ordering::Relaxed);
+                self.volume_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.wal_appended_records.inc();
+                self.wal_appended_bytes.add(bytes);
+                self.wal_append_ns.record(nanos);
+            }
+            StoreOp::Sync => {
+                self.volume_syncs.fetch_add(1, Ordering::Relaxed);
+                self.wal_fsyncs.inc();
+                self.wal_fsync_ns.record(nanos);
+            }
+            StoreOp::CommitCheckpoint => {
+                self.wal_checkpoint_commit_ns.record(nanos);
+            }
+        }
+    }
+
+    fn timing_enabled(&self) -> bool {
+        self.registry.enabled()
+    }
+}
+
+/// The slice of [`EngineObs`] a shard worker touches per batch: plain
+/// handle clones plus the baked-in enabled flag, so the hot loop never
+/// looks anything up.
+pub(crate) struct ShardObs {
+    pub(crate) enabled: bool,
+    pub(crate) batch_ns: Histogram,
+    pub(crate) ingested: Counter,
+    pub(crate) dropped: Counter,
+}
+
+impl ShardObs {
+    /// Handles for shard `index` (registers its latency histogram).
+    pub(crate) fn for_shard(obs: &EngineObs, index: usize) -> ShardObs {
+        ShardObs {
+            enabled: obs.metrics_enabled(),
+            batch_ns: obs.registry.histogram(MetricId::labelled(
+                "engine_batch_ns",
+                "shard",
+                &index.to_string(),
+            )),
+            ingested: obs.events_ingested.clone(),
+            dropped: obs.events_dropped.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_volume_counts_even_with_metrics_disabled() {
+        let obs = EngineObs::new(false, 16);
+        obs.observe(StoreOp::Append, 0, 100);
+        obs.observe(StoreOp::Append, 0, 50);
+        obs.observe(StoreOp::Sync, 0, 0);
+        assert_eq!(obs.wal_volume(), (2, 150, 1));
+        // ...but the registry-backed counters stayed silent.
+        let total: u64 = obs
+            .registry()
+            .snapshot()
+            .iter()
+            .filter_map(|m| match &m.value {
+                rsdc_obs::MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 0);
+        assert!(!obs.timing_enabled());
+    }
+
+    #[test]
+    fn window_edges_trace_once() {
+        let obs = EngineObs::new(true, 16);
+        obs.note_window(1, false); // no edge: starts closed
+        obs.note_window(2, true); // open edge
+        obs.note_window(3, true); // no edge
+        obs.note_window(4, false); // close edge
+        let kinds: Vec<&str> = obs.trace().events(None).iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, ["admission_window_open", "admission_window_close"]);
+    }
+}

@@ -8,6 +8,7 @@
 //! serialization point, so the snapshot/WAL boundary is always consistent.
 
 use crate::journal::{JournalEvent, JournalRecord};
+use crate::obs::{EngineObs, ShardObs};
 use crate::tenant::{Tenant, TenantConfig, TenantReport, TenantSnapshot};
 use crate::EngineError;
 use rsdc_sim::metrics::{Metrics, SlotRecord};
@@ -16,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One streamed event: a tenant id, its next cost function, and (when the
 /// event was derived from a load) the offered load — which feeds the
@@ -170,11 +172,12 @@ pub struct Shard {
     events: u64,
     states: u64,
     store: Option<Arc<dyn Durability>>,
+    obs: ShardObs,
 }
 
 impl Shard {
     /// Worker entry point: serve requests until `Shutdown` or hangup.
-    pub fn run(index: usize, rx: Receiver<Request>) {
+    pub fn run(index: usize, rx: Receiver<Request>, obs: Arc<EngineObs>) {
         let mut shard = Shard {
             index,
             tenants: HashMap::new(),
@@ -182,6 +185,7 @@ impl Shard {
             events: 0,
             states: 0,
             store: None,
+            obs: ShardObs::for_shard(&obs, index),
         };
         while let Ok(req) = rx.recv() {
             match req {
@@ -343,6 +347,14 @@ impl Shard {
     }
 
     fn batch(&mut self, events: Vec<Event>) -> Result<BatchReply, EngineError> {
+        // One clock pair per *batch*, journal included, gated on a bool
+        // baked in at spawn — with metrics off the hot path pays exactly
+        // this branch and two counter no-ops.
+        let lap = if self.obs.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        };
         if self.durable() {
             // The whole batch is one WAL record, including events that will
             // fail with a per-event error: replay reproduces the outcomes
@@ -361,8 +373,10 @@ impl Shard {
             self.journal(&record)?;
         }
         let mut out = Vec::with_capacity(events.len());
+        let (mut ingested, mut dropped) = (0u64, 0u64);
         for ev in events {
             let Some(tenant) = self.tenants.get_mut(&ev.id) else {
+                dropped += 1;
                 out.push((
                     ev.index,
                     StepOutcome {
@@ -377,6 +391,7 @@ impl Shard {
             match tenant.step(&ev.cost, ev.load) {
                 Ok(effect) => {
                     self.events += 1;
+                    ingested += 1;
                     self.states += effect.commits.len() as u64;
                     self.meter(&effect);
                     out.push((
@@ -391,16 +406,26 @@ impl Shard {
                 }
                 // Deterministic per-event failure (e.g. a hetero step with
                 // no load): replay reproduces it identically.
-                Err(e) => out.push((
-                    ev.index,
-                    StepOutcome {
-                        id: ev.id,
-                        states: Vec::new(),
-                        configs: None,
-                        error: Some(e.to_string()),
-                    },
-                )),
+                Err(e) => {
+                    dropped += 1;
+                    out.push((
+                        ev.index,
+                        StepOutcome {
+                            id: ev.id,
+                            states: Vec::new(),
+                            configs: None,
+                            error: Some(e.to_string()),
+                        },
+                    ));
+                }
             }
+        }
+        self.obs.ingested.add(ingested);
+        self.obs.dropped.add(dropped);
+        if let Some(start) = lap {
+            self.obs
+                .batch_ns
+                .record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         }
         Ok(BatchReply {
             outcomes: out,

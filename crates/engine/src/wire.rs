@@ -23,6 +23,8 @@
 //! {"op":"rebalance","shards":4,"mode":"incremental"}  // move only the ring diff
 //! {"op":"autoscale","min":1,"max":8,"switch_cost":32.0}  // lazy auto-rebalancing
 //! {"op":"limits","max_tenants":100,"rate":2.0,"burst":8.0}
+//! {"op":"metrics"}           // metrics-registry dump
+//! {"op":"trace","last":16}   // control-plane trace ring (newest N)
 //! ```
 //!
 //! `step` events carry either an explicit serialized [`Cost`] or a raw
@@ -39,7 +41,7 @@
 //! the autoscale-policy state), `checkpointed`, `recovered`, `wal_stats`,
 //! `rebalanced` (with its `mode`; emitted unsolicited with `"auto":true`
 //! when the autoscale policy triggers a migration), `autoscale`,
-//! `limits`, or
+//! `limits`, `metrics`, `trace`, or
 //! `{"op":"error","line":N,"message":...}` — error
 //! responses carry the 1-based input line number of the offending record,
 //! so a failing line inside a large JSONL batch is locatable.
@@ -129,6 +131,13 @@ pub enum Record {
         shard_cost: Option<f64>,
         /// Ticks between applied changes / admission-window length.
         cooldown: Option<u64>,
+    },
+    /// Dump the metrics registry: counters, gauges, histogram summaries.
+    Metrics,
+    /// Dump the control-plane trace ring, oldest retained event first.
+    Trace {
+        /// Emit only the newest N retained events, when given.
+        last: Option<usize>,
     },
     /// Set (fields present) and/or read back the admission limits.
     Limits {
@@ -317,6 +326,20 @@ pub fn parse_record(line: &str) -> Result<Record, WireError> {
         "checkpoint" => Ok(Record::Checkpoint),
         "recover" => Ok(Record::Recover),
         "wal_stats" => Ok(Record::WalStats),
+        "metrics" => Ok(Record::Metrics),
+        "trace" => {
+            let last = match v.get("last") {
+                Some(x) if !x.is_null() => Some(
+                    x.as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or_else(|| {
+                            WireError("field \"last\" must be a non-negative integer".into())
+                        })?,
+                ),
+                _ => None,
+            };
+            Ok(Record::Trace { last })
+        }
         "rebalance" => {
             let count = |key: &str| -> Result<Option<usize>, WireError> {
                 match v.get(key) {
@@ -693,22 +716,26 @@ impl Session {
     }
 
     fn recover_in_place(&mut self) -> Result<crate::RecoveryReport, crate::EngineError> {
-        let store = self.engine.store().clone();
+        // Recover from the *raw* backend: the new engine wraps it in its
+        // own instrumentation, so observers never nest. (The replacement
+        // engine starts with fresh metrics/trace state — observation is
+        // process state, not journaled state.)
+        let store = self.engine.raw_store().clone();
         if !store.is_durable() {
             return Err(crate::EngineError::Store(
                 "engine has no durable store to recover from".into(),
             ));
         }
         let spec = self.engine.ring_spec();
+        let mut cfg = crate::EngineConfig::with_topology(spec.shards, spec.vnodes);
+        cfg.metrics = self.engine.obs().metrics_enabled();
+        cfg.trace_capacity = self.engine.obs().trace().capacity();
         // Recover first and swap only on success: a failed recovery must
         // leave the session on its old, still-durable engine instead of
         // silently downgrading it. The old engine is idle while we do this
         // (the session serializes all requests), so nothing appends while
         // the scan repairs the WAL.
-        let (engine, report) = crate::Engine::recover(
-            crate::EngineConfig::with_topology(spec.shards, spec.vnodes),
-            store,
-        )?;
+        let (engine, report) = crate::Engine::recover(cfg, store)?;
         std::mem::replace(&mut self.engine, engine).shutdown();
         self.since_checkpoint = 0;
         self.last_recovery = Some(report.clone());
@@ -898,7 +925,10 @@ impl Session {
                     Ok(()) // bare read-back
                 };
                 match result {
-                    Ok(()) => out.push(autoscale_line(self.engine.autoscale_status())),
+                    Ok(()) => out.push(autoscale_line(
+                        self.engine.autoscale_status(),
+                        self.engine.logical_tick(),
+                    )),
                     Err(e) => out.push(error_line(&e.to_string())),
                 }
             }
@@ -935,7 +965,42 @@ impl Session {
                     Err(e) => out.push(error_line(&e.to_string())),
                 }
             }
+            Record::Metrics => {
+                let obs = self.engine.obs();
+                let rows: Vec<serde::Value> =
+                    obs.registry().snapshot().iter().map(metric_row).collect();
+                out.push(
+                    serde_json::to_string(&serde_json::json!({
+                        "op": "metrics",
+                        "enabled": obs.metrics_enabled(),
+                        "metrics": serde::Value::Array(rows),
+                    }))
+                    .expect("serializable"),
+                );
+            }
+            Record::Trace { last } => {
+                let trace = self.engine.obs().trace();
+                let events: Vec<serde::Value> = trace.events(last).iter().map(trace_row).collect();
+                out.push(
+                    serde_json::to_string(&serde_json::json!({
+                        "op": "trace",
+                        "enabled": trace.enabled(),
+                        "capacity": trace.capacity(),
+                        "recorded": trace.recorded(),
+                        "events": serde::Value::Array(events),
+                    }))
+                    .expect("serializable"),
+                );
+            }
             Record::WalStats => {
+                // Write-volume counters from the engine's store seam: what
+                // *this* handle appended/synced (always counted, even with
+                // metrics off) — distinct from the backend's own `store`
+                // stats, which survive across handles via recovery.
+                let (wal_records, wal_bytes, wal_syncs) = {
+                    let v = self.engine.obs().wal_volume();
+                    (v.0, v.1, v.2)
+                };
                 let gathered = self
                     .engine
                     .store()
@@ -955,6 +1020,11 @@ impl Session {
                         serde_json::to_string(&serde_json::json!({
                             "op": "wal_stats",
                             "store": store.to_value(),
+                            "wal": {
+                                "appended_records": wal_records,
+                                "appended_bytes": wal_bytes,
+                                "fsyncs": wal_syncs,
+                            },
                             "tenants": ids.len(),
                             "tenant_ids": ids,
                             "tenants_per_shard":
@@ -1075,8 +1145,72 @@ fn rebalanced_line(report: &crate::RebalanceReport, auto: bool) -> String {
         "moved": report.moved,
         "seq": report.seq,
         "durable": report.durable,
+        "tick": report.tick,
     }))
     .expect("serializable")
+}
+
+/// One metrics-registry row for the `metrics` response. Histograms are
+/// flattened to their summary (count/sum/max + quantile estimates).
+fn metric_row(m: &rsdc_obs::MetricSnapshot) -> serde::Value {
+    let mut row: Vec<(String, serde::Value)> =
+        vec![("name".to_string(), serde::Value::String(m.id.name.clone()))];
+    if let Some((key, value)) = &m.id.label {
+        row.push((
+            "labels".to_string(),
+            serde::Value::Object(vec![(key.clone(), serde::Value::String(value.clone()))]),
+        ));
+    }
+    let kind = |k: &str| ("kind".to_string(), serde::Value::String(k.to_string()));
+    match &m.value {
+        rsdc_obs::MetricValue::Counter(v) => {
+            row.push(kind("counter"));
+            row.push(("value".to_string(), serde_json::to_value(v)));
+        }
+        rsdc_obs::MetricValue::Gauge(v) => {
+            row.push(kind("gauge"));
+            row.push(("value".to_string(), serde_json::to_value(v)));
+        }
+        rsdc_obs::MetricValue::Histogram(h) => {
+            row.push(kind("histogram"));
+            for (key, v) in [
+                ("count", h.count),
+                ("sum", h.sum),
+                ("max", h.max),
+                ("p50", h.p50),
+                ("p90", h.p90),
+                ("p99", h.p99),
+            ] {
+                row.push((key.to_string(), serde_json::to_value(&v)));
+            }
+        }
+    }
+    serde::Value::Object(row)
+}
+
+/// One trace event for the `trace` response.
+fn trace_row(e: &rsdc_obs::TraceEvent) -> serde::Value {
+    let fields: Vec<(String, serde::Value)> = e
+        .fields
+        .iter()
+        .map(|(key, v)| (key.to_string(), trace_field(v)))
+        .collect();
+    serde::Value::Object(vec![
+        ("seq".to_string(), serde_json::to_value(&e.seq)),
+        ("tick".to_string(), serde_json::to_value(&e.tick)),
+        ("kind".to_string(), serde::Value::String(e.kind.to_string())),
+        ("fields".to_string(), serde::Value::Object(fields)),
+    ])
+}
+
+fn trace_field(v: &rsdc_obs::FieldValue) -> serde::Value {
+    match v {
+        rsdc_obs::FieldValue::U64(n) => serde_json::to_value(n),
+        rsdc_obs::FieldValue::I64(n) => serde_json::to_value(n),
+        rsdc_obs::FieldValue::F64(n) => serde_json::to_value(n),
+        rsdc_obs::FieldValue::Str(s) => serde::Value::String(s.clone()),
+        rsdc_obs::FieldValue::Bool(b) => serde::Value::Bool(*b),
+    }
 }
 
 /// The auto-rebalancing policy state as a JSON value (`null` = disabled),
@@ -1104,12 +1238,13 @@ fn autoscale_value(status: Option<crate::TopologyStatus>) -> serde::Value {
     }
 }
 
-fn autoscale_line(status: Option<crate::TopologyStatus>) -> String {
+fn autoscale_line(status: Option<crate::TopologyStatus>, tick: u64) -> String {
     let enabled = status.is_some();
     serde_json::to_string(&serde_json::json!({
         "op": "autoscale",
         "enabled": enabled,
         "policy": autoscale_value(status),
+        "tick": tick,
     }))
     .expect("serializable")
 }

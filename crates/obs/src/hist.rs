@@ -1,0 +1,227 @@
+//! Log-linear histogram: fixed atomic buckets, bounded relative error.
+//!
+//! Values are `u64` (the engine records nanoseconds and sizes). The bucket
+//! layout is log-linear with 8 sub-buckets per octave: values below 8 get
+//! exact singleton buckets, and each octave `[2^e, 2^(e+1))` above that is
+//! split into 8 equal-width buckets. Quantile estimates therefore land in
+//! the *same bucket* as the exact quantile — a relative error of at most
+//! one part in 8 (12.5%) — while the whole structure is 496 atomics that
+//! never allocate or lock on the record path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sub-buckets per octave (8 = 2^3).
+const SUB_BITS: u32 = 3;
+
+/// Total bucket count: 8 singletons + 61 octaves × 8 sub-buckets covering
+/// exponents 3..=63 (index of the top set bit).
+pub(crate) const BUCKETS: usize = 8 + 61 * 8;
+
+/// The bucket index a value lands in. Exposed so tests can assert the
+/// "quantile estimate shares the exact quantile's bucket" contract.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v < 8 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize;
+        8 + (exp - SUB_BITS as usize) * 8 + ((v >> (exp - SUB_BITS as usize)) & 7) as usize
+    }
+}
+
+/// The largest value that lands in bucket `index` (the estimate a
+/// quantile walk reports).
+fn bucket_bound(index: usize) -> u64 {
+    if index < 8 {
+        index as u64
+    } else {
+        let b = index - 8;
+        let exp = SUB_BITS as usize + b / 8;
+        let sub = (b % 8) as u128;
+        let hi = ((9 + sub) << (exp - SUB_BITS as usize)) - 1;
+        u64::try_from(hi).unwrap_or(u64::MAX)
+    }
+}
+
+struct HistogramInner {
+    enabled: bool,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A concurrent log-linear histogram. Cheap to clone (an `Arc`); the
+/// record path is three relaxed atomic ops and one `fetch_max`.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+/// A point-in-time summary of a [`Histogram`]. Quantiles are bucket upper
+/// bounds: within one log-linear bucket (≤ 12.5% relative error) of the
+/// exact sample quantile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl Histogram {
+    pub(crate) fn new(enabled: bool) -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                enabled,
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one sample (no-op when the registry is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let inner = &self.inner;
+        if !inner.enabled {
+            return;
+        }
+        inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Summarize the current state. Concurrent recorders may land between
+    /// the count read and the bucket walk; the walk clamps to whatever
+    /// counts it sees, so the summary is always internally consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.inner;
+        let counts: Vec<u64> = inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let quantile = |q: f64| -> u64 {
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_bound(i);
+                }
+            }
+            bucket_bound(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            max: inner.max.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new(true);
+        for v in 0..8 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 28);
+        assert_eq!(s.max, 7);
+        // Rank ceil(0.5*8)=4 → the 4th smallest value, 3, exactly.
+        assert_eq!(s.p50, 3);
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every value maps into a bucket whose bound is >= the value, and
+        // bucket indices never decrease as values grow.
+        let mut last = 0usize;
+        for &v in &[
+            0u64,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            100,
+            1_000,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket_of not monotone at {v}");
+            assert!(b < BUCKETS);
+            assert!(bucket_bound(b) >= v, "bound below value at {v}");
+            last = b;
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_zero() {
+        let h = Histogram::new(true);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The satellite contract: estimated quantiles land in the same
+        /// log-linear bucket as the exact sample quantile.
+        #[test]
+        fn quantiles_within_one_bucket_of_exact(
+            samples in proptest::collection::vec(0u64..1_000_000_000, 1..200)
+        ) {
+            let h = Histogram::new(true);
+            for &v in &samples {
+                h.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let s = h.snapshot();
+            for (q, est) in [(0.50, s.p50), (0.90, s.p90), (0.99, s.p99)] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize)
+                    .clamp(1, sorted.len());
+                let exact = sorted[rank - 1];
+                prop_assert_eq!(
+                    bucket_of(est), bucket_of(exact),
+                    "q={} est={} exact={} n={}", q, est, exact, sorted.len()
+                );
+                prop_assert!(est >= exact, "estimate is the bucket upper bound");
+            }
+            prop_assert_eq!(s.max, *sorted.last().unwrap());
+            prop_assert_eq!(s.count, sorted.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Bounded ring-buffer trace of structured control-plane events.
+//!
+//! Control-plane decisions (autoscale bound crossings, rebalance fences,
+//! recovery phases, admission windows) are rare but ordering-sensitive:
+//! debugging a flapping policy or a torn migration needs the *sequence* of
+//! decisions, not rates. The [`TraceBuffer`] keeps the last N events with
+//! globally monotonic sequence numbers; overwriting old events never
+//! renumbers survivors, so gaps in `seq` reveal exactly how much history
+//! the ring dropped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A field value in a trace event. Deliberately serde-free; the engine's
+/// wire layer converts to JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (LCP bounds, costs).
+    F64(f64),
+    /// String (tenant ids, reasons).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// One structured control-plane event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Globally monotonic sequence number (0-based, never reused).
+    pub seq: u64,
+    /// The engine's logical clock tick when the event was recorded.
+    pub tick: u64,
+    /// Event kind, e.g. `autoscale_decision` or `rebalance_fence`.
+    pub kind: &'static str,
+    /// Structured payload, in insertion order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+struct TraceInner {
+    enabled: bool,
+    capacity: usize,
+    seq: AtomicU64,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+/// A bounded ring of [`TraceEvent`]s. Cheap to clone (an `Arc`). Disabled
+/// buffers allocate nothing and record nothing.
+#[derive(Clone)]
+pub struct TraceBuffer {
+    inner: Arc<TraceInner>,
+}
+
+impl TraceBuffer {
+    /// A ring holding at most `capacity` events. `enabled = false` makes
+    /// [`record`](TraceBuffer::record) a no-op.
+    pub fn new(enabled: bool, capacity: usize) -> TraceBuffer {
+        TraceBuffer {
+            inner: Arc::new(TraceInner {
+                enabled,
+                capacity: capacity.max(1),
+                seq: AtomicU64::new(0),
+                events: Mutex::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Whether this buffer records events.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Append an event, evicting the oldest when full. Returns the
+    /// assigned sequence number (`None` when disabled).
+    pub fn record(
+        &self,
+        tick: u64,
+        kind: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> Option<u64> {
+        let inner = &self.inner;
+        if !inner.enabled {
+            return None;
+        }
+        let mut events = inner.events.lock().expect("trace poisoned");
+        // Seq is assigned under the lock so buffer order == seq order.
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        if events.len() == inner.capacity {
+            events.pop_front();
+        }
+        events.push_back(TraceEvent {
+            seq,
+            tick,
+            kind,
+            fields,
+        });
+        Some(seq)
+    }
+
+    /// The retained events, oldest first. `last` limits to the newest N.
+    pub fn events(&self, last: Option<usize>) -> Vec<TraceEvent> {
+        let events = self.inner.events.lock().expect("trace poisoned");
+        let skip = match last {
+            Some(n) => events.len().saturating_sub(n),
+            None => 0,
+        };
+        events.iter().skip(skip).cloned().collect()
+    }
+
+    /// Total events ever recorded (== next sequence number).
+    pub fn recorded(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_seq_monotonic() {
+        let t = TraceBuffer::new(true, 3);
+        for i in 0..5u64 {
+            let seq = t.record(i, "e", vec![("i", i.into())]).unwrap();
+            assert_eq!(seq, i);
+        }
+        let events = t.events(None);
+        assert_eq!(events.len(), 3);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [2, 3, 4]);
+        assert_eq!(t.recorded(), 5);
+        // `last` trims from the oldest side.
+        let newest = t.events(Some(2));
+        assert_eq!(newest[0].seq, 3);
+        assert_eq!(newest[1].seq, 4);
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let t = TraceBuffer::new(false, 8);
+        assert_eq!(t.record(0, "e", vec![]), None);
+        assert!(t.events(None).is_empty());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn fields_round_trip() {
+        let t = TraceBuffer::new(true, 4);
+        t.record(
+            7,
+            "autoscale_decision",
+            vec![
+                ("lower", 1.5f64.into()),
+                ("target", 3usize.into()),
+                ("applied", true.into()),
+                ("reason", "bound_crossed".into()),
+            ],
+        );
+        let e = &t.events(None)[0];
+        assert_eq!(e.tick, 7);
+        assert_eq!(e.kind, "autoscale_decision");
+        assert_eq!(e.fields[0], ("lower", FieldValue::F64(1.5)));
+        assert_eq!(e.fields[1], ("target", FieldValue::U64(3)));
+        assert_eq!(e.fields[2], ("applied", FieldValue::Bool(true)));
+        assert_eq!(
+            e.fields[3],
+            ("reason", FieldValue::Str("bound_crossed".into()))
+        );
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let t = TraceBuffer::new(true, 0);
+        assert_eq!(t.capacity(), 1);
+        t.record(0, "a", vec![]);
+        t.record(1, "b", vec![]);
+        let events = t.events(None);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "b");
+    }
+}

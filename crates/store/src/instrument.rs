@@ -1,0 +1,168 @@
+//! Observation seam over the [`Durability`] trait.
+//!
+//! The engine wants WAL append/fsync latency and volume without the store
+//! knowing anything about metrics (this crate stays dependency-free and
+//! content-agnostic). [`InstrumentedStore`] wraps any backend and reports
+//! each durable operation — duration and payload size — to a
+//! [`StoreObserver`] the engine supplies. Observation never alters what
+//! reaches the inner store, so wrapping is invisible to recovery:
+//! byte-for-byte the same WAL and checkpoints are written.
+
+use crate::{Durability, Recovery, StoreError, StoreStats};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which durable operation an observation describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// One WAL record append; `bytes` is the payload length.
+    Append,
+    /// One explicit fsync of buffered appends.
+    Sync,
+    /// One committed checkpoint; `bytes` is the document length.
+    CommitCheckpoint,
+}
+
+/// Receiver for store observations. Implemented by the engine's metrics
+/// layer; the store only calls, never reads back.
+pub trait StoreObserver: Send + Sync {
+    /// One completed operation: its kind, wall time in nanoseconds
+    /// (0 when [`timing_enabled`](StoreObserver::timing_enabled) is off),
+    /// and the payload bytes involved (0 for [`StoreOp::Sync`]).
+    fn observe(&self, op: StoreOp, nanos: u64, bytes: u64);
+
+    /// Whether the wrapper should pay for `Instant::now()` pairs. Volume
+    /// counts are reported either way.
+    fn timing_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A [`Durability`] decorator that times and counts the durable
+/// operations, forwarding everything to the wrapped store unchanged.
+pub struct InstrumentedStore {
+    inner: Arc<dyn Durability>,
+    observer: Arc<dyn StoreObserver>,
+}
+
+impl InstrumentedStore {
+    /// Wrap `inner`, reporting operations to `observer`.
+    pub fn new(inner: Arc<dyn Durability>, observer: Arc<dyn StoreObserver>) -> InstrumentedStore {
+        InstrumentedStore { inner, observer }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &Arc<dyn Durability> {
+        &self.inner
+    }
+
+    fn timed<T>(
+        &self,
+        op: StoreOp,
+        bytes: u64,
+        f: impl FnOnce() -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        if !self.observer.timing_enabled() {
+            let out = f()?;
+            self.observer.observe(op, 0, bytes);
+            return Ok(out);
+        }
+        let start = Instant::now();
+        let out = f()?;
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.observer.observe(op, nanos, bytes);
+        Ok(out)
+    }
+}
+
+impl Durability for InstrumentedStore {
+    fn is_durable(&self) -> bool {
+        self.inner.is_durable()
+    }
+
+    fn has_state(&self) -> Result<bool, StoreError> {
+        self.inner.has_state()
+    }
+
+    fn append(&self, shard: usize, payload: &[u8]) -> Result<(), StoreError> {
+        self.timed(StoreOp::Append, payload.len() as u64, || {
+            self.inner.append(shard, payload)
+        })
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        self.timed(StoreOp::Sync, 0, || self.inner.sync())
+    }
+
+    fn begin_checkpoint(&self) -> Result<u64, StoreError> {
+        self.inner.begin_checkpoint()
+    }
+
+    fn rotate(&self, shard: usize, seq: u64) -> Result<(), StoreError> {
+        self.inner.rotate(shard, seq)
+    }
+
+    fn commit_checkpoint(&self, seq: u64, payload: &[u8]) -> Result<(), StoreError> {
+        self.timed(StoreOp::CommitCheckpoint, payload.len() as u64, || {
+            self.inner.commit_checkpoint(seq, payload)
+        })
+    }
+
+    fn recover(&self) -> Result<Recovery, StoreError> {
+        self.inner.recover()
+    }
+
+    fn wal_stats(&self) -> Result<StoreStats, StoreError> {
+        self.inner.wal_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NullStore;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct Recorder {
+        appends: AtomicU64,
+        append_bytes: AtomicU64,
+        syncs: AtomicU64,
+        checkpoints: AtomicU64,
+    }
+
+    impl StoreObserver for Recorder {
+        fn observe(&self, op: StoreOp, _nanos: u64, bytes: u64) {
+            match op {
+                StoreOp::Append => {
+                    self.appends.fetch_add(1, Ordering::Relaxed);
+                    self.append_bytes.fetch_add(bytes, Ordering::Relaxed);
+                }
+                StoreOp::Sync => {
+                    self.syncs.fetch_add(1, Ordering::Relaxed);
+                }
+                StoreOp::CommitCheckpoint => {
+                    self.checkpoints.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrapper_counts_and_delegates() {
+        let observer = Arc::new(Recorder::default());
+        let store = InstrumentedStore::new(Arc::new(NullStore), observer.clone());
+        assert!(!store.is_durable());
+        store.append(0, b"12345").unwrap();
+        store.append(1, b"678").unwrap();
+        store.sync().unwrap();
+        let seq = store.begin_checkpoint().unwrap();
+        store.rotate(0, seq).unwrap();
+        store.commit_checkpoint(seq, b"doc").unwrap();
+        assert!(store.recover().unwrap().is_empty());
+        assert_eq!(observer.appends.load(Ordering::Relaxed), 2);
+        assert_eq!(observer.append_bytes.load(Ordering::Relaxed), 8);
+        assert_eq!(observer.syncs.load(Ordering::Relaxed), 1);
+        assert_eq!(observer.checkpoints.load(Ordering::Relaxed), 1);
+    }
+}

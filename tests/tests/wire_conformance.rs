@@ -13,9 +13,11 @@
 //! * each block runs on a fresh single-shard session (durable blocks get
 //!   a fresh temp-dir `FileStore` with the default config), so sequence
 //!   numbers and recovery reports are reproducible;
-//! * the only environment-dependent field, the store's `dir` in
-//!   `wal_stats` responses, is normalized to `"<data-dir>"` on both
-//!   sides before comparison.
+//! * the environment-dependent fields are normalized on both sides
+//!   before comparison: the store's `dir` in `wal_stats` responses
+//!   becomes `"<data-dir>"`, and wall-clock histogram statistics in
+//!   `metrics` responses (`sum`/`max`/`p50`/`p90`/`p99`) become `0` —
+//!   histogram **counts** are deterministic and stay checked.
 
 use rsdc_engine::wire::Session;
 use rsdc_engine::EngineConfig;
@@ -75,6 +77,27 @@ fn canon(line: &str) -> serde::Value {
                 }
             }
         }
+        // Metrics responses: histogram rows carry wall-clock timings
+        // (sum/max/quantiles); zero them so doc transcripts stay exact.
+        // Counts are event counts, hence deterministic — left checked.
+        if let Some(rows) = entries.iter_mut().find(|(k, _)| k == "metrics") {
+            if let serde::Value::Array(rows) = &mut rows.1 {
+                for row in rows {
+                    if let serde::Value::Object(fields) = row {
+                        let histogram = fields
+                            .iter()
+                            .any(|(k, v)| k == "kind" && v.as_str() == Some("histogram"));
+                        if histogram {
+                            for (k, val) in fields.iter_mut() {
+                                if matches!(k.as_str(), "sum" | "max" | "p50" | "p90" | "p99") {
+                                    *val = serde_json::to_value(&0u64);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
     v
 }
@@ -92,19 +115,25 @@ fn every_wire_md_example_matches_a_live_session() {
     let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../docs/WIRE.md");
     let doc = std::fs::read_to_string(doc_path).expect("read docs/WIRE.md");
     let blocks = conformance_blocks(&doc);
-    // PR 5 raised the floor: the doc now also pins the autoscale op (a
-    // live auto-trigger transcript plus its error cases), incremental
-    // rebalance, and the skew/policy-carrying stats + wal_stats shapes.
+    // The floor has been raised PR over PR: autoscale (live auto-trigger
+    // transcript plus error cases), incremental rebalance, the
+    // skew/policy-carrying stats + wal_stats shapes, and now the
+    // observability pair — a full metrics-registry dump and a traced
+    // autoscale decision with its induced rebalance.
     assert!(
-        blocks.len() >= 17,
+        blocks.len() >= 19,
         "WIRE.md must keep its per-op conformance coverage, found {}",
         blocks.len()
     );
     let executed: usize = blocks.iter().map(|b| b.requests.len()).sum();
-    assert!(executed >= 90, "suspiciously few requests: {executed}");
+    assert!(executed >= 105, "suspiciously few requests: {executed}");
     assert!(
         doc.contains("\"op\":\"autoscale\"") && doc.contains("\"mode\":\"incremental\""),
         "the autoscale and incremental-rebalance examples must stay documented"
+    );
+    assert!(
+        doc.contains("\"op\":\"metrics\"") && doc.contains("autoscale_decision"),
+        "the metrics dump and control-plane trace examples must stay documented"
     );
 
     for (tag, block) in blocks.iter().enumerate() {
