@@ -3,7 +3,7 @@
 //! engine's performance shape is recorded alongside the code that produced
 //! it.
 //!
-//! Four measurements, mirroring the Criterion `engine_throughput` groups
+//! Five measurements, mirroring the Criterion `engine_throughput` groups
 //! but cheap enough to re-run by hand (and, with `--quick`, in CI):
 //!
 //! - `throughput`  — policy-steps/s at shard counts 1, 2, 4, 8
@@ -11,6 +11,9 @@
 //! - `hetero`      — frontier vs greedy configuration-lattice stepping
 //! - `rebalance`   — full vs incremental migration, tenants moved per
 //!   second on a 4↔8 shard swing
+//! - `energy`      — metering overhead (power meter off vs on at 4
+//!   shards) and autoscale decision rates with counted vs priced
+//!   induced costs
 //!
 //! The engine runs with the metrics registry **disabled** (the documented
 //! hot-path configuration), so these numbers price the engine, not the
@@ -24,14 +27,17 @@
 //! Absolute numbers are machine-dependent; only the schema is enforced.
 
 use rsdc_core::Cost;
-use rsdc_engine::{Engine, EngineConfig, FleetSpec, HeteroAlgo, PolicySpec, TenantConfig};
+use rsdc_engine::{
+    Engine, EngineConfig, FleetSpec, HeteroAlgo, PolicySpec, PowerConfig, PowerSpec, PriceSchedule,
+    TenantConfig, TopologyConfig, TopologyPolicy,
+};
 use rsdc_hetero::ServerType;
 use rsdc_store::{Durability, FileStore, FileStoreConfig, NullStore};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema tag validated by `--validate`; bump on shape changes.
-const SCHEMA: &str = "rsdc-engine-bench/v1";
+const SCHEMA: &str = "rsdc-engine-bench/v2";
 
 const M: u32 = 128;
 const BETA: f64 = 4.0;
@@ -228,6 +234,66 @@ fn measure_rebalance(s: &Scale) -> Vec<serde::Value> {
         .collect()
 }
 
+/// The reference power configuration the energy rows run under: a linear
+/// machine, a modest serving capacity, a two-level price wave.
+fn bench_power() -> PowerConfig {
+    let mut p = PowerConfig::new(PowerSpec::Linear {
+        idle: 100.0,
+        peak: 250.0,
+    });
+    p.capacity = 4.0;
+    p.price = PriceSchedule::Step {
+        period: 3,
+        prices: vec![1.0, 5.0],
+    };
+    p
+}
+
+fn measure_energy(s: &Scale) -> Vec<serde::Value> {
+    let mut out = Vec::new();
+    // Metering overhead: the 4-shard hot path with the meter off vs on.
+    for metered in [false, true] {
+        let engine = Engine::new(bench_cfg(4));
+        if metered {
+            engine.set_power(Some(bench_power())).expect("set_power");
+        }
+        admit_scalar(&engine, s.tenants);
+        run_slots(&engine, s.tenants, s.slots); // warm-up pass
+        let rate = run_slots(&engine, s.tenants, s.slots);
+        engine.shutdown();
+        let mode = if metered { "metered" } else { "unmetered" };
+        out.push(serde_json::json!({"mode": mode, "rate": rate}));
+    }
+    // Autoscale decision rate: observe() calls/s on a swinging load, with
+    // the counting induced cost vs the priced (modeled-watts) one.
+    let ticks = if s.quick { 20_000usize } else { 200_000 };
+    for priced in [false, true] {
+        let mut cfg = TopologyConfig::new(1, 8);
+        cfg.switch_cost = 8.0;
+        cfg.cooldown = 0;
+        if priced {
+            cfg.pricing = Some(bench_power());
+        }
+        let mut policy = TopologyPolicy::new(cfg, 1).expect("policy");
+        let start = Instant::now();
+        for t in 0..ticks {
+            let events = ((t * 37 + 11) % 500) as u64;
+            if let Some(target) = policy.observe(&[events], &[(0, 1)]) {
+                let from = policy.status().shards;
+                policy.record_applied(from, target, 0);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let mode = if priced {
+            "autoscale_priced"
+        } else {
+            "autoscale_counted"
+        };
+        out.push(serde_json::json!({"mode": mode, "rate": ticks as f64 / secs}));
+    }
+    out
+}
+
 /// Schema check: every section present, every rate a positive number.
 /// Returns the list of violations (empty = valid).
 pub fn validate(doc: &serde::Value) -> Vec<String> {
@@ -235,11 +301,12 @@ pub fn validate(doc: &serde::Value) -> Vec<String> {
     if doc["schema"].as_str() != Some(SCHEMA) {
         errs.push(format!("schema != {SCHEMA:?}"));
     }
-    let sections: [(&str, &[&str]); 4] = [
+    let sections: [(&str, &[&str]); 5] = [
         ("throughput", &["shards", "steps_per_sec"]),
         ("store_overhead", &["backend", "steps_per_sec"]),
         ("hetero", &["algo", "steps_per_sec"]),
         ("rebalance", &["mode", "moved_per_sec"]),
+        ("energy", &["mode", "rate"]),
     ];
     for (section, fields) in sections {
         let rows = match doc["results"][section].as_array() {
@@ -302,6 +369,8 @@ fn main() {
     eprintln!("engine_bench: hetero done");
     let rebalance = measure_rebalance(&scale);
     eprintln!("engine_bench: rebalance done");
+    let energy = measure_energy(&scale);
+    eprintln!("engine_bench: energy done");
 
     let doc = serde_json::json!({
         "schema": SCHEMA,
@@ -313,6 +382,7 @@ fn main() {
             "store_overhead": serde::Value::Array(store_overhead),
             "hetero": serde::Value::Array(hetero),
             "rebalance": serde::Value::Array(rebalance),
+            "energy": serde::Value::Array(energy),
         },
     });
     let errs = validate(&doc);

@@ -83,6 +83,14 @@ COMMANDS
              cost BETA; changes are incremental migrations)
              live rebalance: send {\"op\":\"rebalance\",\"shards\":N}
              (add \"mode\":\"incremental\" to move only the ring diff)
+             energy accounting: [--power-model constant:W | linear:I:P |
+             piecewise:W0,W1,...] (per-machine watts vs utilization)
+             [--power-capacity C] (events one machine serves per tick)
+             [--price P | constant:P | step:PERIOD:P1,P2,.. | trace:P1,..]
+             [--price-trace FILE] (one price per tick; text, # comments)
+             [--priced-autoscale] (the auto-rebalance policy prices its
+             induced costs through the energy model and schedule; query
+             live via {\"op\":\"energy\"})
              durability: [--data-dir DIR] [--checkpoint-every N]
              [--fsync-every N]  (a non-empty DIR is recovered: checkpoint +
              WAL replay rebuild the pre-crash engine, then the run resumes)
@@ -397,6 +405,66 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
             .map_err(|e| CmdError::Other(e.to_string()))?;
     }
 
+    // Energy accounting: --power-model installs the meter; capacity and
+    // price schedule refine it. Process state like the other control-plane
+    // knobs — every invocation states its own.
+    if args.get_str("power-model").is_none()
+        && (args.options.contains_key("power-capacity")
+            || args.get_str("price").is_some()
+            || args.get_str("price-trace").is_some()
+            || args.has_flag("priced-autoscale"))
+    {
+        return Err(CmdError::Other(
+            "--power-capacity/--price/--price-trace/--priced-autoscale require --power-model"
+                .into(),
+        ));
+    }
+    if let Some(spec) = args.get_str("power-model") {
+        use rsdc_engine::{PowerConfig, PowerSpec, PriceSchedule};
+        let mut cfg = PowerConfig::new(
+            PowerSpec::parse(spec)
+                .map_err(|e| CmdError::Other(format!("bad --power-model: {e}")))?,
+        );
+        cfg.capacity = args.get_or("power-capacity", cfg.capacity)?;
+        if args.get_str("price").is_some() && args.get_str("price-trace").is_some() {
+            return Err(CmdError::Other(
+                "--price and --price-trace are mutually exclusive".into(),
+            ));
+        }
+        if let Some(p) = args.get_str("price") {
+            cfg.price = PriceSchedule::parse(p)
+                .map_err(|e| CmdError::Other(format!("bad --price: {e}")))?;
+        }
+        if let Some(path) = args.get_str("price-trace") {
+            let data = std::fs::read_to_string(path)?;
+            let mut prices = Vec::new();
+            for (n, line) in data.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                for tok in line.split([',', ' ', '\t']).filter(|t| !t.is_empty()) {
+                    prices.push(tok.parse::<f64>().map_err(|e| {
+                        CmdError::Other(format!(
+                            "bad --price-trace {path} line {}: {tok:?}: {e}",
+                            n + 1
+                        ))
+                    })?);
+                }
+            }
+            cfg.price = PriceSchedule::Trace { prices };
+        }
+        session
+            .engine()
+            .set_power(Some(cfg))
+            .map_err(|e| CmdError::Other(e.to_string()))?;
+    }
+    if args.has_flag("priced-autoscale") && args.get_str("auto-rebalance").is_none() {
+        return Err(CmdError::Other(
+            "--priced-autoscale requires --auto-rebalance".into(),
+        ));
+    }
+
     // Lazy auto-rebalancing: like limits, policy knobs are process state
     // stated per invocation. `lo:hi` bounds the shard count; the optional
     // `beta` is the induced switching cost per shard powered up.
@@ -420,6 +488,12 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
             cfg.switch_cost = beta
                 .parse()
                 .map_err(|e| CmdError::Other(format!("bad --auto-rebalance beta {beta:?}: {e}")))?;
+        }
+        // Priced mode: the policy sees induced costs in modeled watts and
+        // priced energy — the same physics the meter bills with.
+        if args.has_flag("priced-autoscale") {
+            cfg.pricing = session.engine().power_config();
+            debug_assert!(cfg.pricing.is_some(), "guarded by the flag checks above");
         }
         session
             .engine()
@@ -988,6 +1062,84 @@ mod tests {
         }
         // An inverted range is refused by policy validation.
         assert!(dispatch(&args(&["engine", "--trace", &p, "--auto-rebalance", "4:1"])).is_err());
+    }
+
+    #[test]
+    fn engine_power_flags_install_the_meter() {
+        let p = tmp("power.json");
+        dispatch(&args(&[
+            "generate", "--kind", "diurnal", "--slots", "20", "--seed", "3", "--out", &p,
+        ]))
+        .unwrap();
+        let trace = tmp("prices.txt");
+        std::fs::write(&trace, "# cheap, then expensive\n1.0 1.0\n5.0, 5.0\n").unwrap();
+        let out = dispatch(&args(&[
+            "engine",
+            "--trace",
+            &p,
+            "--tenants",
+            "6",
+            "--shards",
+            "2",
+            "--power-model",
+            "linear:100:250",
+            "--power-capacity",
+            "4.0",
+            "--price-trace",
+            &trace,
+            "--auto-rebalance",
+            "1:4:4",
+            "--priced-autoscale",
+        ]))
+        .unwrap();
+        let parsed: Vec<serde_json::Value> = out
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        // The closing stats line carries a live meter and a priced policy.
+        let stats = parsed.iter().find(|v| v["op"] == "stats").unwrap();
+        let energy = &stats["energy"];
+        assert_eq!(energy["model"], "linear:100:250");
+        assert_eq!(energy["capacity"], 4.0);
+        assert_eq!(energy["price"], "trace:1,1,5,5");
+        assert!(energy["ticks"].as_u64().unwrap() >= 20);
+        assert!(energy["joules"].as_f64().unwrap() > 0.0);
+        assert!(energy["cost"].as_f64().unwrap() > 0.0);
+        assert_eq!(stats["autoscale"]["priced"], true);
+        assert_eq!(stats["autoscale"]["price_now"], 5.0, "past the trace end");
+        // Reports carry attributed energy.
+        let report = parsed.iter().find(|v| v["op"] == "report").unwrap();
+        assert!(report["report"]["energy"]["joules"].as_f64().is_some());
+        // Knobs without the model, bad specs, and conflicting schedules
+        // are usage errors.
+        assert!(dispatch(&args(&["engine", "--trace", &p, "--price", "2.0"])).is_err());
+        assert!(dispatch(&args(&["engine", "--trace", &p, "--priced-autoscale"])).is_err());
+        assert!(dispatch(&args(&["engine", "--trace", &p, "--power-model", "warp:1"])).is_err());
+        assert!(dispatch(&args(&[
+            "engine",
+            "--trace",
+            &p,
+            "--power-model",
+            "linear:100:250",
+            "--price",
+            "1.0",
+            "--price-trace",
+            &trace,
+        ]))
+        .is_err());
+        assert!(
+            dispatch(&args(&[
+                "engine",
+                "--trace",
+                &p,
+                "--power-model",
+                "linear:100:250",
+                "--priced-autoscale",
+            ]))
+            .is_err(),
+            "priced autoscale without --auto-rebalance is refused"
+        );
+        let _ = std::fs::remove_file(&trace);
     }
 
     #[test]

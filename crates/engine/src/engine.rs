@@ -5,12 +5,14 @@
 use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionError};
 use crate::journal::{CheckpointDoc, JournalRecord};
 use crate::obs::EngineObs;
+use crate::power::PowerRuntime;
 use crate::ring::{moved_ids, HashRing, RingSpec, DEFAULT_VNODES};
 use crate::shard::{Event, Request, Shard, ShardMeta, ShardStats, StepOutcome};
 use crate::tenant::{TenantConfig, TenantReport, TenantSnapshot};
 use crate::topology::{TopologyConfig, TopologyPolicy, TopologyStatus};
 use crate::EngineError;
 use rsdc_core::Cost;
+use rsdc_power::{EnergyStatus, PowerConfig};
 use rsdc_store::{Durability, InstrumentedStore, NullStore};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -103,6 +105,7 @@ pub struct Engine {
     attached: AtomicBool,
     admission: Mutex<AdmissionControl>,
     topology: Mutex<Option<TopologyPolicy>>,
+    power: Mutex<Option<PowerRuntime>>,
 }
 
 /// What [`Engine::checkpoint`] produced.
@@ -259,6 +262,7 @@ impl Engine {
             attached: AtomicBool::new(false),
             admission: Mutex::new(AdmissionControl::default()),
             topology: Mutex::new(None),
+            power: Mutex::new(None),
         }
     }
 
@@ -329,6 +333,55 @@ impl Engine {
 
     fn policy(&self) -> std::sync::MutexGuard<'_, Option<TopologyPolicy>> {
         self.topology.lock().expect("topology policy poisoned")
+    }
+
+    fn power_runtime(&self) -> std::sync::MutexGuard<'_, Option<PowerRuntime>> {
+        self.power.lock().expect("power runtime poisoned")
+    }
+
+    /// Enable (`Some`) or disable (`None`) energy accounting. Installing
+    /// a config starts a **fresh** meter (totals reset to zero); like the
+    /// metrics registry and the topology policy, the energy runtime is
+    /// control-plane process state, deliberately not journaled — recovery
+    /// restarts the meter, it never replays watt-hours.
+    ///
+    /// Once enabled, every ingested batch meters one logical tick:
+    /// per-shard utilization (events over committed machines times the
+    /// configured capacity) drives the power model, joules integrate over
+    /// the logical clock, and the price schedule turns them into cost.
+    pub fn set_power(&self, cfg: Option<PowerConfig>) -> Result<(), EngineError> {
+        let runtime = match cfg {
+            Some(cfg) => {
+                cfg.validate()
+                    .map_err(|m| EngineError::Policy(rsdc_core::Error::InvalidParameter(m)))?;
+                Some(PowerRuntime::new(cfg))
+            }
+            None => None,
+        };
+        *self.power_runtime() = runtime;
+        Ok(())
+    }
+
+    /// The power configuration in force (`None` when energy accounting is
+    /// disabled).
+    pub fn power_config(&self) -> Option<PowerConfig> {
+        self.power_runtime()
+            .as_ref()
+            .map(|rt| rt.meter().config().clone())
+    }
+
+    /// Point-in-time energy read-back: configuration, totals, and the
+    /// last tick's per-shard physics (`None` when disabled).
+    pub fn energy_status(&self) -> Option<EnergyStatus> {
+        self.power_runtime().as_ref().map(|rt| rt.meter().status())
+    }
+
+    /// Fill a report's `energy` field from the attribution map.
+    fn decorate_energy(&self, report: &mut TenantReport) {
+        report.energy = self
+            .power_runtime()
+            .as_ref()
+            .and_then(|rt| rt.tenant_energy(&report.id));
     }
 
     /// Enable (`Some`) or disable (`None`) the lazy auto-rebalancing
@@ -635,6 +688,7 @@ impl Engine {
         }
         let mut shard_events = vec![0u64; shards];
         let mut pulses: Vec<(usize, usize)> = Vec::new();
+        let mut machines: Vec<(usize, u64)> = Vec::new();
         let mut replies = Vec::new();
         for (shard, batch) in per_shard.into_iter().enumerate() {
             if batch.is_empty() {
@@ -650,11 +704,34 @@ impl Engine {
         for (shard, rx) in replies {
             let reply = rx.recv().map_err(|_| EngineError::ShardDown(shard))??;
             pulses.push((shard, reply.tenants));
+            machines.push((shard, reply.machines));
             indexed.extend(reply.outcomes);
         }
         if observe {
             if let Some(policy) = self.policy().as_mut() {
                 policy.observe(&shard_events, &pulses);
+            }
+            if let Some(runtime) = self.power_runtime().as_mut() {
+                // One metered tick: the shard samples drive the meter,
+                // the committed outcomes refresh per-tenant attribution.
+                // Shard routing is recomputed from the ring (identical to
+                // the dispatch above — the ring did not change mid-call).
+                let commits: Vec<(&str, u32, usize)> = indexed
+                    .iter()
+                    .filter(|(_, o)| o.error.is_none())
+                    .filter_map(|(_, o)| {
+                        o.states
+                            .last()
+                            .map(|&last| (o.id.as_str(), last, self.shard_of(&o.id)))
+                    })
+                    .collect();
+                runtime.observe(
+                    self.logical_tick(),
+                    &shard_events,
+                    &machines,
+                    &commits,
+                    &self.obs,
+                );
             }
         }
         indexed.sort_by_key(|(index, _)| *index);
@@ -705,11 +782,17 @@ impl Engine {
         self.send(shard, |tx| Request::Restore(Box::new(snapshot), tx))
     }
 
-    /// Remove a tenant, returning its final report.
+    /// Remove a tenant, returning its final report (with its attributed
+    /// energy, when accounting is on — the attribution entry is dropped
+    /// with the tenant).
     pub fn evict(&self, id: &str) -> Result<TenantReport, EngineError> {
         let shard = self.shard_of(id);
-        let report = self.send(shard, |tx| Request::Evict(id.to_string(), tx))?;
+        let mut report = self.send(shard, |tx| Request::Evict(id.to_string(), tx))?;
         self.gate().forget(id);
+        if let Some(runtime) = self.power_runtime().as_mut() {
+            report.energy = runtime.tenant_energy(id);
+            runtime.forget(id);
+        }
         Ok(report)
     }
 
@@ -717,9 +800,11 @@ impl Engine {
     pub fn report(&self, id: &str) -> Result<TenantReport, EngineError> {
         let shard = self.shard_of(id);
         let mut reports = self.send(shard, |tx| Request::Report(Some(id.to_string()), tx))?;
-        reports
+        let mut report = reports
             .pop()
-            .ok_or_else(|| EngineError::UnknownTenant(id.to_string()))
+            .ok_or_else(|| EngineError::UnknownTenant(id.to_string()))?;
+        self.decorate_energy(&mut report);
+        Ok(report)
     }
 
     /// Reports for every tenant, sorted by id.
@@ -737,6 +822,11 @@ impl Engine {
             all.extend(rx.recv().map_err(|_| EngineError::ShardDown(shard))??);
         }
         all.sort_by(|a, b| a.id.cmp(&b.id));
+        if let Some(runtime) = self.power_runtime().as_ref() {
+            for report in &mut all {
+                report.energy = runtime.tenant_energy(&report.id);
+            }
+        }
         Ok(all)
     }
 

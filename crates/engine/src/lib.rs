@@ -102,6 +102,7 @@ pub mod admission;
 pub mod engine;
 pub mod journal;
 pub mod obs;
+mod power;
 pub mod ring;
 pub mod shard;
 pub mod tenant;
@@ -115,8 +116,9 @@ pub use engine::{
 pub use obs::EngineObs;
 pub use ring::{HashRing, RingSpec, DEFAULT_VNODES};
 pub use rsdc_hetero::{FleetSpec, HeteroAlgo};
+pub use rsdc_power::{EnergyStatus, PowerConfig, PowerSpec, PriceSchedule};
 pub use shard::{ShardMeta, ShardStats, StepOutcome};
-pub use tenant::{PolicySpec, TenantConfig, TenantReport, TenantSnapshot};
+pub use tenant::{PolicySpec, TenantConfig, TenantEnergy, TenantReport, TenantSnapshot};
 pub use topology::{TopologyConfig, TopologyPolicy, TopologyStatus};
 
 /// Errors surfaced by [`Engine`] operations.
@@ -1105,5 +1107,101 @@ mod tests {
             want_report.breakdown.switching
         );
         assert_eq!(got_report.stats, want_report.stats);
+    }
+
+    #[test]
+    fn energy_meter_integrates_engine_ticks() {
+        let engine = Engine::new(EngineConfig::with_shards(2));
+        for i in 0..6 {
+            engine
+                .admit(TenantConfig::new(format!("t{i}"), 8, 1.0, PolicySpec::Lcp))
+                .unwrap();
+        }
+        assert!(engine.energy_status().is_none(), "accounting starts off");
+        let cfg = PowerConfig {
+            model: PowerSpec::Linear {
+                idle: 100.0,
+                peak: 250.0,
+            },
+            capacity: 4.0,
+            price: PriceSchedule::Step {
+                period: 3,
+                prices: vec![1.0, 5.0],
+            },
+        };
+        engine.set_power(Some(cfg)).unwrap();
+        for f in costs(12) {
+            let batch: Vec<(String, Cost)> = (0..6).map(|i| (format!("t{i}"), f.clone())).collect();
+            engine.step_batch(batch).unwrap();
+        }
+        let status = engine.energy_status().unwrap();
+        assert_eq!(status.ticks, 12, "one metered tick per ingested batch");
+        assert!(status.joules > 0.0);
+        assert!(status.cost > status.joules, "expensive windows priced > 1");
+        assert_eq!(status.watts.len(), 2);
+        // Every shard draws at least one machine's idle power per tick, so
+        // totals are bounded below by the idle floor.
+        assert!(status.joules >= 12.0 * 2.0 * 100.0);
+        // The registry counters trail the meter by less than one unit.
+        let counters: std::collections::HashMap<String, u64> = engine
+            .obs()
+            .registry()
+            .snapshot()
+            .into_iter()
+            .filter_map(|m| match m.value {
+                rsdc_obs::MetricValue::Counter(v) => Some((m.id.name, v)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(counters["engine_energy_joules"], status.joules as u64);
+        assert_eq!(
+            counters["engine_energy_cost_milli"],
+            (status.cost * 1000.0) as u64
+        );
+        // Per-tenant attribution: every tenant committed machines, so each
+        // carries a share, and the shares never exceed the metered total.
+        let reports = engine.report_all().unwrap();
+        let attributed: f64 = reports
+            .iter()
+            .map(|r| r.energy.expect("accounting on").joules)
+            .sum();
+        assert!(attributed > 0.0);
+        assert!(attributed <= status.joules + 1e-9);
+        // Disabling accounting clears the read-backs and report fields.
+        engine.set_power(None).unwrap();
+        assert!(engine.energy_status().is_none());
+        assert!(engine.report("t0").unwrap().energy.is_none());
+    }
+
+    #[test]
+    fn price_window_trace_marks_schedule_edges() {
+        let engine = Engine::new(EngineConfig::with_shards(1));
+        engine
+            .admit(TenantConfig::new("t", 4, 1.0, PolicySpec::Lcp))
+            .unwrap();
+        engine
+            .set_power(Some(PowerConfig {
+                model: PowerSpec::Constant { watts: 50.0 },
+                capacity: 1.0,
+                price: PriceSchedule::Step {
+                    period: 2,
+                    prices: vec![1.0, 4.0],
+                },
+            }))
+            .unwrap();
+        for f in costs(5) {
+            engine.step("t", f).unwrap();
+        }
+        let windows: Vec<u64> = engine
+            .obs()
+            .trace()
+            .events(None)
+            .iter()
+            .filter(|e| e.kind == "price_window")
+            .map(|e| e.tick)
+            .collect();
+        // Ticks 1..=5 on the engine clock; the meter's 0-based ticks 0, 2
+        // and 4 open windows (first tick, then each period boundary).
+        assert_eq!(windows.len(), 3, "first tick + two period edges");
     }
 }

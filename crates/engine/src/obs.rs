@@ -13,7 +13,7 @@
 //! per-shard batch-latency histograms, which each shard worker registers
 //! for its own index when it starts.
 
-use rsdc_obs::{Counter, FieldValue, Histogram, MetricId, Registry, TraceBuffer};
+use rsdc_obs::{Counter, FieldValue, Gauge, Histogram, MetricId, Registry, TraceBuffer};
 use rsdc_store::{StoreObserver, StoreOp};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
@@ -46,6 +46,12 @@ pub struct EngineObs {
     pub(crate) recovery_events_replayed: Counter,
     /// Replay failures (counted, not fatal — see recovery docs).
     pub(crate) recovery_replay_errors: Counter,
+    /// Whole joules metered by the energy runtime (floor-diff emission:
+    /// the meter keeps the authoritative `f64`, the counter trails it by
+    /// less than one joule).
+    pub(crate) energy_joules: Counter,
+    /// Milli-units of priced energy cost (same floor-diff emission).
+    pub(crate) energy_cost_milli: Counter,
 
     // Store-seam metrics, fed by the `StoreObserver` impl below.
     wal_append_ns: Histogram,
@@ -92,6 +98,8 @@ impl EngineObs {
             recovery_records_replayed: c("engine_recovery_records_replayed"),
             recovery_events_replayed: c("engine_recovery_events_replayed"),
             recovery_replay_errors: c("engine_recovery_replay_errors"),
+            energy_joules: c("engine_energy_joules"),
+            energy_cost_milli: c("engine_energy_cost_milli"),
             wal_append_ns: h("wal_append_ns"),
             wal_fsync_ns: h("wal_fsync_ns"),
             wal_checkpoint_commit_ns: h("wal_checkpoint_commit_ns"),
@@ -166,6 +174,17 @@ impl EngineObs {
             crate::AdmissionError::Throttled { .. } => self.admission_throttled.inc(),
             crate::AdmissionError::Migrating { .. } => self.admission_deferred.inc(),
         }
+    }
+
+    /// The watts gauge for one shard, registered on first use (the shard
+    /// set changes under rebalancing, so the energy runtime grows its
+    /// gauge vector lazily rather than pre-registering a fixed count).
+    pub(crate) fn shard_watts_gauge(&self, shard: usize) -> Gauge {
+        self.registry.gauge(MetricId::labelled(
+            "engine_shard_watts",
+            "shard",
+            &shard.to_string(),
+        ))
     }
 
     /// Trace admission-window open/close *edges*: called with the current

@@ -1,0 +1,172 @@
+//! The engine's energy runtime: the [`EnergyMeter`] plus the handle-side
+//! bookkeeping that feeds it — last-known per-shard machine counts,
+//! per-tenant attribution, and the floor-diff emission into the metrics
+//! registry.
+//!
+//! Like the metrics registry, the admission gate and the topology policy,
+//! the runtime is **process state, never journaled**: enabling energy
+//! accounting changes no journaled byte, and a recovered engine restarts
+//! its meter from zero. The regression tests hold the engine to that.
+
+use crate::obs::EngineObs;
+use crate::tenant::TenantEnergy;
+use rsdc_obs::Gauge;
+use rsdc_power::{EnergyDelta, EnergyMeter, PowerConfig, PowerModel, ShardSample};
+use std::collections::HashMap;
+
+/// Handle-side energy accounting state (lives behind the engine's power
+/// mutex; one instance per `set_power(Some(..))` install).
+pub(crate) struct PowerRuntime {
+    meter: EnergyMeter,
+    /// Last-known machines per shard. Shards that served no events this
+    /// tick keep drawing at their last reported commitment — machines do
+    /// not power down just because a batch skipped their shard.
+    shard_machines: Vec<u64>,
+    /// Per-tenant machine counts and attributed energy, updated from
+    /// batch outcomes (evictions prune entries via [`forget`]).
+    ///
+    /// [`forget`]: PowerRuntime::forget
+    tenants: HashMap<String, TenantPower>,
+    /// Per-shard watts gauges, registered lazily as shards appear.
+    gauges: Vec<Gauge>,
+    /// Whole joules already emitted to the registry counter.
+    emitted_joules: u64,
+    /// Cost milli-units already emitted to the registry counter.
+    emitted_cost_milli: u64,
+}
+
+struct TenantPower {
+    machines: u64,
+    /// The shard the tenant last committed on — where its machines run,
+    /// and therefore whose utilization prices its per-machine draw.
+    shard: usize,
+    joules: f64,
+    cost: f64,
+}
+
+impl PowerRuntime {
+    pub(crate) fn new(cfg: PowerConfig) -> PowerRuntime {
+        PowerRuntime {
+            meter: EnergyMeter::new(cfg),
+            shard_machines: Vec::new(),
+            tenants: HashMap::new(),
+            gauges: Vec::new(),
+            emitted_joules: 0,
+            emitted_cost_milli: 0,
+        }
+    }
+
+    pub(crate) fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Meter one engine tick: fold the per-shard samples into the meter,
+    /// refresh per-tenant machine counts from the batch outcomes, charge
+    /// each known tenant its share, and emit gauges/counters/trace.
+    ///
+    /// `shard_events[i]` is the events shard `i` applied this tick;
+    /// `machines` carries `(shard, committed machines)` for the shards
+    /// that replied; `commits` carries `(tenant, last committed state,
+    /// owning shard)` for the outcomes that committed anything.
+    pub(crate) fn observe(
+        &mut self,
+        tick: u64,
+        shard_events: &[u64],
+        machines: &[(usize, u64)],
+        commits: &[(&str, u32, usize)],
+        obs: &EngineObs,
+    ) -> EnergyDelta {
+        self.shard_machines.resize(shard_events.len(), 0);
+        for &(shard, m) in machines {
+            self.shard_machines[shard] = m;
+        }
+        let samples: Vec<ShardSample> = shard_events
+            .iter()
+            .zip(&self.shard_machines)
+            .map(|(&events, &machines)| ShardSample { events, machines })
+            .collect();
+        let price = self.meter.config().price.price_at(self.meter.ticks());
+        for &(id, last, shard) in commits {
+            let entry = self
+                .tenants
+                .entry(id.to_string())
+                .or_insert_with(|| TenantPower {
+                    machines: 0,
+                    shard: 0,
+                    joules: 0.0,
+                    cost: 0.0,
+                });
+            entry.machines = last as u64;
+            entry.shard = shard;
+        }
+        let delta = self.meter.observe(&samples);
+        self.attribute(price);
+        self.emit(tick, &delta, obs);
+        delta
+    }
+
+    /// Charge each known tenant `machines * watts_per_machine(util of its
+    /// shard's sample)` for this tick. The per-machine draw is derived
+    /// from the fleet-wide model at the shard-mean utilization recorded by
+    /// the meter; the idle floor of shards with zero committed machines
+    /// stays unattributed (the meter total is the authoritative bill).
+    fn attribute(&mut self, price: f64) {
+        let cfg = self.meter.config();
+        let utils = self.meter.last_utilization();
+        for t in self.tenants.values_mut() {
+            if t.machines == 0 {
+                continue;
+            }
+            let util = utils.get(t.shard).copied().unwrap_or(0.0);
+            let joules = t.machines as f64 * cfg.model.watts(util);
+            t.joules += joules;
+            t.cost += joules * price;
+        }
+    }
+
+    /// Gauges, floor-diff counters, and the price-window trace edge.
+    fn emit(&mut self, tick: u64, delta: &EnergyDelta, obs: &EngineObs) {
+        let watts = self.meter.last_watts();
+        while self.gauges.len() < watts.len() {
+            self.gauges.push(obs.shard_watts_gauge(self.gauges.len()));
+        }
+        for (gauge, w) in self.gauges.iter().zip(watts) {
+            gauge.set(w.round() as i64);
+        }
+        let joules = self.meter.joules().floor() as u64;
+        if joules > self.emitted_joules {
+            obs.energy_joules.add(joules - self.emitted_joules);
+            self.emitted_joules = joules;
+        }
+        let cost_milli = (self.meter.cost() * 1000.0).floor() as u64;
+        if cost_milli > self.emitted_cost_milli {
+            obs.energy_cost_milli
+                .add(cost_milli - self.emitted_cost_milli);
+            self.emitted_cost_milli = cost_milli;
+        }
+        if delta.price_changed {
+            obs.event(
+                tick,
+                "price_window",
+                vec![
+                    ("price", delta.price.into()),
+                    ("joules_total", self.meter.joules().into()),
+                    ("cost_total", self.meter.cost().into()),
+                ],
+            );
+        }
+    }
+
+    /// The energy attributed to one tenant so far, if any was.
+    pub(crate) fn tenant_energy(&self, id: &str) -> Option<TenantEnergy> {
+        self.tenants.get(id).map(|t| TenantEnergy {
+            joules: t.joules,
+            cost: t.cost,
+        })
+    }
+
+    /// Drop a tenant's attribution entry (after an evict).
+    pub(crate) fn forget(&mut self, id: &str) {
+        self.tenants.remove(id);
+    }
+}

@@ -108,6 +108,9 @@ pub struct BatchReply {
     pub outcomes: Vec<(usize, StepOutcome)>,
     /// Live tenants on this shard after the batch.
     pub tenants: usize,
+    /// Machines committed across this shard's tenants after the batch
+    /// (sum of last committed states) — the energy meter's load sample.
+    pub machines: u64,
 }
 
 /// Requests a shard worker serves.
@@ -430,6 +433,7 @@ impl Shard {
         Ok(BatchReply {
             outcomes: out,
             tenants: self.tenants.len(),
+            machines: self.tenants.values().map(|t| t.last_state() as u64).sum(),
         })
     }
 

@@ -241,6 +241,22 @@ impl TenantConfig {
     }
 }
 
+/// A tenant's share of the metered energy, attributed by the engine
+/// handle (shards know nothing about power models).
+///
+/// Attribution charges each tenant its committed machines times the
+/// per-machine draw at its shard's utilization, every metered tick. The
+/// idle floor a shard burns with zero committed machines stays
+/// unattributed, so the fleet-wide meter total is an upper bound on the
+/// sum of tenant shares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantEnergy {
+    /// Joules (watt·ticks) attributed to this tenant.
+    pub joules: f64,
+    /// Priced cost attributed to this tenant.
+    pub cost: f64,
+}
+
 /// Point-in-time report for one tenant.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TenantReport {
@@ -269,6 +285,10 @@ pub struct TenantReport {
     pub opt_cost: Option<f64>,
     /// `breakdown.total() / opt_cost`, when tracked and meaningful.
     pub ratio: Option<f64>,
+    /// Attributed energy, filled in by the engine handle when energy
+    /// accounting is enabled (shards always report `None` — the power
+    /// runtime lives on the handle, outside journaled state).
+    pub energy: Option<TenantEnergy>,
 }
 
 /// Serializable full state of a tenant (policy + accounting).
@@ -411,6 +431,13 @@ impl Tenant {
     /// The tenant's configuration.
     pub fn config(&self) -> &TenantConfig {
         &self.cfg
+    }
+
+    /// The most recently committed state (total active machines for
+    /// heterogeneous tenants) — the cheap accessor the shard's
+    /// machine-count aggregation reads per batch.
+    pub fn last_state(&self) -> u32 {
+        self.prev_state
     }
 
     /// Monotone-phase state machine over the (total-machines) state,
@@ -620,6 +647,7 @@ impl Tenant {
             },
             opt_cost,
             ratio,
+            energy: None,
         }
     }
 

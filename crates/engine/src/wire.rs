@@ -22,6 +22,8 @@
 //! {"op":"rebalance","shards":4,"vnodes":64}   // live ring re-partition
 //! {"op":"rebalance","shards":4,"mode":"incremental"}  // move only the ring diff
 //! {"op":"autoscale","min":1,"max":8,"switch_cost":32.0}  // lazy auto-rebalancing
+//! {"op":"autoscale","min":1,"max":8,"switch_cost":32.0,"priced":true}  // price-aware
+//! {"op":"energy","model":"linear:100:250","capacity":4.0,"price":"step:24:1,3.5"}
 //! {"op":"limits","max_tenants":100,"rate":2.0,"burst":8.0}
 //! {"op":"metrics"}           // metrics-registry dump
 //! {"op":"trace","last":16}   // control-plane trace ring (newest N)
@@ -37,11 +39,13 @@
 //! `stepped` responses carry the committed `configs` alongside the scalar
 //! total-machine `states`. Response records mirror the request:
 //! `admitted`, `stepped` (with committed `states`), `finished`,
-//! `snapshot`, `restored`, `report`, `stats` (incl. per-shard skew and
-//! the autoscale-policy state), `checkpointed`, `recovered`, `wal_stats`,
+//! `snapshot`, `restored`, `report` (incl. attributed `energy` when
+//! accounting is on), `stats` (incl. per-shard skew, the
+//! autoscale-policy state and the energy meter), `checkpointed`,
+//! `recovered`, `wal_stats`,
 //! `rebalanced` (with its `mode`; emitted unsolicited with `"auto":true`
 //! when the autoscale policy triggers a migration), `autoscale`,
-//! `limits`, `metrics`, `trace`, or
+//! `energy`, `limits`, `metrics`, `trace`, or
 //! `{"op":"error","line":N,"message":...}` — error
 //! responses carry the 1-based input line number of the offending record,
 //! so a failing line inside a large JSONL batch is locatable.
@@ -53,6 +57,7 @@ use crate::shard::StepOutcome;
 use crate::tenant::{PolicySpec, TenantConfig, TenantSnapshot};
 use rsdc_core::Cost;
 use rsdc_hetero::{FleetSpec, HeteroAlgo, ServerType};
+use rsdc_power::{EnergyStatus, PowerConfig, PowerSpec, PriceSchedule};
 use rsdc_workloads::builder::CostModel;
 use rsdc_workloads::traces::Trace;
 use serde::{Deserialize, Serialize};
@@ -131,6 +136,23 @@ pub enum Record {
         shard_cost: Option<f64>,
         /// Ticks between applied changes / admission-window length.
         cooldown: Option<u64>,
+        /// Price the induced instance through the engine's energy
+        /// accounting (requires the `energy` op to be configured first).
+        priced: bool,
+    },
+    /// Configure (`model` present), disable (`"off":true`) or read back
+    /// (bare) the engine's energy accounting.
+    Energy {
+        /// Disable energy accounting.
+        off: bool,
+        /// Power-model short spec: `constant:W`, `linear:IDLE:PEAK` or
+        /// `piecewise:W0,W1,...`.
+        model: Option<String>,
+        /// Events one machine serves per tick at full utilization.
+        capacity: Option<f64>,
+        /// Price-schedule short spec: a bare number, `constant:P`,
+        /// `step:PERIOD:P1,P2,...` or `trace:P1,P2,...`.
+        price: Option<String>,
     },
     /// Dump the metrics registry: counters, gauges, histogram summaries.
     Metrics,
@@ -403,6 +425,7 @@ pub fn parse_record(line: &str) -> Result<Record, WireError> {
             };
             let (min, max) = (count("min")?, count("max")?);
             let (switch_cost, shard_cost) = (num("switch_cost")?, num("shard_cost")?);
+            let priced = v.get("priced").and_then(|x| x.as_bool()).unwrap_or(false);
             if !off && min.is_some() != max.is_some() {
                 return Err(WireError(
                     "autoscale needs both \"min\" and \"max\" (or \"off\":true, or neither to read back)"
@@ -415,7 +438,7 @@ pub fn parse_record(line: &str) -> Result<Record, WireError> {
             // did (the full policy is stated on every configure).
             if !off
                 && min.is_none()
-                && (switch_cost.is_some() || shard_cost.is_some() || cooldown.is_some())
+                && (switch_cost.is_some() || shard_cost.is_some() || cooldown.is_some() || priced)
             {
                 return Err(WireError(
                     "autoscale knobs require \"min\" and \"max\": state the full policy to (re)configure"
@@ -429,6 +452,44 @@ pub fn parse_record(line: &str) -> Result<Record, WireError> {
                 switch_cost,
                 shard_cost,
                 cooldown,
+                priced,
+            })
+        }
+        "energy" => {
+            let off = v.get("off").and_then(|x| x.as_bool()).unwrap_or(false);
+            let text = |key: &str| -> Result<Option<String>, WireError> {
+                match v.get(key) {
+                    Some(x) if !x.is_null() => x
+                        .as_str()
+                        .map(|s| s.to_string())
+                        .map(Some)
+                        .ok_or_else(|| WireError(format!("field {key:?} must be a string"))),
+                    _ => Ok(None),
+                }
+            };
+            let capacity = match v.get("capacity") {
+                Some(x) if !x.is_null() => Some(
+                    x.as_f64()
+                        .filter(|n| n.is_finite() && *n > 0.0)
+                        .ok_or_else(|| {
+                            WireError("field \"capacity\" must be a number > 0".into())
+                        })?,
+                ),
+                _ => None,
+            };
+            let (model, price) = (text("model")?, text("price")?);
+            // Same contract as autoscale: knobs without the model would
+            // fall through to the read-back arm and be silently dropped.
+            if !off && model.is_none() && (capacity.is_some() || price.is_some()) {
+                return Err(WireError(
+                    "energy knobs require \"model\": state the full config to (re)configure".into(),
+                ));
+            }
+            Ok(Record::Energy {
+                off,
+                model,
+                capacity,
+                price,
             })
         }
         "limits" => {
@@ -860,6 +921,7 @@ impl Session {
                                 "events": crate::topology::skew_of(&events),
                             },
                             "autoscale": autoscale_value(self.engine.autoscale_status()),
+                            "energy": energy_value(self.engine.energy_status()),
                         }))
                         .expect("serializable"),
                     );
@@ -906,9 +968,10 @@ impl Session {
                 switch_cost,
                 shard_cost,
                 cooldown,
+                priced,
             } => {
                 let result = if off {
-                    self.engine.set_autoscale(None)
+                    self.engine.set_autoscale(None).map_err(|e| e.to_string())
                 } else if let (Some(min), Some(max)) = (min, max) {
                     let mut cfg = crate::TopologyConfig::new(min, max);
                     if let Some(b) = switch_cost {
@@ -920,7 +983,24 @@ impl Session {
                     if let Some(k) = cooldown {
                         cfg.cooldown = k;
                     }
-                    self.engine.set_autoscale(Some(cfg))
+                    if priced {
+                        // The policy prices its induced instance through
+                        // the engine's energy physics — the same config
+                        // the meter bills with, so decision and bill agree.
+                        match self.engine.power_config() {
+                            Some(p) => cfg.pricing = Some(p),
+                            None => {
+                                out.push(error_line(
+                                    "autoscale \"priced\":true requires energy accounting: \
+                                     configure the \"energy\" op first",
+                                ));
+                                return;
+                            }
+                        }
+                    }
+                    self.engine
+                        .set_autoscale(Some(cfg))
+                        .map_err(|e| e.to_string())
                 } else {
                     Ok(()) // bare read-back
                 };
@@ -929,7 +1009,39 @@ impl Session {
                         self.engine.autoscale_status(),
                         self.engine.logical_tick(),
                     )),
-                    Err(e) => out.push(error_line(&e.to_string())),
+                    Err(message) => out.push(error_line(&message)),
+                }
+            }
+            Record::Energy {
+                off,
+                model,
+                capacity,
+                price,
+            } => {
+                let result: Result<(), String> = if off {
+                    self.engine.set_power(None).map_err(|e| e.to_string())
+                } else if let Some(model) = model {
+                    PowerSpec::parse(&model)
+                        .and_then(|spec| {
+                            let mut cfg = PowerConfig::new(spec);
+                            if let Some(c) = capacity {
+                                cfg.capacity = c;
+                            }
+                            if let Some(p) = price.as_deref() {
+                                cfg.price = PriceSchedule::parse(p)?;
+                            }
+                            Ok(cfg)
+                        })
+                        .and_then(|cfg| self.engine.set_power(Some(cfg)).map_err(|e| e.to_string()))
+                } else {
+                    Ok(()) // bare read-back
+                };
+                match result {
+                    Ok(()) => out.push(energy_line(
+                        self.engine.energy_status(),
+                        self.engine.logical_tick(),
+                    )),
+                    Err(message) => out.push(error_line(&message)),
                 }
             }
             Record::Limits {
@@ -1039,6 +1151,14 @@ impl Session {
                                 .as_ref()
                                 .map(|r| r.migrations_replayed)
                                 .unwrap_or(0),
+                            // The meter is process state: a recovered
+                            // handle restarts these totals from zero.
+                            "energy": match self.engine.energy_status() {
+                                None => serde::Value::Null,
+                                Some(s) => serde_json::json!({
+                                    "joules": s.joules, "cost": s.cost,
+                                }),
+                            },
                         }))
                         .expect("serializable"),
                     ),
@@ -1234,6 +1354,8 @@ fn autoscale_value(status: Option<crate::TopologyStatus>) -> serde::Value {
             "migrations": s.migrations,
             "tenants_moved": s.tenants_moved,
             "event_skew": s.event_skew,
+            "priced": s.config.pricing.is_some(),
+            "price_now": s.price_now,
         }),
     }
 }
@@ -1244,6 +1366,37 @@ fn autoscale_line(status: Option<crate::TopologyStatus>, tick: u64) -> String {
         "op": "autoscale",
         "enabled": enabled,
         "policy": autoscale_value(status),
+        "tick": tick,
+    }))
+    .expect("serializable")
+}
+
+/// The energy-accounting state as a JSON value (`null` = disabled),
+/// shared by the `energy` response and the `stats` report. Specs render
+/// in the parse short syntax, so a read-back is directly replayable.
+fn energy_value(status: Option<EnergyStatus>) -> serde::Value {
+    match status {
+        None => serde::Value::Null,
+        Some(s) => serde_json::json!({
+            "model": s.model.describe(),
+            "capacity": s.capacity,
+            "price": s.price.describe(),
+            "ticks": s.ticks,
+            "joules": s.joules,
+            "cost": s.cost,
+            "price_now": s.price_now,
+            "watts": s.watts,
+            "utilization": s.utilization,
+        }),
+    }
+}
+
+fn energy_line(status: Option<EnergyStatus>, tick: u64) -> String {
+    let enabled = status.is_some();
+    serde_json::to_string(&serde_json::json!({
+        "op": "energy",
+        "enabled": enabled,
+        "meter": energy_value(status),
         "tick": tick,
     }))
     .expect("serializable")
@@ -1341,6 +1494,26 @@ mod tests {
         assert!(
             parse_record("{\"op\":\"autoscale\"}").is_ok(),
             "bare read-back"
+        );
+        assert!(
+            parse_record("{\"op\":\"autoscale\",\"priced\":true}").is_err(),
+            "priced is a configure knob, not a read-back flag"
+        );
+        // Energy: knobs without a model are refused, bad values rejected.
+        assert!(
+            parse_record("{\"op\":\"energy\"}").is_ok(),
+            "bare read-back"
+        );
+        assert!(parse_record("{\"op\":\"energy\",\"capacity\":4.0}").is_err());
+        assert!(parse_record("{\"op\":\"energy\",\"price\":\"2.0\"}").is_err());
+        assert!(
+            parse_record("{\"op\":\"energy\",\"model\":\"linear:100:250\",\"capacity\":0}")
+                .is_err()
+        );
+        assert!(parse_record("{\"op\":\"energy\",\"model\":7}").is_err());
+        assert!(
+            parse_record("{\"op\":\"energy\",\"off\":true,\"capacity\":4.0}").is_ok(),
+            "off wins; stray knobs on a disable are harmless"
         );
     }
 
@@ -1695,6 +1868,89 @@ mod tests {
         assert_eq!(v["op"], "recovered");
         assert_eq!(v["report"]["tenants_restored"], 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn energy_op_meters_sessions_and_reads_back() {
+        let mut session = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(2)));
+        let mut lines = vec![
+            // Bare read-back before anything is configured.
+            "{\"op\":\"energy\"}".to_string(),
+            "{\"op\":\"admit\",\"id\":\"a\",\"m\":8,\"beta\":2.0,\"policy\":\"lcp\"}".to_string(),
+            "{\"op\":\"energy\",\"model\":\"linear:100:250\",\"capacity\":4.0,\
+             \"price\":\"step:2:1,5\"}"
+                .to_string(),
+        ];
+        lines.extend([2.0, 5.0, 3.0].iter().map(|&l| step_load_line("a", l)));
+        lines.push("{\"op\":\"energy\"}".to_string());
+        lines.push("{\"op\":\"stats\"}".to_string());
+        lines.push("{\"op\":\"report\",\"id\":\"a\"}".to_string());
+        lines.push("{\"op\":\"energy\",\"off\":true}".to_string());
+        let out = session.handle_lines(lines.iter().map(|s| s.as_str()));
+        let parsed: Vec<serde::Value> = out
+            .iter()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed[0]["op"], "energy");
+        assert_eq!(parsed[0]["enabled"], false);
+        assert!(parsed[0]["meter"].is_null());
+        // The configure response echoes the specs in replayable syntax.
+        let meter = &parsed[2]["meter"];
+        assert_eq!(parsed[2]["enabled"], true);
+        assert_eq!(meter["model"], "linear:100:250");
+        assert_eq!(meter["price"], "step:2:1,5");
+        assert_eq!(meter["ticks"], 0);
+        // The three consecutive steps ingested as ONE batch = one logical
+        // tick; the meter advanced once and billed it.
+        let read = &parsed[6]["meter"];
+        assert_eq!(read["ticks"], 1);
+        assert!(read["joules"].as_f64().unwrap() > 0.0);
+        assert!(read["cost"].as_f64().unwrap() > 0.0);
+        assert_eq!(read["watts"].as_array().unwrap().len(), 2);
+        assert_eq!(
+            read["price_now"], 1.0,
+            "tick 1 is still in the cheap window"
+        );
+        // Stats carries the same meter; the report carries attribution.
+        assert_eq!(parsed[7]["op"], "stats");
+        assert_eq!(parsed[7]["energy"]["ticks"], 1);
+        let energy = &parsed[8]["report"]["energy"];
+        assert!(energy["joules"].as_f64().unwrap() > 0.0);
+        // Disable: read-back goes null again.
+        assert_eq!(parsed[9]["op"], "energy");
+        assert_eq!(parsed[9]["enabled"], false);
+        assert!(parsed[9]["meter"].is_null());
+        // Bad specs are refused with a line number, meter state unchanged.
+        let out = session.handle_lines(["{\"op\":\"energy\",\"model\":\"warp:1\"}"]);
+        let v: serde::Value = serde_json::from_str(&out[0]).unwrap();
+        assert_eq!(v["op"], "error");
+        assert_eq!(v["line"], 1);
+    }
+
+    #[test]
+    fn priced_autoscale_requires_energy_and_reports_the_price() {
+        let mut session = Session::new(crate::Engine::new(crate::EngineConfig::with_shards(1)));
+        // Priced autoscale before energy accounting is an error.
+        let out =
+            session.handle_lines(["{\"op\":\"autoscale\",\"min\":1,\"max\":4,\"priced\":true}"]);
+        let v: serde::Value = serde_json::from_str(&out[0]).unwrap();
+        assert_eq!(v["op"], "error");
+        assert!(v["message"].as_str().unwrap().contains("energy"));
+        // Configure energy, then priced autoscale takes and reads back.
+        let out = session.handle_lines([
+            "{\"op\":\"energy\",\"model\":\"linear:100:250\",\"capacity\":4.0,\"price\":\"2.5\"}",
+            "{\"op\":\"autoscale\",\"min\":1,\"max\":4,\"priced\":true}",
+            "{\"op\":\"autoscale\"}",
+        ]);
+        let read: serde::Value = serde_json::from_str(out.last().unwrap()).unwrap();
+        assert_eq!(read["enabled"], true);
+        assert_eq!(read["policy"]["priced"], true);
+        assert_eq!(read["policy"]["price_now"], 2.5);
+        // An unpriced reconfigure drops the pricing again.
+        let out = session.handle_lines(["{\"op\":\"autoscale\",\"min\":1,\"max\":4}"]);
+        let v: serde::Value = serde_json::from_str(&out[0]).unwrap();
+        assert_eq!(v["policy"]["priced"], false);
+        assert!(v["policy"]["price_now"].is_null());
     }
 
     #[test]

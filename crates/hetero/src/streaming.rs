@@ -141,6 +141,36 @@ impl FleetSpec {
         }
     }
 
+    /// Bridge into the physical layer: a [`rsdc_power::PowerConfig`]
+    /// whose model is the fleet's machine-weighted mean per-machine draw
+    /// (each class contributes [`ServerType::power_model`]) and whose
+    /// capacity is the machine-weighted mean serving capacity — the
+    /// scalar physics an [`rsdc_power::EnergyMeter`] needs when a shard
+    /// hosts this fleet. The price defaults to a constant unit schedule;
+    /// callers override it.
+    pub fn power_config(&self) -> rsdc_power::PowerConfig {
+        let machines: f64 = self.types.iter().map(|t| t.count as f64).sum();
+        let machines = machines.max(1.0);
+        let watts = self
+            .types
+            .iter()
+            .map(|t| t.count as f64 * t.energy)
+            .sum::<f64>()
+            / machines;
+        let capacity = self
+            .types
+            .iter()
+            .map(|t| t.count as f64 * t.capacity)
+            .sum::<f64>()
+            / machines;
+        let mut cfg = rsdc_power::PowerConfig::new(rsdc_power::PowerSpec::Constant { watts });
+        // A fleet of zero-capacity classes cannot validate; the parse and
+        // validate paths refuse those, so this only guards hand-built
+        // specs.
+        cfg.capacity = capacity.max(f64::MIN_POSITIVE);
+        cfg
+    }
+
     /// Parse the CLI short syntax: comma-separated machine classes, each
     /// `count:beta:energy:capacity` — e.g. `"4:1:1:1,2:2.5:1.4:2"`.
     pub fn parse_types(s: &str) -> Result<Vec<ServerType>, String> {
@@ -170,6 +200,16 @@ impl FleetSpec {
             });
         }
         Ok(types)
+    }
+}
+
+impl ServerType {
+    /// The physical-layer power model for one machine of this class. The
+    /// hetero cost model charges `energy` per active machine per slot
+    /// regardless of its load, so the equivalent [`rsdc_power`] model is
+    /// a constant draw.
+    pub fn power_model(&self) -> rsdc_power::PowerSpec {
+        rsdc_power::PowerSpec::Constant { watts: self.energy }
     }
 }
 
@@ -498,6 +538,28 @@ mod tests {
         ]);
         assert!(huge.validate().is_err());
         assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn fleet_maps_onto_the_physical_power_layer() {
+        use rsdc_power::{PowerModel, PowerSpec};
+        let s = spec();
+        // Per class: a constant draw at the class's per-slot energy,
+        // independent of utilization.
+        assert_eq!(s.types[1].power_model(), PowerSpec::Constant { watts: 1.4 });
+        assert_eq!(s.types[0].power_model().watts(0.0), 1.0);
+        assert_eq!(s.types[0].power_model().watts(1.0), 1.0);
+        // Fleet-wide: machine-weighted means over 3 + 2 machines.
+        let cfg = s.power_config();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(
+            cfg.model,
+            PowerSpec::Constant {
+                watts: (3.0 * 1.0 + 2.0 * 1.4) / 5.0
+            }
+        );
+        assert_eq!(cfg.capacity, (3.0 * 1.0 + 2.0 * 2.0) / 5.0);
+        assert_eq!(cfg.price.price_at(17), 1.0, "unit price by default");
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! # rsdc-power — power models, energy metering and price schedules
+//!
+//! The source paper minimizes *energy*: every per-slot cost is implicitly
+//! a power draw integrated over the slot, and the switching cost `beta`
+//! is the energy price of powering a machine up. The rest of the
+//! workspace prices work in abstract cost units; this crate supplies the
+//! physical layer that turns those units into watts, joules and money:
+//!
+//! * [`PowerModel`] — utilization → watts for **one machine**, with
+//!   [`Constant`], [`Linear`] (idle/peak watts) and [`Piecewise`]
+//!   (SPEC-SERT-style measured curve) implementations, plus the
+//!   serializable [`PowerSpec`] that names one of them in configs and on
+//!   the wire;
+//! * [`EnergyMeter`] — integrates per-shard watts over the engine's
+//!   *logical* clock (one tick per ingested batch) into joules, and
+//!   through a [`PriceSchedule`] into cost;
+//! * [`PriceSchedule`] — constant, step/time-of-day, or trace-driven
+//!   $/kWh (or carbon-intensity) series: a **time-varying `beta`** in the
+//!   paper's terms.
+//!
+//! Units are logical: one tick is the time unit, so "joules" here are
+//! watt·ticks and a price is cost per watt·tick. The engine's
+//! determinism contract applies: meters are process state, never
+//! journaled, so metering on/off cannot change a journaled byte.
+
+#![warn(missing_docs)]
+
+mod meter;
+mod model;
+mod price;
+
+pub use meter::{EnergyDelta, EnergyMeter, EnergyStatus, ShardSample};
+pub use model::{Constant, Linear, Piecewise, PowerModel, PowerSpec};
+pub use price::PriceSchedule;
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the engine needs to account energy: the per-machine power
+/// model, the serving capacity that converts event counts into
+/// utilization, and the price schedule that converts joules into cost.
+///
+/// Shared by the [`EnergyMeter`] (measurement) and the topology policy's
+/// priced induced instance (decision), so both see the same physics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Per-machine utilization → watts model.
+    pub model: PowerSpec,
+    /// Events one machine serves per tick at full utilization (`> 0`).
+    pub capacity: f64,
+    /// Price per joule (watt·tick) as a function of the logical tick.
+    pub price: PriceSchedule,
+}
+
+impl PowerConfig {
+    /// A config with `capacity = 1.0` and a constant unit price.
+    pub fn new(model: PowerSpec) -> PowerConfig {
+        PowerConfig {
+            model,
+            capacity: 1.0,
+            price: PriceSchedule::Constant { price: 1.0 },
+        }
+    }
+
+    /// Validate the model, the capacity and the schedule.
+    pub fn validate(&self) -> Result<(), String> {
+        self.model.validate()?;
+        if !(self.capacity.is_finite() && self.capacity > 0.0) {
+            return Err(format!(
+                "capacity must be finite and > 0, got {}",
+                self.capacity
+            ));
+        }
+        self.price.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validates_all_three_parts() {
+        let mut cfg = PowerConfig::new(PowerSpec::Linear {
+            idle: 100.0,
+            peak: 250.0,
+        });
+        assert!(cfg.validate().is_ok());
+        cfg.capacity = 0.0;
+        assert!(cfg.validate().is_err());
+        cfg.capacity = 8.0;
+        cfg.price = PriceSchedule::Step {
+            period: 0,
+            prices: vec![1.0],
+        };
+        assert!(cfg.validate().is_err());
+        cfg.price = PriceSchedule::Constant { price: 2.0 };
+        cfg.model = PowerSpec::Linear {
+            idle: 250.0,
+            peak: 100.0,
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        use serde::{Deserialize as _, Serialize as _};
+        let cfg = PowerConfig {
+            model: PowerSpec::Piecewise {
+                points: vec![90.0, 140.0, 200.0],
+            },
+            capacity: 16.0,
+            price: PriceSchedule::Step {
+                period: 12,
+                prices: vec![1.0, 4.0],
+            },
+        };
+        let text = serde_json::to_string(&cfg.to_value()).unwrap();
+        let v: serde::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(PowerConfig::from_value(&v).unwrap(), cfg);
+    }
+}

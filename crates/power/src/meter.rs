@@ -1,0 +1,260 @@
+//! The energy meter: per-shard watts integrated over the logical clock.
+
+use crate::{PowerConfig, PowerModel, PriceSchedule};
+use serde::{Deserialize, Serialize};
+
+/// One shard's load sample for one logical tick: the events it applied
+/// this tick and the machines (committed tenant states) it hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSample {
+    /// Events the shard applied this tick.
+    pub events: u64,
+    /// Machines currently committed across the shard's tenants. A shard
+    /// with zero recorded machines still draws one machine's idle power
+    /// (the chassis hosting the worker is on).
+    pub machines: u64,
+}
+
+/// What one [`EnergyMeter::observe`] call added to the running totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyDelta {
+    /// Joules (watt·ticks) added this tick, across all shards.
+    pub joules: f64,
+    /// Cost added this tick (`joules * price`).
+    pub cost: f64,
+    /// The price per joule this tick was charged at.
+    pub price: f64,
+    /// Whether the price changed relative to the previous tick (true on
+    /// the first tick): the edge signal for `price_window` trace events.
+    pub price_changed: bool,
+}
+
+/// Point-in-time meter read-back: the configuration and the running
+/// totals, plus the last tick's per-shard physics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyStatus {
+    /// The power model in force.
+    pub model: crate::PowerSpec,
+    /// Events one machine serves per tick at full utilization.
+    pub capacity: f64,
+    /// The price schedule in force.
+    pub price: PriceSchedule,
+    /// Logical ticks metered.
+    pub ticks: u64,
+    /// Total joules (watt·ticks) since the meter was installed.
+    pub joules: f64,
+    /// Total priced cost since the meter was installed.
+    pub cost: f64,
+    /// The price a tick observed now would be charged at.
+    pub price_now: f64,
+    /// Per-shard watts at the last observed tick (empty before the
+    /// first).
+    pub watts: Vec<f64>,
+    /// Per-shard utilization at the last observed tick (clamped to
+    /// `[0, 1]`; empty before the first).
+    pub utilization: Vec<f64>,
+}
+
+/// Integrates per-shard power draw over the engine's logical clock.
+///
+/// One [`observe`](EnergyMeter::observe) call is one tick (the engine
+/// calls it once per ingested batch, next to the topology policy's
+/// observation). Per shard, utilization is `events / (machines *
+/// capacity)` clamped to `[0, 1]` and the draw is `machines *
+/// model.watts(utilization)`, with `machines` floored at one — an idle
+/// shard still burns idle watts, which is exactly the waste the paper's
+/// right-sizing exists to eliminate.
+///
+/// The meter is **process state**: it is never journaled, and recovery
+/// restarts it from zero (the same contract the metrics registry and the
+/// topology policy follow), so metering on/off cannot perturb a single
+/// journaled byte.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    cfg: PowerConfig,
+    ticks: u64,
+    joules: f64,
+    cost: f64,
+    last_watts: Vec<f64>,
+    last_util: Vec<f64>,
+    last_price: Option<f64>,
+}
+
+impl EnergyMeter {
+    /// A meter for a validated configuration.
+    pub fn new(cfg: PowerConfig) -> EnergyMeter {
+        EnergyMeter {
+            cfg,
+            ticks: 0,
+            joules: 0.0,
+            cost: 0.0,
+            last_watts: Vec::new(),
+            last_util: Vec::new(),
+            last_price: None,
+        }
+    }
+
+    /// The configuration the meter runs on.
+    pub fn config(&self) -> &PowerConfig {
+        &self.cfg
+    }
+
+    /// Ticks observed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Total joules so far.
+    pub fn joules(&self) -> f64 {
+        self.joules
+    }
+
+    /// Total priced cost so far.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Per-shard watts at the last observed tick (empty before the first).
+    pub fn last_watts(&self) -> &[f64] {
+        &self.last_watts
+    }
+
+    /// Per-shard clamped utilization at the last observed tick (empty
+    /// before the first).
+    pub fn last_utilization(&self) -> &[f64] {
+        &self.last_util
+    }
+
+    /// One machine-group's physics under `cfg`: `(watts, utilization)`
+    /// for `machines` machines serving `events` this tick. The shared
+    /// primitive between the meter and per-tenant attribution.
+    pub fn sample_physics(cfg: &PowerConfig, events: u64, machines: u64) -> (f64, f64) {
+        let machines = machines.max(1) as f64;
+        let util = (events as f64 / (machines * cfg.capacity)).clamp(0.0, 1.0);
+        (machines * cfg.model.watts(util), util)
+    }
+
+    /// Meter one logical tick from the per-shard samples.
+    pub fn observe(&mut self, samples: &[ShardSample]) -> EnergyDelta {
+        let price = self.cfg.price.price_at(self.ticks);
+        self.last_watts.clear();
+        self.last_util.clear();
+        let mut joules = 0.0;
+        for s in samples {
+            let (watts, util) = EnergyMeter::sample_physics(&self.cfg, s.events, s.machines);
+            self.last_watts.push(watts);
+            self.last_util.push(util);
+            joules += watts; // * 1.0 tick
+        }
+        let cost = joules * price;
+        self.joules += joules;
+        self.cost += cost;
+        self.ticks += 1;
+        let price_changed = self.last_price != Some(price);
+        self.last_price = Some(price);
+        EnergyDelta {
+            joules,
+            cost,
+            price,
+            price_changed,
+        }
+    }
+
+    /// Point-in-time read-back.
+    pub fn status(&self) -> EnergyStatus {
+        EnergyStatus {
+            model: self.cfg.model.clone(),
+            capacity: self.cfg.capacity,
+            price: self.cfg.price.clone(),
+            ticks: self.ticks,
+            joules: self.joules,
+            cost: self.cost,
+            price_now: self.cfg.price.price_at(self.ticks),
+            watts: self.last_watts.clone(),
+            utilization: self.last_util.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PowerSpec;
+
+    fn cfg() -> PowerConfig {
+        PowerConfig {
+            model: PowerSpec::Linear {
+                idle: 100.0,
+                peak: 250.0,
+            },
+            capacity: 4.0,
+            price: PriceSchedule::Step {
+                period: 2,
+                prices: vec![1.0, 3.0],
+            },
+        }
+    }
+
+    #[test]
+    fn integrates_watts_over_ticks_with_prices() {
+        let mut m = EnergyMeter::new(cfg());
+        // Shard 0: 2 machines at util 8/(2*4) = 1.0 → 2 * 250 = 500 W.
+        // Shard 1: 1 machine at util 2/4 = 0.5 → 175 W.
+        let samples = [
+            ShardSample {
+                events: 8,
+                machines: 2,
+            },
+            ShardSample {
+                events: 2,
+                machines: 1,
+            },
+        ];
+        let d = m.observe(&samples);
+        assert_eq!(d.joules, 675.0);
+        assert_eq!(d.price, 1.0);
+        assert!(d.price_changed, "first tick opens a price window");
+        let d = m.observe(&samples);
+        assert!(!d.price_changed);
+        let d = m.observe(&samples);
+        assert_eq!(d.price, 3.0, "third tick enters the expensive window");
+        assert!(d.price_changed);
+        assert_eq!(m.joules(), 3.0 * 675.0);
+        assert_eq!(m.cost(), 675.0 + 675.0 + 3.0 * 675.0);
+        let status = m.status();
+        assert_eq!(status.ticks, 3);
+        assert_eq!(status.watts, vec![500.0, 175.0]);
+        assert_eq!(status.utilization, vec![1.0, 0.5]);
+        assert_eq!(status.price_now, 3.0, "tick 3 is still expensive");
+    }
+
+    #[test]
+    fn empty_shard_draws_one_idle_machine() {
+        let mut m = EnergyMeter::new(cfg());
+        let d = m.observe(&[ShardSample {
+            events: 0,
+            machines: 0,
+        }]);
+        assert_eq!(d.joules, 100.0, "one phantom machine at idle");
+        // Overload clamps at peak: 100 events on 1 machine of capacity 4.
+        let d = m.observe(&[ShardSample {
+            events: 100,
+            machines: 1,
+        }]);
+        assert_eq!(d.joules, 250.0);
+        assert_eq!(m.status().utilization, vec![1.0]);
+    }
+
+    #[test]
+    fn status_round_trips_through_json() {
+        use serde::{Deserialize as _, Serialize as _};
+        let mut m = EnergyMeter::new(cfg());
+        m.observe(&[ShardSample {
+            events: 3,
+            machines: 2,
+        }]);
+        let text = serde_json::to_string(&m.status().to_value()).unwrap();
+        let v: serde::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(EnergyStatus::from_value(&v).unwrap(), m.status());
+    }
+}

@@ -1,0 +1,306 @@
+//! Utilization → watts models for a single machine.
+//!
+//! The trait and the concrete models take a *utilization* in `[0, 1]`
+//! (fraction of the machine's serving capacity in use) and return the
+//! machine's power draw in watts. Callers that can overload a machine
+//! (offered events above capacity) choose their own convention: the
+//! [`EnergyMeter`](crate::EnergyMeter) clamps utilization at `1.0`
+//! (a saturated machine draws peak power), while the topology policy's
+//! priced induced instance feeds the raw ratio and relies on the models'
+//! linear extrapolation above `1.0` — that keeps the induced per-tick
+//! cost convex in the machine count, which the 3-competitive LCP bound
+//! requires.
+
+use serde::{Deserialize, Serialize};
+
+/// Power draw of one machine as a function of its utilization.
+///
+/// Implementations must be total over `u >= 0`: negative inputs are
+/// treated as `0.0`, inputs above `1.0` extrapolate the final segment
+/// linearly (see the module docs for why).
+pub trait PowerModel {
+    /// Watts drawn at utilization `u`.
+    fn watts(&self, u: f64) -> f64;
+}
+
+/// Utilization-independent draw: `watts(u) = w`.
+///
+/// The degenerate model, and the bridge to `crates/hetero`: a server
+/// type's per-slot `energy` there is exactly a constant draw over one
+/// tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl PowerModel for Constant {
+    fn watts(&self, _u: f64) -> f64 {
+        self.0
+    }
+}
+
+/// The classic linear server model: `idle` watts at zero utilization,
+/// `peak` at full, linear in between (and beyond — overload extrapolates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Linear {
+    /// Draw at utilization `0.0`.
+    pub idle: f64,
+    /// Draw at utilization `1.0` (`>= idle`).
+    pub peak: f64,
+}
+
+impl PowerModel for Linear {
+    fn watts(&self, u: f64) -> f64 {
+        self.idle + (self.peak - self.idle) * u.max(0.0)
+    }
+}
+
+/// A measured utilization curve, SPEC-SERT style: watts at `n >= 2`
+/// evenly spaced utilization points `0, 1/(n-1), ..., 1`, linearly
+/// interpolated between points and extrapolated beyond the last segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Piecewise {
+    points: Vec<f64>,
+}
+
+impl Piecewise {
+    /// Build from the evenly spaced watt samples. Fails unless there are
+    /// at least two finite, non-negative, non-decreasing points (a real
+    /// machine never draws less at higher load).
+    pub fn new(points: Vec<f64>) -> Result<Piecewise, String> {
+        if points.len() < 2 {
+            return Err("piecewise model needs at least 2 points".to_string());
+        }
+        for (i, p) in points.iter().enumerate() {
+            if !(p.is_finite() && *p >= 0.0) {
+                return Err(format!("piecewise point {i} must be finite and >= 0"));
+            }
+        }
+        if points.windows(2).any(|w| w[1] < w[0]) {
+            return Err("piecewise points must be non-decreasing".to_string());
+        }
+        Ok(Piecewise { points })
+    }
+
+    /// The watt samples.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+}
+
+impl PowerModel for Piecewise {
+    fn watts(&self, u: f64) -> f64 {
+        let n = self.points.len();
+        let scaled = u.max(0.0) * (n - 1) as f64;
+        // Index of the segment to interpolate on; everything past the
+        // last sample extrapolates the final segment.
+        let seg = (scaled.floor() as usize).min(n - 2);
+        let frac = scaled - seg as f64;
+        self.points[seg] + (self.points[seg + 1] - self.points[seg]) * frac
+    }
+}
+
+/// Serializable name of a power model — what configs, the wire protocol
+/// and the CLI carry. Dispatches [`PowerModel`] to the concrete models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PowerSpec {
+    /// [`Constant`] draw.
+    Constant {
+        /// Draw at any utilization.
+        watts: f64,
+    },
+    /// [`Linear`] idle/peak model.
+    Linear {
+        /// Draw at utilization `0.0`.
+        idle: f64,
+        /// Draw at utilization `1.0`.
+        peak: f64,
+    },
+    /// [`Piecewise`] measured curve (evenly spaced samples over `[0, 1]`).
+    Piecewise {
+        /// Watt samples at `0, 1/(n-1), ..., 1`.
+        points: Vec<f64>,
+    },
+}
+
+impl PowerSpec {
+    /// Parse the CLI / wire short syntax:
+    ///
+    /// * `constant:W` — constant draw;
+    /// * `linear:IDLE:PEAK` — e.g. `linear:100:250`;
+    /// * `piecewise:W0,W1,...,Wn` — evenly spaced samples over `[0, 1]`.
+    pub fn parse(s: &str) -> Result<PowerSpec, String> {
+        let num = |what: &str, v: &str| -> Result<f64, String> {
+            v.trim()
+                .parse::<f64>()
+                .map_err(|e| format!("power model: bad {what} {v:?}: {e}"))
+        };
+        let (kind, rest) = match s.split_once(':') {
+            Some(pair) => pair,
+            None => return Err(format!("power model: expected KIND:ARGS, got {s:?}")),
+        };
+        let spec = match kind {
+            "constant" => PowerSpec::Constant {
+                watts: num("watts", rest)?,
+            },
+            "linear" => {
+                let (idle, peak) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("power model: linear needs IDLE:PEAK, got {rest:?}"))?;
+                PowerSpec::Linear {
+                    idle: num("idle watts", idle)?,
+                    peak: num("peak watts", peak)?,
+                }
+            }
+            "piecewise" => {
+                let points = rest
+                    .split(',')
+                    .map(|p| num("point", p))
+                    .collect::<Result<Vec<f64>, String>>()?;
+                PowerSpec::Piecewise { points }
+            }
+            other => {
+                return Err(format!(
+                    "power model: unknown kind {other:?} (constant|linear|piecewise)"
+                ))
+            }
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validate the parameters (finite, non-negative, `peak >= idle`,
+    /// piecewise non-decreasing with at least two points).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            PowerSpec::Constant { watts } => {
+                if !(watts.is_finite() && *watts >= 0.0) {
+                    return Err("constant watts must be finite and >= 0".to_string());
+                }
+            }
+            PowerSpec::Linear { idle, peak } => {
+                for (name, w) in [("idle", idle), ("peak", peak)] {
+                    if !(w.is_finite() && *w >= 0.0) {
+                        return Err(format!("{name} watts must be finite and >= 0"));
+                    }
+                }
+                if peak < idle {
+                    return Err(format!("peak watts {peak} must be >= idle watts {idle}"));
+                }
+            }
+            PowerSpec::Piecewise { points } => {
+                Piecewise::new(points.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Short human-readable rendering (the parse syntax back).
+    pub fn describe(&self) -> String {
+        match self {
+            PowerSpec::Constant { watts } => format!("constant:{watts}"),
+            PowerSpec::Linear { idle, peak } => format!("linear:{idle}:{peak}"),
+            PowerSpec::Piecewise { points } => {
+                let pts: Vec<String> = points.iter().map(|p| p.to_string()).collect();
+                format!("piecewise:{}", pts.join(","))
+            }
+        }
+    }
+}
+
+impl PowerModel for PowerSpec {
+    fn watts(&self, u: f64) -> f64 {
+        match self {
+            PowerSpec::Constant { watts } => Constant(*watts).watts(u),
+            PowerSpec::Linear { idle, peak } => Linear {
+                idle: *idle,
+                peak: *peak,
+            }
+            .watts(u),
+            // Specs are validated at the boundary (parse/config install),
+            // so the rebuild here cannot fail.
+            PowerSpec::Piecewise { points } => Piecewise::new(points.clone())
+                .expect("validated piecewise spec")
+                .watts(u),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_interpolates_and_extrapolates() {
+        let m = Linear {
+            idle: 100.0,
+            peak: 250.0,
+        };
+        assert_eq!(m.watts(0.0), 100.0);
+        assert_eq!(m.watts(1.0), 250.0);
+        assert_eq!(m.watts(0.5), 175.0);
+        assert_eq!(m.watts(-0.5), 100.0, "negative utilization clamps to 0");
+        assert_eq!(m.watts(2.0), 400.0, "overload extrapolates linearly");
+    }
+
+    #[test]
+    fn piecewise_matches_its_samples_and_midpoints() {
+        let m = Piecewise::new(vec![90.0, 130.0, 210.0]).unwrap();
+        assert_eq!(m.watts(0.0), 90.0);
+        assert_eq!(m.watts(0.5), 130.0);
+        assert_eq!(m.watts(1.0), 210.0);
+        assert_eq!(m.watts(0.25), 110.0);
+        assert_eq!(m.watts(0.75), 170.0);
+        assert_eq!(m.watts(1.5), 290.0, "extrapolates the last segment");
+        assert_eq!(m.watts(-1.0), 90.0);
+    }
+
+    #[test]
+    fn piecewise_rejects_bad_curves() {
+        assert!(Piecewise::new(vec![100.0]).is_err());
+        assert!(Piecewise::new(vec![100.0, 90.0]).is_err());
+        assert!(Piecewise::new(vec![100.0, f64::NAN]).is_err());
+        assert!(Piecewise::new(vec![-1.0, 10.0]).is_err());
+    }
+
+    #[test]
+    fn parse_round_trips_the_short_syntax() {
+        let spec = PowerSpec::parse("linear:100:250").unwrap();
+        assert_eq!(
+            spec,
+            PowerSpec::Linear {
+                idle: 100.0,
+                peak: 250.0
+            }
+        );
+        assert_eq!(PowerSpec::parse(&spec.describe()).unwrap(), spec);
+        let spec = PowerSpec::parse("constant:42.5").unwrap();
+        assert_eq!(spec.watts(0.3), 42.5);
+        let spec = PowerSpec::parse("piecewise:90,130,210").unwrap();
+        assert_eq!(spec.watts(0.5), 130.0);
+        assert_eq!(PowerSpec::parse(&spec.describe()).unwrap(), spec);
+
+        assert!(PowerSpec::parse("linear:100").is_err());
+        assert!(PowerSpec::parse("linear:250:100").is_err(), "peak < idle");
+        assert!(PowerSpec::parse("piecewise:100").is_err());
+        assert!(PowerSpec::parse("fusion:1:2").is_err());
+        assert!(PowerSpec::parse("constant").is_err());
+        assert!(PowerSpec::parse("constant:-3").is_err());
+    }
+
+    #[test]
+    fn spec_dispatch_matches_concrete_models() {
+        let spec = PowerSpec::Linear {
+            idle: 10.0,
+            peak: 20.0,
+        };
+        for u in [0.0, 0.25, 0.7, 1.0, 1.3] {
+            assert_eq!(
+                spec.watts(u),
+                Linear {
+                    idle: 10.0,
+                    peak: 20.0
+                }
+                .watts(u)
+            );
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Energy price schedules: cost per joule as a function of the logical
+//! tick — the paper's `beta` made time-varying.
+
+use serde::{Deserialize, Serialize};
+
+/// Price of one joule (watt·tick) at a given logical tick.
+///
+/// Prices must be finite and non-negative; zero is allowed (free/green
+/// windows). The schedule is total: every tick has a price.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PriceSchedule {
+    /// The same price forever.
+    Constant {
+        /// Price per joule.
+        price: f64,
+    },
+    /// A repeating time-of-day cycle: each price holds for `period`
+    /// ticks, then the next takes over, wrapping around.
+    Step {
+        /// Ticks each price level holds (`>= 1`).
+        period: u64,
+        /// The cycle of price levels (non-empty).
+        prices: Vec<f64>,
+    },
+    /// A recorded $/kWh or carbon-intensity series, one price per tick;
+    /// the final value holds beyond the end of the trace.
+    Trace {
+        /// Per-tick prices (non-empty).
+        prices: Vec<f64>,
+    },
+}
+
+impl PriceSchedule {
+    /// Parse the CLI / wire short syntax:
+    ///
+    /// * a bare number (e.g. `2.5`) or `constant:P` — constant price;
+    /// * `step:PERIOD:P1,P2,...` — e.g. `step:24:1.0,3.5` for a cheap
+    ///   and an expensive 24-tick window alternating;
+    /// * `trace:P1,P2,...` — explicit per-tick series.
+    pub fn parse(s: &str) -> Result<PriceSchedule, String> {
+        let num = |what: &str, v: &str| -> Result<f64, String> {
+            v.trim()
+                .parse::<f64>()
+                .map_err(|e| format!("price: bad {what} {v:?}: {e}"))
+        };
+        let list = |v: &str| -> Result<Vec<f64>, String> {
+            v.split(',').map(|p| num("price", p)).collect()
+        };
+        let schedule = match s.split_once(':') {
+            None => PriceSchedule::Constant {
+                price: num("price", s)?,
+            },
+            Some(("constant", rest)) => PriceSchedule::Constant {
+                price: num("price", rest)?,
+            },
+            Some(("step", rest)) => {
+                let (period, prices) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("price: step needs PERIOD:P1,P2,..., got {rest:?}"))?;
+                let period = period
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|e| format!("price: bad period {period:?}: {e}"))?;
+                PriceSchedule::Step {
+                    period,
+                    prices: list(prices)?,
+                }
+            }
+            Some(("trace", rest)) => PriceSchedule::Trace {
+                prices: list(rest)?,
+            },
+            Some((other, _)) => {
+                return Err(format!(
+                    "price: unknown kind {other:?} (constant|step|trace, or a bare number)"
+                ))
+            }
+        };
+        schedule.validate()?;
+        Ok(schedule)
+    }
+
+    /// Validate: finite non-negative prices, non-empty cycles, `period
+    /// >= 1`.
+    pub fn validate(&self) -> Result<(), String> {
+        let check = |prices: &[f64]| -> Result<(), String> {
+            if prices.is_empty() {
+                return Err("price schedule needs at least one price".to_string());
+            }
+            for (i, p) in prices.iter().enumerate() {
+                if !(p.is_finite() && *p >= 0.0) {
+                    return Err(format!("price {i} must be finite and >= 0"));
+                }
+            }
+            Ok(())
+        };
+        match self {
+            PriceSchedule::Constant { price } => check(std::slice::from_ref(price)),
+            PriceSchedule::Step { period, prices } => {
+                if *period == 0 {
+                    return Err("step period must be >= 1".to_string());
+                }
+                check(prices)
+            }
+            PriceSchedule::Trace { prices } => check(prices),
+        }
+    }
+
+    /// The price in effect at logical tick `tick`.
+    pub fn price_at(&self, tick: u64) -> f64 {
+        match self {
+            PriceSchedule::Constant { price } => *price,
+            PriceSchedule::Step { period, prices } => {
+                let window = (tick / (*period).max(1)) as usize % prices.len();
+                prices[window]
+            }
+            PriceSchedule::Trace { prices } => {
+                let i = (tick as usize).min(prices.len() - 1);
+                prices[i]
+            }
+        }
+    }
+
+    /// The long-run mean price: the cycle mean for [`Step`], the trace
+    /// mean for [`Trace`] — what a "constant-price twin" of this schedule
+    /// charges. Used by the deferral tests to build a fair baseline.
+    ///
+    /// [`Step`]: PriceSchedule::Step
+    /// [`Trace`]: PriceSchedule::Trace
+    pub fn mean(&self) -> f64 {
+        match self {
+            PriceSchedule::Constant { price } => *price,
+            PriceSchedule::Step { prices, .. } | PriceSchedule::Trace { prices } => {
+                prices.iter().sum::<f64>() / prices.len() as f64
+            }
+        }
+    }
+
+    /// Short human-readable rendering (the parse syntax back).
+    pub fn describe(&self) -> String {
+        let join = |prices: &[f64]| -> String {
+            prices
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<String>>()
+                .join(",")
+        };
+        match self {
+            PriceSchedule::Constant { price } => format!("constant:{price}"),
+            PriceSchedule::Step { period, prices } => format!("step:{period}:{}", join(prices)),
+            PriceSchedule::Trace { prices } => format!("trace:{}", join(prices)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_cycles_through_windows() {
+        let s = PriceSchedule::Step {
+            period: 3,
+            prices: vec![1.0, 5.0],
+        };
+        let got: Vec<f64> = (0..9).map(|t| s.price_at(t)).collect();
+        assert_eq!(got, [1.0, 1.0, 1.0, 5.0, 5.0, 5.0, 1.0, 1.0, 1.0]);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn trace_holds_its_last_value() {
+        let s = PriceSchedule::Trace {
+            prices: vec![2.0, 4.0, 1.0],
+        };
+        assert_eq!(s.price_at(0), 2.0);
+        assert_eq!(s.price_at(2), 1.0);
+        assert_eq!(s.price_at(100), 1.0);
+        assert!((s.mean() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        assert_eq!(
+            PriceSchedule::parse("2.5").unwrap(),
+            PriceSchedule::Constant { price: 2.5 }
+        );
+        let s = PriceSchedule::parse("step:24:1,3.5").unwrap();
+        assert_eq!(
+            s,
+            PriceSchedule::Step {
+                period: 24,
+                prices: vec![1.0, 3.5]
+            }
+        );
+        assert_eq!(PriceSchedule::parse(&s.describe()).unwrap(), s);
+        let s = PriceSchedule::parse("trace:1,2,3").unwrap();
+        assert_eq!(PriceSchedule::parse(&s.describe()).unwrap(), s);
+
+        assert!(PriceSchedule::parse("step:0:1,2").is_err());
+        assert!(PriceSchedule::parse("step:5").is_err());
+        assert!(PriceSchedule::parse("trace:").is_err());
+        assert!(PriceSchedule::parse("surge:1").is_err());
+        assert!(PriceSchedule::parse("-1.0").is_err());
+        assert!(PriceSchedule::parse("nan").is_err());
+    }
+}

@@ -1,0 +1,468 @@
+//! Energy-accounting acceptance tests — the contract of the power-model
+//! subsystem (`rsdc-power` + the engine's energy runtime):
+//!
+//! * **price deferral** — the beyond-the-paper behaviour the subsystem
+//!   exists for: under a square-wave price schedule, the priced topology
+//!   policy defers its scale-up migrations into cheap windows, while a
+//!   constant-price twin (charged the schedule's mean) scales up during
+//!   the expensive window — and the deferring schedule costs less money
+//!   under the true prices;
+//! * **closed-form metering** — the [`EnergyMeter`]'s totals equal the
+//!   independently computed integral `ticks * machines * watts(util)`
+//!   and its priced counterpart via explicit step-window arithmetic;
+//! * **determinism** — energy accounting is process state: a durable run
+//!   writes byte-identical store files with the meter on or off, and
+//!   crash-recovery with the meter enabled reproduces the reports of a
+//!   meter-free uninterrupted run.
+//!
+//! The heavy `#[ignore]`d variant runs the metering property at raised
+//! case counts for the nightly CI job (`cargo test -- --include-ignored`,
+//! `RSDC_HEAVY_CASES` to scale).
+
+use proptest::prelude::*;
+use rsdc_core::Cost;
+use rsdc_engine::{
+    Engine, EngineConfig, PolicySpec, PowerConfig, PowerSpec, PriceSchedule, TenantConfig,
+    TopologyConfig, TopologyPolicy,
+};
+use rsdc_power::{EnergyMeter, ShardSample};
+use rsdc_store::{Durability, FileStore, FileStoreConfig};
+use rsdc_tests::heavy_cases;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Price deferral: the reason the subsystem exists.
+// ---------------------------------------------------------------------
+
+/// Drive a topology policy over a load trace, applying every decision
+/// immediately, and return the shard schedule.
+fn run_policy(cfg: &TopologyConfig, loads: &[u64]) -> Vec<usize> {
+    let mut policy = TopologyPolicy::new(cfg.clone(), cfg.min_shards).expect("valid config");
+    let mut schedule = Vec::with_capacity(loads.len());
+    for &events in loads {
+        if let Some(target) = policy.observe(&[events], &[(0, 1)]) {
+            let from = policy.status().shards;
+            policy.record_applied(from, target, 0);
+        }
+        schedule.push(policy.target());
+    }
+    schedule
+}
+
+/// The tick of the first topology increase relative to the starting shard
+/// count, if any. Tick `t` is the `observe` call whose decision the
+/// increase was — the tick the schedule prices it at.
+fn first_scale_up(schedule: &[usize], start: usize) -> Option<usize> {
+    let mut prev = start;
+    for (t, &s) in schedule.iter().enumerate() {
+        if s > prev {
+            return Some(t);
+        }
+        prev = s;
+    }
+    None
+}
+
+/// Total (operating + switching) cost of a shard schedule under a config's
+/// per-tick induced costs.
+fn schedule_cost(cfg: &TopologyConfig, loads: &[u64], schedule: &[usize]) -> f64 {
+    let mut total = 0.0;
+    let mut prev = cfg.min_shards;
+    for (t, (&e, &s)) in loads.iter().zip(schedule).enumerate() {
+        total += cfg
+            .tick_cost(t as u64, e as f64)
+            .eval((s - cfg.min_shards) as u32);
+        total += cfg.switch_cost * s.saturating_sub(prev) as f64;
+        prev = s;
+    }
+    total
+}
+
+/// A square-wave price schedule defers scale-up migrations into the cheap
+/// windows; the constant-price twin (same physics, mean price) scales up
+/// immediately, inside what the real schedule prices as the expensive
+/// window — and pays for it.
+#[test]
+fn square_wave_prices_defer_scale_ups_into_cheap_windows() {
+    // Constant plateau load from tick 0. Under `f(s) = e/s + p*W*s` the
+    // per-tick optimum is `sqrt(e/(p*W))`: 1 shard at the expensive
+    // price, 4 shards at the cheap one, ~2 at the mean.
+    const EXPENSIVE: f64 = 100.0;
+    const CHEAP: f64 = 6.25;
+    const WINDOW: u64 = 12;
+    let loads = vec![400u64; 96];
+    let physics = |price: PriceSchedule| {
+        let mut p = PowerConfig::new(PowerSpec::Constant { watts: 4.0 });
+        p.capacity = 1000.0; // utilization is irrelevant to a constant draw
+        p.price = price;
+        p
+    };
+    let config = |price: PriceSchedule| {
+        let mut cfg = TopologyConfig::new(1, 4);
+        cfg.switch_cost = 4.0;
+        cfg.cooldown = 0;
+        cfg.pricing = Some(physics(price));
+        cfg
+    };
+    let wave = PriceSchedule::Step {
+        period: WINDOW,
+        prices: vec![EXPENSIVE, CHEAP, CHEAP, CHEAP],
+    };
+    let priced_cfg = config(wave.clone());
+    let twin_cfg = config(PriceSchedule::Constant { price: wave.mean() });
+
+    let priced = run_policy(&priced_cfg, &loads);
+    let twin = run_policy(&twin_cfg, &loads);
+
+    // The twin sees no price signal: it scales up as soon as the accrued
+    // imbalance beats beta — inside the (real-time) expensive window.
+    let twin_up = first_scale_up(&twin, 1).expect("the twin must scale up");
+    assert!(
+        (twin_up as u64) < WINDOW,
+        "twin scaled at tick {twin_up}, expected inside the first window"
+    );
+    // The priced policy defers: its first scale-up waits for the cheap
+    // window, and *every* scale-up lands on a cheap tick.
+    let priced_up = first_scale_up(&priced, 1).expect("the priced policy must scale up");
+    assert!(
+        priced_up as u64 >= WINDOW,
+        "priced policy scaled at tick {priced_up}, inside the expensive window \
+         (schedule {priced:?})"
+    );
+    assert!(
+        priced_up > twin_up,
+        "deferral means scaling later than the twin"
+    );
+    let mut prev = 1;
+    for (t, &s) in priced.iter().enumerate() {
+        if s > prev {
+            assert_eq!(
+                wave.price_at(t as u64),
+                CHEAP,
+                "scale-up at tick {t} priced as expensive (schedule {priced:?})"
+            );
+        }
+        prev = s;
+    }
+    // And deferring is cheaper under the true prices: evaluate BOTH
+    // schedules on the square-wave instance.
+    let priced_bill = schedule_cost(&priced_cfg, &loads, &priced);
+    let twin_bill = schedule_cost(&priced_cfg, &loads, &twin);
+    assert!(
+        priced_bill < twin_bill,
+        "price-awareness must save money: priced {priced_bill} vs twin {twin_bill}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Closed-form metering.
+// ---------------------------------------------------------------------
+
+/// Meter a constant `(events, machines)` sample for `ticks` ticks and
+/// check joules and cost against the independently computed integral.
+#[allow(clippy::too_many_arguments)]
+fn check_meter_closed_form(
+    idle: f64,
+    premium: f64,
+    capacity: f64,
+    machines: u64,
+    events: u64,
+    ticks: usize,
+    period: u64,
+    prices: &[f64],
+) {
+    let cfg = PowerConfig {
+        model: PowerSpec::Linear {
+            idle,
+            peak: idle + premium,
+        },
+        capacity,
+        price: PriceSchedule::Step {
+            period,
+            prices: prices.to_vec(),
+        },
+    };
+    let mut meter = EnergyMeter::new(cfg);
+    for _ in 0..ticks {
+        meter.observe(&[ShardSample { events, machines }]);
+    }
+    // Joules: the draw is constant, so the integral is a product.
+    let m = machines.max(1) as f64;
+    let util = (events as f64 / (m * capacity)).min(1.0);
+    let per_tick = m * (idle + premium * util);
+    let want_joules = ticks as f64 * per_tick;
+    prop_assert!(
+        (meter.joules() - want_joules).abs() <= 1e-9 * (1.0 + want_joules.abs()),
+        "joules {} vs closed form {want_joules}",
+        meter.joules()
+    );
+    // Cost: the price integral over [0, ticks) by explicit step-window
+    // arithmetic — full cycles plus the overlap of the remainder with
+    // each window — deliberately NOT via `price_at`.
+    let cycle = period * prices.len() as u64;
+    let full_cycles = ticks as u64 / cycle;
+    let remainder = ticks as u64 % cycle;
+    let mut price_sum = full_cycles as f64 * period as f64 * prices.iter().sum::<f64>();
+    for (w, &p) in prices.iter().enumerate() {
+        let start = w as u64 * period;
+        let end = start + period;
+        price_sum += remainder.min(end).saturating_sub(start) as f64 * p;
+    }
+    let want_cost = per_tick * price_sum;
+    prop_assert!(
+        (meter.cost() - want_cost).abs() <= 1e-6 * (1.0 + want_cost.abs()),
+        "cost {} vs closed form {want_cost}",
+        meter.cost()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The meter's totals equal the closed-form integral of a constant
+    /// draw under a step schedule.
+    #[test]
+    fn meter_totals_match_the_closed_form_integral(
+        idle in 0.0f64..200.0,
+        premium in 0.0f64..100.0,
+        capacity in 0.5f64..32.0,
+        machines in 0u64..6,
+        events in 0u64..200,
+        ticks in 1usize..200,
+        period in 1u64..7,
+        prices in proptest::collection::vec(0.0f64..10.0, 1..5),
+    ) {
+        check_meter_closed_form(
+            idle, premium, capacity, machines, events, ticks, period, &prices,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(heavy_cases(1024)))]
+
+    /// Nightly-depth version of the metering property
+    /// (`--include-ignored`).
+    #[test]
+    #[ignore = "heavy: run via the nightly --include-ignored CI job"]
+    fn meter_totals_match_the_closed_form_integral_heavy(
+        idle in 0.0f64..500.0,
+        premium in 0.0f64..300.0,
+        capacity in 0.1f64..64.0,
+        machines in 0u64..12,
+        events in 0u64..2000,
+        ticks in 1usize..2000,
+        period in 1u64..12,
+        prices in proptest::collection::vec(0.0f64..25.0, 1..8),
+    ) {
+        check_meter_closed_form(
+            idle, premium, capacity, machines, events, ticks, period, &prices,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism: the meter is process state, never journaled.
+// ---------------------------------------------------------------------
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn case_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("rsdc-energy").join(format!(
+        "{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_store(dir: &std::path::Path) -> Arc<dyn Durability> {
+    Arc::new(FileStore::open(dir, FileStoreConfig { sync_every: 16 }).expect("open store"))
+}
+
+const TENANTS: usize = 6;
+const SLOTS: usize = 24;
+
+fn fleet() -> Vec<TenantConfig> {
+    (0..TENANTS)
+        .map(|i| {
+            let policy = if i % 2 == 0 {
+                PolicySpec::Lcp
+            } else {
+                PolicySpec::HalfStepRounded { seed: i as u64 }
+            };
+            TenantConfig::new(format!("t{i}"), 12, 4.0, policy)
+        })
+        .collect()
+}
+
+fn slot_batch(slot: usize) -> Vec<(String, Cost)> {
+    (0..TENANTS)
+        .map(|i| {
+            let center = ((slot * 5 + i) % 13) as f64;
+            (format!("t{i}"), Cost::abs(1.0, center))
+        })
+        .collect()
+}
+
+fn power() -> PowerConfig {
+    let mut p = PowerConfig::new(PowerSpec::Linear {
+        idle: 100.0,
+        peak: 250.0,
+    });
+    p.capacity = 4.0;
+    p.price = PriceSchedule::Step {
+        period: 3,
+        prices: vec![1.0, 5.0],
+    };
+    p
+}
+
+/// Reports with the attributed-energy decoration stripped: the journaled
+/// state under comparison is everything *except* the meter's process
+/// state.
+fn report_texts_sans_energy(engine: &Engine) -> Vec<String> {
+    use serde::Serialize as _;
+    let mut reports = engine.report_all().expect("report");
+    for r in &mut reports {
+        r.energy = None;
+    }
+    reports
+        .iter()
+        .map(|r| serde_json::to_string(&r.to_value()).expect("json"))
+        .collect()
+}
+
+/// Every store file under `dir` as `(relative name, bytes)`, sorted.
+fn dir_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).expect("read_dir") {
+            let path = entry.expect("entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(dir)
+                    .expect("prefix")
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, std::fs::read(&path).expect("read")));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// One durable run: admit, stream `SLOTS` slots with a checkpoint every 7,
+/// shut down cleanly (no final checkpoint — leave a WAL tail on disk).
+fn durable_run(dir: &std::path::Path, energy: bool) -> Vec<String> {
+    let engine =
+        Engine::with_store(EngineConfig::with_shards(2), open_store(dir)).expect("durable engine");
+    if energy {
+        engine.set_power(Some(power())).expect("set_power");
+    }
+    for t in fleet() {
+        engine.admit(t).expect("admit");
+    }
+    for t in 0..SLOTS {
+        engine.step_batch(slot_batch(t)).expect("step");
+        if (t + 1) % 7 == 0 {
+            engine.checkpoint().expect("checkpoint");
+        }
+    }
+    if energy {
+        let status = engine.energy_status().expect("meter on");
+        assert!(status.joules > 0.0, "the meter actually metered");
+    }
+    let reports = report_texts_sans_energy(&engine);
+    engine.shutdown();
+    reports
+}
+
+/// The determinism bar: two identical durable runs — one metered, one not
+/// — leave **byte-identical** store directories.
+#[test]
+fn energy_accounting_never_touches_journaled_state() {
+    let dir_on = case_dir("meter-on");
+    let dir_off = case_dir("meter-off");
+    let reports_on = durable_run(&dir_on, true);
+    let reports_off = durable_run(&dir_off, false);
+    assert_eq!(reports_on, reports_off, "reports agree (energy aside)");
+    let (on, off) = (dir_bytes(&dir_on), dir_bytes(&dir_off));
+    let on_names: Vec<&String> = on.iter().map(|(n, _)| n).collect();
+    let off_names: Vec<&String> = off.iter().map(|(n, _)| n).collect();
+    assert_eq!(on_names, off_names, "same store files");
+    for ((name, a), (_, b)) in on.iter().zip(off.iter()) {
+        assert_eq!(a, b, "store file {name} must be byte-identical");
+    }
+    let _ = std::fs::remove_dir_all(&dir_on);
+    let _ = std::fs::remove_dir_all(&dir_off);
+}
+
+/// Crash-recovery with the meter enabled end to end reproduces the
+/// reports of a meter-free uninterrupted run, and the recovered meter
+/// restarts from zero (process state is not replayed).
+#[test]
+fn recovery_with_energy_enabled_is_byte_identical() {
+    // Meter-off uninterrupted reference.
+    let want = {
+        let engine = Engine::new(EngineConfig::with_shards(2));
+        for t in fleet() {
+            engine.admit(t).expect("admit");
+        }
+        for t in 0..SLOTS {
+            engine.step_batch(slot_batch(t)).expect("step");
+        }
+        let reports = report_texts_sans_energy(&engine);
+        engine.shutdown();
+        reports
+    };
+    for kill_at in [3usize, 10, 20] {
+        let dir = case_dir("kill");
+        let durable = Engine::with_store(EngineConfig::with_shards(2), open_store(&dir))
+            .expect("durable engine");
+        durable.set_power(Some(power())).expect("set_power");
+        for t in fleet() {
+            durable.admit(t).expect("admit");
+        }
+        for t in 0..kill_at {
+            durable.step_batch(slot_batch(t)).expect("step");
+            if (t + 1) % 4 == 0 {
+                durable.checkpoint().expect("checkpoint");
+            }
+        }
+        drop(durable); // crash
+
+        let (recovered, report) =
+            Engine::recover(EngineConfig::with_shards(2), open_store(&dir)).expect("recover");
+        assert_eq!(report.replay_errors, 0);
+        assert!(
+            recovered.energy_status().is_none(),
+            "the meter is process state: recovery must not resurrect it"
+        );
+        // Re-arm the meter and finish the stream: replayed + live ticks
+        // must reproduce the reference reports exactly.
+        recovered.set_power(Some(power())).expect("set_power");
+        for t in kill_at..SLOTS {
+            recovered.step_batch(slot_batch(t)).expect("step");
+        }
+        assert_eq!(
+            report_texts_sans_energy(&recovered),
+            want,
+            "kill at {kill_at}: metered recovery must match the meter-free reference"
+        );
+        let metered = recovered.energy_status().expect("meter re-armed");
+        assert_eq!(
+            metered.ticks,
+            (SLOTS - kill_at) as u64,
+            "the fresh meter counts only post-recovery ticks"
+        );
+        recovered.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,15 +17,15 @@
 
 use proptest::prelude::*;
 use rsdc_core::prelude::*;
-use rsdc_engine::{TopologyConfig, TopologyPolicy};
+use rsdc_engine::{PowerConfig, PowerSpec, PriceSchedule, TopologyConfig, TopologyPolicy};
 use rsdc_offline::{brute, dp};
 use rsdc_tests::heavy_cases;
 
 /// Drive the policy over a load trace (total events per tick), applying
 /// every decision immediately (`cooldown = 0`), and return the shard
 /// schedule — the LCP schedule of the induced instance.
-fn run_policy(cfg: TopologyConfig, loads: &[u64]) -> Vec<usize> {
-    let mut policy = TopologyPolicy::new(cfg, cfg.min_shards).expect("valid config");
+fn run_policy(cfg: &TopologyConfig, loads: &[u64]) -> Vec<usize> {
+    let mut policy = TopologyPolicy::new(cfg.clone(), cfg.min_shards).expect("valid config");
     let mut schedule = Vec::with_capacity(loads.len());
     for &events in loads {
         if let Some(target) = policy.observe(&[events], &[(0, 1)]) {
@@ -42,13 +42,17 @@ fn run_policy(cfg: TopologyConfig, loads: &[u64]) -> Vec<usize> {
 /// steps its bound tracker with, `beta` is the configured switching cost.
 fn induced_instance(cfg: &TopologyConfig, loads: &[u64]) -> Instance {
     let m = (cfg.max_shards - cfg.min_shards) as u32;
-    let costs: Vec<Cost> = loads.iter().map(|&e| cfg.tick_cost(e as f64)).collect();
+    let costs: Vec<Cost> = loads
+        .iter()
+        .enumerate()
+        .map(|(t, &e)| cfg.tick_cost(t as u64, e as f64))
+        .collect();
     Instance::new(m, cfg.switch_cost, costs).expect("valid induced instance")
 }
 
 /// One differential case: policy schedule vs brute-force offline optimum.
 fn check_lcp_bound(cfg: TopologyConfig, loads: &[u64]) {
-    let schedule = run_policy(cfg, loads);
+    let schedule = run_policy(&cfg, loads);
     let inst = induced_instance(&cfg, loads);
     let xs = Schedule(
         schedule
@@ -86,6 +90,37 @@ fn small_config() -> impl Strategy<Value = TopologyConfig> {
     })
 }
 
+/// Strategy: a priced small config — [`small_config`] plus a linear power
+/// model, a serving capacity, and a square-wave price schedule. The
+/// priced per-tick cost `events/s + price(t) * s * watts(events/(s*cap))`
+/// is convex in `s` (the serial term is convex, the energy term is the
+/// perspective of a convex watts curve), so Theorem 2's bound must keep
+/// holding with time-varying prices.
+fn priced_config() -> impl Strategy<Value = TopologyConfig> {
+    (
+        small_config(),
+        0.0f64..2.0,  // cheap-window price
+        2.0f64..8.0,  // expensive-window price
+        1u64..4,      // window length in ticks
+        2.0f64..64.0, // events one shard-machine serves per tick
+        0.1f64..4.0,  // idle watts
+        0.0f64..3.0,  // peak watts premium over idle
+    )
+        .prop_map(|(mut cfg, cheap, dear, period, capacity, idle, premium)| {
+            let mut p = PowerConfig::new(PowerSpec::Linear {
+                idle,
+                peak: idle + premium,
+            });
+            p.capacity = capacity;
+            p.price = PriceSchedule::Step {
+                period,
+                prices: vec![cheap, dear],
+            };
+            cfg.pricing = Some(p);
+            cfg
+        })
+}
+
 /// Strategy: a skewed load trace — lulls, plateaus and bursts, the shapes
 /// that tempt an eager policy into flapping.
 fn skewed_trace(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u64>> {
@@ -113,6 +148,17 @@ proptest! {
         check_lcp_bound(cfg, &loads);
     }
 
+    /// Priced mode: the same differential with the induced instance in
+    /// modeled watts and time-varying prices. The acceptance bar for the
+    /// energy subsystem: pricing must not break the competitive bound.
+    #[test]
+    fn priced_online_cost_within_lcp_bound_of_offline_optimum(
+        cfg in priced_config(),
+        loads in skewed_trace(1..9),
+    ) {
+        check_lcp_bound(cfg, &loads);
+    }
+
     /// Stationary loads: zero flapping — no grow is ever immediately
     /// followed by a shrink, anywhere in the run.
     #[test]
@@ -121,7 +167,7 @@ proptest! {
         events in 0u64..400,
         ticks in 20usize..160,
     ) {
-        let schedule = run_policy(cfg, &vec![events; ticks]);
+        let schedule = run_policy(&cfg, &vec![events; ticks]);
         for (t, w) in schedule.windows(3).enumerate() {
             let grew = w[1] > w[0];
             let shrank = w[2] < w[1];
@@ -140,7 +186,7 @@ proptest! {
         cfg in small_config(),
         events in 0u64..400,
     ) {
-        let schedule = run_policy(cfg, &vec![events; 400]);
+        let schedule = run_policy(&cfg, &vec![events; 400]);
         let tail = &schedule[schedule.len() - 40..];
         prop_assert!(
             tail.iter().all(|&s| s == tail[0]),
@@ -162,6 +208,16 @@ proptest! {
     ) {
         check_lcp_bound(cfg, &loads);
     }
+
+    /// Nightly-depth priced differential (`--include-ignored`).
+    #[test]
+    #[ignore = "heavy: run via the nightly --include-ignored CI job"]
+    fn priced_online_cost_within_lcp_bound_of_offline_optimum_heavy(
+        cfg in priced_config(),
+        loads in skewed_trace(1..10),
+    ) {
+        check_lcp_bound(cfg, &loads);
+    }
 }
 
 /// The adversarial shape hysteresis exists for: load that oscillates just
@@ -173,7 +229,7 @@ fn oscillating_load_does_not_thrash() {
     cfg.switch_cost = 16.0;
     cfg.cooldown = 0;
     let loads: Vec<u64> = (0..300).map(|t| if t % 2 == 0 { 4 } else { 120 }).collect();
-    let schedule = run_policy(cfg, &loads);
+    let schedule = run_policy(&cfg, &loads);
     let changes = schedule.windows(2).filter(|w| w[0] != w[1]).count();
     // An eager argmin-follower would change ~300 times (the per-tick ideal
     // flips between 2 and 8 every tick); laziness caps it at the ramp.
@@ -203,10 +259,10 @@ fn policy_schedule_matches_reference_lcp() {
     let loads: Vec<u64> = (0..120)
         .map(|t| ((t * 37 + 11) % 230) as u64 * ((t / 40) % 2) as u64)
         .collect();
-    let schedule = run_policy(cfg, &loads);
+    let schedule = run_policy(&cfg, &loads);
     let mut lcp = Lcp::new((cfg.max_shards - cfg.min_shards) as u32, cfg.switch_cost);
     for (t, &e) in loads.iter().enumerate() {
-        let x = lcp.step(&cfg.tick_cost(e as f64));
+        let x = lcp.step(&cfg.tick_cost(t as u64, e as f64));
         assert_eq!(
             schedule[t],
             cfg.min_shards + x as usize,

@@ -117,16 +117,17 @@ fn every_wire_md_example_matches_a_live_session() {
     let blocks = conformance_blocks(&doc);
     // The floor has been raised PR over PR: autoscale (live auto-trigger
     // transcript plus error cases), incremental rebalance, the
-    // skew/policy-carrying stats + wal_stats shapes, and now the
-    // observability pair — a full metrics-registry dump and a traced
-    // autoscale decision with its induced rebalance.
+    // skew/policy-carrying stats + wal_stats shapes, the observability
+    // pair (metrics-registry dump + traced autoscale decision), and now
+    // the energy trio — metered session, spec rejections, and the
+    // priced-autoscale composition.
     assert!(
-        blocks.len() >= 19,
+        blocks.len() >= 22,
         "WIRE.md must keep its per-op conformance coverage, found {}",
         blocks.len()
     );
     let executed: usize = blocks.iter().map(|b| b.requests.len()).sum();
-    assert!(executed >= 105, "suspiciously few requests: {executed}");
+    assert!(executed >= 120, "suspiciously few requests: {executed}");
     assert!(
         doc.contains("\"op\":\"autoscale\"") && doc.contains("\"mode\":\"incremental\""),
         "the autoscale and incremental-rebalance examples must stay documented"
@@ -134,6 +135,10 @@ fn every_wire_md_example_matches_a_live_session() {
     assert!(
         doc.contains("\"op\":\"metrics\"") && doc.contains("autoscale_decision"),
         "the metrics dump and control-plane trace examples must stay documented"
+    );
+    assert!(
+        doc.contains("\"op\":\"energy\"") && doc.contains("\"priced\":true"),
+        "the energy op and priced-autoscale examples must stay documented"
     );
 
     for (tag, block) in blocks.iter().enumerate() {
