@@ -1,5 +1,5 @@
-//! Minimal dependency-free argument parsing: `--key value` flags plus one
-//! positional subcommand.
+//! Minimal dependency-free argument parsing: `--key value` flags plus a
+//! positional subcommand and its trailing positionals.
 
 use std::collections::BTreeMap;
 
@@ -8,6 +8,10 @@ use std::collections::BTreeMap;
 pub struct Args {
     /// First positional token (the subcommand), if any.
     pub command: Option<String>,
+    /// Positional tokens after the subcommand (e.g. `scenario run NAME`).
+    /// Commands that take none reject them with
+    /// [`ArgError::ExtraPositional`] via [`Args::no_positionals`].
+    pub positionals: Vec<String>,
     /// `--key value` pairs, keys without the leading dashes.
     pub options: BTreeMap<String, String>,
     /// Bare `--flag` switches (no value).
@@ -75,7 +79,7 @@ impl Args {
             } else if out.command.is_none() {
                 out.command = Some(tok);
             } else {
-                return Err(ArgError::ExtraPositional(tok));
+                out.positionals.push(tok);
             }
         }
         Ok(out)
@@ -121,6 +125,15 @@ impl Args {
     pub fn has_flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
+
+    /// Reject trailing positionals — the guard every subcommand without a
+    /// positional grammar calls before dispatching.
+    pub fn no_positionals(&self) -> Result<(), ArgError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(p) => Err(ArgError::ExtraPositional(p.clone())),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -159,9 +172,21 @@ mod tests {
     }
 
     #[test]
-    fn extra_positional_rejected() {
-        let e = parse(&["x", "y"]).unwrap_err();
-        assert_eq!(e, ArgError::ExtraPositional("y".into()));
+    fn positionals_collected_after_subcommand() {
+        let a = parse(&["scenario", "run", "diurnal-baseline", "--quick"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("scenario"));
+        assert_eq!(a.positionals, vec!["run", "diurnal-baseline"]);
+        assert!(a.has_flag("quick"));
+        assert_eq!(
+            a.no_positionals().unwrap_err(),
+            ArgError::ExtraPositional("run".into())
+        );
+    }
+
+    #[test]
+    fn no_positionals_accepts_bare_subcommand() {
+        let a = parse(&["solve", "--trace", "t.json"]).unwrap();
+        a.no_positionals().unwrap();
     }
 
     #[test]

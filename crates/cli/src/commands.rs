@@ -99,11 +99,25 @@ COMMANDS
              256) [--metrics-dump FILE] (write Prometheus text on exit and
              after checkpoints; query live via {\"op\":\"metrics\"} /
              {\"op\":\"trace\"})
+  scenario   curated full-stack replay scenarios (the regression fleet)
+             scenario list                 name + summary of every scenario
+             scenario run <NAME> | --all   run one scenario, or the fleet
+             [--quick] (120-tick CI horizon; default is the 960-tick
+             nightly horizon) [--json] (emit the deterministic golden
+             report instead of summary lines) [--out FILE]
+             a run fails (non-zero exit) when any per-scenario bound —
+             online/OPT ratio, zero lost events, required rejections /
+             recoveries / rebalances / energy — is violated
   help       this text
 ";
 
 /// Dispatch a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, CmdError> {
+    // Only `scenario` has a positional grammar; everything else keeps the
+    // historical "unexpected argument" behavior.
+    if args.command.as_deref() != Some("scenario") {
+        args.no_positionals()?;
+    }
     match args.command.as_deref() {
         Some("generate") => cmd_generate(args),
         Some("solve") => cmd_solve(args),
@@ -111,6 +125,7 @@ pub fn dispatch(args: &Args) -> Result<String, CmdError> {
         Some("simulate") => cmd_simulate(args),
         Some("analyze") => cmd_analyze(args),
         Some("engine") => cmd_engine(args),
+        Some("scenario") => cmd_scenario(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(CmdError::Other(format!(
             "unknown command {other:?}; try `rsdc help`"
@@ -608,6 +623,91 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
 
     let body = responses.join("\n") + "\n";
     write_output(args, "engine responses", body)
+}
+
+const SCENARIO_USAGE: &str =
+    "usage: rsdc scenario list | run <NAME>|--all [--quick] [--json] [--out FILE]";
+
+fn cmd_scenario(args: &Args) -> Result<String, CmdError> {
+    use rsdc_scenarios::zoo;
+    let quick = args.has_flag("quick");
+    if let Some(extra) = args.positionals.get(2) {
+        return Err(CmdError::Args(ArgError::ExtraPositional(extra.clone())));
+    }
+    match args.positionals.first().map(|s| s.as_str()) {
+        Some("list") => {
+            if args.positionals.len() > 1 {
+                return Err(CmdError::Args(ArgError::ExtraPositional(
+                    args.positionals[1].clone(),
+                )));
+            }
+            let mut out = String::new();
+            for s in zoo::zoo(true) {
+                out.push_str(&format!("{:22}  {}\n", s.spec.name, s.spec.summary));
+            }
+            Ok(out)
+        }
+        Some("run") => {
+            let fleet = match (args.positionals.get(1), args.has_flag("all")) {
+                (Some(name), false) => match zoo::find(name, quick) {
+                    Some(s) => vec![s],
+                    None => {
+                        return Err(CmdError::Other(format!(
+                            "unknown scenario {name:?}; try `rsdc scenario list`"
+                        )))
+                    }
+                },
+                (None, true) => zoo::zoo(quick),
+                (Some(name), true) => {
+                    return Err(CmdError::Other(format!(
+                        "give either a scenario name ({name:?}) or --all, not both"
+                    )))
+                }
+                (None, false) => return Err(CmdError::Other(SCENARIO_USAGE.into())),
+            };
+            let mut lines = String::new();
+            let mut reports = Vec::new();
+            let mut violations = Vec::new();
+            for s in fleet {
+                let report = rsdc_scenarios::run(&s.spec)
+                    .map_err(|e| CmdError::Other(format!("{}: {e}", s.spec.name)))?;
+                let errs = s.bounds.check(&report);
+                let status = if errs.is_empty() { "ok" } else { "FAIL" };
+                lines.push_str(&format!("[{status}] {}\n", report.summary_line()));
+                for e in errs {
+                    violations.push(format!("{}: {e}", s.spec.name));
+                }
+                reports.push(report);
+            }
+            let body = if args.has_flag("json") {
+                // One golden report bare; a fleet as a JSON array.
+                if reports.len() == 1 {
+                    reports[0].golden_json()
+                } else {
+                    let docs: Vec<serde_json::Value> = reports
+                        .iter()
+                        .map(|r| serde_json::from_str(&r.golden_json()).expect("golden parses"))
+                        .collect();
+                    serde_json::to_string_pretty(&serde_json::Value::Array(docs))
+                        .expect("fleet renders")
+                        + "\n"
+                }
+            } else {
+                lines
+            };
+            if !violations.is_empty() {
+                return Err(CmdError::Other(format!(
+                    "bounds violated:\n  {}",
+                    violations.join("\n  ")
+                )));
+            }
+            write_output(args, "scenario report", body)
+        }
+        Some(other) => Err(CmdError::Other(format!(
+            "unknown scenario action {other:?}; {SCENARIO_USAGE}"
+        ))),
+        None => Err(CmdError::Other(SCENARIO_USAGE.into())),
+    }
 }
 
 #[cfg(test)]
@@ -1152,5 +1252,94 @@ mod tests {
         ]))
         .unwrap();
         assert!(dispatch(&args(&["solve", "--trace", &p, "--beta", "-1"])).is_err());
+    }
+
+    #[test]
+    fn legacy_commands_still_reject_positionals() {
+        let cases: &[&[&str]] = &[
+            &["solve", "extra", "--trace", "t.json"],
+            &["generate", "bogus", "--kind", "diurnal", "--slots", "5"],
+            &["engine", "surprise"],
+        ];
+        for case in cases {
+            match dispatch(&args(case)) {
+                Err(CmdError::Args(ArgError::ExtraPositional(_))) => {}
+                other => panic!("{case:?}: expected ExtraPositional, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_usage_errors() {
+        // (argv, substring the error must mention)
+        let cases: &[(&[&str], &str)] = &[
+            (&["scenario"], "usage: rsdc scenario"),
+            (&["scenario", "run"], "usage: rsdc scenario"),
+            (&["scenario", "frobnicate"], "unknown scenario action"),
+            (&["scenario", "run", "no-such-scenario"], "unknown scenario"),
+            (
+                &["scenario", "run", "diurnal-baseline", "--all"],
+                "not both",
+            ),
+        ];
+        for (case, needle) in cases {
+            let err = dispatch(&args(case)).expect_err(&format!("{case:?} should fail"));
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{case:?}: {msg:?} missing {needle:?}");
+        }
+        // Trailing garbage after the grammar is an arg error, not a run.
+        for case in [
+            &["scenario", "run", "diurnal-baseline", "junk"][..],
+            &["scenario", "list", "junk"][..],
+        ] {
+            match dispatch(&args(case)) {
+                Err(CmdError::Args(ArgError::ExtraPositional(p))) => assert_eq!(p, "junk"),
+                other => panic!("{case:?}: expected ExtraPositional, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_list_names_the_fleet() {
+        let out = dispatch(&args(&["scenario", "list"])).unwrap();
+        for name in ["diurnal-baseline", "crash-recovery", "cold-start-flood"] {
+            assert!(out.contains(name), "list output missing {name}: {out}");
+        }
+    }
+
+    #[test]
+    fn scenario_run_quick_is_green_and_deterministic() {
+        let a = args(&["scenario", "run", "diurnal-baseline", "--quick"]);
+        let out = dispatch(&a).unwrap();
+        assert!(out.starts_with("[ok] diurnal-baseline:"), "{out}");
+
+        let j = args(&["scenario", "run", "diurnal-baseline", "--quick", "--json"]);
+        let one = dispatch(&j).unwrap();
+        let two = dispatch(&j).unwrap();
+        assert_eq!(one, two, "golden JSON must be byte-identical across runs");
+        let doc: serde_json::Value = serde_json::from_str(&one).unwrap();
+        assert_eq!(doc["scenario"].as_str(), Some("diurnal-baseline"));
+        assert_eq!(doc["events_lost"].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn scenario_run_writes_out_file() {
+        let p = tmp("scenario.json");
+        let out = dispatch(&args(&[
+            "scenario",
+            "run",
+            "cold-start-flood",
+            "--quick",
+            "--json",
+            "--out",
+            &p,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote scenario report"));
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        assert_eq!(doc["scenario"].as_str(), Some("cold-start-flood"));
+        assert!(doc["events_throttled"].as_f64().unwrap() > 0.0);
+        let _ = std::fs::remove_file(&p);
     }
 }

@@ -1,0 +1,98 @@
+//! Scenario lab: a declarative, trace-driven full-stack replay harness.
+//!
+//! A [`ScenarioSpec`] describes one complete engine exercise — where the
+//! load comes from (generator, recorded trace, or the Section 5.4
+//! adversary), who receives it (scalar LCP tenants, heterogeneous
+//! fleets, skew storms, surge waves), which control-plane knobs are on
+//! (admission limits, lazy/priced autoscaling, energy accounting,
+//! durability) and what goes wrong (kill-points, checkpoints, forced
+//! rebalances). [`run()`] compiles the spec into one deterministic run of
+//! the real [`rsdc_engine::Engine`] and emits a [`ScenarioReport`]:
+//! online cost vs the engine's crash-safe prefix-OPT tracker, joules and
+//! bill from the energy meter, batch latency percentiles from the
+//! metrics registry, and a full event/admission/topology/recovery
+//! ledger.
+//!
+//! The [`mod@zoo`] module curates the named scenarios CI runs as a
+//! regression fleet: each [`Scenario`] pairs a spec with [`Bounds`] the
+//! report must satisfy (online/OPT ratio at the theorem bound, zero lost
+//! events across recoveries, visible rejections under flood, a billed
+//! energy meter, ...). Everything in a report except its wall-clock
+//! section is byte-deterministic in the scenario seed —
+//! [`ScenarioReport::golden_json`] is the pinned rendering.
+
+pub mod report;
+pub mod run;
+pub mod spec;
+pub mod zoo;
+
+pub use report::{EnergyTotals, ScenarioReport, WallStats, WorkloadSummary};
+pub use run::run;
+pub use spec::{
+    Bounds, EngineKnobs, FaultAction, ScenarioSpec, SkewStorm, SurgeWave, TenantMix, WorkloadSource,
+};
+pub use zoo::{find, names, zoo, Scenario, LCP_RATIO_BOUND};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "tiny".into(),
+            summary: "unit-test scenario".into(),
+            seed: 7,
+            t_len: 16,
+            workload: WorkloadSource::Inline {
+                label: "ramp".into(),
+                loads: (0..16).map(|t| t as f64 / 4.0).collect(),
+            },
+            tenants: TenantMix::scalar_lcp(2, 4, 2.0),
+            knobs: EngineKnobs::default(),
+            faults: vec![],
+        }
+    }
+
+    #[test]
+    fn tiny_scenario_runs_and_accounts_for_every_event() {
+        let report = run(&tiny_spec()).expect("tiny scenario runs");
+        assert_eq!(report.ticks, 16);
+        assert_eq!(report.tenants_admitted, 2);
+        assert_eq!(report.events_offered, 32);
+        assert_eq!(report.events_applied, 32);
+        assert_eq!(report.events_lost, 0);
+        assert!(report.online_cost.is_finite() && report.online_cost >= 0.0);
+        let ratio = report.ratio.expect("opt-tracked tenants yield a ratio");
+        assert!(
+            (1.0 - 1e-9..=3.05).contains(&ratio),
+            "ratio {ratio} out of range"
+        );
+    }
+
+    #[test]
+    fn golden_json_round_trips_and_zeroes_wall() {
+        let report = run(&tiny_spec()).unwrap();
+        let golden = report.golden_json();
+        let back: ScenarioReport = serde_json::from_str(&golden).expect("golden parses");
+        assert_eq!(back.wall, WallStats::default());
+        assert_eq!(back.scenario, "tiny");
+        assert_eq!(
+            back.golden_json(),
+            golden,
+            "golden rendering is a fixed point"
+        );
+    }
+
+    #[test]
+    fn invalid_specs_are_refused() {
+        let mut s = tiny_spec();
+        s.faults.push(FaultAction::Kill { at: 3 });
+        assert!(run(&s).is_err(), "kill without durable must be refused");
+        let mut s = tiny_spec();
+        s.t_len = 0;
+        assert!(run(&s).is_err());
+        let mut s = tiny_spec();
+        s.tenants.scalar = 0;
+        assert!(run(&s).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! The comparable scenario report.
+//!
+//! Everything in a [`ScenarioReport`] except the [`WallStats`] section is
+//! **deterministic** in the scenario seed: counters are accumulated by
+//! the runner itself (so they survive kill-point recoveries, which reset
+//! the in-process metrics registry), costs are summed over tenant
+//! reports in sorted-id order, and floats render through the shortest
+//! round-trip formatter. The wall section carries wall-clock batch
+//! latencies from the metrics registry and is zeroed by
+//! [`ScenarioReport::golden_json`], the rendering the determinism pins
+//! compare byte-for-byte — the same canonicalization contract the wire
+//! conformance transcripts use for histogram stats.
+
+use rsdc_workloads::stats::TraceStats;
+use serde::{Deserialize, Serialize};
+
+/// Energy-meter totals for the run (present when the scenario configured
+/// power accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTotals {
+    /// Joules (watt·ticks) metered across the run's last engine
+    /// incarnation.
+    pub joules: f64,
+    /// Priced cost of those joules.
+    pub cost: f64,
+}
+
+/// Wall-clock latency observations — the only non-deterministic section.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WallStats {
+    /// Worst per-shard p50 batch latency, nanoseconds.
+    pub p50_batch_ns: u64,
+    /// Worst per-shard p99 batch latency, nanoseconds.
+    pub p99_batch_ns: u64,
+    /// Largest single batch latency observed, nanoseconds.
+    pub max_batch_ns: u64,
+}
+
+/// Shape statistics of the realized workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Trace provenance label.
+    pub label: String,
+    /// Summary statistics (all finite; see `Trace::peak_to_mean`).
+    pub stats: TraceStats,
+}
+
+/// The comparable outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed the run was deterministic in.
+    pub seed: u64,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Tenants successfully admitted (core + surge).
+    pub tenants_admitted: u64,
+    /// Admissions refused at the tenant cap.
+    pub tenants_rejected: u64,
+    /// Admissions deferred by an open migration window (later retried).
+    pub tenants_deferred: u64,
+    /// Step events offered to the engine.
+    pub events_offered: u64,
+    /// Events applied by shard workers.
+    pub events_applied: u64,
+    /// Events refused by a token bucket.
+    pub events_throttled: u64,
+    /// Events that failed deterministically (e.g. unknown tenant).
+    pub events_failed: u64,
+    /// Offered events not accounted for by the three outcomes above —
+    /// must be zero; anything else is a harness or engine bug.
+    pub events_lost: u64,
+    /// Total online cost (operating + switching) over all tenants,
+    /// including evicted surge tenants.
+    pub online_cost: f64,
+    /// Aggregate offline-OPT cost over opt-tracked tenants (the engine's
+    /// prefix-OPT tracker, crash-safe across recoveries).
+    pub opt_cost: f64,
+    /// Online cost over opt-tracked tenants only (the ratio numerator).
+    pub online_tracked_cost: f64,
+    /// `online_tracked_cost / opt_cost`; `None` when no tenant tracked
+    /// OPT or OPT is zero (kept out of JSON as `null` — never `inf`).
+    pub ratio: Option<f64>,
+    /// Shard count at the start of the run.
+    pub shards_initial: u64,
+    /// Shard count at the end of the run.
+    pub shards_final: u64,
+    /// Topology changes applied by the autoscale policy.
+    pub auto_rebalances: u64,
+    /// Topology changes forced by the fault plan.
+    pub forced_rebalances: u64,
+    /// Tenants moved across all topology changes.
+    pub tenants_moved: u64,
+    /// Kill/recover cycles completed.
+    pub recoveries: u64,
+    /// WAL records replayed across all recoveries.
+    pub records_replayed: u64,
+    /// Stream events re-applied from the WAL across all recoveries.
+    pub events_replayed: u64,
+    /// Replay failures across all recoveries (must be zero).
+    pub replay_errors: u64,
+    /// Durable checkpoints taken by the fault plan.
+    pub checkpoints: u64,
+    /// Energy totals, when power accounting was configured.
+    pub energy: Option<EnergyTotals>,
+    /// Realized workload shape.
+    pub workload: WorkloadSummary,
+    /// Wall-clock latencies (non-deterministic; zeroed in golden form).
+    pub wall: WallStats,
+}
+
+impl ScenarioReport {
+    /// Full JSON rendering, wall-clock section included.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report renders") + "\n"
+    }
+
+    /// Deterministic JSON rendering: the wall section zeroed, everything
+    /// else untouched. Two runs of the same spec and seed produce
+    /// byte-identical golden JSON.
+    pub fn golden_json(&self) -> String {
+        let mut canon = self.clone();
+        canon.wall = WallStats::default();
+        serde_json::to_string_pretty(&canon).expect("report renders") + "\n"
+    }
+
+    /// One-line human summary for fleet logs.
+    pub fn summary_line(&self) -> String {
+        let ratio = match self.ratio {
+            Some(r) => format!("{r:.3}"),
+            None => "n/a".to_string(),
+        };
+        format!(
+            "{}: ratio={} online={:.1} opt={:.1} applied={} throttled={} \
+             rejected={} lost={} rebalances={} recoveries={} shards={}->{}",
+            self.scenario,
+            ratio,
+            self.online_cost,
+            self.opt_cost,
+            self.events_applied,
+            self.events_throttled,
+            self.tenants_rejected,
+            self.events_lost,
+            self.auto_rebalances + self.forced_rebalances,
+            self.recoveries,
+            self.shards_initial,
+            self.shards_final,
+        )
+    }
+}

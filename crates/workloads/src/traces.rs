@@ -60,17 +60,20 @@ impl Trace {
         self.loads.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Peak-to-mean ratio (1.0 for constant traces; inf for zero-mean).
+    /// Peak-to-mean ratio. Always finite, so trace statistics survive a
+    /// JSON round trip (the serializer renders non-finite floats as
+    /// `null`): 1.0 for constant traces — including all-zero ("no load
+    /// is perfectly flat") and empty ones — and 0.0 when the ratio is
+    /// undefined (a non-positive mean with a nonzero peak, which only
+    /// degenerate hand-built traces with negative loads can produce).
     pub fn peak_to_mean(&self) -> f64 {
         let m = self.mean();
-        if m == 0.0 {
-            if self.peak() == 0.0 {
-                1.0
-            } else {
-                f64::INFINITY
-            }
-        } else {
+        if m > 0.0 {
             self.peak() / m
+        } else if self.peak() == 0.0 {
+            1.0
+        } else {
+            0.0
         }
     }
 
@@ -356,13 +359,15 @@ impl Trace {
     }
 }
 
-/// The standard corpus used by tests, benches and the experiment harness.
+/// The standard corpus used by tests, benches and the experiment harness:
+/// one trace per generator family, including the weekly enterprise shape.
 pub fn standard_corpus(t_len: usize, seed: u64) -> Vec<Trace> {
     vec![
         Diurnal::default().generate(t_len, seed),
         Bursty::default().generate(t_len, seed.wrapping_add(1)),
         Spiky::default().generate(t_len, seed.wrapping_add(2)),
         Stationary::default().generate(t_len, seed.wrapping_add(3)),
+        Weekly::default().generate(t_len, seed.wrapping_add(4)),
     ]
 }
 
@@ -450,8 +455,21 @@ mod tests {
     #[test]
     fn corpus_has_expected_members() {
         let c = standard_corpus(200, 5);
-        assert_eq!(c.len(), 4);
+        assert_eq!(c.len(), 5);
         assert!(c.iter().all(|t| t.len() == 200));
+        assert!(c.iter().any(|t| t.label.starts_with("weekly")));
+    }
+
+    #[test]
+    fn peak_to_mean_is_always_finite() {
+        // All-zero load: flat, ratio 1.
+        assert_eq!(Trace::new("z", vec![0.0; 8]).peak_to_mean(), 1.0);
+        // Degenerate zero-mean trace with a nonzero peak: the ratio is
+        // undefined; it must come back 0, never inf (inf renders as
+        // `null` in JSON and breaks stats round trips).
+        let degenerate = Trace::new("d", vec![-1.0, 1.0]);
+        assert_eq!(degenerate.peak_to_mean(), 0.0);
+        assert!(degenerate.peak_to_mean().is_finite());
     }
 
     #[test]

@@ -11,13 +11,13 @@ use rsdc_examples::{f, print_table};
 use rsdc_workloads::builder::CostModel;
 use rsdc_workloads::fleet_size;
 use rsdc_workloads::stats::trace_stats;
-use rsdc_workloads::traces::{standard_corpus, Weekly};
+use rsdc_workloads::traces::standard_corpus;
 
 fn main() {
     let model = CostModel::default();
 
-    let mut traces = standard_corpus(480, 2718);
-    traces.push(Weekly::default().generate(48 * 7, 2718));
+    // The corpus covers every generator family, weekly included.
+    let traces = standard_corpus(480, 2718);
 
     println!("workload shape statistics\n");
     let rows: Vec<Vec<String>> = traces

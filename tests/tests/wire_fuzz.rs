@@ -35,6 +35,12 @@ fn base_lines() -> Vec<&'static str> {
         r#"{"op":"stats"}"#,
         r#"{"op":"rebalance","shards":2,"vnodes":16}"#,
         r#"{"op":"limits","max_tenants":10,"rate":5.0,"burst":20.0}"#,
+        r#"{"op":"energy","model":"linear:100:250","capacity":4.0,"price":"step:24:1,3.5"}"#,
+        r#"{"op":"energy"}"#,
+        r#"{"op":"autoscale","min":1,"max":8,"switch_cost":32.0}"#,
+        r#"{"op":"autoscale","min":1,"max":8,"switch_cost":32.0,"priced":true}"#,
+        r#"{"op":"autoscale"}"#,
+        r#"{"op":"autoscale","off":true}"#,
         r#"{"op":"checkpoint"}"#,
         r#"{"op":"wal_stats"}"#,
     ]
@@ -206,6 +212,17 @@ fn hostile_corner_case_lines_are_rejected() {
         r#"{"op":"rebalance","shards":-1}"#,
         r#"{"op":"rebalance","shards":1.5}"#,
         r#"{"op":"limits","rate":"fast"}"#,
+        // Control-plane knob contracts: partial autoscale/energy configs
+        // must be refused, never half-applied.
+        r#"{"op":"autoscale","switch_cost":32.0}"#,
+        r#"{"op":"autoscale","min":1,"switch_cost":32.0}"#,
+        r#"{"op":"autoscale","priced":true}"#,
+        r#"{"op":"autoscale","min":1,"max":8,"priced":true}"#,
+        r#"{"op":"autoscale","min":8,"max":1}"#,
+        r#"{"op":"energy","capacity":4.0}"#,
+        r#"{"op":"energy","model":"warp:9"}"#,
+        r#"{"op":"energy","model":"linear:100:250","price":"step:0:1"}"#,
+        r#"{"op":"energy","model":"linear:100:250","capacity":-2.0}"#,
         r#"{"op":null}"#,
         r#"{"op":{"nested":"object"}}"#,
         "{\"op\":\"step\",\"id\":\"\\u0000\",\"load\":1.0}",

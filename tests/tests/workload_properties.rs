@@ -115,4 +115,65 @@ proptest! {
             prop_assert_eq!(w[0].0.end, w[1].0.start);
         }
     }
+
+    /// Every statistic is finite for every trace — including all-zero
+    /// loads — so `TraceStats` survives a JSON round trip losslessly.
+    /// (The shim serializer renders non-finite floats as `null`; an
+    /// infinite peak-to-mean used to silently break the round trip.)
+    #[test]
+    fn stats_are_finite_and_json_safe(loads in vec(0.0f64..100.0, 1..60), zero_out in prop_oneof![Just(false), Just(true)]) {
+        let loads = if zero_out { vec![0.0; loads.len()] } else { loads };
+        let tr = Trace::new("prop", loads);
+        let s = trace_stats(&tr);
+        for (name, v) in [
+            ("mean", s.mean), ("std_dev", s.std_dev), ("min", s.min),
+            ("max", s.max), ("peak_to_mean", s.peak_to_mean), ("cv", s.cv),
+            ("autocorr1", s.autocorr1), ("burstiness", s.burstiness),
+        ] {
+            prop_assert!(v.is_finite(), "{} is not finite: {}", name, v);
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        let back: rsdc_workloads::stats::TraceStats = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, s, "TraceStats JSON round trip lost data");
+    }
+}
+
+/// Zero-load traces: the corner the shim serializer punishes. A peak/mean
+/// of `0/0` must read as the flat value `1.0`, never `NaN`/`inf`.
+#[test]
+fn zero_load_trace_stats_are_finite_and_round_trip() {
+    let tr = Trace::new("silence", vec![0.0; 24]);
+    assert_eq!(tr.peak_to_mean(), 1.0, "an all-zero trace is flat");
+    let s = trace_stats(&tr);
+    assert_eq!(s.peak_to_mean, 1.0);
+    assert_eq!(s.mean, 0.0);
+    assert!(s.burstiness.is_finite() && s.cv.is_finite());
+    let json = serde_json::to_string(&s).unwrap();
+    assert!(
+        !json.contains("null"),
+        "no stat may serialize as null: {json}"
+    );
+    let back: rsdc_workloads::stats::TraceStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, s);
+}
+
+/// The standard corpus covers all five generators (weekly included) and
+/// every member's statistics are JSON-safe.
+#[test]
+fn standard_corpus_is_complete_and_json_safe() {
+    let corpus = rsdc_workloads::traces::standard_corpus(96, 11);
+    assert_eq!(corpus.len(), 5, "corpus must carry all five generators");
+    assert!(
+        corpus.iter().any(|t| t.label.contains("weekly")),
+        "weekly generator missing from the corpus"
+    );
+    for tr in &corpus {
+        let s = trace_stats(tr);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(
+            !json.contains("null"),
+            "{}: stats serialize with null: {json}",
+            tr.label
+        );
+    }
 }
