@@ -1,0 +1,217 @@
+//! Criterion bench: the wire codec layer — binary framing vs JSONL — on
+//! the three axes that matter for ingest cost:
+//!
+//! - `wire/decode` — requests/s turning a pre-rendered stream back into
+//!   typed records: `parse_record` per JSONL line vs frame walk +
+//!   `BodyReader` field reads for binary. This is the pure codec gap the
+//!   recorded `BENCH_engine.json` `wire_codec` section pins (binary must
+//!   hold ≥2x).
+//! - `wire/encode` — requests/s rendering a step request from typed
+//!   fields: JSON text formatting vs `BodyWriter` + `put_frame`.
+//! - `wire/serve` — end-to-end events/s through a real engine behind each
+//!   framing (`Session::handle_lines` vs `BinSession::feed`/`finish`).
+//!   The engine dominates here, so the gap narrows — the point of the
+//!   group is that binary never loses.
+//!
+//! Streams are hetero load-steps (`TAG_STEP_LOAD`, the hot compact tag)
+//! so both framings carry the same semantic payload.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsdc_engine::binwire::{
+    put_frame, BinSession, BodyReader, BodyWriter, FrameDecoder, PREAMBLE, TAG_STEP_LOAD,
+};
+use rsdc_engine::wire::{parse_record, Session};
+use rsdc_engine::{Engine, EngineConfig, FleetSpec, HeteroAlgo, TenantConfig};
+use rsdc_hetero::ServerType;
+
+const TENANTS: usize = 200;
+const SLOTS: usize = 50;
+const EVENTS: usize = TENANTS * SLOTS;
+
+fn load_at(slot: usize, tenant: usize) -> f64 {
+    0.5 + ((slot * 5 + tenant) % 11) as f64 * 0.5
+}
+
+/// The JSONL side of the stream: one step line per (slot, tenant).
+fn jsonl_lines() -> Vec<String> {
+    let mut lines = Vec::with_capacity(EVENTS);
+    for t in 0..SLOTS {
+        for i in 0..TENANTS {
+            lines.push(format!(
+                "{{\"op\":\"step\",\"id\":\"h{i}\",\"load\":{}}}",
+                load_at(t, i)
+            ));
+        }
+    }
+    lines
+}
+
+/// The same stream as binary frames (preamble + one `TAG_STEP_LOAD` frame
+/// per event), built natively rather than transcoded.
+fn binary_stream() -> Vec<u8> {
+    let mut out = Vec::with_capacity(PREAMBLE.len() + EVENTS * 24);
+    out.extend_from_slice(&PREAMBLE);
+    let mut payload = Vec::new();
+    for t in 0..SLOTS {
+        for i in 0..TENANTS {
+            BodyWriter::start(&mut payload, TAG_STEP_LOAD)
+                .str16(&format!("h{i}"))
+                .f64(load_at(t, i));
+            put_frame(&mut out, &payload);
+        }
+    }
+    out
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/decode");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+
+    let lines = jsonl_lines();
+    group.bench_with_input(BenchmarkId::new("framing", "jsonl"), &(), |b, _| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for line in &lines {
+                let rec = parse_record(line).expect("parse");
+                black_box(&rec);
+                n += 1;
+            }
+            n
+        })
+    });
+
+    let stream = binary_stream();
+    group.bench_with_input(BenchmarkId::new("framing", "binary"), &(), |b, _| {
+        b.iter(|| {
+            let mut dec = FrameDecoder::new();
+            dec.extend(&stream[PREAMBLE.len()..]);
+            let mut n = 0usize;
+            while let Some(frame) = dec.next_frame().expect("frame") {
+                assert_eq!(frame.tag, TAG_STEP_LOAD);
+                let mut r = BodyReader::new(frame.body);
+                let id = r.str16().expect("id");
+                let load = r.f64().expect("load");
+                black_box((id, load));
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/encode");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+
+    group.bench_with_input(BenchmarkId::new("framing", "jsonl"), &(), |b, _| {
+        b.iter(|| {
+            let mut out = String::new();
+            for t in 0..SLOTS {
+                for i in 0..TENANTS {
+                    use std::fmt::Write;
+                    writeln!(
+                        out,
+                        "{{\"op\":\"step\",\"id\":\"h{i}\",\"load\":{}}}",
+                        load_at(t, i)
+                    )
+                    .expect("write");
+                }
+            }
+            out.len()
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("framing", "binary"), &(), |b, _| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            out.extend_from_slice(&PREAMBLE);
+            let mut payload = Vec::new();
+            let mut id = String::new();
+            for t in 0..SLOTS {
+                for i in 0..TENANTS {
+                    use std::fmt::Write;
+                    id.clear();
+                    write!(id, "h{i}").expect("write");
+                    BodyWriter::start(&mut payload, TAG_STEP_LOAD)
+                        .str16(&id)
+                        .f64(load_at(t, i));
+                    put_frame(&mut out, &payload);
+                }
+            }
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+/// A fresh hetero engine (metrics off, the hot-path configuration) ready
+/// to serve the step stream.
+fn serve_engine() -> Session {
+    let mut cfg = EngineConfig::with_shards(2);
+    cfg.metrics = false;
+    let engine = Engine::new(cfg);
+    let fleet = FleetSpec::new(vec![
+        ServerType {
+            count: 3,
+            beta: 1.0,
+            energy: 1.0,
+            capacity: 1.0,
+        },
+        ServerType {
+            count: 2,
+            beta: 2.5,
+            energy: 1.4,
+            capacity: 2.0,
+        },
+    ]);
+    for i in 0..TENANTS {
+        engine
+            .admit(TenantConfig::hetero(
+                format!("h{i}"),
+                fleet.clone(),
+                HeteroAlgo::Greedy,
+            ))
+            .expect("admit");
+    }
+    Session::new(engine)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/serve");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+
+    let lines = jsonl_lines();
+    group.bench_with_input(BenchmarkId::new("framing", "jsonl"), &(), |b, _| {
+        let mut session = serve_engine();
+        b.iter(|| {
+            let replies = session.handle_lines(lines.iter().map(|s| s.as_str()));
+            assert_eq!(replies.len(), EVENTS);
+            replies.len()
+        })
+    });
+
+    let stream = binary_stream();
+    group.bench_with_input(BenchmarkId::new("framing", "binary"), &(), |b, _| {
+        // One BinSession per sample: the preamble handshake happens once
+        // per connection, and `finish` is what flushes the final batch.
+        let mut session = Some(serve_engine());
+        b.iter(|| {
+            let mut bin = BinSession::new(session.take().expect("session"));
+            let mut out = Vec::new();
+            bin.feed(&stream, &mut out);
+            bin.finish(&mut out);
+            assert!(!out.is_empty());
+            session = Some(bin.into_session());
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decode, bench_encode, bench_serve
+);
+criterion_main!(benches);

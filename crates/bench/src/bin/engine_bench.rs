@@ -3,8 +3,9 @@
 //! engine's performance shape is recorded alongside the code that produced
 //! it.
 //!
-//! Five measurements, mirroring the Criterion `engine_throughput` groups
-//! but cheap enough to re-run by hand (and, with `--quick`, in CI):
+//! Six measurements, mirroring the Criterion `engine_throughput` and
+//! `wire_codec` groups but cheap enough to re-run by hand (and, with
+//! `--quick`, in CI):
 //!
 //! - `throughput`  — policy-steps/s at shard counts 1, 2, 4, 8
 //! - `store_overhead` — `NullStore` vs `FileStore` journaling at 2 shards
@@ -14,17 +15,27 @@
 //! - `energy`      — metering overhead (power meter off vs on at 4
 //!   shards) and autoscale decision rates with counted vs priced
 //!   induced costs
+//! - `wire_codec`  — ingest decode rate and bytes/event per wire framing
+//!   (JSONL parse vs binary frame walk); the schema pins binary at ≥2x
+//!   the JSONL step rate, the one relative claim stable across machines
 //!
 //! The engine runs with the metrics registry **disabled** (the documented
 //! hot-path configuration), so these numbers price the engine, not the
 //! observability layer.
 //!
-//! USAGE: engine_bench [--quick] [--out FILE] [--validate FILE]
+//! USAGE: engine_bench [--quick] [--out FILE] [--validate FILE] [--shape FILE]
 //!
 //! `--validate` checks an existing file against the schema (sections
-//! present, every rate positive) and exits non-zero on mismatch — CI runs
-//! it over both a fresh `--quick` run and the checked-in trajectory.
-//! Absolute numbers are machine-dependent; only the schema is enforced.
+//! present, every rate positive, binary wire decode ≥2x JSONL) and exits
+//! non-zero on mismatch — CI runs it over both a fresh `--quick` run and
+//! the checked-in trajectory. Absolute numbers are machine-dependent;
+//! only the schema and that one ratio are enforced.
+//!
+//! `--shape FILE` prints the file's deterministic projection — schema tag
+//! plus section/row structure with every measured number elided — which
+//! is byte-identical between a quick CI run and the checked-in full
+//! recording, so the nightly job re-records and literally `diff`s the
+//! shapes.
 
 use rsdc_core::Cost;
 use rsdc_engine::{
@@ -37,7 +48,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema tag validated by `--validate`; bump on shape changes.
-const SCHEMA: &str = "rsdc-engine-bench/v2";
+const SCHEMA: &str = "rsdc-engine-bench/v3";
 
 const M: u32 = 128;
 const BETA: f64 = 4.0;
@@ -294,6 +305,93 @@ fn measure_energy(s: &Scale) -> Vec<serde::Value> {
     out
 }
 
+/// Codec-layer ingest rate per wire framing: how fast a pre-rendered
+/// request stream decodes back into typed records, and how many bytes it
+/// spends per event. JSONL parses each line through `parse_record`;
+/// binary walks CRC-checked frames and reads the `step_load` body fields.
+/// No engine behind either — this isolates the codec, where the binary
+/// framing's whole advantage lives (the `wire/serve` Criterion group
+/// covers the engine-dominated end-to-end path).
+fn measure_wire_codec(s: &Scale) -> Vec<serde::Value> {
+    use rsdc_engine::binwire::{
+        put_frame, BodyReader, BodyWriter, FrameDecoder, PREAMBLE, TAG_STEP_LOAD,
+    };
+    use rsdc_engine::wire::parse_record;
+
+    let events = if s.quick { 20_000usize } else { 200_000 };
+    let tenants = 200usize;
+    let load = |k: usize| 0.5 + (k % 11) as f64 * 0.5;
+    let reps = if s.quick { 3 } else { 5 };
+
+    let mut out = Vec::new();
+
+    // JSONL stream: one step line per event (newline-framed).
+    let mut text = String::new();
+    for k in 0..events {
+        use std::fmt::Write;
+        writeln!(
+            text,
+            "{{\"op\":\"step\",\"id\":\"h{}\",\"load\":{}}}",
+            k % tenants,
+            load(k)
+        )
+        .expect("write");
+    }
+    let mut rate = 0.0f64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut n = 0usize;
+        for line in text.lines() {
+            let rec = parse_record(line).expect("parse");
+            std::hint::black_box(&rec);
+            n += 1;
+        }
+        assert_eq!(n, events);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        rate = rate.max(n as f64 / secs);
+    }
+    out.push(serde_json::json!({
+        "framing": "jsonl",
+        "steps_per_sec": rate,
+        "bytes_per_event": text.len() as f64 / events as f64,
+    }));
+
+    // Binary stream: preamble + one TAG_STEP_LOAD frame per event.
+    let mut stream = Vec::with_capacity(PREAMBLE.len() + events * 24);
+    stream.extend_from_slice(&PREAMBLE);
+    let mut payload = Vec::new();
+    for k in 0..events {
+        BodyWriter::start(&mut payload, TAG_STEP_LOAD)
+            .str16(&format!("h{}", k % tenants))
+            .f64(load(k));
+        put_frame(&mut stream, &payload);
+    }
+    let mut rate = 0.0f64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream[PREAMBLE.len()..]);
+        let mut n = 0usize;
+        while let Some(frame) = dec.next_frame().expect("frame") {
+            assert_eq!(frame.tag, TAG_STEP_LOAD);
+            let mut r = BodyReader::new(frame.body);
+            let id = r.str16().expect("id");
+            let v = r.f64().expect("load");
+            std::hint::black_box((id, v));
+            n += 1;
+        }
+        assert_eq!(n, events);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        rate = rate.max(n as f64 / secs);
+    }
+    out.push(serde_json::json!({
+        "framing": "binary",
+        "steps_per_sec": rate,
+        "bytes_per_event": stream.len() as f64 / events as f64,
+    }));
+    out
+}
+
 /// Schema check: every section present, every rate a positive number.
 /// Returns the list of violations (empty = valid).
 pub fn validate(doc: &serde::Value) -> Vec<String> {
@@ -301,12 +399,16 @@ pub fn validate(doc: &serde::Value) -> Vec<String> {
     if doc["schema"].as_str() != Some(SCHEMA) {
         errs.push(format!("schema != {SCHEMA:?}"));
     }
-    let sections: [(&str, &[&str]); 5] = [
+    let sections: [(&str, &[&str]); 6] = [
         ("throughput", &["shards", "steps_per_sec"]),
         ("store_overhead", &["backend", "steps_per_sec"]),
         ("hetero", &["algo", "steps_per_sec"]),
         ("rebalance", &["mode", "moved_per_sec"]),
         ("energy", &["mode", "rate"]),
+        (
+            "wire_codec",
+            &["framing", "steps_per_sec", "bytes_per_event"],
+        ),
     ];
     for (section, fields) in sections {
         let rows = match doc["results"][section].as_array() {
@@ -326,7 +428,48 @@ pub fn validate(doc: &serde::Value) -> Vec<String> {
             }
         }
     }
+    // The one machine-independent relative claim the recording makes: the
+    // binary framing decodes at least twice as fast as JSONL.
+    if let Some(rows) = doc["results"]["wire_codec"].as_array() {
+        let rate = |framing: &str| {
+            rows.iter()
+                .find(|r| r["framing"].as_str() == Some(framing))
+                .and_then(|r| r["steps_per_sec"].as_f64())
+        };
+        match (rate("jsonl"), rate("binary")) {
+            (Some(j), Some(b)) if b < 2.0 * j => errs.push(format!(
+                "results.wire_codec: binary decode is {b:.0} steps/s vs jsonl {j:.0} — \
+                 under the pinned 2x floor"
+            )),
+            (Some(_), Some(_)) => {}
+            _ => errs.push("results.wire_codec: missing jsonl/binary rows".into()),
+        }
+    }
     errs
+}
+
+/// The deterministic projection `--shape` prints: schema tag and full
+/// section/row structure with every measured number replaced by `"_"`.
+/// Quick and full runs of the same binary project identically, so the
+/// nightly job byte-diffs a fresh run's shape against the recording's.
+fn shape(doc: &serde::Value) -> serde::Value {
+    fn strip(v: &serde::Value) -> serde::Value {
+        match v {
+            serde::Value::Number(_) => serde::Value::String("_".into()),
+            serde::Value::Array(items) => serde::Value::Array(items.iter().map(strip).collect()),
+            serde::Value::Object(fields) => serde::Value::Object(
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), strip(v)))
+                    .collect::<Vec<_>>(),
+            ),
+            other => other.clone(),
+        }
+    }
+    serde_json::json!({
+        "schema": doc["schema"].clone(),
+        "results": strip(&doc["results"]),
+    })
 }
 
 fn main() {
@@ -338,6 +481,17 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+
+    if let Some(path) = opt("--shape") {
+        let data = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let doc: serde::Value =
+            serde_json::from_str(&data).unwrap_or_else(|e| panic!("parsing {path}: {e:?}"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&shape(&doc)).expect("render")
+        );
+        return;
+    }
 
     if let Some(path) = opt("--validate") {
         let data = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
@@ -371,6 +525,8 @@ fn main() {
     eprintln!("engine_bench: rebalance done");
     let energy = measure_energy(&scale);
     eprintln!("engine_bench: energy done");
+    let wire_codec = measure_wire_codec(&scale);
+    eprintln!("engine_bench: wire codec done");
 
     let doc = serde_json::json!({
         "schema": SCHEMA,
@@ -383,6 +539,7 @@ fn main() {
             "hetero": serde::Value::Array(hetero),
             "rebalance": serde::Value::Array(rebalance),
             "energy": serde::Value::Array(energy),
+            "wire_codec": serde::Value::Array(wire_codec),
         },
     });
     let errs = validate(&doc);

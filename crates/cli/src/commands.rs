@@ -64,8 +64,11 @@ COMMANDS
              --trace FILE [--m M] [--beta B] [--policy lcp|opt|static]
   analyze    trace statistics and the optimal schedule's structure
              --trace FILE [--m M] [--beta B]
-  engine     sharded multi-tenant streaming engine (JSONL wire format)
+  engine     sharded multi-tenant streaming engine (JSONL or binary wire)
              --events FILE [--shards N] [--out FILE]
+             [--wire binary|jsonl|auto] (request framing of FILE; auto —
+             the default — sniffs the binary preamble's RSDC magic;
+             binary responses are re-rendered as their identical JSONL)
          or  --trace FILE [--tenants K] [--policy P] [--shards N]
              [--m M] [--beta B] [--out FILE]
              P: lcp | halfstep[:seed] | flcp[:k[,seed]] | memoryless[:seed]
@@ -136,7 +139,9 @@ pub fn dispatch(args: &Args) -> Result<String, CmdError> {
 fn load_trace(args: &Args) -> Result<Trace, CmdError> {
     let path: String = args.require("trace")?;
     let data = std::fs::read(&path)?;
-    if path.ends_with(".csv") {
+    if io::is_binary(&data) {
+        Ok(io::read_binary(&data).map_err(|e| CmdError::Other(format!("{path}: {e}")))?)
+    } else if path.ends_with(".csv") {
         Ok(io::read_csv(&data[..], path.clone())?)
     } else {
         io::from_json(
@@ -190,6 +195,16 @@ fn cmd_generate(args: &Args) -> Result<String, CmdError> {
             )))
         }
     };
+    // Output format follows the --out extension: .csv, .rsdt (the compact
+    // CRC-guarded binary format), else JSON.
+    if let Some(path) = args.get_str("out") {
+        if path.ends_with(".rsdt") {
+            let mut buf = Vec::new();
+            io::write_binary(&mut buf, &trace)?;
+            std::fs::write(path, &buf)?;
+            return Ok(format!("wrote {} slots of {kind} to {path}\n", trace.len()));
+        }
+    }
     let body = if args.get_str("out").map(|p| p.ends_with(".csv")) == Some(true) {
         let mut buf = Vec::new();
         io::write_csv(&mut buf, &trace)?;
@@ -517,8 +532,37 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
     }
 
     let body_lines = if let Some(path) = args.get_str("events") {
-        let data = std::fs::read_to_string(path)?;
-        session.handle_lines(data.lines())
+        let data = std::fs::read(path)?;
+        // Framing negotiation: `auto` sniffs the binary preamble's magic
+        // byte (no JSONL record can start with 'R'); `binary`/`jsonl`
+        // force one framing — forcing `binary` on a text file yields the
+        // protocol's own bad-preamble error rather than a parse spray.
+        let wire_mode: String = args.get_or("wire", "auto".to_string())?;
+        let binary = match wire_mode.as_str() {
+            "jsonl" => false,
+            "binary" => true,
+            "auto" => data.first() == Some(&rsdc_engine::binwire::MAGIC[0]),
+            other => {
+                return Err(CmdError::Other(format!(
+                    "bad --wire {other:?}: expected binary, jsonl or auto"
+                )))
+            }
+        };
+        if binary {
+            let mut bin = rsdc_engine::binwire::BinSession::new(session);
+            let mut reply_bytes = Vec::new();
+            bin.feed(&data, &mut reply_bytes);
+            bin.finish(&mut reply_bytes);
+            session = bin.into_session();
+            // Re-render the response stream as JSONL so --out, the
+            // checkpoint detector and the exit dump stay framing-agnostic
+            // (the two renderings are byte-identical by construction).
+            rsdc_engine::binwire::decode_response(&reply_bytes).map_err(CmdError::Other)?
+        } else {
+            let text = std::str::from_utf8(&data)
+                .map_err(|e| CmdError::Other(format!("{path}: not UTF-8: {e}")))?;
+            session.handle_lines(text.lines())
+        }
     } else {
         // Fleet mode: K tenants, all fed the trace's loads in batched slots.
         let (m, model, trace) = model_of(args)?;

@@ -1,0 +1,1405 @@
+//! Binary wire framing: length-prefixed, CRC-guarded frames negotiated
+//! per connection alongside the JSONL protocol.
+//!
+//! A binary connection opens with a 6-byte preamble — the ASCII magic
+//! `RSDC`, the protocol marker byte `0xB1`, and a version byte — and
+//! then carries a stream of frames:
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: len bytes]
+//!                              └── [tag: u8] [body: len-1 bytes]
+//! ```
+//!
+//! `crc` is the CRC-32 (IEEE polynomial, the same one the WAL uses) of
+//! the payload. `len` counts the payload only and is capped at
+//! [`MAX_FRAME_LEN`]; a larger prefix is rejected before any buffering
+//! happens, so a corrupt length cannot balloon memory. The response
+//! stream echoes the preamble once, then frames its replies the same
+//! way.
+//!
+//! Framing is deliberately dumb: every request tag maps 1:1 onto an
+//! operation of the JSONL protocol (see `WIRE.md`), errors carry the
+//! same 1-based sequence numbers a JSONL session would report, and the
+//! [`crate::wire::Session`] behind both framings is shared — the
+//! differential test suite pins byte-identical behaviour.
+
+use std::fmt;
+
+/// The 4 ASCII magic bytes opening a binary connection: `RSDC`.
+pub const MAGIC: [u8; 4] = *b"RSDC";
+
+/// Protocol marker byte following the magic (distinguishes the wire
+/// preamble from a file that merely starts with `RSDC`).
+pub const PROTO: u8 = 0xB1;
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// The full 6-byte connection preamble for [`VERSION`].
+pub const PREAMBLE: [u8; 6] = [MAGIC[0], MAGIC[1], MAGIC[2], MAGIC[3], PROTO, VERSION];
+
+/// Hard cap on a frame's payload length (16 MiB). A length prefix above
+/// this is a protocol error, not an allocation request.
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
+/// Bytes of frame header: length prefix + CRC.
+pub const FRAME_HEADER: usize = 8;
+
+// Request tags. Hot-path steps get dedicated compact encodings; the
+// long tail of control operations travels as a framed JSONL record
+// (tag 0x0F) and is handled by the same parser as the text protocol.
+/// `{id, load}` — heterogeneous step.
+pub const TAG_STEP_LOAD: u8 = 0x01;
+/// `{id, cost[, load]}` — scalar step, cost as canonical JSON.
+pub const TAG_STEP_COST: u8 = 0x02;
+/// `{id}` — end-of-stream flush.
+pub const TAG_FINISH: u8 = 0x03;
+/// `{id}` — full tenant snapshot.
+pub const TAG_SNAPSHOT: u8 = 0x04;
+/// `{[id]}` — one report or all.
+pub const TAG_REPORT: u8 = 0x05;
+/// shard statistics.
+pub const TAG_STATS: u8 = 0x06;
+/// durable checkpoint.
+pub const TAG_CHECKPOINT: u8 = 0x07;
+/// recovery report of the serving engine.
+pub const TAG_RECOVER: u8 = 0x08;
+/// WAL write-volume counters.
+pub const TAG_WAL_STATS: u8 = 0x09;
+/// metrics registry dump.
+pub const TAG_METRICS: u8 = 0x0A;
+/// `{[after]}` — control-plane trace.
+pub const TAG_TRACE: u8 = 0x0B;
+/// `{shards[, vnodes], incremental}` — topology change.
+pub const TAG_REBALANCE: u8 = 0x0C;
+/// Body is one JSONL request line (admit/restore/autoscale/energy/...).
+pub const TAG_JSON: u8 = 0x0F;
+
+// Response tags.
+/// Body is one rendered JSONL response line (sans newline).
+pub const TAG_RESP_LINE: u8 = 0x80;
+/// `{seq: u32, id, states: n×u32}` — compact scalar step response.
+pub const TAG_RESP_STEPPED: u8 = 0x81;
+/// `{seq: u32, [id], message}` — error carrying the request sequence.
+pub const TAG_RESP_ERROR: u8 = 0x82;
+
+/// CRC-32 (IEEE 802.3 polynomial, bit-reflected: `0xedb8_8320`) — the
+/// same checksum the store's WAL uses, computed here without a table so
+/// the wire layer stays dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A framing-level protocol violation. Violations of frame structure
+/// kill the connection (there is no way to resynchronize a byte stream
+/// with a corrupt length); a bad CRC on a well-delimited frame is
+/// reported per-frame and the stream continues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The connection preamble was not `RSDC` + marker.
+    BadMagic([u8; 6]),
+    /// The preamble named a protocol version this build does not speak.
+    BadVersion(u8),
+    /// A length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversize(u32),
+    /// The payload did not match its CRC. Recoverable: the frame is
+    /// dropped, the stream continues.
+    BadCrc {
+        /// CRC the frame header declared.
+        expect: u32,
+        /// CRC computed over the received payload.
+        got: u32,
+    },
+    /// A zero-length payload (every frame carries at least a tag byte).
+    Empty,
+    /// The stream ended mid-preamble or mid-frame.
+    Truncated {
+        /// Bytes the pending frame needs to complete.
+        need: usize,
+        /// Bytes actually buffered.
+        have: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(bytes) => {
+                write!(f, "bad preamble {bytes:02x?}: expected RSDC magic")
+            }
+            FrameError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this build speaks {VERSION})"
+                )
+            }
+            FrameError::Oversize(len) => {
+                write!(f, "frame length {len} exceeds cap {MAX_FRAME_LEN}")
+            }
+            FrameError::BadCrc { expect, got } => {
+                write!(
+                    f,
+                    "frame crc mismatch: header {expect:#010x}, payload {got:#010x}"
+                )
+            }
+            FrameError::Empty => write!(f, "empty frame payload"),
+            FrameError::Truncated { need, have } => {
+                write!(f, "truncated stream: need {need} bytes, have {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Append one frame (`header + payload`) to `out`.
+pub fn put_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(!payload.is_empty() && payload.len() as u32 <= MAX_FRAME_LEN);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Incremental frame reader over an internal byte buffer. Feed bytes in
+/// with [`FrameDecoder::extend`], pull frames out with
+/// [`FrameDecoder::next_frame`]; partial frames stay buffered across
+/// feeds, and consumed bytes are compacted away lazily.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed (compacted when it crosses half
+    /// the buffer, so steady-state reads don't shift memory per frame).
+    pos: usize,
+}
+
+/// One decoded frame, borrowed from the decoder's buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// Operation tag (first payload byte).
+    pub tag: u8,
+    /// Payload after the tag.
+    pub body: &'a [u8],
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer more bytes from the connection.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.pos > 0 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next complete frame, if one is buffered.
+    ///
+    /// - `Ok(Some(frame))`: a whole, CRC-valid frame (consumed).
+    /// - `Ok(None)`: no complete frame buffered yet.
+    /// - `Err(Oversize | Empty)`: fatal — the stream cannot be resynced.
+    /// - `Err(BadCrc)`: the frame was well-delimited but corrupt; it has
+    ///   been consumed and the next call continues with the next frame.
+    pub fn next_frame(&mut self) -> Result<Option<Frame<'_>>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversize(len));
+        }
+        if len == 0 {
+            return Err(FrameError::Empty);
+        }
+        let expect = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]);
+        let total = FRAME_HEADER + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        self.pos += total;
+        let payload = &self.buf[self.pos - len as usize..self.pos];
+        let got = crc32(payload);
+        if got != expect {
+            return Err(FrameError::BadCrc { expect, got });
+        }
+        Ok(Some(Frame {
+            tag: payload[0],
+            body: &payload[1..],
+        }))
+    }
+
+    /// End-of-stream check: a non-empty remainder means the peer died
+    /// mid-frame.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.is_empty() {
+            return Ok(());
+        }
+        let need = if avail.len() < FRAME_HEADER {
+            FRAME_HEADER
+        } else {
+            let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+            FRAME_HEADER + (len.min(MAX_FRAME_LEN)) as usize
+        };
+        Err(FrameError::Truncated {
+            need,
+            have: avail.len(),
+        })
+    }
+}
+
+/// Check a 6-byte connection preamble.
+pub fn check_preamble(bytes: &[u8; 6]) -> Result<(), FrameError> {
+    if bytes[..4] != MAGIC || bytes[4] != PROTO {
+        return Err(FrameError::BadMagic(*bytes));
+    }
+    if bytes[5] != VERSION {
+        return Err(FrameError::BadVersion(bytes[5]));
+    }
+    Ok(())
+}
+
+// ---- little-endian body readers (shared by the session layer) ----
+
+/// Cursor over a frame body with typed little-endian readers. Every
+/// reader returns `None` on underrun; the session layer turns that into
+/// a typed, sequence-numbered error, never a panic.
+pub struct BodyReader<'a> {
+    body: &'a [u8],
+}
+
+impl<'a> BodyReader<'a> {
+    /// Wrap a frame body.
+    pub fn new(body: &'a [u8]) -> Self {
+        Self { body }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// The unread remainder (used for trailing JSON segments).
+    pub fn rest(self) -> &'a [u8] {
+        self.body
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        let (&b, rest) = self.body.split_first()?;
+        self.body = rest;
+        Some(b)
+    }
+
+    /// Read a `u16` (LE).
+    pub fn u16(&mut self) -> Option<u16> {
+        let bytes = self.take(2)?;
+        Some(u16::from_le_bytes([bytes[0], bytes[1]]))
+    }
+
+    /// Read a `u32` (LE).
+    pub fn u32(&mut self) -> Option<u32> {
+        let bytes = self.take(4)?;
+        Some(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Read a `u64` (LE).
+    pub fn u64(&mut self) -> Option<u64> {
+        let bytes = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(bytes);
+        Some(u64::from_le_bytes(raw))
+    }
+
+    /// Read an `f64` (LE bit pattern).
+    pub fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a `u16`-length-prefixed UTF-8 string.
+    pub fn str16(&mut self) -> Option<&'a str> {
+        let len = self.u16()? as usize;
+        std::str::from_utf8(self.take(len)?).ok()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.body.len() < n {
+            return None;
+        }
+        let (head, rest) = self.body.split_at(n);
+        self.body = rest;
+        Some(head)
+    }
+}
+
+/// Body writer mirroring [`BodyReader`], appending to a reusable buffer.
+pub struct BodyWriter<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl<'a> BodyWriter<'a> {
+    /// Start a payload in `out` (cleared first) with its tag byte.
+    pub fn start(out: &'a mut Vec<u8>, tag: u8) -> Self {
+        out.clear();
+        out.push(tag);
+        Self { out }
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.out.push(v);
+        self
+    }
+
+    /// Append a `u16` (LE).
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u32` (LE).
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u64` (LE).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `f64` (LE bit pattern).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Append a `u16`-length-prefixed string (truncating ids longer than
+    /// `u16::MAX` is never correct, so this asserts instead).
+    pub fn str16(&mut self, s: &str) -> &mut Self {
+        assert!(
+            s.len() <= u16::MAX as usize,
+            "id longer than u16 length prefix"
+        );
+        self.u16(s.len() as u16);
+        self.out.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Append raw bytes (trailing JSON segments).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.out.extend_from_slice(bytes);
+        self
+    }
+}
+
+// ---- binary server session ----
+
+use crate::wire::{
+    error_reply_line, parse_record, stepped_states_line, PendingStep, Record, Reply, Session,
+    WireError,
+};
+use rsdc_core::Cost;
+use serde::Deserialize;
+
+/// Connection lifecycle of a [`BinSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Waiting for the 6-byte preamble.
+    AwaitPreamble,
+    /// Preamble accepted and echoed; streaming frames.
+    Open,
+    /// The connection ended: end-of-stream, or a fatal framing error.
+    Dead,
+}
+
+/// A binary-framed server connection over the same [`Session`] the JSONL
+/// framing drives: feed connection bytes in with [`BinSession::feed`],
+/// response frames come back out, and [`BinSession::finish`] flushes the
+/// final step batch at end-of-stream.
+///
+/// Sequencing mirrors the text protocol exactly: the N-th frame of the
+/// connection is "line N", and every error reply carries that number.
+/// Step frames batch across `feed` boundaries just like consecutive JSONL
+/// step lines batch within [`Session::handle_lines`] — the batch flushes
+/// on a control frame, at the batch cap, or at `finish` — so a chunked
+/// binary connection drives the engine through the same batch boundaries
+/// as the equivalent one-shot JSONL input (the differential suite pins
+/// this).
+pub struct BinSession {
+    session: Session,
+    decoder: FrameDecoder,
+    state: ConnState,
+    /// Frames consumed so far; the next frame is number `seq + 1`.
+    seq: usize,
+    pending: Vec<PendingStep>,
+    replies: Vec<Reply>,
+    /// Reusable response-payload scratch.
+    payload: Vec<u8>,
+    preamble: [u8; 6],
+    preamble_len: usize,
+    frames_in: u64,
+    frames_out: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    /// Counter values already flushed into the engine's metrics registry
+    /// (same order as [`BinSession::io_counters`]).
+    reported: [u64; 4],
+}
+
+impl BinSession {
+    /// Serve binary framing over `session`.
+    pub fn new(session: Session) -> BinSession {
+        BinSession {
+            session,
+            decoder: FrameDecoder::new(),
+            state: ConnState::AwaitPreamble,
+            seq: 0,
+            pending: Vec::new(),
+            replies: Vec::new(),
+            payload: Vec::new(),
+            preamble: [0; 6],
+            preamble_len: 0,
+            frames_in: 0,
+            frames_out: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            reported: [0; 4],
+        }
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Unwrap the underlying session (the differential tests inspect the
+    /// engine behind a finished connection).
+    pub fn into_session(self) -> Session {
+        self.session
+    }
+
+    /// True once the connection hit a fatal framing error or finished.
+    pub fn is_dead(&self) -> bool {
+        self.state == ConnState::Dead
+    }
+
+    /// Per-connection I/O counters: `(frames_in, frames_out, bytes_in,
+    /// bytes_out)`.
+    pub fn io_counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.frames_in,
+            self.frames_out,
+            self.bytes_in,
+            self.bytes_out,
+        )
+    }
+
+    /// Ingest connection bytes, appending any response bytes to `out`.
+    ///
+    /// The response stream opens with the echoed [`PREAMBLE`] once the
+    /// request preamble is accepted. A bad preamble kills the connection
+    /// with an error frame at sequence 0; a fatal framing violation
+    /// ([`FrameError::Oversize`] / [`FrameError::Empty`]) kills it with an
+    /// error frame at the offending sequence; a [`FrameError::BadCrc`] on
+    /// a well-delimited frame is reported at its sequence and the stream
+    /// continues. Bytes fed after death are ignored.
+    pub fn feed(&mut self, bytes: &[u8], out: &mut Vec<u8>) {
+        if self.state == ConnState::Dead {
+            return;
+        }
+        self.bytes_in += bytes.len() as u64;
+        let start = out.len();
+        let mut bytes = bytes;
+        if self.state == ConnState::AwaitPreamble {
+            let take = (6 - self.preamble_len).min(bytes.len());
+            self.preamble[self.preamble_len..self.preamble_len + take]
+                .copy_from_slice(&bytes[..take]);
+            self.preamble_len += take;
+            bytes = &bytes[take..];
+            if self.preamble_len < 6 {
+                return;
+            }
+            match check_preamble(&self.preamble) {
+                Ok(()) => {
+                    self.state = ConnState::Open;
+                    out.extend_from_slice(&PREAMBLE);
+                }
+                Err(e) => {
+                    self.state = ConnState::Dead;
+                    self.replies.push(Reply::Error {
+                        seq: 0,
+                        id: None,
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        if self.state == ConnState::Open {
+            self.decoder.extend(bytes);
+            self.pump();
+        }
+        self.drain_replies(out);
+        self.bytes_out += (out.len() - start) as u64;
+    }
+
+    /// End-of-stream: flush the pending step batch, report a mid-frame
+    /// (or mid-preamble) truncation as an error at the next sequence
+    /// number, and append the final response frames to `out`.
+    pub fn finish(&mut self, out: &mut Vec<u8>) {
+        let start = out.len();
+        match self.state {
+            ConnState::Dead => {}
+            ConnState::AwaitPreamble => {
+                if self.preamble_len > 0 {
+                    let e = FrameError::Truncated {
+                        need: 6,
+                        have: self.preamble_len,
+                    };
+                    self.replies.push(Reply::Error {
+                        seq: 0,
+                        id: None,
+                        message: e.to_string(),
+                    });
+                }
+            }
+            ConnState::Open => {
+                self.session
+                    .flush_steps(&mut self.pending, &mut self.replies);
+                if let Err(e) = self.decoder.finish() {
+                    self.replies.push(Reply::Error {
+                        seq: self.seq + 1,
+                        id: None,
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        self.state = ConnState::Dead;
+        self.drain_replies(out);
+        self.bytes_out += (out.len() - start) as u64;
+        self.fold_obs();
+    }
+
+    fn pump(&mut self) {
+        loop {
+            match self.decoder.next_frame() {
+                Ok(None) => break,
+                Ok(Some(Frame { tag, body })) => {
+                    self.seq += 1;
+                    self.frames_in += 1;
+                    handle_frame(
+                        &mut self.session,
+                        &mut self.pending,
+                        &mut self.replies,
+                        self.seq,
+                        tag,
+                        body,
+                    );
+                }
+                Err(e @ FrameError::BadCrc { .. }) => {
+                    // The corrupt frame occupied a sequence slot; like a
+                    // JSONL parse error, it flushes the batch and the
+                    // stream continues.
+                    self.seq += 1;
+                    self.frames_in += 1;
+                    self.session
+                        .flush_steps(&mut self.pending, &mut self.replies);
+                    self.replies.push(Reply::Error {
+                        seq: self.seq,
+                        id: None,
+                        message: e.to_string(),
+                    });
+                }
+                Err(e) => {
+                    // Oversize/empty length prefix: the byte stream cannot
+                    // be resynchronized — report and die.
+                    self.seq += 1;
+                    self.session
+                        .flush_steps(&mut self.pending, &mut self.replies);
+                    self.replies.push(Reply::Error {
+                        seq: self.seq,
+                        id: None,
+                        message: e.to_string(),
+                    });
+                    self.state = ConnState::Dead;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn drain_replies(&mut self, out: &mut Vec<u8>) {
+        for reply in self.replies.drain(..) {
+            encode_reply(reply, &mut self.payload, out);
+            self.frames_out += 1;
+        }
+    }
+
+    /// Fold the per-connection counters into the engine's registry-backed
+    /// wire metrics. Deliberately deferred to connection close: a
+    /// mid-stream `metrics` dump must stay byte-identical between the
+    /// JSONL and binary framings, and this connection's own traffic can
+    /// only show up in responses once no more responses can be produced.
+    /// (Delta since the last fold, so repeated `finish` calls are safe.)
+    fn fold_obs(&mut self) {
+        let now = [
+            self.frames_in,
+            self.frames_out,
+            self.bytes_in,
+            self.bytes_out,
+        ];
+        let obs = self.session.engine().obs();
+        obs.wire_frames_in.add(now[0] - self.reported[0]);
+        obs.wire_frames_out.add(now[1] - self.reported[1]);
+        obs.wire_bytes_in.add(now[2] - self.reported[2]);
+        obs.wire_bytes_out.add(now[3] - self.reported[3]);
+        self.reported = now;
+    }
+}
+
+/// A request decoded from one frame.
+enum Req<'a> {
+    /// A hot-path step, id still borrowed from the frame body.
+    Step {
+        id: &'a str,
+        cost: Option<Cost>,
+        load: Option<f64>,
+    },
+    /// A parsed control (or JSON-envelope) record.
+    Record(Record),
+    /// A blank/comment JSON envelope: consumes a sequence number, does
+    /// nothing — exactly like a blank JSONL line.
+    Skip,
+}
+
+fn underrun(tag: u8) -> String {
+    format!("truncated body for frame tag {tag:#04x}")
+}
+
+/// The step-load validation [`parse_record`] applies, with its exact
+/// message — binary and JSONL reject a bad load identically.
+fn check_load(l: f64) -> Result<(), String> {
+    if l.is_finite() && l >= 0.0 {
+        Ok(())
+    } else {
+        Err(WireError(format!("field \"load\" must be finite and >= 0, got {l}")).to_string())
+    }
+}
+
+fn decode_request(tag: u8, body: &[u8]) -> Result<Req<'_>, String> {
+    let mut r = BodyReader::new(body);
+    match tag {
+        TAG_STEP_LOAD => {
+            let id = r.str16().ok_or_else(|| underrun(tag))?;
+            let load = r.f64().ok_or_else(|| underrun(tag))?;
+            check_load(load)?;
+            Ok(Req::Step {
+                id,
+                cost: None,
+                load: Some(load),
+            })
+        }
+        TAG_STEP_COST => {
+            let id = r.str16().ok_or_else(|| underrun(tag))?;
+            let has_load = r.u8().ok_or_else(|| underrun(tag))?;
+            let load = if has_load != 0 {
+                let l = r.f64().ok_or_else(|| underrun(tag))?;
+                check_load(l)?;
+                Some(l)
+            } else {
+                None
+            };
+            let text = std::str::from_utf8(r.rest())
+                .map_err(|_| format!("frame tag {tag:#04x}: cost is not valid UTF-8"))?;
+            let v: serde::Value = serde_json::from_str(text)
+                .map_err(|e| WireError(format!("bad cost: {e}")).to_string())?;
+            let cost = Cost::from_value(&v)
+                .map_err(|e| WireError(format!("bad cost: {e}")).to_string())?;
+            Ok(Req::Step {
+                id,
+                cost: Some(cost),
+                load,
+            })
+        }
+        TAG_FINISH => {
+            let id = r.str16().ok_or_else(|| underrun(tag))?;
+            Ok(Req::Record(Record::Finish { id: id.to_string() }))
+        }
+        TAG_SNAPSHOT => {
+            let id = r.str16().ok_or_else(|| underrun(tag))?;
+            Ok(Req::Record(Record::Snapshot { id: id.to_string() }))
+        }
+        TAG_REPORT => {
+            if body.is_empty() {
+                Ok(Req::Record(Record::Report(None)))
+            } else {
+                let id = r.str16().ok_or_else(|| underrun(tag))?;
+                Ok(Req::Record(Record::Report(Some(id.to_string()))))
+            }
+        }
+        TAG_STATS => Ok(Req::Record(Record::Stats)),
+        TAG_CHECKPOINT => Ok(Req::Record(Record::Checkpoint)),
+        TAG_RECOVER => Ok(Req::Record(Record::Recover)),
+        TAG_WAL_STATS => Ok(Req::Record(Record::WalStats)),
+        TAG_METRICS => Ok(Req::Record(Record::Metrics)),
+        TAG_TRACE => {
+            if body.is_empty() {
+                Ok(Req::Record(Record::Trace { last: None }))
+            } else {
+                let last = r.u32().ok_or_else(|| underrun(tag))?;
+                Ok(Req::Record(Record::Trace {
+                    last: Some(last as usize),
+                }))
+            }
+        }
+        TAG_REBALANCE => {
+            let shards = r.u32().ok_or_else(|| underrun(tag))?;
+            if shards == 0 {
+                return Err(
+                    WireError("field \"shards\" must be an integer >= 1".into()).to_string()
+                );
+            }
+            let has_vnodes = r.u8().ok_or_else(|| underrun(tag))?;
+            let vnodes = if has_vnodes != 0 {
+                let v = r.u32().ok_or_else(|| underrun(tag))?;
+                if v == 0 {
+                    return Err(
+                        WireError("field \"vnodes\" must be an integer >= 1".into()).to_string()
+                    );
+                }
+                Some(v as usize)
+            } else {
+                None
+            };
+            let incremental = r.u8().ok_or_else(|| underrun(tag))? != 0;
+            Ok(Req::Record(Record::Rebalance {
+                shards: shards as usize,
+                vnodes,
+                incremental,
+            }))
+        }
+        TAG_JSON => {
+            let text = std::str::from_utf8(body)
+                .map_err(|_| "frame body is not valid UTF-8".to_string())?;
+            let trimmed = text.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                return Ok(Req::Skip);
+            }
+            let record = parse_record(trimmed).map_err(|e| e.to_string())?;
+            Ok(Req::Record(record))
+        }
+        _ => Err(format!("unknown frame tag {tag:#04x}")),
+    }
+}
+
+fn handle_frame(
+    session: &mut Session,
+    pending: &mut Vec<PendingStep>,
+    replies: &mut Vec<Reply>,
+    seq: usize,
+    tag: u8,
+    body: &[u8],
+) {
+    match decode_request(tag, body) {
+        Err(message) => {
+            // Mirror a JSONL parse error: flush the open batch first, then
+            // report at this frame's sequence.
+            session.flush_steps(pending, replies);
+            replies.push(Reply::Error {
+                seq,
+                id: None,
+                message,
+            });
+        }
+        Ok(Req::Skip) => {}
+        Ok(Req::Step { id, cost, load }) => {
+            session.queue_step(seq, id, cost, load, pending, replies);
+        }
+        Ok(Req::Record(Record::Step { id, cost, load })) => {
+            session.queue_step(seq, &id, cost, load, pending, replies);
+        }
+        Ok(Req::Record(record)) => {
+            session.flush_steps(pending, replies);
+            session.handle_control(record, seq, replies);
+        }
+    }
+}
+
+/// Frame one [`Reply`] into `out` (via the reusable `payload` scratch).
+/// Scalar config-free step outcomes and errors get compact encodings;
+/// everything else ships as its rendered JSONL line.
+fn encode_reply(reply: Reply, payload: &mut Vec<u8>, out: &mut Vec<u8>) {
+    match reply {
+        Reply::Stepped { seq, outcome }
+            if outcome.configs.is_none()
+                && outcome.id.len() <= u16::MAX as usize
+                && outcome.states.len() <= u16::MAX as usize =>
+        {
+            let mut w = BodyWriter::start(payload, TAG_RESP_STEPPED);
+            w.u64(seq as u64).str16(&outcome.id);
+            w.u16(outcome.states.len() as u16);
+            for &s in outcome.states.iter() {
+                w.u32(s);
+            }
+            put_frame(out, payload);
+        }
+        Reply::Error { seq, id, message }
+            if id.as_ref().is_none_or(|i| i.len() <= u16::MAX as usize) =>
+        {
+            let mut w = BodyWriter::start(payload, TAG_RESP_ERROR);
+            w.u64(seq as u64);
+            match &id {
+                Some(id) => {
+                    w.u8(1).str16(id);
+                }
+                None => {
+                    w.u8(0);
+                }
+            }
+            w.raw(message.as_bytes());
+            put_frame(out, payload);
+        }
+        other => {
+            let line = other.into_line();
+            payload.clear();
+            payload.push(TAG_RESP_LINE);
+            payload.extend_from_slice(line.as_bytes());
+            put_frame(out, payload);
+        }
+    }
+}
+
+// ---- client-side codecs ----
+
+/// Transcode one JSONL request line into its binary frame, appended to
+/// `out` (via the reusable `payload` scratch). Hot-path and simple
+/// control ops get their compact tags; everything else — including blank
+/// and `#` comment lines, which must keep consuming sequence numbers —
+/// travels as a [`TAG_JSON`] envelope and hits the same parser a JSONL
+/// session uses, so both framings reject a bad line with the same
+/// message at the same sequence.
+pub fn encode_request_line(line: &str, payload: &mut Vec<u8>, out: &mut Vec<u8>) {
+    let trimmed = line.trim();
+    if compact_request(trimmed, payload) {
+        put_frame(out, payload);
+        return;
+    }
+    payload.clear();
+    payload.push(TAG_JSON);
+    payload.extend_from_slice(trimmed.as_bytes());
+    put_frame(out, payload);
+}
+
+/// Try the compact encoding for `line`; true when `payload` holds it.
+/// Any shape the compact tags can't represent faithfully (per
+/// [`parse_record`]'s field semantics) falls back to the JSON envelope.
+fn compact_request(line: &str, payload: &mut Vec<u8>) -> bool {
+    if line.is_empty() || line.starts_with('#') {
+        return false;
+    }
+    let Ok(v) = serde_json::from_str::<serde::Value>(line) else {
+        return false;
+    };
+    let Some(op) = v.get("op").and_then(|x| x.as_str()) else {
+        return false;
+    };
+    let str16able = |key: &str| {
+        v.get(key)
+            .and_then(|x| x.as_str())
+            .filter(|s| s.len() <= u16::MAX as usize)
+    };
+    match op {
+        "step" => {
+            let Some(id) = str16able("id") else {
+                return false;
+            };
+            let cost = v.get("cost").filter(|c| !c.is_null());
+            let load = v.get("load").and_then(|x| x.as_f64());
+            match (cost, load) {
+                (None, Some(load)) => {
+                    BodyWriter::start(payload, TAG_STEP_LOAD)
+                        .str16(id)
+                        .f64(load);
+                    true
+                }
+                (Some(cost), load) => {
+                    let cost = serde_json::to_string(cost).expect("serializable");
+                    let mut w = BodyWriter::start(payload, TAG_STEP_COST);
+                    w.str16(id);
+                    match load {
+                        Some(l) => {
+                            w.u8(1).f64(l);
+                        }
+                        None => {
+                            w.u8(0);
+                        }
+                    }
+                    w.raw(cost.as_bytes());
+                    true
+                }
+                (None, None) => false,
+            }
+        }
+        "finish" | "snapshot" => {
+            let Some(id) = str16able("id") else {
+                return false;
+            };
+            let tag = if op == "finish" {
+                TAG_FINISH
+            } else {
+                TAG_SNAPSHOT
+            };
+            BodyWriter::start(payload, tag).str16(id);
+            true
+        }
+        "report" => {
+            // A non-string id is ignored by the parser, so it compacts to
+            // the report-all form.
+            match str16able("id") {
+                Some(id) => {
+                    BodyWriter::start(payload, TAG_REPORT).str16(id);
+                }
+                None => {
+                    BodyWriter::start(payload, TAG_REPORT);
+                }
+            }
+            true
+        }
+        "stats" | "checkpoint" | "recover" | "wal_stats" | "metrics" => {
+            let tag = match op {
+                "stats" => TAG_STATS,
+                "checkpoint" => TAG_CHECKPOINT,
+                "recover" => TAG_RECOVER,
+                "wal_stats" => TAG_WAL_STATS,
+                _ => TAG_METRICS,
+            };
+            BodyWriter::start(payload, tag);
+            true
+        }
+        "trace" => match v.get("last") {
+            None | Some(serde::Value::Null) => {
+                BodyWriter::start(payload, TAG_TRACE);
+                true
+            }
+            Some(x) => match x.as_u64().and_then(|n| u32::try_from(n).ok()) {
+                Some(last) => {
+                    BodyWriter::start(payload, TAG_TRACE).u32(last);
+                    true
+                }
+                None => false,
+            },
+        },
+        "rebalance" => {
+            let count = |key: &str| match v.get(key) {
+                None | Some(serde::Value::Null) => Some(None),
+                Some(x) => x
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .filter(|&n| n >= 1)
+                    .map(Some),
+            };
+            let (Some(Some(shards)), Some(vnodes)) = (count("shards"), count("vnodes")) else {
+                return false;
+            };
+            let incremental = match v.get("mode").filter(|m| !m.is_null()) {
+                None => false,
+                Some(m) => match m.as_str() {
+                    Some("incremental") => true,
+                    Some("full") => false,
+                    _ => return false,
+                },
+            };
+            let mut w = BodyWriter::start(payload, TAG_REBALANCE);
+            w.u32(shards);
+            match vnodes {
+                Some(vn) => {
+                    w.u8(1).u32(vn);
+                }
+                None => {
+                    w.u8(0);
+                }
+            }
+            w.u8(incremental as u8);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Decode a complete binary response stream (preamble + frames) back into
+/// the JSONL response lines it represents. Compact `STEPPED`/`ERROR`
+/// frames re-render through the same line builders the JSONL session
+/// uses, so the result is byte-identical to what a JSONL session would
+/// have produced — the differential suite asserts exactly that.
+pub fn decode_response(bytes: &[u8]) -> Result<Vec<String>, String> {
+    if bytes.is_empty() {
+        return Ok(Vec::new());
+    }
+    if bytes.len() < PREAMBLE.len() {
+        return Err(FrameError::Truncated {
+            need: PREAMBLE.len(),
+            have: bytes.len(),
+        }
+        .to_string());
+    }
+    let mut pre = [0u8; 6];
+    pre.copy_from_slice(&bytes[..6]);
+    check_preamble(&pre).map_err(|e| e.to_string())?;
+    let mut dec = FrameDecoder::new();
+    dec.extend(&bytes[6..]);
+    let mut lines = Vec::new();
+    loop {
+        match dec.next_frame() {
+            Ok(None) => break,
+            Ok(Some(Frame { tag, body })) => lines.push(decode_response_frame(tag, body)?),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    dec.finish().map_err(|e| e.to_string())?;
+    Ok(lines)
+}
+
+fn decode_response_frame(tag: u8, body: &[u8]) -> Result<String, String> {
+    let mut r = BodyReader::new(body);
+    match tag {
+        TAG_RESP_LINE => std::str::from_utf8(body)
+            .map(|s| s.to_string())
+            .map_err(|_| "response line is not valid UTF-8".to_string()),
+        TAG_RESP_STEPPED => {
+            let _seq = r.u64().ok_or_else(|| underrun(tag))?;
+            let id = r.str16().ok_or_else(|| underrun(tag))?;
+            let n = r.u16().ok_or_else(|| underrun(tag))?;
+            let mut states = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                states.push(r.u32().ok_or_else(|| underrun(tag))?);
+            }
+            Ok(stepped_states_line(id, &states))
+        }
+        TAG_RESP_ERROR => {
+            let seq = r.u64().ok_or_else(|| underrun(tag))?;
+            let has_id = r.u8().ok_or_else(|| underrun(tag))?;
+            let id = if has_id != 0 {
+                Some(r.str16().ok_or_else(|| underrun(tag))?)
+            } else {
+                None
+            };
+            let message = std::str::from_utf8(r.rest())
+                .map_err(|_| "error message is not valid UTF-8".to_string())?;
+            Ok(error_reply_line(seq as usize, id, message))
+        }
+        _ => Err(format!("unknown response tag {tag:#04x}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip_across_split_feeds() {
+        let mut wire = Vec::new();
+        put_frame(&mut wire, &[TAG_FINISH, 1, 2, 3]);
+        put_frame(&mut wire, &[TAG_STATS]);
+        let mut dec = FrameDecoder::new();
+        // Feed byte-by-byte: partial frames must stay buffered.
+        let mut seen = Vec::new();
+        for &b in &wire {
+            dec.extend(&[b]);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                seen.push((frame.tag, frame.body.to_vec()));
+            }
+        }
+        assert_eq!(seen, vec![(TAG_FINISH, vec![1, 2, 3]), (TAG_STATS, vec![])]);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_is_reported_and_skipped() {
+        let mut wire = Vec::new();
+        put_frame(&mut wire, &[TAG_FINISH, 9]);
+        let good_len = wire.len();
+        put_frame(&mut wire, &[TAG_STATS]);
+        wire[good_len + FRAME_HEADER] ^= 0xFF; // flip a payload byte of frame 2
+        put_frame(&mut wire, &[TAG_METRICS]);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert_eq!(dec.next_frame().unwrap().unwrap().tag, TAG_FINISH);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadCrc { .. })));
+        // The corrupt frame is consumed; the stream continues.
+        assert_eq!(dec.next_frame().unwrap().unwrap().tag, TAG_METRICS);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn oversize_and_truncation_are_typed_errors() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        dec.extend(&[0u8; 4]);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::Oversize(MAX_FRAME_LEN + 1))
+        );
+
+        let mut wire = Vec::new();
+        put_frame(&mut wire, &[TAG_FINISH, 1, 2, 3]);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire[..wire.len() - 2]);
+        assert_eq!(dec.next_frame(), Ok(None));
+        assert_eq!(
+            dec.finish(),
+            Err(FrameError::Truncated {
+                need: FRAME_HEADER + 4,
+                have: FRAME_HEADER + 2,
+            })
+        );
+    }
+
+    #[test]
+    fn preamble_checks_magic_and_version() {
+        assert_eq!(check_preamble(&PREAMBLE), Ok(()));
+        let mut bad = PREAMBLE;
+        bad[5] = 9;
+        assert_eq!(check_preamble(&bad), Err(FrameError::BadVersion(9)));
+        let mut bad = PREAMBLE;
+        bad[0] = b'X';
+        assert!(matches!(check_preamble(&bad), Err(FrameError::BadMagic(_))));
+    }
+
+    fn fresh_session() -> Session {
+        Session::new(crate::Engine::new(crate::EngineConfig::with_shards(2)))
+    }
+
+    /// Transcode `lines` to a binary request stream (preamble + frames).
+    fn transcode(lines: &[&str]) -> Vec<u8> {
+        let mut wire = PREAMBLE.to_vec();
+        let mut payload = Vec::new();
+        for line in lines {
+            encode_request_line(line, &mut payload, &mut wire);
+        }
+        wire
+    }
+
+    /// Serve `wire` through a fresh binary session, feeding `chunk` bytes
+    /// at a time, and decode the response stream back to JSONL lines.
+    fn serve_binary(wire: &[u8], chunk: usize) -> Vec<String> {
+        let mut bin = BinSession::new(fresh_session());
+        let mut out = Vec::new();
+        for part in wire.chunks(chunk.max(1)) {
+            bin.feed(part, &mut out);
+        }
+        bin.finish(&mut out);
+        decode_response(&out).expect("valid response stream")
+    }
+
+    #[test]
+    fn binary_session_matches_jsonl_byte_for_byte() {
+        let lines = vec![
+            "# demo stream",
+            "{\"op\":\"admit\",\"id\":\"a\",\"m\":8,\"beta\":6.0,\"policy\":\"lcp\"}",
+            "{\"op\":\"step\",\"id\":\"a\",\"load\":2.0}",
+            "{\"op\":\"step\",\"id\":\"a\",\"load\":5.0}",
+            "",
+            "{\"op\":\"step\",\"id\":\"a\",\"cost\":{\"Abs\":{\"slope\":1.0,\"center\":3.0}}}",
+            "{\"op\":\"step\",\"id\":\"a\",\"load\":-1.0}", // rejected: bad load
+            "{\"op\":\"step\",\"id\":\"ghost\",\"load\":1.0}", // rejected: unknown tenant
+            "not json at all",
+            "{\"op\":\"finish\",\"id\":\"a\"}",
+            "{\"op\":\"report\",\"id\":\"a\"}",
+            // (no "metrics" op here: its dump embeds wall-clock batch
+            // latency histograms, nondeterministic across any two runs)
+            "{\"op\":\"stats\"}",
+        ];
+        let expect = fresh_session().handle_lines(lines.iter().copied());
+        let wire = transcode(&lines);
+        // Chunked feeds must not change batching or responses.
+        for chunk in [1, 7, wire.len()] {
+            assert_eq!(serve_binary(&wire, chunk), expect, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn bad_preamble_errors_at_seq_zero_and_kills_the_connection() {
+        let mut bin = BinSession::new(fresh_session());
+        let mut out = Vec::new();
+        let mut wire = PREAMBLE.to_vec();
+        wire[5] = 9; // future version
+        bin.feed(&wire, &mut out);
+        assert!(bin.is_dead());
+        // No preamble echo: the error frame is the whole response stream.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&out);
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert_eq!(frame.tag, TAG_RESP_ERROR);
+        let line = decode_response_frame(frame.tag, frame.body).unwrap();
+        assert!(line.contains("\"line\":0"), "{line}");
+        assert!(line.contains("unsupported protocol version 9"), "{line}");
+        // Bytes after death are ignored.
+        bin.feed(&[1, 2, 3], &mut out);
+        bin.finish(&mut out);
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_frame_reports_its_sequence_and_the_stream_continues() {
+        let lines = vec![
+            "{\"op\":\"admit\",\"id\":\"a\",\"m\":4,\"beta\":2.0,\"policy\":\"lcp\"}",
+            "{\"op\":\"step\",\"id\":\"a\",\"load\":1.0}",
+            "{\"op\":\"stats\"}",
+        ];
+        let mut wire = transcode(&lines);
+        // Flip one payload byte of the step frame (frame 2). Locate it:
+        // preamble + frame1, then header of frame 2.
+        let f1_len = u32::from_le_bytes(wire[6..10].try_into().unwrap()) as usize;
+        let f2_start = 6 + FRAME_HEADER + f1_len;
+        wire[f2_start + FRAME_HEADER] ^= 0xFF;
+        let replies = serve_binary(&wire, wire.len());
+        assert!(replies[0].contains("admitted"), "{:?}", replies);
+        assert!(
+            replies[1].contains("\"line\":2") && replies[1].contains("crc mismatch"),
+            "{:?}",
+            replies
+        );
+        // Frame 3 still served, at its own sequence.
+        assert!(replies[2].contains("\"op\":\"stats\""), "{:?}", replies);
+    }
+
+    #[test]
+    fn truncated_stream_errors_at_the_next_sequence() {
+        let lines = vec![
+            "{\"op\":\"admit\",\"id\":\"a\",\"m\":4,\"beta\":2.0,\"policy\":\"lcp\"}",
+            "{\"op\":\"step\",\"id\":\"a\",\"load\":1.0}",
+        ];
+        let wire = transcode(&lines);
+        let cut = &wire[..wire.len() - 3]; // kill mid-step-frame
+        let mut bin = BinSession::new(fresh_session());
+        let mut out = Vec::new();
+        bin.feed(cut, &mut out);
+        bin.finish(&mut out);
+        let replies = decode_response(&out).unwrap();
+        assert_eq!(replies.len(), 2, "{:?}", replies);
+        assert!(replies[0].contains("admitted"));
+        assert!(
+            replies[1].contains("\"line\":2") && replies[1].contains("truncated stream"),
+            "{:?}",
+            replies
+        );
+        let (frames_in, frames_out, bytes_in, bytes_out) = bin.io_counters();
+        assert_eq!((frames_in, frames_out), (1, 2));
+        assert_eq!(bytes_in as usize, cut.len());
+        assert_eq!(bytes_out as usize, out.len());
+    }
+
+    #[test]
+    fn compact_encoding_picks_the_expected_tags() {
+        let cases = [
+            ("{\"op\":\"step\",\"id\":\"a\",\"load\":1.5}", TAG_STEP_LOAD),
+            (
+                "{\"op\":\"step\",\"id\":\"a\",\"cost\":\"Zero\"}",
+                TAG_STEP_COST,
+            ),
+            ("{\"op\":\"finish\",\"id\":\"a\"}", TAG_FINISH),
+            ("{\"op\":\"snapshot\",\"id\":\"a\"}", TAG_SNAPSHOT),
+            ("{\"op\":\"report\"}", TAG_REPORT),
+            ("{\"op\":\"report\",\"id\":\"a\"}", TAG_REPORT),
+            ("{\"op\":\"stats\"}", TAG_STATS),
+            ("{\"op\":\"checkpoint\"}", TAG_CHECKPOINT),
+            ("{\"op\":\"recover\"}", TAG_RECOVER),
+            ("{\"op\":\"wal_stats\"}", TAG_WAL_STATS),
+            ("{\"op\":\"metrics\"}", TAG_METRICS),
+            ("{\"op\":\"trace\",\"last\":4}", TAG_TRACE),
+            ("{\"op\":\"rebalance\",\"shards\":4}", TAG_REBALANCE),
+            // The long tail rides the JSON envelope.
+            (
+                "{\"op\":\"admit\",\"id\":\"a\",\"m\":1,\"beta\":1.0,\"policy\":\"lcp\"}",
+                TAG_JSON,
+            ),
+            ("{\"op\":\"autoscale\"}", TAG_JSON),
+            ("", TAG_JSON),
+            ("# comment", TAG_JSON),
+            ("{\"op\":\"rebalance\",\"shards\":0}", TAG_JSON), // invalid: parser decides
+        ];
+        for (line, want) in cases {
+            let mut payload = Vec::new();
+            let mut out = Vec::new();
+            encode_request_line(line, &mut payload, &mut out);
+            assert_eq!(out[FRAME_HEADER], want, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn wire_metrics_fold_at_connection_close_only() {
+        let lines = vec![
+            "{\"op\":\"admit\",\"id\":\"a\",\"m\":4,\"beta\":2.0,\"policy\":\"lcp\"}",
+            "{\"op\":\"step\",\"id\":\"a\",\"load\":1.0}",
+        ];
+        let wire = transcode(&lines);
+        let mut bin = BinSession::new(fresh_session());
+        let mut out = Vec::new();
+        bin.feed(&wire, &mut out);
+        let frames_in_of = |bin: &BinSession| {
+            bin.session()
+                .engine()
+                .obs()
+                .registry()
+                .snapshot()
+                .iter()
+                .find_map(|m| match (&m.id.name[..], &m.value) {
+                    ("engine_wire_frames", rsdc_obs::MetricValue::Counter(v))
+                        if m.id.label.as_ref().map(|(k, v)| (k.as_str(), v.as_str()))
+                            == Some(("dir", "in")) =>
+                    {
+                        Some(*v)
+                    }
+                    _ => None,
+                })
+        };
+        // Mid-stream the registry must not betray the framing in use.
+        assert_eq!(frames_in_of(&bin), Some(0));
+        bin.finish(&mut out);
+        assert_eq!(frames_in_of(&bin), Some(2));
+    }
+
+    #[test]
+    fn body_reader_writer_round_trip() {
+        let mut buf = Vec::new();
+        BodyWriter::start(&mut buf, TAG_STEP_COST)
+            .str16("tenant-1")
+            .u8(1)
+            .f64(2.5)
+            .raw(b"{\"kind\":\"zero\"}");
+        assert_eq!(buf[0], TAG_STEP_COST);
+        let mut r = BodyReader::new(&buf[1..]);
+        assert_eq!(r.str16(), Some("tenant-1"));
+        assert_eq!(r.u8(), Some(1));
+        assert_eq!(r.f64(), Some(2.5));
+        assert_eq!(r.rest(), b"{\"kind\":\"zero\"}");
+        // Underruns are None, not panics.
+        let mut r = BodyReader::new(&[5, 0]);
+        assert_eq!(r.str16(), None);
+    }
+}

@@ -3,11 +3,13 @@
 //! rebalancing (full and incremental), and lazy auto-rebalancing.
 
 use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionError};
+use crate::intern::{Interner, UNKNOWN_KEY};
 use crate::journal::{CheckpointDoc, JournalRecord};
 use crate::obs::EngineObs;
 use crate::power::PowerRuntime;
 use crate::ring::{moved_ids, HashRing, RingSpec, DEFAULT_VNODES};
 use crate::shard::{Event, Request, Shard, ShardMeta, ShardStats, StepOutcome};
+use crate::statelist::StateList;
 use crate::tenant::{TenantConfig, TenantReport, TenantSnapshot};
 use crate::topology::{TopologyConfig, TopologyPolicy, TopologyStatus};
 use crate::EngineError;
@@ -106,6 +108,36 @@ pub struct Engine {
     admission: Mutex<AdmissionControl>,
     topology: Mutex<Option<TopologyPolicy>>,
     power: Mutex<Option<PowerRuntime>>,
+    /// Tenant-id intern table: hash once at admit, route on the integer.
+    intern: Mutex<Interner>,
+    /// Reusable fan-out buffers for the batched ingest path.
+    dispatch: Mutex<DispatchPool>,
+}
+
+/// A step event with its tenant id already resolved against the engine's
+/// intern table: the shared id string plus the slab key shards index by.
+/// Build these once with [`Engine::resolve`] and feed them through
+/// [`Engine::step_events`] with reused buffers — the steady-state path
+/// then performs zero per-event allocations.
+pub struct StepEvent {
+    /// Interned tenant id.
+    pub id: Arc<str>,
+    /// Slab key ([`crate::intern::UNKNOWN_KEY`] for never-admitted ids).
+    pub key: u32,
+    /// Cost function for this slot.
+    pub cost: Cost,
+    /// Offered load, when known.
+    pub load: Option<f64>,
+}
+
+/// Reusable buffers behind [`Engine::step_events`]: one event vector per
+/// shard (recycled through the [`crate::shard::BatchReply`]) and the
+/// order-restoring outcome staging area. Lives behind its own mutex so
+/// concurrent callers serialize on dispatch, not on tenant state.
+#[derive(Default)]
+struct DispatchPool {
+    per_shard: Vec<Vec<Event>>,
+    indexed: Vec<(usize, StepOutcome)>,
 }
 
 /// What [`Engine::checkpoint`] produced.
@@ -263,6 +295,8 @@ impl Engine {
             admission: Mutex::new(AdmissionControl::default()),
             topology: Mutex::new(None),
             power: Mutex::new(None),
+            intern: Mutex::new(Interner::new()),
+            dispatch: Mutex::new(DispatchPool::default()),
         }
     }
 
@@ -337,6 +371,28 @@ impl Engine {
 
     fn power_runtime(&self) -> std::sync::MutexGuard<'_, Option<PowerRuntime>> {
         self.power.lock().expect("power runtime poisoned")
+    }
+
+    fn interner(&self) -> std::sync::MutexGuard<'_, Interner> {
+        self.intern.lock().expect("intern table poisoned")
+    }
+
+    fn dispatch_pool(&self) -> std::sync::MutexGuard<'_, DispatchPool> {
+        self.dispatch.lock().expect("dispatch pool poisoned")
+    }
+
+    /// Resolve a tenant id against the intern table without inserting:
+    /// admitted ids come back as their shared string plus slab key, ids
+    /// never admitted get a fresh string and [`UNKNOWN_KEY`] (the owning
+    /// shard will report `UnknownTenant` for them). This is the one
+    /// allocation a caller pays per *distinct* id, not per event — hold
+    /// the returned pair and reuse it across [`Engine::step_events`]
+    /// batches.
+    pub fn resolve(&self, id: &str) -> (Arc<str>, u32) {
+        match self.interner().lookup(id) {
+            Some((arc, key, _)) => (arc, key),
+            None => (Arc::from(id), UNKNOWN_KEY),
+        }
     }
 
     /// Enable (`Some`) or disable (`None`) energy accounting. Installing
@@ -536,9 +592,11 @@ impl Engine {
     }
 
     /// Admit bypassing admission control (recovery replay, migrations).
+    /// This is where a tenant id is interned: hashed once, routed once,
+    /// and handed to its shard as a stable slab key.
     fn admit_unchecked(&self, cfg: TenantConfig) -> Result<(), EngineError> {
-        let shard = self.shard_of(&cfg.id);
-        self.send(shard, |tx| Request::Admit(cfg, tx))
+        let (_, key, shard) = self.interner().intern(&cfg.id, &self.ring);
+        self.send(shard, |tx| Request::Admit(cfg, key, tx))
     }
 
     /// Classify a per-event error string back into the [`EngineError`] it
@@ -569,7 +627,7 @@ impl Engine {
         let outcomes = self.step_batch(vec![(id.to_string(), cost)])?;
         match outcomes.into_iter().next() {
             Some(o) => match o.error {
-                None => Ok(o.states),
+                None => Ok(o.states.to_vec()),
                 Some(message) => Err(Engine::classify_event_error(id, message)),
             },
             None => Err(EngineError::UnknownTenant(id.to_string())),
@@ -625,14 +683,54 @@ impl Engine {
         &self,
         events: Vec<(String, Cost, Option<f64>)>,
     ) -> Result<Vec<StepOutcome>, EngineError> {
+        let throttled = self.tick_gate(&mut events.iter().map(|(id, _, _)| id.as_str()));
+        let mut resolved = {
+            let interner = self.interner();
+            events
+                .into_iter()
+                .map(|(id, cost, load)| {
+                    let (id, key) = match interner.lookup(&id) {
+                        Some((arc, key, _)) => (arc, key),
+                        None => (Arc::from(id), UNKNOWN_KEY),
+                    };
+                    StepEvent {
+                        id,
+                        key,
+                        cost,
+                        load,
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut out = Vec::with_capacity(resolved.len());
+        self.dispatch_resolved(&mut resolved, &throttled, true, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Engine::step_batch_loads`] over pre-resolved events with reused
+    /// buffers — the zero-allocation ingest path. `events` is drained (its
+    /// capacity survives for the caller's next batch); outcomes are
+    /// appended to `out` in submission order. Resolve ids once with
+    /// [`Engine::resolve`] and recycle both vectors across batches:
+    /// steady-state ingest then allocates nothing per event.
+    pub fn step_events(
+        &self,
+        events: &mut Vec<StepEvent>,
+        out: &mut Vec<StepOutcome>,
+    ) -> Result<(), EngineError> {
+        let throttled = self.tick_gate(&mut events.iter().map(|ev| &*ev.id));
+        self.dispatch_resolved(events, &throttled, true, out)
+    }
+
+    /// Advance the admission gate one tick for a batch and compute its
+    /// throttle mask (empty when no rate limit is configured — the common
+    /// case allocates nothing).
+    fn tick_gate(&self, ids: &mut dyn Iterator<Item = &str>) -> Vec<bool> {
         let (throttled, tick, window_open) = {
             let mut gate = self.gate();
             gate.tick();
             let throttled: Vec<bool> = if gate.config().limits_rate() {
-                events
-                    .iter()
-                    .map(|(id, _, _)| gate.check_step(id).is_err())
-                    .collect()
+                ids.map(|id| gate.check_step(id).is_err()).collect()
             } else {
                 Vec::new()
             };
@@ -646,7 +744,7 @@ impl Engine {
             self.obs.admission_throttled.add(throttled_events);
             self.obs.events_dropped.add(throttled_events);
         }
-        self.dispatch_events(events, &throttled, true)
+        throttled
     }
 
     /// Fan events out to shards, short-circuiting throttled ones into
@@ -655,46 +753,70 @@ impl Engine {
     /// the live-tenant pulses piggybacked on the batch replies feed the
     /// auto-rebalancing policy one tick (recovery replay passes `false`:
     /// replayed traffic is history, not load).
-    fn dispatch_events(
+    ///
+    /// The per-shard fan-out buffers live in the engine's dispatch pool
+    /// and round-trip through the shards (a [`crate::shard::BatchReply`]
+    /// hands the drained vector back), so steady-state batches reuse the
+    /// same allocations end to end. Shard routing comes from the intern
+    /// table's cached routes; only never-admitted ids fall back to hashing
+    /// the ring.
+    fn dispatch_resolved(
         &self,
-        events: Vec<(String, Cost, Option<f64>)>,
+        events: &mut Vec<StepEvent>,
         throttled: &[bool],
         observe: bool,
-    ) -> Result<Vec<StepOutcome>, EngineError> {
-        let n = events.len();
+        out: &mut Vec<StepOutcome>,
+    ) -> Result<(), EngineError> {
         let shards = self.senders.len();
-        let mut per_shard: Vec<Vec<Event>> = (0..shards).map(|_| Vec::new()).collect();
-        let mut indexed: Vec<(usize, StepOutcome)> = Vec::with_capacity(n);
-        for (index, (id, cost, load)) in events.into_iter().enumerate() {
-            if throttled.get(index).copied().unwrap_or(false) {
-                indexed.push((
+        let mut pool = self.dispatch_pool();
+        let pool = &mut *pool;
+        if pool.per_shard.len() < shards {
+            pool.per_shard.resize_with(shards, Vec::new);
+        }
+        pool.indexed.clear();
+        {
+            let interner = self.interner();
+            for (index, ev) in events.drain(..).enumerate() {
+                if throttled.get(index).copied().unwrap_or(false) {
+                    pool.indexed.push((
+                        index,
+                        StepOutcome {
+                            error: Some(
+                                AdmissionError::Throttled {
+                                    id: ev.id.to_string(),
+                                }
+                                .to_string(),
+                            ),
+                            id: ev.id,
+                            states: StateList::new(),
+                            configs: None,
+                        },
+                    ));
+                    continue;
+                }
+                let shard = match interner.entry(ev.key) {
+                    Some(e) => e.shard as usize,
+                    None => self.ring.route(&ev.id),
+                };
+                pool.per_shard[shard].push(Event {
                     index,
-                    StepOutcome {
-                        error: Some(AdmissionError::Throttled { id: id.clone() }.to_string()),
-                        id,
-                        states: Vec::new(),
-                        configs: None,
-                    },
-                ));
-                continue;
+                    id: ev.id,
+                    key: ev.key,
+                    cost: ev.cost,
+                    load: ev.load,
+                });
             }
-            let shard = self.shard_of(&id);
-            per_shard[shard].push(Event {
-                index,
-                id,
-                cost,
-                load,
-            });
         }
         let mut shard_events = vec![0u64; shards];
         let mut pulses: Vec<(usize, usize)> = Vec::new();
         let mut machines: Vec<(usize, u64)> = Vec::new();
         let mut replies = Vec::new();
-        for (shard, batch) in per_shard.into_iter().enumerate() {
-            if batch.is_empty() {
+        for (shard, count) in shard_events.iter_mut().enumerate() {
+            if pool.per_shard[shard].is_empty() {
                 continue;
             }
-            shard_events[shard] = batch.len() as u64;
+            let batch = std::mem::take(&mut pool.per_shard[shard]);
+            *count = batch.len() as u64;
             let (tx, rx) = channel();
             self.senders[shard]
                 .send(Request::Batch(batch, tx))
@@ -705,7 +827,10 @@ impl Engine {
             let reply = rx.recv().map_err(|_| EngineError::ShardDown(shard))??;
             pulses.push((shard, reply.tenants));
             machines.push((shard, reply.machines));
-            indexed.extend(reply.outcomes);
+            pool.indexed.extend(reply.outcomes);
+            // The shard drained its batch in place and handed the empty
+            // vector back; park it for the next dispatch.
+            pool.per_shard[shard] = reply.events;
         }
         if observe {
             if let Some(policy) = self.policy().as_mut() {
@@ -716,13 +841,14 @@ impl Engine {
                 // the committed outcomes refresh per-tenant attribution.
                 // Shard routing is recomputed from the ring (identical to
                 // the dispatch above — the ring did not change mid-call).
-                let commits: Vec<(&str, u32, usize)> = indexed
+                let commits: Vec<(&str, u32, usize)> = pool
+                    .indexed
                     .iter()
                     .filter(|(_, o)| o.error.is_none())
                     .filter_map(|(_, o)| {
                         o.states
                             .last()
-                            .map(|&last| (o.id.as_str(), last, self.shard_of(&o.id)))
+                            .map(|&last| (&*o.id, last, self.shard_of(&o.id)))
                     })
                     .collect();
                 runtime.observe(
@@ -734,15 +860,18 @@ impl Engine {
                 );
             }
         }
-        indexed.sort_by_key(|(index, _)| *index);
-        Ok(indexed.into_iter().map(|(_, o)| o).collect())
+        // Unstable sort: indexes are distinct, so stability is moot, and
+        // (unlike the stable sort) it does not allocate a merge buffer.
+        pool.indexed.sort_unstable_by_key(|(index, _)| *index);
+        out.extend(pool.indexed.drain(..).map(|(_, o)| o));
+        Ok(())
     }
 
     /// End-of-stream for one tenant: flush pending lookahead states.
     pub fn finish(&self, id: &str) -> Result<Vec<u32>, EngineError> {
         let shard = self.shard_of(id);
         self.send(shard, |tx| Request::Finish(id.to_string(), tx))
-            .map(|o| o.states)
+            .map(|o| o.states.to_vec())
     }
 
     /// Capture a tenant's full state.
@@ -778,8 +907,8 @@ impl Engine {
     }
 
     fn restore_unchecked(&self, snapshot: TenantSnapshot) -> Result<(), EngineError> {
-        let shard = self.shard_of(&snapshot.config.id);
-        self.send(shard, |tx| Request::Restore(Box::new(snapshot), tx))
+        let (_, key, shard) = self.interner().intern(&snapshot.config.id, &self.ring);
+        self.send(shard, |tx| Request::Restore(Box::new(snapshot), key, tx))
     }
 
     /// Remove a tenant, returning its final report (with its attributed
@@ -1008,8 +1137,10 @@ impl Engine {
         let migrate = || -> Result<(), EngineError> {
             for snapshot in &doc.tenants {
                 let shard = ring.route(&snapshot.config.id);
+                // Key only — routes are re-cached when the ring is swapped.
+                let (_, key, _) = self.interner().intern(&snapshot.config.id, &ring);
                 Engine::send_to(&senders, shard, |tx| {
-                    Request::Restore(Box::new(snapshot.clone()), tx)
+                    Request::Restore(Box::new(snapshot.clone()), key, tx)
                 })??;
             }
             Engine::send_to(&senders, 0, |tx| Request::InstallMeta(Box::new(merged), tx))?;
@@ -1038,6 +1169,9 @@ impl Engine {
             for handle in handles {
                 let _ = handle.join();
             }
+            // The half-run migration may have cached new-ring routes in
+            // the intern table; re-derive them from the ring we kept.
+            self.interner().reroute(&self.ring);
             if durable {
                 // Neutralize the write-ahead Rebalance record: the
                 // migration did not happen, so a crash before the next
@@ -1064,6 +1198,7 @@ impl Engine {
             let _ = handle.join();
         }
         self.ring = ring;
+        self.interner().reroute(&self.ring);
         if self.attached.load(Ordering::Acquire) {
             self.attach_store()?;
         }
@@ -1222,8 +1357,10 @@ impl Engine {
             while let Some(snapshot) = extracted.pop() {
                 let id = snapshot.config.id.clone();
                 let to = ring.route(&id);
+                // A moved tenant is already interned; its key follows it.
+                let (_, key, _) = self.interner().intern(&id, &self.ring);
                 Engine::send_to(&new_senders, to, |tx| {
-                    Request::Install(Box::new(snapshot), tx)
+                    Request::Install(Box::new(snapshot), key, tx)
                 })??;
                 installed.push(id);
             }
@@ -1288,7 +1425,8 @@ impl Engine {
             }
             for snapshot in extracted {
                 let from = self.ring.route(&snapshot.config.id);
-                let _ = self.send_plain(from, |tx| Request::Install(Box::new(snapshot), tx));
+                let (_, key, _) = self.interner().intern(&snapshot.config.id, &self.ring);
+                let _ = self.send_plain(from, |tx| Request::Install(Box::new(snapshot), key, tx));
             }
             for tx in &fresh_senders {
                 let _ = tx.send(Request::Shutdown);
@@ -1329,6 +1467,7 @@ impl Engine {
         self.senders.extend(fresh_senders);
         self.handles.extend(fresh_handles);
         self.ring = ring;
+        self.interner().reroute(&self.ring);
         self.sync_policy_topology(spec.shards);
         // The in-memory shard 0 absorbs the retired shards' history
         // (matching what the fence document recorded).
@@ -1518,12 +1657,27 @@ impl Engine {
         let outcome = match record {
             JournalRecord::Admit(cfg) => self.admit_unchecked(cfg),
             JournalRecord::Batch(events) => {
-                match self.dispatch_events(
-                    events.into_iter().map(|e| (e.id, e.cost, e.load)).collect(),
-                    &[],
-                    false,
-                ) {
-                    Ok(outcomes) => {
+                let mut resolved = {
+                    let interner = self.interner();
+                    events
+                        .into_iter()
+                        .map(|e| {
+                            let (id, key) = match interner.lookup(&e.id) {
+                                Some((arc, key, _)) => (arc, key),
+                                None => (Arc::from(e.id), UNKNOWN_KEY),
+                            };
+                            StepEvent {
+                                id,
+                                key,
+                                cost: e.cost,
+                                load: e.load,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                };
+                let mut outcomes = Vec::with_capacity(resolved.len());
+                match self.dispatch_resolved(&mut resolved, &[], false, &mut outcomes) {
+                    Ok(()) => {
                         report.events_replayed += outcomes.len();
                         Ok(())
                     }

@@ -1,0 +1,126 @@
+//! Tenant-id interning: hash each id once, route on the integer.
+//!
+//! Every admitted tenant id is interned into a stable dense `u32` key.
+//! The hot ingest path then carries `(Arc<str>, key)` pairs: shards index
+//! a slab by key instead of hashing a `String` per event, the ring route
+//! is computed once per id (and once more per topology change) instead of
+//! once per event, and the id string itself is a shared refcounted
+//! allocation instead of a per-event clone.
+//!
+//! Keys are never reused: an evicted tenant keeps its key, so a re-admit
+//! of the same id lands in the same slot and stale keys can never alias a
+//! different tenant. The table grows with the number of *distinct* ids
+//! ever admitted, which is bounded by the admission gate's tenant cap
+//! over time.
+
+use crate::ring::HashRing;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sentinel key for ids that were never interned (never admitted).
+pub const UNKNOWN_KEY: u32 = u32::MAX;
+
+/// One interned id: the shared string and its cached ring route.
+#[derive(Debug, Clone)]
+pub struct InternEntry {
+    /// The tenant id, shared with every in-flight event that names it.
+    pub id: Arc<str>,
+    /// Cached `ring.route(id)` under the engine's current ring.
+    pub shard: u32,
+}
+
+/// The id → key table plus the cached routes. Owned by the engine handle
+/// behind a mutex; shards only ever see resolved keys.
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<Arc<str>, u32>,
+    entries: Vec<InternEntry>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct ids ever interned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Get-or-insert `id`, caching its route under `ring`. Returns the
+    /// shared id, its stable key and its current shard.
+    pub fn intern(&mut self, id: &str, ring: &HashRing) -> (Arc<str>, u32, usize) {
+        if let Some(&key) = self.map.get(id) {
+            let e = &self.entries[key as usize];
+            return (Arc::clone(&e.id), key, e.shard as usize);
+        }
+        let arc: Arc<str> = Arc::from(id);
+        let shard = ring.route(id) as u32;
+        let key = self.entries.len() as u32;
+        self.entries.push(InternEntry {
+            id: Arc::clone(&arc),
+            shard,
+        });
+        self.map.insert(Arc::clone(&arc), key);
+        (arc, key, shard as usize)
+    }
+
+    /// Resolve an already-interned id without inserting. The hot step
+    /// path uses this: ids that were never admitted stay out of the
+    /// table, so hostile streams of garbage ids cannot grow it.
+    pub fn lookup(&self, id: &str) -> Option<(Arc<str>, u32, usize)> {
+        let &key = self.map.get(id)?;
+        let e = &self.entries[key as usize];
+        Some((Arc::clone(&e.id), key, e.shard as usize))
+    }
+
+    /// The entry for `key`, if in range.
+    pub fn entry(&self, key: u32) -> Option<&InternEntry> {
+        self.entries.get(key as usize)
+    }
+
+    /// Recompute every cached route after a ring change. Called under the
+    /// same lock that swaps the engine's ring, so events resolved after
+    /// the swap route onto the new topology.
+    pub fn reroute(&mut self, ring: &HashRing) {
+        for e in &mut self.entries {
+            e.shard = ring.route(&e.id) as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::RingSpec;
+
+    #[test]
+    fn keys_are_stable_and_routes_follow_the_ring() {
+        let ring2 = HashRing::new(RingSpec::new(2, 16));
+        let ring5 = HashRing::new(RingSpec::new(5, 16));
+        let mut interner = Interner::new();
+        let (id_a, key_a, shard_a) = interner.intern("a", &ring2);
+        assert_eq!(&*id_a, "a");
+        assert_eq!(shard_a, ring2.route("a"));
+        let (_, key_b, _) = interner.intern("b", &ring2);
+        assert_ne!(key_a, key_b);
+        // Re-interning returns the same key and the same shared string.
+        let (id_a2, key_a2, _) = interner.intern("a", &ring2);
+        assert_eq!(key_a, key_a2);
+        assert!(Arc::ptr_eq(&id_a, &id_a2));
+        // Lookup resolves without inserting; unknown ids stay unknown.
+        assert_eq!(interner.lookup("a").unwrap().1, key_a);
+        assert!(interner.lookup("ghost").is_none());
+        assert_eq!(interner.len(), 2);
+        // A ring change re-derives every cached route.
+        interner.reroute(&ring5);
+        assert_eq!(interner.lookup("a").unwrap().2, ring5.route("a"));
+        assert_eq!(interner.lookup("b").unwrap().2, ring5.route("b"));
+    }
+}

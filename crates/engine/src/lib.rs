@@ -99,25 +99,31 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod binwire;
 pub mod engine;
+pub mod intern;
 pub mod journal;
 pub mod obs;
 mod power;
 pub mod ring;
 pub mod shard;
+pub mod statelist;
 pub mod tenant;
 pub mod topology;
 pub mod wire;
 
 pub use admission::{AdmissionConfig, AdmissionError};
 pub use engine::{
-    CheckpointReport, Engine, EngineConfig, RebalanceReport, RecoveryReport, DEFAULT_TRACE_CAPACITY,
+    CheckpointReport, Engine, EngineConfig, RebalanceReport, RecoveryReport, StepEvent,
+    DEFAULT_TRACE_CAPACITY,
 };
+pub use intern::UNKNOWN_KEY;
 pub use obs::EngineObs;
 pub use ring::{HashRing, RingSpec, DEFAULT_VNODES};
 pub use rsdc_hetero::{FleetSpec, HeteroAlgo};
 pub use rsdc_power::{EnergyStatus, PowerConfig, PowerSpec, PriceSchedule};
 pub use shard::{ShardMeta, ShardStats, StepOutcome};
+pub use statelist::StateList;
 pub use tenant::{PolicySpec, TenantConfig, TenantEnergy, TenantReport, TenantSnapshot};
 pub use topology::{TopologyConfig, TopologyPolicy, TopologyStatus};
 
@@ -257,7 +263,7 @@ mod tests {
             .map(|i| (format!("t{i}"), Cost::abs(1.0, (i % 5) as f64)))
             .collect();
         let outcomes = engine.step_batch(batch).unwrap();
-        let ids: Vec<String> = outcomes.iter().map(|o| o.id.clone()).collect();
+        let ids: Vec<String> = outcomes.iter().map(|o| o.id.to_string()).collect();
         let expected: Vec<String> = (0..12).map(|i| format!("t{i}")).collect();
         assert_eq!(ids, expected);
     }

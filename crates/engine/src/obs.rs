@@ -53,6 +53,17 @@ pub struct EngineObs {
     /// Milli-units of priced energy cost (same floor-diff emission).
     pub(crate) energy_cost_milli: Counter,
 
+    // Binary-wire connection I/O, folded in per connection by the
+    // framing layer ([`crate::binwire::BinSession`]).
+    /// Request frames decoded (including corrupt ones that errored).
+    pub(crate) wire_frames_in: Counter,
+    /// Response frames emitted.
+    pub(crate) wire_frames_out: Counter,
+    /// Raw connection bytes received (preamble included).
+    pub(crate) wire_bytes_in: Counter,
+    /// Raw connection bytes sent (preamble included).
+    pub(crate) wire_bytes_out: Counter,
+
     // Store-seam metrics, fed by the `StoreObserver` impl below.
     wal_append_ns: Histogram,
     wal_fsync_ns: Histogram,
@@ -100,6 +111,14 @@ impl EngineObs {
             recovery_replay_errors: c("engine_recovery_replay_errors"),
             energy_joules: c("engine_energy_joules"),
             energy_cost_milli: c("engine_energy_cost_milli"),
+            wire_frames_in: registry.counter(MetricId::labelled("engine_wire_frames", "dir", "in")),
+            wire_frames_out: registry.counter(MetricId::labelled(
+                "engine_wire_frames",
+                "dir",
+                "out",
+            )),
+            wire_bytes_in: registry.counter(MetricId::labelled("engine_wire_bytes", "dir", "in")),
+            wire_bytes_out: registry.counter(MetricId::labelled("engine_wire_bytes", "dir", "out")),
             wal_append_ns: h("wal_append_ns"),
             wal_fsync_ns: h("wal_fsync_ns"),
             wal_checkpoint_commit_ns: h("wal_checkpoint_commit_ns"),

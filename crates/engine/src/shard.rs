@@ -6,10 +6,16 @@
 //! (write-ahead discipline), and checkpoint captures rotate the WAL at the
 //! exact request-stream position of the snapshot — the shard thread is the
 //! serialization point, so the snapshot/WAL boundary is always consistent.
+//!
+//! Tenants live in a slab indexed by the engine's interned tenant key
+//! (see [`crate::intern`]): the per-event path is an array index, not a
+//! string hash. A small id → key side map serves the cold control ops
+//! (snapshot/evict/report-by-id), which still arrive keyed by id.
 
 use crate::journal::{JournalEvent, JournalRecord};
 use crate::obs::{EngineObs, ShardObs};
-use crate::tenant::{Tenant, TenantConfig, TenantReport, TenantSnapshot};
+use crate::statelist::StateList;
+use crate::tenant::{StepScratch, Tenant, TenantConfig, TenantReport, TenantSnapshot};
 use crate::EngineError;
 use rsdc_sim::metrics::{Metrics, SlotRecord};
 use rsdc_store::Durability;
@@ -19,15 +25,19 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One streamed event: a tenant id, its next cost function, and (when the
-/// event was derived from a load) the offered load — which feeds the
-/// shard-level [`Metrics`].
+/// One streamed event: a tenant id (shared, interned), its slab key, the
+/// next cost function, and (when the event was derived from a load) the
+/// offered load — which feeds the shard-level [`Metrics`].
+#[derive(Debug)]
 pub struct Event {
     /// Original position in the caller's batch (used to reassemble replies
     /// in submission order).
     pub index: usize,
-    /// Tenant id.
-    pub id: String,
+    /// Tenant id (interned; shared with the engine's intern table).
+    pub id: Arc<str>,
+    /// The tenant's slab key ([`crate::intern::UNKNOWN_KEY`] when the id
+    /// was never admitted — the shard reports it unknown without a probe).
+    pub key: u32,
     /// Cost function for this slot.
     pub cost: rsdc_core::Cost,
     /// Offered load, when known.
@@ -38,10 +48,12 @@ pub struct Event {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StepOutcome {
     /// Tenant id.
-    pub id: String,
+    pub id: Arc<str>,
     /// Newly committed states in slot order (empty while a lookahead
     /// window fills). For heterogeneous tenants: total active machines.
-    pub states: Vec<u32>,
+    /// Stored inline for the common short lists, so the hot path commits
+    /// without a heap allocation.
+    pub states: StateList,
     /// Newly committed configurations in slot order (heterogeneous
     /// tenants only; one vector per committed slot).
     pub configs: Option<Vec<Vec<u32>>>,
@@ -106,6 +118,10 @@ pub struct ShardDump {
 pub struct BatchReply {
     /// Outcomes, tagged with their original batch positions.
     pub outcomes: Vec<(usize, StepOutcome)>,
+    /// The drained event buffer, handed back so the engine's dispatch
+    /// pool can reuse its capacity (steady state allocates no new event
+    /// vectors).
+    pub events: Vec<Event>,
     /// Live tenants on this shard after the batch.
     pub tenants: usize,
     /// Machines committed across this shard's tenants after the batch
@@ -113,10 +129,12 @@ pub struct BatchReply {
     pub machines: u64,
 }
 
-/// Requests a shard worker serves.
+/// Requests a shard worker serves. Slot-addressed requests carry the
+/// interned key the engine resolved; id strings ride along for journaling
+/// and error messages.
 pub enum Request {
-    /// Admit a new tenant.
-    Admit(TenantConfig, Sender<Result<(), EngineError>>),
+    /// Admit a new tenant under the given interned key.
+    Admit(TenantConfig, u32, Sender<Result<(), EngineError>>),
     /// Process a batch of events (already routed to this shard).
     Batch(Vec<Event>, Sender<Result<BatchReply, EngineError>>),
     /// End-of-stream for one tenant: flush lookahead states.
@@ -126,7 +144,7 @@ pub enum Request {
     /// Fetch one tenant's static configuration.
     Config(String, Sender<Result<TenantConfig, EngineError>>),
     /// Re-install a tenant from a snapshot (admits it if absent).
-    Restore(Box<TenantSnapshot>, Sender<Result<(), EngineError>>),
+    Restore(Box<TenantSnapshot>, u32, Sender<Result<(), EngineError>>),
     /// Migration plumbing: remove a tenant and hand back its snapshot
     /// **without journaling** — an incremental migration's moves are
     /// covered by the write-ahead `Migrate` record plus the fencing
@@ -136,7 +154,7 @@ pub enum Request {
     /// Migration plumbing: install a tenant from a snapshot **without
     /// journaling** (counterpart of [`Extract`](Request::Extract); also
     /// used to land tenants on freshly spawned workers).
-    Install(Box<TenantSnapshot>, Sender<Result<(), EngineError>>),
+    Install(Box<TenantSnapshot>, u32, Sender<Result<(), EngineError>>),
     /// Remove a tenant, returning its final report.
     Evict(String, Sender<Result<TenantReport, EngineError>>),
     /// Report one tenant (`Some(id)`) or all tenants on this shard.
@@ -170,12 +188,18 @@ pub enum Request {
 /// State owned by one shard thread.
 pub struct Shard {
     index: usize,
-    tenants: HashMap<String, Tenant>,
+    /// Tenant slab, indexed by interned key. Slots for tenants living on
+    /// other shards (or evicted) are `None`; the vector grows to the
+    /// engine-wide key space high-water mark.
+    slots: Vec<Option<Tenant>>,
+    /// Cold-path id → key map for the control ops that address by id.
+    by_id: HashMap<String, u32>,
     metrics: Metrics,
     events: u64,
     states: u64,
     store: Option<Arc<dyn Durability>>,
     obs: ShardObs,
+    scratch: StepScratch,
 }
 
 impl Shard {
@@ -183,17 +207,19 @@ impl Shard {
     pub fn run(index: usize, rx: Receiver<Request>, obs: Arc<EngineObs>) {
         let mut shard = Shard {
             index,
-            tenants: HashMap::new(),
+            slots: Vec::new(),
+            by_id: HashMap::new(),
             metrics: Metrics::default(),
             events: 0,
             states: 0,
             store: None,
             obs: ShardObs::for_shard(&obs, index),
+            scratch: StepScratch::default(),
         };
         while let Ok(req) = rx.recv() {
             match req {
-                Request::Admit(cfg, reply) => {
-                    let _ = reply.send(shard.admit(cfg));
+                Request::Admit(cfg, key, reply) => {
+                    let _ = reply.send(shard.admit(cfg, key));
                 }
                 Request::Batch(events, reply) => {
                     let _ = reply.send(shard.batch(events));
@@ -207,14 +233,14 @@ impl Shard {
                 Request::Config(id, reply) => {
                     let _ = reply.send(shard.tenant(&id).map(|t| t.config().clone()));
                 }
-                Request::Restore(snapshot, reply) => {
-                    let _ = reply.send(shard.restore(*snapshot));
+                Request::Restore(snapshot, key, reply) => {
+                    let _ = reply.send(shard.restore(*snapshot, key));
                 }
                 Request::Extract(id, reply) => {
                     let _ = reply.send(shard.extract(&id));
                 }
-                Request::Install(snapshot, reply) => {
-                    let _ = reply.send(shard.install(*snapshot));
+                Request::Install(snapshot, key, reply) => {
+                    let _ = reply.send(shard.install(*snapshot, key));
                 }
                 Request::Evict(id, reply) => {
                     let _ = reply.send(shard.evict(&id));
@@ -223,8 +249,7 @@ impl Shard {
                     let _ = reply.send(shard.tenant(&id).map(|t| vec![t.report()]));
                 }
                 Request::Report(None, reply) => {
-                    let mut reports: Vec<TenantReport> =
-                        shard.tenants.values().map(|t| t.report()).collect();
+                    let mut reports: Vec<TenantReport> = shard.live().map(|t| t.report()).collect();
                     reports.sort_by(|a, b| a.id.cmp(&b.id));
                     let _ = reply.send(Ok(reports));
                 }
@@ -232,7 +257,7 @@ impl Shard {
                     let _ = reply.send(shard.stats());
                 }
                 Request::TenantIds(reply) => {
-                    let mut ids: Vec<String> = shard.tenants.keys().cloned().collect();
+                    let mut ids: Vec<String> = shard.by_id.keys().cloned().collect();
                     ids.sort_unstable();
                     let _ = reply.send(ids);
                 }
@@ -291,8 +316,7 @@ impl Shard {
                 .rotate(self.index, seq)
                 .map_err(|e| EngineError::Store(e.to_string()))?;
         }
-        let mut snapshots: Vec<TenantSnapshot> =
-            self.tenants.values().map(|t| t.snapshot()).collect();
+        let mut snapshots: Vec<TenantSnapshot> = self.live().map(|t| t.snapshot()).collect();
         snapshots.sort_by(|a, b| a.config.id.cmp(&b.config.id));
         Ok(ShardDump {
             snapshots,
@@ -305,51 +329,74 @@ impl Shard {
         })
     }
 
+    /// Iterate the live tenants of this shard.
+    fn live(&self) -> impl Iterator<Item = &Tenant> {
+        self.slots.iter().flatten()
+    }
+
     fn tenant(&self, id: &str) -> Result<&Tenant, EngineError> {
-        self.tenants
+        self.by_id
             .get(id)
+            .and_then(|&key| self.slots.get(key as usize))
+            .and_then(|slot| slot.as_ref())
             .ok_or_else(|| EngineError::UnknownTenant(id.to_string()))
     }
 
-    fn admit(&mut self, cfg: TenantConfig) -> Result<(), EngineError> {
-        if self.tenants.contains_key(&cfg.id) {
+    /// Grow the slab to cover `key` and place `tenant` there.
+    fn place(&mut self, key: u32, tenant: Tenant) {
+        let at = key as usize;
+        if at >= self.slots.len() {
+            self.slots.resize_with(at + 1, || None);
+        }
+        let id = tenant.config().id.clone();
+        self.slots[at] = Some(tenant);
+        self.by_id.insert(id, key);
+    }
+
+    fn admit(&mut self, cfg: TenantConfig, key: u32) -> Result<(), EngineError> {
+        if self.by_id.contains_key(&cfg.id) {
             return Err(EngineError::DuplicateTenant(cfg.id));
         }
         // Validate (and build) before journaling so an invalid config is
         // rejected without leaving a doomed admit in the WAL.
         let tenant = Tenant::new(cfg.clone()).map_err(EngineError::Policy)?;
-        self.journal(&JournalRecord::Admit(cfg.clone()))?;
-        self.tenants.insert(cfg.id, tenant);
+        self.journal(&JournalRecord::Admit(cfg))?;
+        self.place(key, tenant);
         Ok(())
     }
 
+    fn take(&mut self, id: &str) -> Option<Tenant> {
+        let key = self.by_id.remove(id)?;
+        self.slots
+            .get_mut(key as usize)
+            .and_then(|slot| slot.take())
+    }
+
     fn evict(&mut self, id: &str) -> Result<TenantReport, EngineError> {
-        if !self.tenants.contains_key(id) {
+        if !self.by_id.contains_key(id) {
             return Err(EngineError::UnknownTenant(id.to_string()));
         }
         self.journal(&JournalRecord::Evict(id.to_string()))?;
-        Ok(self.tenants.remove(id).expect("checked above").report())
+        Ok(self.take(id).expect("checked above").report())
     }
 
     /// Remove a tenant and return its snapshot, bypassing the journal
     /// (incremental-migration plumbing; see [`Request::Extract`]).
     fn extract(&mut self, id: &str) -> Result<TenantSnapshot, EngineError> {
-        self.tenants
-            .remove(id)
+        self.take(id)
             .map(|t| t.snapshot())
             .ok_or_else(|| EngineError::UnknownTenant(id.to_string()))
     }
 
     /// Install a tenant from a snapshot, bypassing the journal
     /// (incremental-migration plumbing; see [`Request::Install`]).
-    fn install(&mut self, snapshot: TenantSnapshot) -> Result<(), EngineError> {
-        let id = snapshot.config.id.clone();
+    fn install(&mut self, snapshot: TenantSnapshot, key: u32) -> Result<(), EngineError> {
         let tenant = Tenant::from_snapshot(snapshot).map_err(EngineError::Policy)?;
-        self.tenants.insert(id, tenant);
+        self.place(key, tenant);
         Ok(())
     }
 
-    fn batch(&mut self, events: Vec<Event>) -> Result<BatchReply, EngineError> {
+    fn batch(&mut self, mut events: Vec<Event>) -> Result<BatchReply, EngineError> {
         // One clock pair per *batch*, journal included, gated on a bool
         // baked in at spawn — with metrics off the hot path pays exactly
         // this branch and two counter no-ops.
@@ -367,7 +414,7 @@ impl Shard {
                 events
                     .iter()
                     .map(|ev| JournalEvent {
-                        id: ev.id.clone(),
+                        id: ev.id.to_string(),
                         cost: ev.cost.clone(),
                         load: ev.load,
                     })
@@ -377,35 +424,40 @@ impl Shard {
         }
         let mut out = Vec::with_capacity(events.len());
         let (mut ingested, mut dropped) = (0u64, 0u64);
-        for ev in events {
-            let Some(tenant) = self.tenants.get_mut(&ev.id) else {
+        for ev in events.drain(..) {
+            let Some(tenant) = self
+                .slots
+                .get_mut(ev.key as usize)
+                .and_then(|slot| slot.as_mut())
+            else {
                 dropped += 1;
                 out.push((
                     ev.index,
                     StepOutcome {
-                        error: Some(EngineError::UnknownTenant(ev.id.clone()).to_string()),
+                        error: Some(EngineError::UnknownTenant(ev.id.to_string()).to_string()),
                         id: ev.id,
-                        states: Vec::new(),
+                        states: StateList::new(),
                         configs: None,
                     },
                 ));
                 continue;
             };
-            match tenant.step(&ev.cost, ev.load) {
-                Ok(effect) => {
+            match tenant.step_into(&ev.cost, ev.load, &mut self.scratch) {
+                Ok(()) => {
+                    let effect = &self.scratch.effect;
                     self.events += 1;
                     ingested += 1;
                     self.states += effect.commits.len() as u64;
-                    self.meter(&effect);
                     out.push((
                         ev.index,
                         StepOutcome {
                             id: ev.id,
-                            states: effect.states(),
+                            states: effect.state_list(),
                             configs: effect.configs(),
                             error: None,
                         },
                     ));
+                    self.meter();
                 }
                 // Deterministic per-event failure (e.g. a hetero step with
                 // no load): replay reproduces it identically.
@@ -415,7 +467,7 @@ impl Shard {
                         ev.index,
                         StepOutcome {
                             id: ev.id,
-                            states: Vec::new(),
+                            states: StateList::new(),
                             configs: None,
                             error: Some(e.to_string()),
                         },
@@ -432,34 +484,39 @@ impl Shard {
         }
         Ok(BatchReply {
             outcomes: out,
-            tenants: self.tenants.len(),
-            machines: self.tenants.values().map(|t| t.last_state() as u64).sum(),
+            events,
+            tenants: self.by_id.len(),
+            machines: self.live().map(|t| t.last_state() as u64).sum(),
         })
     }
 
     fn finish(&mut self, id: &str) -> Result<StepOutcome, EngineError> {
-        if !self.tenants.contains_key(id) {
+        let Some(&key) = self.by_id.get(id) else {
             return Err(EngineError::UnknownTenant(id.to_string()));
-        }
+        };
         self.journal(&JournalRecord::Finish(id.to_string()))?;
-        let tenant = self.tenants.get_mut(id).expect("checked above");
+        let tenant = self.slots[key as usize].as_mut().expect("keyed above");
         let effect = tenant.finish();
         self.states += effect.commits.len() as u64;
-        self.meter(&effect);
-        Ok(StepOutcome {
-            id: id.to_string(),
-            states: effect.states(),
+        let id: Arc<str> = Arc::from(id);
+        let outcome = StepOutcome {
+            id,
+            states: effect.state_list(),
             configs: effect.configs(),
             error: None,
-        })
+        };
+        self.scratch.effect = effect;
+        self.meter();
+        Ok(outcome)
     }
 
-    /// Feed committed slots into the load-aware metrics. Each commit pairs
-    /// a state with *its own* slot's load (they differ under lookahead
-    /// lag), using a logical-fleet model: 1 power unit per committed server
-    /// per slot, "serving" equal to the committed state.
-    fn meter(&mut self, effect: &crate::tenant::StepEffect) {
-        for c in &effect.commits {
+    /// Feed the scratch effect's committed slots into the load-aware
+    /// metrics. Each commit pairs a state with *its own* slot's load (they
+    /// differ under lookahead lag), using a logical-fleet model: 1 power
+    /// unit per committed server per slot, "serving" equal to the
+    /// committed state.
+    fn meter(&mut self) {
+        for c in &self.scratch.effect.commits {
             let Some(load) = c.load else { continue };
             let x = c.state;
             self.metrics.push(SlotRecord {
@@ -482,20 +539,17 @@ impl Shard {
         }
     }
 
-    fn restore(&mut self, snapshot: TenantSnapshot) -> Result<(), EngineError> {
-        let id = snapshot.config.id.clone();
+    fn restore(&mut self, snapshot: TenantSnapshot, key: u32) -> Result<(), EngineError> {
         if self.durable() {
             self.journal(&JournalRecord::Restore(Box::new(snapshot.clone())))?;
         }
-        let tenant = Tenant::from_snapshot(snapshot).map_err(EngineError::Policy)?;
-        self.tenants.insert(id, tenant);
-        Ok(())
+        self.install(snapshot, key)
     }
 
     fn stats(&self) -> ShardStats {
         ShardStats {
             shard: self.index,
-            tenants: self.tenants.len(),
+            tenants: self.by_id.len(),
             events: self.events,
             states: self.states,
             metric_slots: self.metrics.slots(),

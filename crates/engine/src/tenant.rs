@@ -383,9 +383,27 @@ pub struct StepEffect {
     pub commits: Vec<Commit>,
 }
 
+/// Reusable buffers for the allocation-free ingest path: the scalar
+/// policy's output states and the effect under construction. One scratch
+/// lives per shard and is threaded through [`Tenant::step_into`] for
+/// every event, so the steady-state batch loop performs no per-event
+/// heap allocation (the vectors keep their high-water capacity).
+#[derive(Default)]
+pub struct StepScratch {
+    out: Vec<u32>,
+    /// The effect of the last [`Tenant::step_into`] call.
+    pub effect: StepEffect,
+}
+
 impl StepEffect {
     /// The committed states in slot order.
     pub fn states(&self) -> Vec<u32> {
+        self.commits.iter().map(|c| c.state).collect()
+    }
+
+    /// The committed states as an inline-capable [`crate::statelist::StateList`]
+    /// (allocation-free for the common short lists).
+    pub fn state_list(&self) -> crate::statelist::StateList {
         self.commits.iter().map(|c| c.state).collect()
     }
 
@@ -539,8 +557,23 @@ impl Tenant {
     /// through the fleet spec; the 1-D cost is ignored) and fail without
     /// one.
     pub fn step(&mut self, f: &Cost, load: Option<f64>) -> Result<StepEffect, rsdc_core::Error> {
-        let mut scalar_out = Vec::new();
-        let mut hetero_commit = None;
+        let mut scratch = StepScratch::default();
+        self.step_into(f, load, &mut scratch)?;
+        Ok(scratch.effect)
+    }
+
+    /// [`Tenant::step`] through caller-owned scratch buffers: the effect
+    /// lands in `scratch.effect` (cleared first), and for scalar tenants
+    /// the warmed-up path allocates nothing. This is the shard batch
+    /// loop's entry point.
+    pub fn step_into(
+        &mut self,
+        f: &Cost,
+        load: Option<f64>,
+        scratch: &mut StepScratch,
+    ) -> Result<(), rsdc_core::Error> {
+        scratch.out.clear();
+        scratch.effect.commits.clear();
         match &mut self.policy {
             PolicyRuntime::Scalar(policy) => {
                 self.events += 1;
@@ -548,7 +581,7 @@ impl Tenant {
                     cost: f.clone(),
                     load,
                 });
-                policy.ingest(f, &mut scalar_out);
+                policy.ingest(f, &mut scratch.out);
             }
             PolicyRuntime::Hetero(stream) => {
                 let Some(lambda) = load else {
@@ -558,17 +591,16 @@ impl Tenant {
                     )));
                 };
                 self.events += 1;
-                hetero_commit = Some(stream.ingest(lambda));
+                let commit = stream.ingest(lambda);
+                self.account_hetero(commit, load, &mut scratch.effect);
+                return Ok(());
             }
         }
-        let mut effect = StepEffect::default();
-        for x in scalar_out {
-            self.account(x, &mut effect);
+        for i in 0..scratch.out.len() {
+            let x = scratch.out[i];
+            self.account(x, &mut scratch.effect);
         }
-        if let Some(commit) = hetero_commit {
-            self.account_hetero(commit, load, &mut effect);
-        }
-        Ok(effect)
+        Ok(())
     }
 
     /// End-of-stream: flush lookahead states (a no-op for hetero tenants,

@@ -601,6 +601,51 @@ pub struct Session {
     /// The report of the most recent recovery this session performed
     /// (startup auto-recovery or a `recover` op); surfaced by `wal_stats`.
     last_recovery: Option<crate::RecoveryReport>,
+    // Reusable batch buffers: pending steps flush through
+    // [`crate::Engine::step_events`] with these vectors, which round-trip
+    // every batch — steady-state ingest allocates nothing per event.
+    events_buf: Vec<crate::StepEvent>,
+    lines_buf: Vec<usize>,
+    outcomes_buf: Vec<StepOutcome>,
+}
+
+/// One session response, framing-agnostic: the JSONL framing renders each
+/// reply as a line ([`Reply::into_line`]), the binary framing packs
+/// [`Reply::Stepped`]/[`Reply::Error`] into compact frames and everything
+/// else into line frames. Both renderings decode to identical lines — the
+/// differential suite pins this.
+#[derive(Debug)]
+pub enum Reply {
+    /// A fully rendered JSONL response line.
+    Line(String),
+    /// A successful step outcome for the request at sequence `seq`.
+    Stepped {
+        /// 1-based request sequence (JSONL line number / binary frame
+        /// number) of the step that produced this outcome.
+        seq: usize,
+        /// The committed outcome (`error` is always `None` here).
+        outcome: StepOutcome,
+    },
+    /// An error attributed to the request at sequence `seq`.
+    Error {
+        /// 1-based request sequence of the offending record.
+        seq: usize,
+        /// Tenant id, when the error is per-event.
+        id: Option<String>,
+        /// Error message, exactly as a JSONL error line would carry it.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// Render this reply as its JSONL response line.
+    pub fn into_line(self) -> String {
+        match self {
+            Reply::Line(line) => line,
+            Reply::Stepped { outcome, .. } => stepped_line(&outcome),
+            Reply::Error { seq, id, message } => error_reply_line(seq, id.as_deref(), &message),
+        }
+    }
 }
 
 /// How a tenant's `load` step events are priced into engine events.
@@ -631,6 +676,9 @@ impl Session {
             auto_checkpoint: 0,
             since_checkpoint: 0,
             last_recovery: None,
+            events_buf: Vec::new(),
+            lines_buf: Vec::new(),
+            outcomes_buf: Vec::new(),
         }
     }
 
@@ -731,28 +779,90 @@ impl Session {
         }
     }
 
-    fn flush_steps(&mut self, pending: &mut Vec<PendingStep>, out: &mut Vec<String>) {
+    /// Price one parsed `step` and queue it on the session's batch,
+    /// flushing when the batch cap is hit. Shared by both framings;
+    /// `number` is the record's 1-based sequence (line or frame).
+    pub(crate) fn queue_step(
+        &mut self,
+        number: usize,
+        id: &str,
+        cost: Option<Cost>,
+        load: Option<f64>,
+        pending: &mut Vec<PendingStep>,
+        out: &mut Vec<Reply>,
+    ) {
+        match self.cost_of(id, cost, load) {
+            Err(message) => {
+                self.flush_steps(pending, out);
+                out.push(Reply::Error {
+                    seq: number,
+                    id: None,
+                    message,
+                });
+            }
+            Ok((cost, load)) => {
+                // Resolve the id once, here: the batch then flushes through
+                // the engine's pre-resolved zero-allocation path.
+                let (id, key) = self.engine.resolve(id);
+                pending.push(PendingStep {
+                    line: number,
+                    id,
+                    key,
+                    cost,
+                    load,
+                });
+                // Cap the batch: an unbounded run of consecutive steps
+                // would otherwise become one giant engine call (and one
+                // giant WAL record), starving the checkpoint cadence and
+                // losing everything on a mid-file crash.
+                if pending.len() >= MAX_STEP_BATCH {
+                    self.flush_steps(pending, out);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn flush_steps(&mut self, pending: &mut Vec<PendingStep>, out: &mut Vec<Reply>) {
         if pending.is_empty() {
             return;
         }
-        let lines: Vec<usize> = pending.iter().map(|p| p.line).collect();
-        let batch = std::mem::take(pending)
-            .into_iter()
-            .map(|p| (p.id, p.cost, p.load))
-            .collect();
-        match self.engine.step_batch_loads(batch) {
-            Ok(outcomes) => {
-                self.since_checkpoint += outcomes.len() as u64;
-                out.extend(
-                    outcomes
-                        .iter()
-                        .zip(&lines)
-                        .map(|(o, &line)| stepped_line_at(o, line)),
-                );
+        self.lines_buf.clear();
+        self.outcomes_buf.clear();
+        for p in pending.drain(..) {
+            self.lines_buf.push(p.line);
+            self.events_buf.push(crate::StepEvent {
+                id: p.id,
+                key: p.key,
+                cost: p.cost,
+                load: p.load,
+            });
+        }
+        match self
+            .engine
+            .step_events(&mut self.events_buf, &mut self.outcomes_buf)
+        {
+            Ok(()) => {
+                self.since_checkpoint += self.outcomes_buf.len() as u64;
+                let last_line = *self.lines_buf.last().expect("non-empty batch");
+                for (o, &line) in self.outcomes_buf.drain(..).zip(self.lines_buf.iter()) {
+                    match o.error {
+                        None => out.push(Reply::Stepped {
+                            seq: line,
+                            outcome: o,
+                        }),
+                        Some(message) => out.push(Reply::Error {
+                            seq: line,
+                            id: Some(o.id.to_string()),
+                            message,
+                        }),
+                    }
+                }
                 // The batch fed the auto-rebalancing policy one tick;
                 // apply any pending topology decision as an incremental
                 // migration and announce it (like auto-checkpoints, the
-                // response is unsolicited but self-identifying).
+                // response is unsolicited but self-identifying). Failures
+                // are attributed to the batch's *last* record — the one
+                // whose ingestion triggered the background work.
                 match self.engine.maybe_autoscale() {
                     Ok(None) => {}
                     Ok(Some(report)) => {
@@ -760,19 +870,40 @@ impl Session {
                             // Fenced by its own checkpoint.
                             self.since_checkpoint = 0;
                         }
-                        out.push(rebalanced_line(&report, true));
+                        out.push(Reply::Line(rebalanced_line(&report, true)));
                     }
-                    Err(e) => out.push(error_line_at(lines[0], &e.to_string())),
+                    Err(e) => out.push(Reply::Error {
+                        seq: last_line,
+                        id: None,
+                        message: e.to_string(),
+                    }),
                 }
                 if self.auto_checkpoint > 0 && self.since_checkpoint >= self.auto_checkpoint {
                     self.since_checkpoint = 0;
                     match self.engine.checkpoint() {
-                        Ok(report) => out.push(checkpointed_line(&report)),
-                        Err(e) => out.push(error_line_at(lines[0], &e.to_string())),
+                        Ok(report) => out.push(Reply::Line(checkpointed_line(&report))),
+                        Err(e) => out.push(Reply::Error {
+                            seq: last_line,
+                            id: None,
+                            message: e.to_string(),
+                        }),
                     }
                 }
             }
-            Err(e) => out.push(error_line_at(lines[0], &e.to_string())),
+            Err(e) => {
+                // A batch-level failure fails every event in it: report one
+                // error *per queued step, each at its own sequence*, so a
+                // multi-step batch never hides which records were lost —
+                // and both framings agree on every failing position.
+                let message = e.to_string();
+                for &line in &self.lines_buf {
+                    out.push(Reply::Error {
+                        seq: line,
+                        id: None,
+                        message: message.clone(),
+                    });
+                }
+            }
         }
     }
 
@@ -804,8 +935,12 @@ impl Session {
         Ok(report)
     }
 
-    fn handle_control(&mut self, record: Record, line: usize, out: &mut Vec<String>) {
-        let error_line = |message: &str| error_line_at(line, message);
+    pub(crate) fn handle_control(&mut self, record: Record, line: usize, out: &mut Vec<Reply>) {
+        let error_line = |message: &str| Reply::Error {
+            seq: line,
+            id: None,
+            message: message.to_string(),
+        };
         match record {
             Record::Step { .. } => unreachable!("steps are batched by the caller"),
             Record::Admit { config, cost_model } => {
@@ -818,23 +953,23 @@ impl Session {
                 match self.engine.admit(config) {
                     Ok(()) => {
                         self.models.insert(id.clone(), pricing);
-                        out.push(
+                        out.push(Reply::Line(
                             serde_json::to_string(&serde_json::json!({
                                 "op": "admitted", "id": id,
                             }))
                             .expect("serializable"),
-                        );
+                        ));
                     }
                     Err(e) => out.push(error_line(&e.to_string())),
                 }
             }
             Record::Finish { id } => match self.engine.finish(&id) {
-                Ok(states) => out.push(
+                Ok(states) => out.push(Reply::Line(
                     serde_json::to_string(&serde_json::json!({
                         "op": "finished", "id": id, "states": states,
                     }))
                     .expect("serializable"),
-                ),
+                )),
                 Err(e) => out.push(error_line(&e.to_string())),
             },
             Record::Snapshot { id } => match self.engine.snapshot(&id) {
@@ -849,7 +984,7 @@ impl Session {
                         Some(Pricing::Hetero) => serde::Value::Null,
                         None => CostModel::default().to_value(),
                     };
-                    out.push(
+                    out.push(Reply::Line(
                         serde_json::to_string(&serde_json::json!({
                             "op": "snapshot",
                             "id": id,
@@ -857,7 +992,7 @@ impl Session {
                             "cost_model": model,
                         }))
                         .expect("serializable"),
-                    );
+                    ));
                 }
                 Err(e) => out.push(error_line(&e.to_string())),
             },
@@ -875,12 +1010,12 @@ impl Session {
                 match self.engine.restore(*snapshot) {
                     Ok(()) => {
                         self.models.insert(id.clone(), pricing);
-                        out.push(
+                        out.push(Reply::Line(
                             serde_json::to_string(&serde_json::json!({
                                 "op": "restored", "id": id,
                             }))
                             .expect("serializable"),
-                        );
+                        ));
                     }
                     Err(e) => out.push(error_line(&e.to_string())),
                 }
@@ -893,12 +1028,12 @@ impl Session {
                 match reports {
                     Ok(reports) => {
                         for r in reports {
-                            out.push(
+                            out.push(Reply::Line(
                                 serde_json::to_string(&serde_json::json!({
                                     "op": "report", "report": r.to_value(),
                                 }))
                                 .expect("serializable"),
-                            );
+                            ));
                         }
                     }
                     Err(e) => out.push(error_line(&e.to_string())),
@@ -912,7 +1047,7 @@ impl Session {
                 Ok(stats) => {
                     let tenants: Vec<u64> = stats.iter().map(|s| s.tenants as u64).collect();
                     let events: Vec<u64> = stats.iter().map(|s| s.events).collect();
-                    out.push(
+                    out.push(Reply::Line(
                         serde_json::to_string(&serde_json::json!({
                             "op": "stats",
                             "shards": stats.to_value(),
@@ -924,19 +1059,19 @@ impl Session {
                             "energy": energy_value(self.engine.energy_status()),
                         }))
                         .expect("serializable"),
-                    );
+                    ));
                 }
                 Err(e) => out.push(error_line(&e.to_string())),
             },
             Record::Checkpoint => match self.engine.checkpoint() {
                 Ok(report) => {
                     self.since_checkpoint = 0;
-                    out.push(checkpointed_line(&report));
+                    out.push(Reply::Line(checkpointed_line(&report)));
                 }
                 Err(e) => out.push(error_line(&e.to_string())),
             },
             Record::Recover => match self.recover_in_place() {
-                Ok(report) => out.push(recovered_line(&report)),
+                Ok(report) => out.push(Reply::Line(recovered_line(&report))),
                 Err(e) => out.push(error_line(&e.to_string())),
             },
             Record::Rebalance {
@@ -956,7 +1091,7 @@ impl Session {
                         if report.durable {
                             self.since_checkpoint = 0;
                         }
-                        out.push(rebalanced_line(&report, false));
+                        out.push(Reply::Line(rebalanced_line(&report, false)));
                     }
                     Err(e) => out.push(error_line(&e.to_string())),
                 }
@@ -1005,10 +1140,10 @@ impl Session {
                     Ok(()) // bare read-back
                 };
                 match result {
-                    Ok(()) => out.push(autoscale_line(
+                    Ok(()) => out.push(Reply::Line(autoscale_line(
                         self.engine.autoscale_status(),
                         self.engine.logical_tick(),
-                    )),
+                    ))),
                     Err(message) => out.push(error_line(&message)),
                 }
             }
@@ -1037,10 +1172,10 @@ impl Session {
                     Ok(()) // bare read-back
                 };
                 match result {
-                    Ok(()) => out.push(energy_line(
+                    Ok(()) => out.push(Reply::Line(energy_line(
                         self.engine.energy_status(),
                         self.engine.logical_tick(),
-                    )),
+                    ))),
                     Err(message) => out.push(error_line(&message)),
                 }
             }
@@ -1064,7 +1199,7 @@ impl Session {
                     // effective (rate-clamped) capacity, not the raw input.
                     Ok(()) => {
                         let effective = self.engine.limits();
-                        out.push(
+                        out.push(Reply::Line(
                             serde_json::to_string(&serde_json::json!({
                                 "op": "limits",
                                 "max_tenants": effective.max_tenants,
@@ -1072,7 +1207,7 @@ impl Session {
                                 "burst": effective.burst,
                             }))
                             .expect("serializable"),
-                        );
+                        ));
                     }
                     Err(e) => out.push(error_line(&e.to_string())),
                 }
@@ -1081,19 +1216,19 @@ impl Session {
                 let obs = self.engine.obs();
                 let rows: Vec<serde::Value> =
                     obs.registry().snapshot().iter().map(metric_row).collect();
-                out.push(
+                out.push(Reply::Line(
                     serde_json::to_string(&serde_json::json!({
                         "op": "metrics",
                         "enabled": obs.metrics_enabled(),
                         "metrics": serde::Value::Array(rows),
                     }))
                     .expect("serializable"),
-                );
+                ));
             }
             Record::Trace { last } => {
                 let trace = self.engine.obs().trace();
                 let events: Vec<serde::Value> = trace.events(last).iter().map(trace_row).collect();
-                out.push(
+                out.push(Reply::Line(
                     serde_json::to_string(&serde_json::json!({
                         "op": "trace",
                         "enabled": trace.enabled(),
@@ -1102,7 +1237,7 @@ impl Session {
                         "events": serde::Value::Array(events),
                     }))
                     .expect("serializable"),
-                );
+                ));
             }
             Record::WalStats => {
                 // Write-volume counters from the engine's store seam: what
@@ -1128,7 +1263,7 @@ impl Session {
                     // recovery* replayed from the WAL tail — full
                     // rebalances and incremental migrations separately
                     // (both zero when this process never recovered).
-                    Ok((store, ids, shards)) => out.push(
+                    Ok((store, ids, shards)) => out.push(Reply::Line(
                         serde_json::to_string(&serde_json::json!({
                             "op": "wal_stats",
                             "store": store.to_value(),
@@ -1161,7 +1296,7 @@ impl Session {
                             },
                         }))
                         .expect("serializable"),
-                    ),
+                    )),
                     Err(message) => out.push(error_line(&message)),
                 }
             }
@@ -1173,7 +1308,7 @@ impl Session {
     /// records become single batched engine calls. Error responses carry
     /// the 1-based input line number of the record that caused them.
     pub fn handle_lines<'a>(&mut self, lines: impl IntoIterator<Item = &'a str>) -> Vec<String> {
-        let mut out = Vec::new();
+        let mut replies = Vec::new();
         let mut pending: Vec<PendingStep> = Vec::new();
         for (index, line) in lines.into_iter().enumerate() {
             let number = index + 1;
@@ -1183,75 +1318,70 @@ impl Session {
             }
             match parse_record(line) {
                 Err(e) => {
-                    self.flush_steps(&mut pending, &mut out);
-                    out.push(error_line_at(number, &e.to_string()));
+                    self.flush_steps(&mut pending, &mut replies);
+                    replies.push(Reply::Error {
+                        seq: number,
+                        id: None,
+                        message: e.to_string(),
+                    });
                 }
-                Ok(Record::Step { id, cost, load }) => match self.cost_of(&id, cost, load) {
-                    Err(message) => {
-                        self.flush_steps(&mut pending, &mut out);
-                        out.push(error_line_at(number, &message));
-                    }
-                    Ok((cost, load)) => {
-                        pending.push(PendingStep {
-                            line: number,
-                            id,
-                            cost,
-                            load,
-                        });
-                        // Cap the batch: an unbounded run of consecutive
-                        // steps would otherwise become one giant engine call
-                        // (and one giant WAL record), starving the
-                        // checkpoint cadence and losing everything on a
-                        // mid-file crash.
-                        if pending.len() >= MAX_STEP_BATCH {
-                            self.flush_steps(&mut pending, &mut out);
-                        }
-                    }
-                },
+                Ok(Record::Step { id, cost, load }) => {
+                    self.queue_step(number, &id, cost, load, &mut pending, &mut replies);
+                }
                 Ok(control) => {
-                    self.flush_steps(&mut pending, &mut out);
-                    self.handle_control(control, number, &mut out);
+                    self.flush_steps(&mut pending, &mut replies);
+                    self.handle_control(control, number, &mut replies);
                 }
             }
         }
-        self.flush_steps(&mut pending, &mut out);
-        out
+        self.flush_steps(&mut pending, &mut replies);
+        replies.into_iter().map(Reply::into_line).collect()
     }
 }
 
 /// Most step events a [`Session`] batches into one engine call: large
 /// enough to amortize dispatch, small enough that journaling and
 /// auto-checkpointing stay fine-grained under an unbounded step stream.
-const MAX_STEP_BATCH: usize = 1024;
+pub(crate) const MAX_STEP_BATCH: usize = 1024;
 
-/// A parsed `step` record waiting in the session's batch, remembering the
-/// input line it came from so a per-event failure is locatable.
-struct PendingStep {
+/// A priced `step` event waiting in a session batch: its id already
+/// resolved against the engine's intern table, remembering the input
+/// sequence it came from so a per-event failure is locatable.
+pub(crate) struct PendingStep {
     line: usize,
-    id: String,
+    id: std::sync::Arc<str>,
+    key: u32,
     cost: Cost,
     load: Option<f64>,
 }
 
-fn error_line_at(line: usize, message: &str) -> String {
-    serde_json::to_string(&serde_json::json!({
-        "op": "error", "line": line, "message": message,
-    }))
-    .expect("serializable")
+/// Render an error response line: `{"op":"error","line":N[,"id":...],
+/// "message":...}`. The single rendering both framings decode to — the
+/// binary error frame carries (seq, id, message) and rebuilds exactly
+/// this line.
+pub(crate) fn error_reply_line(seq: usize, id: Option<&str>, message: &str) -> String {
+    let v = match id {
+        None => serde_json::json!({
+            "op": "error", "line": seq, "message": message,
+        }),
+        Some(id) => serde_json::json!({
+            "op": "error", "line": seq, "id": id, "message": message,
+        }),
+    };
+    serde_json::to_string(&v).expect("serializable")
 }
 
-/// [`stepped_line`] plus the input line number on the error arm.
-fn stepped_line_at(outcome: &StepOutcome, line: usize) -> String {
-    match &outcome.error {
-        None => stepped_line(outcome),
-        Some(message) => serde_json::to_string(&serde_json::json!({
-            "op": "error",
-            "line": line,
-            "id": outcome.id,
-            "message": message,
-        }))
-        .expect("serializable"),
-    }
+/// Render the scalar `stepped` response from its compact fields — the
+/// exact line [`stepped_line`] produces for a config-free outcome. The
+/// binary framing's `STEPPED` frame decodes through this, pinning
+/// byte-identity with the JSONL rendering.
+pub(crate) fn stepped_states_line(id: &str, states: &[u32]) -> String {
+    serde_json::to_string(&serde_json::json!({
+        "op": "stepped",
+        "id": id,
+        "states": states,
+    }))
+    .expect("serializable")
 }
 
 fn rebalanced_line(report: &crate::RebalanceReport, auto: bool) -> String {

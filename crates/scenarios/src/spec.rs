@@ -74,7 +74,11 @@ impl WorkloadSource {
             WorkloadSource::Stationary(g) => g.generate(t_len, seed),
             WorkloadSource::File { path } => {
                 let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-                let mut tr = if path.ends_with(".csv") {
+                // Content sniff before extension: binary traces announce
+                // themselves with the RSDT magic whatever they're named.
+                let mut tr = if io::is_binary(&data) {
+                    io::read_binary(&data).map_err(|e| format!("{path}: {e}"))?
+                } else if path.ends_with(".csv") {
                     io::read_csv(&data[..], path.clone()).map_err(|e| format!("{path}: {e}"))?
                 } else {
                     let text = std::str::from_utf8(&data)

@@ -448,6 +448,20 @@ impl<T: Deserialize> Deserialize for Arc<T> {
     }
 }
 
+impl Serialize for Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(Arc::from)
+            .ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {

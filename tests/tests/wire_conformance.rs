@@ -9,6 +9,13 @@
 //! protocol can never drift from the implemented one. Plain `jsonl`
 //! blocks (no `conformance` tag) stay illustrative and are not executed.
 //!
+//! Blocks tagged `binwire conformance` document the binary framing: their
+//! `> ` lines are **hex-dumped request bytes** (anything after `#` is a
+//! comment), fed verbatim to a fresh single-shard [`BinSession`]; the
+//! remaining lines are the decoded JSONL text of the expected response
+//! frames. The documented frame bytes — preambles, CRCs, tag layouts —
+//! are therefore checked against the live codec.
+//!
 //! Determinism ground rules for conformance blocks, enforced here:
 //! * each block runs on a fresh single-shard session (durable blocks get
 //!   a fresh temp-dir `FileStore` with the default config), so sequence
@@ -19,16 +26,19 @@
 //!   `metrics` responses (`sum`/`max`/`p50`/`p90`/`p99`) become `0` —
 //!   histogram **counts** are deterministic and stay checked.
 
+use rsdc_engine::binwire::{decode_response, BinSession};
 use rsdc_engine::wire::Session;
 use rsdc_engine::EngineConfig;
 use rsdc_store::{Durability, FileStore, FileStoreConfig};
 use std::sync::Arc;
 
-/// One executable block: where it sits in the doc, whether it gets a
-/// durable store, and its interleaved request/response lines.
+/// One executable block: where it sits in the doc, which framing it
+/// speaks, whether it gets a durable store, and its interleaved
+/// request/response lines.
 struct Block {
     doc_line: usize,
     durable: bool,
+    binary: bool,
     requests: Vec<String>,
     expected: Vec<String>,
 }
@@ -50,10 +60,12 @@ fn conformance_blocks(doc: &str) -> Vec<Block> {
             continue;
         }
         let durable = trimmed == "```jsonl conformance-durable";
-        if durable || trimmed == "```jsonl conformance" {
+        let binary = trimmed == "```binwire conformance";
+        if durable || binary || trimmed == "```jsonl conformance" {
             current = Some(Block {
                 doc_line: index + 1,
                 durable,
+                binary,
                 requests: Vec::new(),
                 expected: Vec::new(),
             });
@@ -102,6 +114,21 @@ fn canon(line: &str) -> serde::Value {
     v
 }
 
+/// Hex-dump request lines back to bytes: strip `#`-comments, then parse
+/// whitespace-separated two-digit hex octets.
+fn hex_bytes(requests: &[String], doc_line: usize) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for line in requests {
+        let data = line.split('#').next().unwrap_or("");
+        for tok in data.split_whitespace() {
+            let byte = u8::from_str_radix(tok, 16)
+                .unwrap_or_else(|e| panic!("bad hex {tok:?} near docs/WIRE.md:{doc_line}: {e}"));
+            bytes.push(byte);
+        }
+    }
+    bytes
+}
+
 fn fresh_dir(tag: usize) -> std::path::PathBuf {
     let dir = std::env::temp_dir()
         .join("rsdc-wire-conformance")
@@ -140,8 +167,42 @@ fn every_wire_md_example_matches_a_live_session() {
         doc.contains("\"op\":\"energy\"") && doc.contains("\"priced\":true"),
         "the energy op and priced-autoscale examples must stay documented"
     );
+    let binary_blocks = blocks.iter().filter(|b| b.binary).count();
+    assert!(
+        binary_blocks >= 3,
+        "WIRE.md must keep its binary-framing transcripts, found {binary_blocks}"
+    );
 
     for (tag, block) in blocks.iter().enumerate() {
+        if block.binary {
+            let mut bin = BinSession::new(Session::new(rsdc_engine::Engine::new(
+                EngineConfig::with_shards(1),
+            )));
+            let mut frames = Vec::new();
+            bin.feed(&hex_bytes(&block.requests, block.doc_line), &mut frames);
+            bin.finish(&mut frames);
+            let out = decode_response(&frames).unwrap_or_else(|e| {
+                panic!(
+                    "undecodable response stream for block at docs/WIRE.md:{}: {e}",
+                    block.doc_line
+                )
+            });
+            assert_eq!(
+                out.len(),
+                block.expected.len(),
+                "response count mismatch; block at docs/WIRE.md:{} decoded:\n{}",
+                block.doc_line,
+                out.join("\n")
+            );
+            for (i, (got, want)) in out.iter().zip(&block.expected).enumerate() {
+                assert!(
+                    canon(got) == canon(want),
+                    "response {i} differs;\n want: {want}\n  got: {got}\nblock at docs/WIRE.md:{}",
+                    block.doc_line
+                );
+            }
+            continue;
+        }
         let dir = fresh_dir(tag);
         let mut session = if block.durable {
             let store: Arc<dyn Durability> =

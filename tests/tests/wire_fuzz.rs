@@ -9,11 +9,22 @@
 //!   comments included in the count);
 //! * the session stays fully usable after arbitrary garbage.
 //!
-//! The heavy `#[ignore]`d variant runs the same properties at raised case
+//! The binary corpus (second half of the file) holds `BinSession` to the
+//! same bar over mutated frame streams: truncated frames, corrupt CRCs,
+//! oversize length prefixes, mid-frame kills, and wrong-magic /
+//! wrong-version handshakes all yield typed sequence-numbered error
+//! frames, never a panic or a hang — and the response stream always
+//! decodes cleanly, whatever the request stream looked like.
+//!
+//! The heavy `#[ignore]`d variants run the same properties at raised case
 //! counts for the nightly `--include-ignored` CI job.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use rsdc_engine::binwire::{
+    encode_request_line, BinSession, BodyReader, FrameDecoder, MAX_FRAME_LEN, PREAMBLE,
+    TAG_RESP_ERROR,
+};
 use rsdc_engine::wire::{parse_record, Session};
 use rsdc_engine::{Engine, EngineConfig};
 use rsdc_tests::heavy_cases;
@@ -196,6 +207,216 @@ fn every_prefix_of_every_op_parses_or_errors() {
             let _ = parse_record(&line[..cut]);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Binary framing corpus.
+// ---------------------------------------------------------------------
+
+/// A valid binary connection stream: preamble + every base line
+/// transcoded to its frame.
+fn base_stream() -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&PREAMBLE);
+    let mut payload = Vec::new();
+    for line in base_lines() {
+        encode_request_line(line, &mut payload, &mut out);
+    }
+    out
+}
+
+/// Mutate the frame region of a valid stream (the preamble stays intact
+/// so the handshake succeeds and the mutation exercises frame handling).
+/// `kind` selects truncate / byte-flip (CRC corruption) / insert /
+/// splice-delete / length-prefix inflation (oversize).
+fn mutate_stream(stream: &[u8], kind: u8, at: usize, byte: u8) -> Vec<u8> {
+    let mut b = stream.to_vec();
+    let lo = PREAMBLE.len();
+    if b.len() <= lo {
+        return b;
+    }
+    let at = lo + at % (b.len() - lo);
+    match kind % 5 {
+        0 => b.truncate(at),
+        1 => b[at] ^= byte | 1,
+        2 => b.insert(at, byte),
+        3 => {
+            let end = (at + 1 + (byte as usize % 9)).min(b.len());
+            b.drain(at..end);
+        }
+        _ => {
+            // Stamp an oversize little-endian length over 4 bytes — when
+            // this lands on a frame header the decoder must refuse it
+            // without ever allocating the claimed length.
+            let huge = (MAX_FRAME_LEN + 1 + byte as u32).to_le_bytes();
+            for (i, v) in huge.iter().enumerate() {
+                if at + i < b.len() {
+                    b[at + i] = *v;
+                }
+            }
+        }
+    }
+    b
+}
+
+/// Feed a (possibly mutated) binary stream and enforce the binary
+/// failure contract; returns the decoded response lines.
+fn check_binary_contract(stream: &[u8], chunk: usize) -> Vec<String> {
+    let mut bin = BinSession::new(Session::new(Engine::new(EngineConfig::with_shards(1))));
+    let mut reply = Vec::new();
+    for part in stream.chunks(chunk.max(1)) {
+        bin.feed(part, &mut reply);
+    }
+    bin.finish(&mut reply);
+    // Feeding a finished (dead) connection is a no-op, never a panic.
+    let before = reply.len();
+    bin.feed(b"garbage after close", &mut reply);
+    assert_eq!(reply.len(), before, "a dead connection stays silent");
+
+    // Whatever the request stream looked like, the response stream is
+    // well-framed and every line is JSON with a string op; errors carry
+    // their 1-based sequence number.
+    let lines = rsdc_engine::binwire::decode_response(&reply)
+        .unwrap_or_else(|e| panic!("response stream must decode: {e}"));
+    for line in &lines {
+        let v: serde::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("response is not JSON ({e}): {line}"));
+        let op = v["op"]
+            .as_str()
+            .unwrap_or_else(|| panic!("response lacks a string op: {line}"));
+        if op == "error" {
+            let seq = v["line"]
+                .as_u64()
+                .unwrap_or_else(|| panic!("error without a sequence number: {line}"));
+            assert!(seq >= 1, "post-handshake errors carry seq >= 1: {line}");
+            assert!(
+                !v["message"].as_str().unwrap_or("").is_empty(),
+                "error without a message: {line}"
+            );
+        }
+    }
+    lines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary mutated frame streams at arbitrary feed chunkings:
+    /// typed seq-numbered error frames, a decodable response stream, no
+    /// panics, no hangs.
+    #[test]
+    fn mutated_binary_streams_fail_typed_and_numbered(
+        muts in vec((0u8..5, 0usize..4096, 0u8..=255u8), 1..6),
+        chunk in 1usize..200,
+    ) {
+        let mut stream = base_stream();
+        for &(kind, at, byte) in &muts {
+            stream = mutate_stream(&stream, kind, at, byte);
+        }
+        check_binary_contract(&stream, chunk);
+    }
+
+    /// Mid-frame kills: every byte-truncation of a valid stream serves
+    /// the delivered frame prefix and reports the torn tail (if any) as
+    /// one truncation error at the next sequence number.
+    #[test]
+    fn mid_frame_kills_report_the_torn_tail(cut_frac in 0.0f64..1.0, chunk in 1usize..64) {
+        let stream = base_stream();
+        let span = stream.len() - PREAMBLE.len();
+        let cut = PREAMBLE.len() + (cut_frac * span as f64) as usize;
+        let lines = check_binary_contract(&stream[..cut], chunk);
+        // Count the frames actually delivered.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream[PREAMBLE.len()..cut]);
+        let mut delivered = 0u64;
+        while let Ok(Some(_)) = dec.next_frame() {
+            delivered += 1;
+        }
+        let torn = dec.finish().is_err();
+        if torn {
+            let last = lines.last().expect("a torn tail must be reported");
+            let v: serde::Value = serde_json::from_str(last).unwrap();
+            prop_assert_eq!(v["op"].as_str().unwrap(), "error");
+            prop_assert_eq!(v["line"].as_u64().unwrap(), delivered + 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(heavy_cases(2048)))]
+
+    /// Nightly-depth binary fuzzing (`--include-ignored`).
+    #[test]
+    #[ignore = "heavy: run via the nightly --include-ignored CI job"]
+    fn mutated_binary_streams_fail_typed_and_numbered_heavy(
+        muts in vec((0u8..5, 0usize..4096, 0u8..=255u8), 1..8),
+        chunk in 1usize..200,
+    ) {
+        let mut stream = base_stream();
+        for &(kind, at, byte) in &muts {
+            stream = mutate_stream(&stream, kind, at, byte);
+        }
+        check_binary_contract(&stream, chunk);
+    }
+}
+
+/// A wrong-version or wrong-magic handshake is refused with one typed
+/// error frame at sequence 0 — emitted without a preamble echo, since no
+/// protocol was ever agreed — and the connection is dead from then on.
+#[test]
+fn wrong_handshakes_are_refused_with_a_seq_zero_error() {
+    for (mutate_at, expect) in [
+        (5usize, "unsupported protocol version"),
+        (0, "bad preamble"),
+    ] {
+        let mut wire = base_stream();
+        wire[mutate_at] ^= 0x5A;
+        let mut bin = BinSession::new(Session::new(Engine::new(EngineConfig::with_shards(1))));
+        let mut reply = Vec::new();
+        bin.feed(&wire, &mut reply);
+        bin.finish(&mut reply);
+        assert!(bin.is_dead());
+        let mut dec = FrameDecoder::new();
+        dec.extend(&reply);
+        let frame = dec
+            .next_frame()
+            .expect("well-framed")
+            .expect("one error frame");
+        assert_eq!(frame.tag, TAG_RESP_ERROR);
+        let mut r = BodyReader::new(frame.body);
+        assert_eq!(r.u64(), Some(0), "handshake errors are sequence 0");
+        assert_eq!(r.u8(), Some(0), "no tenant id on a handshake error");
+        let message = String::from_utf8(r.rest().to_vec()).expect("utf-8 message");
+        assert!(message.contains(expect), "{message}");
+        assert!(
+            dec.next_frame().expect("decode").is_none(),
+            "exactly one frame"
+        );
+        assert!(dec.finish().is_ok());
+    }
+}
+
+/// An oversize length prefix is fatal at its own sequence number — and
+/// the decoder refuses it from the header alone, without buffering or
+/// allocating the claimed 16 MiB+.
+#[test]
+fn oversize_length_prefixes_are_refused_from_the_header() {
+    let mut wire = PREAMBLE.to_vec();
+    let mut payload = Vec::new();
+    encode_request_line(r#"{"op":"stats"}"#, &mut payload, &mut wire);
+    wire.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    wire.extend_from_slice(&[0u8; 16]); // header tail + a little garbage
+    let lines = check_binary_contract(&wire, 7);
+    // stats answered, then the oversize frame killed the stream at seq 2.
+    assert!(lines[0].contains("\"op\":\"stats\""), "{}", lines[0]);
+    let v: serde::Value = serde_json::from_str(&lines[1]).unwrap();
+    assert_eq!(v["op"].as_str().unwrap(), "error");
+    assert_eq!(v["line"].as_u64().unwrap(), 2);
+    assert!(
+        v["message"].as_str().unwrap().contains("exceeds cap"),
+        "{}",
+        lines[1]
+    );
 }
 
 /// Deep nesting, absurd numbers, NaN-ish spellings, and null injections
