@@ -3,7 +3,7 @@
 //! engine's performance shape is recorded alongside the code that produced
 //! it.
 //!
-//! Six measurements, mirroring the Criterion `engine_throughput` and
+//! Seven measurements, mirroring the Criterion `engine_throughput` and
 //! `wire_codec` groups but cheap enough to re-run by hand (and, with
 //! `--quick`, in CI):
 //!
@@ -18,6 +18,9 @@
 //! - `wire_codec`  — ingest decode rate and bytes/event per wire framing
 //!   (JSONL parse vs binary frame walk); the schema pins binary at ≥2x
 //!   the JSONL step rate, the one relative claim stable across machines
+//! - `serve_throughput` — end-to-end served steps/s through the TCP
+//!   reactor on loopback, concurrent connections per framing (prices the
+//!   full stack: reactor, framing, engine, socket I/O)
 //!
 //! The engine runs with the metrics registry **disabled** (the documented
 //! hot-path configuration), so these numbers price the engine, not the
@@ -48,7 +51,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema tag validated by `--validate`; bump on shape changes.
-const SCHEMA: &str = "rsdc-engine-bench/v3";
+const SCHEMA: &str = "rsdc-engine-bench/v4";
 
 const M: u32 = 128;
 const BETA: f64 = 4.0;
@@ -392,6 +395,93 @@ fn measure_wire_codec(s: &Scale) -> Vec<serde::Value> {
     out
 }
 
+/// End-to-end served throughput: a reactor on loopback, concurrent
+/// connections each streaming admits + steps through a private engine,
+/// wall clock from first connect to last EOF. Unlike `wire_codec` this
+/// prices the full serving stack — reactor turns, framing, engine
+/// dispatch and socket I/O — per framing.
+fn measure_serve(s: &Scale) -> Vec<serde::Value> {
+    use rsdc_engine::binwire::{encode_request_line, PREAMBLE};
+    use rsdc_engine::{ServeConfig, Server, WireMode};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let events = if s.quick { 2_000usize } else { 20_000 };
+    let tenants = 50usize;
+    let conns = 4usize;
+
+    let mut lines: Vec<String> = (0..tenants)
+        .map(|i| format!(r#"{{"op":"admit","id":"t{i}","m":{M},"beta":{BETA},"policy":"lcp"}}"#))
+        .collect();
+    for k in 0..events {
+        lines.push(format!(
+            r#"{{"op":"step","id":"t{}","cost":{{"Abs":{{"slope":1.0,"center":{}.0}}}}}}"#,
+            k % tenants,
+            k % (M as usize + 1)
+        ));
+    }
+
+    ["jsonl", "binary"]
+        .iter()
+        .map(|&framing| {
+            let request: Arc<Vec<u8>> = Arc::new(match framing {
+                "jsonl" => (lines.join("\n") + "\n").into_bytes(),
+                _ => {
+                    let mut out = Vec::new();
+                    out.extend_from_slice(&PREAMBLE);
+                    let mut payload = Vec::new();
+                    for line in &lines {
+                        encode_request_line(line, &mut payload, &mut out);
+                    }
+                    out
+                }
+            });
+            let cfg = ServeConfig {
+                engine: bench_cfg(1),
+                wire: WireMode::Auto,
+                max_conns: conns,
+                max_accepts: Some(conns as u64),
+                ..ServeConfig::default()
+            };
+            let mut server = Server::bind(cfg, "127.0.0.1:0").expect("bind");
+            let addr = server.local_addr();
+            let server = std::thread::spawn(move || server.run().expect("serve"));
+            let start = Instant::now();
+            let clients: Vec<_> = (0..conns)
+                .map(|_| {
+                    let request = Arc::clone(&request);
+                    std::thread::spawn(move || {
+                        let mut stream = TcpStream::connect(addr).expect("connect");
+                        let mut writer = stream.try_clone().expect("clone");
+                        // Write and read concurrently: the reply stream is
+                        // as long as the request stream, so a one-sided
+                        // client would wedge on full buffers.
+                        let sender = std::thread::spawn(move || {
+                            writer.write_all(&request).expect("send");
+                            writer
+                                .shutdown(std::net::Shutdown::Write)
+                                .expect("half-close");
+                        });
+                        let mut sink = Vec::new();
+                        stream.read_to_end(&mut sink).expect("drain");
+                        sender.join().expect("sender");
+                    })
+                })
+                .collect();
+            for client in clients {
+                client.join().expect("client");
+            }
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            server.join().expect("server");
+            serde_json::json!({
+                "framing": framing,
+                "conns": conns,
+                "steps_per_sec": (events * conns) as f64 / secs,
+            })
+        })
+        .collect()
+}
+
 /// Schema check: every section present, every rate a positive number.
 /// Returns the list of violations (empty = valid).
 pub fn validate(doc: &serde::Value) -> Vec<String> {
@@ -399,7 +489,7 @@ pub fn validate(doc: &serde::Value) -> Vec<String> {
     if doc["schema"].as_str() != Some(SCHEMA) {
         errs.push(format!("schema != {SCHEMA:?}"));
     }
-    let sections: [(&str, &[&str]); 6] = [
+    let sections: [(&str, &[&str]); 7] = [
         ("throughput", &["shards", "steps_per_sec"]),
         ("store_overhead", &["backend", "steps_per_sec"]),
         ("hetero", &["algo", "steps_per_sec"]),
@@ -409,6 +499,7 @@ pub fn validate(doc: &serde::Value) -> Vec<String> {
             "wire_codec",
             &["framing", "steps_per_sec", "bytes_per_event"],
         ),
+        ("serve_throughput", &["framing", "conns", "steps_per_sec"]),
     ];
     for (section, fields) in sections {
         let rows = match doc["results"][section].as_array() {
@@ -527,6 +618,8 @@ fn main() {
     eprintln!("engine_bench: energy done");
     let wire_codec = measure_wire_codec(&scale);
     eprintln!("engine_bench: wire codec done");
+    let serve_throughput = measure_serve(&scale);
+    eprintln!("engine_bench: serve throughput done");
 
     let doc = serde_json::json!({
         "schema": SCHEMA,
@@ -540,6 +633,7 @@ fn main() {
             "rebalance": serde::Value::Array(rebalance),
             "energy": serde::Value::Array(energy),
             "wire_codec": serde::Value::Array(wire_codec),
+            "serve_throughput": serde::Value::Array(serve_throughput),
         },
     });
     let errs = validate(&doc);

@@ -102,6 +102,22 @@ COMMANDS
              256) [--metrics-dump FILE] (write Prometheus text on exit and
              after checkpoints; query live via {\"op\":\"metrics\"} /
              {\"op\":\"trace\"})
+  serve      multiplexed TCP server for the engine wire protocol: one
+             reactor, one engine-backed session per connection
+             [--listen ADDR] (default 127.0.0.1:7700; :0 picks a port —
+             the bound address is announced on stdout as a JSONL line)
+             [--max-conns N] (connection cap, default 64; over-cap
+             connects get a typed sequence-0 error and are shed)
+             [--write-buf BYTES] (per-connection outbound queue cap,
+             default 262144; a connection whose backlog stays over the
+             cap past --shed-timeout-ms is shed with a typed error)
+             [--wire auto|jsonl|binary] (framing negotiation; auto sniffs
+             the 6-byte RSDC preamble per connection)
+             [--shards N] [--vnodes V] [--no-metrics] (per-connection
+             engine topology) [--handshake-timeout-ms MS] (default 10000)
+             [--shed-timeout-ms MS] (default 5000)
+             [--max-accepts N] (serve N connections then exit; smoke
+             tests and benchmarks use this — default serves forever)
   scenario   curated full-stack replay scenarios (the regression fleet)
              scenario list                 name + summary of every scenario
              scenario run <NAME> | --all   run one scenario, or the fleet
@@ -128,6 +144,7 @@ pub fn dispatch(args: &Args) -> Result<String, CmdError> {
         Some("simulate") => cmd_simulate(args),
         Some("analyze") => cmd_analyze(args),
         Some("engine") => cmd_engine(args),
+        Some("serve") => cmd_serve(args),
         Some("scenario") => cmd_scenario(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(CmdError::Other(format!(
@@ -667,6 +684,73 @@ fn cmd_engine(args: &Args) -> Result<String, CmdError> {
 
     let body = responses.join("\n") + "\n";
     write_output(args, "engine responses", body)
+}
+
+/// Serve the engine wire protocol over TCP: one reactor multiplexing up
+/// to `--max-conns` connections, each backed by its own engine. Blocks
+/// until the reactor drains (`--max-accepts`) or the process is killed,
+/// so the bound address is announced eagerly on stdout rather than in
+/// the dispatch result.
+fn cmd_serve(args: &Args) -> Result<String, CmdError> {
+    use rsdc_engine::{EngineConfig, ServeConfig, Server, WireMode};
+    use std::io::Write as _;
+    use std::time::Duration;
+
+    let shards: usize = args.get_or("shards", 0)?;
+    let vnodes: usize = args.get_or("vnodes", 0)?;
+    let mut engine = if shards == 0 {
+        EngineConfig::default()
+    } else {
+        EngineConfig::with_shards(shards)
+    };
+    if vnodes > 0 {
+        engine.vnodes = vnodes;
+    }
+    engine.metrics = !args.has_flag("no-metrics");
+    engine.trace_capacity = args.get_or("trace-capacity", rsdc_engine::DEFAULT_TRACE_CAPACITY)?;
+
+    let wire_spec: String = args.get_or("wire", "auto".to_string())?;
+    let wire = WireMode::parse(&wire_spec).map_err(CmdError::Other)?;
+    let mut cfg = ServeConfig {
+        engine,
+        wire,
+        ..ServeConfig::default()
+    };
+    cfg.max_conns = args.get_or("max-conns", cfg.max_conns)?;
+    if cfg.max_conns == 0 {
+        return Err(CmdError::Other("--max-conns must be at least 1".into()));
+    }
+    cfg.write_buf = args.get_or("write-buf", cfg.write_buf)?;
+    let handshake_ms: u64 = args.get_or(
+        "handshake-timeout-ms",
+        cfg.handshake_timeout.as_millis() as u64,
+    )?;
+    cfg.handshake_timeout = Duration::from_millis(handshake_ms);
+    let shed_ms: u64 = args.get_or("shed-timeout-ms", cfg.shed_timeout.as_millis() as u64)?;
+    cfg.shed_timeout = Duration::from_millis(shed_ms);
+    if args.get_str("max-accepts").is_some() {
+        cfg.max_accepts = Some(args.require("max-accepts")?);
+    }
+
+    let max_conns = cfg.max_conns;
+    let listen: String = args.get_or("listen", "127.0.0.1:7700".to_string())?;
+    let mut server =
+        Server::bind(cfg, &listen).map_err(|e| CmdError::Other(format!("bind {listen}: {e}")))?;
+    let addr = server.local_addr();
+
+    // Announce readiness before blocking in the reactor: callers (smoke
+    // tests, the bench harness) parse this line to learn the real port
+    // when `--listen` used :0.
+    println!(
+        "{{\"op\":\"serving\",\"addr\":\"{addr}\",\"wire\":\"{wire_spec}\",\"max_conns\":{max_conns}}}"
+    );
+    std::io::stdout().flush()?;
+
+    let summary = server.run().map_err(CmdError::Io)?;
+    Ok(format!(
+        "{{\"op\":\"served\",\"accepted\":{},\"closed\":{},\"shed\":{},\"bytes_in\":{},\"bytes_out\":{}}}\n",
+        summary.accepted, summary.closed, summary.shed, summary.bytes_in, summary.bytes_out
+    ))
 }
 
 const SCENARIO_USAGE: &str =

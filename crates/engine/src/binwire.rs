@@ -501,6 +501,36 @@ impl BinSession {
         self.state == ConnState::Dead
     }
 
+    /// The 1-based sequence number the next request frame will get —
+    /// errors the serving layer injects (e.g. a slow-consumer shed) are
+    /// attributed to this sequence.
+    pub fn next_seq(&self) -> usize {
+        self.seq + 1
+    }
+
+    /// Abandon the connection with a typed error frame at the next
+    /// sequence number: the pending step batch flushes first (its replies
+    /// are owed — the overshoot is bounded by one batch), then the error
+    /// frame is emitted and the connection dies. Used by the serving
+    /// layer to shed slow consumers.
+    pub fn shed(&mut self, message: &str, out: &mut Vec<u8>) {
+        if self.state == ConnState::Dead {
+            return;
+        }
+        let start = out.len();
+        self.session
+            .flush_steps(&mut self.pending, &mut self.replies);
+        self.replies.push(Reply::Error {
+            seq: self.next_seq(),
+            id: None,
+            message: message.to_string(),
+        });
+        self.state = ConnState::Dead;
+        self.drain_replies(out);
+        self.bytes_out += (out.len() - start) as u64;
+        self.fold_obs();
+    }
+
     /// Per-connection I/O counters: `(frames_in, frames_out, bytes_in,
     /// bytes_out)`.
     pub fn io_counters(&self) -> (u64, u64, u64, u64) {
@@ -558,6 +588,7 @@ impl BinSession {
         }
         self.drain_replies(out);
         self.bytes_out += (out.len() - start) as u64;
+        self.fold_obs();
     }
 
     /// End-of-stream: flush the pending step batch, report a mid-frame
@@ -654,11 +685,14 @@ impl BinSession {
     }
 
     /// Fold the per-connection counters into the engine's registry-backed
-    /// wire metrics. Deliberately deferred to connection close: a
-    /// mid-stream `metrics` dump must stay byte-identical between the
-    /// JSONL and binary framings, and this connection's own traffic can
-    /// only show up in responses once no more responses can be produced.
-    /// (Delta since the last fold, so repeated `finish` calls are safe.)
+    /// wire metrics — the delta since the last fold, applied after every
+    /// `feed` and at `finish`, so a long-lived server connection reports
+    /// its traffic while still open instead of a lifetime of zeros.
+    /// (PR 9 deferred this to connection close; that made an external
+    /// registry scrape of a server connection read zero forever.) A
+    /// `metrics` dump requested *on* this connection reflects traffic up
+    /// to the previous feed boundary — chunk-dependent, which is why the
+    /// JSONL↔binary differential excludes the `metrics` op by design.
     fn fold_obs(&mut self) {
         let now = [
             self.frames_in,
@@ -885,6 +919,22 @@ fn encode_reply(reply: Reply, payload: &mut Vec<u8>, out: &mut Vec<u8>) {
             put_frame(out, payload);
         }
     }
+}
+
+/// Encode one standalone error frame with no session behind it — the
+/// serving layer answers pre-session refusals (e.g. a connection-cap
+/// reject on a forced-binary listener) with this.
+pub(crate) fn error_frame(seq: usize, message: &str, out: &mut Vec<u8>) {
+    let mut payload = Vec::new();
+    encode_reply(
+        Reply::Error {
+            seq,
+            id: None,
+            message: message.to_string(),
+        },
+        &mut payload,
+        out,
+    );
 }
 
 // ---- client-side codecs ----
@@ -1352,7 +1402,7 @@ mod tests {
     }
 
     #[test]
-    fn wire_metrics_fold_at_connection_close_only() {
+    fn wire_metrics_fold_per_feed_batch() {
         let lines = vec![
             "{\"op\":\"admit\",\"id\":\"a\",\"m\":4,\"beta\":2.0,\"policy\":\"lcp\"}",
             "{\"op\":\"step\",\"id\":\"a\",\"load\":1.0}",
@@ -1360,7 +1410,6 @@ mod tests {
         let wire = transcode(&lines);
         let mut bin = BinSession::new(fresh_session());
         let mut out = Vec::new();
-        bin.feed(&wire, &mut out);
         let frames_in_of = |bin: &BinSession| {
             bin.session()
                 .engine()
@@ -1378,10 +1427,19 @@ mod tests {
                     _ => None,
                 })
         };
-        // Mid-stream the registry must not betray the framing in use.
-        assert_eq!(frames_in_of(&bin), Some(0));
+        // Feed everything but the last byte: both frames' bytes minus one
+        // — only the fully decoded first frame has been consumed.
+        bin.feed(&wire[..wire.len() - 1], &mut out);
+        assert_eq!(frames_in_of(&bin), Some(1), "first frame folds mid-stream");
+        // The long-lived-connection regression (PR 9 folded only at
+        // close): an open connection must already report its traffic.
+        bin.feed(&wire[wire.len() - 1..], &mut out);
+        assert_eq!(frames_in_of(&bin), Some(2), "per-feed fold, not at close");
         bin.finish(&mut out);
-        assert_eq!(frames_in_of(&bin), Some(2));
+        assert_eq!(frames_in_of(&bin), Some(2), "finish folds the same delta");
+        let (frames_in, _, bytes_in, _) = bin.io_counters();
+        assert_eq!(frames_in, 2);
+        assert_eq!(bytes_in as usize, wire.len());
     }
 
     #[test]

@@ -106,6 +106,7 @@ pub mod journal;
 pub mod obs;
 mod power;
 pub mod ring;
+pub mod serve;
 pub mod shard;
 pub mod statelist;
 pub mod tenant;
@@ -122,6 +123,7 @@ pub use obs::EngineObs;
 pub use ring::{HashRing, RingSpec, DEFAULT_VNODES};
 pub use rsdc_hetero::{FleetSpec, HeteroAlgo};
 pub use rsdc_power::{EnergyStatus, PowerConfig, PowerSpec, PriceSchedule};
+pub use serve::{ServeConfig, ServeSummary, Server, WireMode};
 pub use shard::{ShardMeta, ShardStats, StepOutcome};
 pub use statelist::StateList;
 pub use tenant::{PolicySpec, TenantConfig, TenantEnergy, TenantReport, TenantSnapshot};

@@ -53,11 +53,12 @@ pub struct EngineObs {
     /// Milli-units of priced energy cost (same floor-diff emission).
     pub(crate) energy_cost_milli: Counter,
 
-    // Binary-wire connection I/O, folded in per connection by the
-    // framing layer ([`crate::binwire::BinSession`]).
-    /// Request frames decoded (including corrupt ones that errored).
+    // Wire connection I/O, folded in after every feed by the framing
+    // layers ([`crate::binwire::BinSession`] counts frames,
+    // [`crate::wire::LineSession`] counts lines).
+    /// Request frames/lines decoded (including corrupt ones that errored).
     pub(crate) wire_frames_in: Counter,
-    /// Response frames emitted.
+    /// Response frames/lines emitted.
     pub(crate) wire_frames_out: Counter,
     /// Raw connection bytes received (preamble included).
     pub(crate) wire_bytes_in: Counter,

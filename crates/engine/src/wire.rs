@@ -754,7 +754,12 @@ impl Session {
                     "hetero tenant {id:?} accepts only load-carrying steps"
                 ));
             }
-            let load = load.expect("parse_record guarantees cost or load");
+            // `parse_record` guarantees cost or load on the JSONL path,
+            // but steps also arrive pre-parsed from the binary framing —
+            // answer a malformed frame with a typed error, never a panic.
+            let Some(load) = load else {
+                return Err(format!("step for {id:?} carries neither cost nor load"));
+            };
             // The fleet spec prices the load inside the engine; the 1-D
             // cost slot of the event is unused.
             return Ok((Cost::Zero, Some(load)));
@@ -762,7 +767,9 @@ impl Session {
         match cost {
             Some(c) => Ok((c, load)),
             None => {
-                let load = load.expect("parse_record guarantees cost or load");
+                let Some(load) = load else {
+                    return Err(format!("step for {id:?} carries neither cost nor load"));
+                };
                 let model = match self.models.get(id) {
                     Some(Pricing::Scalar(model)) => *model,
                     _ => CostModel::default(),
@@ -942,7 +949,12 @@ impl Session {
             message: message.to_string(),
         };
         match record {
-            Record::Step { .. } => unreachable!("steps are batched by the caller"),
+            // Both framings batch steps through `queue_step` before
+            // dispatching controls; a step landing here means a framing
+            // layer misrouted it. Answer with a typed error — a server
+            // multiplexing thousands of connections must never panic on
+            // one connection's traffic.
+            Record::Step { .. } => out.push(error_line("step record misrouted as control")),
             Record::Admit { config, cost_model } => {
                 let id = config.id.clone();
                 let pricing = if config.policy.is_hetero() {
@@ -1336,6 +1348,240 @@ impl Session {
         }
         self.flush_steps(&mut pending, &mut replies);
         replies.into_iter().map(Reply::into_line).collect()
+    }
+}
+
+/// Streaming JSONL framing over a [`Session`]: the line-oriented twin of
+/// [`crate::binwire::BinSession`], built for long-lived connections that
+/// deliver bytes in arbitrary chunks.
+///
+/// [`Session::handle_lines`] numbers lines from 1 per call and flushes
+/// the step batch when its input ends — correct for one-shot files,
+/// wrong for a socket. A `LineSession` keeps the 1-based line counter
+/// and the pending step batch **across** [`LineSession::feed`] calls, so
+/// a chunked connection batches exactly like the equivalent one-shot
+/// input: runs of consecutive `step` lines flush on a control record, at
+/// the batch cap, or at [`LineSession::finish`] — never at a TCP read
+/// boundary. The serve-layer differential suite pins this equivalence.
+///
+/// Per-connection I/O counters fold into the engine's wire metrics after
+/// every feed (frames = request/response lines, bytes = raw stream
+/// bytes), mirroring the binary framing's accounting.
+pub struct LineSession {
+    session: Session,
+    pending: Vec<PendingStep>,
+    replies: Vec<Reply>,
+    /// Bytes of the current incomplete line (no `\n` seen yet).
+    partial: Vec<u8>,
+    /// Lines consumed so far; the next line is number `line + 1`.
+    line: usize,
+    done: bool,
+    frames_in: u64,
+    frames_out: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    /// Counter values already folded into the engine's metrics registry
+    /// (same order as [`LineSession::io_counters`]).
+    reported: [u64; 4],
+}
+
+impl LineSession {
+    /// Serve streaming JSONL framing over `session`.
+    pub fn new(session: Session) -> LineSession {
+        LineSession {
+            session,
+            pending: Vec::new(),
+            replies: Vec::new(),
+            partial: Vec::new(),
+            line: 0,
+            done: false,
+            frames_in: 0,
+            frames_out: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            reported: [0; 4],
+        }
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Unwrap the underlying session.
+    pub fn into_session(self) -> Session {
+        self.session
+    }
+
+    /// The 1-based sequence number the next request line will get —
+    /// errors the serving layer injects (e.g. a slow-consumer shed) are
+    /// attributed to this sequence.
+    pub fn next_seq(&self) -> usize {
+        self.line + 1
+    }
+
+    /// True once the stream finished or was shed.
+    pub fn is_dead(&self) -> bool {
+        self.done
+    }
+
+    /// Per-connection I/O counters: `(lines_in, lines_out, bytes_in,
+    /// bytes_out)`.
+    pub fn io_counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.frames_in,
+            self.frames_out,
+            self.bytes_in,
+            self.bytes_out,
+        )
+    }
+
+    /// Ingest connection bytes, appending rendered response lines (each
+    /// `\n`-terminated) to `out`. Bytes fed after death are ignored.
+    pub fn feed(&mut self, bytes: &[u8], out: &mut Vec<u8>) {
+        if self.done {
+            return;
+        }
+        self.bytes_in += bytes.len() as u64;
+        let start = out.len();
+        let mut rest = bytes;
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(pos);
+            rest = &tail[1..];
+            if self.partial.is_empty() {
+                self.take_line(head);
+            } else {
+                self.partial.extend_from_slice(head);
+                let owned = std::mem::take(&mut self.partial);
+                self.take_line(&owned);
+                self.partial = owned;
+                self.partial.clear();
+            }
+        }
+        self.partial.extend_from_slice(rest);
+        self.drain_replies(out);
+        self.bytes_out += (out.len() - start) as u64;
+        self.fold_obs();
+    }
+
+    /// End-of-stream: a trailing unterminated line is processed as the
+    /// final request, the pending step batch flushes, and the remaining
+    /// response lines are appended to `out`.
+    pub fn finish(&mut self, out: &mut Vec<u8>) {
+        if self.done {
+            return;
+        }
+        let start = out.len();
+        if !self.partial.is_empty() {
+            let owned = std::mem::take(&mut self.partial);
+            self.take_line(&owned);
+        }
+        self.session
+            .flush_steps(&mut self.pending, &mut self.replies);
+        self.done = true;
+        self.drain_replies(out);
+        self.bytes_out += (out.len() - start) as u64;
+        self.fold_obs();
+    }
+
+    /// Abandon the connection with a typed error at the next sequence
+    /// number: the pending step batch flushes first (its replies are
+    /// owed — the overshoot is bounded by one batch), then the error is
+    /// rendered and the session dies. Used by the serving layer to shed
+    /// slow consumers.
+    pub fn shed(&mut self, message: &str, out: &mut Vec<u8>) {
+        if self.done {
+            return;
+        }
+        let start = out.len();
+        self.session
+            .flush_steps(&mut self.pending, &mut self.replies);
+        self.replies.push(Reply::Error {
+            seq: self.next_seq(),
+            id: None,
+            message: message.to_string(),
+        });
+        self.done = true;
+        self.drain_replies(out);
+        self.bytes_out += (out.len() - start) as u64;
+        self.fold_obs();
+    }
+
+    /// Consume one complete request line (sans newline).
+    fn take_line(&mut self, raw: &[u8]) {
+        self.line += 1;
+        self.frames_in += 1;
+        let number = self.line;
+        let Ok(text) = std::str::from_utf8(raw) else {
+            // The batch-oriented path never sees invalid UTF-8 (it reads
+            // whole files as `String`); on a socket it is a typed,
+            // line-numbered error like any other malformed request.
+            self.session
+                .flush_steps(&mut self.pending, &mut self.replies);
+            self.replies.push(Reply::Error {
+                seq: number,
+                id: None,
+                message: format!("line {number} is not valid UTF-8"),
+            });
+            return;
+        };
+        let text = text.trim();
+        if text.is_empty() || text.starts_with('#') {
+            return;
+        }
+        match parse_record(text) {
+            Err(e) => {
+                self.session
+                    .flush_steps(&mut self.pending, &mut self.replies);
+                self.replies.push(Reply::Error {
+                    seq: number,
+                    id: None,
+                    message: e.to_string(),
+                });
+            }
+            Ok(Record::Step { id, cost, load }) => {
+                self.session.queue_step(
+                    number,
+                    &id,
+                    cost,
+                    load,
+                    &mut self.pending,
+                    &mut self.replies,
+                );
+            }
+            Ok(control) => {
+                self.session
+                    .flush_steps(&mut self.pending, &mut self.replies);
+                self.session
+                    .handle_control(control, number, &mut self.replies);
+            }
+        }
+    }
+
+    fn drain_replies(&mut self, out: &mut Vec<u8>) {
+        for reply in self.replies.drain(..) {
+            out.extend_from_slice(reply.into_line().as_bytes());
+            out.push(b'\n');
+            self.frames_out += 1;
+        }
+    }
+
+    /// Fold the per-connection counters into the engine's registry-backed
+    /// wire metrics (delta since the last fold — called after every feed
+    /// so long-lived connections report traffic while still open).
+    fn fold_obs(&mut self) {
+        let now = [
+            self.frames_in,
+            self.frames_out,
+            self.bytes_in,
+            self.bytes_out,
+        ];
+        let obs = self.session.engine().obs();
+        obs.wire_frames_in.add(now[0] - self.reported[0]);
+        obs.wire_frames_out.add(now[1] - self.reported[1]);
+        obs.wire_bytes_in.add(now[2] - self.reported[2]);
+        obs.wire_bytes_out.add(now[3] - self.reported[3]);
+        self.reported = now;
     }
 }
 

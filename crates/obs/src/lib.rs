@@ -171,6 +171,19 @@ impl Gauge {
         }
     }
 
+    /// Increment by one (for gauges tracking a live population, e.g.
+    /// open connections).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
     /// Current value.
     pub fn value(&self) -> i64 {
         self.inner.value.load(Ordering::Relaxed)

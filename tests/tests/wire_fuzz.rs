@@ -419,6 +419,57 @@ fn oversize_length_prefixes_are_refused_from_the_header() {
     );
 }
 
+/// The step-shape guards swept from `unwrap`/`expect` to typed errors:
+/// a hetero tenant stepped with a scalar cost, and a step carrying
+/// neither cost nor load, both answer typed line-numbered errors and
+/// leave the session serving.
+#[test]
+fn step_shape_mismatches_error_typed_and_numbered() {
+    let mut session = Session::new(Engine::new(EngineConfig::with_shards(1)));
+    let out = session.handle_lines([
+        base_lines()[2], // admit h1 (hetero)
+        r#"{"op":"step","id":"h1","cost":{"Abs":{"slope":1.0,"center":3.0}}}"#,
+        r#"{"op":"step","id":"h1"}"#,
+        r#"{"op":"report","id":"h1"}"#,
+    ]);
+    assert_eq!(out.len(), 4, "{out:?}");
+    for (reply, line) in [(&out[1], 2), (&out[2], 3)] {
+        let v: serde::Value = serde_json::from_str(reply).unwrap();
+        assert_eq!(v["op"], "error", "{reply}");
+        assert_eq!(v["line"].as_u64().unwrap(), line, "{reply}");
+    }
+    assert!(out[3].contains("\"op\":\"report\""), "session stays live");
+}
+
+/// Invalid UTF-8 cannot reach the batch path (it reads whole files as
+/// `String`), but a socket connection can deliver any bytes: the serving
+/// layer's `LineSession` answers a typed, line-numbered error and keeps
+/// serving the connection.
+#[test]
+fn line_session_rejects_invalid_utf8_typed_and_numbered() {
+    use rsdc_engine::wire::LineSession;
+    let mut ls = LineSession::new(Session::new(Engine::new(EngineConfig::with_shards(1))));
+    let mut out = Vec::new();
+    ls.feed(
+        b"{\"op\":\"stats\"}\n\xff\xfe{\"op\":\"stats\"}\n{\"op\":\"stats\"}\n",
+        &mut out,
+    );
+    ls.finish(&mut out);
+    let text = String::from_utf8(out).expect("replies are valid UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    let v: serde::Value = serde_json::from_str(lines[1]).unwrap();
+    assert_eq!(v["op"], "error", "{}", lines[1]);
+    assert_eq!(v["line"].as_u64().unwrap(), 2);
+    assert!(v["message"].as_str().unwrap().contains("not valid UTF-8"));
+    for line in [lines[0], lines[2]] {
+        assert!(
+            line.contains("\"op\":\"stats\""),
+            "stats still served: {line}"
+        );
+    }
+}
+
 /// Deep nesting, absurd numbers, NaN-ish spellings, and null injections
 /// are rejected as errors, not panics or silent acceptance.
 #[test]
@@ -433,6 +484,9 @@ fn hostile_corner_case_lines_are_rejected() {
         r#"{"op":"rebalance","shards":-1}"#,
         r#"{"op":"rebalance","shards":1.5}"#,
         r#"{"op":"limits","rate":"fast"}"#,
+        // Step-shape guards swept from unwrap/expect to typed errors.
+        r#"{"op":"step","id":"web"}"#,
+        r#"{"op":"step","id":"h1","cost":{"Abs":{"slope":1.0,"center":3.0}}}"#,
         // Control-plane knob contracts: partial autoscale/energy configs
         // must be refused, never half-applied.
         r#"{"op":"autoscale","switch_cost":32.0}"#,
