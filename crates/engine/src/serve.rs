@@ -541,7 +541,10 @@ impl Server {
         let _ = stream.set_nodelay(true);
         if self.conns.len() >= self.cfg.max_conns {
             // Admission reject: typed, sequence-0, best-effort write —
-            // the socket never enters the reactor.
+            // the socket never enters the reactor. Short writes retry
+            // (with one brief WouldBlock grace) so the tiny reject is
+            // not silently truncated, but the reactor never stalls on
+            // an unwritable peer.
             let message = format!(
                 "connection rejected: server is at its cap of {} connections",
                 self.cfg.max_conns
@@ -549,7 +552,20 @@ impl Server {
             let mut bytes = Vec::new();
             prenegotiation_error(self.cfg.wire, &message, &mut bytes);
             let mut stream = stream;
-            let _ = stream.write(&bytes);
+            let mut sent = 0;
+            let mut waited = false;
+            while sent < bytes.len() {
+                match stream.write(&bytes[sent..]) {
+                    Ok(0) => break,
+                    Ok(n) => sent += n,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == ErrorKind::WouldBlock && !waited => {
+                        waited = true;
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
             self.obs.count_shed(SHED_AT_CAPACITY);
             return;
         }
@@ -592,20 +608,21 @@ impl Server {
         if self.conns[idx].wants_read() && !self.conns[idx].dead {
             match self.conns[idx].stream.read(&mut self.scratch) {
                 Ok(0) => {
+                    let wire = self.cfg.wire;
                     let conn = &mut self.conns[idx];
                     let before = conn.outbuf.len();
                     match &mut conn.sess {
                         ConnSession::Sniff { buf, .. } if buf.is_empty() => {}
                         ConnSession::Sniff { buf, .. } => {
                             // Died mid-handshake: same truncation shape
-                            // the binary framing reports at sequence 0.
+                            // the binary framing reports at sequence 0,
+                            // rendered in the listener's framing like
+                            // every other pre-negotiation error.
                             let message = format!(
                                 "handshake truncated: need 6 preamble bytes, have {}",
                                 buf.len()
                             );
-                            conn.outbuf
-                                .extend_from_slice(error_reply_line(0, None, &message).as_bytes());
-                            conn.outbuf.push(b'\n');
+                            prenegotiation_error(wire, &message, &mut conn.outbuf);
                         }
                         ConnSession::Jsonl(ls) => ls.finish(&mut conn.outbuf),
                         ConnSession::Binary(bs) => bs.finish(&mut conn.outbuf),
@@ -715,18 +732,24 @@ impl Server {
                 }
             }
             ConnSession::Jsonl(ls) => ls.feed(bytes, &mut conn.outbuf),
-            ConnSession::Binary(bs) => {
-                bs.feed(bytes, &mut conn.outbuf);
-                if bs.is_dead() {
-                    // Fatal framing error: the session already rendered
-                    // its typed error; close once drained.
-                    conn.closing = true;
-                    conn.drain_deadline = Some(Instant::now() + self.cfg.shed_timeout);
-                }
-            }
+            ConnSession::Binary(bs) => bs.feed(bytes, &mut conn.outbuf),
         }
         if let Some(sess) = fresh {
             conn.sess = sess;
+        }
+        // Fatal framing error (bad preamble, oversize frame, overlong
+        // line): the session already rendered its typed error; close
+        // once drained. Checked after any handshake transition too, so
+        // a session born dead cannot pin its slot until the peer
+        // half-closes.
+        let fatal = match &conn.sess {
+            ConnSession::Sniff { .. } => false,
+            ConnSession::Jsonl(ls) => ls.is_dead(),
+            ConnSession::Binary(bs) => bs.is_dead(),
+        };
+        if fatal && !conn.closing {
+            conn.closing = true;
+            conn.drain_deadline = Some(Instant::now() + self.cfg.shed_timeout);
         }
         self.obs.bytes_out.add((conn.outbuf.len() - before) as u64);
     }
@@ -871,6 +894,64 @@ mod tests {
         let summary = handle.join().expect("join");
         assert_eq!(summary.shed, 1, "stalled handshake counted as shed");
         assert_eq!(summary.closed, 0);
+    }
+
+    #[test]
+    fn garbage_preamble_closes_the_connection_without_client_eof() {
+        let cfg = ServeConfig {
+            max_accepts: Some(1),
+            wire: WireMode::Binary,
+            ..ServeConfig::default()
+        };
+        let (addr, handle) = spawn_server(cfg);
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        // A full garbage preamble on a forced-binary listener kills the
+        // fresh session; the server must answer its seq-0 error frame
+        // and close on its own — the client never half-closes.
+        client.write_all(b"NOTBINARY").expect("send");
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).expect("server closes first");
+        assert!(!got.is_empty(), "typed error frame expected");
+        let summary = handle.join().expect("join");
+        assert_eq!((summary.accepted, summary.closed), (1, 1));
+    }
+
+    #[test]
+    fn unterminated_line_over_the_cap_is_refused_typed() {
+        use crate::wire::MAX_LINE_LEN;
+        let cfg = ServeConfig {
+            max_accepts: Some(1),
+            wire: WireMode::Jsonl,
+            ..ServeConfig::default()
+        };
+        let (addr, handle) = spawn_server(cfg);
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        // One newline-free byte over the cap: the line framing must
+        // refuse it with a typed line-1 error and close, rather than
+        // buffer without bound.
+        let chunk = vec![b'x'; 64 * 1024];
+        let mut remaining = MAX_LINE_LEN + 1;
+        while remaining > 0 {
+            let n = remaining.min(chunk.len());
+            client.write_all(&chunk[..n]).expect("send");
+            remaining -= n;
+        }
+        let mut got = String::new();
+        client
+            .read_to_string(&mut got)
+            .expect("server closes first");
+        assert!(
+            got.contains("exceeds cap") && got.contains("\"line\":1"),
+            "typed overlong-line error expected, got {got:?}"
+        );
+        let summary = handle.join().expect("join");
+        assert_eq!((summary.accepted, summary.closed), (1, 1));
     }
 
     #[test]

@@ -1367,11 +1367,17 @@ impl Session {
 /// Per-connection I/O counters fold into the engine's wire metrics after
 /// every feed (frames = request/response lines, bytes = raw stream
 /// bytes), mirroring the binary framing's accounting.
+///
+/// Untrusted buffering is capped: an unterminated line longer than
+/// [`MAX_LINE_LEN`] is a fatal framing error — typed, line-numbered —
+/// and the session dies, exactly as an oversize length prefix kills the
+/// binary framing.
 pub struct LineSession {
     session: Session,
     pending: Vec<PendingStep>,
     replies: Vec<Reply>,
-    /// Bytes of the current incomplete line (no `\n` seen yet).
+    /// Bytes of the current incomplete line (no `\n` seen yet), capped
+    /// at [`MAX_LINE_LEN`].
     partial: Vec<u8>,
     /// Lines consumed so far; the next line is number `line + 1`.
     line: usize,
@@ -1459,6 +1465,9 @@ impl LineSession {
             }
         }
         self.partial.extend_from_slice(rest);
+        if self.partial.len() > MAX_LINE_LEN {
+            self.overlong_line();
+        }
         self.drain_replies(out);
         self.bytes_out += (out.len() - start) as u64;
         self.fold_obs();
@@ -1505,6 +1514,26 @@ impl LineSession {
         self.drain_replies(out);
         self.bytes_out += (out.len() - start) as u64;
         self.fold_obs();
+    }
+
+    /// The partial buffer outgrew [`MAX_LINE_LEN`] with no terminator in
+    /// sight: fatal, like an oversize binary length prefix. The pending
+    /// step batch flushes (its replies are owed), the overlong line gets
+    /// a typed error at its own number, and the session dies — a peer
+    /// streaming newline-free bytes cannot grow the buffer without
+    /// bound.
+    fn overlong_line(&mut self) {
+        let len = self.partial.len();
+        self.partial = Vec::new();
+        self.line += 1;
+        self.session
+            .flush_steps(&mut self.pending, &mut self.replies);
+        self.replies.push(Reply::Error {
+            seq: self.line,
+            id: None,
+            message: format!("line length {len}+ exceeds cap {MAX_LINE_LEN}"),
+        });
+        self.done = true;
     }
 
     /// Consume one complete request line (sans newline).
@@ -1584,6 +1613,13 @@ impl LineSession {
         self.reported = now;
     }
 }
+
+/// Most bytes one JSONL request line may span (terminator excluded)
+/// before the connection is refused — the line framing's cap on
+/// untrusted buffering, mirroring the binary framing's
+/// [`crate::binwire::MAX_FRAME_LEN`]: a [`LineSession`] fed past it
+/// emits a typed line-numbered error and dies.
+pub const MAX_LINE_LEN: usize = crate::binwire::MAX_FRAME_LEN as usize;
 
 /// Most step events a [`Session`] batches into one engine call: large
 /// enough to amortize dispatch, small enough that journaling and
